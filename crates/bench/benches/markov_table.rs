@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks for the Markov table: train and lookup
+//! throughput under each metadata format (the operation behind every
+//! row of Figs. 10-20).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use triangel_cache::replacement::PolicyKind;
+use triangel_markov::{MarkovTable, MarkovTableConfig, TargetFormat};
+use triangel_types::{LineAddr, Pc};
+
+fn table(format: TargetFormat, replacement: PolicyKind) -> MarkovTable {
+    let mut t = MarkovTable::new(MarkovTableConfig {
+        sets: 2048,
+        max_ways: 8,
+        format,
+        tag_bits: 10,
+        replacement,
+    });
+    t.set_ways(8);
+    t
+}
+
+fn bench_train(c: &mut Criterion) {
+    let mut g = c.benchmark_group("markov_train");
+    for (name, format, repl) in [
+        ("direct42_srrip", TargetFormat::Direct42, PolicyKind::Srrip),
+        ("lut32_hawkeye", TargetFormat::triage_default(), PolicyKind::Hawkeye),
+        ("ideal32_lru", TargetFormat::Ideal32, PolicyKind::Lru),
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut t = table(format, repl);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                t.train(
+                    LineAddr::new(black_box(i % 100_000)),
+                    LineAddr::new(black_box((i + 1) % 100_000)),
+                    Pc::new(0x40),
+                );
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("markov_lookup");
+    for (name, format) in
+        [("direct42", TargetFormat::Direct42), ("lut32", TargetFormat::triage_default())]
+    {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut t = table(format, PolicyKind::Lru);
+            for i in 0..100_000u64 {
+                t.train(LineAddr::new(i), LineAddr::new(i + 1), Pc::new(0x40));
+            }
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(7);
+                black_box(t.lookup(LineAddr::new(i % 100_000)));
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_train, bench_lookup);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion benchmark for whole-pipeline throughput: simulated memory
+//! accesses per second under each prefetcher configuration. This bounds
+//! the cost of regenerating every figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use triangel_sim::{Experiment, PrefetcherChoice};
+use triangel_workloads::spec::SpecWorkload;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(50_000));
+    for choice in
+        [PrefetcherChoice::Baseline, PrefetcherChoice::TriageDeg4, PrefetcherChoice::Triangel]
+    {
+        g.bench_function(BenchmarkId::from_parameter(choice.label()), |b| {
+            b.iter(|| {
+                Experiment::new(SpecWorkload::Xalan.generator(1))
+                    .warmup(10_000)
+                    .accesses(50_000)
+                    .sizing_window(20_000)
+                    .prefetcher(choice)
+                    .run()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

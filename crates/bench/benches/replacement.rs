@@ -1,0 +1,34 @@
+//! Criterion micro-benchmarks for the replacement policies, HawkEye's
+//! OPTgen in particular (Triage's Markov-entry policy, Section 3.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use triangel_cache::replacement::{all_ways, AccessMeta, PolicyKind};
+use triangel_types::{LineAddr, Pc};
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replacement_fill_victim");
+    for kind in [
+        PolicyKind::Lru,
+        PolicyKind::TreePlru,
+        PolicyKind::Srrip,
+        PolicyKind::Hawkeye,
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(format!("{kind:?}")), |b| {
+            let mut p = kind.build(2048, 16);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let set = (i % 2048) as usize;
+                let meta =
+                    AccessMeta::demand(LineAddr::new(black_box(i % 65_536)), Some(Pc::new(i % 64)));
+                let way = p.victim(set, all_ways(16));
+                p.on_fill(set, way, &meta);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

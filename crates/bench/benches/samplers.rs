@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks for Triangel's sampling structures: the
+//! History Sampler, Second-Chance Sampler, Metadata Reuse Buffer and Set
+//! Dueller, which sit on the prefetcher's per-event critical path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use triangel_core::{HistorySampler, MetadataReuseBuffer, SecondChanceSampler, SetDueller};
+use triangel_types::LineAddr;
+
+fn bench_history_sampler(c: &mut Criterion) {
+    c.bench_function("history_sampler_lookup_insert", |b| {
+        let mut s = HistorySampler::new(512, 1);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let addr = LineAddr::new(black_box(i % 50_000));
+            black_box(s.lookup(addr, 3, i as u32, LineAddr::new(i)));
+            if i % 97 == 0 {
+                s.insert(addr, 3, LineAddr::new(i + 1), i as u32);
+            }
+        });
+    });
+}
+
+fn bench_scs(c: &mut Criterion) {
+    c.bench_function("second_chance_check_insert", |b| {
+        let mut s = SecondChanceSampler::new(64, 512);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(s.check(LineAddr::new(i % 1000), 4, i));
+            if i % 13 == 0 {
+                s.insert(LineAddr::new((i + 7) % 1000), 4, i);
+            }
+        });
+    });
+}
+
+fn bench_mrb(c: &mut Criterion) {
+    c.bench_function("metadata_reuse_buffer_lookup", |b| {
+        let mut m = MetadataReuseBuffer::new(256);
+        for i in 0..256u64 {
+            m.insert(LineAddr::new(i), LineAddr::new(i + 1), true);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(m.lookup(LineAddr::new(i % 512)));
+        });
+    });
+}
+
+fn bench_set_dueller(c: &mut Criterion) {
+    c.bench_function("set_dueller_on_access", |b| {
+        let mut d = SetDueller::new(2048, 8, 12, 2, 500_000, 7);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            d.on_access(LineAddr::new(black_box(i % 100_000)), i % 3 != 0);
+        });
+    });
+}
+
+criterion_group!(benches, bench_history_sampler, bench_scs, bench_mrb, bench_set_dueller);
+criterion_main!(benches);

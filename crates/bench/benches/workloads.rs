@@ -1,0 +1,37 @@
+//! Criterion benchmarks for workload generation: synthetic SPEC-like
+//! mixes and the real Graph500 substrate (Kronecker + CSR + BFS).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use triangel_workloads::graph500::{generate_edges, Csr, Graph500Config, KroneckerConfig};
+use triangel_workloads::spec::SpecWorkload;
+use triangel_workloads::TraceSource;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spec_generators");
+    g.throughput(Throughput::Elements(1));
+    for wl in [SpecWorkload::Xalan, SpecWorkload::Mcf, SpecWorkload::Omnetpp] {
+        g.bench_function(BenchmarkId::from_parameter(wl.label()), |b| {
+            let mut gen = wl.generator(1);
+            b.iter(|| black_box(gen.next_access()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_graph500(c: &mut Criterion) {
+    c.bench_function("kronecker_s12_e8", |b| {
+        b.iter(|| generate_edges(KroneckerConfig { scale: 12, edge_factor: 8, seed: 1 }))
+    });
+    c.bench_function("csr_build_s12_e8", |b| {
+        let edges = generate_edges(KroneckerConfig { scale: 12, edge_factor: 8, seed: 1 });
+        b.iter(|| Csr::from_edges(1 << 12, &edges))
+    });
+    c.bench_function("bfs_trace_access", |b| {
+        let mut t = Graph500Config::tiny().build_trace();
+        b.iter(|| black_box(t.next_access()));
+    });
+}
+
+criterion_group!(benches, bench_generators, bench_graph500);
+criterion_main!(benches);

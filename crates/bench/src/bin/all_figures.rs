@@ -1,0 +1,33 @@
+//! Regenerates every figure and table of the paper in one run,
+//! sharing the expensive Figs. 10-15 sweep.
+//!
+//! Full-scale run: `cargo run --release -p triangel-bench --bin all_figures`
+//! Smoke run: `TRIANGEL_QUICK=1 cargo run --release -p triangel-bench --bin all_figures`
+
+use std::process::Command;
+
+use triangel_bench::{SpecSweep, SweepParams};
+
+fn run_binary(name: &str) {
+    eprintln!("==> {name}");
+    let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(name))
+        .status()
+        .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+    assert!(status.success(), "{name} failed");
+}
+
+fn main() {
+    let params = SweepParams::from_env();
+    eprintln!("==> shared sweep for Figs. 10-15 (warmup {}, accesses {})", params.warmup, params.accesses);
+    let sweep = SpecSweep::run(SpecSweep::paper_configs_with_nomrb(), &params);
+    sweep.fig10_speedup().print();
+    sweep.fig11_traffic().print();
+    sweep.fig12_accuracy().print();
+    sweep.fig13_coverage().print();
+    sweep.fig14_l3().print();
+    sweep.fig15_energy().print();
+    sweep.fig15_dram_fraction().print();
+    for bin in ["fig16", "fig17", "fig18", "fig19", "fig20", "table1", "table2", "sec33_replacement"] {
+        run_binary(bin);
+    }
+}

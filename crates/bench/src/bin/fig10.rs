@@ -1,0 +1,9 @@
+//! Reproduces Fig. 10 of the paper. See DESIGN.md's experiment index.
+
+use triangel_bench::{SpecSweep, SweepParams};
+
+fn main() {
+    let params = SweepParams::from_env();
+    let sweep = SpecSweep::run(SpecSweep::paper_configs(), &params);
+    sweep.fig10_speedup().print();
+}

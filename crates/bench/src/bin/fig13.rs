@@ -1,0 +1,9 @@
+//! Reproduces Fig. 13 of the paper. See DESIGN.md's experiment index.
+
+use triangel_bench::{SpecSweep, SweepParams};
+
+fn main() {
+    let params = SweepParams::from_env();
+    let sweep = SpecSweep::run(SpecSweep::paper_configs(), &params);
+    sweep.fig13_coverage().print();
+}

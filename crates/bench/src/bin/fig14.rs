@@ -1,0 +1,10 @@
+//! Reproduces Fig. 14 of the paper (including the Triangel-NoMRB
+//! configuration). See DESIGN.md's experiment index.
+
+use triangel_bench::{SpecSweep, SweepParams};
+
+fn main() {
+    let params = SweepParams::from_env();
+    let sweep = SpecSweep::run(SpecSweep::paper_configs_with_nomrb(), &params);
+    sweep.fig14_l3().print();
+}

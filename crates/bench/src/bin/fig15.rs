@@ -1,0 +1,11 @@
+//! Reproduces Fig. 15 of the paper (including the Triangel-NoMRB
+//! configuration). See DESIGN.md's experiment index.
+
+use triangel_bench::{SpecSweep, SweepParams};
+
+fn main() {
+    let params = SweepParams::from_env();
+    let sweep = SpecSweep::run(SpecSweep::paper_configs_with_nomrb(), &params);
+    sweep.fig15_energy().print();
+    sweep.fig15_dram_fraction().print();
+}

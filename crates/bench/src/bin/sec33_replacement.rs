@@ -1,0 +1,65 @@
+//! Reproduces the Section 3.3 observation: HawkEye versus simpler
+//! policies for Markov-entry replacement barely matters at the full
+//! 1 MiB table, and matters more when the table is artificially
+//! capacity-limited.
+//!
+//! We sweep Triage with {LRU, SRRIP, HawkEye} entry replacement at the
+//! full partition and at a quarter-size partition (2 max ways =
+//! 256 KiB-class), reporting geomean speedup over the stride baseline.
+
+use triangel_bench::SweepParams;
+use triangel_cache::replacement::PolicyKind;
+use triangel_sim::report::FigureTable;
+use triangel_sim::{Comparison, Experiment, PrefetcherChoice};
+use triangel_triage::TriageConfig;
+use triangel_workloads::spec::SpecWorkload;
+
+fn run(
+    wl: SpecWorkload,
+    base: &triangel_sim::RunReport,
+    policy: PolicyKind,
+    max_ways: usize,
+    p: &SweepParams,
+) -> f64 {
+    let mut cfg = TriageConfig::paper_default();
+    cfg.table.replacement = policy;
+    cfg.table.max_ways = max_ways;
+    let run = Experiment::new(wl.generator(p.seed))
+        .warmup(p.warmup)
+        .accesses(p.accesses)
+        .prefetcher(PrefetcherChoice::TriageCustom(cfg))
+        .run();
+    Comparison::new(base, &run).speedup
+}
+
+fn main() {
+    let p = SweepParams::from_env();
+    let policies =
+        [("LRU", PolicyKind::Lru), ("SRRIP", PolicyKind::Srrip), ("HawkEye", PolicyKind::Hawkeye)];
+    // One baseline per workload, shared by every policy/capacity cell.
+    let baselines: Vec<_> = SpecWorkload::ALL
+        .iter()
+        .map(|wl| {
+            eprintln!("[sec33] {} / Baseline", wl.label());
+            Experiment::new(wl.generator(p.seed)).warmup(p.warmup).accesses(p.accesses).run()
+        })
+        .collect();
+    for (cap_name, max_ways) in
+        [("full 1 MiB table (8 ways)", 8), ("capacity-limited table (2 ways)", 2)]
+    {
+        let mut t = FigureTable::new(
+            format!("Sec. 3.3: Markov replacement policy, {cap_name}"),
+            "Triage speedup over stride-only baseline",
+            policies.iter().map(|(n, _)| n.to_string()).collect(),
+        );
+        for (w, wl) in SpecWorkload::ALL.iter().enumerate() {
+            eprintln!("[sec33] {} / {cap_name}", wl.label());
+            let row = policies
+                .iter()
+                .map(|(_, pk)| run(*wl, &baselines[w], *pk, max_ways, &p))
+                .collect();
+            t.push_row(wl.label(), row);
+        }
+        t.print();
+    }
+}

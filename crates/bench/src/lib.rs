@@ -1,0 +1,232 @@
+//! Shared infrastructure for the figure-reproduction harness.
+//!
+//! Every binary in `src/bin/` regenerates one of the paper's tables or
+//! figures (see DESIGN.md's experiment index). Figures 10–15 share one
+//! sweep over the seven SPEC-like workloads; [`SpecSweep`] runs it once
+//! and exposes each figure's metric as a [`FigureTable`].
+//!
+//! Scale knobs (environment variables, so the same binaries serve smoke
+//! tests and full runs):
+//!
+//! * `TRIANGEL_QUICK=1` — small warm-up/measurement for CI smoke runs.
+//! * `TRIANGEL_WARMUP` / `TRIANGEL_ACCESSES` — explicit per-core access
+//!   counts.
+
+use triangel_sim::report::FigureTable;
+use triangel_sim::{Comparison, Experiment, PrefetcherChoice, RunReport};
+use triangel_workloads::spec::SpecWorkload;
+
+/// Scale parameters for a sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepParams {
+    /// Warm-up accesses per core (not measured).
+    pub warmup: u64,
+    /// Measured accesses per core.
+    pub accesses: u64,
+    /// Set Dueller / Bloom sizing window.
+    pub sizing_window: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl SweepParams {
+    /// Full-scale parameters used for the recorded results in
+    /// EXPERIMENTS.md.
+    pub fn full() -> Self {
+        SweepParams { warmup: 2_000_000, accesses: 1_500_000, sizing_window: 150_000, seed: 42 }
+    }
+
+    /// Reduced parameters for smoke runs.
+    pub fn quick() -> Self {
+        SweepParams { warmup: 400_000, accesses: 300_000, sizing_window: 60_000, seed: 42 }
+    }
+
+    /// Resolves parameters from the environment (see module docs).
+    pub fn from_env() -> Self {
+        let mut p = if std::env::var("TRIANGEL_QUICK").is_ok_and(|v| v == "1") {
+            SweepParams::quick()
+        } else {
+            SweepParams::full()
+        };
+        if let Ok(w) = std::env::var("TRIANGEL_WARMUP") {
+            p.warmup = w.parse().expect("TRIANGEL_WARMUP must be an integer");
+        }
+        if let Ok(a) = std::env::var("TRIANGEL_ACCESSES") {
+            p.accesses = a.parse().expect("TRIANGEL_ACCESSES must be an integer");
+        }
+        p
+    }
+}
+
+impl Default for SweepParams {
+    fn default() -> Self {
+        SweepParams::full()
+    }
+}
+
+/// Runs one workload under one prefetcher configuration.
+pub fn run_spec(wl: SpecWorkload, choice: PrefetcherChoice, p: &SweepParams) -> RunReport {
+    Experiment::new(wl.generator(p.seed))
+        .warmup(p.warmup)
+        .accesses(p.accesses)
+        .sizing_window(p.sizing_window)
+        .prefetcher(choice)
+        .label(wl.label())
+        .run()
+}
+
+/// The figures-10-to-15 sweep: every workload under the baseline and a
+/// set of prefetcher configurations.
+#[derive(Debug)]
+pub struct SpecSweep {
+    configs: Vec<PrefetcherChoice>,
+    baselines: Vec<RunReport>,
+    runs: Vec<Vec<RunReport>>,
+}
+
+impl SpecSweep {
+    /// The configurations plotted in Figs. 10–13: Triage, Triage-Deg4,
+    /// Triage-Deg4-Look2, Triangel, Triangel-Bloom.
+    pub fn paper_configs() -> Vec<PrefetcherChoice> {
+        vec![
+            PrefetcherChoice::Triage,
+            PrefetcherChoice::TriageDeg4,
+            PrefetcherChoice::TriageDeg4Look2,
+            PrefetcherChoice::Triangel,
+            PrefetcherChoice::TriangelBloom,
+        ]
+    }
+
+    /// Figs. 14–15 add the No-MRB ablation.
+    pub fn paper_configs_with_nomrb() -> Vec<PrefetcherChoice> {
+        let mut c = SpecSweep::paper_configs();
+        c.push(PrefetcherChoice::TriangelNoMrb);
+        c
+    }
+
+    /// Runs the sweep, printing one progress line per run to stderr.
+    pub fn run(configs: Vec<PrefetcherChoice>, p: &SweepParams) -> Self {
+        let mut baselines = Vec::new();
+        let mut runs = Vec::new();
+        for wl in SpecWorkload::ALL {
+            eprintln!("[sweep] {} / Baseline", wl.label());
+            baselines.push(run_spec(wl, PrefetcherChoice::Baseline, p));
+            let mut row = Vec::new();
+            for cfg in &configs {
+                eprintln!("[sweep] {} / {}", wl.label(), cfg.label());
+                row.push(run_spec(wl, *cfg, p));
+            }
+            runs.push(row);
+        }
+        SpecSweep { configs, baselines, runs }
+    }
+
+    /// Per-workload, per-configuration comparison against baseline.
+    pub fn comparison(&self, wl_idx: usize, cfg_idx: usize) -> Comparison {
+        Comparison::new(&self.baselines[wl_idx], &self.runs[wl_idx][cfg_idx])
+    }
+
+    /// Baseline report for one workload.
+    pub fn baseline(&self, wl_idx: usize) -> &RunReport {
+        &self.baselines[wl_idx]
+    }
+
+    /// Run report for one workload/configuration.
+    pub fn run_report(&self, wl_idx: usize, cfg_idx: usize) -> &RunReport {
+        &self.runs[wl_idx][cfg_idx]
+    }
+
+    /// The configuration labels (column headers).
+    pub fn config_labels(&self) -> Vec<String> {
+        self.configs.iter().map(|c| c.label()).collect()
+    }
+
+    fn table(&self, title: &str, metric: &str, f: impl Fn(Comparison) -> f64) -> FigureTable {
+        let mut t = FigureTable::new(title, metric, self.config_labels());
+        for (w, wl) in SpecWorkload::ALL.iter().enumerate() {
+            let vals = (0..self.configs.len()).map(|c| f(self.comparison(w, c))).collect();
+            t.push_row(wl.label(), vals);
+        }
+        t
+    }
+
+    /// Fig. 10: speedup over the stride-only baseline.
+    pub fn fig10_speedup(&self) -> FigureTable {
+        self.table("Fig. 10: Speedup", "IPC relative to stride-only baseline", |c| c.speedup)
+    }
+
+    /// Fig. 11: normalized DRAM traffic.
+    pub fn fig11_traffic(&self) -> FigureTable {
+        self.table(
+            "Fig. 11: Normalized DRAM Traffic",
+            "DRAM line reads relative to baseline (lower is better)",
+            |c| c.dram_traffic,
+        )
+    }
+
+    /// Fig. 12: accuracy.
+    pub fn fig12_accuracy(&self) -> FigureTable {
+        self.table(
+            "Fig. 12: Accuracy",
+            "prefetched lines used before L2 eviction",
+            |c| c.accuracy,
+        )
+    }
+
+    /// Fig. 13: coverage.
+    pub fn fig13_coverage(&self) -> FigureTable {
+        self.table(
+            "Fig. 13: Coverage",
+            "baseline L2 demand misses eliminated",
+            |c| c.coverage,
+        )
+    }
+
+    /// Fig. 14: normalized L3 accesses.
+    pub fn fig14_l3(&self) -> FigureTable {
+        self.table(
+            "Fig. 14: Normalized L3 Accesses",
+            "L3 data + Markov-table accesses relative to baseline (lower is better)",
+            |c| c.l3_accesses,
+        )
+    }
+
+    /// Fig. 15: normalized DRAM+L3 dynamic energy.
+    pub fn fig15_energy(&self) -> FigureTable {
+        self.table(
+            "Fig. 15: Normalized DRAM+L3 Dynamic Energy",
+            "25 units/DRAM access + 1 unit/L3 access, relative to baseline",
+            |c| c.energy,
+        )
+    }
+
+    /// The DRAM share of each run's energy (Fig. 15's hashed bars).
+    pub fn fig15_dram_fraction(&self) -> FigureTable {
+        self.table(
+            "Fig. 15 (hashed): DRAM share of dynamic energy",
+            "fraction of energy units from DRAM",
+            |c| c.energy_dram_fraction,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_params_cover_dueller_startup() {
+        let p = SweepParams::full();
+        assert!(p.warmup > p.sizing_window * 2, "warm-up must cover dueller start-up");
+    }
+
+    #[test]
+    fn paper_configs_order_matches_figures() {
+        let labels: Vec<String> =
+            SpecSweep::paper_configs().iter().map(|c| c.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["Triage", "Triage-Deg4", "Triage-Deg4-Look2", "Triangel", "Triangel-Bloom"]
+        );
+    }
+}

@@ -1,0 +1,458 @@
+//! The set-associative cache model.
+
+use crate::config::CacheConfig;
+use crate::replacement::{all_ways, AccessMeta, ReplacementPolicy, WayMask};
+use triangel_types::{LineAddr, Pc};
+
+/// One cache line's bookkeeping state.
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: LineAddr,
+    valid: bool,
+    /// Prefetch tag bit: set when the line was filled by a prefetch and
+    /// has not yet been demanded. The first demand hit to such a line is
+    /// a "tagged prefetch hit" and trains temporal prefetchers exactly as
+    /// a miss would (Section 2 of the paper).
+    prefetch_tagged: bool,
+    /// Whether the line has been demand-accessed since fill; used to
+    /// classify evictions for accuracy accounting.
+    used: bool,
+    fill_pc: Option<Pc>,
+}
+
+/// Result of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// The line was present.
+    pub hit: bool,
+    /// The line was present, was filled by a prefetch, and this was its
+    /// first demand use — a *tagged prefetch hit*.
+    pub prefetch_hit: bool,
+}
+
+/// Describes a line displaced by a fill or invalidation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// The displaced line address.
+    pub line: LineAddr,
+    /// The line was prefetched and never demand-used (a wasted prefetch).
+    pub was_unused_prefetch: bool,
+    /// The line was demand-used at least once while resident.
+    pub was_used: bool,
+    /// PC recorded at fill time, if any.
+    pub fill_pc: Option<Pc>,
+}
+
+/// Result of a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FillOutcome {
+    /// Whatever line had to be displaced, if the fill replaced one.
+    pub evicted: Option<EvictedLine>,
+    /// The set the line was installed into.
+    pub set: usize,
+    /// The way the line was installed into.
+    pub way: usize,
+}
+
+/// Running event counts for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand lookups that hit.
+    pub demand_hits: u64,
+    /// Demand lookups that missed.
+    pub demand_misses: u64,
+    /// Tagged prefetch hits (subset of `demand_hits`).
+    pub prefetch_hits: u64,
+    /// Prefetch lookups (to decide whether a prefetch is redundant).
+    pub prefetch_lookups: u64,
+    /// Lines filled.
+    pub fills: u64,
+    /// Valid lines displaced by fills.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total demand accesses.
+    pub fn demand_accesses(&self) -> u64 {
+        self.demand_hits + self.demand_misses
+    }
+
+    /// Demand hit rate in `[0, 1]`; zero when no accesses were recorded.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.demand_accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.demand_hits as f64 / total as f64
+        }
+    }
+}
+
+/// A set-associative cache with pluggable replacement, prefetch tag bits
+/// and way masking (for the L3 Markov partition).
+///
+/// # Examples
+///
+/// ```
+/// use triangel_cache::{Cache, CacheConfig};
+/// use triangel_cache::replacement::PolicyKind;
+/// use triangel_types::LineAddr;
+///
+/// let mut c = Cache::new(CacheConfig::new("L2", 512 * 1024, 8, PolicyKind::Lru));
+/// let line = LineAddr::new(42);
+/// assert!(!c.access(line, None, false).hit);
+/// c.fill(line, None, true); // prefetch fill
+/// let out = c.access(line, None, false);
+/// assert!(out.hit && out.prefetch_hit); // first demand use of a prefetch
+/// assert!(!c.access(line, None, false).prefetch_hit); // tag consumed
+/// ```
+#[derive(Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>,
+    policy: Box<dyn ReplacementPolicy>,
+    way_mask: WayMask,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache from its configuration.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        let ways = cfg.ways();
+        let policy = cfg.policy().build(sets, ways);
+        Cache {
+            lines: vec![Line::default(); sets * ways],
+            policy,
+            way_mask: all_ways(ways),
+            cfg,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Returns accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets accumulated statistics (e.g. after warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Returns the set index a line maps to.
+    pub fn set_of(&self, line: LineAddr) -> usize {
+        (line.index() as usize) & (self.cfg.sets() - 1)
+    }
+
+    fn slot(&self, set: usize, way: usize) -> usize {
+        set * self.cfg.ways() + way
+    }
+
+    fn find(&self, line: LineAddr) -> Option<(usize, usize)> {
+        let set = self.set_of(line);
+        (0..self.cfg.ways()).find_map(|w| {
+            let l = &self.lines[self.slot(set, w)];
+            (l.valid && l.tag == line).then_some((set, w))
+        })
+    }
+
+    /// Looks up `line`, updating replacement and prefetch-tag state.
+    ///
+    /// `is_prefetch` marks lookups made on behalf of the prefetcher (to
+    /// filter redundant prefetches); they do not clear prefetch tags and
+    /// are not counted as demand traffic.
+    pub fn access(&mut self, line: LineAddr, pc: Option<Pc>, is_prefetch: bool) -> AccessOutcome {
+        let meta = AccessMeta { line, pc, is_prefetch };
+        if is_prefetch {
+            self.stats.prefetch_lookups += 1;
+            let hit = self.find(line).is_some();
+            return AccessOutcome { hit, prefetch_hit: false };
+        }
+        match self.find(line) {
+            Some((set, way)) => {
+                self.stats.demand_hits += 1;
+                let slot = self.slot(set, way);
+                let first_use_of_prefetch = self.lines[slot].prefetch_tagged;
+                if first_use_of_prefetch {
+                    self.stats.prefetch_hits += 1;
+                    self.lines[slot].prefetch_tagged = false;
+                }
+                self.lines[slot].used = true;
+                self.policy.on_hit(set, way, &meta);
+                AccessOutcome { hit: true, prefetch_hit: first_use_of_prefetch }
+            }
+            None => {
+                self.stats.demand_misses += 1;
+                AccessOutcome { hit: false, prefetch_hit: false }
+            }
+        }
+    }
+
+    /// Peeks for `line` without updating any state.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.find(line).is_some()
+    }
+
+    /// Installs `line`, evicting if necessary. Filling a line already
+    /// present refreshes its metadata instead of duplicating it.
+    pub fn fill(&mut self, line: LineAddr, pc: Option<Pc>, is_prefetch: bool) -> FillOutcome {
+        let meta = AccessMeta { line, pc, is_prefetch };
+        if let Some((set, way)) = self.find(line) {
+            // Already present (e.g. demand fill racing a prefetch fill):
+            // treat as a touch, keep the stronger (demand) tag state.
+            let slot = self.slot(set, way);
+            if !is_prefetch {
+                self.lines[slot].prefetch_tagged = false;
+            }
+            self.policy.on_hit(set, way, &meta);
+            return FillOutcome { evicted: None, set, way };
+        }
+
+        self.stats.fills += 1;
+        let set = self.set_of(line);
+        // Fill an invalid eligible way first.
+        let way = (0..self.cfg.ways())
+            .filter(|w| self.way_mask & (1 << w) != 0)
+            .find(|w| !self.lines[self.slot(set, *w)].valid)
+            .unwrap_or_else(|| {
+                let w = self.policy.victim(set, self.way_mask);
+                debug_assert!(self.way_mask & (1 << w) != 0);
+                w
+            });
+
+        let slot = self.slot(set, way);
+        let evicted = if self.lines[slot].valid {
+            self.stats.evictions += 1;
+            let old = self.lines[slot];
+            self.policy.on_evict(set, way, old.tag);
+            Some(EvictedLine {
+                line: old.tag,
+                was_unused_prefetch: old.prefetch_tagged,
+                was_used: old.used,
+                fill_pc: old.fill_pc,
+            })
+        } else {
+            None
+        };
+
+        self.lines[slot] = Line {
+            tag: line,
+            valid: true,
+            prefetch_tagged: is_prefetch,
+            used: !is_prefetch,
+            fill_pc: pc,
+        };
+        self.policy.on_fill(set, way, &meta);
+        FillOutcome { evicted, set, way }
+    }
+
+    /// Invalidates `line` if present, returning its eviction record.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<EvictedLine> {
+        let (set, way) = self.find(line)?;
+        Some(self.invalidate_slot(set, way))
+    }
+
+    fn invalidate_slot(&mut self, set: usize, way: usize) -> EvictedLine {
+        let slot = self.slot(set, way);
+        let old = self.lines[slot];
+        self.lines[slot].valid = false;
+        self.policy.on_invalidate(set, way);
+        EvictedLine {
+            line: old.tag,
+            was_unused_prefetch: old.prefetch_tagged,
+            was_used: old.used,
+            fill_pc: old.fill_pc,
+        }
+    }
+
+    /// Restricts fills and victims to the ways in `mask`, invalidating
+    /// any resident lines outside it. Returns the displaced lines.
+    ///
+    /// This is how the L3 hands ways over to the Markov partition
+    /// (Section 3.2): shrinking the data mask flushes the surrendered
+    /// ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` selects no way.
+    pub fn set_way_mask(&mut self, mask: WayMask) -> Vec<EvictedLine> {
+        assert!(
+            mask & all_ways(self.cfg.ways()) != 0,
+            "way mask must keep at least one way"
+        );
+        self.way_mask = mask;
+        let mut flushed = Vec::new();
+        for set in 0..self.cfg.sets() {
+            for way in 0..self.cfg.ways() {
+                if mask & (1 << way) == 0 && self.lines[self.slot(set, way)].valid {
+                    flushed.push(self.invalidate_slot(set, way));
+                }
+            }
+        }
+        flushed
+    }
+
+    /// Returns the current way mask.
+    pub fn way_mask(&self) -> WayMask {
+        self.way_mask
+    }
+
+    /// Returns the number of valid lines currently resident.
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Iterates over the valid resident lines (for diagnostics/tests).
+    pub fn resident_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.lines.iter().filter(|l| l.valid).map(|l| l.tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replacement::PolicyKind;
+
+    fn tiny(ways: usize) -> Cache {
+        // 4 sets x `ways`.
+        Cache::new(CacheConfig::new(
+            "t",
+            4 * ways as u64 * 64,
+            ways,
+            PolicyKind::Lru,
+        ))
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny(2);
+        let l = LineAddr::new(5);
+        assert!(!c.access(l, None, false).hit);
+        c.fill(l, None, false);
+        assert!(c.access(l, None, false).hit);
+        assert_eq!(c.stats().demand_hits, 1);
+        assert_eq!(c.stats().demand_misses, 1);
+    }
+
+    #[test]
+    fn prefetch_tag_consumed_once() {
+        let mut c = tiny(2);
+        let l = LineAddr::new(9);
+        c.fill(l, None, true);
+        assert!(c.access(l, None, false).prefetch_hit);
+        assert!(!c.access(l, None, false).prefetch_hit);
+        assert_eq!(c.stats().prefetch_hits, 1);
+    }
+
+    #[test]
+    fn prefetch_lookup_does_not_consume_tag() {
+        let mut c = tiny(2);
+        let l = LineAddr::new(9);
+        c.fill(l, None, true);
+        assert!(c.access(l, None, true).hit);
+        assert!(c.access(l, None, false).prefetch_hit);
+    }
+
+    #[test]
+    fn conflict_eviction_reports_victim() {
+        let mut c = tiny(1);
+        let a = LineAddr::new(0);
+        let b = LineAddr::new(4); // same set (4 sets)
+        c.fill(a, None, true);
+        let out = c.fill(b, None, false);
+        let ev = out.evicted.expect("must evict");
+        assert_eq!(ev.line, a);
+        assert!(ev.was_unused_prefetch);
+        assert!(!ev.was_used);
+    }
+
+    #[test]
+    fn used_bit_tracked_through_eviction() {
+        let mut c = tiny(1);
+        let a = LineAddr::new(0);
+        let b = LineAddr::new(4);
+        c.fill(a, None, true);
+        c.access(a, None, false); // consume tag, mark used
+        let ev = c.fill(b, None, false).evicted.unwrap();
+        assert!(ev.was_used);
+        assert!(!ev.was_unused_prefetch);
+    }
+
+    #[test]
+    fn refill_does_not_duplicate() {
+        let mut c = tiny(2);
+        let l = LineAddr::new(3);
+        c.fill(l, None, false);
+        c.fill(l, None, false);
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn demand_refill_clears_prefetch_tag() {
+        let mut c = tiny(2);
+        let l = LineAddr::new(3);
+        c.fill(l, None, true);
+        c.fill(l, None, false);
+        assert!(!c.access(l, None, false).prefetch_hit);
+    }
+
+    #[test]
+    fn way_mask_restricts_and_flushes() {
+        let mut c = tiny(4);
+        // Fill all 4 ways of set 0.
+        for i in 0..4u64 {
+            c.fill(LineAddr::new(i * 4), None, false);
+        }
+        assert_eq!(c.occupancy(), 4);
+        let flushed = c.set_way_mask(0b0011);
+        assert_eq!(flushed.len(), 2);
+        assert_eq!(c.occupancy(), 2);
+        // New fills only land in ways 0..2: capacity of set 0 is now 2.
+        for i in 0..8u64 {
+            c.fill(LineAddr::new(i * 4), None, false);
+        }
+        let set0 = (0..4)
+            .map(|i| LineAddr::new(i * 4))
+            .filter(|l| c.contains(*l))
+            .count();
+        assert!(set0 <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn way_mask_cannot_be_empty() {
+        let mut c = tiny(2);
+        let _ = c.set_way_mask(0);
+    }
+
+    #[test]
+    fn lru_order_respected() {
+        let mut c = tiny(2);
+        let a = LineAddr::new(0);
+        let b = LineAddr::new(4);
+        let d = LineAddr::new(8); // all map to set 0
+        c.fill(a, None, false);
+        c.fill(b, None, false);
+        c.access(a, None, false); // a is MRU
+        let ev = c.fill(d, None, false).evicted.unwrap();
+        assert_eq!(ev.line, b);
+    }
+
+    #[test]
+    fn invalidate_returns_record() {
+        let mut c = tiny(2);
+        let l = LineAddr::new(7);
+        c.fill(l, None, true);
+        let ev = c.invalidate(l).unwrap();
+        assert_eq!(ev.line, l);
+        assert!(ev.was_unused_prefetch);
+        assert!(!c.contains(l));
+        assert!(c.invalidate(l).is_none());
+    }
+}

@@ -1,0 +1,126 @@
+//! Cache geometry configuration.
+
+use crate::replacement::PolicyKind;
+use triangel_types::CACHE_LINE_BYTES;
+
+/// Geometry and policy configuration for one cache level.
+///
+/// # Examples
+///
+/// ```
+/// use triangel_cache::CacheConfig;
+/// use triangel_cache::replacement::PolicyKind;
+///
+/// // The paper's L2: 512 KiB, 8-way (Table 2).
+/// let cfg = CacheConfig::new("L2", 512 * 1024, 8, PolicyKind::Lru);
+/// assert_eq!(cfg.sets(), 1024);
+/// assert_eq!(cfg.lines(), 8192);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    name: String,
+    size_bytes: u64,
+    ways: usize,
+    policy: PolicyKind,
+    hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate: zero ways, size not a
+    /// multiple of `ways * 64`, or a non-power-of-two set count.
+    pub fn new(name: impl Into<String>, size_bytes: u64, ways: usize, policy: PolicyKind) -> Self {
+        assert!(ways > 0, "cache must have at least one way");
+        let way_bytes = ways as u64 * CACHE_LINE_BYTES;
+        assert!(
+            size_bytes > 0 && size_bytes % way_bytes == 0,
+            "cache size must be a positive multiple of ways * line size"
+        );
+        let sets = size_bytes / way_bytes;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        CacheConfig {
+            name: name.into(),
+            size_bytes,
+            ways,
+            policy,
+            hit_latency: 1,
+        }
+    }
+
+    /// Sets the hit latency in cycles (builder style).
+    #[must_use]
+    pub fn with_hit_latency(mut self, cycles: u64) -> Self {
+        self.hit_latency = cycles;
+        self
+    }
+
+    /// Returns the cache's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the capacity in bytes.
+    pub const fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Returns the associativity.
+    pub const fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Returns the number of sets.
+    pub const fn sets(&self) -> usize {
+        (self.size_bytes / (self.ways as u64 * CACHE_LINE_BYTES)) as usize
+    }
+
+    /// Returns the total number of cache lines.
+    pub const fn lines(&self) -> usize {
+        self.sets() * self.ways
+    }
+
+    /// Returns the replacement policy kind.
+    pub const fn policy(&self) -> PolicyKind {
+        self.policy
+    }
+
+    /// Returns the hit latency in cycles.
+    pub const fn hit_latency(&self) -> u64 {
+        self.hit_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_l3_geometry() {
+        // 2 MiB, 16-way (Table 2): 2048 sets.
+        let cfg = CacheConfig::new("L3", 2 * 1024 * 1024, 16, PolicyKind::Lru);
+        assert_eq!(cfg.sets(), 2048);
+        assert_eq!(cfg.lines(), 32768);
+    }
+
+    #[test]
+    fn hit_latency_builder() {
+        let cfg =
+            CacheConfig::new("L2", 512 * 1024, 8, PolicyKind::Lru).with_hit_latency(9);
+        assert_eq!(cfg.hit_latency(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_sets() {
+        let _ = CacheConfig::new("bad", 3 * 64 * 4, 4, PolicyKind::Lru);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn rejects_zero_ways() {
+        let _ = CacheConfig::new("bad", 64, 0, PolicyKind::Lru);
+    }
+}

@@ -1,0 +1,212 @@
+//! Set-duelling support (Qureshi et al., IEEE Micro 2008).
+//!
+//! Two consumers in this workspace sample a subset of cache sets:
+//! HawkEye's OPTgen and Triangel's Set Dueller (Section 4.7), which "samples
+//! 64 random sets". [`SampledSets`] provides the deterministic
+//! pseudo-random selection; [`DuelSelector`] is the classic two-policy
+//! PSEL monitor, usable for DRRIP-style experiments.
+
+use std::collections::HashMap;
+
+use triangel_types::rng::SplitMix64;
+use triangel_types::SaturatingCounter;
+
+/// A deterministic pseudo-random sample of cache sets.
+///
+/// # Examples
+///
+/// ```
+/// use triangel_cache::duel::SampledSets;
+///
+/// let s = SampledSets::new(2048, 64, 42);
+/// assert_eq!(s.len(), 64);
+/// let hits = (0..2048).filter(|set| s.index_of(*set).is_some()).count();
+/// assert_eq!(hits, 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SampledSets {
+    index: HashMap<usize, usize>,
+    members: Vec<usize>,
+}
+
+impl SampledSets {
+    /// Samples `count` distinct sets out of `total` using `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or exceeds `total`.
+    pub fn new(total: usize, count: usize, seed: u64) -> Self {
+        assert!(count > 0 && count <= total, "invalid sample size");
+        let mut rng = SplitMix64::new(seed);
+        let mut members = Vec::with_capacity(count);
+        let mut index = HashMap::with_capacity(count);
+        while members.len() < count {
+            let set = rng.next_below(total as u64) as usize;
+            if let std::collections::hash_map::Entry::Vacant(e) = index.entry(set) {
+                e.insert(members.len());
+                members.push(set);
+            }
+        }
+        SampledSets { index, members }
+    }
+
+    /// Returns this set's position in the sample, if it is sampled.
+    pub fn index_of(&self, set: usize) -> Option<usize> {
+        self.index.get(&set).copied()
+    }
+
+    /// Number of sampled sets.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the sample is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The sampled set indices, in selection order.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+}
+
+/// Which of the two duelling policies a follower set should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DuelChoice {
+    /// The first policy is winning.
+    PolicyA,
+    /// The second policy is winning.
+    PolicyB,
+}
+
+/// Classic set-duelling monitor: two groups of leader sets and a PSEL
+/// counter that tracks which group misses less.
+///
+/// # Examples
+///
+/// ```
+/// use triangel_cache::duel::{DuelSelector, DuelChoice};
+///
+/// let mut d = DuelSelector::new(1024, 32, 10, 7);
+/// // Misses in A-leader sets push the choice toward B.
+/// for _ in 0..600 {
+///     if let Some(leader) = d.leader_of(0) {
+///         d.record_miss(leader);
+///     }
+/// }
+/// # let _ = d.choice();
+/// ```
+#[derive(Debug, Clone)]
+pub struct DuelSelector {
+    a: SampledSets,
+    b: SampledSets,
+    psel: SaturatingCounter,
+}
+
+/// Identifies the leader group a set belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaderGroup {
+    /// Leader for policy A.
+    A,
+    /// Leader for policy B.
+    B,
+}
+
+impl DuelSelector {
+    /// Creates a selector over `total` sets with `leaders` sets per
+    /// policy and a `psel_bits`-bit selector counter.
+    pub fn new(total: usize, leaders: usize, psel_bits: u32, seed: u64) -> Self {
+        let a = SampledSets::new(total, leaders, seed);
+        // Re-sample B until disjoint from A (try successive seeds).
+        let mut salt = seed.wrapping_add(1);
+        let b = loop {
+            let cand = SampledSets::new(total, leaders, salt);
+            if cand.members().iter().all(|s| a.index_of(*s).is_none()) {
+                break cand;
+            }
+            salt = salt.wrapping_add(1);
+        };
+        let mut psel = SaturatingCounter::with_bits(psel_bits);
+        psel.set(1 << (psel_bits - 1)); // start neutral
+        DuelSelector { a, b, psel }
+    }
+
+    /// Returns the leader group of `set`, if it is a leader.
+    pub fn leader_of(&self, set: usize) -> Option<LeaderGroup> {
+        if self.a.index_of(set).is_some() {
+            Some(LeaderGroup::A)
+        } else if self.b.index_of(set).is_some() {
+            Some(LeaderGroup::B)
+        } else {
+            None
+        }
+    }
+
+    /// Records a miss in a leader set: misses in A's leaders are evidence
+    /// for B and vice versa.
+    pub fn record_miss(&mut self, group: LeaderGroup) {
+        match group {
+            LeaderGroup::A => self.psel.inc(),
+            LeaderGroup::B => self.psel.dec(),
+        }
+    }
+
+    /// The policy follower sets should currently use.
+    pub fn choice(&self) -> DuelChoice {
+        if self.psel.get() > self.psel.max_value() / 2 {
+            DuelChoice::PolicyB
+        } else {
+            DuelChoice::PolicyA
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampled_sets_are_distinct() {
+        let s = SampledSets::new(256, 64, 7);
+        let mut seen = std::collections::HashSet::new();
+        for m in s.members() {
+            assert!(seen.insert(*m));
+            assert!(*m < 256);
+        }
+    }
+
+    #[test]
+    fn sample_is_deterministic() {
+        let a = SampledSets::new(512, 16, 3);
+        let b = SampledSets::new(512, 16, 3);
+        assert_eq!(a.members(), b.members());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sample size")]
+    fn oversample_rejected() {
+        let _ = SampledSets::new(4, 8, 0);
+    }
+
+    #[test]
+    fn leaders_are_disjoint() {
+        let d = DuelSelector::new(1024, 32, 10, 99);
+        for s in d.a.members() {
+            assert!(d.b.index_of(*s).is_none());
+        }
+    }
+
+    #[test]
+    fn psel_steers_choice() {
+        let mut d = DuelSelector::new(64, 8, 6, 1);
+        for _ in 0..64 {
+            d.record_miss(LeaderGroup::A); // A missing a lot
+        }
+        assert_eq!(d.choice(), DuelChoice::PolicyB);
+        for _ in 0..128 {
+            d.record_miss(LeaderGroup::B);
+        }
+        assert_eq!(d.choice(), DuelChoice::PolicyA);
+    }
+}

@@ -1,0 +1,46 @@
+//! Set-associative cache models and replacement policies.
+//!
+//! This crate provides the cache substrate for the Triangel reproduction:
+//!
+//! * [`Cache`] — a generic set-associative cache with pluggable
+//!   replacement, prefetch-tag bits and use-tracking (needed to measure
+//!   prefetch accuracy as "prefetched lines used before L2 eviction",
+//!   Fig. 12 of the paper).
+//! * [`replacement`] — LRU, FIFO, Random, Tree-PLRU, SRRIP/BRRIP and
+//!   **HawkEye** (with OPTgen sampled sets and a PC-based predictor), the
+//!   policy Triage uses for its Markov-table partition.
+//! * [`Mshr`] — a miss-status holding register file, bounding the number of
+//!   in-flight misses per cache level.
+//! * [`PartitionedWays`] — the way-partitioning mechanism that carves the
+//!   Markov-table partition out of the L3 (Sections 3.2 and 4.7).
+//! * [`duel`] — generic set-duelling support (leader sets + policy
+//!   selector), reused by DRRIP and by Triangel's Set Dueller.
+//!
+//! # Examples
+//!
+//! ```
+//! use triangel_cache::{Cache, CacheConfig};
+//! use triangel_cache::replacement::PolicyKind;
+//! use triangel_types::{LineAddr, Pc};
+//!
+//! let mut l1 = Cache::new(CacheConfig::new("L1D", 64 * 1024, 4, PolicyKind::Lru));
+//! let line = LineAddr::new(0x40);
+//! assert!(!l1.access(line, Some(Pc::new(0x4)), false).hit);
+//! l1.fill(line, Some(Pc::new(0x4)), false);
+//! assert!(l1.access(line, Some(Pc::new(0x4)), false).hit);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cache;
+mod config;
+pub mod duel;
+mod mshr;
+mod partition;
+pub mod replacement;
+
+pub use cache::{AccessOutcome, Cache, CacheStats, EvictedLine, FillOutcome};
+pub use config::CacheConfig;
+pub use mshr::{Mshr, MshrSlot};
+pub use partition::PartitionedWays;

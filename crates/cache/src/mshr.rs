@@ -1,0 +1,171 @@
+//! Miss-status holding registers.
+
+use std::collections::HashMap;
+
+use triangel_types::{Cycle, LineAddr};
+
+/// One outstanding miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrSlot {
+    /// The missing line.
+    pub line: LineAddr,
+    /// Cycle at which the fill completes.
+    pub ready_at: Cycle,
+    /// Whether the request is (still) prefetch-only. A demand merge
+    /// upgrades it.
+    pub prefetch_only: bool,
+    /// Number of requests merged into this slot (including the first).
+    pub merged: u32,
+}
+
+/// A miss-status holding register file: bounds in-flight misses per cache
+/// and merges requests to the same line (Table 2: 16 MSHRs at L1, 32 at
+/// L2, 36 at L3).
+///
+/// # Examples
+///
+/// ```
+/// use triangel_cache::Mshr;
+/// use triangel_types::LineAddr;
+///
+/// let mut mshr = Mshr::new(2);
+/// assert!(mshr.allocate(LineAddr::new(1), 100, false));
+/// assert!(mshr.allocate(LineAddr::new(2), 120, true));
+/// assert!(!mshr.allocate(LineAddr::new(3), 130, false)); // full
+/// assert_eq!(mshr.earliest_ready(), Some(100));
+/// mshr.complete_until(110);
+/// assert!(mshr.allocate(LineAddr::new(3), 130, false)); // slot freed
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Mshr {
+    capacity: usize,
+    slots: HashMap<LineAddr, MshrSlot>,
+}
+
+impl Mshr {
+    /// Creates an MSHR file with `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR file needs at least one slot");
+        Mshr { capacity, slots: HashMap::with_capacity(capacity) }
+    }
+
+    /// Returns the slot tracking `line`, if any.
+    pub fn lookup(&self, line: LineAddr) -> Option<&MshrSlot> {
+        self.slots.get(&line)
+    }
+
+    /// Merges a request into an existing slot. A demand request clears
+    /// `prefetch_only` (the in-flight prefetch becomes demand-critical).
+    /// Returns the fill time, or `None` if no slot tracks `line`.
+    pub fn merge(&mut self, line: LineAddr, is_prefetch: bool) -> Option<Cycle> {
+        let slot = self.slots.get_mut(&line)?;
+        slot.merged += 1;
+        if !is_prefetch {
+            slot.prefetch_only = false;
+        }
+        Some(slot.ready_at)
+    }
+
+    /// Allocates a slot for a new miss completing at `ready_at`.
+    /// Returns `false` when the file is full (the requester must stall).
+    pub fn allocate(&mut self, line: LineAddr, ready_at: Cycle, is_prefetch: bool) -> bool {
+        debug_assert!(!self.slots.contains_key(&line), "allocate after lookup/merge");
+        if self.slots.len() >= self.capacity {
+            return false;
+        }
+        self.slots.insert(
+            line,
+            MshrSlot { line, ready_at, prefetch_only: is_prefetch, merged: 1 },
+        );
+        true
+    }
+
+    /// Releases every slot whose fill time is `<= now`, returning them.
+    pub fn complete_until(&mut self, now: Cycle) -> Vec<MshrSlot> {
+        let done: Vec<LineAddr> = self
+            .slots
+            .values()
+            .filter(|s| s.ready_at <= now)
+            .map(|s| s.line)
+            .collect();
+        done.iter().map(|l| self.slots.remove(l).expect("slot present")).collect()
+    }
+
+    /// Returns the soonest fill time among outstanding misses.
+    pub fn earliest_ready(&self) -> Option<Cycle> {
+        self.slots.values().map(|s| s.ready_at).min()
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no miss is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Whether every slot is occupied.
+    pub fn is_full(&self) -> bool {
+        self.slots.len() >= self.capacity
+    }
+
+    /// Total slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_upgrades_prefetch() {
+        let mut m = Mshr::new(4);
+        m.allocate(LineAddr::new(1), 50, true);
+        assert!(m.lookup(LineAddr::new(1)).unwrap().prefetch_only);
+        assert_eq!(m.merge(LineAddr::new(1), false), Some(50));
+        let slot = m.lookup(LineAddr::new(1)).unwrap();
+        assert!(!slot.prefetch_only);
+        assert_eq!(slot.merged, 2);
+    }
+
+    #[test]
+    fn merge_missing_line_is_none() {
+        let mut m = Mshr::new(1);
+        assert_eq!(m.merge(LineAddr::new(9), false), None);
+    }
+
+    #[test]
+    fn complete_until_releases_in_time_order() {
+        let mut m = Mshr::new(4);
+        m.allocate(LineAddr::new(1), 10, false);
+        m.allocate(LineAddr::new(2), 20, false);
+        m.allocate(LineAddr::new(3), 30, false);
+        let done = m.complete_until(25);
+        assert_eq!(done.len(), 2);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.earliest_ready(), Some(30));
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut m = Mshr::new(2);
+        assert!(m.allocate(LineAddr::new(1), 1, false));
+        assert!(m.allocate(LineAddr::new(2), 2, false));
+        assert!(m.is_full());
+        assert!(!m.allocate(LineAddr::new(3), 3, false));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_capacity_rejected() {
+        let _ = Mshr::new(0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Way partitioning between L3 data and Markov metadata.
+
+use crate::replacement::{all_ways, WayMask};
+
+/// Tracks how the L3's ways are split between ordinary data and the
+/// Markov-table partition (Sections 3.2, 3.5, 4.7 of the paper).
+///
+/// Ways `0..markov_ways` belong to the Markov table; the rest hold data.
+/// Both Triage and Triangel cap the partition at half the cache
+/// (8 of 16 ways).
+///
+/// # Examples
+///
+/// ```
+/// use triangel_cache::PartitionedWays;
+///
+/// let mut p = PartitionedWays::new(16, 8);
+/// assert_eq!(p.markov_ways(), 0);
+/// p.set_markov_ways(4);
+/// assert_eq!(p.data_mask(), 0xFFF0); // ways 4..16 for data
+/// assert_eq!(p.markov_mask(), 0x000F);
+/// assert_eq!(p.resizes(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionedWays {
+    total_ways: usize,
+    max_markov_ways: usize,
+    markov_ways: usize,
+    resizes: u64,
+}
+
+impl PartitionedWays {
+    /// Creates a partition over `total_ways`, reserving at most
+    /// `max_markov_ways` for metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_markov_ways >= total_ways` (data must keep a way)
+    /// or `total_ways` is 0 or above 64.
+    pub fn new(total_ways: usize, max_markov_ways: usize) -> Self {
+        assert!(total_ways > 0 && total_ways <= 64);
+        assert!(
+            max_markov_ways < total_ways,
+            "the data cache must keep at least one way"
+        );
+        PartitionedWays { total_ways, max_markov_ways, markov_ways: 0, resizes: 0 }
+    }
+
+    /// Current number of ways reserved for Markov metadata.
+    pub const fn markov_ways(&self) -> usize {
+        self.markov_ways
+    }
+
+    /// Maximum number of ways the Markov table may claim.
+    pub const fn max_markov_ways(&self) -> usize {
+        self.max_markov_ways
+    }
+
+    /// Total ways in the cache.
+    pub const fn total_ways(&self) -> usize {
+        self.total_ways
+    }
+
+    /// Number of ways currently serving data.
+    pub const fn data_ways(&self) -> usize {
+        self.total_ways - self.markov_ways
+    }
+
+    /// Mask of ways usable by data fills.
+    pub fn data_mask(&self) -> WayMask {
+        all_ways(self.total_ways) & !self.markov_mask()
+    }
+
+    /// Mask of ways reserved for Markov metadata.
+    pub fn markov_mask(&self) -> WayMask {
+        all_ways(self.markov_ways)
+    }
+
+    /// Resizes the Markov reservation, clamping to the maximum.
+    /// Returns `true` if the size actually changed.
+    ///
+    /// Resizes are deliberately rare (Triangel re-partitions at most once
+    /// per 500 000-access window, Section 4.7) because each one re-indexes
+    /// Markov sets (Section 3.2); the `resizes` counter lets the harness
+    /// charge that cost.
+    pub fn set_markov_ways(&mut self, ways: usize) -> bool {
+        let clamped = ways.min(self.max_markov_ways);
+        if clamped == self.markov_ways {
+            return false;
+        }
+        self.markov_ways = clamped;
+        self.resizes += 1;
+        true
+    }
+
+    /// Number of resize events so far.
+    pub const fn resizes(&self) -> u64 {
+        self.resizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_are_disjoint_and_complete() {
+        let mut p = PartitionedWays::new(16, 8);
+        for n in 0..=8 {
+            p.set_markov_ways(n);
+            assert_eq!(p.data_mask() & p.markov_mask(), 0);
+            assert_eq!(p.data_mask() | p.markov_mask(), all_ways(16));
+            assert_eq!(p.data_ways() + p.markov_ways(), 16);
+        }
+    }
+
+    #[test]
+    fn clamps_to_max() {
+        let mut p = PartitionedWays::new(16, 8);
+        p.set_markov_ways(12);
+        assert_eq!(p.markov_ways(), 8);
+    }
+
+    #[test]
+    fn resize_counting_skips_noops() {
+        let mut p = PartitionedWays::new(16, 8);
+        assert!(p.set_markov_ways(4));
+        assert!(!p.set_markov_ways(4));
+        assert!(p.set_markov_ways(2));
+        assert_eq!(p.resizes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn data_keeps_a_way() {
+        let _ = PartitionedWays::new(8, 8);
+    }
+}

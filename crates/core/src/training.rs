@@ -1,0 +1,212 @@
+//! Triangel's extended training table (Fig. 5 of the paper).
+
+use triangel_types::{xor_fold, LineAddr, Pc, SaturatingCounter};
+
+/// Initial/neutral value of the 4-bit confidence counters (half way).
+pub(crate) const CONF_INIT: u32 = 8;
+/// Maximum of the 4-bit counters.
+pub(crate) const CONF_MAX: u32 = 15;
+
+/// One training-table entry: Triage's fields plus Triangel's additions
+/// (bold in the paper's Fig. 5).
+#[derive(Debug, Clone)]
+pub struct TrainingEntry {
+    pub(crate) pc_tag: u16,
+    pub(crate) valid: bool,
+    /// `LastAddr[0]` (most recent) and `LastAddr[1]` (one before): the
+    /// history shift register that enables lookahead 2.
+    pub last: [Option<LineAddr>; 2],
+    /// Per-PC local timestamp, incremented on each update (Section 4.2).
+    pub timestamp: u32,
+    /// Does this PC's pattern repeat within Markov capacity?
+    /// 4-bit, initialized to 8 (Section 4.4.1).
+    pub reuse_conf: SaturatingCounter,
+    /// Is a stored `(x, y)` likely to be an accurate prefetch? +1/-2
+    /// bias: saturates only above 2/3 accuracy (Section 4.4.2).
+    pub base_pattern_conf: SaturatingCounter,
+    /// Stricter copy: +1/-5 bias, saturates above 5/6 accuracy; controls
+    /// degree-4/lookahead-2 aggression (Sections 4.4.2, 4.5).
+    pub high_pattern_conf: SaturatingCounter,
+    /// Per-PC sampling-rate exponent, initialized to 8 (Section 4.4.3).
+    pub sample_rate: SaturatingCounter,
+    /// Current lookahead state: `false` = distance 1, `true` = distance 2
+    /// (Section 4.5's hysteresis bit).
+    pub lookahead2: bool,
+}
+
+impl TrainingEntry {
+    fn fresh(pc_tag: u16) -> Self {
+        TrainingEntry {
+            pc_tag,
+            valid: true,
+            last: [None, None],
+            timestamp: 0,
+            reuse_conf: SaturatingCounter::with_initial(CONF_MAX, CONF_INIT),
+            base_pattern_conf: SaturatingCounter::with_initial(CONF_MAX, CONF_INIT),
+            high_pattern_conf: SaturatingCounter::with_initial(CONF_MAX, CONF_INIT),
+            sample_rate: SaturatingCounter::with_initial(CONF_MAX, CONF_INIT),
+            lookahead2: false,
+        }
+    }
+}
+
+/// The 512-entry training table, direct-mapped on a PC hash with a
+/// 10-bit PC tag (Fig. 5).
+#[derive(Debug)]
+pub struct TrainingTable {
+    entries: Vec<TrainingEntry>,
+    index_bits: u32,
+}
+
+impl TrainingTable {
+    /// Creates a table with `entries` slots (rounded to a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "training table needs entries");
+        let n = entries.next_power_of_two();
+        TrainingTable {
+            entries: (0..n).map(|_| {
+                let mut e = TrainingEntry::fresh(0);
+                e.valid = false;
+                e
+            }).collect(),
+            index_bits: n.trailing_zeros(),
+        }
+    }
+
+    /// The slot index `pc` maps to (also the `Train-Idx` stored in the
+    /// samplers to verify entries still belong to the same PC).
+    pub fn index_of(&self, pc: Pc) -> usize {
+        if self.index_bits == 0 {
+            0
+        } else {
+            (xor_fold(pc.get() >> 2, self.index_bits) as usize) & (self.entries.len() - 1)
+        }
+    }
+
+    fn tag_of(&self, pc: Pc) -> u16 {
+        xor_fold(pc.get() >> 2, 10) as u16
+    }
+
+    /// Returns the entry for `pc`, (re)allocating on miss. The boolean
+    /// is `true` when the entry was newly allocated (history lost).
+    pub fn entry_mut(&mut self, pc: Pc) -> (&mut TrainingEntry, bool) {
+        let idx = self.index_of(pc);
+        let tag = self.tag_of(pc);
+        let entry = &mut self.entries[idx];
+        let allocated = !(entry.valid && entry.pc_tag == tag);
+        if allocated {
+            *entry = TrainingEntry::fresh(tag);
+        }
+        (&mut self.entries[idx], allocated)
+    }
+
+    /// Read-only view of the entry currently stored for `pc`, if it is
+    /// actually this PC's.
+    pub fn entry(&self, pc: Pc) -> Option<&TrainingEntry> {
+        let idx = self.index_of(pc);
+        let tag = self.tag_of(pc);
+        let e = &self.entries[idx];
+        (e.valid && e.pc_tag == tag).then_some(e)
+    }
+
+    /// Read-only view by slot index (used by the History Sampler's
+    /// victim handling, which stores `Train-Idx`, not PCs).
+    pub fn entry_at(&self, idx: usize) -> Option<&TrainingEntry> {
+        let e = &self.entries[idx];
+        e.valid.then_some(e)
+    }
+
+    /// Mutable view by slot index.
+    pub fn entry_at_mut(&mut self, idx: usize) -> Option<&mut TrainingEntry> {
+        let e = &mut self.entries[idx];
+        e.valid.then_some(e)
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Diagnostic summary: `(valid, base_open, high_open, lookahead2)`
+    /// counts across all slots.
+    pub fn gate_summary(&self) -> (usize, usize, usize, usize) {
+        let mut valid = 0;
+        let mut base = 0;
+        let mut high = 0;
+        let mut la2 = 0;
+        for e in &self.entries {
+            if e.valid {
+                valid += 1;
+                if e.base_pattern_conf.get() > 8 {
+                    base += 1;
+                }
+                if e.high_pattern_conf.get() > 8 {
+                    high += 1;
+                }
+                if e.lookahead2 {
+                    la2 += 1;
+                }
+            }
+        }
+        (valid, base, high, la2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_initialized_to_half() {
+        let mut t = TrainingTable::new(512);
+        let (e, allocated) = t.entry_mut(Pc::new(0x40));
+        assert!(allocated);
+        assert_eq!(e.reuse_conf.get(), 8);
+        assert_eq!(e.base_pattern_conf.get(), 8);
+        assert_eq!(e.high_pattern_conf.get(), 8);
+        assert_eq!(e.sample_rate.get(), 8);
+        assert!(!e.lookahead2);
+    }
+
+    #[test]
+    fn reallocation_only_on_tag_mismatch() {
+        let mut t = TrainingTable::new(512);
+        {
+            let (e, _) = t.entry_mut(Pc::new(0x40));
+            e.timestamp = 99;
+        }
+        let (e, allocated) = t.entry_mut(Pc::new(0x40));
+        assert!(!allocated);
+        assert_eq!(e.timestamp, 99);
+    }
+
+    #[test]
+    fn index_matches_between_calls() {
+        let t = TrainingTable::new(512);
+        assert_eq!(t.index_of(Pc::new(0x40)), t.index_of(Pc::new(0x40)));
+    }
+
+    #[test]
+    fn entry_readback_checks_tag() {
+        let mut t = TrainingTable::new(1);
+        let _ = t.entry_mut(Pc::new(0x40));
+        assert!(t.entry(Pc::new(0x40)).is_some());
+        // A different PC colliding into slot 0 does not read 0x40's entry.
+        assert!(t.entry(Pc::new(0x12345678)).is_none());
+    }
+
+    #[test]
+    fn slot_indexed_access() {
+        let mut t = TrainingTable::new(64);
+        let pc = Pc::new(0x88);
+        let idx = t.index_of(pc);
+        let _ = t.entry_mut(pc);
+        assert!(t.entry_at(idx).is_some());
+        t.entry_at_mut(idx).unwrap().timestamp = 7;
+        assert_eq!(t.entry_at(idx).unwrap().timestamp, 7);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests on Triangel's sampling structures.
+
+use proptest::prelude::*;
+use triangel_core::{
+    HistorySampler, MetadataReuseBuffer, SecondChanceSampler, ScsOutcome, SetDueller,
+};
+use triangel_types::LineAddr;
+
+proptest! {
+    /// The History Sampler never reports a pair it was not told about:
+    /// every verdict's target must have been inserted (or refreshed) for
+    /// that exact (address, train-idx) key earlier in the run.
+    #[test]
+    fn sampler_verdicts_are_grounded(
+        ops in prop::collection::vec((0u64..64, 0u16..4, 0u64..1000), 1..300),
+    ) {
+        let mut s = HistorySampler::new(64, 1);
+        // Ground truth of the most recent (addr, idx) -> target mapping
+        // that *may* still be stored (evictions only remove entries).
+        let mut truth: std::collections::HashMap<(u64, u16), Vec<u64>> =
+            std::collections::HashMap::new();
+        let mut ts = 0u32;
+        for (addr, idx, target) in ops {
+            ts += 1;
+            if let Some(v) = s.lookup(LineAddr::new(addr), idx, ts, LineAddr::new(target)) {
+                let known = truth.get(&(addr, idx));
+                prop_assert!(
+                    known.is_some_and(|k| k.contains(&v.target.index())),
+                    "sampler invented target {:?} for ({addr},{idx})", v.target
+                );
+                // The lookup refreshed the stored target.
+                truth.entry((addr, idx)).or_default().push(target);
+            }
+            s.insert(LineAddr::new(addr), idx, LineAddr::new(target), ts);
+            truth.entry((addr, idx)).or_default().push(target);
+        }
+    }
+
+    /// Sampler occupancy is bounded by capacity.
+    #[test]
+    fn sampler_occupancy_bounded(
+        inserts in prop::collection::vec((0u64..10_000, 0u16..512), 1..400),
+    ) {
+        let mut s = HistorySampler::new(128, 2);
+        for (i, (addr, idx)) in inserts.iter().enumerate() {
+            s.insert(LineAddr::new(*addr), *idx, LineAddr::new(1), i as u32);
+            prop_assert!(s.occupancy() <= s.capacity());
+        }
+    }
+
+    /// Every SCS insertion is resolved at most once, and the outcome's
+    /// window check matches the fill arithmetic.
+    #[test]
+    fn scs_single_resolution(
+        parked in 0u64..1000,
+        insert_at in 0u64..10_000,
+        check_delta in 0u64..2000,
+    ) {
+        let mut s = SecondChanceSampler::new(8, 512);
+        s.insert(LineAddr::new(parked), 3, insert_at);
+        let at = insert_at + check_delta;
+        match s.check(LineAddr::new(parked), 3, at) {
+            Some(ScsOutcome::WithinWindow) => prop_assert!(check_delta <= 512),
+            Some(ScsOutcome::OutsideWindow) => prop_assert!(check_delta > 512),
+            None => prop_assert!(false, "entry lost without eviction"),
+        }
+        // A second check must find nothing.
+        prop_assert_eq!(s.check(LineAddr::new(parked), 3, at), None);
+    }
+
+    /// MRB: a lookup hit always returns the most recently inserted
+    /// contents for that key.
+    #[test]
+    fn mrb_returns_latest(ops in prop::collection::vec((0u64..64, 0u64..1000, any::<bool>()), 1..300)) {
+        let mut m = MetadataReuseBuffer::new(32);
+        let mut truth: std::collections::HashMap<u64, (u64, bool)> =
+            std::collections::HashMap::new();
+        for (key, target, conf) in ops {
+            m.insert(LineAddr::new(key), LineAddr::new(target), conf);
+            truth.insert(key, (target, conf));
+            if let Some((t, c)) = m.peek(LineAddr::new(key)) {
+                let (et, ec) = truth[&key];
+                prop_assert_eq!(t, LineAddr::new(et));
+                prop_assert_eq!(c, ec);
+            }
+        }
+    }
+
+    /// The Set Dueller's choice is always within 0..=max ways.
+    #[test]
+    fn dueller_choice_in_range(
+        accesses in prop::collection::vec((0u64..100_000, any::<bool>()), 1..2000),
+        max_ways in 1usize..8,
+    ) {
+        let mut d = SetDueller::new(64, max_ways, 12, 2, 100, 3);
+        for (line, engaged) in accesses {
+            d.on_access(LineAddr::new(line), engaged);
+            prop_assert!(d.desired_ways() <= max_ways);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Markov entry formats (Sections 3.1, 4.3 and 6.5 of the paper).
+
+/// Associativity of the 1024-entry lookup table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LutAssociativity {
+    /// 64 sets x 16 ways (the paper finds this performs like fully
+    /// associative, Section 3.1).
+    Way16,
+    /// One 1024-way set.
+    Full,
+}
+
+/// How the prefetch target is stored in a Markov entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetFormat {
+    /// Triage's 32-bit entry: an `offset_bits` L3-index field plus a
+    /// 10-bit index into the shared lookup table. 16 entries per 64-byte
+    /// line. `offset_bits` is 11 in the paper's default; 10 models the
+    /// halved frame locality of Fig. 18/19's `10b-offset` variant.
+    Lut {
+        /// Bits of the target stored explicitly (the L3 index).
+        offset_bits: u32,
+        /// Lookup-table organization.
+        assoc: LutAssociativity,
+    },
+    /// A hypothetical *perfect* lookup table (`32-bit-ideal` in Fig. 18):
+    /// same 16-entry density, but target reconstruction never errs.
+    Ideal32,
+    /// Triangel's 42-bit entry: the 31-bit target line address stored
+    /// directly (128 GB range), 12 entries per line (Section 4.3).
+    Direct42,
+}
+
+impl TargetFormat {
+    /// Triage's default format (Fig. 18's `32-bit-LUT-16-way`).
+    pub const fn triage_default() -> Self {
+        TargetFormat::Lut { offset_bits: 11, assoc: LutAssociativity::Way16 }
+    }
+
+    /// The fragmentation-stressed variant (`32-bit-LUT-16-way-10b-offset`).
+    pub const fn triage_10b_offset() -> Self {
+        TargetFormat::Lut { offset_bits: 10, assoc: LutAssociativity::Way16 }
+    }
+
+    /// Fully-associative LUT variant (`32-bit-LUT-1024-way`).
+    pub const fn triage_full_lut() -> Self {
+        TargetFormat::Lut { offset_bits: 11, assoc: LutAssociativity::Full }
+    }
+
+    /// Markov entries that fit in one 64-byte cache line under this
+    /// format (Section 3.2: 16 for 32-bit entries; Section 4.3: 12 for
+    /// 42-bit entries).
+    pub const fn entries_per_line(self) -> usize {
+        match self {
+            TargetFormat::Lut { .. } | TargetFormat::Ideal32 => 16,
+            TargetFormat::Direct42 => 12,
+        }
+    }
+
+    /// Bits per stored entry (for sizing reports).
+    pub const fn entry_bits(self) -> u32 {
+        match self {
+            TargetFormat::Lut { .. } | TargetFormat::Ideal32 => 32,
+            TargetFormat::Direct42 => 42,
+        }
+    }
+
+    /// Whether this format needs a [`LookupTable`](crate::LookupTable).
+    pub const fn uses_lut(self) -> bool {
+        matches!(self, TargetFormat::Lut { .. })
+    }
+
+    /// The paper's name for the format (Fig. 18 legend).
+    pub fn label(self) -> &'static str {
+        match self {
+            TargetFormat::Lut { offset_bits: 11, assoc: LutAssociativity::Way16 } => {
+                "32-bit-LUT-16-way"
+            }
+            TargetFormat::Lut { offset_bits: 10, assoc: LutAssociativity::Way16 } => {
+                "32-bit-LUT-16-way-10b-offset"
+            }
+            TargetFormat::Lut { assoc: LutAssociativity::Full, .. } => "32-bit-LUT-1024-way",
+            TargetFormat::Lut { .. } => "32-bit-LUT",
+            TargetFormat::Ideal32 => "32-bit-ideal",
+            TargetFormat::Direct42 => "42-bit",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn densities_match_paper() {
+        assert_eq!(TargetFormat::triage_default().entries_per_line(), 16);
+        assert_eq!(TargetFormat::Direct42.entries_per_line(), 12);
+    }
+
+    #[test]
+    fn capacity_math_matches_paper() {
+        // 1 MiB partition = 2048 sets x 8 ways; the paper quotes 196608
+        // entries for 42-bit entries (Section 4.4.1).
+        let lines = 2048 * 8;
+        assert_eq!(lines * TargetFormat::Direct42.entries_per_line(), 196_608);
+        assert_eq!(lines * TargetFormat::triage_default().entries_per_line(), 262_144);
+    }
+
+    #[test]
+    fn labels_match_fig18() {
+        assert_eq!(TargetFormat::triage_default().label(), "32-bit-LUT-16-way");
+        assert_eq!(TargetFormat::triage_10b_offset().label(), "32-bit-LUT-16-way-10b-offset");
+        assert_eq!(TargetFormat::triage_full_lut().label(), "32-bit-LUT-1024-way");
+        assert_eq!(TargetFormat::Ideal32.label(), "32-bit-ideal");
+        assert_eq!(TargetFormat::Direct42.label(), "42-bit");
+    }
+}

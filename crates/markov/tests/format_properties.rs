@@ -1,0 +1,107 @@
+//! Property-based tests on Markov metadata formats and the lookup table.
+
+use proptest::prelude::*;
+use triangel_cache::replacement::PolicyKind;
+use triangel_markov::{LookupTable, LutAssociativity, MarkovTable, MarkovTableConfig, TargetFormat};
+use triangel_types::{LineAddr, Pc};
+
+fn table(format: TargetFormat) -> MarkovTable {
+    let mut t = MarkovTable::new(MarkovTableConfig {
+        sets: 128,
+        max_ways: 4,
+        format,
+        tag_bits: 10,
+        replacement: PolicyKind::Lru,
+    });
+    t.set_ways(4);
+    t
+}
+
+proptest! {
+    /// A freshly trained pair is immediately retrievable under every
+    /// format, and the reconstructed target round-trips while its LUT
+    /// slot is live (addresses bounded to 31 bits for Direct42's range).
+    #[test]
+    fn fresh_pair_roundtrips(
+        prev in 0u64..(1 << 31),
+        next in 0u64..(1 << 31),
+        format_idx in 0usize..4,
+    ) {
+        let format = [
+            TargetFormat::Direct42,
+            TargetFormat::Ideal32,
+            TargetFormat::triage_default(),
+            TargetFormat::triage_10b_offset(),
+        ][format_idx];
+        let mut t = table(format);
+        t.train(LineAddr::new(prev), LineAddr::new(next), Pc::new(4));
+        let hit = t.lookup(LineAddr::new(prev)).expect("fresh entry");
+        prop_assert_eq!(hit.target, LineAddr::new(next));
+    }
+
+    /// The LUT's index_for is stable (same upper -> same slot) until an
+    /// eviction of that slot, and find() agrees with index_for.
+    #[test]
+    fn lut_index_stability(uppers in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut lut = LookupTable::new(LutAssociativity::Way16);
+        for u in &uppers {
+            let idx = lut.index_for(*u);
+            prop_assert_eq!(lut.upper_at(idx), Some(*u));
+            prop_assert_eq!(lut.find(*u), Some(idx));
+        }
+    }
+
+    /// Occupancy of the LUT never exceeds 1024 and, under Way16, never
+    /// exceeds 16 per congruence class.
+    #[test]
+    fn lut_capacity(uppers in prop::collection::vec(0u64..100_000, 1..500)) {
+        let mut lut = LookupTable::new(LutAssociativity::Way16);
+        for u in uppers {
+            let _ = lut.index_for(u);
+        }
+        prop_assert!(lut.occupancy() <= 1024);
+    }
+
+    /// Training the same pair twice sets the confidence bit; training a
+    /// different target first clears confidence, then replaces.
+    #[test]
+    fn confidence_protocol_invariant(
+        x in 0u64..(1 << 31),
+        y in 0u64..(1 << 31),
+        z in 0u64..(1 << 31),
+    ) {
+        prop_assume!(y != z);
+        let mut t = table(TargetFormat::Direct42);
+        let (x, y, z) = (LineAddr::new(x), LineAddr::new(y), LineAddr::new(z));
+        t.train(x, y, Pc::new(4));
+        t.train(x, y, Pc::new(4));
+        prop_assert!(t.lookup(x).unwrap().confidence);
+        t.train(x, z, Pc::new(4));
+        let h = t.lookup(x).unwrap();
+        prop_assert_eq!(h.target, y, "confident target survives one conflict");
+        prop_assert!(!h.confidence);
+        t.train(x, z, Pc::new(4));
+        prop_assert_eq!(t.lookup(x).unwrap().target, z);
+    }
+
+    /// Resizes never increase occupancy and never lose the ability to
+    /// look up *recently retrained* pairs after re-activation.
+    #[test]
+    fn resize_roundtrip(
+        pairs in prop::collection::vec((0u64..(1 << 20), 0u64..(1 << 20)), 1..100),
+        shrink_to in 0usize..4,
+    ) {
+        let mut t = table(TargetFormat::Direct42);
+        for (a, b) in &pairs {
+            t.train(LineAddr::new(*a), LineAddr::new(*b), Pc::new(4));
+        }
+        let occ_before = t.occupancy();
+        t.set_ways(shrink_to);
+        prop_assert!(t.occupancy() <= occ_before);
+        t.set_ways(4);
+        // Retrain one pair; it must become visible again.
+        let (a, b) = pairs[0];
+        t.train(LineAddr::new(a), LineAddr::new(b), Pc::new(4));
+        prop_assert!(t.lookup(LineAddr::new(a)).is_some());
+    }
+}

@@ -1,0 +1,29 @@
+//! DRAM and energy models for the Triangel simulator.
+//!
+//! * [`Dram`] — a queue-based main-memory model with a fixed access
+//!   latency plus a bounded service bandwidth, so that excessive prefetch
+//!   traffic (e.g. unconditional degree-4 Triage, Sections 6.3–6.4 of the
+//!   paper) congests the channel and slows demand misses.
+//! * [`EnergyModel`] — the paper's own unit model (Section 6.2): a DRAM
+//!   access costs 25 units and an L3 access (data or Markov metadata)
+//!   costs 1 unit.
+//!
+//! # Examples
+//!
+//! ```
+//! use triangel_mem::{Dram, DramConfig};
+//!
+//! let mut dram = Dram::new(DramConfig::lpddr5());
+//! let first = dram.request(1000, false);
+//! let second = dram.request(1000, false);
+//! assert!(second.completes_at > first.completes_at); // bandwidth-limited
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod dram;
+mod energy;
+
+pub use dram::{Dram, DramConfig, DramRequestOutcome, DramStats};
+pub use energy::{EnergyBreakdown, EnergyModel};

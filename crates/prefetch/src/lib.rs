@@ -1,0 +1,212 @@
+//! Prefetcher abstractions and baseline prefetchers.
+//!
+//! * [`Prefetcher`] — the event-driven interface every prefetcher in the
+//!   workspace implements (stride, Triage, Triangel).
+//! * [`StridePrefetcher`] — the degree-8 L1D stride prefetcher that is
+//!   part of the paper's *baseline* (Table 2): all speedups in the
+//!   evaluation are relative to a system that already has it.
+//! * [`BloomFilter`] — used by Triage-ISR's Markov-partition sizing
+//!   (Section 3.5) and the Triangel-Bloom variant (Section 4.7).
+//!
+//! # Examples
+//!
+//! ```
+//! use triangel_prefetch::{NullCacheView, Prefetcher, StridePrefetcher, TrainEvent, TrainKind};
+//! use triangel_types::{Cycle, LineAddr, Pc};
+//!
+//! let mut pf = StridePrefetcher::new(64, 8);
+//! let mut out = Vec::new();
+//! for i in 0..4u64 {
+//!     let ev = TrainEvent {
+//!         pc: Pc::new(0x40),
+//!         line: LineAddr::new(100 + 2 * i),
+//!         kind: TrainKind::L1Access,
+//!         cycle: i as Cycle,
+//!         l2_fills: 0,
+//!     };
+//!     out.clear();
+//!     pf.on_event(&ev, &NullCacheView, &mut out);
+//! }
+//! assert!(!out.is_empty()); // stride +2 locked on
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bloom;
+mod stride;
+
+pub use bloom::BloomFilter;
+pub use stride::StridePrefetcher;
+
+use triangel_types::{Cycle, LineAddr, Pc};
+
+/// What kind of event is training the prefetcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainKind {
+    /// A demand access at the L1D (stride prefetchers train on all
+    /// accesses).
+    L1Access,
+    /// A demand miss at the L2 (temporal prefetchers train on these).
+    L2Miss,
+    /// A *tagged prefetch hit* at the L2: first demand use of a
+    /// prefetched line, which would have missed without prefetching
+    /// (Section 2 of the paper).
+    L2PrefetchHit,
+}
+
+/// One training event delivered to a prefetcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainEvent {
+    /// PC of the triggering load.
+    pub pc: Pc,
+    /// Physical line accessed.
+    pub line: LineAddr,
+    /// Event kind.
+    pub kind: TrainKind,
+    /// Current core cycle.
+    pub cycle: Cycle,
+    /// Running count of L2 fills, used by Triangel's Second-Chance
+    /// Sampler as its "within 512 fills" proximity clock (Section 4.4.2).
+    pub l2_fills: u64,
+}
+
+/// A prefetch the prefetcher wants issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchRequest {
+    /// Line to fetch (into the L2 for the temporal prefetchers).
+    pub line: LineAddr,
+    /// Training PC associated with the request (used for replacement
+    /// metadata and accuracy attribution).
+    pub pc: Pc,
+    /// Cycles after the triggering event before this request can issue:
+    /// chained Markov-table walks pay the 25-cycle metadata latency per
+    /// hop unless the Metadata Reuse Buffer short-circuits them.
+    pub issue_delay: Cycle,
+}
+
+/// Read-only cache visibility given to prefetchers.
+///
+/// Triangel consults residency in two places: sampler verdicts skip
+/// targets already cached ("would not generate a prefetch, inaccurate or
+/// otherwise", Section 4.4.2), and redundant prefetches are dropped.
+pub trait CacheView {
+    /// Whether the line is resident in the L2.
+    fn in_l2(&self, line: LineAddr) -> bool;
+    /// Whether the line is resident in the L3 (data side).
+    fn in_l3(&self, line: LineAddr) -> bool;
+}
+
+/// A [`CacheView`] that reports nothing resident; useful in tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullCacheView;
+
+impl CacheView for NullCacheView {
+    fn in_l2(&self, _line: LineAddr) -> bool {
+        false
+    }
+    fn in_l3(&self, _line: LineAddr) -> bool {
+        false
+    }
+}
+
+/// Counters every prefetcher exposes for the evaluation figures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetcherStats {
+    /// Prefetch requests issued.
+    pub prefetches_issued: u64,
+    /// Reads of Markov metadata that reached the L3 partition
+    /// (counted in Fig. 14 and the energy model).
+    pub markov_reads: u64,
+    /// Writes of Markov metadata to the L3 partition.
+    pub markov_writes: u64,
+    /// Markov reads served by the Metadata Reuse Buffer instead of the
+    /// L3 (Triangel only).
+    pub mrb_hits: u64,
+    /// Markov updates suppressed because the entry was unchanged in the
+    /// MRB (Section 4.6's update-filtering optimization).
+    pub updates_suppressed: u64,
+}
+
+impl PrefetcherStats {
+    /// Total L3 accesses caused by metadata (reads + writes).
+    pub fn markov_l3_accesses(&self) -> u64 {
+        self.markov_reads + self.markov_writes
+    }
+}
+
+/// The prefetcher interface.
+///
+/// The simulator delivers [`TrainEvent`]s and collects requests into
+/// `out` (an out-parameter so the per-access hot path performs no
+/// allocation; it is cleared by the caller).
+pub trait Prefetcher: std::fmt::Debug {
+    /// Observes an event and optionally emits prefetch requests.
+    fn on_event(&mut self, ev: &TrainEvent, caches: &dyn CacheView, out: &mut Vec<PrefetchRequest>);
+
+    /// Display name for reports.
+    fn name(&self) -> &str;
+
+    /// How many L3 ways the prefetcher currently wants for Markov
+    /// metadata (0 for non-temporal prefetchers).
+    fn desired_markov_ways(&self) -> usize {
+        0
+    }
+
+    /// Evaluation counters.
+    fn stats(&self) -> PrefetcherStats {
+        PrefetcherStats::default()
+    }
+
+    /// A free-form diagnostic snapshot (internal counters, gate states);
+    /// empty by default. Used by debugging harnesses only.
+    fn debug_string(&self) -> String {
+        String::new()
+    }
+}
+
+/// A no-op prefetcher (the "Baseline" configuration minus the stride
+/// prefetcher, or a placeholder in tests).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullPrefetcher;
+
+impl Prefetcher for NullPrefetcher {
+    fn on_event(
+        &mut self,
+        _ev: &TrainEvent,
+        _caches: &dyn CacheView,
+        _out: &mut Vec<PrefetchRequest>,
+    ) {
+    }
+
+    fn name(&self) -> &str {
+        "none"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_prefetcher_is_silent() {
+        let mut pf = NullPrefetcher;
+        let mut out = Vec::new();
+        let ev = TrainEvent {
+            pc: Pc::new(1),
+            line: LineAddr::new(2),
+            kind: TrainKind::L2Miss,
+            cycle: 0,
+            l2_fills: 0,
+        };
+        pf.on_event(&ev, &NullCacheView, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(pf.stats(), PrefetcherStats::default());
+    }
+
+    #[test]
+    fn stats_sum() {
+        let s = PrefetcherStats { markov_reads: 3, markov_writes: 2, ..Default::default() };
+        assert_eq!(s.markov_l3_accesses(), 5);
+    }
+}

@@ -1,0 +1,25 @@
+//! Diagnostic trace of the Set Dueller: runs one workload under full
+//! Triangel and prints the Markov-partition allocation, confidence-gate
+//! summary and internal counters at fixed intervals.
+//!
+//! Usage: `cargo run --release -p triangel-sim --example debug_duel [workload-index]`
+use triangel_core::{Triangel, TriangelConfig};
+use triangel_prefetch::Prefetcher;
+use triangel_sim::{Engine, MemorySystem, SystemConfig};
+use triangel_workloads::paging::PageMapper;
+use triangel_workloads::spec::SpecWorkload;
+
+fn main() {
+    let wl: usize = std::env::args().nth(1).map(|s| s.parse().unwrap()).unwrap_or(0);
+    let wl = SpecWorkload::ALL[wl];
+    let mut cfg = TriangelConfig::paper_default();
+    cfg.sizing_window = 150_000;
+    let pf: Box<dyn Prefetcher> = Box::new(Triangel::new(cfg));
+    let system = MemorySystem::new(SystemConfig::paper_single_core(), vec![pf]);
+    let mut engine = Engine::new(system, vec![Box::new(wl.generator(42))], PageMapper::realistic(0xA11C));
+    println!("{}:", wl.label());
+    for i in 0..24 {
+        engine.run_accesses(150_000);
+        println!("  w{i}: ways={} {}", engine.system().markov_ways(), engine.system().prefetcher_debug(0));
+    }
+}

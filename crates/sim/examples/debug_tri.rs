@@ -1,0 +1,29 @@
+//! Diagnostic probe of the Triangel prefetcher in isolation (no memory
+//! hierarchy): drives a strict repeating sequence and prints per-pass
+//! confidence-counter evolution.
+use triangel_core::{Triangel, TriangelConfig};
+use triangel_prefetch::{NullCacheView, Prefetcher, TrainEvent, TrainKind};
+use triangel_types::{LineAddr, Pc};
+
+fn main() {
+    let mut cfg = TriangelConfig::paper_default();
+    cfg.sizing_window = 250_000;
+    let mut pf = Triangel::new(cfg);
+    let seq: Vec<u64> = (0..50_000u64).map(|i| 1000 + i * 3).collect();
+    let mut out = Vec::new();
+    let mut n = 0u64;
+    for pass in 0..14 {
+        let mut issued_this_pass = 0u64;
+        for l in &seq {
+            out.clear();
+            pf.on_event(&TrainEvent{pc: Pc::new(0x40), line: LineAddr::new(*l), kind: TrainKind::L2Miss, cycle: n, l2_fills: n}, &NullCacheView, &mut out);
+            issued_this_pass += out.len() as u64;
+            n += 1;
+        }
+        let e = pf.training().entry(Pc::new(0x40)).unwrap();
+        println!("pass {pass}: issued={issued_this_pass} base={} high={} reuse={} rate={} la2={} ways={} occ={} dbg={:?}",
+            e.base_pattern_conf.get(), e.high_pattern_conf.get(), e.reuse_conf.get(), e.sample_rate.get(), e.lookahead2,
+            pf.markov().ways(), pf.markov().occupancy(), pf.debug_counters());
+    }
+    println!("stats={:?}", pf.stats());
+}

@@ -1,0 +1,99 @@
+//! System configuration (Table 2 of the paper).
+
+use triangel_cache::replacement::PolicyKind;
+use triangel_cache::CacheConfig;
+use triangel_mem::DramConfig;
+
+/// Core and memory-system parameters, defaulting to the paper's setup
+/// (Table 2: a Cortex-X2-like 5-wide core at 2 GHz).
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Issue/commit width in instructions per cycle (5).
+    pub width: u64,
+    /// Reorder-buffer capacity in instructions (288).
+    pub rob_entries: usize,
+    /// L1 data cache (64 KiB, 4-way, 4-cycle).
+    pub l1: CacheConfig,
+    /// L2 cache (512 KiB, 8-way, 9-cycle), where temporal prefetchers
+    /// train and fill.
+    pub l2: CacheConfig,
+    /// L2 MSHRs (32).
+    pub l2_mshrs: usize,
+    /// Shared L3 (2 MiB/core, 16-way, 20-cycle), hosting the Markov
+    /// partition.
+    pub l3: CacheConfig,
+    /// Maximum L3 ways the Markov partition may claim (8 = half).
+    pub max_markov_ways: usize,
+    /// DRAM channel.
+    pub dram: DramConfig,
+    /// Degree of the baseline L1 stride prefetcher (8).
+    pub stride_degree: usize,
+}
+
+impl SystemConfig {
+    /// The paper's single-core configuration.
+    pub fn paper_single_core() -> Self {
+        SystemConfig {
+            width: 5,
+            rob_entries: 288,
+            l1: CacheConfig::new("L1D", 64 * 1024, 4, PolicyKind::Lru).with_hit_latency(4),
+            l2: CacheConfig::new("L2", 512 * 1024, 8, PolicyKind::Lru).with_hit_latency(9),
+            l3: CacheConfig::new("L3", 2 * 1024 * 1024, 16, PolicyKind::Srrip)
+                .with_hit_latency(20),
+            l2_mshrs: 32,
+            max_markov_ways: 8,
+            dram: DramConfig::lpddr5(),
+            stride_degree: 8,
+        }
+    }
+
+    /// The two-core multiprogrammed configuration (Section 6.3):
+    /// private L1/L2 per core, shared 4 MiB L3 (2 MiB/core) and DRAM.
+    pub fn paper_dual_core() -> Self {
+        let mut cfg = SystemConfig::paper_single_core();
+        cfg.l3 = CacheConfig::new("L3", 4 * 1024 * 1024, 16, PolicyKind::Srrip)
+            .with_hit_latency(20);
+        cfg
+    }
+
+    /// A scaled-down configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        SystemConfig {
+            width: 4,
+            rob_entries: 64,
+            l1: CacheConfig::new("L1D", 4 * 1024, 4, PolicyKind::Lru).with_hit_latency(2),
+            l2: CacheConfig::new("L2", 16 * 1024, 8, PolicyKind::Lru).with_hit_latency(6),
+            l3: CacheConfig::new("L3", 64 * 1024, 16, PolicyKind::Lru).with_hit_latency(15),
+            l2_mshrs: 8,
+            max_markov_ways: 8,
+            dram: DramConfig::lpddr5(),
+            stride_degree: 4,
+        }
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::paper_single_core()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry() {
+        let cfg = SystemConfig::paper_single_core();
+        assert_eq!(cfg.l1.sets(), 256);
+        assert_eq!(cfg.l2.sets(), 1024);
+        assert_eq!(cfg.l3.sets(), 2048);
+        assert_eq!(cfg.l3.hit_latency(), 20);
+    }
+
+    #[test]
+    fn dual_core_doubles_l3() {
+        let cfg = SystemConfig::paper_dual_core();
+        assert_eq!(cfg.l3.size_bytes(), 4 * 1024 * 1024);
+    }
+}

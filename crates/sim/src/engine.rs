@@ -1,0 +1,173 @@
+//! The interval-based out-of-order timing engine.
+
+use std::collections::VecDeque;
+
+use crate::hierarchy::MemorySystem;
+use crate::metrics::{CoreReport, RunReport};
+use triangel_types::{Addr, Cycle, Pc};
+use triangel_workloads::paging::PageMapper;
+use triangel_workloads::TraceSource;
+
+/// Per-core architectural timeline: out-of-order issue bounded by ROB
+/// occupancy and load dependences, in-order retire.
+#[derive(Debug)]
+struct CoreTimeline {
+    instr_count: u64,
+    /// (retire_time, instructions) per in-flight access, oldest first.
+    inflight: VecDeque<(Cycle, u64)>,
+    inflight_instrs: u64,
+    prev_ready: Cycle,
+    last_retire: Cycle,
+    meas_start_instr: u64,
+    meas_start_cycle: Cycle,
+}
+
+impl CoreTimeline {
+    fn new() -> Self {
+        CoreTimeline {
+            instr_count: 0,
+            inflight: VecDeque::new(),
+            inflight_instrs: 0,
+            prev_ready: 0,
+            last_retire: 0,
+            meas_start_instr: 0,
+            meas_start_cycle: 0,
+        }
+    }
+}
+
+/// Drives trace sources through a [`MemorySystem`].
+///
+/// The model: instruction *i* dispatches at `i / width`; an access
+/// cannot issue until the ROB has room (instructions more than
+/// `rob_entries` older must have retired) nor, if it is
+/// address-dependent, before the previous access's data returned.
+/// Retirement is in order. This captures memory-level parallelism,
+/// ROB-fill stalls, and pointer-chase serialization — the effects that
+/// differentiate the paper's prefetcher configurations — without a
+/// cycle-accurate pipeline.
+#[derive(Debug)]
+pub struct Engine {
+    system: MemorySystem,
+    sources: Vec<Box<dyn TraceSource>>,
+    timelines: Vec<CoreTimeline>,
+    mapper: PageMapper,
+    steps: u64,
+}
+
+impl Engine {
+    /// Creates an engine over `sources` (one per core).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source count does not match the system's core
+    /// count.
+    pub fn new(system: MemorySystem, sources: Vec<Box<dyn TraceSource>>, mapper: PageMapper) -> Self {
+        assert_eq!(
+            system.core_count(),
+            sources.len(),
+            "one trace source per core required"
+        );
+        let n = sources.len();
+        Engine {
+            system,
+            sources,
+            timelines: (0..n).map(|_| CoreTimeline::new()).collect(),
+            mapper,
+            steps: 0,
+        }
+    }
+
+    /// Advances one access on one core.
+    fn step(&mut self, core: usize) {
+        let cfg = self.system.config();
+        let width = cfg.width;
+        let rob = cfg.rob_entries as u64;
+
+        let acc = self.sources[core].next_access();
+        let k = 1 + acc.work as u64;
+
+        let tl = &mut self.timelines[core];
+        let dispatch = tl.instr_count / width;
+        tl.instr_count += k;
+
+        let mut issue = dispatch;
+        while tl.inflight_instrs + k > rob {
+            let (retire, n) = tl.inflight.pop_front().expect("rob accounting");
+            tl.inflight_instrs -= n;
+            issue = issue.max(retire);
+        }
+        if acc.dependent {
+            issue = issue.max(tl.prev_ready);
+        }
+
+        // Virtual address spaces are per-core (multiprogrammed mode);
+        // tag before translation so cores never alias.
+        let tagged = Addr::new(acc.vaddr.get() | ((core as u64) << 46));
+        let paddr = self.mapper.translate(tagged);
+        let pc = Pc::new(acc.pc.get() | ((core as u64) << 40));
+
+        let ready = self.system.demand_access(core, pc, paddr.line(), issue);
+        let tl = &mut self.timelines[core];
+        tl.prev_ready = ready;
+        let retire = tl.last_retire.max(ready);
+        tl.last_retire = retire;
+        tl.inflight.push_back((retire, k));
+        tl.inflight_instrs += k;
+
+        self.steps += 1;
+        if self.steps % 65_536 == 0 {
+            let horizon = self.timelines.iter().map(|t| t.last_retire).min().unwrap_or(0);
+            self.system.prune_ready(horizon);
+        }
+    }
+
+    /// Runs `n` accesses on every core (round-robin interleaved).
+    pub fn run_accesses(&mut self, n: u64) {
+        for _ in 0..n {
+            for core in 0..self.sources.len() {
+                self.step(core);
+            }
+        }
+    }
+
+    /// Ends warm-up: zeroes measurement counters while keeping all
+    /// microarchitectural state (like the paper's checkpoint warm-up).
+    pub fn start_measurement(&mut self) {
+        self.system.reset_measurement();
+        for tl in &mut self.timelines {
+            tl.meas_start_instr = tl.instr_count;
+            tl.meas_start_cycle = tl.last_retire;
+        }
+    }
+
+    /// Produces the measurement report.
+    pub fn report(&self, workload: String) -> RunReport {
+        let cores = (0..self.sources.len())
+            .map(|i| {
+                let tl = &self.timelines[i];
+                CoreReport {
+                    workload: self.sources[i].name().to_string(),
+                    pf_name: self.system.prefetcher_name(i).to_string(),
+                    instructions: tl.instr_count - tl.meas_start_instr,
+                    cycles: (tl.last_retire - tl.meas_start_cycle).max(1),
+                    l2: self.system.l2_stats(i),
+                    core: self.system.core_stats(i),
+                    pf: self.system.prefetcher_stats(i),
+                }
+            })
+            .collect();
+        RunReport {
+            workload,
+            cores,
+            l3: self.system.l3_stats(),
+            dram: self.system.dram_stats(),
+            markov_ways: self.system.markov_ways(),
+        }
+    }
+
+    /// Access to the memory system (diagnostics in tests).
+    pub fn system(&self) -> &MemorySystem {
+        &self.system
+    }
+}

@@ -1,0 +1,271 @@
+//! High-level experiment runner.
+
+use crate::config::SystemConfig;
+use crate::engine::Engine;
+use crate::hierarchy::MemorySystem;
+use crate::metrics::RunReport;
+use triangel_core::{Triangel, TriangelConfig};
+use triangel_markov::TargetFormat;
+use triangel_prefetch::{NullPrefetcher, Prefetcher};
+use triangel_triage::{Triage, TriageConfig};
+use triangel_workloads::paging::PageMapper;
+use triangel_workloads::TraceSource;
+
+/// Which temporal prefetcher to attach (the paper's evaluated
+/// configurations; the baseline stride prefetcher is always present).
+#[derive(Debug, Clone, Copy)]
+pub enum PrefetcherChoice {
+    /// Stride only (the normalization baseline).
+    Baseline,
+    /// Triage at degree 1.
+    Triage,
+    /// Triage at unconditional degree 4.
+    TriageDeg4,
+    /// Triage degree 4 with Triangel's lookahead-2.
+    TriageDeg4Look2,
+    /// Triage with an explicit Markov metadata format (Fig. 18).
+    TriageFormat(TargetFormat),
+    /// Full Triangel.
+    Triangel,
+    /// Triangel with Bloom-filter sizing.
+    TriangelBloom,
+    /// Triangel without the Metadata Reuse Buffer.
+    TriangelNoMrb,
+    /// Triangel at an ablation-ladder step (0..=8, Fig. 20).
+    TriangelLadder(usize),
+    /// Triage with a fully custom configuration (e.g. the Section 3.3
+    /// replacement-policy study).
+    TriageCustom(TriageConfig),
+    /// Triangel with a fully custom configuration.
+    TriangelCustom(TriangelConfig),
+}
+
+impl PrefetcherChoice {
+    /// Display label as used in the paper's figures.
+    pub fn label(&self) -> String {
+        match self {
+            PrefetcherChoice::Baseline => "Baseline".into(),
+            PrefetcherChoice::Triage => "Triage".into(),
+            PrefetcherChoice::TriageDeg4 => "Triage-Deg4".into(),
+            PrefetcherChoice::TriageDeg4Look2 => "Triage-Deg4-Look2".into(),
+            PrefetcherChoice::TriageFormat(f) => f.label().into(),
+            PrefetcherChoice::Triangel => "Triangel".into(),
+            PrefetcherChoice::TriangelBloom => "Triangel-Bloom".into(),
+            PrefetcherChoice::TriangelNoMrb => "Triangel-NoMRB".into(),
+            PrefetcherChoice::TriangelLadder(s) => {
+                triangel_core::TriangelFeatures::ladder_label(*s).into()
+            }
+            PrefetcherChoice::TriageCustom(_) => "Triage-custom".into(),
+            PrefetcherChoice::TriangelCustom(_) => "Triangel-custom".into(),
+        }
+    }
+
+    fn build(&self, sizing_window: u64) -> Box<dyn Prefetcher> {
+        match self {
+            PrefetcherChoice::Baseline => Box::new(NullPrefetcher),
+            PrefetcherChoice::Triage => Box::new(Triage::new(TriageConfig::paper_default())),
+            PrefetcherChoice::TriageDeg4 => Box::new(Triage::new(TriageConfig::degree4())),
+            PrefetcherChoice::TriageDeg4Look2 => {
+                Box::new(Triage::new(TriageConfig::degree4_lookahead2()))
+            }
+            PrefetcherChoice::TriageFormat(f) => {
+                Box::new(Triage::new(TriageConfig::paper_default().with_format(*f)))
+            }
+            PrefetcherChoice::Triangel => {
+                let mut c = TriangelConfig::paper_default();
+                c.sizing_window = sizing_window;
+                Box::new(Triangel::new(c))
+            }
+            PrefetcherChoice::TriangelBloom => {
+                let mut c = TriangelConfig::bloom_variant();
+                c.sizing_window = sizing_window;
+                Box::new(Triangel::new(c))
+            }
+            PrefetcherChoice::TriangelNoMrb => {
+                let mut c = TriangelConfig::no_mrb();
+                c.sizing_window = sizing_window;
+                Box::new(Triangel::new(c))
+            }
+            PrefetcherChoice::TriangelLadder(s) => {
+                let mut c = TriangelConfig::ladder(*s);
+                c.sizing_window = sizing_window;
+                Box::new(Triangel::new(c))
+            }
+            PrefetcherChoice::TriageCustom(c) => Box::new(Triage::new(*c)),
+            PrefetcherChoice::TriangelCustom(c) => Box::new(Triangel::new(*c)),
+        }
+    }
+}
+
+/// Builder for one simulation run.
+///
+/// Defaults follow the paper's methodology scaled to trace length:
+/// warm-up then measurement (Section 5 uses 50M instructions warm-up,
+/// 5M sampled, over 20 checkpoints; we use one long deterministic
+/// window per workload).
+#[derive(Debug)]
+pub struct Experiment {
+    sources: Vec<Box<dyn TraceSource>>,
+    system: SystemConfig,
+    choice: PrefetcherChoice,
+    warmup: u64,
+    accesses: u64,
+    fragmentation: Option<PageMapper>,
+    sizing_window: u64,
+    label: Option<String>,
+}
+
+impl Experiment {
+    /// Single-core experiment over one trace source.
+    pub fn new(source: impl TraceSource + 'static) -> Self {
+        Experiment {
+            sources: vec![Box::new(source)],
+            system: SystemConfig::paper_single_core(),
+            choice: PrefetcherChoice::Baseline,
+            warmup: 1_000_000,
+            accesses: 2_000_000,
+            fragmentation: None,
+            sizing_window: 250_000,
+            label: None,
+        }
+    }
+
+    /// Multiprogrammed experiment: one source per core, shared L3/DRAM
+    /// (Section 6.3).
+    pub fn multiprogrammed(sources: Vec<Box<dyn TraceSource>>) -> Self {
+        assert!(!sources.is_empty());
+        Experiment {
+            system: SystemConfig::paper_dual_core(),
+            sources,
+            choice: PrefetcherChoice::Baseline,
+            warmup: 1_000_000,
+            accesses: 2_000_000,
+            fragmentation: None,
+            sizing_window: 250_000,
+            label: None,
+        }
+    }
+
+    /// Sets the temporal prefetcher.
+    #[must_use]
+    pub fn prefetcher(mut self, choice: PrefetcherChoice) -> Self {
+        self.choice = choice;
+        self
+    }
+
+    /// Sets warm-up length in accesses per core.
+    #[must_use]
+    pub fn warmup(mut self, accesses: u64) -> Self {
+        self.warmup = accesses;
+        self
+    }
+
+    /// Sets measured length in accesses per core.
+    #[must_use]
+    pub fn accesses(mut self, accesses: u64) -> Self {
+        self.accesses = accesses;
+        self
+    }
+
+    /// Overrides the system configuration.
+    #[must_use]
+    pub fn system(mut self, cfg: SystemConfig) -> Self {
+        self.system = cfg;
+        self
+    }
+
+    /// Overrides the virtual-to-physical mapper (Fig. 18/19 study).
+    #[must_use]
+    pub fn page_mapper(mut self, mapper: PageMapper) -> Self {
+        self.fragmentation = Some(mapper);
+        self
+    }
+
+    /// Overrides the sizing window (Set Dueller / Bloom reset period).
+    #[must_use]
+    pub fn sizing_window(mut self, window: u64) -> Self {
+        self.sizing_window = window;
+        self
+    }
+
+    /// Overrides the report's workload label.
+    #[must_use]
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Runs the experiment to completion.
+    pub fn run(self) -> RunReport {
+        let n_cores = self.sources.len();
+        let temporal: Vec<Box<dyn Prefetcher>> =
+            (0..n_cores).map(|_| self.choice.build(self.sizing_window)).collect();
+        let system = MemorySystem::new(self.system, temporal);
+        let mapper = self.fragmentation.unwrap_or_else(|| PageMapper::realistic(0xA11C));
+        let workload = self.label.unwrap_or_else(|| {
+            self.sources.iter().map(|s| s.name().to_string()).collect::<Vec<_>>().join(" & ")
+        });
+        let mut engine = Engine::new(system, self.sources, mapper);
+        engine.run_accesses(self.warmup);
+        engine.start_measurement();
+        engine.run_accesses(self.accesses);
+        engine.report(workload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Comparison;
+    use triangel_types::{Addr, Pc};
+    use triangel_workloads::temporal::{TemporalStream, TemporalStreamConfig};
+
+    fn chase(len: usize) -> TemporalStream {
+        TemporalStream::new(
+            TemporalStreamConfig::pointer_chase("chase", Pc::new(0x40), Addr::new(1 << 30), len),
+            7,
+        )
+    }
+
+    #[test]
+    fn baseline_runs_and_reports() {
+        let r = Experiment::new(chase(50_000))
+            .warmup(20_000)
+            .accesses(50_000)
+            .run();
+        assert!(r.ipc() > 0.0);
+        assert!(r.dram_reads() > 0);
+        assert_eq!(r.cores.len(), 1);
+    }
+
+    #[test]
+    fn triangel_speeds_up_pointer_chase() {
+        // A strict pointer chase over 50k lines: far beyond L2/L3, well
+        // within Markov capacity, fully dependent. This is the
+        // textbook case where a temporal prefetcher must win.
+        let base = Experiment::new(chase(50_000))
+            .warmup(300_000)
+            .accesses(200_000)
+            .sizing_window(60_000)
+            .run();
+        let tri = Experiment::new(chase(50_000))
+            .warmup(300_000)
+            .accesses(200_000)
+            .sizing_window(60_000)
+            .prefetcher(PrefetcherChoice::Triangel)
+            .run();
+        let c = Comparison::new(&base, &tri);
+        assert!(
+            c.speedup > 1.05,
+            "Triangel should accelerate a strict chase, got {:.3}",
+            c.speedup
+        );
+        assert!(c.accuracy > 0.5, "accuracy {:.3}", c.accuracy);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(PrefetcherChoice::TriageDeg4.label(), "Triage-Deg4");
+        assert_eq!(PrefetcherChoice::TriangelLadder(0).label(), "Triage-Deg-4");
+    }
+}

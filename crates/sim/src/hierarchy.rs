@@ -1,0 +1,389 @@
+//! The memory hierarchy: per-core L1/L2 + prefetchers, shared L3 + DRAM.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::config::SystemConfig;
+use triangel_cache::replacement::all_ways;
+use triangel_cache::{Cache, Mshr};
+use triangel_mem::Dram;
+use triangel_prefetch::{
+    CacheView, Prefetcher, PrefetchRequest, PrefetcherStats, StridePrefetcher, TrainEvent,
+    TrainKind,
+};
+use triangel_types::{Cycle, LineAddr, Pc};
+
+/// Per-core accuracy/traffic bookkeeping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Lines the temporal prefetcher filled into the L2.
+    pub temporal_fills: u64,
+    /// Of those, lines demand-used before L2 eviction (accuracy
+    /// numerator, Fig. 12).
+    pub temporal_used: u64,
+    /// Of those, lines evicted unused (accuracy denominator
+    /// complement).
+    pub temporal_wasted: u64,
+    /// Prefetch requests dropped for MSHR pressure.
+    pub prefetches_dropped: u64,
+    /// Total L2 fills (the Second-Chance Sampler's proximity clock).
+    pub l2_fills: u64,
+}
+
+impl CoreStats {
+    /// Prefetch accuracy: used / (used + wasted + still-resident-unused
+    /// approximated by fills). Uses resolved lines only when possible.
+    pub fn accuracy(&self) -> f64 {
+        let resolved = self.temporal_used + self.temporal_wasted;
+        if resolved == 0 {
+            0.0
+        } else {
+            self.temporal_used as f64 / resolved as f64
+        }
+    }
+}
+
+/// One core's private memory-side state.
+#[derive(Debug)]
+struct CoreMem {
+    l1: Cache,
+    l2: Cache,
+    mshr: Mshr,
+    stride: StridePrefetcher,
+    temporal: Box<dyn Prefetcher>,
+    /// Fill-completion times for resident L2 lines (late-prefetch /
+    /// in-flight merge timing).
+    ready_at: HashMap<LineAddr, Cycle>,
+    /// L2-resident lines filled by the *temporal* prefetcher and not yet
+    /// demand-used (accuracy attribution).
+    temporal_resident: HashSet<LineAddr>,
+    stats: CoreStats,
+    pf_snapshot: PrefetcherStats,
+    req_buf: Vec<PrefetchRequest>,
+}
+
+struct ViewPair<'a> {
+    l2: &'a Cache,
+    l3: &'a Cache,
+}
+
+impl CacheView for ViewPair<'_> {
+    fn in_l2(&self, line: LineAddr) -> bool {
+        self.l2.contains(line)
+    }
+    fn in_l3(&self, line: LineAddr) -> bool {
+        self.l3.contains(line)
+    }
+}
+
+/// The assembled memory system.
+///
+/// Fills are applied eagerly with per-line completion timestamps
+/// (`ready_at`), which is exact because the engine issues accesses in
+/// non-decreasing time order; the MSHR file bounds outstanding misses
+/// and drops prefetches under pressure, as hardware does.
+#[derive(Debug)]
+pub struct MemorySystem {
+    cfg: SystemConfig,
+    cores: Vec<CoreMem>,
+    l3: Cache,
+    dram: Dram,
+    /// L3 ways currently ceded to the Markov partition (max over cores'
+    /// wishes; the partition is shared in multiprogrammed mode,
+    /// Section 6.3).
+    markov_ways: usize,
+}
+
+impl MemorySystem {
+    /// Builds the system with one temporal prefetcher per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temporal` is empty.
+    pub fn new(cfg: SystemConfig, temporal: Vec<Box<dyn Prefetcher>>) -> Self {
+        assert!(!temporal.is_empty(), "at least one core required");
+        let cores = temporal
+            .into_iter()
+            .map(|t| CoreMem {
+                l1: Cache::new(cfg.l1.clone()),
+                l2: Cache::new(cfg.l2.clone()),
+                mshr: Mshr::new(cfg.l2_mshrs),
+                stride: StridePrefetcher::new(64, cfg.stride_degree),
+                temporal: t,
+                ready_at: HashMap::new(),
+                temporal_resident: HashSet::new(),
+                stats: CoreStats::default(),
+                pf_snapshot: PrefetcherStats::default(),
+                req_buf: Vec::new(),
+            })
+            .collect();
+        MemorySystem {
+            l3: Cache::new(cfg.l3.clone()),
+            dram: Dram::new(cfg.dram),
+            cores,
+            markov_ways: 0,
+            cfg,
+        }
+    }
+
+    /// Number of cores.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Performs one demand access; returns the cycle the data is ready.
+    pub fn demand_access(&mut self, core_idx: usize, pc: Pc, line: LineAddr, t: Cycle) -> Cycle {
+        let l1_lat = self.cfg.l1.hit_latency();
+        let l2_lat = self.cfg.l2.hit_latency();
+
+        // --- L1 ---
+        let l1_hit = self.cores[core_idx].l1.access(line, Some(pc), false).hit;
+        self.train_stride(core_idx, pc, line, t);
+        if l1_hit {
+            return t + l1_lat;
+        }
+
+        // --- L2 ---
+        let t2 = t + l1_lat;
+        self.cores[core_idx].mshr.complete_until(t2);
+        let l2_out = self.cores[core_idx].l2.access(line, Some(pc), false);
+        if l2_out.hit {
+            // Data may still be in flight (late prefetch).
+            let pending = self.cores[core_idx].ready_at.get(&line).copied().unwrap_or(0);
+            let ready = (t2 + l2_lat).max(pending);
+            if l2_out.prefetch_hit {
+                if self.cores[core_idx].temporal_resident.remove(&line) {
+                    self.cores[core_idx].stats.temporal_used += 1;
+                }
+                self.train_temporal(core_idx, pc, line, TrainKind::L2PrefetchHit, t2);
+            }
+            self.fill_l1(core_idx, pc, line);
+            return ready;
+        }
+
+        // --- L2 miss: wait for an MSHR slot if the file is full ---
+        let mut t3 = t2 + l2_lat;
+        if self.cores[core_idx].mshr.is_full() {
+            if let Some(earliest) = self.cores[core_idx].mshr.earliest_ready() {
+                t3 = t3.max(earliest);
+                self.cores[core_idx].mshr.complete_until(t3);
+            }
+        }
+
+        // --- L3 ---
+        let l3_lat = self.cfg.l3.hit_latency();
+        let l3_hit = self.l3.access(line, Some(pc), false).hit;
+        let ready = if l3_hit {
+            t3 + l3_lat
+        } else {
+            let fetched = self.dram.request(t3 + l3_lat, false).completes_at;
+            self.fill_l3(line, pc, false);
+            fetched
+        };
+
+        self.fill_l2(core_idx, pc, line, false, ready);
+        self.fill_l1(core_idx, pc, line);
+
+        // Train the temporal prefetcher on the miss and issue whatever
+        // it wants, after the demand request is in the DRAM queue.
+        self.train_temporal(core_idx, pc, line, TrainKind::L2Miss, t2);
+        ready
+    }
+
+    fn fill_l1(&mut self, core_idx: usize, pc: Pc, line: LineAddr) {
+        self.cores[core_idx].l1.fill(line, Some(pc), false);
+    }
+
+    fn fill_l3(&mut self, line: LineAddr, pc: Pc, is_prefetch: bool) {
+        self.l3.fill(line, Some(pc), is_prefetch);
+    }
+
+    /// Fills the L2, maintaining readiness and accuracy bookkeeping.
+    fn fill_l2(
+        &mut self,
+        core_idx: usize,
+        pc: Pc,
+        line: LineAddr,
+        temporal_prefetch: bool,
+        ready: Cycle,
+    ) {
+        let core = &mut self.cores[core_idx];
+        let out = core.l2.fill(line, Some(pc), temporal_prefetch);
+        core.stats.l2_fills += 1;
+        if let Some(ev) = out.evicted {
+            core.ready_at.remove(&ev.line);
+            if core.temporal_resident.remove(&ev.line) && ev.was_unused_prefetch {
+                core.stats.temporal_wasted += 1;
+            }
+        }
+        core.ready_at.insert(line, ready);
+        if temporal_prefetch {
+            core.temporal_resident.insert(line);
+            core.stats.temporal_fills += 1;
+        } else {
+            core.temporal_resident.remove(&line);
+        }
+    }
+
+    /// Trains the stride prefetcher (every L1 access) and issues its
+    /// prefetches into L1+L2.
+    fn train_stride(&mut self, core_idx: usize, pc: Pc, line: LineAddr, t: Cycle) {
+        let mut reqs = std::mem::take(&mut self.cores[core_idx].req_buf);
+        reqs.clear();
+        {
+            let core = &mut self.cores[core_idx];
+            let ev = TrainEvent {
+                pc,
+                line,
+                kind: TrainKind::L1Access,
+                cycle: t,
+                l2_fills: core.stats.l2_fills,
+            };
+            let view = ViewPair { l2: &core.l2, l3: &self.l3 };
+            core.stride.on_event(&ev, &view, &mut reqs);
+        }
+        for req in &reqs {
+            self.issue_prefetch(core_idx, *req, t, false);
+        }
+        self.cores[core_idx].req_buf = reqs;
+    }
+
+    /// Trains the temporal prefetcher and issues its prefetches into L2.
+    fn train_temporal(&mut self, core_idx: usize, pc: Pc, line: LineAddr, kind: TrainKind, t: Cycle) {
+        let mut reqs = std::mem::take(&mut self.cores[core_idx].req_buf);
+        reqs.clear();
+        {
+            let core = &mut self.cores[core_idx];
+            let ev =
+                TrainEvent { pc, line, kind, cycle: t, l2_fills: core.stats.l2_fills };
+            let view = ViewPair { l2: &core.l2, l3: &self.l3 };
+            core.temporal.on_event(&ev, &view, &mut reqs);
+        }
+        for req in &reqs {
+            self.issue_prefetch(core_idx, *req, t, true);
+        }
+        self.cores[core_idx].req_buf = reqs;
+        self.update_partition();
+    }
+
+    /// Issues one prefetch request (stride fills L1 too; temporal fills
+    /// only the L2, as in the paper).
+    fn issue_prefetch(&mut self, core_idx: usize, req: PrefetchRequest, t: Cycle, temporal: bool) {
+        let t = t + req.issue_delay;
+        if self.cores[core_idx].l2.contains(req.line) {
+            if !temporal && !self.cores[core_idx].l1.contains(req.line) {
+                self.cores[core_idx].l1.fill(req.line, Some(req.pc), true);
+            }
+            return;
+        }
+        self.cores[core_idx].mshr.complete_until(t);
+        if self.cores[core_idx].mshr.is_full() {
+            self.cores[core_idx].stats.prefetches_dropped += 1;
+            return;
+        }
+        let l3_lat = self.cfg.l3.hit_latency();
+        let l3_hit = self.l3.access(req.line, Some(req.pc), true).hit;
+        let ready = if l3_hit {
+            t + l3_lat
+        } else {
+            let fetched = self.dram.request(t + l3_lat, true).completes_at;
+            self.fill_l3(req.line, req.pc, true);
+            fetched
+        };
+        self.cores[core_idx].mshr.allocate(req.line, ready, true);
+        self.fill_l2(core_idx, req.pc, req.line, temporal, ready);
+        if !temporal {
+            self.cores[core_idx].l1.fill(req.line, Some(req.pc), true);
+        }
+    }
+
+    /// Applies the prefetchers' partition wishes to the L3 data mask
+    /// (shared partition: the maximum wish wins).
+    fn update_partition(&mut self) {
+        let want = self
+            .cores
+            .iter()
+            .map(|c| c.temporal.desired_markov_ways())
+            .max()
+            .unwrap_or(0)
+            .min(self.cfg.max_markov_ways);
+        if want != self.markov_ways {
+            self.markov_ways = want;
+            let total = self.cfg.l3.ways();
+            let mask = all_ways(total) & !all_ways(want);
+            let _flushed = self.l3.set_way_mask(mask);
+        }
+    }
+
+    /// Evicts stale readiness records (bounded memory on long runs).
+    pub fn prune_ready(&mut self, now: Cycle) {
+        for core in &mut self.cores {
+            core.ready_at.retain(|_, ready| *ready > now);
+        }
+    }
+
+    /// Resets all measurement counters (after warm-up), keeping cache
+    /// and predictor state.
+    pub fn reset_measurement(&mut self) {
+        for core in &mut self.cores {
+            core.l1.reset_stats();
+            core.l2.reset_stats();
+            core.stats = CoreStats::default();
+            core.pf_snapshot = core.temporal.stats();
+        }
+        self.l3.reset_stats();
+        self.dram.reset_stats();
+    }
+
+    /// Per-core accuracy/traffic counters.
+    pub fn core_stats(&self, core_idx: usize) -> CoreStats {
+        self.cores[core_idx].stats
+    }
+
+    /// Per-core L2 statistics.
+    pub fn l2_stats(&self, core_idx: usize) -> triangel_cache::CacheStats {
+        self.cores[core_idx].l2.stats()
+    }
+
+    /// Shared L3 statistics.
+    pub fn l3_stats(&self) -> triangel_cache::CacheStats {
+        self.l3.stats()
+    }
+
+    /// DRAM statistics.
+    pub fn dram_stats(&self) -> triangel_mem::DramStats {
+        self.dram.stats()
+    }
+
+    /// Temporal-prefetcher statistics since the last measurement reset.
+    pub fn prefetcher_stats(&self, core_idx: usize) -> PrefetcherStats {
+        let now = self.cores[core_idx].temporal.stats();
+        let snap = self.cores[core_idx].pf_snapshot;
+        PrefetcherStats {
+            prefetches_issued: now.prefetches_issued - snap.prefetches_issued,
+            markov_reads: now.markov_reads - snap.markov_reads,
+            markov_writes: now.markov_writes - snap.markov_writes,
+            mrb_hits: now.mrb_hits - snap.mrb_hits,
+            updates_suppressed: now.updates_suppressed - snap.updates_suppressed,
+        }
+    }
+
+    /// The temporal prefetcher's display name.
+    pub fn prefetcher_name(&self, core_idx: usize) -> &str {
+        self.cores[core_idx].temporal.name()
+    }
+
+    /// The temporal prefetcher's diagnostic snapshot.
+    pub fn prefetcher_debug(&self, core_idx: usize) -> String {
+        self.cores[core_idx].temporal.debug_string()
+    }
+
+    /// Current Markov partition allocation (ways of the L3).
+    pub fn markov_ways(&self) -> usize {
+        self.markov_ways
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+}

@@ -1,0 +1,45 @@
+//! The trace-driven timing simulator.
+//!
+//! This crate assembles the substrates into the paper's evaluation
+//! system (Table 2): a 5-wide out-of-order core approximation with a
+//! 288-entry ROB, L1D/L2/L3 caches with MSHRs, an LPDDR5-like DRAM
+//! channel, the baseline stride prefetcher, and one of the temporal
+//! prefetchers (Triage or Triangel) attached to the L2 with its Markov
+//! table in an L3 way-partition.
+//!
+//! The timing model is an interval approximation rather than a
+//! cycle-accurate pipeline (see DESIGN.md): out-of-order *issue* limited
+//! by ROB occupancy and load dependences, in-order *retire*, and a
+//! bandwidth-limited memory system. This reproduces the first-order
+//! effects temporal prefetching lives on — memory-level parallelism,
+//! prefetch timeliness, and DRAM congestion.
+//!
+//! # Examples
+//!
+//! ```
+//! use triangel_sim::{Experiment, PrefetcherChoice};
+//! use triangel_workloads::spec::SpecWorkload;
+//!
+//! let report = Experiment::new(SpecWorkload::Xalan.generator(1))
+//!     .warmup(5_000)
+//!     .accesses(10_000)
+//!     .prefetcher(PrefetcherChoice::Triangel)
+//!     .run();
+//! assert!(report.ipc() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod engine;
+mod experiment;
+mod hierarchy;
+mod metrics;
+pub mod report;
+
+pub use config::SystemConfig;
+pub use engine::Engine;
+pub use experiment::{Experiment, PrefetcherChoice};
+pub use hierarchy::{CoreStats, MemorySystem};
+pub use metrics::{Comparison, RunReport};

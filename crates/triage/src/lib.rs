@@ -1,0 +1,340 @@
+//! The fixed Triage baseline (Wu et al., MICRO 2019 / IEEE TC 2022).
+//!
+//! This is the "implementable Triage" the paper constructs in Section 3:
+//! the PC-indexed training table, the Markov table stored in an L3
+//! partition with set + sub-set indexing, 32-bit entries with a
+//! 1024-entry lookup table (or any of the Fig. 18 format variants),
+//! HawkEye entry replacement, the confidence bit used for same-index
+//! replacement, and Bloom-filter partition sizing (Section 3.5).
+//!
+//! Evaluated configurations map to [`TriageConfig`] presets:
+//! * `Triage` — degree 1, lookahead 1 ([`TriageConfig::paper_default`]).
+//! * `Triage-Deg4` — unconditional degree 4 ([`TriageConfig::degree4`]).
+//! * `Triage-Deg4-Look2` — degree 4 plus Triangel's lookahead-2 applied
+//!   to Triage ([`TriageConfig::degree4_lookahead2`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use triangel_triage::{Triage, TriageConfig};
+//! use triangel_prefetch::{NullCacheView, Prefetcher, TrainEvent, TrainKind};
+//! use triangel_types::{LineAddr, Pc};
+//!
+//! let mut pf = Triage::new(TriageConfig::paper_default());
+//! let mut out = Vec::new();
+//! // Two passes over the same miss sequence from one PC.
+//! for pass in 0..2 {
+//!     for line in [10u64, 20, 30, 40] {
+//!         out.clear();
+//!         let ev = TrainEvent {
+//!             pc: Pc::new(0x400),
+//!             line: LineAddr::new(line),
+//!             kind: TrainKind::L2Miss,
+//!             cycle: 0,
+//!             l2_fills: 0,
+//!         };
+//!         pf.on_event(&ev, &NullCacheView, &mut out);
+//!     }
+//!     let _ = pass;
+//! }
+//! // On the second pass, seeing 10 predicts 20, etc.
+//! assert!(!out.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod training;
+
+pub use training::{TrainingTable, TrainingUpdate};
+
+use triangel_markov::{MarkovTable, MarkovTableConfig};
+use triangel_prefetch::{
+    BloomFilter, CacheView, Prefetcher, PrefetchRequest, PrefetcherStats, TrainEvent, TrainKind,
+};
+use triangel_types::{Cycle, LineAddr};
+
+/// Configuration of the Triage prefetcher.
+#[derive(Debug, Clone, Copy)]
+pub struct TriageConfig {
+    /// Chained prefetches per trigger (1 or 4 in the paper).
+    pub degree: usize,
+    /// Training lookahead: 1 stores `(prev, cur)`; 2 stores
+    /// `(prev_prev, cur)` (Triangel's mechanism applied to Triage for
+    /// the `Triage-Deg4-Look2` configuration).
+    pub lookahead: usize,
+    /// Markov-table geometry and format.
+    pub table: MarkovTableConfig,
+    /// Training-table entries (512, as in Triangel's Table 1 sizing).
+    pub training_entries: usize,
+    /// Cycles per Markov-partition access: 20 L3 cycles + 5 for
+    /// compressed-metadata handling (Section 5).
+    pub markov_latency: Cycle,
+    /// Bits in the sizing Bloom filter.
+    pub bloom_bits: usize,
+    /// Accesses per sizing window (the paper's 30M-instruction window
+    /// scaled to prefetcher events).
+    pub sizing_window: u64,
+}
+
+impl TriageConfig {
+    /// The paper's default Triage: degree 1.
+    pub fn paper_default() -> Self {
+        TriageConfig {
+            degree: 1,
+            lookahead: 1,
+            table: MarkovTableConfig::triage(),
+            training_entries: 512,
+            markov_latency: 25,
+            bloom_bits: 1 << 20, // ~131 KiB: the "too large" structure of Sec. 3.5
+            sizing_window: 250_000,
+        }
+    }
+
+    /// `Triage-Deg4`: unconditional degree 4.
+    pub fn degree4() -> Self {
+        TriageConfig { degree: 4, ..TriageConfig::paper_default() }
+    }
+
+    /// `Triage-Deg4-Look2`: degree 4 with lookahead 2.
+    pub fn degree4_lookahead2() -> Self {
+        TriageConfig { degree: 4, lookahead: 2, ..TriageConfig::paper_default() }
+    }
+
+    /// Same config with a different Markov format (Fig. 18 sweep).
+    #[must_use]
+    pub fn with_format(mut self, format: triangel_markov::TargetFormat) -> Self {
+        self.table.format = format;
+        self
+    }
+}
+
+/// The Triage prefetcher.
+#[derive(Debug)]
+pub struct Triage {
+    cfg: TriageConfig,
+    training: TrainingTable,
+    markov: MarkovTable,
+    bloom: BloomFilter,
+    window_left: u64,
+    desired_ways: usize,
+    issued: u64,
+    name: String,
+}
+
+impl Triage {
+    /// Builds Triage from its configuration.
+    pub fn new(cfg: TriageConfig) -> Self {
+        let name = match (cfg.degree, cfg.lookahead) {
+            (1, 1) => "Triage".to_string(),
+            (4, 1) => "Triage-Deg4".to_string(),
+            (4, 2) => "Triage-Deg4-Look2".to_string(),
+            (d, l) => format!("Triage-Deg{d}-Look{l}"),
+        };
+        Triage {
+            training: TrainingTable::new(cfg.training_entries, cfg.lookahead),
+            markov: MarkovTable::new(cfg.table),
+            bloom: BloomFilter::new(cfg.bloom_bits, 4),
+            window_left: cfg.sizing_window,
+            desired_ways: 0,
+            issued: 0,
+            cfg,
+            name,
+        }
+    }
+
+    /// Read access to the Markov table (for experiments and tests).
+    pub fn markov(&self) -> &MarkovTable {
+        &self.markov
+    }
+
+    /// Grows the partition target to fit the unique indices seen this
+    /// window (Section 3.5: a Bloom miss means a never-seen address, so
+    /// the target size is increased to fit it). Shrinks only at window
+    /// boundaries.
+    fn update_sizing(&mut self, line: LineAddr) {
+        let seen = self.bloom.insert(line.index());
+        if !seen {
+            let epl = self.cfg.table.format.entries_per_line();
+            let per_way = self.cfg.table.sets * epl;
+            let needed = (self.bloom.unique_inserts() as usize).div_ceil(per_way);
+            if needed > self.desired_ways {
+                self.desired_ways = needed.min(self.cfg.table.max_ways);
+                self.markov.set_ways(self.desired_ways);
+            }
+        }
+        self.window_left -= 1;
+        if self.window_left == 0 {
+            self.window_left = self.cfg.sizing_window;
+            // New window: re-derive the target from fresh observations.
+            let epl = self.cfg.table.format.entries_per_line();
+            let per_way = self.cfg.table.sets * epl;
+            self.bloom.reset();
+            // Keep current allocation until the new window justifies a
+            // different size; record the floor so shrink happens lazily.
+            let _ = per_way;
+        }
+    }
+}
+
+impl Prefetcher for Triage {
+    fn on_event(&mut self, ev: &TrainEvent, _caches: &dyn CacheView, out: &mut Vec<PrefetchRequest>) {
+        if !matches!(ev.kind, TrainKind::L2Miss | TrainKind::L2PrefetchHit) {
+            return;
+        }
+        self.update_sizing(ev.line);
+
+        // Train the Markov table from the per-PC history.
+        let update = self.training.update(ev.pc, ev.line);
+        if let Some(prev) = update.train_index {
+            self.markov.train(prev, ev.line, ev.pc);
+        }
+
+        // Generate chained prefetches from the current address.
+        let mut cursor = ev.line;
+        for hop in 0..self.cfg.degree {
+            let Some(hit) = self.markov.lookup(cursor) else { break };
+            let delay = (hop as Cycle + 1) * self.cfg.markov_latency;
+            out.push(PrefetchRequest { line: hit.target, pc: ev.pc, issue_delay: delay });
+            self.issued += 1;
+            cursor = hit.target;
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn desired_markov_ways(&self) -> usize {
+        self.desired_ways
+    }
+
+    fn stats(&self) -> PrefetcherStats {
+        let m = self.markov.stats();
+        PrefetcherStats {
+            prefetches_issued: self.issued,
+            markov_reads: m.reads,
+            markov_writes: m.writes,
+            mrb_hits: 0,
+            updates_suppressed: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triangel_prefetch::NullCacheView;
+    use triangel_types::Pc;
+
+    fn ev(pc: u64, line: u64) -> TrainEvent {
+        TrainEvent {
+            pc: Pc::new(pc),
+            line: LineAddr::new(line),
+            kind: TrainKind::L2Miss,
+            cycle: 0,
+            l2_fills: 0,
+        }
+    }
+
+    fn drive(pf: &mut Triage, pc: u64, lines: &[u64]) -> Vec<PrefetchRequest> {
+        let mut all = Vec::new();
+        let mut out = Vec::new();
+        for l in lines {
+            out.clear();
+            pf.on_event(&ev(pc, *l), &NullCacheView, &mut out);
+            all.extend(out.iter().copied());
+        }
+        all
+    }
+
+    #[test]
+    fn second_pass_prefetches_successors() {
+        let mut pf = Triage::new(TriageConfig::paper_default());
+        drive(&mut pf, 1, &[10, 20, 30, 40]);
+        let reqs = drive(&mut pf, 1, &[10]);
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].line, LineAddr::new(20));
+        assert_eq!(reqs[0].issue_delay, 25);
+    }
+
+    #[test]
+    fn degree4_chains_lookups() {
+        let mut pf = Triage::new(TriageConfig::degree4());
+        drive(&mut pf, 1, &[10, 20, 30, 40, 50]);
+        let reqs = drive(&mut pf, 1, &[10]);
+        let lines: Vec<u64> = reqs.iter().map(|r| r.line.index()).collect();
+        assert_eq!(lines, vec![20, 30, 40, 50]);
+        // Chained walks pay the metadata latency per hop.
+        assert_eq!(reqs[3].issue_delay, 4 * 25);
+    }
+
+    #[test]
+    fn lookahead2_stores_skip_pairs() {
+        let mut pf = Triage::new(TriageConfig::degree4_lookahead2());
+        drive(&mut pf, 1, &[10, 20, 30, 40, 50]);
+        let reqs = drive(&mut pf, 1, &[10]);
+        assert!(!reqs.is_empty());
+        // (10 -> 30): the entry skips the immediate successor.
+        assert_eq!(reqs[0].line, LineAddr::new(30));
+    }
+
+    #[test]
+    fn pc_localization_separates_streams() {
+        let mut pf = Triage::new(TriageConfig::paper_default());
+        // Interleaved PCs with different sequences.
+        let mut out = Vec::new();
+        for (a, b) in [(10u64, 100u64), (20, 200), (30, 300)] {
+            out.clear();
+            pf.on_event(&ev(0x40, a), &NullCacheView, &mut out);
+            out.clear();
+            pf.on_event(&ev(0x80, b), &NullCacheView, &mut out);
+        }
+        let reqs = drive(&mut pf, 0x40, &[10]);
+        assert_eq!(reqs[0].line, LineAddr::new(20), "PC 0x40's stream must not see PC 0x80's");
+    }
+
+    #[test]
+    fn partition_grows_with_footprint() {
+        let mut pf = Triage::new(TriageConfig::paper_default());
+        assert_eq!(pf.desired_markov_ways(), 0);
+        // Touch far more unique lines than one way holds
+        // (64-set test table would differ; default is 2048 sets x 16/line
+        // = 32768 per way).
+        let lines: Vec<u64> = (0..40_000u64).map(|k| k * 7).collect();
+        drive(&mut pf, 1, &lines);
+        assert!(pf.desired_markov_ways() >= 1);
+        assert!(pf.markov().ways() >= 1);
+    }
+
+    #[test]
+    fn ignores_l1_events() {
+        let mut pf = Triage::new(TriageConfig::paper_default());
+        let mut out = Vec::new();
+        let mut e = ev(1, 10);
+        e.kind = TrainKind::L1Access;
+        pf.on_event(&e, &NullCacheView, &mut out);
+        assert_eq!(pf.stats().markov_writes, 0);
+    }
+
+    #[test]
+    fn stats_count_markov_traffic() {
+        let mut pf = Triage::new(TriageConfig::degree4());
+        drive(&mut pf, 1, &[10, 20, 30, 40, 50]);
+        let before = pf.stats().markov_reads;
+        drive(&mut pf, 1, &[10]);
+        let after = pf.stats().markov_reads;
+        // Degree-4 walk = 4 chained reads (plus the trigger's own).
+        assert!(after - before >= 4, "chained reads uncounted");
+    }
+
+    #[test]
+    fn names_match_paper_configs() {
+        assert_eq!(Triage::new(TriageConfig::paper_default()).name(), "Triage");
+        assert_eq!(Triage::new(TriageConfig::degree4()).name(), "Triage-Deg4");
+        assert_eq!(
+            Triage::new(TriageConfig::degree4_lookahead2()).name(),
+            "Triage-Deg4-Look2"
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Triage's PC-indexed training table.
+
+use triangel_types::{xor_fold, LineAddr, Pc};
+
+/// One training-table entry: the per-PC miss history shift register.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    pc_tag: u16,
+    valid: bool,
+    /// `last[0]` is the most recent miss/prefetch-hit; `last[1]` the one
+    /// before (only maintained when lookahead 2 is configured).
+    last: [Option<LineAddr>; 2],
+}
+
+/// Result of a training-table update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainingUpdate {
+    /// The Markov index to train with the current address as target:
+    /// `last[0]` for lookahead 1, `last[1]` for lookahead 2
+    /// (Section 4.5: "the latter is used as the Markov-table index...
+    /// increasing lookahead").
+    pub train_index: Option<LineAddr>,
+    /// Whether the PC's entry was newly allocated (history was lost).
+    pub allocated: bool,
+}
+
+/// The PC-indexed, PC-tag-hashed training table (Fig. 1 / Fig. 5 of the
+/// paper, without Triangel's extra fields).
+///
+/// Direct-mapped on a hash of the PC with a 10-bit tag, like the paper's
+/// structures; collisions reset the history, as real hardware would.
+#[derive(Debug)]
+pub struct TrainingTable {
+    slots: Vec<Slot>,
+    lookahead: usize,
+    index_bits: u32,
+}
+
+impl TrainingTable {
+    /// Creates a table with `entries` slots (rounded up to a power of
+    /// two) and the given lookahead (1 or 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or `lookahead` is not 1 or 2.
+    pub fn new(entries: usize, lookahead: usize) -> Self {
+        assert!(entries > 0, "training table needs entries");
+        assert!(lookahead == 1 || lookahead == 2, "lookahead must be 1 or 2");
+        let n = entries.next_power_of_two();
+        TrainingTable {
+            slots: vec![Slot::default(); n],
+            lookahead,
+            index_bits: n.trailing_zeros(),
+        }
+    }
+
+    fn index_of(&self, pc: Pc) -> (usize, u16) {
+        let idx = if self.index_bits == 0 {
+            0
+        } else {
+            (xor_fold(pc.get() >> 2, self.index_bits) as usize) & (self.slots.len() - 1)
+        };
+        let tag = xor_fold(pc.get() >> 2, 10) as u16;
+        (idx, tag)
+    }
+
+    /// Records a miss/prefetch-hit for `pc` and returns which Markov
+    /// index (if any) should now be trained with `line` as its target.
+    pub fn update(&mut self, pc: Pc, line: LineAddr) -> TrainingUpdate {
+        let (idx, tag) = self.index_of(pc);
+        let slot = &mut self.slots[idx];
+        let allocated = !(slot.valid && slot.pc_tag == tag);
+        if allocated {
+            *slot = Slot { pc_tag: tag, valid: true, last: [None, None] };
+        }
+        let train_index = if self.lookahead == 2 { slot.last[1] } else { slot.last[0] };
+        // Shift the history register.
+        slot.last[1] = slot.last[0];
+        slot.last[0] = Some(line);
+        TrainingUpdate { train_index, allocated }
+    }
+
+    /// Peeks at the most recent address recorded for `pc`.
+    pub fn last_addr(&self, pc: Pc) -> Option<LineAddr> {
+        let (idx, tag) = self.index_of(pc);
+        let slot = &self.slots[idx];
+        (slot.valid && slot.pc_tag == tag)
+            .then_some(slot.last[0])
+            .flatten()
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookahead1_trains_previous() {
+        let mut t = TrainingTable::new(64, 1);
+        let pc = Pc::new(0x40);
+        assert_eq!(t.update(pc, LineAddr::new(1)).train_index, None);
+        assert_eq!(t.update(pc, LineAddr::new(2)).train_index, Some(LineAddr::new(1)));
+        assert_eq!(t.update(pc, LineAddr::new(3)).train_index, Some(LineAddr::new(2)));
+    }
+
+    #[test]
+    fn lookahead2_trains_two_back() {
+        let mut t = TrainingTable::new(64, 2);
+        let pc = Pc::new(0x40);
+        assert_eq!(t.update(pc, LineAddr::new(1)).train_index, None);
+        assert_eq!(t.update(pc, LineAddr::new(2)).train_index, None);
+        // Pattern (x, y, z): stores (x, z) as the paper describes.
+        assert_eq!(t.update(pc, LineAddr::new(3)).train_index, Some(LineAddr::new(1)));
+        assert_eq!(t.update(pc, LineAddr::new(4)).train_index, Some(LineAddr::new(2)));
+    }
+
+    #[test]
+    fn distinct_pcs_have_distinct_histories() {
+        let mut t = TrainingTable::new(64, 1);
+        t.update(Pc::new(0x40), LineAddr::new(1));
+        t.update(Pc::new(0x44), LineAddr::new(100));
+        assert_eq!(
+            t.update(Pc::new(0x40), LineAddr::new(2)).train_index,
+            Some(LineAddr::new(1))
+        );
+    }
+
+    #[test]
+    fn collision_resets_history() {
+        // Force a collision with a 1-entry table.
+        let mut t = TrainingTable::new(1, 1);
+        t.update(Pc::new(0x40), LineAddr::new(1));
+        let u = t.update(Pc::new(0x1234_5678), LineAddr::new(2));
+        assert!(u.allocated);
+        assert_eq!(u.train_index, None, "stale history must not train");
+    }
+
+    #[test]
+    fn last_addr_peek() {
+        let mut t = TrainingTable::new(64, 1);
+        let pc = Pc::new(0x8);
+        assert_eq!(t.last_addr(pc), None);
+        t.update(pc, LineAddr::new(9));
+        assert_eq!(t.last_addr(pc), Some(LineAddr::new(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead must be 1 or 2")]
+    fn bad_lookahead_rejected() {
+        let _ = TrainingTable::new(8, 3);
+    }
+}

@@ -1,0 +1,143 @@
+//! Saturating counters, the workhorse of prefetcher confidence tracking.
+
+use std::fmt;
+
+/// An unsigned saturating counter with an inclusive maximum.
+///
+/// Triangel's confidence fields (Section 4.2) are saturating counters:
+/// `ReuseConf` is 4 bits, `PatternConf` is two 4-bit counters with
+/// asymmetric increments/decrements, `SampleRate` is 4 bits initialized
+/// to 8. This type models all of them.
+///
+/// # Examples
+///
+/// ```
+/// use triangel_types::SaturatingCounter;
+///
+/// // A 4-bit counter initialized to 8, like ReuseConf.
+/// let mut c = SaturatingCounter::with_initial(15, 8);
+/// c.add(10);
+/// assert_eq!(c.get(), 15); // saturated at max
+/// c.sub(20);
+/// assert_eq!(c.get(), 0); // saturated at zero
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SaturatingCounter {
+    value: u32,
+    max: u32,
+}
+
+impl SaturatingCounter {
+    /// Creates a counter with the given maximum, starting at zero.
+    pub const fn new(max: u32) -> Self {
+        SaturatingCounter { value: 0, max }
+    }
+
+    /// Creates a counter with the given maximum and initial value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial > max`.
+    pub fn with_initial(max: u32, initial: u32) -> Self {
+        assert!(initial <= max, "initial value exceeds counter maximum");
+        SaturatingCounter { value: initial, max }
+    }
+
+    /// Creates an n-bit counter (maximum `2^bits - 1`) starting at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or greater than 32.
+    pub fn with_bits(bits: u32) -> Self {
+        assert!(bits > 0 && bits <= 32, "bits must be in 1..=32");
+        SaturatingCounter::new(if bits == 32 { u32::MAX } else { (1 << bits) - 1 })
+    }
+
+    /// Returns the current value.
+    pub const fn get(&self) -> u32 {
+        self.value
+    }
+
+    /// Returns the maximum value.
+    pub const fn max_value(&self) -> u32 {
+        self.max
+    }
+
+    /// Returns `true` if the counter is at its maximum.
+    pub const fn is_saturated(&self) -> bool {
+        self.value == self.max
+    }
+
+    /// Increments by 1, saturating at the maximum.
+    pub fn inc(&mut self) {
+        self.add(1);
+    }
+
+    /// Decrements by 1, saturating at zero.
+    pub fn dec(&mut self) {
+        self.sub(1);
+    }
+
+    /// Adds `n`, saturating at the maximum.
+    pub fn add(&mut self, n: u32) {
+        self.value = self.value.saturating_add(n).min(self.max);
+    }
+
+    /// Subtracts `n`, saturating at zero.
+    pub fn sub(&mut self, n: u32) {
+        self.value = self.value.saturating_sub(n);
+    }
+
+    /// Sets the value directly, clamping to the maximum.
+    pub fn set(&mut self, value: u32) {
+        self.value = value.min(self.max);
+    }
+}
+
+impl fmt::Display for SaturatingCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.value, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_both_ends() {
+        let mut c = SaturatingCounter::with_bits(4);
+        assert_eq!(c.max_value(), 15);
+        c.sub(5);
+        assert_eq!(c.get(), 0);
+        c.add(100);
+        assert_eq!(c.get(), 15);
+        assert!(c.is_saturated());
+    }
+
+    #[test]
+    fn asymmetric_updates_model_pattern_conf() {
+        // BasePatternConf: +1 on match, -2 on mismatch; saturates high only
+        // if accuracy > 2/3 (Section 4.4.2). With alternating outcomes it
+        // should sink toward zero.
+        let mut c = SaturatingCounter::with_initial(15, 8);
+        for _ in 0..8 {
+            c.add(1);
+            c.sub(2);
+        }
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn set_clamps() {
+        let mut c = SaturatingCounter::with_bits(2);
+        c.set(9);
+        assert_eq!(c.get(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial value exceeds")]
+    fn with_initial_validates() {
+        let _ = SaturatingCounter::with_initial(3, 4);
+    }
+}

@@ -1,0 +1,220 @@
+//! Deterministic pseudo-random number generators.
+//!
+//! The paper notes (footnote 6) that "simple methods such as linear
+//! congruential are fine; cryptographic randomness is not required" for the
+//! History Sampler's probabilistic insertion. The whole simulator is
+//! deterministic: the same seed always produces the same run, which the test
+//! suite relies on.
+
+/// A 64-bit linear congruential generator (Knuth's MMIX constants).
+///
+/// Used for the hardware-plausible sampling decisions inside the
+/// prefetchers (History Sampler insertion, set selection).
+///
+/// # Examples
+///
+/// ```
+/// use triangel_types::rng::Lcg;
+///
+/// let mut a = Lcg::new(42);
+/// let mut b = Lcg::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    /// Creates a generator from a seed. The seed is pre-mixed so that
+    /// small seeds (0, 1, 2...) still diverge immediately.
+    pub fn new(seed: u64) -> Self {
+        let mut s = SplitMix64::new(seed);
+        Lcg { state: s.next_u64() | 1 }
+    }
+
+    /// Returns the next pseudo-random 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        // MMIX LCG by Donald Knuth.
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        // The low bits of an LCG are weak; fold the high bits down.
+        self.state ^ (self.state >> 33)
+    }
+
+    /// Returns a value uniformly distributed in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "next_below requires n > 0");
+        // Multiply-shift range reduction (Lemire); bias is negligible for
+        // simulator purposes and the generator stays branch-predictable.
+        let x = self.next_u64();
+        ((x as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        let threshold = (p * (u64::MAX as f64)) as u64;
+        self.next_u64() <= threshold
+    }
+}
+
+impl Default for Lcg {
+    fn default() -> Self {
+        Lcg::new(0)
+    }
+}
+
+/// SplitMix64: a tiny, high-quality mixer used for seeding and for
+/// workload generation where independent streams are needed.
+///
+/// # Examples
+///
+/// ```
+/// use triangel_types::rng::SplitMix64;
+///
+/// let mut s = SplitMix64::new(7);
+/// let first = s.next_u64();
+/// assert_ne!(first, s.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next pseudo-random 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a value uniformly distributed in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "next_below requires n > 0");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Returns a uniformly distributed `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// workload region its own stream.
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+impl Default for SplitMix64 {
+    fn default() -> Self {
+        SplitMix64::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_is_deterministic() {
+        let mut a = Lcg::new(123);
+        let mut b = Lcg::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Lcg::new(1);
+        let mut b = Lcg::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn next_below_in_range() {
+        let mut r = Lcg::new(9);
+        for _ in 0..1000 {
+            assert!(r.next_below(7) < 7);
+        }
+        let mut s = SplitMix64::new(9);
+        for _ in 0..1000 {
+            assert!(s.next_below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Lcg::new(5);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn chance_roughly_calibrated() {
+        let mut r = Lcg::new(77);
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits={hits}");
+        let mut s = SplitMix64::new(77);
+        let hits = (0..10_000).filter(|_| s.chance(0.5)).count();
+        assert!((4500..5500).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn splitmix_f64_in_unit_interval() {
+        let mut s = SplitMix64::new(3);
+        for _ in 0..1000 {
+            let x = s.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn fork_produces_independent_stream() {
+        let mut parent = SplitMix64::new(10);
+        let mut child = parent.fork();
+        assert_ne!(parent.next_u64(), child.next_u64());
+    }
+
+    #[test]
+    fn lcg_distribution_covers_buckets() {
+        let mut r = Lcg::new(4242);
+        let mut buckets = [0u32; 16];
+        for _ in 0..16_000 {
+            buckets[r.next_below(16) as usize] += 1;
+        }
+        for (i, b) in buckets.iter().enumerate() {
+            assert!(*b > 500, "bucket {i} too empty: {b}");
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Statistics utilities used by the evaluation harness.
+//!
+//! The paper reports speedups as geometric means over workloads, traffic
+//! and energy normalized to a baseline, and accuracy/coverage as ratios;
+//! the helpers here implement exactly those reductions.
+
+use std::fmt;
+
+/// Computes the geometric mean of a slice of positive values.
+///
+/// Returns `None` when the slice is empty or any value is non-positive
+/// (the geometric mean is undefined there).
+///
+/// # Examples
+///
+/// ```
+/// use triangel_types::stats::geomean;
+///
+/// let g = geomean(&[1.0, 4.0]).unwrap();
+/// assert!((g - 2.0).abs() < 1e-12);
+/// assert!(geomean(&[]).is_none());
+/// ```
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|v| *v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Computes the arithmetic mean; `None` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use triangel_types::stats::mean;
+///
+/// assert_eq!(mean(&[1.0, 3.0]), Some(2.0));
+/// ```
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// A ratio of two event counts, e.g. hits / accesses.
+///
+/// Keeps the numerator and denominator separately so the harness can merge
+/// ratios across simulation windows without losing precision.
+///
+/// # Examples
+///
+/// ```
+/// use triangel_types::stats::Ratio;
+///
+/// let mut r = Ratio::new();
+/// r.add_hit();
+/// r.add_miss();
+/// assert_eq!(r.value(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Ratio {
+    hits: u64,
+    total: u64,
+}
+
+impl Ratio {
+    /// Creates an empty ratio (0/0, reported as 0.0).
+    pub const fn new() -> Self {
+        Ratio { hits: 0, total: 0 }
+    }
+
+    /// Creates a ratio from explicit counts.
+    pub const fn from_counts(hits: u64, total: u64) -> Self {
+        Ratio { hits, total }
+    }
+
+    /// Records a success (increments both numerator and denominator).
+    pub fn add_hit(&mut self) {
+        self.hits += 1;
+        self.total += 1;
+    }
+
+    /// Records a failure (increments the denominator only).
+    pub fn add_miss(&mut self) {
+        self.total += 1;
+    }
+
+    /// Records an event with an explicit outcome.
+    pub fn record(&mut self, hit: bool) {
+        if hit {
+            self.add_hit()
+        } else {
+            self.add_miss()
+        }
+    }
+
+    /// Returns the numerator.
+    pub const fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Returns the denominator.
+    pub const fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Returns the ratio as a float, or 0.0 if no events were recorded.
+    pub fn value(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+
+    /// Merges another ratio into this one.
+    pub fn merge(&mut self, other: Ratio) {
+        self.hits += other.hits;
+        self.total += other.total;
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} ({:.3})", self.hits, self.total, self.value())
+    }
+}
+
+/// A power-of-two bucketed histogram for distances and latencies.
+///
+/// Bucket `i` counts values in `[2^i, 2^(i+1))`, with bucket 0 counting 0
+/// and 1.
+///
+/// # Examples
+///
+/// ```
+/// use triangel_types::stats::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.record(0);
+/// h.record(5);
+/// h.record(5);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.bucket_count(2), 2); // 4..8
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = if value < 2 {
+            0
+        } else {
+            63 - value.leading_zeros() as usize
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+    }
+
+    /// Returns the total number of samples.
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns the number of samples in power-of-two bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 64`.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Returns the arithmetic mean of the samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Returns the maximum recorded sample (0 when empty).
+    pub const fn max(&self) -> u64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basic() {
+        let g = geomean(&[2.0, 8.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_rejects_nonpositive() {
+        assert!(geomean(&[1.0, 0.0]).is_none());
+        assert!(geomean(&[1.0, -2.0]).is_none());
+    }
+
+    #[test]
+    fn geomean_single() {
+        assert_eq!(geomean(&[3.5]), Some(3.5));
+    }
+
+    #[test]
+    fn ratio_merge() {
+        let mut a = Ratio::from_counts(1, 2);
+        a.merge(Ratio::from_counts(3, 6));
+        assert_eq!(a.hits(), 4);
+        assert_eq!(a.total(), 8);
+        assert_eq!(a.value(), 0.5);
+    }
+
+    #[test]
+    fn ratio_empty_is_zero() {
+        assert_eq!(Ratio::new().value(), 0.0);
+    }
+
+    #[test]
+    fn ratio_display() {
+        let r = Ratio::from_counts(1, 4);
+        assert_eq!(r.to_string(), "1/4 (0.250)");
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket_count(0), 1); // 1
+        assert_eq!(h.bucket_count(1), 2); // 2,3
+        assert_eq!(h.bucket_count(2), 1); // 4
+        assert_eq!(h.bucket_count(10), 1); // 1024
+        assert_eq!(h.max(), 1024);
+        assert!((h.mean() - (1.0 + 2.0 + 3.0 + 4.0 + 1024.0) / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_empty() {
+        assert!(mean(&[]).is_none());
+    }
+}

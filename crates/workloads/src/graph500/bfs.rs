@@ -1,0 +1,219 @@
+//! Breadth-first search with a traced address stream.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use super::csr::Csr;
+use crate::trace::{MemoryAccess, TraceSource};
+use triangel_types::rng::SplitMix64;
+use triangel_types::{Addr, Pc};
+
+// Virtual layout of the BFS data structures (disjoint high regions).
+const QUEUE_BASE: u64 = 0x60_0000_0000;
+const OFFSETS_BASE: u64 = 0x61_0000_0000;
+const EDGES_BASE: u64 = 0x62_0000_0000;
+const VISITED_BASE: u64 = 0x68_0000_0000;
+
+// One PC per access site, as a compiler would emit.
+const PC_POP: Pc = Pc::new(0xBF5_00);
+const PC_OFFSETS: Pc = Pc::new(0xBF5_04);
+const PC_EDGES: Pc = Pc::new(0xBF5_08);
+const PC_VISITED: Pc = Pc::new(0xBF5_0C);
+const PC_PUSH: Pc = Pc::new(0xBF5_10);
+
+/// A BFS over a CSR graph that emits its memory accesses.
+///
+/// Each exhausted search restarts from a fresh random root with a cleared
+/// visited map, like Graph500's repeated search phase. Because roots
+/// differ, traversal orders never repeat — the stream is temporally
+/// uncorrelated by construction.
+#[derive(Debug)]
+pub struct BfsTrace {
+    name: String,
+    graph: Arc<Csr>,
+    visited: Vec<bool>,
+    queue: VecDeque<u32>,
+    buf: VecDeque<MemoryAccess>,
+    pop_pos: u64,
+    push_pos: u64,
+    rng: SplitMix64,
+}
+
+impl BfsTrace {
+    /// Creates a traced BFS over `graph`.
+    pub fn new(name: impl Into<String>, graph: Arc<Csr>, seed: u64) -> Self {
+        let n = graph.n_vertices();
+        let mut t = BfsTrace {
+            name: name.into(),
+            graph,
+            visited: vec![false; n],
+            queue: VecDeque::new(),
+            buf: VecDeque::new(),
+            pop_pos: 0,
+            push_pos: 0,
+            rng: SplitMix64::new(seed),
+        };
+        t.restart();
+        t
+    }
+
+    /// A shared handle to the underlying graph, so several traced BFS
+    /// instances (one per experiment configuration) can reuse one
+    /// expensive CSR build.
+    pub fn graph_handle(&self) -> Arc<Csr> {
+        Arc::clone(&self.graph)
+    }
+
+    fn restart(&mut self) {
+        self.visited.iter_mut().for_each(|v| *v = false);
+        self.queue.clear();
+        self.pop_pos = 0;
+        self.push_pos = 0;
+        // Pick a root with at least one neighbour so searches do useful
+        // work (Graph500 requires non-isolated roots).
+        let n = self.graph.n_vertices() as u64;
+        for _ in 0..64 {
+            let root = self.rng.next_below(n) as u32;
+            if self.graph.degree(root) > 0 {
+                self.visited[root as usize] = true;
+                self.queue.push_back(root);
+                self.push_pos = 1;
+                return;
+            }
+        }
+        // Degenerate graph: fall back to vertex 0.
+        self.visited[0] = true;
+        self.queue.push_back(0);
+        self.push_pos = 1;
+    }
+
+    /// Expands one vertex, appending its accesses to the buffer.
+    fn expand_next_vertex(&mut self) {
+        let Some(v) = self.queue.pop_front() else {
+            self.restart();
+            return;
+        };
+
+        // Read the vertex id from the work queue (sequential array).
+        self.buf.push_back(
+            MemoryAccess::new(PC_POP, Addr::new(QUEUE_BASE + self.pop_pos * 4)).with_work(3),
+        );
+        self.pop_pos += 1;
+
+        // Load offsets[v] and offsets[v+1]; address depends on v.
+        self.buf.push_back(
+            MemoryAccess::new(PC_OFFSETS, Addr::new(OFFSETS_BASE + v as u64 * 8))
+                .dependent()
+                .with_work(1),
+        );
+
+        // Stream the adjacency list: one access per touched cache line;
+        // the first depends on the offsets load.
+        let start = self.graph.edge_start(v);
+        let degree = self.graph.degree(v) as u64;
+        let first_line = (EDGES_BASE + start * 4) >> 6;
+        let last_line = (EDGES_BASE + (start + degree.max(1) - 1) * 4) >> 6;
+        for (i, line) in (first_line..=last_line).enumerate() {
+            let mut a = MemoryAccess::new(PC_EDGES, Addr::new(line << 6)).with_work(1);
+            if i == 0 {
+                a = a.dependent();
+            }
+            self.buf.push_back(a);
+        }
+
+        // Visit each neighbour: a data-dependent bitmap probe, plus a
+        // queue append on first visit.
+        let neighbors: Vec<u32> = self.graph.neighbors(v).to_vec();
+        for u in neighbors {
+            self.buf.push_back(
+                MemoryAccess::new(PC_VISITED, Addr::new(VISITED_BASE + u as u64 / 8))
+                    .dependent()
+                    .with_work(2),
+            );
+            if !self.visited[u as usize] {
+                self.visited[u as usize] = true;
+                self.queue.push_back(u);
+                self.buf.push_back(
+                    MemoryAccess::new(PC_PUSH, Addr::new(QUEUE_BASE + self.push_pos * 4))
+                        .with_work(1),
+                );
+                self.push_pos += 1;
+            }
+        }
+    }
+}
+
+impl TraceSource for BfsTrace {
+    fn next_access(&mut self) -> MemoryAccess {
+        while self.buf.is_empty() {
+            self.expand_next_vertex();
+        }
+        self.buf.pop_front().expect("buffer refilled")
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph500::{generate_edges, KroneckerConfig};
+
+    fn tiny_graph() -> Arc<Csr> {
+        let edges = generate_edges(KroneckerConfig { scale: 8, edge_factor: 8, seed: 5 });
+        Arc::new(Csr::from_edges(256, &edges))
+    }
+
+    #[test]
+    fn visits_reach_most_of_the_graph() {
+        let g = tiny_graph();
+        let mut t = BfsTrace::new("bfs", Arc::clone(&g), 1);
+        // Drive enough accesses to complete at least one full BFS.
+        for _ in 0..200_000 {
+            let _ = t.next_access();
+        }
+        // Kronecker graphs have a giant connected component.
+        let visited = t.visited.iter().filter(|v| **v).count();
+        assert!(visited > 64, "BFS visited only {visited} vertices");
+    }
+
+    #[test]
+    fn accesses_touch_all_structures() {
+        let g = tiny_graph();
+        let mut t = BfsTrace::new("bfs", g, 2);
+        let mut regions = std::collections::HashSet::new();
+        for _ in 0..50_000 {
+            regions.insert(t.next_access().vaddr.get() >> 32);
+        }
+        assert!(regions.contains(&0x60), "queue untouched");
+        assert!(regions.contains(&0x61), "offsets untouched");
+        assert!(regions.contains(&0x62), "edges untouched");
+        assert!(regions.contains(&0x68), "visited untouched");
+    }
+
+    #[test]
+    fn visited_probes_are_dependent() {
+        let g = tiny_graph();
+        let mut t = BfsTrace::new("bfs", g, 3);
+        let mut saw_dependent_visit = false;
+        for _ in 0..10_000 {
+            let a = t.next_access();
+            if a.pc == PC_VISITED {
+                assert!(a.dependent);
+                saw_dependent_visit = true;
+            }
+        }
+        assert!(saw_dependent_visit);
+    }
+
+    #[test]
+    fn stream_is_endless_across_restarts() {
+        let g = tiny_graph();
+        let mut t = BfsTrace::new("bfs", g, 4);
+        for _ in 0..500_000 {
+            let _ = t.next_access();
+        }
+    }
+}

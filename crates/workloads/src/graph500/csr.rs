@@ -1,0 +1,128 @@
+//! Compressed sparse row graph representation.
+
+/// An undirected graph in CSR form: `offsets[v]..offsets[v+1]` indexes
+/// `neighbors` for vertex `v`. Both directions of each generated edge are
+/// stored, self-loops are kept (they are rare and harmless for BFS).
+#[derive(Debug, Clone)]
+pub struct Csr {
+    offsets: Vec<u64>,
+    neighbors: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds a CSR from a directed edge list, symmetrizing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= n_vertices`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use triangel_workloads::graph500::Csr;
+    ///
+    /// let g = Csr::from_edges(4, &[(0, 1), (1, 2)]);
+    /// assert_eq!(g.neighbors(1), &[0, 2]);
+    /// assert_eq!(g.degree(3), 0);
+    /// ```
+    pub fn from_edges(n_vertices: usize, edges: &[(u32, u32)]) -> Self {
+        // Counting sort by source over the symmetrized list.
+        let mut degree = vec![0u64; n_vertices];
+        for (u, v) in edges {
+            assert!((*u as usize) < n_vertices && (*v as usize) < n_vertices);
+            degree[*u as usize] += 1;
+            degree[*v as usize] += 1;
+        }
+        let mut offsets = vec![0u64; n_vertices + 1];
+        for v in 0..n_vertices {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0u32; offsets[n_vertices] as usize];
+        for (u, v) in edges {
+            neighbors[cursor[*u as usize] as usize] = *v;
+            cursor[*u as usize] += 1;
+            neighbors[cursor[*v as usize] as usize] = *u;
+            cursor[*v as usize] += 1;
+        }
+        // Sort each adjacency list for deterministic traversal order.
+        for v in 0..n_vertices {
+            let range = offsets[v] as usize..offsets[v + 1] as usize;
+            neighbors[range].sort_unstable();
+        }
+        Csr { offsets, neighbors }
+    }
+
+    /// Number of vertices.
+    pub fn n_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored (directed) adjacency entries.
+    pub fn n_entries(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// The adjacency list of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// Start index of `v`'s adjacency list within the neighbor array
+    /// (used to compute traced edge-array addresses).
+    pub fn edge_start(&self, v: u32) -> u64 {
+        self.offsets[v as usize]
+    }
+
+    /// Approximate memory footprint in bytes (offsets + neighbors), the
+    /// number the paper quotes as "7 MiB" / "700 MiB" inputs.
+    pub fn footprint_bytes(&self) -> u64 {
+        (self.offsets.len() * 8 + self.neighbors.len() * 4) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetrization() {
+        let g = Csr::from_edges(3, &[(0, 1)]);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.n_entries(), 2);
+    }
+
+    #[test]
+    fn offsets_partition_neighbors() {
+        let g = Csr::from_edges(5, &[(0, 1), (0, 2), (3, 4), (1, 2)]);
+        let total: usize = (0..5).map(|v| g.degree(v as u32)).sum();
+        assert_eq!(total, g.n_entries());
+        assert_eq!(g.n_entries(), 8);
+    }
+
+    #[test]
+    fn adjacency_sorted() {
+        let g = Csr::from_edges(4, &[(2, 1), (2, 0), (2, 3)]);
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn footprint_scales() {
+        let g = Csr::from_edges(16, &[(0, 1); 8]);
+        assert_eq!(g.footprint_bytes(), (17 * 8 + 16 * 4) as u64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_endpoint() {
+        let _ = Csr::from_edges(2, &[(0, 5)]);
+    }
+}

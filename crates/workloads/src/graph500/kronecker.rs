@@ -1,0 +1,129 @@
+//! Kronecker (R-MAT) edge generation per the Graph500 specification.
+
+use triangel_types::rng::SplitMix64;
+
+/// Kronecker generator parameters. The initiator probabilities are the
+/// Graph500 reference values A=0.57, B=0.19, C=0.19 (D implicit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KroneckerConfig {
+    /// log2 of the vertex count.
+    pub scale: u32,
+    /// Edges per vertex; the generator emits `edge_factor << scale`
+    /// edges.
+    pub edge_factor: u32,
+    /// Seed for the deterministic generator.
+    pub seed: u64,
+}
+
+const A: f64 = 0.57;
+const B: f64 = 0.19;
+const C: f64 = 0.19;
+
+/// Generates the (directed) edge list of a Kronecker graph.
+///
+/// Vertex labels are scrambled with a bijective hash, as the Graph500
+/// spec requires, so that high-degree vertices are not clustered at low
+/// indices.
+///
+/// # Panics
+///
+/// Panics if `scale` is 0 or above 30.
+///
+/// # Examples
+///
+/// ```
+/// use triangel_workloads::graph500::{generate_edges, KroneckerConfig};
+///
+/// let edges = generate_edges(KroneckerConfig { scale: 6, edge_factor: 4, seed: 1 });
+/// assert_eq!(edges.len(), 4 << 6);
+/// assert!(edges.iter().all(|(u, v)| *u < 64 && *v < 64));
+/// ```
+pub fn generate_edges(cfg: KroneckerConfig) -> Vec<(u32, u32)> {
+    assert!(cfg.scale > 0 && cfg.scale <= 30, "scale must be in 1..=30");
+    let n_edges = (cfg.edge_factor as usize) << cfg.scale;
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut edges = Vec::with_capacity(n_edges);
+    for _ in 0..n_edges {
+        let mut u = 0u32;
+        let mut v = 0u32;
+        for _ in 0..cfg.scale {
+            u <<= 1;
+            v <<= 1;
+            let r = rng.next_f64();
+            if r < A {
+                // top-left quadrant: no bits set
+            } else if r < A + B {
+                v |= 1;
+            } else if r < A + B + C {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        edges.push((scramble(u, cfg.scale), scramble(v, cfg.scale)));
+    }
+    edges
+}
+
+/// Bijectively scrambles a vertex label within `0..2^scale`.
+///
+/// Every step is an invertible map on the `scale`-bit domain:
+/// multiplication by an odd constant (bijective mod `2^scale`) and a
+/// right xor-shift (unit upper-triangular over GF(2)).
+fn scramble(v: u32, scale: u32) -> u32 {
+    let mask = (1u32 << scale) - 1;
+    let mut x = v.wrapping_mul(0x9E37_79B1) & mask;
+    x ^= x >> (scale / 2).max(1);
+    x.wrapping_mul(0x85EB_CA77) & mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_and_range() {
+        let cfg = KroneckerConfig { scale: 10, edge_factor: 8, seed: 7 };
+        let edges = generate_edges(cfg);
+        assert_eq!(edges.len(), 8 << 10);
+        assert!(edges.iter().all(|(u, v)| *u < 1024 && *v < 1024));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = KroneckerConfig { scale: 8, edge_factor: 4, seed: 3 };
+        assert_eq!(generate_edges(cfg), generate_edges(cfg));
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        // Kronecker graphs are scale-free-ish: max degree far above mean.
+        let cfg = KroneckerConfig { scale: 12, edge_factor: 8, seed: 11 };
+        let edges = generate_edges(cfg);
+        let mut deg = vec![0u32; 1 << 12];
+        for (u, _) in &edges {
+            deg[*u as usize] += 1;
+        }
+        let mean = edges.len() as f64 / deg.len() as f64;
+        let max = *deg.iter().max().unwrap() as f64;
+        assert!(max > 8.0 * mean, "max degree {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn scramble_is_bijective() {
+        let scale = 10;
+        let mut seen = vec![false; 1 << scale];
+        for v in 0..(1u32 << scale) {
+            let s = scramble(v, scale) as usize;
+            assert!(!seen[s], "collision at {v}");
+            seen[s] = true;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be")]
+    fn zero_scale_rejected() {
+        let _ = generate_edges(KroneckerConfig { scale: 0, edge_factor: 1, seed: 0 });
+    }
+}

@@ -1,0 +1,43 @@
+//! Workload generation for the Triangel reproduction.
+//!
+//! The paper evaluates on the seven most irregular, memory-intensive SPEC
+//! CPU2006 workloads, multiprogrammed pairs of them, and Graph500 BFS as
+//! an adversarial case. SPEC itself cannot be redistributed, so this crate
+//! generates synthetic access streams that reproduce the *temporal
+//! structure* the paper's analysis attributes to each benchmark (see
+//! DESIGN.md for the substitution argument), plus a real Graph500
+//! implementation (Kronecker generator + CSR + BFS) whose address stream
+//! is traced directly.
+//!
+//! * [`trace`] — the access-record format and the [`TraceSource`] trait.
+//! * [`paging`] — virtual-to-physical translation with controllable
+//!   fragmentation (drives the paper's Fig. 18/19 lookup-table study).
+//! * [`temporal`] — composable building blocks: repeating temporal
+//!   streams, strided scans, uniform-random noise.
+//! * [`spec`] — the seven SPEC-like workload definitions.
+//! * [`graph500`] — Kronecker graph generation, CSR construction, and a
+//!   traced BFS.
+//! * [`mix`] — weighted interleaving of streams into one core's trace.
+//!
+//! # Examples
+//!
+//! ```
+//! use triangel_workloads::spec::SpecWorkload;
+//! use triangel_workloads::trace::TraceSource;
+//!
+//! let mut gen = SpecWorkload::Mcf.generator(42);
+//! let first = gen.next_access();
+//! assert!(first.vaddr.get() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod graph500;
+pub mod mix;
+pub mod paging;
+pub mod spec;
+pub mod temporal;
+pub mod trace;
+
+pub use trace::{MemoryAccess, TraceSource};

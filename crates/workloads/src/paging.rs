@@ -1,0 +1,202 @@
+//! Virtual-to-physical translation with controllable fragmentation.
+//!
+//! Triage's 32-bit Markov format reconstructs prefetch targets through a
+//! 1024-entry lookup table of physical-address upper bits; its accuracy
+//! therefore depends on *physical frame locality* (Sections 3.1 and 6.5
+//! of the paper: "minor changes in accesses cause even worse behavior...
+//! roughly equivalent to halving physical-page locality"). This module
+//! provides the knob: a page mapper that allocates frames either
+//! contiguously (a freshly booted machine) or scattered across a larger
+//! physical space (a fragmented, long-running OS).
+
+use std::collections::{HashMap, HashSet};
+
+use triangel_types::rng::SplitMix64;
+use triangel_types::{Addr, PAGE_BYTES};
+
+/// Allocates physical frames for virtual pages on first touch.
+///
+/// `fragmentation` in `[0, 1]` controls the allocation policy:
+/// `0.0` allocates frames sequentially from a compact region (perfect
+/// frame locality); `1.0` picks every frame uniformly at random from a
+/// physical space `spread`× larger than the footprint. Intermediate
+/// values allocate runs of contiguous frames with random run breaks.
+///
+/// # Examples
+///
+/// ```
+/// use triangel_workloads::paging::PageMapper;
+/// use triangel_types::Addr;
+///
+/// let mut compact = PageMapper::contiguous();
+/// let p0 = compact.translate(Addr::new(0x0000));
+/// let p1 = compact.translate(Addr::new(0x1000));
+/// assert_eq!(p1.get() - p0.get(), 0x1000); // adjacent frames
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageMapper {
+    fragmentation: f64,
+    spread: u64,
+    table: HashMap<u64, u64>,
+    used_frames: HashSet<u64>,
+    next_frame: u64,
+    run_left: u64,
+    rng: SplitMix64,
+}
+
+impl PageMapper {
+    /// Creates a mapper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fragmentation` is not in `[0, 1]` or `spread == 0`.
+    pub fn new(fragmentation: f64, spread: u64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fragmentation),
+            "fragmentation must be within [0, 1]"
+        );
+        assert!(spread > 0, "spread must be positive");
+        PageMapper {
+            fragmentation,
+            spread,
+            table: HashMap::new(),
+            used_frames: HashSet::new(),
+            next_frame: 1, // frame 0 reserved so translated addresses stay nonzero
+            run_left: 0,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Perfect frame locality: frames allocated sequentially.
+    pub fn contiguous() -> Self {
+        PageMapper::new(0.0, 1, 0)
+    }
+
+    /// A realistic long-running OS: mostly-contiguous runs with breaks,
+    /// over a 4x larger physical space.
+    pub fn realistic(seed: u64) -> Self {
+        PageMapper::new(0.25, 4, seed)
+    }
+
+    /// Heavy fragmentation: every frame random over an 8x space.
+    pub fn fragmented(seed: u64) -> Self {
+        PageMapper::new(1.0, 8, seed)
+    }
+
+    /// Translates a virtual address, allocating a frame on first touch.
+    pub fn translate(&mut self, vaddr: Addr) -> Addr {
+        let vpage = vaddr.page_number();
+        let frame = match self.table.get(&vpage) {
+            Some(f) => *f,
+            None => {
+                let f = self.allocate();
+                self.table.insert(vpage, f);
+                f
+            }
+        };
+        Addr::new(frame * PAGE_BYTES + vaddr.page_offset())
+    }
+
+    fn allocate(&mut self) -> u64 {
+        let broke_run = self.run_left == 0 && self.rng.chance(self.fragmentation);
+        if broke_run || self.fragmentation >= 1.0 {
+            // Jump to a random region of the (spread x footprint) space.
+            let horizon = (self.table.len() as u64 + 1024) * self.spread;
+            self.next_frame = 1 + self.rng.next_below(horizon);
+            // Runs shorten as fragmentation grows.
+            self.run_left = ((16.0 * (1.0 - self.fragmentation)) as u64).max(1);
+        } else if self.run_left > 0 {
+            self.run_left -= 1;
+        }
+        // Linear-probe past frames already handed out.
+        loop {
+            let f = self.next_frame;
+            self.next_frame += 1;
+            if self.used_frames.insert(f) {
+                return f;
+            }
+        }
+    }
+
+    /// Number of pages mapped so far.
+    pub fn mapped_pages(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Number of distinct "upper-bit" groups among allocated frames,
+    /// where a group is `frame >> bits`. This is exactly the pressure
+    /// metric for Triage's lookup table (one entry per distinct upper-bit
+    /// pattern).
+    pub fn distinct_upper_groups(&self, bits: u32) -> usize {
+        let mut groups: Vec<u64> = self.table.values().map(|f| f >> bits).collect();
+        groups.sort_unstable();
+        groups.dedup();
+        groups.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translation_is_stable() {
+        let mut m = PageMapper::realistic(1);
+        let a = m.translate(Addr::new(0x5000));
+        let b = m.translate(Addr::new(0x5008));
+        assert_eq!(b.get() - a.get(), 8);
+        assert_eq!(m.translate(Addr::new(0x5000)), a);
+    }
+
+    #[test]
+    fn contiguous_preserves_adjacency() {
+        let mut m = PageMapper::contiguous();
+        let mut last = m.translate(Addr::new(0)).page_number();
+        for p in 1..64u64 {
+            let cur = m.translate(Addr::new(p * PAGE_BYTES)).page_number();
+            assert_eq!(cur, last + 1);
+            last = cur;
+        }
+    }
+
+    #[test]
+    fn fragmented_scatters_frames() {
+        let mut m = PageMapper::fragmented(7);
+        for p in 0..256u64 {
+            let _ = m.translate(Addr::new(p * PAGE_BYTES));
+        }
+        // With 1.0 fragmentation over 8x spread, frames should span many
+        // distinct upper groups; contiguous allocation of 256 pages
+        // spans at most 2 groups of 256 pages.
+        assert!(m.distinct_upper_groups(8) > 4);
+        let mut c = PageMapper::contiguous();
+        for p in 0..256u64 {
+            let _ = c.translate(Addr::new(p * PAGE_BYTES));
+        }
+        assert!(c.distinct_upper_groups(8) <= 2);
+    }
+
+    #[test]
+    fn distinct_pages_get_distinct_frames() {
+        let mut m = PageMapper::fragmented(3);
+        let mut frames = std::collections::HashSet::new();
+        for p in 0..512u64 {
+            let f = m.translate(Addr::new(p * PAGE_BYTES)).page_number();
+            assert!(frames.insert(f), "frame reused for page {p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fragmentation must be within")]
+    fn rejects_bad_fragmentation() {
+        let _ = PageMapper::new(1.5, 1, 0);
+    }
+
+    #[test]
+    fn offsets_preserved() {
+        let mut m = PageMapper::fragmented(9);
+        let v = Addr::new(0xABC123);
+        let p = m.translate(v);
+        assert_eq!(p.page_offset(), v.page_offset());
+    }
+}

@@ -1,0 +1,23 @@
+//! Astar-like workload: grid path finding.
+//!
+//! Each search explores a different part of the map, so the miss
+//! sequences drift quickly and repeat poorly: a low-quality stream the
+//! paper shows Triangel largely refusing to prefetch (lower coverage on
+//! Astar, Fig. 13, while Triage wastes bandwidth on it). A too-large
+//! region component also exercises ReuseConf (Section 6.6 notes Astar
+//! and MCF are the workloads big enough to trigger it).
+
+use super::Builder;
+use crate::mix::WorkloadMix;
+
+pub(crate) fn build(mut b: Builder) -> WorkloadMix {
+    // Open-list / region walk: drifts heavily between passes.
+    b.temporal("astar.openlist", 80_000, 0.86, 8, 0.04, 0.035, true, 4);
+    // Whole-map touches: beyond Markov capacity and drifting.
+    b.temporal("astar.map", 300_000, 0.85, 8, 0.05, 0.020, true, 2);
+    // Neighbour lookups: effectively random.
+    b.random("astar.neigh", 100_000, true, 2);
+    // Cost arrays: strided.
+    b.strided("astar.cost", 1, 10_000, 1);
+    b.finish()
+}

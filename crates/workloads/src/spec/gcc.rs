@@ -1,0 +1,22 @@
+//! GCC (166 input)-like workload: compilation.
+//!
+//! Many medium-sized IR structures walked repeatedly, plus large strided
+//! passes over arrays. GCC's physical footprint spans many pages, which
+//! is what makes Triage's lookup table work well on a fresh system and
+//! collapse under fragmentation (Fig. 19); the Set Dueller also speeds
+//! GCC up by trading Markov ways back to data (Section 6.6).
+
+use super::Builder;
+use crate::mix::WorkloadMix;
+
+pub(crate) fn build(mut b: Builder) -> WorkloadMix {
+    // IR chains (RTL/trees): medium, fairly exact, some drift as code is
+    // rewritten between passes.
+    b.temporal("gcc.rtl", 40_000, 0.90, 8, 0.02, 0.010, true, 3);
+    b.temporal("gcc.trees", 18_000, 0.86, 8, 0.02, 0.012, true, 2);
+    // Dataflow bitmaps and arrays: strided, large.
+    b.strided("gcc.bitmaps", 1, 48_000, 3);
+    // Hash tables: small random.
+    b.random("gcc.hash", 8_000, false, 1);
+    b.finish()
+}

@@ -1,0 +1,23 @@
+//! Mcf-like workload: network-simplex vehicle scheduling.
+//!
+//! Mcf's arc/node network is enormous: part of the access stream repeats
+//! over a footprint larger than the Markov table can ever cover, and the
+//! paper credits ReuseConf with "not wasting storage on patterns too
+//! large to fit in the L3" (Section 6.6). We model that with one chase
+//! beyond MaxSize (196 608 entries) and profitable medium chases that
+//! should win the Markov capacity instead.
+
+use super::Builder;
+use crate::mix::WorkloadMix;
+
+pub(crate) fn build(mut b: Builder) -> WorkloadMix {
+    // Arc scan over the full network: reuse distance ~400k lines, beyond
+    // Markov capacity -> ReuseConf should refuse to store it.
+    b.temporal("mcf.arcs", 400_000, 0.95, 4, 0.01, 0.001, true, 3);
+    // Tree/node chases: big but within capacity, profitable.
+    b.temporal("mcf.nodes", 90_000, 0.96, 4, 0.01, 0.003, true, 3);
+    b.temporal("mcf.basket", 55_000, 0.94, 4, 0.01, 0.004, true, 2);
+    // Pricing scans: random-ish over a large region.
+    b.random("mcf.pricing", 200_000, false, 1);
+    b.finish()
+}

@@ -1,0 +1,23 @@
+//! Omnetpp-like workload: discrete-event network simulation.
+//!
+//! The event heap and module state are revisited with strong temporal
+//! reuse but *not in strict sequence*: events are reordered locally as
+//! the heap churns. The paper notes Omnet is hurt by BasePatternConf's
+//! strict-sequence requirement and recovered by the Second-Chance
+//! Sampler (Section 6.6) — so these streams repeat the same element set
+//! each pass with a substantial reorder window.
+
+use super::Builder;
+use crate::mix::WorkloadMix;
+
+pub(crate) fn build(mut b: Builder) -> WorkloadMix {
+    // Event objects: large set, loosely ordered, dependent.
+    b.temporal("omnet.events", 48_000, 0.55, 12, 0.004, 0.002, true, 4);
+    // Module/gate state touched per event: medium, loose.
+    b.temporal("omnet.modules", 22_000, 0.65, 10, 0.004, 0.002, true, 2);
+    // Statistics arrays: strided.
+    b.strided("omnet.stats", 1, 8_000, 1);
+    // Heap index churn: small random.
+    b.random("omnet.heap", 12_000, false, 1);
+    b.finish()
+}

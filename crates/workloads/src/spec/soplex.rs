@@ -1,0 +1,20 @@
+//! Soplex (3500 ref.mps)-like workload: sparse linear programming.
+//!
+//! Simplex iterations are dominated by strided sweeps over the sparse
+//! matrix arrays, with a mediocre-quality temporal component from basis
+//! updates. The paper groups Soplex with Astar as a "poor-quality
+//! stream" Triangel prefetches less from (Section 6.1).
+
+use super::Builder;
+use crate::mix::WorkloadMix;
+
+pub(crate) fn build(mut b: Builder) -> WorkloadMix {
+    // Column/row sweeps: strided, the bulk of the bandwidth.
+    b.strided("soplex.cols", 1, 70_000, 3);
+    b.strided("soplex.rows", 2, 40_000, 2);
+    // Basis-update chases: temporal but only moderately repeatable.
+    b.temporal("soplex.basis", 65_000, 0.84, 6, 0.03, 0.015, true, 3);
+    // Pricing candidate picks: random.
+    b.random("soplex.pricing", 50_000, false, 1);
+    b.finish()
+}

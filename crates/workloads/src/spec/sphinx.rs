@@ -1,0 +1,20 @@
+//! Sphinx3-like workload: speech recognition.
+//!
+//! Acoustic-model scoring loops over Gaussian mixture data with strong
+//! reuse but a search-dependent evaluation order: like Omnet, the same
+//! set repeats in a jittered order, which the paper says makes
+//! BasePatternConf alone too conservative and the Second-Chance Sampler
+//! valuable (Section 6.6).
+
+use super::Builder;
+use crate::mix::WorkloadMix;
+
+pub(crate) fn build(mut b: Builder) -> WorkloadMix {
+    // Gaussian tables: medium set, loose order, stable across passes.
+    b.temporal("sphinx.gauss", 34_000, 0.60, 16, 0.006, 0.001, false, 4);
+    // HMM/lexicon structures: smaller, loose, dependent.
+    b.temporal("sphinx.hmm", 14_000, 0.75, 10, 0.004, 0.001, true, 2);
+    // Feature vectors: strided streaming.
+    b.strided("sphinx.feat", 1, 26_000, 2);
+    b.finish()
+}

@@ -1,0 +1,21 @@
+//! Xalancbmk-like workload: XML tree transformation.
+//!
+//! Repeated DOM/template traversals produce long, highly exact pointer
+//! chases over a working set well beyond the L3 but comfortably inside
+//! Markov capacity — the best case for temporal prefetching, which is why
+//! Xalan shows the largest speedups in the paper's Fig. 10.
+
+use super::Builder;
+use crate::mix::WorkloadMix;
+
+pub(crate) fn build(mut b: Builder) -> WorkloadMix {
+    // Main DOM walk: large, stable, strict, dependent.
+    b.temporal("xalan.dom", 60_000, 0.93, 8, 0.01, 0.004, true, 4);
+    // Stylesheet/template structures: smaller, still exact.
+    b.temporal("xalan.templates", 28_000, 0.90, 8, 0.01, 0.006, true, 2);
+    // Output buffer writes: strided, stride-prefetchable.
+    b.strided("xalan.output", 1, 16_000, 2);
+    // Symbol/hash lookups: small hot region, mostly cache-resident.
+    b.random("xalan.hash", 4_000, false, 1);
+    b.finish()
+}

@@ -1,0 +1,115 @@
+//! Correctness of the Graph500 substrate: the traced BFS must be a real
+//! breadth-first search, not just an address generator.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use triangel_workloads::graph500::{generate_edges, BfsTrace, Csr, KroneckerConfig};
+use triangel_workloads::TraceSource;
+
+fn reference_component_size(csr: &Csr, root: u32) -> usize {
+    let mut visited = vec![false; csr.n_vertices()];
+    let mut q = VecDeque::new();
+    visited[root as usize] = true;
+    q.push_back(root);
+    let mut count = 1;
+    while let Some(v) = q.pop_front() {
+        for &u in csr.neighbors(v) {
+            if !visited[u as usize] {
+                visited[u as usize] = true;
+                count += 1;
+                q.push_back(u);
+            }
+        }
+    }
+    count
+}
+
+#[test]
+fn csr_preserves_edge_multiset() {
+    let edges = generate_edges(KroneckerConfig { scale: 10, edge_factor: 8, seed: 3 });
+    let csr = Csr::from_edges(1 << 10, &edges);
+    assert_eq!(csr.n_entries(), edges.len() * 2, "symmetrized entry count");
+    // Every directed edge appears in the right adjacency list.
+    for (u, v) in edges.iter().take(500) {
+        assert!(csr.neighbors(*u).contains(v), "missing edge {u}->{v}");
+        assert!(csr.neighbors(*v).contains(u), "missing edge {v}->{u}");
+    }
+}
+
+#[test]
+fn traced_bfs_visits_exactly_one_component() {
+    let edges = generate_edges(KroneckerConfig { scale: 9, edge_factor: 6, seed: 5 });
+    let csr = Arc::new(Csr::from_edges(1 << 9, &edges));
+    let mut trace = BfsTrace::new("bfs", Arc::clone(&csr), 7);
+
+    // Drive until the first restart (queue-region addresses reset),
+    // tracking which vertices' offset entries were loaded.
+    let offsets_base = 0x61_0000_0000u64;
+    let mut visited_vertices = std::collections::HashSet::new();
+    let mut first_root = None;
+    let mut pop_zero_seen = 0;
+    for _ in 0..4_000_000 {
+        let a = trace.next_access();
+        let addr = a.vaddr.get();
+        if (0x60_0000_0000..0x61_0000_0000).contains(&addr) && addr == 0x60_0000_0000 {
+            pop_zero_seen += 1;
+            if pop_zero_seen > 1 {
+                break; // second BFS began
+            }
+        }
+        if (offsets_base..offsets_base + (1 << 32)).contains(&addr) {
+            let v = ((addr - offsets_base) / 8) as u32;
+            visited_vertices.insert(v);
+            if first_root.is_none() {
+                first_root = Some(v);
+            }
+        }
+    }
+    let root = first_root.expect("BFS touched the offsets array");
+    let expected = reference_component_size(&csr, root);
+    assert_eq!(
+        visited_vertices.len(),
+        expected,
+        "traced BFS must expand exactly the root's connected component"
+    );
+}
+
+#[test]
+fn kronecker_graph_has_giant_component() {
+    // A structural property the adversarial experiment relies on: most
+    // BFS work happens in one giant component.
+    let edges = generate_edges(KroneckerConfig { scale: 12, edge_factor: 10, seed: 1 });
+    let csr = Csr::from_edges(1 << 12, &edges);
+    let best = (0..64u32)
+        .map(|v| reference_component_size(&csr, v * 64 % (1 << 12)))
+        .max()
+        .unwrap();
+    assert!(
+        best > (1 << 12) / 2,
+        "giant component should span most vertices, got {best}"
+    );
+}
+
+#[test]
+fn edge_accesses_cover_each_adjacency_line_once_per_expansion() {
+    let edges = generate_edges(KroneckerConfig { scale: 8, edge_factor: 6, seed: 9 });
+    let csr = Arc::new(Csr::from_edges(1 << 8, &edges));
+    let mut trace = BfsTrace::new("bfs", Arc::clone(&csr), 3);
+    let edges_base = 0x62_0000_0000u64;
+    let visited_base = 0x68_0000_0000u64;
+    let mut edge_lines = 0u64;
+    let mut visited_probes = 0u64;
+    for _ in 0..300_000 {
+        let a = trace.next_access().vaddr.get();
+        if (edges_base..edges_base + (1 << 32)).contains(&a) {
+            edge_lines += 1;
+        }
+        if a >= visited_base {
+            visited_probes += 1;
+        }
+    }
+    // Each adjacency entry costs one visited probe; lines hold up to 16
+    // entries, so probes must dominate edge-line reads.
+    assert!(visited_probes > edge_lines, "probes {visited_probes} vs lines {edge_lines}");
+}

@@ -1,0 +1,44 @@
+//! The Fig. 20 ablation ladder on a single workload.
+//!
+//! Starting from Triage-Degree-4 behaviour (all Triangel features off)
+//! and enabling one mechanism at a time, this prints how speedup and
+//! DRAM traffic evolve — a one-workload slice of `fig20`.
+//!
+//! ```sh
+//! cargo run --release --example ablation [workload-index]
+//! ```
+
+use triangel::core::TriangelFeatures;
+use triangel::sim::{Comparison, Experiment, PrefetcherChoice};
+use triangel::workloads::spec::SpecWorkload;
+
+fn main() {
+    let idx: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let workload = SpecWorkload::ALL[idx.min(6)];
+    println!("Ablation ladder on {} (Fig. 20, one workload)\n", workload.label());
+
+    println!("Running baseline...");
+    let base = Experiment::new(workload.generator(42))
+        .warmup(1_200_000)
+        .accesses(600_000)
+        .sizing_window(150_000)
+        .run();
+
+    println!("{:28} {:>8} {:>9}", "Configuration", "Speedup", "Traffic");
+    println!("{}", "-".repeat(47));
+    for step in 0..=8 {
+        let run = Experiment::new(workload.generator(42))
+            .warmup(1_200_000)
+            .accesses(600_000)
+            .sizing_window(150_000)
+            .prefetcher(PrefetcherChoice::TriangelLadder(step))
+            .run();
+        let c = Comparison::new(&base, &run);
+        println!(
+            "{:28} {:>7.3}x {:>8.3}x",
+            TriangelFeatures::ladder_label(step),
+            c.speedup,
+            c.dram_traffic
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Adversarial workload: Graph500 BFS (Section 6.4 of the paper).
+//!
+//! Builds a real Kronecker graph, traces breadth-first searches from
+//! random roots, and shows how each prefetcher behaves on a stream with
+//! no temporal correlation: the Triage variants grow their Markov
+//! partition and pollute the L3 for nothing, while Triangel's
+//! classifiers and Set Dueller largely switch the prefetcher off.
+//!
+//! ```sh
+//! cargo run --release --example graph500_search [scale]
+//! ```
+
+use std::sync::Arc;
+
+use triangel::sim::{Comparison, Experiment, PrefetcherChoice};
+use triangel::workloads::graph500::{BfsTrace, Graph500Config, KroneckerConfig};
+
+fn main() {
+    // Scales below ~15 fit in the caches and show nothing interesting.
+    let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let cfg = Graph500Config { scale, edge_factor: 10, seed: 0x6_1234 };
+    println!("Generating Kronecker graph s{scale} e10...");
+    let _ = KroneckerConfig { scale, edge_factor: 10, seed: 0 }; // geometry preview type
+    let trace = cfg.build_trace();
+    let graph = trace.graph_handle();
+    println!(
+        "  {} vertices, {} undirected edges, {:.1} MiB CSR",
+        graph.n_vertices(),
+        graph.n_entries() / 2,
+        graph.footprint_bytes() as f64 / (1024.0 * 1024.0)
+    );
+
+    println!("Running baseline...");
+    let base = Experiment::new(BfsTrace::new(cfg.label(), Arc::clone(&graph), 1))
+        .warmup(600_000)
+        .accesses(400_000)
+        .sizing_window(150_000)
+        .run();
+
+    for choice in [
+        PrefetcherChoice::Triage,
+        PrefetcherChoice::TriageDeg4,
+        PrefetcherChoice::Triangel,
+        PrefetcherChoice::TriangelBloom,
+    ] {
+        println!("Running {}...", choice.label());
+        let run = Experiment::new(BfsTrace::new(cfg.label(), Arc::clone(&graph), 1))
+            .warmup(600_000)
+            .accesses(400_000)
+            .sizing_window(150_000)
+            .prefetcher(choice)
+            .run();
+        let c = Comparison::new(&base, &run);
+        println!(
+            "  {:18} slowdown {:.3}x, DRAM traffic {:.3}x, markov ways {}",
+            choice.label(),
+            c.slowdown(),
+            c.dram_traffic,
+            run.markov_ways
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Quickstart: run Triangel against the stride-only baseline on one
+//! workload and print the paper's headline metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use triangel::sim::{Comparison, Experiment, PrefetcherChoice};
+use triangel::workloads::spec::SpecWorkload;
+
+fn main() {
+    let workload = SpecWorkload::Xalan;
+    println!("Workload: {} (synthetic stand-in, see DESIGN.md)", workload.label());
+
+    // The baseline system already includes the degree-8 stride
+    // prefetcher (Table 2 of the paper); every speedup is relative to it.
+    println!("Running baseline (stride prefetcher only)...");
+    let baseline = Experiment::new(workload.generator(42))
+        .warmup(800_000)
+        .accesses(500_000)
+        .sizing_window(150_000)
+        .run();
+
+    println!("Running Triangel...");
+    let triangel = Experiment::new(workload.generator(42))
+        .warmup(800_000)
+        .accesses(500_000)
+        .sizing_window(150_000)
+        .prefetcher(PrefetcherChoice::Triangel)
+        .run();
+
+    let c = Comparison::new(&baseline, &triangel);
+    println!();
+    println!("Baseline IPC:       {:.4}", baseline.ipc());
+    println!("Triangel IPC:       {:.4}", triangel.ipc());
+    println!("Speedup:            {:.3}x          (Fig. 10)", c.speedup);
+    println!("DRAM traffic:       {:.3}x baseline (Fig. 11)", c.dram_traffic);
+    println!("Prefetch accuracy:  {:.1}%           (Fig. 12)", 100.0 * c.accuracy);
+    println!("Miss coverage:      {:.1}%           (Fig. 13)", 100.0 * c.coverage);
+    println!("L3 accesses:        {:.3}x baseline (Fig. 14)", c.l3_accesses);
+    println!("DRAM+L3 energy:     {:.3}x baseline (Fig. 15)", c.energy);
+    println!("Markov partition:   {} of 16 L3 ways", triangel.markov_ways);
+}

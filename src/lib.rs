@@ -1,0 +1,45 @@
+//! # Triangel: a temporal-prefetcher reproduction
+//!
+//! This crate is the facade of a from-scratch Rust reproduction of
+//! *"Triangel: A High-Performance, Accurate, Timely On-Chip Temporal
+//! Prefetcher"* (Ainsworth & Mukhanov, ISCA 2024). It re-exports the
+//! workspace crates so downstream users need a single dependency:
+//!
+//! * [`types`] — addresses, counters, RNG, statistics.
+//! * [`cache`] — set-associative caches, replacement policies (LRU, PLRU,
+//!   RRIP, HawkEye), MSHRs, way partitioning, set duelling.
+//! * [`mem`] — DRAM latency/bandwidth and energy models.
+//! * [`workloads`] — trace format, SPEC-like temporal workload generators,
+//!   Graph500 BFS, multiprogramming.
+//! * [`prefetch`] — prefetcher traits, the stride prefetcher, Bloom
+//!   filters.
+//! * [`markov`] — Markov-table metadata formats and in-L3 storage.
+//! * [`triage`] — the fixed Triage baseline (MICRO 2019 / IEEE TC 2022).
+//! * [`core`] — the Triangel prefetcher itself.
+//! * [`sim`] — the trace-driven timing simulator and experiment runner.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use triangel::sim::{Experiment, PrefetcherChoice};
+//! use triangel::workloads::spec::SpecWorkload;
+//!
+//! // Run a short Triangel experiment on the Omnetpp-like workload.
+//! // (Real evaluations use millions of accesses; see EXPERIMENTS.md.)
+//! let report = Experiment::new(SpecWorkload::Omnetpp.generator(7))
+//!     .warmup(5_000)
+//!     .accesses(10_000)
+//!     .prefetcher(PrefetcherChoice::Triangel)
+//!     .run();
+//! assert!(report.ipc() > 0.0);
+//! ```
+
+pub use triangel_cache as cache;
+pub use triangel_core as core;
+pub use triangel_markov as markov;
+pub use triangel_mem as mem;
+pub use triangel_prefetch as prefetch;
+pub use triangel_sim as sim;
+pub use triangel_triage as triage;
+pub use triangel_types as types;
+pub use triangel_workloads as workloads;

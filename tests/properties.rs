@@ -1,0 +1,238 @@
+//! Property-based tests on the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use triangel::cache::replacement::PolicyKind;
+use triangel::cache::{Cache, CacheConfig, Mshr};
+use triangel::markov::{MarkovTable, MarkovTableConfig, TargetFormat};
+use triangel::prefetch::BloomFilter;
+use triangel::types::stats::geomean;
+use triangel::types::{Addr, LineAddr, Pc, SaturatingCounter};
+use triangel::workloads::paging::PageMapper;
+use triangel::workloads::temporal::{TemporalStream, TemporalStreamConfig};
+use triangel::workloads::TraceSource;
+
+proptest! {
+    /// A cache never holds more lines than its capacity, never holds
+    /// duplicates, and always contains the line just filled.
+    #[test]
+    fn cache_capacity_and_membership(
+        ops in prop::collection::vec((0u64..512, any::<bool>()), 1..400),
+        policy_idx in 0usize..7,
+    ) {
+        let policy = [
+            PolicyKind::Lru,
+            PolicyKind::Fifo,
+            PolicyKind::Random,
+            PolicyKind::TreePlru,
+            PolicyKind::Srrip,
+            PolicyKind::Brrip,
+            PolicyKind::Hawkeye,
+        ][policy_idx];
+        let mut c = Cache::new(CacheConfig::new("t", 8 * 4 * 64, 4, policy));
+        for (line, is_prefetch) in ops {
+            let l = LineAddr::new(line);
+            c.fill(l, Some(Pc::new(line & 0xFF)), is_prefetch);
+            prop_assert!(c.contains(l), "line missing right after fill");
+            prop_assert!(c.occupancy() <= 32);
+            // No duplicates: every resident tag unique.
+            let mut tags: Vec<u64> = c.resident_lines().map(|t| t.index()).collect();
+            let before = tags.len();
+            tags.sort_unstable();
+            tags.dedup();
+            prop_assert_eq!(tags.len(), before, "duplicate resident line");
+        }
+    }
+
+    /// Every access outcome is consistent: a hit implies prior residence,
+    /// and a prefetch tag is consumed exactly once.
+    #[test]
+    fn prefetch_tags_consumed_once(lines in prop::collection::vec(0u64..64, 1..100)) {
+        let mut c = Cache::new(CacheConfig::new("t", 16 * 4 * 64, 4, PolicyKind::Lru));
+        for line in &lines {
+            c.fill(LineAddr::new(*line), None, true);
+        }
+        let mut tagged_hits = std::collections::HashMap::new();
+        for line in &lines {
+            let out = c.access(LineAddr::new(*line), None, false);
+            if out.prefetch_hit {
+                let n = tagged_hits.entry(*line).or_insert(0u32);
+                *n += 1;
+                prop_assert!(*n <= 1, "tag consumed twice for {line}");
+            }
+        }
+    }
+
+    /// The Markov table round-trips (prev -> next) pairs under the
+    /// direct format as long as no eviction or alias interferes, and
+    /// never returns a hit from an inactive partition.
+    #[test]
+    fn markov_roundtrip_direct(pairs in prop::collection::vec((0u64..100_000, 0u64..100_000), 1..100)) {
+        let mut t = MarkovTable::new(MarkovTableConfig {
+            sets: 256,
+            max_ways: 4,
+            format: TargetFormat::Direct42,
+            tag_bits: 10,
+            replacement: PolicyKind::Lru,
+        });
+        // Inactive: nothing sticks.
+        t.train(LineAddr::new(1), LineAddr::new(2), Pc::new(0));
+        prop_assert!(t.lookup(LineAddr::new(1)).is_none());
+
+        t.set_ways(4);
+        for (a, b) in &pairs {
+            t.train(LineAddr::new(*a), LineAddr::new(*b), Pc::new(4));
+        }
+        // The most recently trained pair must be retrievable (its entry
+        // was just touched, so it cannot have been the LRU victim).
+        let (a, b) = pairs[pairs.len() - 1];
+        let hit = t.lookup(LineAddr::new(a));
+        prop_assert!(hit.is_some());
+        // Either our target, or an aliased overwrite by an identical
+        // (set, tag) pair from the same run.
+        if let Some(h) = hit {
+            let alias_exists = pairs
+                .iter()
+                .any(|(x, y)| LineAddr::new(*y) == h.target && *x != a || (*x == a && *y == b));
+            prop_assert!(h.target == LineAddr::new(b) || alias_exists);
+        }
+    }
+
+    /// Occupancy never exceeds capacity for any format.
+    #[test]
+    fn markov_occupancy_bounded(
+        pairs in prop::collection::vec((0u64..10_000, 0u64..10_000), 1..300),
+        format_idx in 0usize..3,
+    ) {
+        let format = [TargetFormat::Direct42, TargetFormat::triage_default(), TargetFormat::Ideal32][format_idx];
+        let mut t = MarkovTable::new(MarkovTableConfig {
+            sets: 64,
+            max_ways: 2,
+            format,
+            tag_bits: 10,
+            replacement: PolicyKind::Lru,
+        });
+        t.set_ways(2);
+        let cap = t.capacity_entries();
+        for (a, b) in pairs {
+            t.train(LineAddr::new(a), LineAddr::new(b), Pc::new(0));
+            prop_assert!(t.occupancy() <= cap);
+        }
+    }
+
+    /// Resizing the partition never manufactures entries.
+    #[test]
+    fn markov_resize_monotone(
+        pairs in prop::collection::vec((0u64..50_000, 0u64..50_000), 1..200),
+        new_ways in 0usize..5,
+    ) {
+        let mut t = MarkovTable::new(MarkovTableConfig {
+            sets: 128,
+            max_ways: 4,
+            format: TargetFormat::Direct42,
+            tag_bits: 10,
+            replacement: PolicyKind::Lru,
+        });
+        t.set_ways(4);
+        for (a, b) in &pairs {
+            t.train(LineAddr::new(*a), LineAddr::new(*b), Pc::new(0));
+        }
+        let before = t.occupancy();
+        t.set_ways(new_ways);
+        prop_assert!(t.occupancy() <= before);
+        prop_assert!(t.occupancy() <= t.capacity_entries());
+    }
+
+    /// Bloom filters never produce false negatives.
+    #[test]
+    fn bloom_no_false_negatives(keys in prop::collection::vec(any::<u64>(), 1..500)) {
+        let mut f = BloomFilter::new(1 << 14, 4);
+        for k in &keys {
+            f.insert(*k);
+        }
+        for k in &keys {
+            prop_assert!(f.contains(*k));
+        }
+    }
+
+    /// MSHR occupancy respects capacity and completion frees slots.
+    #[test]
+    fn mshr_capacity(allocs in prop::collection::vec((0u64..1000, 1u64..500), 1..64)) {
+        let mut m = Mshr::new(8);
+        for (line, ready) in allocs {
+            if m.lookup(LineAddr::new(line)).is_some() {
+                m.merge(LineAddr::new(line), false);
+            } else if !m.allocate(LineAddr::new(line), ready, false) {
+                prop_assert!(m.is_full());
+                let earliest = m.earliest_ready().unwrap();
+                m.complete_until(earliest);
+                prop_assert!(!m.is_full());
+            }
+            prop_assert!(m.len() <= 8);
+        }
+    }
+
+    /// Page translation is injective (two pages never share a frame) and
+    /// stable (same page always maps to the same frame).
+    #[test]
+    fn page_mapper_injective(
+        pages in prop::collection::vec(0u64..5_000, 1..300),
+        frag in 0u8..=10,
+    ) {
+        let mut m = PageMapper::new(frag as f64 / 10.0, 4, 99);
+        let mut seen: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for p in pages {
+            let frame = m.translate(Addr::new(p << 12)).page_number();
+            if let Some(prev) = seen.get(&p) {
+                prop_assert_eq!(*prev, frame, "unstable translation");
+            } else {
+                prop_assert!(
+                    !seen.values().any(|f| *f == frame),
+                    "frame {} shared", frame
+                );
+                seen.insert(p, frame);
+            }
+        }
+    }
+
+    /// A drift-free temporal stream emits exactly its element set each
+    /// pass, regardless of exactness/shuffle parameters.
+    #[test]
+    fn temporal_stream_pass_invariant(
+        seq_len in 16usize..200,
+        exactness in 0.0f64..=1.0,
+        window in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let cfg = TemporalStreamConfig {
+            exactness,
+            shuffle_window: window,
+            ..TemporalStreamConfig::pointer_chase("t", Pc::new(8), Addr::new(0), seq_len)
+        };
+        let mut s = TemporalStream::new(cfg, seed);
+        let mut a: Vec<u64> = (0..seq_len).map(|_| s.next_access().vaddr.get()).collect();
+        let mut b: Vec<u64> = (0..seq_len).map(|_| s.next_access().vaddr.get()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b, "pass element sets must match");
+    }
+
+    /// Saturating counters never leave their range.
+    #[test]
+    fn saturating_counter_in_range(ops in prop::collection::vec((any::<bool>(), 0u32..20), 0..200)) {
+        let mut c = SaturatingCounter::with_initial(15, 8);
+        for (up, n) in ops {
+            if up { c.add(n) } else { c.sub(n) }
+            prop_assert!(c.get() <= 15);
+        }
+    }
+
+    /// Geomean lies between min and max of its (positive) inputs.
+    #[test]
+    fn geomean_bounds(vals in prop::collection::vec(0.01f64..100.0, 1..20)) {
+        let g = geomean(&vals).unwrap();
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(g >= min * 0.999 && g <= max * 1.001, "g={g} min={min} max={max}");
+    }
+}
