@@ -24,7 +24,11 @@ fn bench_train(c: &mut Criterion) {
     let mut g = c.benchmark_group("markov_train");
     for (name, format, repl) in [
         ("direct42_srrip", TargetFormat::Direct42, PolicyKind::Srrip),
-        ("lut32_hawkeye", TargetFormat::triage_default(), PolicyKind::Hawkeye),
+        (
+            "lut32_hawkeye",
+            TargetFormat::triage_default(),
+            PolicyKind::Hawkeye,
+        ),
         ("ideal32_lru", TargetFormat::Ideal32, PolicyKind::Lru),
     ] {
         g.bench_function(BenchmarkId::from_parameter(name), |b| {
@@ -45,9 +49,10 @@ fn bench_train(c: &mut Criterion) {
 
 fn bench_lookup(c: &mut Criterion) {
     let mut g = c.benchmark_group("markov_lookup");
-    for (name, format) in
-        [("direct42", TargetFormat::Direct42), ("lut32", TargetFormat::triage_default())]
-    {
+    for (name, format) in [
+        ("direct42", TargetFormat::Direct42),
+        ("lut32", TargetFormat::triage_default()),
+    ] {
         g.bench_function(BenchmarkId::from_parameter(name), |b| {
             let mut t = table(format, PolicyKind::Lru);
             for i in 0..100_000u64 {

@@ -10,9 +10,11 @@ fn bench_pipeline(c: &mut Criterion) {
     let mut g = c.benchmark_group("pipeline");
     g.sample_size(10);
     g.throughput(Throughput::Elements(50_000));
-    for choice in
-        [PrefetcherChoice::Baseline, PrefetcherChoice::TriageDeg4, PrefetcherChoice::Triangel]
-    {
+    for choice in [
+        PrefetcherChoice::Baseline,
+        PrefetcherChoice::TriageDeg4,
+        PrefetcherChoice::Triangel,
+    ] {
         g.bench_function(BenchmarkId::from_parameter(choice.label()), |b| {
             b.iter(|| {
                 Experiment::new(SpecWorkload::Xalan.generator(1))

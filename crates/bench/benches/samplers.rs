@@ -15,7 +15,7 @@ fn bench_history_sampler(c: &mut Criterion) {
             i = i.wrapping_add(1);
             let addr = LineAddr::new(black_box(i % 50_000));
             black_box(s.lookup(addr, 3, i as u32, LineAddr::new(i)));
-            if i % 97 == 0 {
+            if i.is_multiple_of(97) {
                 s.insert(addr, 3, LineAddr::new(i + 1), i as u32);
             }
         });
@@ -29,7 +29,7 @@ fn bench_scs(c: &mut Criterion) {
         b.iter(|| {
             i = i.wrapping_add(1);
             black_box(s.check(LineAddr::new(i % 1000), 4, i));
-            if i % 13 == 0 {
+            if i.is_multiple_of(13) {
                 s.insert(LineAddr::new((i + 7) % 1000), 4, i);
             }
         });
@@ -56,10 +56,16 @@ fn bench_set_dueller(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i = i.wrapping_add(1);
-            d.on_access(LineAddr::new(black_box(i % 100_000)), i % 3 != 0);
+            d.on_access(LineAddr::new(black_box(i % 100_000)), !i.is_multiple_of(3));
         });
     });
 }
 
-criterion_group!(benches, bench_history_sampler, bench_scs, bench_mrb, bench_set_dueller);
+criterion_group!(
+    benches,
+    bench_history_sampler,
+    bench_scs,
+    bench_mrb,
+    bench_set_dueller
+);
 criterion_main!(benches);

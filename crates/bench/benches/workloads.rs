@@ -10,7 +10,11 @@ use triangel_workloads::TraceSource;
 fn bench_generators(c: &mut Criterion) {
     let mut g = c.benchmark_group("spec_generators");
     g.throughput(Throughput::Elements(1));
-    for wl in [SpecWorkload::Xalan, SpecWorkload::Mcf, SpecWorkload::Omnetpp] {
+    for wl in [
+        SpecWorkload::Xalan,
+        SpecWorkload::Mcf,
+        SpecWorkload::Omnetpp,
+    ] {
         g.bench_function(BenchmarkId::from_parameter(wl.label()), |b| {
             let mut gen = wl.generator(1);
             b.iter(|| black_box(gen.next_access()));
@@ -21,10 +25,20 @@ fn bench_generators(c: &mut Criterion) {
 
 fn bench_graph500(c: &mut Criterion) {
     c.bench_function("kronecker_s12_e8", |b| {
-        b.iter(|| generate_edges(KroneckerConfig { scale: 12, edge_factor: 8, seed: 1 }))
+        b.iter(|| {
+            generate_edges(KroneckerConfig {
+                scale: 12,
+                edge_factor: 8,
+                seed: 1,
+            })
+        })
     });
     c.bench_function("csr_build_s12_e8", |b| {
-        let edges = generate_edges(KroneckerConfig { scale: 12, edge_factor: 8, seed: 1 });
+        let edges = generate_edges(KroneckerConfig {
+            scale: 12,
+            edge_factor: 8,
+            seed: 1,
+        });
         b.iter(|| Csr::from_edges(1 << 12, &edges))
     });
     c.bench_function("bfs_trace_access", |b| {

@@ -1,33 +1,74 @@
-//! Regenerates every figure and table of the paper in one run,
-//! sharing the expensive Figs. 10-15 sweep.
+//! Regenerates every figure and table of the paper in one run.
+//!
+//! All experiments execute in-process through the `triangel-harness`
+//! scheduler over one shared result cache, so simulations common to
+//! several figures (the per-workload stride-only baselines above all)
+//! run exactly once; the final summary reports the cache-hit count.
+//!
+//! ```text
+//! all_figures [--jobs N] [--filter <regex>] [--out-dir <dir>]
+//! ```
+//!
+//! * `--jobs N` — worker threads (default: one per core). Reports are
+//!   bit-identical for every value, `--jobs 1` included.
+//! * `--filter <regex>` — run only the experiments whose registry name
+//!   matches, e.g. `--filter 'fig1[0-5]'` or `--filter '^table'`.
+//! * `--out-dir <dir>` — additionally emit every table as JSON and CSV.
 //!
 //! Full-scale run: `cargo run --release -p triangel-bench --bin all_figures`
-//! Smoke run: `TRIANGEL_QUICK=1 cargo run --release -p triangel-bench --bin all_figures`
+//! Smoke run: `TRIANGEL_QUICK=1 cargo run --release -p triangel-bench --bin all_figures -- --filter 'fig10|table'`
 
-use std::process::Command;
-
-use triangel_bench::{SpecSweep, SweepParams};
-
-fn run_binary(name: &str) {
-    eprintln!("==> {name}");
-    let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(name))
-        .status()
-        .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
-    assert!(status.success(), "{name} failed");
-}
+use triangel_bench::figures::{self, FigureContext};
+use triangel_bench::SweepParams;
 
 fn main() {
+    let cli = match figures::parse_cli(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
     let params = SweepParams::from_env();
-    eprintln!("==> shared sweep for Figs. 10-15 (warmup {}, accesses {})", params.warmup, params.accesses);
-    let sweep = SpecSweep::run(SpecSweep::paper_configs_with_nomrb(), &params);
-    sweep.fig10_speedup().print();
-    sweep.fig11_traffic().print();
-    sweep.fig12_accuracy().print();
-    sweep.fig13_coverage().print();
-    sweep.fig14_l3().print();
-    sweep.fig15_energy().print();
-    sweep.fig15_dram_fraction().print();
-    for bin in ["fig16", "fig17", "fig18", "fig19", "fig20", "table1", "table2", "sec33_replacement"] {
-        run_binary(bin);
+    eprintln!(
+        "==> all_figures: warmup {}, accesses {}, {} worker(s)",
+        params.warmup,
+        params.accesses,
+        if cli.jobs == 0 {
+            "per-core".to_string()
+        } else {
+            cli.jobs.to_string()
+        }
+    );
+
+    let mut ctx = FigureContext::new(params, cli.jobs);
+    let mut ran = 0usize;
+    for def in figures::registry() {
+        if let Some(filter) = &cli.filter {
+            if !filter.is_match(def.name) {
+                continue;
+            }
+        }
+        eprintln!("==> {} ({})", def.name, def.title);
+        let outputs = def.run(&mut ctx);
+        for out in &outputs {
+            out.print();
+        }
+        if let Some(dir) = &cli.out_dir {
+            if let Err(e) = figures::emit_outputs(dir, def.name, &outputs) {
+                eprintln!("failed to emit {} to {}: {e}", def.name, dir.display());
+                std::process::exit(1);
+            }
+        }
+        ran += 1;
     }
+    if ran == 0 {
+        eprintln!("--filter matched no experiments");
+        std::process::exit(2);
+    }
+    let stats = ctx.stats();
+    eprintln!(
+        "==> {} experiment(s); {} job(s), {} executed, {} cache hit(s), {} error(s)",
+        ran, stats.jobs, stats.executed, stats.cache_hits, stats.errors
+    );
 }

@@ -6,51 +6,12 @@
 //! uses B = 2 and notes that "more aggressive tradeoff parameters...
 //! do increase performance" at the cost of traffic; this binary sweeps
 //! B over {1, 2, 4} to expose that tradeoff.
-
-use triangel_bench::SweepParams;
-use triangel_core::TriangelConfig;
-use triangel_sim::report::FigureTable;
-use triangel_sim::{Comparison, Experiment, PrefetcherChoice};
-use triangel_workloads::spec::SpecWorkload;
+//!
+//! Declarative definition: `triangel_bench::figures` registry entry
+//! `"duel_bias"`, executed by the `triangel-harness` scheduler
+//! (`--jobs N` controls worker threads; results are identical for any
+//! value).
 
 fn main() {
-    let p = SweepParams::from_env();
-    let biases = [1u32, 2, 4];
-    let mut speedup = FigureTable::new(
-        "Dueller bias sweep: speedup",
-        "IPC vs stride-only baseline (B=2 is the paper's default)",
-        biases.iter().map(|b| format!("B={b}")).collect(),
-    );
-    let mut traffic = FigureTable::new(
-        "Dueller bias sweep: DRAM traffic",
-        "line reads vs baseline",
-        biases.iter().map(|b| format!("B={b}")).collect(),
-    );
-    for wl in SpecWorkload::ALL {
-        eprintln!("[duel_bias] {} / Baseline", wl.label());
-        let base = Experiment::new(wl.generator(p.seed))
-            .warmup(p.warmup)
-            .accesses(p.accesses)
-            .run();
-        let mut sp = Vec::new();
-        let mut tr = Vec::new();
-        for b in biases {
-            eprintln!("[duel_bias] {} / B={b}", wl.label());
-            let mut cfg = TriangelConfig::paper_default();
-            cfg.dueller_bias = b;
-            cfg.sizing_window = p.sizing_window;
-            let run = Experiment::new(wl.generator(p.seed))
-                .warmup(p.warmup)
-                .accesses(p.accesses)
-                .prefetcher(PrefetcherChoice::TriangelCustom(cfg))
-                .run();
-            let c = Comparison::new(&base, &run);
-            sp.push(c.speedup);
-            tr.push(c.dram_traffic);
-        }
-        speedup.push_row(wl.label(), sp);
-        traffic.push_row(wl.label(), tr);
-    }
-    speedup.print();
-    traffic.print();
+    triangel_bench::figures::run_main("duel_bias");
 }

@@ -1,9 +1,10 @@
-//! Reproduces Fig. 10 of the paper. See DESIGN.md's experiment index.
-
-use triangel_bench::{SpecSweep, SweepParams};
+//! Reproduces Fig. 10 of the paper (speedup). See DESIGN.md's experiment index.
+//!
+//! Declarative definition: `triangel_bench::figures` registry entry
+//! `"fig10"`, executed by the `triangel-harness` scheduler
+//! (`--jobs N` controls worker threads; results are identical for any
+//! value).
 
 fn main() {
-    let params = SweepParams::from_env();
-    let sweep = SpecSweep::run(SpecSweep::paper_configs(), &params);
-    sweep.fig10_speedup().print();
+    triangel_bench::figures::run_main("fig10");
 }

@@ -1,9 +1,10 @@
-//! Reproduces Fig. 13 of the paper. See DESIGN.md's experiment index.
-
-use triangel_bench::{SpecSweep, SweepParams};
+//! Reproduces Fig. 13 of the paper (coverage). See DESIGN.md's experiment index.
+//!
+//! Declarative definition: `triangel_bench::figures` registry entry
+//! `"fig13"`, executed by the `triangel-harness` scheduler
+//! (`--jobs N` controls worker threads; results are identical for any
+//! value).
 
 fn main() {
-    let params = SweepParams::from_env();
-    let sweep = SpecSweep::run(SpecSweep::paper_configs(), &params);
-    sweep.fig13_coverage().print();
+    triangel_bench::figures::run_main("fig13");
 }

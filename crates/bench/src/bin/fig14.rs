@@ -1,10 +1,10 @@
-//! Reproduces Fig. 14 of the paper (including the Triangel-NoMRB
-//! configuration). See DESIGN.md's experiment index.
-
-use triangel_bench::{SpecSweep, SweepParams};
+//! Reproduces Fig. 14 of the paper (L3 accesses, including Triangel-NoMRB).
+//!
+//! Declarative definition: `triangel_bench::figures` registry entry
+//! `"fig14"`, executed by the `triangel-harness` scheduler
+//! (`--jobs N` controls worker threads; results are identical for any
+//! value).
 
 fn main() {
-    let params = SweepParams::from_env();
-    let sweep = SpecSweep::run(SpecSweep::paper_configs_with_nomrb(), &params);
-    sweep.fig14_l3().print();
+    triangel_bench::figures::run_main("fig14");
 }

@@ -1,11 +1,10 @@
-//! Reproduces Fig. 15 of the paper (including the Triangel-NoMRB
-//! configuration). See DESIGN.md's experiment index.
-
-use triangel_bench::{SpecSweep, SweepParams};
+//! Reproduces Fig. 15 of the paper (DRAM+L3 energy, including Triangel-NoMRB).
+//!
+//! Declarative definition: `triangel_bench::figures` registry entry
+//! `"fig15"`, executed by the `triangel-harness` scheduler
+//! (`--jobs N` controls worker threads; results are identical for any
+//! value).
 
 fn main() {
-    let params = SweepParams::from_env();
-    let sweep = SpecSweep::run(SpecSweep::paper_configs_with_nomrb(), &params);
-    sweep.fig15_energy().print();
-    sweep.fig15_dram_fraction().print();
+    triangel_bench::figures::run_main("fig15");
 }

@@ -6,60 +6,12 @@
 //! Markov partition) and the DRAM channel; the per-pair speedup is the
 //! geometric mean of the two cores' IPC ratios against the same pair run
 //! with the stride-only baseline.
-
-use triangel_bench::SweepParams;
-use triangel_sim::report::FigureTable;
-use triangel_sim::{Comparison, Experiment, PrefetcherChoice};
-use triangel_workloads::spec::SpecWorkload;
-use triangel_workloads::TraceSource;
-
-/// The paper's pairings.
-pub const PAIRS: [(SpecWorkload, SpecWorkload); 4] = [
-    (SpecWorkload::Xalan, SpecWorkload::Omnetpp),
-    (SpecWorkload::Mcf, SpecWorkload::Gcc166),
-    (SpecWorkload::Astar, SpecWorkload::Soplex),
-    (SpecWorkload::Sphinx, SpecWorkload::Xalan),
-];
-
-fn pair_sources(a: SpecWorkload, b: SpecWorkload, seed: u64) -> Vec<Box<dyn TraceSource>> {
-    vec![Box::new(a.generator(seed)), Box::new(b.generator(seed ^ 0x9999))]
-}
+//!
+//! Declarative definition: `triangel_bench::figures` registry entry
+//! `"fig16"`, executed by the `triangel-harness` scheduler
+//! (`--jobs N` controls worker threads; results are identical for any
+//! value).
 
 fn main() {
-    let p = SweepParams::from_env();
-    let configs = [
-        PrefetcherChoice::Triage,
-        PrefetcherChoice::TriageDeg4,
-        PrefetcherChoice::Triangel,
-        PrefetcherChoice::TriangelBloom,
-    ];
-    let mut table = FigureTable::new(
-        "Fig. 16: Multiprogrammed-workload speedup",
-        "per-pair geomean IPC ratio vs stride-only dual-core baseline",
-        configs.iter().map(|c| c.label()).collect(),
-    );
-    for (a, b) in PAIRS {
-        let label = format!("{} & {}", a.label(), b.label());
-        eprintln!("[fig16] {label} / Baseline");
-        let base = Experiment::multiprogrammed(pair_sources(a, b, p.seed))
-            .warmup(p.warmup)
-            .accesses(p.accesses)
-            .sizing_window(p.sizing_window)
-            .label(label.clone())
-            .run();
-        let mut row = Vec::new();
-        for cfg in configs {
-            eprintln!("[fig16] {label} / {}", cfg.label());
-            let run = Experiment::multiprogrammed(pair_sources(a, b, p.seed))
-                .warmup(p.warmup)
-                .accesses(p.accesses)
-                .sizing_window(p.sizing_window)
-                .prefetcher(cfg)
-                .label(label.clone())
-                .run();
-            row.push(Comparison::new(&base, &run).speedup);
-        }
-        table.push_row(label, row);
-    }
-    table.print();
+    triangel_bench::figures::run_main("fig16");
 }

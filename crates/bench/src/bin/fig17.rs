@@ -6,80 +6,12 @@
 //! exceed any on-chip capacity. Temporal prefetchers should ideally do
 //! nothing; the paper shows the Triage variants slowing the system
 //! dramatically while Triangel's classifiers largely switch off.
-
-use std::sync::Arc;
-
-use triangel_bench::SweepParams;
-use triangel_sim::report::FigureTable;
-use triangel_sim::{Comparison, Experiment, PrefetcherChoice};
-use triangel_workloads::graph500::{BfsTrace, Csr, Graph500Config};
+//!
+//! Declarative definition: `triangel_bench::figures` registry entry
+//! `"fig17"`, executed by the `triangel-harness` scheduler
+//! (`--jobs N` controls worker threads; results are identical for any
+//! value).
 
 fn main() {
-    let p = SweepParams::from_env();
-    let configs = [
-        PrefetcherChoice::Triage,
-        PrefetcherChoice::TriageDeg4,
-        PrefetcherChoice::Triangel,
-        PrefetcherChoice::TriangelBloom,
-    ];
-    let quick = std::env::var("TRIANGEL_QUICK").is_ok_and(|v| v == "1");
-    let inputs: Vec<Graph500Config> = if quick {
-        vec![Graph500Config::tiny()]
-    } else {
-        vec![Graph500Config::s16_e10(), Graph500Config::s21_e10()]
-    };
-
-    let labels: Vec<String> = configs.iter().map(|c| c.label()).collect();
-    let mut slowdown = FigureTable::new(
-        "Fig. 17 (left): Graph500 search slowdown",
-        "baseline IPC / configuration IPC (higher = worse)",
-        labels.clone(),
-    )
-    .without_geomean();
-    let mut traffic = FigureTable::new(
-        "Fig. 17 (right): Graph500 DRAM traffic",
-        "DRAM line reads relative to baseline",
-        labels,
-    )
-    .without_geomean();
-
-    for input in inputs {
-        eprintln!("[fig17] generating graph {}", input.label());
-        // Build the graph once; every configuration's BFS shares it.
-        let trace = input.build_trace();
-        let graph: Arc<Csr> = trace.graph_handle();
-        eprintln!(
-            "[fig17] {}: {} vertices, {} edges, {:.1} MiB",
-            input.label(),
-            graph.n_vertices(),
-            graph.n_entries() / 2,
-            graph.footprint_bytes() as f64 / (1024.0 * 1024.0)
-        );
-        let fresh = |seed: u64| BfsTrace::new(input.label(), Arc::clone(&graph), seed);
-
-        eprintln!("[fig17] {} / Baseline", input.label());
-        let base = Experiment::new(fresh(p.seed))
-            .warmup(p.warmup)
-            .accesses(p.accesses)
-            .sizing_window(p.sizing_window)
-            .run();
-        let mut slow_row = Vec::new();
-        let mut traffic_row = Vec::new();
-        for cfg in configs {
-            eprintln!("[fig17] {} / {}", input.label(), cfg.label());
-            let run = Experiment::new(fresh(p.seed))
-                .warmup(p.warmup)
-                .accesses(p.accesses)
-                .sizing_window(p.sizing_window)
-                .prefetcher(cfg)
-                .run();
-            let c = Comparison::new(&base, &run);
-            slow_row.push(c.slowdown());
-            traffic_row.push(c.dram_traffic);
-        }
-        slowdown.push_row(input.label(), slow_row);
-        traffic.push_row(input.label(), traffic_row);
-    }
-    slowdown.print();
-    traffic.print();
+    triangel_bench::figures::run_main("fig17");
 }

@@ -6,44 +6,12 @@
 //! table; a fully-associative lookup table; Triangel's 42-bit direct
 //! format; and the 10-bit-offset variant that models halved physical
 //! frame locality.
-
-use triangel_bench::SweepParams;
-use triangel_markov::TargetFormat;
-use triangel_sim::report::FigureTable;
-use triangel_sim::{Comparison, Experiment, PrefetcherChoice};
-use triangel_workloads::spec::SpecWorkload;
+//!
+//! Declarative definition: `triangel_bench::figures` registry entry
+//! `"fig18"`, executed by the `triangel-harness` scheduler
+//! (`--jobs N` controls worker threads; results are identical for any
+//! value).
 
 fn main() {
-    let p = SweepParams::from_env();
-    let formats = [
-        TargetFormat::triage_default(),
-        TargetFormat::Ideal32,
-        TargetFormat::triage_full_lut(),
-        TargetFormat::Direct42,
-        TargetFormat::triage_10b_offset(),
-    ];
-    let mut table = FigureTable::new(
-        "Fig. 18: Triage speedup by Markov-table format",
-        "IPC relative to stride-only baseline (first column is Triage's default)",
-        formats.iter().map(|f| f.label().to_string()).collect(),
-    );
-    for wl in SpecWorkload::ALL {
-        eprintln!("[fig18] {} / Baseline", wl.label());
-        let base = Experiment::new(wl.generator(p.seed))
-            .warmup(p.warmup)
-            .accesses(p.accesses)
-            .run();
-        let mut row = Vec::new();
-        for f in formats {
-            eprintln!("[fig18] {} / {}", wl.label(), f.label());
-            let run = Experiment::new(wl.generator(p.seed))
-                .warmup(p.warmup)
-                .accesses(p.accesses)
-                .prefetcher(PrefetcherChoice::TriageFormat(f))
-                .run();
-            row.push(Comparison::new(&base, &run).speedup);
-        }
-        table.push_row(wl.label(), row);
-    }
-    table.print();
+    triangel_bench::figures::run_main("fig18");
 }

@@ -6,42 +6,12 @@
 //! physical-page locality or doubling page fragmentation"); when its
 //! 1024 entries are exhausted, stale indices silently reconstruct wrong
 //! addresses and accuracy collapses.
-
-use triangel_bench::SweepParams;
-use triangel_markov::TargetFormat;
-use triangel_sim::report::FigureTable;
-use triangel_sim::{Comparison, Experiment, PrefetcherChoice};
-use triangel_workloads::paging::PageMapper;
-use triangel_workloads::spec::SpecWorkload;
+//!
+//! Declarative definition: `triangel_bench::figures` registry entry
+//! `"fig19"`, executed by the `triangel-harness` scheduler
+//! (`--jobs N` controls worker threads; results are identical for any
+//! value).
 
 fn main() {
-    let p = SweepParams::from_env();
-    let variants =
-        [("11-bit", TargetFormat::triage_default()), ("10-bit", TargetFormat::triage_10b_offset())];
-    let mut table = FigureTable::new(
-        "Fig. 19: Triage LUT accuracy by offset width",
-        "prefetched lines used before L2 eviction (fragmented page mapping)",
-        variants.iter().map(|(n, _)| n.to_string()).collect(),
-    );
-    for wl in SpecWorkload::ALL {
-        eprintln!("[fig19] {} / Baseline", wl.label());
-        let base = Experiment::new(wl.generator(p.seed))
-            .warmup(p.warmup)
-            .accesses(p.accesses)
-            .page_mapper(PageMapper::realistic(p.seed))
-            .run();
-        let mut row = Vec::new();
-        for (name, f) in variants {
-            eprintln!("[fig19] {} / {name}", wl.label());
-            let run = Experiment::new(wl.generator(p.seed))
-                .warmup(p.warmup)
-                .accesses(p.accesses)
-                .page_mapper(PageMapper::realistic(p.seed))
-                .prefetcher(PrefetcherChoice::TriageFormat(f))
-                .run();
-            row.push(Comparison::new(&base, &run).accuracy);
-        }
-        table.push_row(wl.label(), row);
-    }
-    table.print();
+    triangel_bench::figures::run_main("fig19");
 }

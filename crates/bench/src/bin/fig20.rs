@@ -5,52 +5,12 @@
 //! +BasePatternConf, +Second-Chance, +Metadata Reuse Buffer, +Set Duel,
 //! +ReuseConf, +HighPatternConf. Both panels of the figure are printed:
 //! (a) speedup, (b) normalized DRAM traffic.
-
-use triangel_bench::SweepParams;
-use triangel_core::TriangelFeatures;
-use triangel_sim::report::FigureTable;
-use triangel_sim::{Comparison, Experiment, PrefetcherChoice};
-use triangel_workloads::spec::SpecWorkload;
+//!
+//! Declarative definition: `triangel_bench::figures` registry entry
+//! `"fig20"`, executed by the `triangel-harness` scheduler
+//! (`--jobs N` controls worker threads; results are identical for any
+//! value).
 
 fn main() {
-    let p = SweepParams::from_env();
-    let steps: Vec<usize> = (0..=8).collect();
-    let labels: Vec<String> =
-        steps.iter().map(|s| TriangelFeatures::ladder_label(*s).to_string()).collect();
-    let mut speedup = FigureTable::new(
-        "Fig. 20a: Ablation speedup",
-        "IPC relative to stride-only baseline, features added cumulatively",
-        labels.clone(),
-    );
-    let mut traffic = FigureTable::new(
-        "Fig. 20b: Ablation DRAM traffic",
-        "DRAM line reads relative to baseline",
-        labels,
-    );
-    for wl in SpecWorkload::ALL {
-        eprintln!("[fig20] {} / Baseline", wl.label());
-        let base = Experiment::new(wl.generator(p.seed))
-            .warmup(p.warmup)
-            .accesses(p.accesses)
-            .sizing_window(p.sizing_window)
-            .run();
-        let mut sp_row = Vec::new();
-        let mut tr_row = Vec::new();
-        for s in &steps {
-            eprintln!("[fig20] {} / step {s}", wl.label());
-            let run = Experiment::new(wl.generator(p.seed))
-                .warmup(p.warmup)
-                .accesses(p.accesses)
-                .sizing_window(p.sizing_window)
-                .prefetcher(PrefetcherChoice::TriangelLadder(*s))
-                .run();
-            let c = Comparison::new(&base, &run);
-            sp_row.push(c.speedup);
-            tr_row.push(c.dram_traffic);
-        }
-        speedup.push_row(wl.label(), sp_row);
-        traffic.push_row(wl.label(), tr_row);
-    }
-    speedup.print();
-    traffic.print();
+    triangel_bench::figures::run_main("fig20");
 }

@@ -6,60 +6,14 @@
 //! We sweep Triage with {LRU, SRRIP, HawkEye} entry replacement at the
 //! full partition and at a quarter-size partition (2 max ways =
 //! 256 KiB-class), reporting geomean speedup over the stride baseline.
-
-use triangel_bench::SweepParams;
-use triangel_cache::replacement::PolicyKind;
-use triangel_sim::report::FigureTable;
-use triangel_sim::{Comparison, Experiment, PrefetcherChoice};
-use triangel_triage::TriageConfig;
-use triangel_workloads::spec::SpecWorkload;
-
-fn run(
-    wl: SpecWorkload,
-    base: &triangel_sim::RunReport,
-    policy: PolicyKind,
-    max_ways: usize,
-    p: &SweepParams,
-) -> f64 {
-    let mut cfg = TriageConfig::paper_default();
-    cfg.table.replacement = policy;
-    cfg.table.max_ways = max_ways;
-    let run = Experiment::new(wl.generator(p.seed))
-        .warmup(p.warmup)
-        .accesses(p.accesses)
-        .prefetcher(PrefetcherChoice::TriageCustom(cfg))
-        .run();
-    Comparison::new(base, &run).speedup
-}
+//! The per-workload stride baselines are shared between the two
+//! capacity points through the harness result cache.
+//!
+//! Declarative definition: `triangel_bench::figures` registry entry
+//! `"sec33_replacement"`, executed by the `triangel-harness` scheduler
+//! (`--jobs N` controls worker threads; results are identical for any
+//! value).
 
 fn main() {
-    let p = SweepParams::from_env();
-    let policies =
-        [("LRU", PolicyKind::Lru), ("SRRIP", PolicyKind::Srrip), ("HawkEye", PolicyKind::Hawkeye)];
-    // One baseline per workload, shared by every policy/capacity cell.
-    let baselines: Vec<_> = SpecWorkload::ALL
-        .iter()
-        .map(|wl| {
-            eprintln!("[sec33] {} / Baseline", wl.label());
-            Experiment::new(wl.generator(p.seed)).warmup(p.warmup).accesses(p.accesses).run()
-        })
-        .collect();
-    for (cap_name, max_ways) in
-        [("full 1 MiB table (8 ways)", 8), ("capacity-limited table (2 ways)", 2)]
-    {
-        let mut t = FigureTable::new(
-            format!("Sec. 3.3: Markov replacement policy, {cap_name}"),
-            "Triage speedup over stride-only baseline",
-            policies.iter().map(|(n, _)| n.to_string()).collect(),
-        );
-        for (w, wl) in SpecWorkload::ALL.iter().enumerate() {
-            eprintln!("[sec33] {} / {cap_name}", wl.label());
-            let row = policies
-                .iter()
-                .map(|(_, pk)| run(*wl, &baselines[w], *pk, max_ways, &p))
-                .collect();
-            t.push_row(wl.label(), row);
-        }
-        t.print();
-    }
+    triangel_bench::figures::run_main("sec33_replacement");
 }

@@ -1,24 +1,10 @@
 //! Reproduces Table 1: sizing of Triangel's dedicated structures.
-
-use triangel_core::{structure_sizes, TriangelConfig};
+//!
+//! Declarative definition: `triangel_bench::figures` registry entry
+//! `"table1"`, executed by the `triangel-harness` scheduler
+//! (`--jobs N` controls worker threads; results are identical for any
+//! value).
 
 fn main() {
-    let sizes = structure_sizes(&TriangelConfig::paper_default());
-    println!("## Table 1: Sizing of Triangel's structures\n");
-    println!("{:24} {:>10} {:>8}", "Table", "Entries", "Size");
-    println!("{}", "-".repeat(46));
-    let mut total = 0usize;
-    for s in &sizes {
-        let entries = if s.name == "Set Dueller" {
-            "64x(8+16)".to_string()
-        } else {
-            s.entries.to_string()
-        };
-        println!("{:24} {:>10} {:>7}B", s.name, entries, s.bytes);
-        total += s.bytes;
-    }
-    println!("{}", "-".repeat(46));
-    println!("{:24} {:>10} {:>6.1}KiB", "Total", "", total as f64 / 1024.0);
-    println!("\n(paper: 17.6 KiB total, versus 219.5 KiB for Triage once its");
-    println!(" lookup table, HawkEye dueller and Bloom filter are counted)");
+    triangel_bench::figures::run_main("table1");
 }

@@ -1,27 +1,10 @@
 //! Reproduces Table 2: the core and memory experimental setup.
-
-use triangel_sim::SystemConfig;
+//!
+//! Declarative definition: `triangel_bench::figures` registry entry
+//! `"table2"`, executed by the `triangel-harness` scheduler
+//! (`--jobs N` controls worker threads; results are identical for any
+//! value).
 
 fn main() {
-    let cfg = SystemConfig::paper_single_core();
-    println!("## Table 2: Core and memory experimental setup\n");
-    println!("Core       5-wide out-of-order approximation, 2 GHz");
-    println!("Pipeline   {}-entry ROB (issue window), width {}", cfg.rob_entries, cfg.width);
-    for (name, c) in [("L1 DCache", &cfg.l1), ("L2 Cache", &cfg.l2), ("L3 Cache", &cfg.l3)] {
-        println!(
-            "{:10} {} KiB, {}-way, {}-cycle hit latency, {} sets",
-            name,
-            c.size_bytes() / 1024,
-            c.ways(),
-            c.hit_latency(),
-            c.sets()
-        );
-    }
-    println!("L2 MSHRs   {}", cfg.l2_mshrs);
-    println!(
-        "Memory     LPDDR5-like: {} cycles access latency, {} cycles/line channel occupancy",
-        cfg.dram.access_latency, cfg.dram.service_interval
-    );
-    println!("Stride pf  degree-{} at the L1D (baseline includes it)", cfg.stride_degree);
-    println!("Markov     up to {} of {} L3 ways (half the cache)", cfg.max_markov_ways, cfg.l3.ways());
+    triangel_bench::figures::run_main("table2");
 }

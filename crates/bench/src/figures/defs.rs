@@ -1,0 +1,312 @@
+//! The per-figure experiment definitions: declarative grids handed to
+//! the harness, plus the folds that turn their reports into tables.
+
+use std::sync::Arc;
+
+use triangel_core::{structure_sizes, TriangelConfig, TriangelFeatures};
+use triangel_harness::{GridSpec, MapperSpec, WorkloadSpec};
+use triangel_markov::TargetFormat;
+use triangel_sim::{PrefetcherChoice, SystemConfig};
+use triangel_triage::TriageConfig;
+use triangel_workloads::graph500::Graph500Config;
+use triangel_workloads::spec::SpecWorkload;
+
+use super::{FigureContext, FigureOutput};
+use crate::quick_mode;
+
+fn tables(tables: Vec<triangel_sim::report::FigureTable>) -> Vec<FigureOutput> {
+    tables.into_iter().map(FigureOutput::Table).collect()
+}
+
+pub(super) fn fig10(ctx: &mut FigureContext) -> Vec<FigureOutput> {
+    tables(vec![ctx.spec_sweep().fig10_speedup()])
+}
+
+pub(super) fn fig11(ctx: &mut FigureContext) -> Vec<FigureOutput> {
+    tables(vec![ctx.spec_sweep().fig11_traffic()])
+}
+
+pub(super) fn fig12(ctx: &mut FigureContext) -> Vec<FigureOutput> {
+    tables(vec![ctx.spec_sweep().fig12_accuracy()])
+}
+
+pub(super) fn fig13(ctx: &mut FigureContext) -> Vec<FigureOutput> {
+    tables(vec![ctx.spec_sweep().fig13_coverage()])
+}
+
+pub(super) fn fig14(ctx: &mut FigureContext) -> Vec<FigureOutput> {
+    tables(vec![ctx.spec_sweep().fig14_l3()])
+}
+
+pub(super) fn fig15(ctx: &mut FigureContext) -> Vec<FigureOutput> {
+    tables(vec![
+        ctx.spec_sweep().fig15_energy(),
+        ctx.spec_sweep().fig15_dram_fraction(),
+    ])
+}
+
+/// The paper's multiprogrammed pairings ("with Xalan doubled to make an
+/// even set").
+pub const FIG16_PAIRS: [(SpecWorkload, SpecWorkload); 4] = [
+    (SpecWorkload::Xalan, SpecWorkload::Omnetpp),
+    (SpecWorkload::Mcf, SpecWorkload::Gcc166),
+    (SpecWorkload::Astar, SpecWorkload::Soplex),
+    (SpecWorkload::Sphinx, SpecWorkload::Xalan),
+];
+
+pub(super) fn fig16(ctx: &mut FigureContext) -> Vec<FigureOutput> {
+    let mut grid = GridSpec::new(ctx.params.run_params()).columns([
+        PrefetcherChoice::Triage,
+        PrefetcherChoice::TriageDeg4,
+        PrefetcherChoice::Triangel,
+        PrefetcherChoice::TriangelBloom,
+    ]);
+    for (a, b) in FIG16_PAIRS {
+        grid = grid.row(WorkloadSpec::Pair(a, b));
+    }
+    let result = grid.run(&ctx.opts).unwrap_or_else(|e| panic!("{e}"));
+    ctx.absorb(result.stats);
+    tables(vec![result.table(
+        "Fig. 16: Multiprogrammed-workload speedup",
+        "per-pair geomean IPC ratio vs stride-only dual-core baseline",
+        |c| c.speedup,
+    )])
+}
+
+pub(super) fn fig17(ctx: &mut FigureContext) -> Vec<FigureOutput> {
+    let inputs: Vec<Graph500Config> = if quick_mode() {
+        vec![Graph500Config::tiny()]
+    } else {
+        vec![Graph500Config::s16_e10(), Graph500Config::s21_e10()]
+    };
+    let mut grid = GridSpec::new(ctx.params.run_params()).columns([
+        PrefetcherChoice::Triage,
+        PrefetcherChoice::TriageDeg4,
+        PrefetcherChoice::Triangel,
+        PrefetcherChoice::TriangelBloom,
+    ]);
+    for input in inputs {
+        eprintln!("[fig17] generating graph {}", input.label());
+        // Build the graph once; every configuration's BFS shares it.
+        let graph = input.build_trace().graph_handle();
+        eprintln!(
+            "[fig17] {}: {} vertices, {} edges, {:.1} MiB",
+            input.label(),
+            graph.n_vertices(),
+            graph.n_entries() / 2,
+            graph.footprint_bytes() as f64 / (1024.0 * 1024.0)
+        );
+        grid = grid.row(WorkloadSpec::Graph500 {
+            label: input.label(),
+            graph: Arc::clone(&graph),
+        });
+    }
+    let result = grid.run(&ctx.opts).unwrap_or_else(|e| panic!("{e}"));
+    ctx.absorb(result.stats);
+    tables(vec![
+        result
+            .table(
+                "Fig. 17 (left): Graph500 search slowdown",
+                "baseline IPC / configuration IPC (higher = worse)",
+                |c| c.slowdown(),
+            )
+            .without_geomean(),
+        result
+            .table(
+                "Fig. 17 (right): Graph500 DRAM traffic",
+                "DRAM line reads relative to baseline",
+                |c| c.dram_traffic,
+            )
+            .without_geomean(),
+    ])
+}
+
+pub(super) fn fig18(ctx: &mut FigureContext) -> Vec<FigureOutput> {
+    let formats = [
+        TargetFormat::triage_default(),
+        TargetFormat::Ideal32,
+        TargetFormat::triage_full_lut(),
+        TargetFormat::Direct42,
+        TargetFormat::triage_10b_offset(),
+    ];
+    let mut grid = GridSpec::new(ctx.params.run_params()).spec_rows();
+    for f in formats {
+        grid = grid.column(PrefetcherChoice::TriageFormat(f));
+    }
+    let result = grid.run(&ctx.opts).unwrap_or_else(|e| panic!("{e}"));
+    ctx.absorb(result.stats);
+    tables(vec![result.table(
+        "Fig. 18: Triage speedup by Markov-table format",
+        "IPC relative to stride-only baseline (first column is Triage's default)",
+        |c| c.speedup,
+    )])
+}
+
+pub(super) fn fig19(ctx: &mut FigureContext) -> Vec<FigureOutput> {
+    let variants = [
+        ("11-bit", TargetFormat::triage_default()),
+        ("10-bit", TargetFormat::triage_10b_offset()),
+    ];
+    let mut grid = GridSpec::new(ctx.params.run_params())
+        .spec_rows()
+        .mapper(MapperSpec::Realistic(ctx.params.seed));
+    for (name, f) in variants {
+        grid = grid.labeled_column(name, PrefetcherChoice::TriageFormat(f));
+    }
+    let result = grid.run(&ctx.opts).unwrap_or_else(|e| panic!("{e}"));
+    ctx.absorb(result.stats);
+    tables(vec![result.table(
+        "Fig. 19: Triage LUT accuracy by offset width",
+        "prefetched lines used before L2 eviction (fragmented page mapping)",
+        |c| c.accuracy,
+    )])
+}
+
+pub(super) fn fig20(ctx: &mut FigureContext) -> Vec<FigureOutput> {
+    let mut grid = GridSpec::new(ctx.params.run_params()).spec_rows();
+    for step in 0..=8 {
+        grid = grid.labeled_column(
+            TriangelFeatures::ladder_label(step),
+            PrefetcherChoice::TriangelLadder(step),
+        );
+    }
+    let result = grid.run(&ctx.opts).unwrap_or_else(|e| panic!("{e}"));
+    ctx.absorb(result.stats);
+    tables(vec![
+        result.table(
+            "Fig. 20a: Ablation speedup",
+            "IPC relative to stride-only baseline, features added cumulatively",
+            |c| c.speedup,
+        ),
+        result.table(
+            "Fig. 20b: Ablation DRAM traffic",
+            "DRAM line reads relative to baseline",
+            |c| c.dram_traffic,
+        ),
+    ])
+}
+
+pub(super) fn table1(_ctx: &mut FigureContext) -> Vec<FigureOutput> {
+    let sizes = structure_sizes(&TriangelConfig::paper_default());
+    let mut out = String::new();
+    out.push_str("## Table 1: Sizing of Triangel's structures\n\n");
+    out.push_str(&format!("{:24} {:>10} {:>8}\n", "Table", "Entries", "Size"));
+    out.push_str(&format!("{}\n", "-".repeat(46)));
+    let mut total = 0usize;
+    for s in &sizes {
+        let entries = if s.name == "Set Dueller" {
+            "64x(8+16)".to_string()
+        } else {
+            s.entries.to_string()
+        };
+        out.push_str(&format!("{:24} {:>10} {:>7}B\n", s.name, entries, s.bytes));
+        total += s.bytes;
+    }
+    out.push_str(&format!("{}\n", "-".repeat(46)));
+    out.push_str(&format!(
+        "{:24} {:>10} {:>6.1}KiB\n",
+        "Total",
+        "",
+        total as f64 / 1024.0
+    ));
+    out.push_str("\n(paper: 17.6 KiB total, versus 219.5 KiB for Triage once its\n");
+    out.push_str(" lookup table, HawkEye dueller and Bloom filter are counted)");
+    vec![FigureOutput::Text(out)]
+}
+
+pub(super) fn table2(_ctx: &mut FigureContext) -> Vec<FigureOutput> {
+    let cfg = SystemConfig::paper_single_core();
+    let mut out = String::new();
+    out.push_str("## Table 2: Core and memory experimental setup\n\n");
+    out.push_str("Core       5-wide out-of-order approximation, 2 GHz\n");
+    out.push_str(&format!(
+        "Pipeline   {}-entry ROB (issue window), width {}\n",
+        cfg.rob_entries, cfg.width
+    ));
+    for (name, c) in [
+        ("L1 DCache", &cfg.l1),
+        ("L2 Cache", &cfg.l2),
+        ("L3 Cache", &cfg.l3),
+    ] {
+        out.push_str(&format!(
+            "{:10} {} KiB, {}-way, {}-cycle hit latency, {} sets\n",
+            name,
+            c.size_bytes() / 1024,
+            c.ways(),
+            c.hit_latency(),
+            c.sets()
+        ));
+    }
+    out.push_str(&format!("L2 MSHRs   {}\n", cfg.l2_mshrs));
+    out.push_str(&format!(
+        "Memory     LPDDR5-like: {} cycles access latency, {} cycles/line channel occupancy\n",
+        cfg.dram.access_latency, cfg.dram.service_interval
+    ));
+    out.push_str(&format!(
+        "Stride pf  degree-{} at the L1D (baseline includes it)\n",
+        cfg.stride_degree
+    ));
+    out.push_str(&format!(
+        "Markov     up to {} of {} L3 ways (half the cache)",
+        cfg.max_markov_ways,
+        cfg.l3.ways()
+    ));
+    vec![FigureOutput::Text(out)]
+}
+
+pub(super) fn sec33_replacement(ctx: &mut FigureContext) -> Vec<FigureOutput> {
+    use triangel_cache::replacement::PolicyKind;
+    let policies = [
+        ("LRU", PolicyKind::Lru),
+        ("SRRIP", PolicyKind::Srrip),
+        ("HawkEye", PolicyKind::Hawkeye),
+    ];
+    let mut out = Vec::new();
+    // Two capacity points; the shared cache makes the per-workload
+    // baselines execute once across both grids.
+    for (cap_name, max_ways) in [
+        ("full 1 MiB table (8 ways)", 8),
+        ("capacity-limited table (2 ways)", 2),
+    ] {
+        let mut grid = GridSpec::new(ctx.params.run_params()).spec_rows();
+        for (name, pk) in policies {
+            let mut cfg = TriageConfig::paper_default();
+            cfg.table.replacement = pk;
+            cfg.table.max_ways = max_ways;
+            grid = grid.labeled_column(name, PrefetcherChoice::TriageCustom(cfg));
+        }
+        let result = grid.run(&ctx.opts).unwrap_or_else(|e| panic!("{e}"));
+        ctx.absorb(result.stats);
+        out.push(FigureOutput::Table(result.table(
+            format!("Sec. 3.3: Markov replacement policy, {cap_name}"),
+            "Triage speedup over stride-only baseline",
+            |c| c.speedup,
+        )));
+    }
+    out
+}
+
+pub(super) fn duel_bias(ctx: &mut FigureContext) -> Vec<FigureOutput> {
+    let biases = [1u32, 2, 4];
+    let mut grid = GridSpec::new(ctx.params.run_params()).spec_rows();
+    for b in biases {
+        let mut cfg = TriangelConfig::paper_default();
+        cfg.dueller_bias = b;
+        cfg.sizing_window = ctx.params.sizing_window;
+        grid = grid.labeled_column(format!("B={b}"), PrefetcherChoice::TriangelCustom(cfg));
+    }
+    let result = grid.run(&ctx.opts).unwrap_or_else(|e| panic!("{e}"));
+    ctx.absorb(result.stats);
+    tables(vec![
+        result.table(
+            "Dueller bias sweep: speedup",
+            "IPC vs stride-only baseline (B=2 is the paper's default)",
+            |c| c.speedup,
+        ),
+        result.table(
+            "Dueller bias sweep: DRAM traffic",
+            "line reads vs baseline",
+            |c| c.dram_traffic,
+        ),
+    ])
+}

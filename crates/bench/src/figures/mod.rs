@@ -1,0 +1,379 @@
+//! The experiment registry: every figure and table of the paper as a
+//! named, declarative definition, executed by `triangel-harness`.
+//!
+//! Binaries are thin: `fig10` is `run_main("fig10")`, and
+//! `all_figures` iterates the whole registry (optionally filtered with
+//! a regex) over one shared result cache, so simulations common to
+//! several figures — above all the per-workload stride-only baselines —
+//! execute exactly once per process.
+
+mod defs;
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use triangel_harness::emit;
+use triangel_harness::filter::Pattern;
+use triangel_harness::{ResultCache, SweepOptions, SweepStats};
+use triangel_sim::report::FigureTable;
+
+use crate::{SpecSweep, SweepParams};
+
+/// One rendered artefact of an experiment.
+#[derive(Debug)]
+pub enum FigureOutput {
+    /// A workloads × configurations table.
+    Table(FigureTable),
+    /// Free-form text (Tables 1 and 2 of the paper).
+    Text(String),
+}
+
+impl FigureOutput {
+    /// Prints to stdout, matching the historical binary output.
+    pub fn print(&self) {
+        match self {
+            FigureOutput::Table(t) => t.print(),
+            FigureOutput::Text(s) => println!("{s}"),
+        }
+    }
+
+    /// A short slug for file names when emitting JSON/CSV.
+    fn slug(&self, fallback: &str, ordinal: usize) -> String {
+        let base = match self {
+            FigureOutput::Table(t) => t.title().to_string(),
+            FigureOutput::Text(_) => fallback.to_string(),
+        };
+        let mut slug: String = base
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        while slug.contains("__") {
+            slug = slug.replace("__", "_");
+        }
+        format!("{}_{}", slug.trim_matches('_'), ordinal)
+    }
+}
+
+/// Shared state for one process's worth of experiments.
+#[derive(Debug)]
+pub struct FigureContext {
+    /// Scale parameters (from the environment).
+    pub params: SweepParams,
+    /// Scheduler options; the cache inside is shared by every figure.
+    pub opts: SweepOptions,
+    stats: SweepStats,
+    spec_sweep: Option<SpecSweep>,
+}
+
+impl FigureContext {
+    /// A context with `jobs` workers (0 = one per core) and a fresh
+    /// shared cache.
+    pub fn new(params: SweepParams, jobs: usize) -> Self {
+        FigureContext {
+            params,
+            opts: SweepOptions::parallel(jobs)
+                .with_progress()
+                .with_cache(Arc::new(ResultCache::new())),
+            stats: SweepStats::default(),
+            spec_sweep: None,
+        }
+    }
+
+    /// The shared Figs. 10–15 sweep, run on first use with the full
+    /// configuration set (individual figures select their columns).
+    pub fn spec_sweep(&mut self) -> &SpecSweep {
+        if self.spec_sweep.is_none() {
+            let sweep = SpecSweep::run_opts(
+                SpecSweep::paper_configs_with_nomrb(),
+                &self.params,
+                &self.opts,
+            );
+            self.absorb(sweep.stats());
+            self.spec_sweep = Some(sweep);
+        }
+        self.spec_sweep.as_ref().unwrap()
+    }
+
+    /// Folds one sweep's counters into the per-process totals.
+    pub fn absorb(&mut self, s: SweepStats) {
+        self.stats.jobs += s.jobs;
+        self.stats.executed += s.executed;
+        self.stats.cache_hits += s.cache_hits;
+        self.stats.errors += s.errors;
+    }
+
+    /// Totals across every sweep this context ran.
+    pub fn stats(&self) -> SweepStats {
+        self.stats
+    }
+}
+
+/// A named experiment.
+#[derive(Clone)]
+pub struct FigureDef {
+    /// Registry name (`fig10`, `table1`, `sec33_replacement`, ...).
+    pub name: &'static str,
+    /// One-line description.
+    pub title: &'static str,
+    run: fn(&mut FigureContext) -> Vec<FigureOutput>,
+}
+
+impl std::fmt::Debug for FigureDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FigureDef({})", self.name)
+    }
+}
+
+impl FigureDef {
+    /// Runs the experiment's sweeps and returns its artefacts.
+    pub fn run(&self, ctx: &mut FigureContext) -> Vec<FigureOutput> {
+        (self.run)(ctx)
+    }
+}
+
+/// Every experiment, in the order `all_figures` runs them.
+pub fn registry() -> Vec<FigureDef> {
+    vec![
+        FigureDef {
+            name: "fig10",
+            title: "Speedup over stride baseline",
+            run: defs::fig10,
+        },
+        FigureDef {
+            name: "fig11",
+            title: "Normalized DRAM traffic",
+            run: defs::fig11,
+        },
+        FigureDef {
+            name: "fig12",
+            title: "Prefetch accuracy",
+            run: defs::fig12,
+        },
+        FigureDef {
+            name: "fig13",
+            title: "Coverage",
+            run: defs::fig13,
+        },
+        FigureDef {
+            name: "fig14",
+            title: "Normalized L3 accesses",
+            run: defs::fig14,
+        },
+        FigureDef {
+            name: "fig15",
+            title: "Normalized DRAM+L3 energy",
+            run: defs::fig15,
+        },
+        FigureDef {
+            name: "fig16",
+            title: "Multiprogrammed speedup",
+            run: defs::fig16,
+        },
+        FigureDef {
+            name: "fig17",
+            title: "Graph500 adversarial study",
+            run: defs::fig17,
+        },
+        FigureDef {
+            name: "fig18",
+            title: "Markov metadata formats",
+            run: defs::fig18,
+        },
+        FigureDef {
+            name: "fig19",
+            title: "LUT offset-width accuracy",
+            run: defs::fig19,
+        },
+        FigureDef {
+            name: "fig20",
+            title: "Feature-ladder ablation",
+            run: defs::fig20,
+        },
+        FigureDef {
+            name: "table1",
+            title: "Triangel structure sizing",
+            run: defs::table1,
+        },
+        FigureDef {
+            name: "table2",
+            title: "Experimental setup",
+            run: defs::table2,
+        },
+        FigureDef {
+            name: "sec33_replacement",
+            title: "Markov replacement-policy study",
+            run: defs::sec33_replacement,
+        },
+        FigureDef {
+            name: "duel_bias",
+            title: "Set Dueller bias sweep",
+            run: defs::duel_bias,
+        },
+    ]
+}
+
+/// Looks up one experiment by name.
+pub fn find(name: &str) -> Option<FigureDef> {
+    registry().into_iter().find(|f| f.name == name)
+}
+
+/// Command-line options shared by the figure binaries.
+#[derive(Debug, Default)]
+pub struct CliOptions {
+    /// `--jobs N` (0 = one worker per core).
+    pub jobs: usize,
+    /// `--filter <regex>` (only `all_figures`).
+    pub filter: Option<Pattern>,
+    /// `--out-dir <dir>` (only `all_figures`): emit JSON/CSV here.
+    pub out_dir: Option<PathBuf>,
+}
+
+/// Parses `--jobs N`, `--filter RE`, `--out-dir DIR`.
+///
+/// # Errors
+///
+/// A usage message on unknown flags, missing values, or a malformed
+/// filter regex.
+pub fn parse_cli(args: impl Iterator<Item = String>) -> Result<CliOptions, String> {
+    let mut opts = CliOptions::default();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs needs a value")?;
+                opts.jobs = v.parse().map_err(|_| format!("bad --jobs value `{v}`"))?;
+            }
+            "--filter" => {
+                let v = args.next().ok_or("--filter needs a regex")?;
+                opts.filter = Some(Pattern::new(&v).map_err(|e| e.to_string())?);
+            }
+            "--out-dir" => {
+                let v = args.next().ok_or("--out-dir needs a path")?;
+                opts.out_dir = Some(PathBuf::from(v));
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument `{other}` (expected --jobs N, --filter RE, --out-dir DIR)"
+                ))
+            }
+        }
+    }
+    Ok(opts)
+}
+
+/// Entry point for the single-figure binaries: parses `--jobs` and
+/// `--out-dir`, runs the named experiment, prints (and optionally
+/// emits) its artefacts. `--filter` is rejected — there is only one
+/// experiment here; filtering belongs to `all_figures`.
+///
+/// # Panics
+///
+/// Panics if `name` is not in the registry (a bug, not user error).
+pub fn run_main(name: &str) {
+    let cli = match parse_cli(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    if cli.filter.is_some() {
+        eprintln!("--filter only applies to all_figures; this binary runs exactly `{name}`");
+        std::process::exit(2);
+    }
+    let def = find(name).unwrap_or_else(|| panic!("unknown figure `{name}`"));
+    let mut ctx = FigureContext::new(SweepParams::from_env(), cli.jobs);
+    let outputs = def.run(&mut ctx);
+    for out in &outputs {
+        out.print();
+    }
+    if let Some(dir) = &cli.out_dir {
+        if let Err(e) = emit_outputs(dir, name, &outputs) {
+            eprintln!("failed to emit {name} to {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Writes an experiment's artefacts as JSON and CSV files under `dir`.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn emit_outputs(
+    dir: &std::path::Path,
+    name: &str,
+    outputs: &[FigureOutput],
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for (i, out) in outputs.iter().enumerate() {
+        let slug = out.slug(name, i);
+        match out {
+            FigureOutput::Table(t) => {
+                std::fs::write(dir.join(format!("{slug}.json")), emit::table_to_json(t))?;
+                std::fs::write(dir.join(format!("{slug}.csv")), emit::table_to_csv(t))?;
+            }
+            FigureOutput::Text(s) => {
+                std::fs::write(dir.join(format!("{slug}.txt")), s)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_cover_all_binaries() {
+        let names: Vec<&str> = registry().iter().map(|f| f.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate registry names");
+        for expected in [
+            "fig10",
+            "fig16",
+            "fig17",
+            "fig20",
+            "table1",
+            "table2",
+            "sec33_replacement",
+            "duel_bias",
+        ] {
+            assert!(names.contains(&expected), "registry missing {expected}");
+        }
+    }
+
+    #[test]
+    fn cli_parses_all_flags() {
+        let opts = parse_cli(
+            [
+                "--jobs",
+                "8",
+                "--filter",
+                "fig1[0-5]",
+                "--out-dir",
+                "/tmp/x",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(opts.jobs, 8);
+        assert!(opts.filter.as_ref().unwrap().is_match("fig12"));
+        assert!(!opts.filter.as_ref().unwrap().is_match("fig17"));
+        assert_eq!(
+            opts.out_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/x"))
+        );
+        assert!(parse_cli(["--bogus"].iter().map(|s| s.to_string())).is_err());
+    }
+}

@@ -1,9 +1,11 @@
 //! Shared infrastructure for the figure-reproduction harness.
 //!
 //! Every binary in `src/bin/` regenerates one of the paper's tables or
-//! figures (see DESIGN.md's experiment index). Figures 10–15 share one
-//! sweep over the seven SPEC-like workloads; [`SpecSweep`] runs it once
-//! and exposes each figure's metric as a [`FigureTable`].
+//! figures; all of them are declarative job lists executed by
+//! [`triangel_harness`] (see the [`figures`] registry, which maps
+//! experiment names to definitions). Figures 10–15 share one sweep over
+//! the seven SPEC-like workloads; [`SpecSweep`] runs it once and
+//! exposes each figure's metric as a [`FigureTable`].
 //!
 //! Scale knobs (environment variables, so the same binaries serve smoke
 //! tests and full runs):
@@ -11,9 +13,17 @@
 //! * `TRIANGEL_QUICK=1` — small warm-up/measurement for CI smoke runs.
 //! * `TRIANGEL_WARMUP` / `TRIANGEL_ACCESSES` — explicit per-core access
 //!   counts.
+//!
+//! Command-line knobs (every binary): `--jobs N` sets the worker-thread
+//! count (default: one per core; results are bit-identical whatever the
+//! value). `all_figures` additionally takes `--filter <regex>` and
+//! `--out-dir <dir>` (JSON/CSV emission).
 
+pub mod figures;
+
+use triangel_harness::{GridResult, GridSpec, RunParams, SweepOptions};
 use triangel_sim::report::FigureTable;
-use triangel_sim::{Comparison, Experiment, PrefetcherChoice, RunReport};
+use triangel_sim::{Comparison, PrefetcherChoice, RunReport};
 use triangel_workloads::spec::SpecWorkload;
 
 /// Scale parameters for a sweep.
@@ -33,17 +43,27 @@ impl SweepParams {
     /// Full-scale parameters used for the recorded results in
     /// EXPERIMENTS.md.
     pub fn full() -> Self {
-        SweepParams { warmup: 2_000_000, accesses: 1_500_000, sizing_window: 150_000, seed: 42 }
+        SweepParams {
+            warmup: 2_000_000,
+            accesses: 1_500_000,
+            sizing_window: 150_000,
+            seed: 42,
+        }
     }
 
     /// Reduced parameters for smoke runs.
     pub fn quick() -> Self {
-        SweepParams { warmup: 400_000, accesses: 300_000, sizing_window: 60_000, seed: 42 }
+        SweepParams {
+            warmup: 400_000,
+            accesses: 300_000,
+            sizing_window: 60_000,
+            seed: 42,
+        }
     }
 
     /// Resolves parameters from the environment (see module docs).
     pub fn from_env() -> Self {
-        let mut p = if std::env::var("TRIANGEL_QUICK").is_ok_and(|v| v == "1") {
+        let mut p = if quick_mode() {
             SweepParams::quick()
         } else {
             SweepParams::full()
@@ -56,6 +76,16 @@ impl SweepParams {
         }
         p
     }
+
+    /// The harness-level run parameters these scale knobs describe.
+    pub fn run_params(&self) -> RunParams {
+        RunParams {
+            warmup: self.warmup,
+            accesses: self.accesses,
+            sizing_window: self.sizing_window,
+            seed: self.seed,
+        }
+    }
 }
 
 impl Default for SweepParams {
@@ -64,24 +94,29 @@ impl Default for SweepParams {
     }
 }
 
-/// Runs one workload under one prefetcher configuration.
+/// Whether `TRIANGEL_QUICK=1` is set.
+pub fn quick_mode() -> bool {
+    std::env::var("TRIANGEL_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// Runs one workload under one prefetcher configuration (serial
+/// convenience wrapper; sweeps go through [`SpecSweep`] or a
+/// [`GridSpec`] so they parallelize and share baselines).
 pub fn run_spec(wl: SpecWorkload, choice: PrefetcherChoice, p: &SweepParams) -> RunReport {
-    Experiment::new(wl.generator(p.seed))
-        .warmup(p.warmup)
-        .accesses(p.accesses)
-        .sizing_window(p.sizing_window)
-        .prefetcher(choice)
-        .label(wl.label())
-        .run()
+    triangel_harness::JobSpec::new(
+        triangel_harness::WorkloadSpec::Spec(wl),
+        choice,
+        p.run_params(),
+    )
+    .run()
+    .expect("well-formed single-core spec job")
 }
 
 /// The figures-10-to-15 sweep: every workload under the baseline and a
-/// set of prefetcher configurations.
+/// set of prefetcher configurations, executed by the harness scheduler.
 #[derive(Debug)]
 pub struct SpecSweep {
-    configs: Vec<PrefetcherChoice>,
-    baselines: Vec<RunReport>,
-    runs: Vec<Vec<RunReport>>,
+    grid: GridResult,
 }
 
 impl SpecSweep {
@@ -104,107 +139,137 @@ impl SpecSweep {
         c
     }
 
-    /// Runs the sweep, printing one progress line per run to stderr.
+    /// The column labels of Figs. 10–13 (the subset every sweep
+    /// carrying [`SpecSweep::paper_configs_with_nomrb`] also serves).
+    pub fn paper_labels() -> Vec<String> {
+        SpecSweep::paper_configs()
+            .iter()
+            .map(|c| c.label())
+            .collect()
+    }
+
+    /// Runs the sweep serially (see [`SpecSweep::run_opts`]).
     pub fn run(configs: Vec<PrefetcherChoice>, p: &SweepParams) -> Self {
-        let mut baselines = Vec::new();
-        let mut runs = Vec::new();
-        for wl in SpecWorkload::ALL {
-            eprintln!("[sweep] {} / Baseline", wl.label());
-            baselines.push(run_spec(wl, PrefetcherChoice::Baseline, p));
-            let mut row = Vec::new();
-            for cfg in &configs {
-                eprintln!("[sweep] {} / {}", wl.label(), cfg.label());
-                row.push(run_spec(wl, *cfg, p));
-            }
-            runs.push(row);
+        SpecSweep::run_opts(configs, p, &SweepOptions::serial().with_progress())
+    }
+
+    /// Runs the sweep under explicit scheduler options.
+    pub fn run_opts(configs: Vec<PrefetcherChoice>, p: &SweepParams, opts: &SweepOptions) -> Self {
+        let grid = GridSpec::new(p.run_params()).spec_rows().columns(configs);
+        SpecSweep {
+            grid: grid.run(opts).unwrap_or_else(|e| panic!("{e}")),
         }
-        SpecSweep { configs, baselines, runs }
+    }
+
+    /// Scheduler counters for the underlying sweep.
+    pub fn stats(&self) -> triangel_harness::SweepStats {
+        self.grid.stats
     }
 
     /// Per-workload, per-configuration comparison against baseline.
     pub fn comparison(&self, wl_idx: usize, cfg_idx: usize) -> Comparison {
-        Comparison::new(&self.baselines[wl_idx], &self.runs[wl_idx][cfg_idx])
+        self.grid.comparison(wl_idx, cfg_idx)
     }
 
     /// Baseline report for one workload.
     pub fn baseline(&self, wl_idx: usize) -> &RunReport {
-        &self.baselines[wl_idx]
+        self.grid.baseline(wl_idx)
     }
 
     /// Run report for one workload/configuration.
     pub fn run_report(&self, wl_idx: usize, cfg_idx: usize) -> &RunReport {
-        &self.runs[wl_idx][cfg_idx]
+        self.grid.report(wl_idx, cfg_idx)
     }
 
     /// The configuration labels (column headers).
     pub fn config_labels(&self) -> Vec<String> {
-        self.configs.iter().map(|c| c.label()).collect()
+        self.grid.col_labels().to_vec()
     }
 
-    fn table(&self, title: &str, metric: &str, f: impl Fn(Comparison) -> f64) -> FigureTable {
-        let mut t = FigureTable::new(title, metric, self.config_labels());
-        for (w, wl) in SpecWorkload::ALL.iter().enumerate() {
-            let vals = (0..self.configs.len()).map(|c| f(self.comparison(w, c))).collect();
-            t.push_row(wl.label(), vals);
-        }
-        t
+    /// Folds a metric into a figure table over the given column labels
+    /// (so the sweep can carry more configurations than one figure
+    /// plots — Figs. 10–13 ignore the No-MRB column, for instance).
+    fn table_for(
+        &self,
+        title: &str,
+        metric: &str,
+        labels: &[String],
+        f: impl Fn(Comparison) -> f64,
+    ) -> FigureTable {
+        let wanted: Vec<&str> = labels
+            .iter()
+            .map(String::as_str)
+            .filter(|l| self.grid.col_labels().iter().any(|have| have == l))
+            .collect();
+        self.grid.table_for(title, metric, &wanted, f)
     }
 
     /// Fig. 10: speedup over the stride-only baseline.
     pub fn fig10_speedup(&self) -> FigureTable {
-        self.table("Fig. 10: Speedup", "IPC relative to stride-only baseline", |c| c.speedup)
+        self.table_for(
+            "Fig. 10: Speedup",
+            "IPC relative to stride-only baseline",
+            &SpecSweep::paper_labels(),
+            |c| c.speedup,
+        )
     }
 
     /// Fig. 11: normalized DRAM traffic.
     pub fn fig11_traffic(&self) -> FigureTable {
-        self.table(
+        self.table_for(
             "Fig. 11: Normalized DRAM Traffic",
             "DRAM line reads relative to baseline (lower is better)",
+            &SpecSweep::paper_labels(),
             |c| c.dram_traffic,
         )
     }
 
     /// Fig. 12: accuracy.
     pub fn fig12_accuracy(&self) -> FigureTable {
-        self.table(
+        self.table_for(
             "Fig. 12: Accuracy",
             "prefetched lines used before L2 eviction",
+            &SpecSweep::paper_labels(),
             |c| c.accuracy,
         )
     }
 
     /// Fig. 13: coverage.
     pub fn fig13_coverage(&self) -> FigureTable {
-        self.table(
+        self.table_for(
             "Fig. 13: Coverage",
             "baseline L2 demand misses eliminated",
+            &SpecSweep::paper_labels(),
             |c| c.coverage,
         )
     }
 
     /// Fig. 14: normalized L3 accesses.
     pub fn fig14_l3(&self) -> FigureTable {
-        self.table(
+        self.table_for(
             "Fig. 14: Normalized L3 Accesses",
             "L3 data + Markov-table accesses relative to baseline (lower is better)",
+            &self.config_labels(),
             |c| c.l3_accesses,
         )
     }
 
     /// Fig. 15: normalized DRAM+L3 dynamic energy.
     pub fn fig15_energy(&self) -> FigureTable {
-        self.table(
+        self.table_for(
             "Fig. 15: Normalized DRAM+L3 Dynamic Energy",
             "25 units/DRAM access + 1 unit/L3 access, relative to baseline",
+            &self.config_labels(),
             |c| c.energy,
         )
     }
 
     /// The DRAM share of each run's energy (Fig. 15's hashed bars).
     pub fn fig15_dram_fraction(&self) -> FigureTable {
-        self.table(
+        self.table_for(
             "Fig. 15 (hashed): DRAM share of dynamic energy",
             "fraction of energy units from DRAM",
+            &self.config_labels(),
             |c| c.energy_dram_fraction,
         )
     }
@@ -217,16 +282,48 @@ mod tests {
     #[test]
     fn full_params_cover_dueller_startup() {
         let p = SweepParams::full();
-        assert!(p.warmup > p.sizing_window * 2, "warm-up must cover dueller start-up");
+        assert!(
+            p.warmup > p.sizing_window * 2,
+            "warm-up must cover dueller start-up"
+        );
     }
 
     #[test]
     fn paper_configs_order_matches_figures() {
-        let labels: Vec<String> =
-            SpecSweep::paper_configs().iter().map(|c| c.label()).collect();
+        let labels: Vec<String> = SpecSweep::paper_configs()
+            .iter()
+            .map(|c| c.label())
+            .collect();
         assert_eq!(
             labels,
-            vec!["Triage", "Triage-Deg4", "Triage-Deg4-Look2", "Triangel", "Triangel-Bloom"]
+            vec![
+                "Triage",
+                "Triage-Deg4",
+                "Triage-Deg4-Look2",
+                "Triangel",
+                "Triangel-Bloom"
+            ]
         );
+    }
+
+    #[test]
+    fn spec_sweep_shares_baselines_and_serves_subset_figures() {
+        let p = SweepParams {
+            warmup: 2_000,
+            accesses: 2_000,
+            sizing_window: 1_000,
+            seed: 5,
+        };
+        let sweep = SpecSweep::run_opts(
+            SpecSweep::paper_configs_with_nomrb(),
+            &p,
+            &SweepOptions::parallel(4),
+        );
+        // 7 workloads x (1 baseline + 6 configs), no duplicates.
+        assert_eq!(sweep.stats().jobs, 49);
+        assert_eq!(sweep.stats().executed, 49);
+        // Figs. 10-13 plot 5 columns; 14-15 all 6.
+        assert_eq!(sweep.fig10_speedup().configs().len(), 5);
+        assert_eq!(sweep.fig14_l3().configs().len(), 6);
     }
 }

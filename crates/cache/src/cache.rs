@@ -168,11 +168,18 @@ impl Cache {
     /// filter redundant prefetches); they do not clear prefetch tags and
     /// are not counted as demand traffic.
     pub fn access(&mut self, line: LineAddr, pc: Option<Pc>, is_prefetch: bool) -> AccessOutcome {
-        let meta = AccessMeta { line, pc, is_prefetch };
+        let meta = AccessMeta {
+            line,
+            pc,
+            is_prefetch,
+        };
         if is_prefetch {
             self.stats.prefetch_lookups += 1;
             let hit = self.find(line).is_some();
-            return AccessOutcome { hit, prefetch_hit: false };
+            return AccessOutcome {
+                hit,
+                prefetch_hit: false,
+            };
         }
         match self.find(line) {
             Some((set, way)) => {
@@ -185,11 +192,17 @@ impl Cache {
                 }
                 self.lines[slot].used = true;
                 self.policy.on_hit(set, way, &meta);
-                AccessOutcome { hit: true, prefetch_hit: first_use_of_prefetch }
+                AccessOutcome {
+                    hit: true,
+                    prefetch_hit: first_use_of_prefetch,
+                }
             }
             None => {
                 self.stats.demand_misses += 1;
-                AccessOutcome { hit: false, prefetch_hit: false }
+                AccessOutcome {
+                    hit: false,
+                    prefetch_hit: false,
+                }
             }
         }
     }
@@ -202,7 +215,11 @@ impl Cache {
     /// Installs `line`, evicting if necessary. Filling a line already
     /// present refreshes its metadata instead of duplicating it.
     pub fn fill(&mut self, line: LineAddr, pc: Option<Pc>, is_prefetch: bool) -> FillOutcome {
-        let meta = AccessMeta { line, pc, is_prefetch };
+        let meta = AccessMeta {
+            line,
+            pc,
+            is_prefetch,
+        };
         if let Some((set, way)) = self.find(line) {
             // Already present (e.g. demand fill racing a prefetch fill):
             // treat as a touch, keep the stronger (demand) tag state.
@@ -211,7 +228,11 @@ impl Cache {
                 self.lines[slot].prefetch_tagged = false;
             }
             self.policy.on_hit(set, way, &meta);
-            return FillOutcome { evicted: None, set, way };
+            return FillOutcome {
+                evicted: None,
+                set,
+                way,
+            };
         }
 
         self.stats.fills += 1;

@@ -36,7 +36,7 @@ impl CacheConfig {
         assert!(ways > 0, "cache must have at least one way");
         let way_bytes = ways as u64 * CACHE_LINE_BYTES;
         assert!(
-            size_bytes > 0 && size_bytes % way_bytes == 0,
+            size_bytes > 0 && size_bytes.is_multiple_of(way_bytes),
             "cache size must be a positive multiple of ways * line size"
         );
         let sets = size_bytes / way_bytes;
@@ -107,8 +107,7 @@ mod tests {
 
     #[test]
     fn hit_latency_builder() {
-        let cfg =
-            CacheConfig::new("L2", 512 * 1024, 8, PolicyKind::Lru).with_hit_latency(9);
+        let cfg = CacheConfig::new("L2", 512 * 1024, 8, PolicyKind::Lru).with_hit_latency(9);
         assert_eq!(cfg.hit_latency(), 9);
     }
 

@@ -50,7 +50,10 @@ impl Mshr {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR file needs at least one slot");
-        Mshr { capacity, slots: HashMap::with_capacity(capacity) }
+        Mshr {
+            capacity,
+            slots: HashMap::with_capacity(capacity),
+        }
     }
 
     /// Returns the slot tracking `line`, if any.
@@ -73,13 +76,21 @@ impl Mshr {
     /// Allocates a slot for a new miss completing at `ready_at`.
     /// Returns `false` when the file is full (the requester must stall).
     pub fn allocate(&mut self, line: LineAddr, ready_at: Cycle, is_prefetch: bool) -> bool {
-        debug_assert!(!self.slots.contains_key(&line), "allocate after lookup/merge");
+        debug_assert!(
+            !self.slots.contains_key(&line),
+            "allocate after lookup/merge"
+        );
         if self.slots.len() >= self.capacity {
             return false;
         }
         self.slots.insert(
             line,
-            MshrSlot { line, ready_at, prefetch_only: is_prefetch, merged: 1 },
+            MshrSlot {
+                line,
+                ready_at,
+                prefetch_only: is_prefetch,
+                merged: 1,
+            },
         );
         true
     }
@@ -92,7 +103,9 @@ impl Mshr {
             .filter(|s| s.ready_at <= now)
             .map(|s| s.line)
             .collect();
-        done.iter().map(|l| self.slots.remove(l).expect("slot present")).collect()
+        done.iter()
+            .map(|l| self.slots.remove(l).expect("slot present"))
+            .collect()
     }
 
     /// Returns the soonest fill time among outstanding misses.

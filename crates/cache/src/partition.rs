@@ -43,7 +43,12 @@ impl PartitionedWays {
             max_markov_ways < total_ways,
             "the data cache must keep at least one way"
         );
-        PartitionedWays { total_ways, max_markov_ways, markov_ways: 0, resizes: 0 }
+        PartitionedWays {
+            total_ways,
+            max_markov_ways,
+            markov_ways: 0,
+            resizes: 0,
+        }
     }
 
     /// Current number of ways reserved for Markov metadata.

@@ -19,7 +19,11 @@ impl Fifo {
     /// Creates FIFO state for `sets x ways`.
     pub fn new(sets: usize, ways: usize) -> Self {
         assert!(sets > 0 && ways > 0);
-        Fifo { ways, stamp: vec![0; sets * ways], clock: 0 }
+        Fifo {
+            ways,
+            stamp: vec![0; sets * ways],
+            clock: 0,
+        }
     }
 }
 

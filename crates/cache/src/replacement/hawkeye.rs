@@ -30,7 +30,11 @@ pub struct HawkEyeConfig {
 
 impl Default for HawkEyeConfig {
     fn default() -> Self {
-        HawkEyeConfig { sampled_sets: 64, history_factor: 8, predictor_index_bits: 13 }
+        HawkEyeConfig {
+            sampled_sets: 64,
+            history_factor: 8,
+            predictor_index_bits: 13,
+        }
     }
 }
 
@@ -91,7 +95,7 @@ impl HawkEye {
     }
 
     fn sample_index(&self, set: usize) -> Option<usize> {
-        if set % self.sample_stride == 0 {
+        if set.is_multiple_of(self.sample_stride) {
             Some(set / self.sample_stride)
         } else {
             None
@@ -101,7 +105,9 @@ impl HawkEye {
     /// Feeds one access into OPTgen and trains the predictor with the
     /// verdict Belady's policy would give for the *previous* occurrence.
     fn optgen_access(&mut self, set: usize, meta: &AccessMeta) {
-        let Some(si) = self.sample_index(set) else { return };
+        let Some(si) = self.sample_index(set) else {
+            return;
+        };
         let pc_hash = self.pc_hash(meta);
         let ways = self.ways as u8;
         let window = self.window;
@@ -114,9 +120,7 @@ impl HawkEye {
             .rposition(|(line, _)| *line == meta.line);
         if let Some(pos) = prev {
             let interval = pos..sample.history.len();
-            let fits = interval
-                .clone()
-                .all(|i| sample.occupancy[i] < ways);
+            let fits = interval.clone().all(|i| sample.occupancy[i] < ways);
             let loader_hash = sample.history[pos].1;
             if fits {
                 for i in interval {
@@ -142,7 +146,11 @@ impl ReplacementPolicy for HawkEye {
         self.optgen_access(set, meta);
         let pc_hash = self.pc_hash(meta);
         let i = set * self.ways + way;
-        self.rrpv[i] = if self.is_friendly(pc_hash) { 0 } else { RRPV_MAX };
+        self.rrpv[i] = if self.is_friendly(pc_hash) {
+            0
+        } else {
+            RRPV_MAX
+        };
         self.loader[i] = pc_hash;
     }
 
@@ -208,7 +216,11 @@ mod tests {
         HawkEye::new(
             1,
             4,
-            HawkEyeConfig { sampled_sets: 1, history_factor: 8, predictor_index_bits: 8 },
+            HawkEyeConfig {
+                sampled_sets: 1,
+                history_factor: 8,
+                predictor_index_bits: 8,
+            },
         )
     }
 
@@ -232,10 +244,8 @@ mod tests {
         // PC 0x20 thrashes: 16 lines cycled through 4 ways. The reuse
         // distance (16) is inside the OPTgen window (32) but far beyond
         // what Belady could keep in 4 ways, so most intervals do not fit.
-        let mut line = 0u64;
-        for _ in 0..200 {
+        for line in 0..200u64 {
             h.on_fill(0, (line % 4) as usize, &demand(line % 16, 0x20));
-            line += 1;
         }
         let hash = h.pc_hash(&demand(0, 0x20));
         assert!(!h.is_friendly(hash), "streaming PC should classify averse");
@@ -271,7 +281,10 @@ mod tests {
             h.on_fill(0, w, &demand(w as u64, 0x5));
         }
         let _ = h.victim(0, 0b1111);
-        assert!(h.predictor[hash].get() < before, "evicting a friendly line must detrain");
+        assert!(
+            h.predictor[hash].get() < before,
+            "evicting a friendly line must detrain"
+        );
     }
 
     #[test]
@@ -287,7 +300,11 @@ mod tests {
         let mut h = HawkEye::new(
             128,
             4,
-            HawkEyeConfig { sampled_sets: 2, history_factor: 8, predictor_index_bits: 8 },
+            HawkEyeConfig {
+                sampled_sets: 2,
+                history_factor: 8,
+                predictor_index_bits: 8,
+            },
         );
         // Set 1 is not sampled (stride 64); history must stay empty.
         h.on_fill(1, 0, &demand(7, 0x40));

@@ -19,7 +19,11 @@ impl Lru {
     /// Creates LRU state for `sets x ways`.
     pub fn new(sets: usize, ways: usize) -> Self {
         assert!(sets > 0 && ways > 0);
-        Lru { ways, stamp: vec![0; sets * ways], clock: 0 }
+        Lru {
+            ways,
+            stamp: vec![0; sets * ways],
+            clock: 0,
+        }
     }
 
     fn touch(&mut self, set: usize, way: usize) {

@@ -45,12 +45,20 @@ pub struct AccessMeta {
 impl AccessMeta {
     /// Convenience constructor for a demand access.
     pub fn demand(line: LineAddr, pc: Option<Pc>) -> Self {
-        AccessMeta { line, pc, is_prefetch: false }
+        AccessMeta {
+            line,
+            pc,
+            is_prefetch: false,
+        }
     }
 
     /// Convenience constructor for a prefetch access.
     pub fn prefetch(line: LineAddr, pc: Option<Pc>) -> Self {
-        AccessMeta { line, pc, is_prefetch: true }
+        AccessMeta {
+            line,
+            pc,
+            is_prefetch: true,
+        }
     }
 }
 
@@ -131,9 +139,7 @@ impl PolicyKind {
             PolicyKind::TreePlru => Box::new(TreePlru::new(sets, ways)),
             PolicyKind::Srrip => Box::new(Rrip::new(sets, ways, RripMode::Static)),
             PolicyKind::Brrip => Box::new(Rrip::new(sets, ways, RripMode::Bimodal)),
-            PolicyKind::Hawkeye => {
-                Box::new(HawkEye::new(sets, ways, HawkEyeConfig::default()))
-            }
+            PolicyKind::Hawkeye => Box::new(HawkEye::new(sets, ways, HawkEyeConfig::default())),
         }
     }
 }

@@ -21,7 +21,11 @@ impl TreePlru {
     pub fn new(sets: usize, ways: usize) -> Self {
         assert!(sets > 0 && ways > 0);
         let tree_ways = ways.next_power_of_two();
-        TreePlru { ways, tree_ways, bits: vec![false; sets * (tree_ways - 1)] }
+        TreePlru {
+            ways,
+            tree_ways,
+            bits: vec![false; sets * (tree_ways - 1)],
+        }
     }
 
     fn touch(&mut self, set: usize, way: usize) {
@@ -81,10 +85,10 @@ impl ReplacementPolicy for TreePlru {
         // The tree points at an ineligible (partitioned-away or padded)
         // way; fall back to the first eligible way and flip its path so
         // repeated calls rotate.
-        let fallback = (0..self.ways)
+
+        (0..self.ways)
             .find(|w| mask & (1 << w) != 0)
-            .expect("mask selects at least one way");
-        fallback
+            .expect("mask selects at least one way")
     }
 
     fn on_evict(&mut self, set: usize, way: usize, _line: triangel_types::LineAddr) {

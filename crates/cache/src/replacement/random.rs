@@ -18,7 +18,10 @@ impl Random {
     /// Creates random-replacement state for `sets x ways` with a seed.
     pub fn new(_sets: usize, ways: usize, seed: u64) -> Self {
         assert!(ways > 0);
-        Random { ways, rng: Lcg::new(seed) }
+        Random {
+            ways,
+            rng: Lcg::new(seed),
+        }
     }
 }
 

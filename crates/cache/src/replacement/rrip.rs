@@ -33,7 +33,12 @@ impl Rrip {
     /// Creates RRIP state for `sets x ways`.
     pub fn new(sets: usize, ways: usize, mode: RripMode) -> Self {
         assert!(sets > 0 && ways > 0);
-        Rrip { ways, mode, rrpv: vec![RRPV_MAX; sets * ways], rng: Lcg::new(0x5EED) }
+        Rrip {
+            ways,
+            mode,
+            rrpv: vec![RRPV_MAX; sets * ways],
+            rng: Lcg::new(0x5EED),
+        }
     }
 
     fn idx(&self, set: usize, way: usize) -> usize {

@@ -58,7 +58,7 @@ proptest! {
         let mut stack: Vec<u64> = Vec::new(); // MRU first, single set
         for line in lines {
             // All lines map to set 0 in a 1-set cache.
-            let addr = LineAddr::new(line * 1); // 1 set: every line in set 0
+            let addr = LineAddr::new(line); // 1 set: every line in set 0
             let hit = c.access(addr, None, false).hit;
             let ref_hit = stack.contains(&line);
             prop_assert_eq!(hit, ref_hit, "hit mismatch for {}", line);

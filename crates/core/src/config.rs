@@ -241,8 +241,14 @@ mod tests {
 
     #[test]
     fn variants() {
-        assert_eq!(TriangelConfig::bloom_variant().sizing(), SizingMechanism::Bloom);
-        assert_eq!(TriangelConfig::paper_default().sizing(), SizingMechanism::SetDueller);
+        assert_eq!(
+            TriangelConfig::bloom_variant().sizing(),
+            SizingMechanism::Bloom
+        );
+        assert_eq!(
+            TriangelConfig::paper_default().sizing(),
+            SizingMechanism::SetDueller
+        );
         assert!(!TriangelConfig::no_mrb().features.metadata_reuse_buffer);
     }
 

@@ -61,7 +61,10 @@ impl HistorySampler {
     ///
     /// Panics if `entries` is not a positive multiple of 2.
     pub fn new(entries: usize, seed: u64) -> Self {
-        assert!(entries >= 2 && entries % 2 == 0, "sampler is 2-way associative");
+        assert!(
+            entries >= 2 && entries.is_multiple_of(2),
+            "sampler is 2-way associative"
+        );
         let sets = (entries / 2).next_power_of_two();
         HistorySampler {
             sets,
@@ -153,7 +156,14 @@ impl HistorySampler {
         let set = self.set_of(addr);
         let tag = self.tag_of(addr);
         self.fifo_clock += 1;
-        let sample = Sample { addr_tag: tag, train_idx, target, timestamp, used: false, fifo: self.fifo_clock };
+        let sample = Sample {
+            addr_tag: tag,
+            train_idx,
+            target,
+            timestamp,
+            used: false,
+            fifo: self.fifo_clock,
+        };
 
         // Same-key overwrite first.
         for way in 0..self.ways {
@@ -184,7 +194,11 @@ impl HistorySampler {
             .expect("two ways");
         let old = self.slots[idx].expect("occupied");
         self.slots[idx] = Some(sample);
-        Some(EvictedSample { train_idx: old.train_idx, timestamp: old.timestamp, used: old.used })
+        Some(EvictedSample {
+            train_idx: old.train_idx,
+            timestamp: old.timestamp,
+            used: old.used,
+        })
     }
 
     /// Number of occupied slots.
@@ -201,12 +215,16 @@ mod tests {
     fn sample_roundtrip_and_used_bit() {
         let mut s = HistorySampler::new(64, 1);
         s.insert(LineAddr::new(100), 3, LineAddr::new(200), 42);
-        let v = s.lookup(LineAddr::new(100), 3, 50, LineAddr::new(201)).unwrap();
+        let v = s
+            .lookup(LineAddr::new(100), 3, 50, LineAddr::new(201))
+            .unwrap();
         assert_eq!(v.target, LineAddr::new(200));
         assert_eq!(v.timestamp, 42);
         assert!(!v.previously_used);
         // Refreshed on hit: new timestamp and target, used bit set.
-        let v2 = s.lookup(LineAddr::new(100), 3, 60, LineAddr::new(202)).unwrap();
+        let v2 = s
+            .lookup(LineAddr::new(100), 3, 60, LineAddr::new(202))
+            .unwrap();
         assert!(v2.previously_used);
         assert_eq!(v2.timestamp, 50);
         assert_eq!(v2.target, LineAddr::new(201));
@@ -216,14 +234,22 @@ mod tests {
     fn train_idx_must_match() {
         let mut s = HistorySampler::new(64, 1);
         s.insert(LineAddr::new(100), 3, LineAddr::new(200), 42);
-        assert!(s.lookup(LineAddr::new(100), 4, 43, LineAddr::new(0)).is_none(), "different PC slot");
+        assert!(
+            s.lookup(LineAddr::new(100), 4, 43, LineAddr::new(0))
+                .is_none(),
+            "different PC slot"
+        );
     }
 
     #[test]
     fn eviction_reports_victim() {
         let mut s = HistorySampler::new(2, 1); // 1 set x 2 ways
-        assert!(s.insert(LineAddr::new(1), 1, LineAddr::new(10), 1).is_none());
-        assert!(s.insert(LineAddr::new(2), 2, LineAddr::new(20), 2).is_none());
+        assert!(s
+            .insert(LineAddr::new(1), 1, LineAddr::new(10), 1)
+            .is_none());
+        assert!(s
+            .insert(LineAddr::new(2), 2, LineAddr::new(20), 2)
+            .is_none());
         let v = s.insert(LineAddr::new(3), 3, LineAddr::new(30), 3).unwrap();
         assert_eq!(v.train_idx, 1, "FIFO evicts the oldest");
         assert!(!v.used);
@@ -236,7 +262,9 @@ mod tests {
         let old = s.insert(LineAddr::new(5), 7, LineAddr::new(51), 9).unwrap();
         assert_eq!(old.timestamp, 1);
         assert_eq!(
-            s.lookup(LineAddr::new(5), 7, 10, LineAddr::new(0)).unwrap().target,
+            s.lookup(LineAddr::new(5), 7, 10, LineAddr::new(0))
+                .unwrap()
+                .target,
             LineAddr::new(51)
         );
     }
@@ -248,11 +276,16 @@ mod tests {
         let trials = 200_000;
         let low = (0..trials).filter(|_| s.should_sample(0, max_size)).count();
         let mid = (0..trials).filter(|_| s.should_sample(8, max_size)).count();
-        let high = (0..trials).filter(|_| s.should_sample(15, max_size)).count();
+        let high = (0..trials)
+            .filter(|_| s.should_sample(15, max_size))
+            .count();
         assert!(low < mid && mid < high, "low={low} mid={mid} high={high}");
         // Rate 8 is the base probability 512/196608 ~ 0.26%.
         let expect = trials as f64 * 512.0 / 196_608.0;
-        assert!((mid as f64) > expect * 0.6 && (mid as f64) < expect * 1.4, "mid={mid}");
+        assert!(
+            (mid as f64) > expect * 0.6 && (mid as f64) < expect * 1.4,
+            "mid={mid}"
+        );
     }
 
     #[test]
@@ -261,7 +294,9 @@ mod tests {
         s.insert(LineAddr::new(9), 2, LineAddr::new(90), 5);
         s.update_target(LineAddr::new(9), 2, LineAddr::new(91));
         assert_eq!(
-            s.lookup(LineAddr::new(9), 2, 6, LineAddr::new(0)).unwrap().target,
+            s.lookup(LineAddr::new(9), 2, 6, LineAddr::new(0))
+                .unwrap()
+                .target,
             LineAddr::new(91)
         );
     }

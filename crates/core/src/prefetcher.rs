@@ -10,7 +10,7 @@ use crate::training::{TrainingTable, CONF_INIT};
 use triangel_cache::replacement::PolicyKind;
 use triangel_markov::{MarkovTable, MarkovTableConfig};
 use triangel_prefetch::{
-    BloomFilter, CacheView, Prefetcher, PrefetchRequest, PrefetcherStats, TrainEvent, TrainKind,
+    BloomFilter, CacheView, PrefetchRequest, Prefetcher, PrefetcherStats, TrainEvent, TrainKind,
 };
 use triangel_types::{Cycle, LineAddr};
 
@@ -48,12 +48,22 @@ impl Triangel {
             format: cfg.effective_format(),
             // Triangel uses the simpler SRRIP; before the metadata step
             // of the ablation the table is still Triage's (HawkEye).
-            replacement: if f.triangel_metadata { PolicyKind::Srrip } else { PolicyKind::Hawkeye },
+            replacement: if f.triangel_metadata {
+                PolicyKind::Srrip
+            } else {
+                PolicyKind::Hawkeye
+            },
             ..cfg.table
         };
         let max_size = table_cfg.max_capacity_entries() as u64;
-        let with_dueller = crate::config::TriangelFeatures { set_dueller: true, ..f };
-        let with_mrb = crate::config::TriangelFeatures { metadata_reuse_buffer: true, ..f };
+        let with_dueller = crate::config::TriangelFeatures {
+            set_dueller: true,
+            ..f
+        };
+        let with_mrb = crate::config::TriangelFeatures {
+            metadata_reuse_buffer: true,
+            ..f
+        };
         let name = if f == crate::config::TriangelFeatures::all() {
             "Triangel".to_string()
         } else if cfg.sizing() == SizingMechanism::Bloom
@@ -128,7 +138,14 @@ impl Triangel {
     }
 
     /// Runs the History/Second-Chance sampling machinery (Section 4.4).
-    fn run_samplers(&mut self, ev: &TrainEvent, caches: &dyn CacheView, idx: u16, prev0: Option<LineAddr>, ts: u32) {
+    fn run_samplers(
+        &mut self,
+        ev: &TrainEvent,
+        caches: &dyn CacheView,
+        idx: u16,
+        prev0: Option<LineAddr>,
+        ts: u32,
+    ) {
         let f = self.cfg.features;
 
         // Second-Chance resolution: a parked target accessed within the
@@ -234,8 +251,8 @@ impl Triangel {
                 if markov_engaged {
                     let seen = self.bloom.insert(line.index());
                     if !seen {
-                        let per_way = self.cfg.table.sets
-                            * self.cfg.effective_format().entries_per_line();
+                        let per_way =
+                            self.cfg.table.sets * self.cfg.effective_format().entries_per_line();
                         let biased =
                             (self.bloom.unique_inserts() as f64 * self.cfg.bloom_bias) as usize;
                         let needed = biased.div_ceil(per_way).min(self.cfg.table.max_ways);
@@ -256,7 +273,12 @@ impl Triangel {
 }
 
 impl Prefetcher for Triangel {
-    fn on_event(&mut self, ev: &TrainEvent, caches: &dyn CacheView, out: &mut Vec<PrefetchRequest>) {
+    fn on_event(
+        &mut self,
+        ev: &TrainEvent,
+        caches: &dyn CacheView,
+        out: &mut Vec<PrefetchRequest>,
+    ) {
         if !matches!(ev.kind, TrainKind::L2Miss | TrainKind::L2PrefetchHit) {
             return;
         }
@@ -280,7 +302,13 @@ impl Prefetcher for Triangel {
         let (base, high, reuse) = self
             .training
             .entry_at(idx as usize)
-            .map(|e| (e.base_pattern_conf.get(), e.high_pattern_conf.get(), e.reuse_conf.get()))
+            .map(|e| {
+                (
+                    e.base_pattern_conf.get(),
+                    e.high_pattern_conf.get(),
+                    e.reuse_conf.get(),
+                )
+            })
             .unwrap_or((CONF_INIT, CONF_INIT, CONF_INIT));
 
         let lookahead2 = if !f.lookahead2 {
@@ -325,8 +353,8 @@ impl Prefetcher for Triangel {
         if allowed {
             let train_index = if lookahead2 { prev1 } else { prev0 };
             if let Some(pi) = train_index {
-                let unchanged = f.metadata_reuse_buffer
-                    && self.mrb.peek(pi) == Some((ev.line, true));
+                let unchanged =
+                    f.metadata_reuse_buffer && self.mrb.peek(pi) == Some((ev.line, true));
                 if unchanged {
                     // The L3 copy already says exactly this: skip the
                     // update entirely (Section 4.6).
@@ -353,7 +381,11 @@ impl Prefetcher for Triangel {
             let mut cursor = ev.line;
             let mut delay: Cycle = 0;
             for _ in 0..degree {
-                let cached = if f.metadata_reuse_buffer { self.mrb.lookup(cursor) } else { None };
+                let cached = if f.metadata_reuse_buffer {
+                    self.mrb.lookup(cursor)
+                } else {
+                    None
+                };
                 let (target, confidence) = match cached {
                     Some(hit) => {
                         delay += 1; // near-side buffer: negligible latency
@@ -372,7 +404,11 @@ impl Prefetcher for Triangel {
                 };
                 let _ = confidence;
                 if !caches.in_l2(target) {
-                    out.push(PrefetchRequest { line: target, pc: ev.pc, issue_delay: delay });
+                    out.push(PrefetchRequest {
+                        line: target,
+                        pc: ev.pc,
+                        issue_delay: delay,
+                    });
                     self.issued += 1;
                 }
                 cursor = target;
@@ -490,7 +526,10 @@ mod tests {
         let issued = pf.stats().prefetches_issued;
         // BasePatternConf never rises above 8 for a random stream, so
         // essentially nothing is prefetched.
-        assert!(issued < 100, "random stream should be filtered, issued {issued}");
+        assert!(
+            issued < 100,
+            "random stream should be filtered, issued {issued}"
+        );
     }
 
     #[test]
@@ -510,7 +549,10 @@ mod tests {
         let seq: Vec<u64> = (0..600).map(|i| 100 + i * 5).collect();
         let _ = drive_pattern(&mut pf, 0x40, &seq, 20);
         let s = pf.stats();
-        assert!(s.mrb_hits > 0, "overlapping degree-4 walks must hit the MRB");
+        assert!(
+            s.mrb_hits > 0,
+            "overlapping degree-4 walks must hit the MRB"
+        );
     }
 
     #[test]
@@ -536,9 +578,18 @@ mod tests {
 
     #[test]
     fn names_match_figures() {
-        assert_eq!(Triangel::new(TriangelConfig::paper_default()).name(), "Triangel");
-        assert_eq!(Triangel::new(TriangelConfig::bloom_variant()).name(), "Triangel-Bloom");
-        assert_eq!(Triangel::new(TriangelConfig::no_mrb()).name(), "Triangel-NoMRB");
+        assert_eq!(
+            Triangel::new(TriangelConfig::paper_default()).name(),
+            "Triangel"
+        );
+        assert_eq!(
+            Triangel::new(TriangelConfig::bloom_variant()).name(),
+            "Triangel-Bloom"
+        );
+        assert_eq!(
+            Triangel::new(TriangelConfig::no_mrb()).name(),
+            "Triangel-NoMRB"
+        );
     }
 
     #[test]

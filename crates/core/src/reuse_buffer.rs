@@ -36,9 +36,19 @@ impl MetadataReuseBuffer {
     ///
     /// Panics if `entries` is not a positive multiple of 2.
     pub fn new(entries: usize) -> Self {
-        assert!(entries >= 2 && entries % 2 == 0, "MRB is 2-way associative");
+        assert!(
+            entries >= 2 && entries.is_multiple_of(2),
+            "MRB is 2-way associative"
+        );
         let sets = (entries / 2).next_power_of_two();
-        MetadataReuseBuffer { sets, ways: 2, slots: vec![None; sets * 2], fifo_clock: 0, hits: 0, misses: 0 }
+        MetadataReuseBuffer {
+            sets,
+            ways: 2,
+            slots: vec![None; sets * 2],
+            fifo_clock: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     fn set_of(&self, lookup: LineAddr) -> usize {
@@ -80,12 +90,20 @@ impl MetadataReuseBuffer {
     /// Inserts or refreshes the cached copy of a Markov entry.
     pub fn insert(&mut self, lookup: LineAddr, target: LineAddr, confidence: bool) {
         self.fifo_clock += 1;
-        let entry = MrbEntry { lookup, target, confidence, fifo: self.fifo_clock };
+        let entry = MrbEntry {
+            lookup,
+            target,
+            confidence,
+            fifo: self.fifo_clock,
+        };
         if let Some(i) = self.find(lookup) {
             // Refresh contents but keep FIFO position: updates are not
             // re-arrivals.
             let old = self.slots[i].expect("found slot is occupied");
-            self.slots[i] = Some(MrbEntry { fifo: old.fifo, ..entry });
+            self.slots[i] = Some(MrbEntry {
+                fifo: old.fifo,
+                ..entry
+            });
             return;
         }
         let set = self.set_of(lookup);

@@ -45,15 +45,22 @@ impl SecondChanceSampler {
     /// Panics if `entries` or `window` is zero.
     pub fn new(entries: usize, window: u64) -> Self {
         assert!(entries > 0 && window > 0);
-        SecondChanceSampler { slots: vec![None; entries], fifo_next: 0, window }
+        SecondChanceSampler {
+            slots: vec![None; entries],
+            fifo_next: 0,
+            window,
+        }
     }
 
     /// Parks a deferred target. Returns the training-slot index of any
     /// unresolved entry this displaces (its PC earns a decrement).
     pub fn insert(&mut self, target: LineAddr, train_idx: u16, now_fills: u64) -> Option<u16> {
         let evicted = self.slots[self.fifo_next].map(|e| e.train_idx);
-        self.slots[self.fifo_next] =
-            Some(ScsEntry { target, train_idx, deadline: now_fills + self.window });
+        self.slots[self.fifo_next] = Some(ScsEntry {
+            target,
+            train_idx,
+            deadline: now_fills + self.window,
+        });
         self.fifo_next = (self.fifo_next + 1) % self.slots.len();
         evicted
     }
@@ -93,7 +100,10 @@ mod tests {
     fn match_within_window() {
         let mut s = SecondChanceSampler::new(4, 512);
         s.insert(LineAddr::new(7), 1, 1000);
-        assert_eq!(s.check(LineAddr::new(7), 1, 1400), Some(ScsOutcome::WithinWindow));
+        assert_eq!(
+            s.check(LineAddr::new(7), 1, 1400),
+            Some(ScsOutcome::WithinWindow)
+        );
         assert_eq!(s.occupancy(), 0, "matched entry removed");
     }
 
@@ -101,7 +111,10 @@ mod tests {
     fn match_outside_window_reports_late() {
         let mut s = SecondChanceSampler::new(4, 512);
         s.insert(LineAddr::new(7), 1, 1000);
-        assert_eq!(s.check(LineAddr::new(7), 1, 1513), Some(ScsOutcome::OutsideWindow));
+        assert_eq!(
+            s.check(LineAddr::new(7), 1, 1513),
+            Some(ScsOutcome::OutsideWindow)
+        );
         assert_eq!(s.occupancy(), 0);
     }
 

@@ -13,7 +13,10 @@ struct TagStack {
 
 impl TagStack {
     fn new(capacity: usize) -> Self {
-        TagStack { tags: Vec::with_capacity(capacity), capacity }
+        TagStack {
+            tags: Vec::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Accesses `tag`: returns its stack distance (0 = MRU) if present,
@@ -117,8 +120,7 @@ impl SetDueller {
             // corrects entry-vs-line granularity without per-event
             // sampling noise.
             let sampled_addr = (line.index().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40)
-                % self.entries_per_line as u64
-                == 0;
+                .is_multiple_of(self.entries_per_line as u64);
             if markov_engaged && sampled_addr {
                 if let Some(d) = self.markov_stacks[si].access(tag) {
                     let worth = (self.entries_per_line / self.bias).max(1) as u64;
@@ -217,6 +219,10 @@ mod tests {
         for i in 0..100u64 {
             d.on_access(LineAddr::new(i % 8), false);
         }
-        assert_eq!(d.counters().iter().sum::<u64>(), 0, "window boundary resets");
+        assert_eq!(
+            d.counters().iter().sum::<u64>(),
+            0,
+            "window boundary resets"
+        );
     }
 }

@@ -68,11 +68,13 @@ impl TrainingTable {
         assert!(entries > 0, "training table needs entries");
         let n = entries.next_power_of_two();
         TrainingTable {
-            entries: (0..n).map(|_| {
-                let mut e = TrainingEntry::fresh(0);
-                e.valid = false;
-                e
-            }).collect(),
+            entries: (0..n)
+                .map(|_| {
+                    let mut e = TrainingEntry::fresh(0);
+                    e.valid = false;
+                    e
+                })
+                .collect(),
             index_bits: n.trailing_zeros(),
         }
     }

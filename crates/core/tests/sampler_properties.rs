@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use triangel_core::{
-    HistorySampler, MetadataReuseBuffer, SecondChanceSampler, ScsOutcome, SetDueller,
+    HistorySampler, MetadataReuseBuffer, ScsOutcome, SecondChanceSampler, SetDueller,
 };
 use triangel_types::LineAddr;
 

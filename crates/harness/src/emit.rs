@@ -1,0 +1,213 @@
+//! JSON and CSV emitters for figure tables and sweep reports.
+//!
+//! Hand-rolled (the workspace has no serialization dependency) and
+//! deterministic: emitting the same data twice yields identical bytes,
+//! which the harness's reproducibility tests rely on.
+
+use triangel_sim::report::FigureTable;
+use triangel_sim::RunReport;
+
+use crate::sweep::SweepReport;
+
+/// Escapes a string for a JSON literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders an `f64` as a JSON number (shortest round-trip form; NaN and
+/// infinities become `null`).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_f64_list(vs: &[f64]) -> String {
+    let items: Vec<String> = vs.iter().map(|v| json_f64(*v)).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Serializes a figure table as JSON.
+pub fn table_to_json(t: &FigureTable) -> String {
+    let configs: Vec<String> = t.configs().iter().map(|c| json_str(c)).collect();
+    let rows: Vec<String> = t
+        .rows()
+        .iter()
+        .map(|(label, vals)| {
+            format!(
+                "{{\"workload\":{},\"values\":{}}}",
+                json_str(label),
+                json_f64_list(vals)
+            )
+        })
+        .collect();
+    let geomean = if t.has_geomean() {
+        format!(",\"geomean\":{}", json_f64_list(&t.geomeans()))
+    } else {
+        String::new()
+    };
+    format!(
+        "{{\"title\":{},\"metric\":{},\"configs\":[{}],\"rows\":[{}]{}}}",
+        json_str(t.title()),
+        json_str(t.metric()),
+        configs.join(","),
+        rows.join(","),
+        geomean,
+    )
+}
+
+/// Renders an `f64` as a CSV field, mirroring the JSON emitter's
+/// treatment of non-finite values (an empty field, CSV's "missing").
+fn csv_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        String::new()
+    }
+}
+
+/// Escapes one CSV field (RFC 4180 quoting).
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Serializes a figure table as CSV: a header row, one row per
+/// workload, and a final geomean row when the table has one.
+pub fn table_to_csv(t: &FigureTable) -> String {
+    let mut out = String::new();
+    out.push_str("workload");
+    for c in t.configs() {
+        out.push(',');
+        out.push_str(&csv_field(c));
+    }
+    out.push('\n');
+    for (label, vals) in t.rows() {
+        out.push_str(&csv_field(label));
+        for v in vals {
+            out.push_str(&format!(",{}", csv_f64(*v)));
+        }
+        out.push('\n');
+    }
+    if t.has_geomean() {
+        out.push_str("geomean");
+        for v in t.geomeans() {
+            out.push_str(&format!(",{}", csv_f64(v)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The per-run scalars worth publishing in machine-readable reports.
+fn run_summary_json(r: &RunReport) -> String {
+    format!(
+        "{{\"workload\":{},\"ipc\":{},\"dram_reads\":{},\"l3_accesses\":{},\"accuracy\":{},\"l2_demand_misses\":{},\"markov_ways\":{}}}",
+        json_str(&r.workload),
+        json_f64(r.ipc()),
+        r.dram_reads(),
+        r.l3_accesses(),
+        json_f64(r.accuracy()),
+        r.l2_demand_misses(),
+        r.markov_ways,
+    )
+}
+
+/// Serializes a sweep report as JSON: scheduler stats (including the
+/// cache-hit counter) and one summary per job, in job order.
+pub fn sweep_to_json(report: &SweepReport) -> String {
+    let jobs: Vec<String> = report
+        .keys
+        .iter()
+        .zip(&report.results)
+        .map(|(key, result)| match result {
+            Ok(run) => format!(
+                "{{\"key\":{},\"ok\":true,\"run\":{}}}",
+                json_str(key),
+                run_summary_json(run)
+            ),
+            Err(e) => format!(
+                "{{\"key\":{},\"ok\":false,\"error\":{}}}",
+                json_str(key),
+                json_str(&e.message)
+            ),
+        })
+        .collect();
+    format!(
+        "{{\"stats\":{{\"jobs\":{},\"executed\":{},\"cache_hits\":{},\"errors\":{}}},\"jobs\":[{}]}}",
+        report.stats.jobs,
+        report.stats.executed,
+        report.stats.cache_hits,
+        report.stats.errors,
+        jobs.join(","),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> FigureTable {
+        let mut t = FigureTable::new("T, \"quoted\"", "m", vec!["A".into(), "B".into()]);
+        t.push_row("w1", vec![1.0, 2.5]);
+        t.push_row("w2", vec![4.0, 0.125]);
+        t
+    }
+
+    #[test]
+    fn json_round_trips_exact_floats() {
+        let j = table_to_json(&table());
+        assert!(j.contains("\"title\":\"T, \\\"quoted\\\"\""));
+        assert!(j.contains("\"values\":[1.0,2.5]"));
+        assert!(j.contains("\"geomean\":[2.0,"));
+    }
+
+    #[test]
+    fn csv_quotes_only_when_needed() {
+        let c = table_to_csv(&table());
+        let mut lines = c.lines();
+        assert_eq!(lines.next(), Some("workload,A,B"));
+        assert_eq!(lines.next(), Some("w1,1.0,2.5"));
+        assert_eq!(lines.next(), Some("w2,4.0,0.125"));
+        assert!(lines.next().unwrap().starts_with("geomean,2.0,"));
+    }
+
+    #[test]
+    fn non_finite_values_agree_across_emitters() {
+        let mut t = FigureTable::new("t", "m", vec!["A".into()]);
+        t.push_row("w", vec![f64::NAN]);
+        t.push_row("x", vec![f64::INFINITY]);
+        let j = table_to_json(&t);
+        assert!(j.contains("\"values\":[null]"));
+        assert!(!j.contains("NaN") && !j.contains("inf"));
+        let c = table_to_csv(&t);
+        assert!(c.contains("w,\n"), "NaN should be an empty CSV field: {c}");
+        assert!(!c.contains("NaN") && !c.contains("inf"));
+    }
+
+    #[test]
+    fn emission_is_deterministic() {
+        let t = table();
+        assert_eq!(table_to_json(&t), table_to_json(&t));
+        assert_eq!(table_to_csv(&t), table_to_csv(&t));
+    }
+}

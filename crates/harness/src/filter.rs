@@ -1,0 +1,412 @@
+//! A small, dependency-free regular-expression engine.
+//!
+//! Supports the subset useful for selecting experiments on a command
+//! line: literals, `.`, the postfix quantifiers `*` `+` `?`, anchors
+//! `^` `$`, alternation `|`, grouping `(...)`, character classes
+//! `[abc]`, `[a-z]`, `[^...]`, the shorthands `\d` `\w` `\s` (and the
+//! negated `\D` `\W` `\S`), and `\`-escaped punctuation. Unknown
+//! alphanumeric escapes are parse errors rather than silent literals.
+//! Matching is backtracking over the parsed AST; patterns are tiny
+//! (figure names), so worst-case behaviour is irrelevant here.
+
+use std::fmt;
+
+/// A parse error, with the byte offset it occurred at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternError {
+    /// Byte offset into the pattern.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad pattern at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// A literal character.
+    Char(char),
+    /// `.`
+    Any,
+    /// `[...]` / `[^...]`
+    Class {
+        negated: bool,
+        ranges: Vec<(char, char)>,
+    },
+    /// `^`
+    Start,
+    /// `$`
+    End,
+    /// A parenthesised group.
+    Group(Box<Node>),
+    /// Concatenation.
+    Seq(Vec<Node>),
+    /// `a|b`
+    Alt(Vec<Node>),
+    /// `x*` / `x+` / `x?`
+    Repeat {
+        node: Box<Node>,
+        min: u32,
+        many: bool,
+    },
+}
+
+/// A compiled pattern.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    ast: Node,
+}
+
+impl Pattern {
+    /// Compiles `pattern`.
+    ///
+    /// # Errors
+    ///
+    /// [`PatternError`] on malformed syntax (unbalanced parens,
+    /// dangling quantifier, unterminated class).
+    pub fn new(pattern: &str) -> Result<Self, PatternError> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut p = Parser {
+            chars: &chars,
+            pos: 0,
+        };
+        let ast = p.parse_alt()?;
+        if p.pos != p.chars.len() {
+            return Err(p.error("unexpected `)`"));
+        }
+        Ok(Pattern { ast })
+    }
+
+    /// Whether the pattern matches anywhere in `text` (like
+    /// `Regex::is_match`).
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        // `^`-anchored patterns only need the attempt at offset 0, but
+        // detecting that is an optimisation only; try every offset.
+        (0..=chars.len()).any(|start| matches_at(&self.ast, &chars, start, &mut |_| true))
+    }
+}
+
+struct Parser<'a> {
+    chars: &'a [char],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> PatternError {
+        PatternError {
+            at: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn parse_alt(&mut self) -> Result<Node, PatternError> {
+        let mut options = vec![self.parse_seq()?];
+        while self.peek() == Some('|') {
+            self.pos += 1;
+            options.push(self.parse_seq()?);
+        }
+        Ok(if options.len() == 1 {
+            options.pop().unwrap()
+        } else {
+            Node::Alt(options)
+        })
+    }
+
+    fn parse_seq(&mut self) -> Result<Node, PatternError> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.parse_repeat()?);
+        }
+        Ok(if items.len() == 1 {
+            items.pop().unwrap()
+        } else {
+            Node::Seq(items)
+        })
+    }
+
+    fn parse_repeat(&mut self) -> Result<Node, PatternError> {
+        let atom = self.parse_atom()?;
+        match self.peek() {
+            Some('*') => {
+                self.pos += 1;
+                Ok(Node::Repeat {
+                    node: Box::new(atom),
+                    min: 0,
+                    many: true,
+                })
+            }
+            Some('+') => {
+                self.pos += 1;
+                Ok(Node::Repeat {
+                    node: Box::new(atom),
+                    min: 1,
+                    many: true,
+                })
+            }
+            Some('?') => {
+                self.pos += 1;
+                Ok(Node::Repeat {
+                    node: Box::new(atom),
+                    min: 0,
+                    many: false,
+                })
+            }
+            _ => Ok(atom),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Node, PatternError> {
+        let c = self
+            .peek()
+            .ok_or_else(|| self.error("pattern ended unexpectedly"))?;
+        self.pos += 1;
+        match c {
+            '(' => {
+                let inner = self.parse_alt()?;
+                if self.peek() != Some(')') {
+                    return Err(self.error("unbalanced `(`"));
+                }
+                self.pos += 1;
+                Ok(Node::Group(Box::new(inner)))
+            }
+            '[' => self.parse_class(),
+            '.' => Ok(Node::Any),
+            '^' => Ok(Node::Start),
+            '$' => Ok(Node::End),
+            '\\' => {
+                let escaped = self.peek().ok_or_else(|| self.error("dangling `\\`"))?;
+                self.pos += 1;
+                match shorthand_ranges(escaped) {
+                    Some(ranges) => Ok(Node::Class {
+                        negated: escaped.is_ascii_uppercase(),
+                        ranges,
+                    }),
+                    None if escaped.is_ascii_alphanumeric() => {
+                        Err(self.error("unsupported escape (only \\d \\w \\s, \\D \\W \\S and escaped punctuation)"))
+                    }
+                    None => Ok(Node::Char(escaped)),
+                }
+            }
+            '*' | '+' | '?' => Err(self.error("quantifier with nothing to repeat")),
+            c => Ok(Node::Char(c)),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Node, PatternError> {
+        let negated = self.peek() == Some('^');
+        if negated {
+            self.pos += 1;
+        }
+        let mut ranges = Vec::new();
+        loop {
+            let c = self.peek().ok_or_else(|| self.error("unterminated `[`"))?;
+            self.pos += 1;
+            if c == ']' && !ranges.is_empty() {
+                return Ok(Node::Class { negated, ranges });
+            }
+            let lo = if c == '\\' {
+                let e = self.peek().ok_or_else(|| self.error("dangling `\\`"))?;
+                self.pos += 1;
+                match shorthand_ranges(e) {
+                    // `[\d-]`-style shorthands contribute their ranges
+                    // directly and cannot anchor an `a-z` range.
+                    Some(mut r) if e.is_ascii_lowercase() => {
+                        ranges.append(&mut r);
+                        continue;
+                    }
+                    Some(_) => return Err(self.error("negated shorthand not supported in class")),
+                    None if e.is_ascii_alphanumeric() => {
+                        return Err(self.error("unsupported escape in class"))
+                    }
+                    None => e,
+                }
+            } else {
+                c
+            };
+            // `a-z` range (a trailing `-` is a literal).
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1).copied() != Some(']') {
+                self.pos += 1;
+                let hi = self
+                    .peek()
+                    .ok_or_else(|| self.error("unterminated range"))?;
+                self.pos += 1;
+                if hi < lo {
+                    return Err(self.error("inverted range"));
+                }
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+    }
+}
+
+/// The character ranges of `\d` / `\w` / `\s` (uppercase forms reuse
+/// the same ranges under negation); `None` for ordinary escapes.
+fn shorthand_ranges(c: char) -> Option<Vec<(char, char)>> {
+    match c.to_ascii_lowercase() {
+        'd' => Some(vec![('0', '9')]),
+        'w' => Some(vec![('0', '9'), ('A', 'Z'), ('a', 'z'), ('_', '_')]),
+        's' => Some(vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')]),
+        _ => None,
+    }
+}
+
+/// Backtracking matcher: does `node` match starting at `pos`, and if
+/// so, does `rest(end_pos)` accept?
+fn matches_at(node: &Node, text: &[char], pos: usize, rest: &mut dyn FnMut(usize) -> bool) -> bool {
+    match node {
+        Node::Char(c) => text.get(pos) == Some(c) && rest(pos + 1),
+        Node::Any => pos < text.len() && rest(pos + 1),
+        Node::Class { negated, ranges } => match text.get(pos) {
+            None => false,
+            Some(&c) => {
+                let inside = ranges.iter().any(|(lo, hi)| *lo <= c && c <= *hi);
+                inside != *negated && rest(pos + 1)
+            }
+        },
+        Node::Start => pos == 0 && rest(pos),
+        Node::End => pos == text.len() && rest(pos),
+        Node::Group(inner) => matches_at(inner, text, pos, rest),
+        Node::Seq(items) => seq_matches(items, text, pos, rest),
+        Node::Alt(options) => options.iter().any(|o| matches_at(o, text, pos, rest)),
+        Node::Repeat { node, min, many } => repeat_matches(node, text, pos, *min, *many, rest),
+    }
+}
+
+fn seq_matches(
+    items: &[Node],
+    text: &[char],
+    pos: usize,
+    rest: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    match items.split_first() {
+        None => rest(pos),
+        Some((head, tail)) => matches_at(head, text, pos, &mut |next| {
+            seq_matches(tail, text, next, rest)
+        }),
+    }
+}
+
+fn repeat_matches(
+    node: &Node,
+    text: &[char],
+    pos: usize,
+    min: u32,
+    many: bool,
+    rest: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    if min > 0 {
+        return matches_at(node, text, pos, &mut |next| {
+            // Zero-width inner match: stop recursing.
+            if next == pos {
+                rest(next)
+            } else {
+                repeat_matches(node, text, next, min - 1, many, rest)
+            }
+        });
+    }
+    if many {
+        // Greedy: try one more repetition first, then none.
+        let more = matches_at(node, text, pos, &mut |next| {
+            next != pos && repeat_matches(node, text, next, 0, true, rest)
+        });
+        more || rest(pos)
+    } else {
+        // `?`: one or zero.
+        matches_at(node, text, pos, &mut |next| next != pos && rest(next)) || rest(pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, text: &str) -> bool {
+        Pattern::new(pat).unwrap().is_match(text)
+    }
+
+    #[test]
+    fn literals_are_substring_matches() {
+        assert!(m("fig1", "fig10"));
+        assert!(m("g1", "fig10"));
+        assert!(!m("fig2", "fig10"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^fig10$", "fig10"));
+        assert!(!m("^ig10$", "fig10"));
+        assert!(!m("^fig1$", "fig10"));
+        assert!(m("^fig1", "fig10"));
+    }
+
+    #[test]
+    fn classes_and_quantifiers() {
+        assert!(m("fig1[0-5]$", "fig13"));
+        assert!(!m("fig1[0-5]$", "fig17"));
+        assert!(m("fig[0-9]+", "fig20"));
+        assert!(m("ta?ble", "table"));
+        assert!(m("t.ble", "table"));
+        assert!(m("se.*33", "sec33_replacement"));
+        assert!(m("[^x]ig", "fig10"));
+        assert!(!m("[^f]ig", "fig10"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        let p = Pattern::new("^(fig1[45]|table[12])$").unwrap();
+        assert!(p.is_match("fig14"));
+        assert!(p.is_match("table2"));
+        assert!(!p.is_match("fig16"));
+        assert!(!p.is_match("table3"));
+    }
+
+    #[test]
+    fn star_backtracks() {
+        assert!(m("a.*b.*c", "xxaXbXcXX"));
+        assert!(m("a*a", "aaa"));
+        assert!(!m("a+b", "ccc"));
+    }
+
+    #[test]
+    fn escape_shorthands() {
+        assert!(m(r"fig\d+", "fig10"));
+        assert!(!m(r"fig\d", "figx"));
+        assert!(m(r"^\w+$", "sec33_replacement"));
+        assert!(!m(r"^\w+$", "a b"));
+        assert!(m(r"a\sb", "a b"));
+        assert!(m(r"\D+", "abc"));
+        assert!(!m(r"^\D+$", "a1b"));
+        assert!(m(r"[\d_]+", "33_"));
+        assert!(m(r"fig\.10", "fig.10"));
+        assert!(!m(r"fig\.10", "figx10"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(Pattern::new("(open").is_err());
+        assert!(Pattern::new("*x").is_err());
+        assert!(Pattern::new("[a-").is_err());
+        assert!(Pattern::new("a)").is_err());
+        // Unknown alphanumeric escapes fail loudly instead of silently
+        // matching a literal.
+        assert!(Pattern::new(r"\b x").is_err());
+        assert!(Pattern::new(r"[\b]").is_err());
+        assert!(Pattern::new(r"[\D]").is_err());
+    }
+}

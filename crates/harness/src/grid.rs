@@ -1,0 +1,222 @@
+//! Declarative rows × columns sweeps folded into figure tables.
+
+use std::sync::Arc;
+
+use triangel_sim::report::FigureTable;
+use triangel_sim::{Comparison, PrefetcherChoice, RunReport};
+
+use crate::job::{JobSpec, MapperSpec, RunParams, WorkloadSpec};
+use crate::sweep::{JobError, Sweep, SweepOptions, SweepStats};
+
+/// The shape shared by every figure of the paper: a set of workloads
+/// (rows), a set of prefetcher configurations (columns), and a
+/// stride-only baseline per row that every cell is normalized against.
+#[derive(Debug, Clone)]
+pub struct GridSpec {
+    rows: Vec<(String, WorkloadSpec)>,
+    columns: Vec<(String, PrefetcherChoice)>,
+    baseline: PrefetcherChoice,
+    params: RunParams,
+    mapper: MapperSpec,
+}
+
+impl GridSpec {
+    /// An empty grid at `params` scale with a stride-only baseline.
+    pub fn new(params: RunParams) -> Self {
+        GridSpec {
+            rows: Vec::new(),
+            columns: Vec::new(),
+            baseline: PrefetcherChoice::Baseline,
+            params,
+            mapper: MapperSpec::Default,
+        }
+    }
+
+    /// Adds a row, labeled with the workload's own label.
+    #[must_use]
+    pub fn row(self, workload: WorkloadSpec) -> Self {
+        let label = workload.label();
+        self.labeled_row(label, workload)
+    }
+
+    /// Adds a row with an explicit label.
+    #[must_use]
+    pub fn labeled_row(mut self, label: impl Into<String>, workload: WorkloadSpec) -> Self {
+        self.rows.push((label.into(), workload));
+        self
+    }
+
+    /// Adds all seven SPEC-like workloads as rows.
+    #[must_use]
+    pub fn spec_rows(mut self) -> Self {
+        for wl in triangel_workloads::spec::SpecWorkload::ALL {
+            self = self.row(WorkloadSpec::Spec(wl));
+        }
+        self
+    }
+
+    /// Adds a column, labeled with the configuration's paper label.
+    #[must_use]
+    pub fn column(self, choice: PrefetcherChoice) -> Self {
+        let label = choice.label();
+        self.labeled_column(label, choice)
+    }
+
+    /// Adds a column with an explicit label.
+    #[must_use]
+    pub fn labeled_column(mut self, label: impl Into<String>, choice: PrefetcherChoice) -> Self {
+        self.columns.push((label.into(), choice));
+        self
+    }
+
+    /// Adds several columns at once, using paper labels.
+    #[must_use]
+    pub fn columns(mut self, choices: impl IntoIterator<Item = PrefetcherChoice>) -> Self {
+        for c in choices {
+            self = self.column(c);
+        }
+        self
+    }
+
+    /// Runs every row under `mapper` instead of the default mapping.
+    #[must_use]
+    pub fn mapper(mut self, mapper: MapperSpec) -> Self {
+        self.mapper = mapper;
+        self
+    }
+
+    /// The declarative job list: per row, one baseline job followed by
+    /// one job per column.
+    pub fn jobs(&self) -> Vec<JobSpec> {
+        let mut jobs = Vec::with_capacity(self.rows.len() * (1 + self.columns.len()));
+        for (_, workload) in &self.rows {
+            jobs.push(
+                JobSpec::new(workload.clone(), self.baseline, self.params).mapper(self.mapper),
+            );
+            for (_, choice) in &self.columns {
+                jobs.push(JobSpec::new(workload.clone(), *choice, self.params).mapper(self.mapper));
+            }
+        }
+        jobs
+    }
+
+    /// Runs the grid.
+    ///
+    /// # Errors
+    ///
+    /// The first failing job's [`JobError`], if any job failed.
+    pub fn run(&self, opts: &SweepOptions) -> Result<GridResult, JobError> {
+        let mut sweep = Sweep::new();
+        for job in self.jobs() {
+            sweep.push(job);
+        }
+        let report = sweep.run(opts);
+        let stats = report.stats;
+        let width = 1 + self.columns.len();
+        let mut baselines = Vec::with_capacity(self.rows.len());
+        let mut cells = Vec::with_capacity(self.rows.len());
+        let mut results = report.results.into_iter();
+        let mut take = || results.next().expect("job list length");
+        for _ in 0..self.rows.len() {
+            baselines.push(take()?);
+            cells.push((1..width).map(|_| take()).collect::<Result<Vec<_>, _>>()?);
+        }
+        Ok(GridResult {
+            row_labels: self.rows.iter().map(|(l, _)| l.clone()).collect(),
+            col_labels: self.columns.iter().map(|(l, _)| l.clone()).collect(),
+            baselines,
+            cells,
+            stats,
+        })
+    }
+}
+
+/// A completed grid: per-row baseline plus per-cell reports, and the
+/// folding helpers every figure uses.
+#[derive(Debug)]
+pub struct GridResult {
+    row_labels: Vec<String>,
+    col_labels: Vec<String>,
+    baselines: Vec<Arc<RunReport>>,
+    cells: Vec<Vec<Arc<RunReport>>>,
+    /// Scheduler counters (executed jobs, cache hits, ...).
+    pub stats: SweepStats,
+}
+
+impl GridResult {
+    /// Row labels, in declaration order.
+    pub fn row_labels(&self) -> &[String] {
+        &self.row_labels
+    }
+
+    /// Column labels, in declaration order.
+    pub fn col_labels(&self) -> &[String] {
+        &self.col_labels
+    }
+
+    /// The baseline report of row `row`.
+    pub fn baseline(&self, row: usize) -> &RunReport {
+        &self.baselines[row]
+    }
+
+    /// The report of cell (`row`, `col`).
+    pub fn report(&self, row: usize, col: usize) -> &RunReport {
+        &self.cells[row][col]
+    }
+
+    /// Cell (`row`, `col`) compared against its row baseline.
+    pub fn comparison(&self, row: usize, col: usize) -> Comparison {
+        Comparison::new(&self.baselines[row], &self.cells[row][col])
+    }
+
+    /// Folds one metric over every cell into a figure table.
+    pub fn table(
+        &self,
+        title: impl Into<String>,
+        metric: impl Into<String>,
+        f: impl Fn(Comparison) -> f64,
+    ) -> FigureTable {
+        let mut t = FigureTable::new(title, metric, self.col_labels.clone());
+        for (r, label) in self.row_labels.iter().enumerate() {
+            let vals = (0..self.col_labels.len())
+                .map(|c| f(self.comparison(r, c)))
+                .collect();
+            t.push_row(label.clone(), vals);
+        }
+        t
+    }
+
+    /// Like [`GridResult::table`], but restricted to the named columns
+    /// (so one wide grid can serve figures with different column sets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a requested column label does not exist.
+    pub fn table_for(
+        &self,
+        title: impl Into<String>,
+        metric: impl Into<String>,
+        columns: &[&str],
+        f: impl Fn(Comparison) -> f64,
+    ) -> FigureTable {
+        let idx: Vec<usize> = columns
+            .iter()
+            .map(|want| {
+                self.col_labels
+                    .iter()
+                    .position(|l| l == want)
+                    .unwrap_or_else(|| panic!("no column labeled `{want}`"))
+            })
+            .collect();
+        let mut t = FigureTable::new(
+            title,
+            metric,
+            columns.iter().map(|c| c.to_string()).collect(),
+        );
+        for (r, label) in self.row_labels.iter().enumerate() {
+            let vals = idx.iter().map(|&c| f(self.comparison(r, c))).collect();
+            t.push_row(label.clone(), vals);
+        }
+        t
+    }
+}

@@ -1,0 +1,266 @@
+//! Experiments as data: [`JobSpec`] and its parts.
+
+use std::fmt;
+use std::sync::Arc;
+
+use triangel_sim::{Experiment, PrefetcherChoice, RunReport, SimError};
+use triangel_workloads::graph500::BfsTrace;
+use triangel_workloads::graph500::Csr;
+use triangel_workloads::paging::PageMapper;
+use triangel_workloads::spec::SpecWorkload;
+use triangel_workloads::TraceSource;
+
+/// Scale and seeding parameters shared by the jobs of one sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunParams {
+    /// Warm-up accesses per core (not measured).
+    pub warmup: u64,
+    /// Measured accesses per core.
+    pub accesses: u64,
+    /// Set Dueller / Bloom sizing window.
+    pub sizing_window: u64,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+/// Which virtual-to-physical mapping a job simulates under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MapperSpec {
+    /// The experiment runner's default mapping.
+    #[default]
+    Default,
+    /// `PageMapper::realistic(seed)` — the fragmented mapping of the
+    /// Fig. 18/19 studies.
+    Realistic(u64),
+}
+
+/// The workload half of a job: what generates the access trace.
+#[derive(Clone)]
+pub enum WorkloadSpec {
+    /// One of the seven SPEC-like generators.
+    Spec(SpecWorkload),
+    /// A multiprogrammed pair sharing L3 and DRAM (Fig. 16). The
+    /// second core's generator is seeded with `seed ^ 0x9999`.
+    Pair(SpecWorkload, SpecWorkload),
+    /// BFS over a pre-built Graph500 graph (Fig. 17). The graph is
+    /// built once and shared by every configuration's job; `label`
+    /// must uniquely identify it (it is the cache-key component).
+    Graph500 {
+        /// Cache-key label, e.g. `"s16 e10"`.
+        label: String,
+        /// The shared CSR graph.
+        graph: Arc<Csr>,
+    },
+    /// Any other trace source. `name` must uniquely identify the
+    /// generator's content — it is the only part of the builder that
+    /// enters the job key.
+    Custom {
+        /// Cache-key name for the generator.
+        name: String,
+        /// Builds a fresh generator from a seed.
+        build: Arc<dyn Fn(u64) -> Box<dyn TraceSource> + Send + Sync>,
+    },
+}
+
+impl WorkloadSpec {
+    /// Human-readable label (row name in figure tables).
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadSpec::Spec(wl) => wl.label().to_string(),
+            WorkloadSpec::Pair(a, b) => format!("{} & {}", a.label(), b.label()),
+            WorkloadSpec::Graph500 { label, .. } => label.clone(),
+            WorkloadSpec::Custom { name, .. } => name.clone(),
+        }
+    }
+
+    /// The cache-key component for this workload.
+    fn key(&self) -> String {
+        match self {
+            WorkloadSpec::Spec(wl) => format!("spec:{}", wl.label()),
+            WorkloadSpec::Pair(a, b) => format!("pair:{}+{}", a.label(), b.label()),
+            WorkloadSpec::Graph500 { label, .. } => format!("g500:{label}"),
+            WorkloadSpec::Custom { name, .. } => format!("custom:{name}"),
+        }
+    }
+}
+
+impl fmt::Debug for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WorkloadSpec({})", self.key())
+    }
+}
+
+/// One simulation, fully described as data.
+///
+/// Two jobs with equal [`keys`](JobSpec::key) describe byte-identical
+/// simulations; the scheduler runs only one of them.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// What generates the accesses.
+    pub workload: WorkloadSpec,
+    /// Which temporal prefetcher is attached.
+    pub prefetcher: PrefetcherChoice,
+    /// Scale and seed.
+    pub params: RunParams,
+    /// Virtual-to-physical mapping.
+    pub mapper: MapperSpec,
+}
+
+impl JobSpec {
+    /// A job over `workload` × `prefetcher` at `params` scale with the
+    /// default page mapping.
+    pub fn new(workload: WorkloadSpec, prefetcher: PrefetcherChoice, params: RunParams) -> Self {
+        JobSpec {
+            workload,
+            prefetcher,
+            params,
+            mapper: MapperSpec::Default,
+        }
+    }
+
+    /// Replaces the page-mapper choice.
+    #[must_use]
+    pub fn mapper(mut self, mapper: MapperSpec) -> Self {
+        self.mapper = mapper;
+        self
+    }
+
+    /// The content key: equal keys ⇔ identical simulations.
+    ///
+    /// The prefetcher configuration enters through its `Debug`
+    /// rendering, which spells out every field of custom configs, so
+    /// two `TriangelCustom` jobs differing in any knob get distinct
+    /// keys. The sizing window is omitted for the stride-only
+    /// baseline (the `NullPrefetcher` never reads it), which lets
+    /// sweeps with different windows share one baseline run.
+    pub fn key(&self) -> String {
+        let sizing = match self.prefetcher {
+            PrefetcherChoice::Baseline => "-".to_string(),
+            _ => self.params.sizing_window.to_string(),
+        };
+        format!(
+            "{}|pf={:?}|w={}|a={}|sw={}|s={}|m={:?}",
+            self.workload.key(),
+            self.prefetcher,
+            self.params.warmup,
+            self.params.accesses,
+            sizing,
+            self.params.seed,
+            self.mapper,
+        )
+    }
+
+    /// Runs the simulation this job describes.
+    ///
+    /// Deterministic: the generator is built from the job's own seed in
+    /// the calling thread, so the result does not depend on what other
+    /// jobs run concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the experiment runner.
+    pub fn run(&self) -> Result<RunReport, SimError> {
+        let p = self.params;
+        let mut exp = match &self.workload {
+            WorkloadSpec::Spec(wl) => Experiment::new(wl.generator(p.seed)).label(wl.label()),
+            WorkloadSpec::Pair(a, b) => {
+                let sources: Vec<Box<dyn TraceSource>> = vec![
+                    Box::new(a.generator(p.seed)),
+                    Box::new(b.generator(p.seed ^ 0x9999)),
+                ];
+                Experiment::multiprogrammed(sources).label(format!("{} & {}", a.label(), b.label()))
+            }
+            WorkloadSpec::Graph500 { label, graph } => {
+                Experiment::new(BfsTrace::new(label.clone(), Arc::clone(graph), p.seed))
+                    .label(label.clone())
+            }
+            WorkloadSpec::Custom { name, build } => {
+                Experiment::new_boxed(build(p.seed)).label(name.clone())
+            }
+        };
+        exp = exp
+            .warmup(p.warmup)
+            .accesses(p.accesses)
+            .sizing_window(p.sizing_window)
+            .prefetcher(self.prefetcher);
+        if let MapperSpec::Realistic(seed) = self.mapper {
+            exp = exp.page_mapper(PageMapper::realistic(seed));
+        }
+        exp.try_run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> RunParams {
+        RunParams {
+            warmup: 10,
+            accesses: 10,
+            sizing_window: 5,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn keys_distinguish_configurations() {
+        let a = JobSpec::new(
+            WorkloadSpec::Spec(SpecWorkload::Xalan),
+            PrefetcherChoice::Triangel,
+            params(),
+        );
+        let b = JobSpec::new(
+            WorkloadSpec::Spec(SpecWorkload::Xalan),
+            PrefetcherChoice::TriangelBloom,
+            params(),
+        );
+        let c = JobSpec::new(
+            WorkloadSpec::Spec(SpecWorkload::Mcf),
+            PrefetcherChoice::Triangel,
+            params(),
+        );
+        assert_ne!(a.key(), b.key());
+        assert_ne!(a.key(), c.key());
+        assert_eq!(a.key(), a.clone().key());
+    }
+
+    #[test]
+    fn baseline_key_ignores_sizing_window() {
+        let mut p1 = params();
+        let mut p2 = params();
+        p1.sizing_window = 100;
+        p2.sizing_window = 999;
+        let base1 = JobSpec::new(
+            WorkloadSpec::Spec(SpecWorkload::Mcf),
+            PrefetcherChoice::Baseline,
+            p1,
+        );
+        let base2 = JobSpec::new(
+            WorkloadSpec::Spec(SpecWorkload::Mcf),
+            PrefetcherChoice::Baseline,
+            p2,
+        );
+        assert_eq!(base1.key(), base2.key());
+        let tri1 = JobSpec::new(
+            WorkloadSpec::Spec(SpecWorkload::Mcf),
+            PrefetcherChoice::Triangel,
+            p1,
+        );
+        let tri2 = JobSpec::new(
+            WorkloadSpec::Spec(SpecWorkload::Mcf),
+            PrefetcherChoice::Triangel,
+            p2,
+        );
+        assert_ne!(tri1.key(), tri2.key());
+    }
+
+    #[test]
+    fn mapper_enters_the_key() {
+        let spec = WorkloadSpec::Spec(SpecWorkload::Gcc166);
+        let a = JobSpec::new(spec.clone(), PrefetcherChoice::Triage, params());
+        let b =
+            JobSpec::new(spec, PrefetcherChoice::Triage, params()).mapper(MapperSpec::Realistic(3));
+        assert_ne!(a.key(), b.key());
+    }
+}

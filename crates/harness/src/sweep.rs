@@ -1,0 +1,345 @@
+//! The sweep scheduler: dedup, cache, parallel execution, reporting.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use triangel_sim::RunReport;
+
+use crate::job::JobSpec;
+use crate::pool;
+
+/// A failed job, carrying enough context to point at the bad spec.
+#[derive(Debug, Clone)]
+pub struct JobError {
+    /// The job's content key.
+    pub key: String,
+    /// The underlying simulator error, rendered.
+    pub message: String,
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job `{}` failed: {}", self.key, self.message)
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Content-keyed cache of finished runs.
+///
+/// A sweep always consults a cache (its own, or one shared across
+/// sweeps via [`SweepOptions::cache`]): before a job is scheduled its
+/// key is looked up, and every job that resolves without executing —
+/// whether from an earlier sweep or deduplicated within the current
+/// one — counts as a hit.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    entries: Mutex<HashMap<String, Arc<RunReport>>>,
+    hits: AtomicUsize,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ResultCache::default()
+    }
+
+    /// The report cached under `key`, if any (counts as a hit).
+    pub fn get(&self, key: &str) -> Option<Arc<RunReport>> {
+        let hit = self.entries.lock().unwrap().get(key).cloned();
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Stores a finished run.
+    pub fn insert(&self, key: String, report: Arc<RunReport>) {
+        self.entries.lock().unwrap().insert(key, report);
+    }
+
+    /// Total hits since construction.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached runs.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().unwrap().is_empty()
+    }
+}
+
+/// Where per-job progress lines go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Progress {
+    /// No progress output.
+    #[default]
+    Silent,
+    /// One line per finished job on stderr.
+    Stderr,
+}
+
+/// How a sweep executes.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Worker threads; `0` means one per available core.
+    pub workers: usize,
+    /// Progress reporting.
+    pub progress: Progress,
+    /// Cache shared with other sweeps (e.g. across the figures of one
+    /// `all_figures` run). `None` gives the sweep a private cache.
+    pub cache: Option<Arc<ResultCache>>,
+}
+
+impl SweepOptions {
+    /// One worker, silent — the reference configuration.
+    pub fn serial() -> Self {
+        SweepOptions {
+            workers: 1,
+            ..SweepOptions::default()
+        }
+    }
+
+    /// `workers` threads (`0` = one per core), silent.
+    pub fn parallel(workers: usize) -> Self {
+        SweepOptions {
+            workers,
+            ..SweepOptions::default()
+        }
+    }
+
+    /// Resolved worker count.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            pool::default_workers()
+        } else {
+            self.workers
+        }
+    }
+
+    /// Enables per-job progress lines on stderr.
+    #[must_use]
+    pub fn with_progress(mut self) -> Self {
+        self.progress = Progress::Stderr;
+        self
+    }
+
+    /// Shares `cache` with this sweep.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<ResultCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+}
+
+/// Execution counters for one sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Jobs requested.
+    pub jobs: usize,
+    /// Simulations actually executed.
+    pub executed: usize,
+    /// Jobs satisfied without executing (dedup within the sweep plus
+    /// hits on a shared cache).
+    pub cache_hits: usize,
+    /// Jobs that failed with a [`JobError`].
+    pub errors: usize,
+}
+
+/// Results of one sweep, in job order.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// Per-job outcome, indexed like the submitted job list.
+    pub results: Vec<Result<Arc<RunReport>, JobError>>,
+    /// The job keys, indexed like `results`.
+    pub keys: Vec<String>,
+    /// Execution counters.
+    pub stats: SweepStats,
+}
+
+impl SweepReport {
+    /// The report of job `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the job's own error) if the job failed.
+    pub fn report(&self, idx: usize) -> &RunReport {
+        match &self.results[idx] {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+/// A flat list of jobs to run as one unit.
+///
+/// Jobs with equal keys are executed once. Use [`crate::GridSpec`] for
+/// the common rows × columns shape.
+#[derive(Debug, Default)]
+pub struct Sweep {
+    jobs: Vec<JobSpec>,
+}
+
+impl Sweep {
+    /// An empty sweep.
+    pub fn new() -> Self {
+        Sweep::default()
+    }
+
+    /// Adds a job, returning its index in the report.
+    pub fn push(&mut self, job: JobSpec) -> usize {
+        self.jobs.push(job);
+        self.jobs.len() - 1
+    }
+
+    /// Adds a job, builder-style.
+    #[must_use]
+    pub fn job(mut self, job: JobSpec) -> Self {
+        self.jobs.push(job);
+        self
+    }
+
+    /// The jobs submitted so far.
+    pub fn jobs(&self) -> &[JobSpec] {
+        &self.jobs
+    }
+
+    /// Runs every job and returns results in submission order.
+    ///
+    /// Deterministic: for a fixed job list (and cache contents), the
+    /// report is identical whatever `opts.workers` is.
+    pub fn run(&self, opts: &SweepOptions) -> SweepReport {
+        let cache = opts.cache.clone().unwrap_or_default();
+        let keys: Vec<String> = self.jobs.iter().map(JobSpec::key).collect();
+
+        // Resolve each job to either a cached report or a slot in the
+        // unique to-run list (first occurrence of each key wins).
+        enum Resolution {
+            Cached(Arc<RunReport>),
+            Pending(usize),
+        }
+        let mut to_run: Vec<&JobSpec> = Vec::new();
+        let mut pending_of_key: HashMap<&str, usize> = HashMap::new();
+        let resolutions: Vec<Resolution> = self
+            .jobs
+            .iter()
+            .zip(&keys)
+            .map(|(job, key)| {
+                if let Some(cached) = cache.get(key) {
+                    return Resolution::Cached(cached);
+                }
+                if let Some(&slot) = pending_of_key.get(key.as_str()) {
+                    return Resolution::Pending(slot);
+                }
+                let slot = to_run.len();
+                to_run.push(job);
+                pending_of_key.insert(key, slot);
+                Resolution::Pending(slot)
+            })
+            .collect();
+
+        // Execute the unique jobs in parallel.
+        let done = AtomicUsize::new(0);
+        let total = to_run.len();
+        let progress = opts.progress;
+        let executed: Vec<Result<Arc<RunReport>, JobError>> =
+            pool::run_indexed(total, opts.effective_workers(), |i| {
+                let job = to_run[i];
+                let outcome = job.run().map(Arc::new).map_err(|e| JobError {
+                    key: job.key(),
+                    message: e.to_string(),
+                });
+                if progress == Progress::Stderr {
+                    let n = done.fetch_add(1, Ordering::SeqCst) + 1;
+                    let state = if outcome.is_ok() { "done" } else { "FAILED" };
+                    eprintln!("[harness] {n}/{total} {state}  {}", job.key());
+                }
+                outcome
+            });
+
+        // Publish successes to the cache, then assemble in job order.
+        for (job, outcome) in to_run.iter().zip(&executed) {
+            if let Ok(report) = outcome {
+                cache.insert(job.key(), Arc::clone(report));
+            }
+        }
+        let results: Vec<Result<Arc<RunReport>, JobError>> = resolutions
+            .into_iter()
+            .map(|r| match r {
+                Resolution::Cached(report) => Ok(report),
+                Resolution::Pending(slot) => executed[slot].clone(),
+            })
+            .collect();
+
+        let errors = results.iter().filter(|r| r.is_err()).count();
+        SweepReport {
+            stats: SweepStats {
+                jobs: self.jobs.len(),
+                executed: total,
+                cache_hits: self.jobs.len() - total,
+                errors,
+            },
+            results,
+            keys,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{RunParams, WorkloadSpec};
+    use triangel_sim::PrefetcherChoice;
+    use triangel_workloads::spec::SpecWorkload;
+
+    fn tiny() -> RunParams {
+        RunParams {
+            warmup: 500,
+            accesses: 500,
+            sizing_window: 300,
+            seed: 3,
+        }
+    }
+
+    fn job(choice: PrefetcherChoice) -> JobSpec {
+        JobSpec::new(WorkloadSpec::Spec(SpecWorkload::Xalan), choice, tiny())
+    }
+
+    #[test]
+    fn duplicate_jobs_execute_once() {
+        let sweep = Sweep::new()
+            .job(job(PrefetcherChoice::Baseline))
+            .job(job(PrefetcherChoice::Triangel))
+            .job(job(PrefetcherChoice::Baseline))
+            .job(job(PrefetcherChoice::Baseline));
+        let report = sweep.run(&SweepOptions::serial());
+        assert_eq!(report.stats.jobs, 4);
+        assert_eq!(report.stats.executed, 2);
+        assert_eq!(report.stats.cache_hits, 2);
+        assert_eq!(report.stats.errors, 0);
+        // Duplicates share the same underlying report.
+        assert!(Arc::ptr_eq(
+            report.results[0].as_ref().unwrap(),
+            report.results[2].as_ref().unwrap()
+        ));
+    }
+
+    #[test]
+    fn shared_cache_carries_across_sweeps() {
+        let cache = Arc::new(ResultCache::new());
+        let opts = SweepOptions::serial().with_cache(Arc::clone(&cache));
+        let first = Sweep::new().job(job(PrefetcherChoice::Baseline)).run(&opts);
+        assert_eq!(first.stats.executed, 1);
+        let second = Sweep::new().job(job(PrefetcherChoice::Baseline)).run(&opts);
+        assert_eq!(second.stats.executed, 0);
+        assert_eq!(second.stats.cache_hits, 1);
+        assert_eq!(cache.hits(), 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! The harness's core guarantees, exercised end-to-end on real
+//! simulations: same-seed determinism, parallel/serial equivalence, and
+//! exactly-once execution of shared baselines.
+
+use std::sync::Arc;
+
+use triangel_harness::{
+    emit, GridSpec, JobSpec, ResultCache, RunParams, Sweep, SweepOptions, WorkloadSpec,
+};
+use triangel_sim::PrefetcherChoice;
+use triangel_workloads::spec::SpecWorkload;
+
+fn params() -> RunParams {
+    RunParams {
+        warmup: 3_000,
+        accesses: 3_000,
+        sizing_window: 1_500,
+        seed: 11,
+    }
+}
+
+fn small_sweep() -> Sweep {
+    let mut sweep = Sweep::new();
+    for wl in [
+        SpecWorkload::Xalan,
+        SpecWorkload::Mcf,
+        SpecWorkload::Omnetpp,
+    ] {
+        for pf in [
+            PrefetcherChoice::Baseline,
+            PrefetcherChoice::Triage,
+            PrefetcherChoice::Triangel,
+            // A duplicate baseline, as every figure submits one.
+            PrefetcherChoice::Baseline,
+        ] {
+            sweep.push(JobSpec::new(WorkloadSpec::Spec(wl), pf, params()));
+        }
+    }
+    sweep
+}
+
+#[test]
+fn same_seed_sweeps_emit_identical_json() {
+    let a = small_sweep().run(&SweepOptions::serial());
+    let b = small_sweep().run(&SweepOptions::serial());
+    assert_eq!(emit::sweep_to_json(&a), emit::sweep_to_json(&b));
+}
+
+#[test]
+fn parallel_equals_serial_byte_for_byte() {
+    let serial = small_sweep().run(&SweepOptions::serial());
+    let serial_json = emit::sweep_to_json(&serial);
+    for workers in [2, 8] {
+        let parallel = small_sweep().run(&SweepOptions::parallel(workers));
+        assert_eq!(
+            serial_json,
+            emit::sweep_to_json(&parallel),
+            "report changed under {workers} workers"
+        );
+        assert_eq!(serial.stats, parallel.stats);
+    }
+}
+
+#[test]
+fn shared_baseline_executes_exactly_once_per_sweep() {
+    let report = small_sweep().run(&SweepOptions::parallel(8));
+    // 3 workloads x 4 submissions, one of which is a duplicate
+    // baseline per workload.
+    assert_eq!(report.stats.jobs, 12);
+    assert_eq!(report.stats.executed, 9);
+    assert_eq!(report.stats.cache_hits, 3);
+    assert_eq!(report.stats.errors, 0);
+}
+
+#[test]
+fn grids_share_baselines_through_a_common_cache() {
+    let cache = Arc::new(ResultCache::new());
+    let opts = SweepOptions::parallel(4).with_cache(Arc::clone(&cache));
+    let grid = |choice: PrefetcherChoice| {
+        GridSpec::new(params())
+            .row(WorkloadSpec::Spec(SpecWorkload::Xalan))
+            .row(WorkloadSpec::Spec(SpecWorkload::Mcf))
+            .column(choice)
+    };
+    let first = grid(PrefetcherChoice::Triage).run(&opts).unwrap();
+    assert_eq!(first.stats.executed, 4);
+    assert_eq!(first.stats.cache_hits, 0);
+    // Different column, same baselines: only the new cells execute.
+    let second = grid(PrefetcherChoice::Triangel).run(&opts).unwrap();
+    assert_eq!(second.stats.executed, 2);
+    assert_eq!(second.stats.cache_hits, 2);
+    assert_eq!(cache.hits(), 2);
+}
+
+#[test]
+fn grid_tables_are_deterministic_across_schedules() {
+    let run = |workers: usize| {
+        GridSpec::new(params())
+            .spec_rows()
+            .columns([PrefetcherChoice::Triage, PrefetcherChoice::Triangel])
+            .run(&SweepOptions::parallel(workers))
+            .unwrap()
+            .table("t", "m", |c| c.speedup)
+    };
+    let serial = run(1);
+    let parallel = run(8);
+    assert_eq!(emit::table_to_json(&serial), emit::table_to_json(&parallel));
+    assert_eq!(emit::table_to_csv(&serial), emit::table_to_csv(&parallel));
+    assert_eq!(serial.render(), parallel.render());
+}

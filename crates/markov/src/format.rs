@@ -34,17 +34,26 @@ pub enum TargetFormat {
 impl TargetFormat {
     /// Triage's default format (Fig. 18's `32-bit-LUT-16-way`).
     pub const fn triage_default() -> Self {
-        TargetFormat::Lut { offset_bits: 11, assoc: LutAssociativity::Way16 }
+        TargetFormat::Lut {
+            offset_bits: 11,
+            assoc: LutAssociativity::Way16,
+        }
     }
 
     /// The fragmentation-stressed variant (`32-bit-LUT-16-way-10b-offset`).
     pub const fn triage_10b_offset() -> Self {
-        TargetFormat::Lut { offset_bits: 10, assoc: LutAssociativity::Way16 }
+        TargetFormat::Lut {
+            offset_bits: 10,
+            assoc: LutAssociativity::Way16,
+        }
     }
 
     /// Fully-associative LUT variant (`32-bit-LUT-1024-way`).
     pub const fn triage_full_lut() -> Self {
-        TargetFormat::Lut { offset_bits: 11, assoc: LutAssociativity::Full }
+        TargetFormat::Lut {
+            offset_bits: 11,
+            assoc: LutAssociativity::Full,
+        }
     }
 
     /// Markov entries that fit in one 64-byte cache line under this
@@ -73,13 +82,18 @@ impl TargetFormat {
     /// The paper's name for the format (Fig. 18 legend).
     pub fn label(self) -> &'static str {
         match self {
-            TargetFormat::Lut { offset_bits: 11, assoc: LutAssociativity::Way16 } => {
-                "32-bit-LUT-16-way"
-            }
-            TargetFormat::Lut { offset_bits: 10, assoc: LutAssociativity::Way16 } => {
-                "32-bit-LUT-16-way-10b-offset"
-            }
-            TargetFormat::Lut { assoc: LutAssociativity::Full, .. } => "32-bit-LUT-1024-way",
+            TargetFormat::Lut {
+                offset_bits: 11,
+                assoc: LutAssociativity::Way16,
+            } => "32-bit-LUT-16-way",
+            TargetFormat::Lut {
+                offset_bits: 10,
+                assoc: LutAssociativity::Way16,
+            } => "32-bit-LUT-16-way-10b-offset",
+            TargetFormat::Lut {
+                assoc: LutAssociativity::Full,
+                ..
+            } => "32-bit-LUT-1024-way",
             TargetFormat::Lut { .. } => "32-bit-LUT",
             TargetFormat::Ideal32 => "32-bit-ideal",
             TargetFormat::Direct42 => "42-bit",
@@ -103,14 +117,23 @@ mod tests {
         // entries for 42-bit entries (Section 4.4.1).
         let lines = 2048 * 8;
         assert_eq!(lines * TargetFormat::Direct42.entries_per_line(), 196_608);
-        assert_eq!(lines * TargetFormat::triage_default().entries_per_line(), 262_144);
+        assert_eq!(
+            lines * TargetFormat::triage_default().entries_per_line(),
+            262_144
+        );
     }
 
     #[test]
     fn labels_match_fig18() {
         assert_eq!(TargetFormat::triage_default().label(), "32-bit-LUT-16-way");
-        assert_eq!(TargetFormat::triage_10b_offset().label(), "32-bit-LUT-16-way-10b-offset");
-        assert_eq!(TargetFormat::triage_full_lut().label(), "32-bit-LUT-1024-way");
+        assert_eq!(
+            TargetFormat::triage_10b_offset().label(),
+            "32-bit-LUT-16-way-10b-offset"
+        );
+        assert_eq!(
+            TargetFormat::triage_full_lut().label(),
+            "32-bit-LUT-1024-way"
+        );
         assert_eq!(TargetFormat::Ideal32.label(), "32-bit-ideal");
         assert_eq!(TargetFormat::Direct42.label(), "42-bit");
     }

@@ -49,7 +49,9 @@ impl LookupTable {
     /// paper notes the structure must support).
     pub fn find(&self, upper: u64) -> Option<u16> {
         let (base, len) = self.set_range(upper);
-        (base..base + len).find(|i| self.slots[*i] == Some(upper)).map(|i| i as u16)
+        (base..base + len)
+            .find(|i| self.slots[*i] == Some(upper))
+            .map(|i| i as u16)
     }
 
     /// Returns the slot index for `upper`, allocating (and possibly
@@ -67,7 +69,9 @@ impl LookupTable {
         let victim = (base..base + len)
             .find(|i| self.slots[*i].is_none())
             .unwrap_or_else(|| {
-                (base..base + len).min_by_key(|i| self.stamps[*i]).expect("non-empty set")
+                (base..base + len)
+                    .min_by_key(|i| self.stamps[*i])
+                    .expect("non-empty set")
             });
         if self.slots[victim].is_some() {
             self.evictions += 1;

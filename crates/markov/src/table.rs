@@ -125,8 +125,14 @@ impl MarkovTable {
     ///
     /// Panics if `sets` is not a power of two or `max_ways` is zero.
     pub fn new(cfg: MarkovTableConfig) -> Self {
-        assert!(cfg.sets.is_power_of_two(), "set count must be a power of two");
-        assert!(cfg.max_ways > 0, "partition needs at least one potential way");
+        assert!(
+            cfg.sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
+        assert!(
+            cfg.max_ways > 0,
+            "partition needs at least one potential way"
+        );
         let epl = cfg.format.entries_per_line();
         let lines = cfg.sets * cfg.max_ways;
         let lut = match cfg.format {
@@ -204,7 +210,11 @@ impl MarkovTable {
             TargetFormat::Lut { offset_bits, .. } => {
                 let offset = (target.index() & ((1 << offset_bits) - 1)) as u32;
                 let upper = target.index() >> offset_bits;
-                let idx = self.lut.as_mut().expect("LUT format has a LUT").index_for(upper);
+                let idx = self
+                    .lut
+                    .as_mut()
+                    .expect("LUT format has a LUT")
+                    .index_for(upper);
                 StoredTarget::Lut { idx, offset }
             }
         }
@@ -239,7 +249,10 @@ impl MarkovTable {
                     let meta = AccessMeta::prefetch(line, None);
                     self.repl.on_hit(line_idx, i, &meta);
                     let target = self.decode_target(e.target)?;
-                    return Some(MarkovHit { target, confidence: e.conf });
+                    return Some(MarkovHit {
+                        target,
+                        confidence: e.conf,
+                    });
                 }
             }
         }
@@ -257,7 +270,10 @@ impl MarkovTable {
                 if e.tag == tag {
                     let target = match (e.target, self.cfg.format) {
                         (StoredTarget::Direct(t), _) => LineAddr::new(t),
-                        (StoredTarget::Lut { idx, offset }, TargetFormat::Lut { offset_bits, .. }) => {
+                        (
+                            StoredTarget::Lut { idx, offset },
+                            TargetFormat::Lut { offset_bits, .. },
+                        ) => {
                             let upper = self.lut.as_ref()?.upper_at(idx)?;
                             LineAddr::new((upper << offset_bits) | offset as u64)
                         }
@@ -277,7 +293,9 @@ impl MarkovTable {
     /// a different target clears a set bit first and only replaces once
     /// the bit is clear.
     pub fn train(&mut self, prev: LineAddr, next: LineAddr, pc: Pc) {
-        let Some(line_idx) = self.line_index(prev) else { return };
+        let Some(line_idx) = self.line_index(prev) else {
+            return;
+        };
         self.stats.writes += 1;
         let tag = self.tag_of(prev);
         let range = self.slot_range(line_idx);
@@ -285,7 +303,9 @@ impl MarkovTable {
 
         // Existing entry?
         for (i, slot) in range.clone().enumerate() {
-            let Some(mut e) = self.entries[slot] else { continue };
+            let Some(mut e) = self.entries[slot] else {
+                continue;
+            };
             if e.tag != tag {
                 continue;
             }
@@ -326,7 +346,11 @@ impl MarkovTable {
                 v
             });
         let target = self.encode_target(next);
-        self.entries[range.start + way] = Some(Entry { tag, conf: false, target });
+        self.entries[range.start + way] = Some(Entry {
+            tag,
+            conf: false,
+            target,
+        });
         self.repl.on_fill(line_idx, way, &meta);
     }
 
@@ -408,7 +432,10 @@ mod tests {
     fn train_then_lookup_roundtrip_lut() {
         let mut t = table(TargetFormat::triage_default());
         t.train(LineAddr::new(100), LineAddr::new(555), Pc::new(1));
-        assert_eq!(t.lookup(LineAddr::new(100)).unwrap().target, LineAddr::new(555));
+        assert_eq!(
+            t.lookup(LineAddr::new(100)).unwrap().target,
+            LineAddr::new(555)
+        );
     }
 
     #[test]
@@ -523,9 +550,9 @@ mod tests {
         // the first — the collision behaviour fn. 3 discusses.
         let mut t = table(TargetFormat::Direct42);
         let a = LineAddr::new(64); // set 0, upper 1
-        // upper bits differing by a multiple of 2^10 in the folded
-        // domain collide: upper 1 and upper (1 | 1<<10 ... choose via
-        // search for a colliding address.
+                                   // upper bits differing by a multiple of 2^10 in the folded
+                                   // domain collide: upper 1 and upper (1 | 1<<10 ... choose via
+                                   // search for a colliding address.
         let tag_a = t.tag_of(a);
         let mut b = None;
         for k in 2..10_000u64 {

@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use triangel_cache::replacement::PolicyKind;
-use triangel_markov::{LookupTable, LutAssociativity, MarkovTable, MarkovTableConfig, TargetFormat};
+use triangel_markov::{
+    LookupTable, LutAssociativity, MarkovTable, MarkovTableConfig, TargetFormat,
+};
 use triangel_types::{LineAddr, Pc};
 
 fn table(format: TargetFormat) -> MarkovTable {

@@ -31,12 +31,20 @@ impl DramConfig {
     /// occupancy including command/activation overheads on a single
     /// narrow channel), rather than the theoretical peak burst rate.
     pub fn lpddr5() -> Self {
-        DramConfig { access_latency: 110, service_interval: 36, queue_depth: 32 }
+        DramConfig {
+            access_latency: 110,
+            service_interval: 36,
+            queue_depth: 32,
+        }
     }
 
     /// A wider configuration used in tests to isolate latency effects.
     pub fn unconstrained() -> Self {
-        DramConfig { access_latency: 110, service_interval: 0, queue_depth: 1024 }
+        DramConfig {
+            access_latency: 110,
+            service_interval: 0,
+            queue_depth: 1024,
+        }
     }
 }
 
@@ -106,7 +114,11 @@ pub struct Dram {
 impl Dram {
     /// Creates a DRAM channel.
     pub fn new(cfg: DramConfig) -> Self {
-        Dram { cfg, channel_free_at: 0, stats: DramStats::default() }
+        Dram {
+            cfg,
+            channel_free_at: 0,
+            stats: DramStats::default(),
+        }
     }
 
     /// Returns the configuration.
@@ -127,12 +139,14 @@ impl Dram {
             self.stats.demand_reads += 1;
         }
         self.stats.total_queue_delay += queue_delay;
-        if queue_delay as usize
-            >= self.cfg.queue_depth * self.cfg.service_interval.max(1) as usize
+        if queue_delay as usize >= self.cfg.queue_depth * self.cfg.service_interval.max(1) as usize
         {
             self.stats.congested_requests += 1;
         }
-        DramRequestOutcome { completes_at, queue_delay }
+        DramRequestOutcome {
+            completes_at,
+            queue_delay,
+        }
     }
 
     /// Returns accumulated statistics.
@@ -153,7 +167,11 @@ mod tests {
 
     #[test]
     fn idle_request_pays_base_latency() {
-        let mut d = Dram::new(DramConfig { access_latency: 100, service_interval: 10, queue_depth: 4 });
+        let mut d = Dram::new(DramConfig {
+            access_latency: 100,
+            service_interval: 10,
+            queue_depth: 4,
+        });
         let out = d.request(500, false);
         assert_eq!(out.completes_at, 610);
         assert_eq!(out.queue_delay, 0);
@@ -161,7 +179,11 @@ mod tests {
 
     #[test]
     fn back_to_back_requests_queue() {
-        let mut d = Dram::new(DramConfig { access_latency: 100, service_interval: 10, queue_depth: 4 });
+        let mut d = Dram::new(DramConfig {
+            access_latency: 100,
+            service_interval: 10,
+            queue_depth: 4,
+        });
         let a = d.request(0, false);
         let b = d.request(0, false);
         let c = d.request(0, false);
@@ -173,7 +195,11 @@ mod tests {
 
     #[test]
     fn channel_drains_when_idle() {
-        let mut d = Dram::new(DramConfig { access_latency: 100, service_interval: 10, queue_depth: 4 });
+        let mut d = Dram::new(DramConfig {
+            access_latency: 100,
+            service_interval: 10,
+            queue_depth: 4,
+        });
         d.request(0, false);
         // Long gap: no queueing for the next request.
         let out = d.request(1000, false);
@@ -193,7 +219,11 @@ mod tests {
 
     #[test]
     fn congestion_detected_under_flood() {
-        let cfg = DramConfig { access_latency: 100, service_interval: 10, queue_depth: 4 };
+        let cfg = DramConfig {
+            access_latency: 100,
+            service_interval: 10,
+            queue_depth: 4,
+        };
         let mut d = Dram::new(cfg);
         for _ in 0..100 {
             d.request(0, true);

@@ -14,7 +14,10 @@ pub struct EnergyModel {
 impl EnergyModel {
     /// The paper's 25:1 model.
     pub const fn paper() -> Self {
-        EnergyModel { dram_unit: 25.0, l3_unit: 1.0 }
+        EnergyModel {
+            dram_unit: 25.0,
+            l3_unit: 1.0,
+        }
     }
 
     /// Computes the energy breakdown for the given event counts.

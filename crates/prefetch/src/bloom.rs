@@ -39,7 +39,12 @@ impl BloomFilter {
     pub fn new(n_bits: usize, hashes: u32) -> Self {
         assert!(n_bits > 0 && hashes > 0);
         let words = n_bits.div_ceil(64);
-        BloomFilter { bits: vec![0; words], n_bits: words * 64, hashes, unique_inserts: 0 }
+        BloomFilter {
+            bits: vec![0; words],
+            n_bits: words * 64,
+            hashes,
+            unique_inserts: 0,
+        }
     }
 
     fn bit_positions(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
@@ -53,7 +58,8 @@ impl BloomFilter {
 
     /// Tests membership without inserting.
     pub fn contains(&self, key: u64) -> bool {
-        self.bit_positions(key).all(|p| self.bits[p / 64] >> (p % 64) & 1 == 1)
+        self.bit_positions(key)
+            .all(|p| self.bits[p / 64] >> (p % 64) & 1 == 1)
     }
 
     /// Inserts `key`, returning whether it was (apparently) already

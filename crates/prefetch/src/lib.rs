@@ -206,7 +206,11 @@ mod tests {
 
     #[test]
     fn stats_sum() {
-        let s = PrefetcherStats { markov_reads: 3, markov_writes: 2, ..Default::default() };
+        let s = PrefetcherStats {
+            markov_reads: 3,
+            markov_writes: 2,
+            ..Default::default()
+        };
         assert_eq!(s.markov_l3_accesses(), 5);
     }
 }

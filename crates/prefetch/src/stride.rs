@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use crate::{CacheView, Prefetcher, PrefetchRequest, TrainEvent, TrainKind};
+use crate::{CacheView, PrefetchRequest, Prefetcher, TrainEvent, TrainKind};
 use triangel_types::{LineAddr, Pc};
 
 /// Per-PC stride tracking state.
@@ -38,7 +38,12 @@ impl StridePrefetcher {
     /// Panics if `capacity` or `degree` is zero.
     pub fn new(capacity: usize, degree: usize) -> Self {
         assert!(capacity > 0 && degree > 0);
-        StridePrefetcher { table: HashMap::with_capacity(capacity), capacity, degree, issued: 0 }
+        StridePrefetcher {
+            table: HashMap::with_capacity(capacity),
+            capacity,
+            degree,
+            issued: 0,
+        }
     }
 
     /// The paper's baseline configuration: degree-8 (Table 2).
@@ -100,7 +105,10 @@ impl Prefetcher for StridePrefetcher {
     }
 
     fn stats(&self) -> crate::PrefetcherStats {
-        crate::PrefetcherStats { prefetches_issued: self.issued, ..Default::default() }
+        crate::PrefetcherStats {
+            prefetches_issued: self.issued,
+            ..Default::default()
+        }
     }
 }
 

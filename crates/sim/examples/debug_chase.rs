@@ -13,12 +13,37 @@ fn chase(len: usize) -> TemporalStream {
 }
 
 fn main() {
-    let base = Experiment::new(chase(50_000)).warmup(300_000).accesses(200_000).sizing_window(60_000).run();
-    println!("BASE ipc={:.4} dram={} l2miss={} l3acc={}", base.ipc(), base.dram_reads(), base.l2_demand_misses(), base.l3_accesses());
-    let tri = Experiment::new(chase(50_000)).warmup(300_000).accesses(200_000).sizing_window(60_000)
-        .prefetcher(PrefetcherChoice::Triangel).run();
-    println!("TRI  ipc={:.4} dram={} l2miss={} l3acc={} ways={} pf={:?} core={:?}",
-        tri.ipc(), tri.dram_reads(), tri.l2_demand_misses(), tri.l3_accesses(), tri.markov_ways, tri.cores[0].pf, tri.cores[0].core);
+    let base = Experiment::new(chase(50_000))
+        .warmup(300_000)
+        .accesses(200_000)
+        .sizing_window(60_000)
+        .run();
+    println!(
+        "BASE ipc={:.4} dram={} l2miss={} l3acc={}",
+        base.ipc(),
+        base.dram_reads(),
+        base.l2_demand_misses(),
+        base.l3_accesses()
+    );
+    let tri = Experiment::new(chase(50_000))
+        .warmup(300_000)
+        .accesses(200_000)
+        .sizing_window(60_000)
+        .prefetcher(PrefetcherChoice::Triangel)
+        .run();
+    println!(
+        "TRI  ipc={:.4} dram={} l2miss={} l3acc={} ways={} pf={:?} core={:?}",
+        tri.ipc(),
+        tri.dram_reads(),
+        tri.l2_demand_misses(),
+        tri.l3_accesses(),
+        tri.markov_ways,
+        tri.cores[0].pf,
+        tri.cores[0].core
+    );
     let c = Comparison::new(&base, &tri);
-    println!("speedup={:.3} acc={:.3} cov={:.3} traffic={:.3}", c.speedup, c.accuracy, c.coverage, c.dram_traffic);
+    println!(
+        "speedup={:.3} acc={:.3} cov={:.3} traffic={:.3}",
+        c.speedup, c.accuracy, c.coverage, c.dram_traffic
+    );
 }

@@ -10,16 +10,27 @@ use triangel_workloads::paging::PageMapper;
 use triangel_workloads::spec::SpecWorkload;
 
 fn main() {
-    let wl: usize = std::env::args().nth(1).map(|s| s.parse().unwrap()).unwrap_or(0);
+    let wl: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().unwrap())
+        .unwrap_or(0);
     let wl = SpecWorkload::ALL[wl];
     let mut cfg = TriangelConfig::paper_default();
     cfg.sizing_window = 150_000;
     let pf: Box<dyn Prefetcher> = Box::new(Triangel::new(cfg));
     let system = MemorySystem::new(SystemConfig::paper_single_core(), vec![pf]);
-    let mut engine = Engine::new(system, vec![Box::new(wl.generator(42))], PageMapper::realistic(0xA11C));
+    let mut engine = Engine::new(
+        system,
+        vec![Box::new(wl.generator(42))],
+        PageMapper::realistic(0xA11C),
+    );
     println!("{}:", wl.label());
     for i in 0..24 {
         engine.run_accesses(150_000);
-        println!("  w{i}: ways={} {}", engine.system().markov_ways(), engine.system().prefetcher_debug(0));
+        println!(
+            "  w{i}: ways={} {}",
+            engine.system().markov_ways(),
+            engine.system().prefetcher_debug(0)
+        );
     }
 }

@@ -13,14 +13,38 @@ fn main() {
     let w: u64 = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(800_000);
     for wl in SpecWorkload::ALL {
         let t0 = Instant::now();
-        let base = Experiment::new(wl.generator(42)).warmup(w).accesses(n).sizing_window(150_000).run();
+        let base = Experiment::new(wl.generator(42))
+            .warmup(w)
+            .accesses(n)
+            .sizing_window(150_000)
+            .run();
         let mut line = format!("{:12} base_ipc={:.3}", wl.label(), base.ipc());
-        for choice in [PrefetcherChoice::Triage, PrefetcherChoice::TriageDeg4, PrefetcherChoice::Triangel, PrefetcherChoice::TriangelBloom] {
-            let r = Experiment::new(wl.generator(42)).warmup(w).accesses(n).sizing_window(150_000).prefetcher(choice).run();
+        for choice in [
+            PrefetcherChoice::Triage,
+            PrefetcherChoice::TriageDeg4,
+            PrefetcherChoice::Triangel,
+            PrefetcherChoice::TriangelBloom,
+        ] {
+            let r = Experiment::new(wl.generator(42))
+                .warmup(w)
+                .accesses(n)
+                .sizing_window(150_000)
+                .prefetcher(choice)
+                .run();
             let c = Comparison::new(&base, &r);
-            line += &format!("  {}[sp={:.2} tr={:.2} ac={:.2} cv={:.2}]",
-                match choice { PrefetcherChoice::Triage=>"T1", PrefetcherChoice::TriageDeg4=>"T4", PrefetcherChoice::Triangel=>"TG", _=>"TB" },
-                c.speedup, c.dram_traffic, c.accuracy, c.coverage);
+            line += &format!(
+                "  {}[sp={:.2} tr={:.2} ac={:.2} cv={:.2}]",
+                match choice {
+                    PrefetcherChoice::Triage => "T1",
+                    PrefetcherChoice::TriageDeg4 => "T4",
+                    PrefetcherChoice::Triangel => "TG",
+                    _ => "TB",
+                },
+                c.speedup,
+                c.dram_traffic,
+                c.accuracy,
+                c.coverage
+            );
         }
         println!("{line}  ({:.1}s)", t0.elapsed().as_secs_f64());
     }

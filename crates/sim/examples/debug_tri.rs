@@ -16,7 +16,17 @@ fn main() {
         let mut issued_this_pass = 0u64;
         for l in &seq {
             out.clear();
-            pf.on_event(&TrainEvent{pc: Pc::new(0x40), line: LineAddr::new(*l), kind: TrainKind::L2Miss, cycle: n, l2_fills: n}, &NullCacheView, &mut out);
+            pf.on_event(
+                &TrainEvent {
+                    pc: Pc::new(0x40),
+                    line: LineAddr::new(*l),
+                    kind: TrainKind::L2Miss,
+                    cycle: n,
+                    l2_fills: n,
+                },
+                &NullCacheView,
+                &mut out,
+            );
             issued_this_pass += out.len() as u64;
             n += 1;
         }

@@ -38,8 +38,7 @@ impl SystemConfig {
             rob_entries: 288,
             l1: CacheConfig::new("L1D", 64 * 1024, 4, PolicyKind::Lru).with_hit_latency(4),
             l2: CacheConfig::new("L2", 512 * 1024, 8, PolicyKind::Lru).with_hit_latency(9),
-            l3: CacheConfig::new("L3", 2 * 1024 * 1024, 16, PolicyKind::Srrip)
-                .with_hit_latency(20),
+            l3: CacheConfig::new("L3", 2 * 1024 * 1024, 16, PolicyKind::Srrip).with_hit_latency(20),
             l2_mshrs: 32,
             max_markov_ways: 8,
             dram: DramConfig::lpddr5(),
@@ -51,8 +50,8 @@ impl SystemConfig {
     /// private L1/L2 per core, shared 4 MiB L3 (2 MiB/core) and DRAM.
     pub fn paper_dual_core() -> Self {
         let mut cfg = SystemConfig::paper_single_core();
-        cfg.l3 = CacheConfig::new("L3", 4 * 1024 * 1024, 16, PolicyKind::Srrip)
-            .with_hit_latency(20);
+        cfg.l3 =
+            CacheConfig::new("L3", 4 * 1024 * 1024, 16, PolicyKind::Srrip).with_hit_latency(20);
         cfg
     }
 

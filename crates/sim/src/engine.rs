@@ -2,6 +2,7 @@
 
 use std::collections::VecDeque;
 
+use crate::error::SimError;
 use crate::hierarchy::MemorySystem;
 use crate::metrics::{CoreReport, RunReport};
 use triangel_types::{Addr, Cycle, Pc};
@@ -61,21 +62,46 @@ impl Engine {
     /// # Panics
     ///
     /// Panics if the source count does not match the system's core
-    /// count.
-    pub fn new(system: MemorySystem, sources: Vec<Box<dyn TraceSource>>, mapper: PageMapper) -> Self {
-        assert_eq!(
-            system.core_count(),
-            sources.len(),
-            "one trace source per core required"
-        );
+    /// count; [`Engine::try_new`] reports the same condition as a
+    /// [`SimError`] instead.
+    pub fn new(
+        system: MemorySystem,
+        sources: Vec<Box<dyn TraceSource>>,
+        mapper: PageMapper,
+    ) -> Self {
+        Engine::try_new(system, sources, mapper).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates an engine over `sources` (one per core), reporting a
+    /// malformed specification as a typed error.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NoSources`] if `sources` is empty, or
+    /// [`SimError::CoreCountMismatch`] if the source count does not
+    /// match the system's core count.
+    pub fn try_new(
+        system: MemorySystem,
+        sources: Vec<Box<dyn TraceSource>>,
+        mapper: PageMapper,
+    ) -> Result<Self, SimError> {
+        if sources.is_empty() {
+            return Err(SimError::NoSources);
+        }
+        if system.core_count() != sources.len() {
+            return Err(SimError::CoreCountMismatch {
+                cores: system.core_count(),
+                sources: sources.len(),
+            });
+        }
         let n = sources.len();
-        Engine {
+        Ok(Engine {
             system,
             sources,
             timelines: (0..n).map(|_| CoreTimeline::new()).collect(),
             mapper,
             steps: 0,
-        }
+        })
     }
 
     /// Advances one access on one core.
@@ -116,8 +142,13 @@ impl Engine {
         tl.inflight_instrs += k;
 
         self.steps += 1;
-        if self.steps % 65_536 == 0 {
-            let horizon = self.timelines.iter().map(|t| t.last_retire).min().unwrap_or(0);
+        if self.steps.is_multiple_of(65_536) {
+            let horizon = self
+                .timelines
+                .iter()
+                .map(|t| t.last_retire)
+                .min()
+                .unwrap_or(0);
             self.system.prune_ready(horizon);
         }
     }

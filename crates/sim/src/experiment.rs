@@ -2,6 +2,7 @@
 
 use crate::config::SystemConfig;
 use crate::engine::Engine;
+use crate::error::SimError;
 use crate::hierarchy::MemorySystem;
 use crate::metrics::RunReport;
 use triangel_core::{Triangel, TriangelConfig};
@@ -130,6 +131,21 @@ impl Experiment {
         }
     }
 
+    /// Single-core experiment over an already-boxed trace source (the
+    /// form batch drivers that store sources as data need).
+    pub fn new_boxed(source: Box<dyn TraceSource>) -> Self {
+        Experiment {
+            sources: vec![source],
+            system: SystemConfig::paper_single_core(),
+            choice: PrefetcherChoice::Baseline,
+            warmup: 1_000_000,
+            accesses: 2_000_000,
+            fragmentation: None,
+            sizing_window: 250_000,
+            label: None,
+        }
+    }
+
     /// Multiprogrammed experiment: one source per core, shared L3/DRAM
     /// (Section 6.3).
     pub fn multiprogrammed(sources: Vec<Box<dyn TraceSource>>) -> Self {
@@ -196,20 +212,43 @@ impl Experiment {
     }
 
     /// Runs the experiment to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed specification (see [`Experiment::try_run`]
+    /// for the non-panicking form that batch drivers use).
     pub fn run(self) -> RunReport {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs the experiment, reporting a malformed specification (e.g. a
+    /// core-count/source mismatch from [`Experiment::system`]) as a
+    /// typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from [`Engine::try_new`].
+    pub fn try_run(self) -> Result<RunReport, SimError> {
         let n_cores = self.sources.len();
-        let temporal: Vec<Box<dyn Prefetcher>> =
-            (0..n_cores).map(|_| self.choice.build(self.sizing_window)).collect();
+        let temporal: Vec<Box<dyn Prefetcher>> = (0..n_cores)
+            .map(|_| self.choice.build(self.sizing_window))
+            .collect();
         let system = MemorySystem::new(self.system, temporal);
-        let mapper = self.fragmentation.unwrap_or_else(|| PageMapper::realistic(0xA11C));
+        let mapper = self
+            .fragmentation
+            .unwrap_or_else(|| PageMapper::realistic(0xA11C));
         let workload = self.label.unwrap_or_else(|| {
-            self.sources.iter().map(|s| s.name().to_string()).collect::<Vec<_>>().join(" & ")
+            self.sources
+                .iter()
+                .map(|s| s.name().to_string())
+                .collect::<Vec<_>>()
+                .join(" & ")
         });
-        let mut engine = Engine::new(system, self.sources, mapper);
+        let mut engine = Engine::try_new(system, self.sources, mapper)?;
         engine.run_accesses(self.warmup);
         engine.start_measurement();
         engine.run_accesses(self.accesses);
-        engine.report(workload)
+        Ok(engine.report(workload))
     }
 }
 
@@ -261,6 +300,39 @@ mod tests {
             c.speedup
         );
         assert!(c.accuracy > 0.5, "accuracy {:.3}", c.accuracy);
+    }
+
+    #[test]
+    fn core_count_mismatch_is_a_typed_error() {
+        use triangel_prefetch::NullPrefetcher;
+        // Two cores' worth of prefetchers, one trace source.
+        let system = MemorySystem::new(
+            SystemConfig::paper_dual_core(),
+            vec![Box::new(NullPrefetcher), Box::new(NullPrefetcher)],
+        );
+        let err = Engine::try_new(
+            system,
+            vec![Box::new(chase(1_000))],
+            PageMapper::realistic(1),
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert_eq!(
+            err,
+            crate::SimError::CoreCountMismatch {
+                cores: 2,
+                sources: 1
+            }
+        );
+
+        let system = MemorySystem::new(
+            SystemConfig::paper_single_core(),
+            vec![Box::new(NullPrefetcher)],
+        );
+        let err = Engine::try_new(system, vec![], PageMapper::realistic(1))
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err, crate::SimError::NoSources);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use triangel_cache::replacement::all_ways;
 use triangel_cache::{Cache, Mshr};
 use triangel_mem::Dram;
 use triangel_prefetch::{
-    CacheView, Prefetcher, PrefetchRequest, PrefetcherStats, StridePrefetcher, TrainEvent,
+    CacheView, PrefetchRequest, Prefetcher, PrefetcherStats, StridePrefetcher, TrainEvent,
     TrainKind,
 };
 use triangel_types::{Cycle, LineAddr, Pc};
@@ -148,7 +148,11 @@ impl MemorySystem {
         let l2_out = self.cores[core_idx].l2.access(line, Some(pc), false);
         if l2_out.hit {
             // Data may still be in flight (late prefetch).
-            let pending = self.cores[core_idx].ready_at.get(&line).copied().unwrap_or(0);
+            let pending = self.cores[core_idx]
+                .ready_at
+                .get(&line)
+                .copied()
+                .unwrap_or(0);
             let ready = (t2 + l2_lat).max(pending);
             if l2_out.prefetch_hit {
                 if self.cores[core_idx].temporal_resident.remove(&line) {
@@ -238,7 +242,10 @@ impl MemorySystem {
                 cycle: t,
                 l2_fills: core.stats.l2_fills,
             };
-            let view = ViewPair { l2: &core.l2, l3: &self.l3 };
+            let view = ViewPair {
+                l2: &core.l2,
+                l3: &self.l3,
+            };
             core.stride.on_event(&ev, &view, &mut reqs);
         }
         for req in &reqs {
@@ -248,14 +255,29 @@ impl MemorySystem {
     }
 
     /// Trains the temporal prefetcher and issues its prefetches into L2.
-    fn train_temporal(&mut self, core_idx: usize, pc: Pc, line: LineAddr, kind: TrainKind, t: Cycle) {
+    fn train_temporal(
+        &mut self,
+        core_idx: usize,
+        pc: Pc,
+        line: LineAddr,
+        kind: TrainKind,
+        t: Cycle,
+    ) {
         let mut reqs = std::mem::take(&mut self.cores[core_idx].req_buf);
         reqs.clear();
         {
             let core = &mut self.cores[core_idx];
-            let ev =
-                TrainEvent { pc, line, kind, cycle: t, l2_fills: core.stats.l2_fills };
-            let view = ViewPair { l2: &core.l2, l3: &self.l3 };
+            let ev = TrainEvent {
+                pc,
+                line,
+                kind,
+                cycle: t,
+                l2_fills: core.stats.l2_fills,
+            };
+            let view = ViewPair {
+                l2: &core.l2,
+                l3: &self.l3,
+            };
             core.temporal.on_event(&ev, &view, &mut reqs);
         }
         for req in &reqs {

@@ -33,6 +33,7 @@
 
 mod config;
 mod engine;
+mod error;
 mod experiment;
 mod hierarchy;
 mod metrics;
@@ -40,6 +41,7 @@ pub mod report;
 
 pub use config::SystemConfig;
 pub use engine::Engine;
+pub use error::SimError;
 pub use experiment::{Experiment, PrefetcherChoice};
 pub use hierarchy::{CoreStats, MemorySystem};
 pub use metrics::{Comparison, RunReport};

@@ -121,7 +121,11 @@ impl Comparison {
     ///
     /// Panics if the two runs have different core counts.
     pub fn new(baseline: &RunReport, run: &RunReport) -> Self {
-        assert_eq!(baseline.cores.len(), run.cores.len(), "core counts must match");
+        assert_eq!(
+            baseline.cores.len(),
+            run.cores.len(),
+            "core counts must match"
+        );
         let ratios: Vec<f64> = run
             .cores
             .iter()
@@ -165,7 +169,10 @@ mod tests {
                 pf_name: "p".into(),
                 instructions: 1_000_000,
                 cycles: ipc_cycles,
-                l2: CacheStats { demand_misses: misses, ..Default::default() },
+                l2: CacheStats {
+                    demand_misses: misses,
+                    ..Default::default()
+                },
                 core: CoreStats {
                     temporal_used: 80,
                     temporal_wasted: 20,
@@ -174,7 +181,10 @@ mod tests {
                 pf: PrefetcherStats::default(),
             }],
             l3: CacheStats::default(),
-            dram: DramStats { demand_reads: dram, ..Default::default() },
+            dram: DramStats {
+                demand_reads: dram,
+                ..Default::default()
+            },
             markov_ways: 0,
         }
     }

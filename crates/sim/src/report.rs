@@ -19,11 +19,7 @@ pub struct FigureTable {
 
 impl FigureTable {
     /// Creates a table with the given configuration columns.
-    pub fn new(
-        title: impl Into<String>,
-        metric: impl Into<String>,
-        configs: Vec<String>,
-    ) -> Self {
+    pub fn new(title: impl Into<String>, metric: impl Into<String>, configs: Vec<String>) -> Self {
         FigureTable {
             title: title.into(),
             metric: metric.into(),
@@ -48,6 +44,31 @@ impl FigureTable {
     pub fn push_row(&mut self, workload: impl Into<String>, values: Vec<f64>) {
         assert_eq!(values.len(), self.configs.len(), "row width mismatch");
         self.rows.push((workload.into(), values));
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The metric description.
+    pub fn metric(&self) -> &str {
+        &self.metric
+    }
+
+    /// The configuration (column) labels.
+    pub fn configs(&self) -> &[String] {
+        &self.configs
+    }
+
+    /// The workload rows: `(label, per-configuration values)`.
+    pub fn rows(&self) -> &[(String, Vec<f64>)] {
+        &self.rows
+    }
+
+    /// Whether a geomean row is rendered (and meaningful).
+    pub fn has_geomean(&self) -> bool {
+        self.geomean_row && self.rows.len() > 1
     }
 
     /// Returns the per-configuration geometric means over workloads.

@@ -40,8 +40,7 @@ fn l2_hit_after_l1_eviction() {
         t = sys.demand_access(0, pc, LineAddr::new(k * 16), t + 500);
     }
     let ready = sys.demand_access(0, pc, target, t + 50_000);
-    let expected =
-        t + 50_000 + sys.config().l1.hit_latency() + sys.config().l2.hit_latency();
+    let expected = t + 50_000 + sys.config().l1.hit_latency() + sys.config().l2.hit_latency();
     assert_eq!(ready, expected, "should be an L2 hit");
 }
 
@@ -124,9 +123,11 @@ fn dependent_chains_are_slower_than_independent_streams() {
         RecordedTrace::new(if dependent { "dep" } else { "ind" }, accesses)
     };
     let run = |dep: bool| {
-        let sys = MemorySystem::new(SystemConfig::paper_single_core(), vec![Box::new(NullPrefetcher)]);
-        let mut engine =
-            Engine::new(sys, vec![Box::new(make(dep))], PageMapper::contiguous());
+        let sys = MemorySystem::new(
+            SystemConfig::paper_single_core(),
+            vec![Box::new(NullPrefetcher)],
+        );
+        let mut engine = Engine::new(sys, vec![Box::new(make(dep))], PageMapper::contiguous());
         engine.start_measurement();
         engine.run_accesses(2000);
         engine.report("t".into()).cores[0].cycles
@@ -194,8 +195,9 @@ fn stride_prefetcher_in_baseline_covers_streaming() {
 #[test]
 fn warmup_reset_zeroes_measurement_counters() {
     let sys = one_core_system();
-    let accesses: Vec<MemoryAccess> =
-        (0..100).map(|i| MemoryAccess::new(Pc::new(4), Addr::new(i * 64))).collect();
+    let accesses: Vec<MemoryAccess> = (0..100)
+        .map(|i| MemoryAccess::new(Pc::new(4), Addr::new(i * 64)))
+        .collect();
     let mut engine = Engine::new(
         sys,
         vec![Box::new(RecordedTrace::new("t", accesses))],
@@ -204,6 +206,9 @@ fn warmup_reset_zeroes_measurement_counters() {
     engine.run_accesses(100);
     engine.start_measurement();
     let r = engine.report("t".into());
-    assert_eq!(r.cores[0].l2.demand_misses, 0, "stats must reset at measurement start");
+    assert_eq!(
+        r.cores[0].l2.demand_misses, 0,
+        "stats must reset at measurement start"
+    );
     assert_eq!(r.dram.total_reads(), 0);
 }

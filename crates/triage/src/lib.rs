@@ -50,7 +50,7 @@ pub use training::{TrainingTable, TrainingUpdate};
 
 use triangel_markov::{MarkovTable, MarkovTableConfig};
 use triangel_prefetch::{
-    BloomFilter, CacheView, Prefetcher, PrefetchRequest, PrefetcherStats, TrainEvent, TrainKind,
+    BloomFilter, CacheView, PrefetchRequest, Prefetcher, PrefetcherStats, TrainEvent, TrainKind,
 };
 use triangel_types::{Cycle, LineAddr};
 
@@ -93,12 +93,19 @@ impl TriageConfig {
 
     /// `Triage-Deg4`: unconditional degree 4.
     pub fn degree4() -> Self {
-        TriageConfig { degree: 4, ..TriageConfig::paper_default() }
+        TriageConfig {
+            degree: 4,
+            ..TriageConfig::paper_default()
+        }
     }
 
     /// `Triage-Deg4-Look2`: degree 4 with lookahead 2.
     pub fn degree4_lookahead2() -> Self {
-        TriageConfig { degree: 4, lookahead: 2, ..TriageConfig::paper_default() }
+        TriageConfig {
+            degree: 4,
+            lookahead: 2,
+            ..TriageConfig::paper_default()
+        }
     }
 
     /// Same config with a different Markov format (Fig. 18 sweep).
@@ -178,7 +185,12 @@ impl Triage {
 }
 
 impl Prefetcher for Triage {
-    fn on_event(&mut self, ev: &TrainEvent, _caches: &dyn CacheView, out: &mut Vec<PrefetchRequest>) {
+    fn on_event(
+        &mut self,
+        ev: &TrainEvent,
+        _caches: &dyn CacheView,
+        out: &mut Vec<PrefetchRequest>,
+    ) {
         if !matches!(ev.kind, TrainKind::L2Miss | TrainKind::L2PrefetchHit) {
             return;
         }
@@ -193,9 +205,15 @@ impl Prefetcher for Triage {
         // Generate chained prefetches from the current address.
         let mut cursor = ev.line;
         for hop in 0..self.cfg.degree {
-            let Some(hit) = self.markov.lookup(cursor) else { break };
+            let Some(hit) = self.markov.lookup(cursor) else {
+                break;
+            };
             let delay = (hop as Cycle + 1) * self.cfg.markov_latency;
-            out.push(PrefetchRequest { line: hit.target, pc: ev.pc, issue_delay: delay });
+            out.push(PrefetchRequest {
+                line: hit.target,
+                pc: ev.pc,
+                issue_delay: delay,
+            });
             self.issued += 1;
             cursor = hit.target;
         }
@@ -291,7 +309,11 @@ mod tests {
             pf.on_event(&ev(0x80, b), &NullCacheView, &mut out);
         }
         let reqs = drive(&mut pf, 0x40, &[10]);
-        assert_eq!(reqs[0].line, LineAddr::new(20), "PC 0x40's stream must not see PC 0x80's");
+        assert_eq!(
+            reqs[0].line,
+            LineAddr::new(20),
+            "PC 0x40's stream must not see PC 0x80's"
+        );
     }
 
     #[test]

@@ -71,13 +71,24 @@ impl TrainingTable {
         let slot = &mut self.slots[idx];
         let allocated = !(slot.valid && slot.pc_tag == tag);
         if allocated {
-            *slot = Slot { pc_tag: tag, valid: true, last: [None, None] };
+            *slot = Slot {
+                pc_tag: tag,
+                valid: true,
+                last: [None, None],
+            };
         }
-        let train_index = if self.lookahead == 2 { slot.last[1] } else { slot.last[0] };
+        let train_index = if self.lookahead == 2 {
+            slot.last[1]
+        } else {
+            slot.last[0]
+        };
         // Shift the history register.
         slot.last[1] = slot.last[0];
         slot.last[0] = Some(line);
-        TrainingUpdate { train_index, allocated }
+        TrainingUpdate {
+            train_index,
+            allocated,
+        }
     }
 
     /// Peeks at the most recent address recorded for `pc`.
@@ -104,8 +115,14 @@ mod tests {
         let mut t = TrainingTable::new(64, 1);
         let pc = Pc::new(0x40);
         assert_eq!(t.update(pc, LineAddr::new(1)).train_index, None);
-        assert_eq!(t.update(pc, LineAddr::new(2)).train_index, Some(LineAddr::new(1)));
-        assert_eq!(t.update(pc, LineAddr::new(3)).train_index, Some(LineAddr::new(2)));
+        assert_eq!(
+            t.update(pc, LineAddr::new(2)).train_index,
+            Some(LineAddr::new(1))
+        );
+        assert_eq!(
+            t.update(pc, LineAddr::new(3)).train_index,
+            Some(LineAddr::new(2))
+        );
     }
 
     #[test]
@@ -115,8 +132,14 @@ mod tests {
         assert_eq!(t.update(pc, LineAddr::new(1)).train_index, None);
         assert_eq!(t.update(pc, LineAddr::new(2)).train_index, None);
         // Pattern (x, y, z): stores (x, z) as the paper describes.
-        assert_eq!(t.update(pc, LineAddr::new(3)).train_index, Some(LineAddr::new(1)));
-        assert_eq!(t.update(pc, LineAddr::new(4)).train_index, Some(LineAddr::new(2)));
+        assert_eq!(
+            t.update(pc, LineAddr::new(3)).train_index,
+            Some(LineAddr::new(1))
+        );
+        assert_eq!(
+            t.update(pc, LineAddr::new(4)).train_index,
+            Some(LineAddr::new(2))
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! behaviour (Section 3.5).
 
 use triangel_markov::TargetFormat;
-use triangel_prefetch::{NullCacheView, Prefetcher, PrefetchRequest, TrainEvent, TrainKind};
+use triangel_prefetch::{NullCacheView, PrefetchRequest, Prefetcher, TrainEvent, TrainKind};
 use triangel_triage::{Triage, TriageConfig};
 use triangel_types::{LineAddr, Pc};
 
@@ -44,11 +44,17 @@ fn lut_exhaustion_corrupts_targets_direct_format_does_not() {
         let mut n = 0u64;
         drive(&mut pf, 0x40, &seq, &mut n); // training pass
         let reqs = drive(&mut pf, 0x40, &seq, &mut n); // replay pass
-        assert!(!reqs.is_empty(), "replay pass must prefetch under {format:?}");
+        assert!(
+            !reqs.is_empty(),
+            "replay pass must prefetch under {format:?}"
+        );
         // A correct prefetch targets the trained successor of the
         // triggering line; count how many requests point anywhere else.
         let successors: std::collections::HashSet<u64> = seq.iter().copied().collect();
-        let wrong = reqs.iter().filter(|r| !successors.contains(&r.line.index())).count();
+        let wrong = reqs
+            .iter()
+            .filter(|r| !successors.contains(&r.line.index()))
+            .count();
         wrong as f64 / reqs.len() as f64
     };
 
@@ -77,7 +83,10 @@ fn formats_agree_when_lut_is_unstressed() {
             .map(|r| r.line.index())
             .collect::<Vec<_>>()
     };
-    assert_eq!(replay(TargetFormat::triage_default()), replay(TargetFormat::Direct42));
+    assert_eq!(
+        replay(TargetFormat::triage_default()),
+        replay(TargetFormat::Direct42)
+    );
 }
 
 /// Bloom sizing is monotone within a window: more unique indices never
@@ -86,18 +95,22 @@ fn formats_agree_when_lut_is_unstressed() {
 #[test]
 fn bloom_sizing_grows_monotonically_and_saturates() {
     let mut pf = Triage::new(TriageConfig::paper_default());
-    let mut n = 0u64;
     let mut last_ways = 0;
     for k in 0..240_000u64 {
         let mut out = Vec::new();
-        pf.on_event(&ev(0x40, k * 11, n), &NullCacheView, &mut out);
-        n += 1;
+        pf.on_event(&ev(0x40, k * 11, k), &NullCacheView, &mut out);
         let ways = pf.desired_markov_ways();
-        assert!(ways >= last_ways, "partition shrank mid-window at access {k}");
+        assert!(
+            ways >= last_ways,
+            "partition shrank mid-window at access {k}"
+        );
         assert!(ways <= 8);
         last_ways = ways;
     }
-    assert_eq!(last_ways, 8, "240k unique indices must saturate the partition");
+    assert_eq!(
+        last_ways, 8,
+        "240k unique indices must saturate the partition"
+    );
 }
 
 /// Degree-4 walks stop at the first missing link rather than fabricating
@@ -114,5 +127,7 @@ fn chained_walk_stops_at_chain_end() {
     // except via the wrap pair trained when the trigger ran).
     assert!(reqs.len() <= 4);
     assert_eq!(reqs[0].line, LineAddr::new(20));
-    assert!(reqs.iter().all(|r| [20, 30, 40, 10].contains(&r.line.index())));
+    assert!(reqs
+        .iter()
+        .all(|r| [20, 30, 40, 10].contains(&r.line.index())));
 }

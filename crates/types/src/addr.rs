@@ -218,10 +218,7 @@ mod tests {
         let a = Addr::new(0x1234_5678);
         assert_eq!(a.page_number(), 0x1234_5678 >> 12);
         assert_eq!(a.page_offset(), 0x678);
-        assert_eq!(
-            a.page_number() * PAGE_BYTES + a.page_offset(),
-            a.get()
-        );
+        assert_eq!(a.page_number() * PAGE_BYTES + a.page_offset(), a.get());
     }
 
     #[test]

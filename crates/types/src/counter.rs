@@ -40,7 +40,10 @@ impl SaturatingCounter {
     /// Panics if `initial > max`.
     pub fn with_initial(max: u32, initial: u32) -> Self {
         assert!(initial <= max, "initial value exceeds counter maximum");
-        SaturatingCounter { value: initial, max }
+        SaturatingCounter {
+            value: initial,
+            max,
+        }
     }
 
     /// Creates an n-bit counter (maximum `2^bits - 1`) starting at zero.
@@ -50,7 +53,11 @@ impl SaturatingCounter {
     /// Panics if `bits` is zero or greater than 32.
     pub fn with_bits(bits: u32) -> Self {
         assert!(bits > 0 && bits <= 32, "bits must be in 1..=32");
-        SaturatingCounter::new(if bits == 32 { u32::MAX } else { (1 << bits) - 1 })
+        SaturatingCounter::new(if bits == 32 {
+            u32::MAX
+        } else {
+            (1 << bits) - 1
+        })
     }
 
     /// Returns the current value.

@@ -31,7 +31,9 @@ mod counter;
 pub mod rng;
 pub mod stats;
 
-pub use addr::{Addr, LineAddr, Pc, CACHE_LINE_BYTES, LINE_OFFSET_BITS, PAGE_BYTES, PAGE_OFFSET_BITS};
+pub use addr::{
+    Addr, LineAddr, Pc, CACHE_LINE_BYTES, LINE_OFFSET_BITS, PAGE_BYTES, PAGE_OFFSET_BITS,
+};
 pub use counter::SaturatingCounter;
 
 /// A simulated clock value, measured in core cycles.

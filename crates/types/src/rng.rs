@@ -30,7 +30,9 @@ impl Lcg {
     /// small seeds (0, 1, 2...) still diverge immediately.
     pub fn new(seed: u64) -> Self {
         let mut s = SplitMix64::new(seed);
-        Lcg { state: s.next_u64() | 1 }
+        Lcg {
+            state: s.next_u64() | 1,
+        }
     }
 
     /// Returns the next pseudo-random 64-bit value.

@@ -14,12 +14,18 @@ const OFFSETS_BASE: u64 = 0x61_0000_0000;
 const EDGES_BASE: u64 = 0x62_0000_0000;
 const VISITED_BASE: u64 = 0x68_0000_0000;
 
-// One PC per access site, as a compiler would emit.
-const PC_POP: Pc = Pc::new(0xBF5_00);
-const PC_OFFSETS: Pc = Pc::new(0xBF5_04);
-const PC_EDGES: Pc = Pc::new(0xBF5_08);
-const PC_VISITED: Pc = Pc::new(0xBF5_0C);
-const PC_PUSH: Pc = Pc::new(0xBF5_10);
+// One PC per access site, as a compiler would emit (grouped as
+// base_offset, not nibbles).
+#[allow(clippy::unusual_byte_groupings)]
+mod pcs {
+    use super::Pc;
+    pub const PC_POP: Pc = Pc::new(0xBF5_00);
+    pub const PC_OFFSETS: Pc = Pc::new(0xBF5_04);
+    pub const PC_EDGES: Pc = Pc::new(0xBF5_08);
+    pub const PC_VISITED: Pc = Pc::new(0xBF5_0C);
+    pub const PC_PUSH: Pc = Pc::new(0xBF5_10);
+}
+use pcs::{PC_EDGES, PC_OFFSETS, PC_POP, PC_PUSH, PC_VISITED};
 
 /// A BFS over a CSR graph that emits its memory accesses.
 ///
@@ -162,7 +168,11 @@ mod tests {
     use crate::graph500::{generate_edges, KroneckerConfig};
 
     fn tiny_graph() -> Arc<Csr> {
-        let edges = generate_edges(KroneckerConfig { scale: 8, edge_factor: 8, seed: 5 });
+        let edges = generate_edges(KroneckerConfig {
+            scale: 8,
+            edge_factor: 8,
+            seed: 5,
+        });
         Arc::new(Csr::from_edges(256, &edges))
     }
 

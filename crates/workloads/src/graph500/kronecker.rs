@@ -84,7 +84,11 @@ mod tests {
 
     #[test]
     fn edge_count_and_range() {
-        let cfg = KroneckerConfig { scale: 10, edge_factor: 8, seed: 7 };
+        let cfg = KroneckerConfig {
+            scale: 10,
+            edge_factor: 8,
+            seed: 7,
+        };
         let edges = generate_edges(cfg);
         assert_eq!(edges.len(), 8 << 10);
         assert!(edges.iter().all(|(u, v)| *u < 1024 && *v < 1024));
@@ -92,14 +96,22 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let cfg = KroneckerConfig { scale: 8, edge_factor: 4, seed: 3 };
+        let cfg = KroneckerConfig {
+            scale: 8,
+            edge_factor: 4,
+            seed: 3,
+        };
         assert_eq!(generate_edges(cfg), generate_edges(cfg));
     }
 
     #[test]
     fn degree_distribution_is_skewed() {
         // Kronecker graphs are scale-free-ish: max degree far above mean.
-        let cfg = KroneckerConfig { scale: 12, edge_factor: 8, seed: 11 };
+        let cfg = KroneckerConfig {
+            scale: 12,
+            edge_factor: 8,
+            seed: 11,
+        };
         let edges = generate_edges(cfg);
         let mut deg = vec![0u32; 1 << 12];
         for (u, _) in &edges {
@@ -124,6 +136,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "scale must be")]
     fn zero_scale_rejected() {
-        let _ = generate_edges(KroneckerConfig { scale: 0, edge_factor: 1, seed: 0 });
+        let _ = generate_edges(KroneckerConfig {
+            scale: 0,
+            edge_factor: 1,
+            seed: 0,
+        });
     }
 }

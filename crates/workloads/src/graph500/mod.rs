@@ -36,18 +36,30 @@ impl Graph500Config {
     /// Markov table's range but shows too little repetition to be worth
     /// prefetching.
     pub fn s16_e10() -> Self {
-        Graph500Config { scale: 16, edge_factor: 10, seed: 0x6_1234 }
+        Graph500Config {
+            scale: 16,
+            edge_factor: 10,
+            seed: 0x6_1234,
+        }
     }
 
     /// The paper's large input: `s21 e10`, a ~700 MiB-class graph whose
     /// reuse distances exceed any on-chip Markov capacity.
     pub fn s21_e10() -> Self {
-        Graph500Config { scale: 21, edge_factor: 10, seed: 0x6_5678 }
+        Graph500Config {
+            scale: 21,
+            edge_factor: 10,
+            seed: 0x6_5678,
+        }
     }
 
     /// A tiny instance for unit tests.
     pub fn tiny() -> Self {
-        Graph500Config { scale: 8, edge_factor: 8, seed: 0x6_9999 }
+        Graph500Config {
+            scale: 8,
+            edge_factor: 8,
+            seed: 0x6_9999,
+        }
     }
 
     /// The paper's label for this input.

@@ -152,15 +152,24 @@ impl Builder {
             work: 4,
         };
         let seed = self.seed ^ pc.get();
-        self.mix.add(Box::new(TemporalStream::new(cfg, seed)), weight);
+        self.mix
+            .add(Box::new(TemporalStream::new(cfg, seed)), weight);
     }
 
     /// Adds a strided scan.
     pub(crate) fn strided(&mut self, name: &str, stride_lines: u64, array_lines: u64, weight: u32) {
         let pc = self.pc();
         let base = self.region();
-        self.mix
-            .add(Box::new(StridedStream::new(name, pc, base, stride_lines, array_lines)), weight);
+        self.mix.add(
+            Box::new(StridedStream::new(
+                name,
+                pc,
+                base,
+                stride_lines,
+                array_lines,
+            )),
+            weight,
+        );
     }
 
     /// Adds an unlearnable random stream.
@@ -168,8 +177,17 @@ impl Builder {
         let pc = self.pc();
         let base = self.region();
         let seed = self.seed ^ pc.get();
-        self.mix
-            .add(Box::new(RandomStream::new(name, pc, base, region_lines, dependent, seed)), weight);
+        self.mix.add(
+            Box::new(RandomStream::new(
+                name,
+                pc,
+                base,
+                region_lines,
+                dependent,
+                seed,
+            )),
+            weight,
+        );
     }
 
     pub(crate) fn finish(self) -> WorkloadMix {
@@ -211,7 +229,11 @@ mod tests {
                 .filter(|(t, _)| t == top)
                 .map(|(_, l)| *l)
                 .collect();
-            assert_eq!(owners.len(), 1, "region {top:#x} shared: {owners:?} ({label})");
+            assert_eq!(
+                owners.len(),
+                1,
+                "region {top:#x} shared: {owners:?} ({label})"
+            );
         }
     }
 

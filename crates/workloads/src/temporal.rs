@@ -54,7 +54,12 @@ pub struct TemporalStreamConfig {
 impl TemporalStreamConfig {
     /// A strict, stable, dependent pointer chase over `seq_len` lines —
     /// the friendliest possible temporal pattern.
-    pub fn pointer_chase(name: impl Into<String>, pc: Pc, region_base: Addr, seq_len: usize) -> Self {
+    pub fn pointer_chase(
+        name: impl Into<String>,
+        pc: Pc,
+        region_base: Addr,
+        seq_len: usize,
+    ) -> Self {
         TemporalStreamConfig {
             name: name.into(),
             pc,
@@ -111,7 +116,10 @@ impl TemporalStream {
     /// probabilities are outside `[0, 1]`.
     pub fn new(cfg: TemporalStreamConfig, seed: u64) -> Self {
         assert!(cfg.seq_len > 0, "sequence must be non-empty");
-        assert!(cfg.region_lines >= cfg.seq_len, "region must fit the sequence");
+        assert!(
+            cfg.region_lines >= cfg.seq_len,
+            "region must fit the sequence"
+        );
         for p in [cfg.exactness, cfg.noise, cfg.drift] {
             assert!((0.0..=1.0).contains(&p), "probabilities must be in [0, 1]");
         }
@@ -124,7 +132,14 @@ impl TemporalStream {
                 seq.push(line);
             }
         }
-        TemporalStream { cfg, seq, pending: Vec::new(), front_age: 0, pos: 0, rng }
+        TemporalStream {
+            cfg,
+            seq,
+            pending: Vec::new(),
+            front_age: 0,
+            pos: 0,
+            rng,
+        }
     }
 
     fn line_to_addr(&self, line_offset: u64) -> Addr {
@@ -179,8 +194,8 @@ impl TraceSource for TemporalStream {
         } else {
             self.next_seq_item()
         };
-        let mut a = MemoryAccess::new(self.cfg.pc, self.line_to_addr(line))
-            .with_work(self.cfg.work);
+        let mut a =
+            MemoryAccess::new(self.cfg.pc, self.line_to_addr(line)).with_work(self.cfg.work);
         if self.cfg.dependent {
             a = a.dependent();
         }
@@ -236,8 +251,11 @@ impl TraceSource for StridedStream {
     fn next_access(&mut self) -> MemoryAccess {
         let line = self.pos % self.array_lines;
         self.pos += self.stride_lines;
-        MemoryAccess::new(self.pc, Addr::new(self.base.get() + line * CACHE_LINE_BYTES))
-            .with_work(self.work)
+        MemoryAccess::new(
+            self.pc,
+            Addr::new(self.base.get() + line * CACHE_LINE_BYTES),
+        )
+        .with_work(self.work)
     }
 
     fn name(&self) -> &str {

@@ -28,7 +28,12 @@ impl MemoryAccess {
     /// Creates an independent access with a default amount of
     /// surrounding work.
     pub fn new(pc: Pc, vaddr: Addr) -> Self {
-        MemoryAccess { pc, vaddr, dependent: false, work: 2 }
+        MemoryAccess {
+            pc,
+            vaddr,
+            dependent: false,
+            work: 2,
+        }
     }
 
     /// Marks the access as dependent on the previous one (builder style).
@@ -75,8 +80,15 @@ impl RecordedTrace {
     ///
     /// Panics if `accesses` is empty.
     pub fn new(name: impl Into<String>, accesses: Vec<MemoryAccess>) -> Self {
-        assert!(!accesses.is_empty(), "a recorded trace needs at least one access");
-        RecordedTrace { name: name.into(), accesses, pos: 0 }
+        assert!(
+            !accesses.is_empty(),
+            "a recorded trace needs at least one access"
+        );
+        RecordedTrace {
+            name: name.into(),
+            accesses,
+            pos: 0,
+        }
     }
 
     /// Number of recorded accesses before the trace repeats.
@@ -108,7 +120,9 @@ mod tests {
 
     #[test]
     fn builder_flags() {
-        let a = MemoryAccess::new(Pc::new(1), Addr::new(64)).dependent().with_work(5);
+        let a = MemoryAccess::new(Pc::new(1), Addr::new(64))
+            .dependent()
+            .with_work(5);
         assert!(a.dependent);
         assert_eq!(a.work, 5);
     }

@@ -27,7 +27,11 @@ fn reference_component_size(csr: &Csr, root: u32) -> usize {
 
 #[test]
 fn csr_preserves_edge_multiset() {
-    let edges = generate_edges(KroneckerConfig { scale: 10, edge_factor: 8, seed: 3 });
+    let edges = generate_edges(KroneckerConfig {
+        scale: 10,
+        edge_factor: 8,
+        seed: 3,
+    });
     let csr = Csr::from_edges(1 << 10, &edges);
     assert_eq!(csr.n_entries(), edges.len() * 2, "symmetrized entry count");
     // Every directed edge appears in the right adjacency list.
@@ -39,7 +43,11 @@ fn csr_preserves_edge_multiset() {
 
 #[test]
 fn traced_bfs_visits_exactly_one_component() {
-    let edges = generate_edges(KroneckerConfig { scale: 9, edge_factor: 6, seed: 5 });
+    let edges = generate_edges(KroneckerConfig {
+        scale: 9,
+        edge_factor: 6,
+        seed: 5,
+    });
     let csr = Arc::new(Csr::from_edges(1 << 9, &edges));
     let mut trace = BfsTrace::new("bfs", Arc::clone(&csr), 7);
 
@@ -79,7 +87,11 @@ fn traced_bfs_visits_exactly_one_component() {
 fn kronecker_graph_has_giant_component() {
     // A structural property the adversarial experiment relies on: most
     // BFS work happens in one giant component.
-    let edges = generate_edges(KroneckerConfig { scale: 12, edge_factor: 10, seed: 1 });
+    let edges = generate_edges(KroneckerConfig {
+        scale: 12,
+        edge_factor: 10,
+        seed: 1,
+    });
     let csr = Csr::from_edges(1 << 12, &edges);
     let best = (0..64u32)
         .map(|v| reference_component_size(&csr, v * 64 % (1 << 12)))
@@ -93,7 +105,11 @@ fn kronecker_graph_has_giant_component() {
 
 #[test]
 fn edge_accesses_cover_each_adjacency_line_once_per_expansion() {
-    let edges = generate_edges(KroneckerConfig { scale: 8, edge_factor: 6, seed: 9 });
+    let edges = generate_edges(KroneckerConfig {
+        scale: 8,
+        edge_factor: 6,
+        seed: 9,
+    });
     let csr = Arc::new(Csr::from_edges(1 << 8, &edges));
     let mut trace = BfsTrace::new("bfs", Arc::clone(&csr), 3);
     let edges_base = 0x62_0000_0000u64;
@@ -111,5 +127,8 @@ fn edge_accesses_cover_each_adjacency_line_once_per_expansion() {
     }
     // Each adjacency entry costs one visited probe; lines hold up to 16
     // entries, so probes must dominate edge-line reads.
-    assert!(visited_probes > edge_lines, "probes {visited_probes} vs lines {edge_lines}");
+    assert!(
+        visited_probes > edge_lines,
+        "probes {visited_probes} vs lines {edge_lines}"
+    );
 }

@@ -1,0 +1,47 @@
+//! `any::<T>()` — whole-domain strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary {
+    /// Generates an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over the whole domain of `T`.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Returns the whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($ty:ty),+) => {
+        $(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )+
+    };
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);

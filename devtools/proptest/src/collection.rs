@@ -1,0 +1,29 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing vectors whose length is drawn from a range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// Vector of values from `element`, with a length in `len`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let width = (self.len.end - self.len.start) as u64;
+        let n = self.len.start + rng.below(width) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}

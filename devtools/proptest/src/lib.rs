@@ -1,0 +1,144 @@
+//! An offline, API-compatible subset of the `proptest` crate.
+//!
+//! The real `proptest` is a dev-dependency of several workspace crates,
+//! but this repository must build without network access, so this shim
+//! provides the exact surface the test suite uses: the [`proptest!`]
+//! macro, `prop_assert*!`/`prop_assume!`, [`strategy::Just`],
+//! [`arbitrary::any`], numeric ranges and tuples as strategies,
+//! [`collection::vec`], and [`prop_oneof!`].
+//!
+//! Semantics match proptest where it matters for these tests:
+//! deterministic case generation per test (reproducible failures),
+//! uniform draws from ranges, and rejection via `prop_assume!`.
+//! Shrinking is intentionally not implemented — on failure the full
+//! counterexample case index and message are reported instead.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Number of generated cases per `proptest!` test.
+///
+/// The real crate defaults to 256; the heavier tests in this workspace
+/// drive multi-thousand-operation histories per case, so the shim runs
+/// fewer, denser cases.
+pub const DEFAULT_CASES: u64 = 64;
+
+/// Prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn name(binder in strategy, ...)` body
+/// is run for [`DEFAULT_CASES`] generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($binder:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                for case in 0..$crate::DEFAULT_CASES {
+                    let mut prop_rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $binder =
+                        $crate::strategy::Strategy::generate(&($strat), &mut prop_rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::std::result::Result::Err(e) if e.is_reject() => continue,
+                        ::std::result::Result::Err(e) => panic!(
+                            "proptest `{}` failed at case {}: {}",
+                            stringify!($name),
+                            case,
+                            e
+                        ),
+                        ::std::result::Result::Ok(()) => {}
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Uniformly picks one of several strategies (all yielding one type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Like `assert!`, but fails the current proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but fails the current proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*lhs == *rhs, "assert_eq failed: {:?} != {:?}", lhs, rhs);
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assert_eq failed: {:?} != {:?}: {}",
+            lhs,
+            rhs,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Like `assert_ne!`, but fails the current proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*lhs != *rhs, "assert_ne failed: both {:?}", lhs);
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assert_ne failed: both {:?}: {}",
+            lhs,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Rejects the current case (it is skipped, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}

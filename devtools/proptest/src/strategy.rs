@@ -1,0 +1,157 @@
+//! The [`Strategy`] trait and the built-in strategy combinators the
+//! workspace's tests use.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A source of generated values (no shrinking in this shim).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erases the strategy for use in [`Union`] / `prop_oneof!`.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniformly picks one of several strategies per case (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over non-empty `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Union({} options)", self.options.len())
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),+) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as u64) - (self.start as u64);
+                    self.start + rng.below(width) as $ty
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let width = (hi as u64) - (lo as u64);
+                    if width == u64::MAX {
+                        return rng.next_u64() as $ty;
+                    }
+                    lo + rng.below(width + 1) as $ty
+                }
+            }
+        )+
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        // Occasionally emit the exact endpoints; they are the
+        // interesting values for inclusive float ranges.
+        match rng.below(64) {
+            0 => *self.start(),
+            1 => *self.end(),
+            _ => *self.start() + rng.unit_f64() * (*self.end() - *self.start()),
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident: $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0);
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);

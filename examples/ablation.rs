@@ -13,9 +13,15 @@ use triangel::sim::{Comparison, Experiment, PrefetcherChoice};
 use triangel::workloads::spec::SpecWorkload;
 
 fn main() {
-    let idx: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let idx: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
     let workload = SpecWorkload::ALL[idx.min(6)];
-    println!("Ablation ladder on {} (Fig. 20, one workload)\n", workload.label());
+    println!(
+        "Ablation ladder on {} (Fig. 20, one workload)\n",
+        workload.label()
+    );
 
     println!("Running baseline...");
     let base = Experiment::new(workload.generator(42))

@@ -17,10 +17,21 @@ use triangel::workloads::graph500::{BfsTrace, Graph500Config, KroneckerConfig};
 
 fn main() {
     // Scales below ~15 fit in the caches and show nothing interesting.
-    let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16);
-    let cfg = Graph500Config { scale, edge_factor: 10, seed: 0x6_1234 };
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let cfg = Graph500Config {
+        scale,
+        edge_factor: 10,
+        seed: 0x6_1234,
+    };
     println!("Generating Kronecker graph s{scale} e10...");
-    let _ = KroneckerConfig { scale, edge_factor: 10, seed: 0 }; // geometry preview type
+    let _ = KroneckerConfig {
+        scale,
+        edge_factor: 10,
+        seed: 0,
+    }; // geometry preview type
     let trace = cfg.build_trace();
     let graph = trace.graph_handle();
     println!(

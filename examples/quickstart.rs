@@ -10,7 +10,10 @@ use triangel::workloads::spec::SpecWorkload;
 
 fn main() {
     let workload = SpecWorkload::Xalan;
-    println!("Workload: {} (synthetic stand-in, see DESIGN.md)", workload.label());
+    println!(
+        "Workload: {} (synthetic stand-in, see DESIGN.md)",
+        workload.label()
+    );
 
     // The baseline system already includes the degree-8 stride
     // prefetcher (Table 2 of the paper); every speedup is relative to it.
@@ -34,10 +37,22 @@ fn main() {
     println!("Baseline IPC:       {:.4}", baseline.ipc());
     println!("Triangel IPC:       {:.4}", triangel.ipc());
     println!("Speedup:            {:.3}x          (Fig. 10)", c.speedup);
-    println!("DRAM traffic:       {:.3}x baseline (Fig. 11)", c.dram_traffic);
-    println!("Prefetch accuracy:  {:.1}%           (Fig. 12)", 100.0 * c.accuracy);
-    println!("Miss coverage:      {:.1}%           (Fig. 13)", 100.0 * c.coverage);
-    println!("L3 accesses:        {:.3}x baseline (Fig. 14)", c.l3_accesses);
+    println!(
+        "DRAM traffic:       {:.3}x baseline (Fig. 11)",
+        c.dram_traffic
+    );
+    println!(
+        "Prefetch accuracy:  {:.1}%           (Fig. 12)",
+        100.0 * c.accuracy
+    );
+    println!(
+        "Miss coverage:      {:.1}%           (Fig. 13)",
+        100.0 * c.coverage
+    );
+    println!(
+        "L3 accesses:        {:.3}x baseline (Fig. 14)",
+        c.l3_accesses
+    );
     println!("DRAM+L3 energy:     {:.3}x baseline (Fig. 15)", c.energy);
     println!("Markov partition:   {} of 16 L3 ways", triangel.markov_ways);
 }

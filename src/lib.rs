@@ -17,6 +17,9 @@
 //! * [`triage`] — the fixed Triage baseline (MICRO 2019 / IEEE TC 2022).
 //! * [`core`] — the Triangel prefetcher itself.
 //! * [`sim`] — the trace-driven timing simulator and experiment runner.
+//! * [`harness`] — parallel, deterministic experiment orchestration:
+//!   declarative job lists, a work-stealing scheduler, a content-keyed
+//!   result cache and JSON/CSV emitters (see EXPERIMENTS.md).
 //!
 //! # Quickstart
 //!
@@ -33,9 +36,28 @@
 //!     .run();
 //! assert!(report.ipc() > 0.0);
 //! ```
+//!
+//! Whole sweeps — many (workload, configuration) pairs — go through the
+//! harness, which parallelizes them deterministically and runs shared
+//! baselines once:
+//!
+//! ```
+//! use triangel::harness::{GridSpec, RunParams, SweepOptions, WorkloadSpec};
+//! use triangel::sim::PrefetcherChoice;
+//! use triangel::workloads::spec::SpecWorkload;
+//!
+//! let params = RunParams { warmup: 1_000, accesses: 1_000, sizing_window: 500, seed: 1 };
+//! let result = GridSpec::new(params)
+//!     .row(WorkloadSpec::Spec(SpecWorkload::Mcf))
+//!     .column(PrefetcherChoice::Triage)
+//!     .run(&SweepOptions::parallel(2))
+//!     .unwrap();
+//! assert!(result.comparison(0, 0).speedup > 0.0);
+//! ```
 
 pub use triangel_cache as cache;
 pub use triangel_core as core;
+pub use triangel_harness as harness;
 pub use triangel_markov as markov;
 pub use triangel_mem as mem;
 pub use triangel_prefetch as prefetch;

@@ -87,7 +87,14 @@ fn reports_are_deterministic() {
 fn multiprogrammed_runs_share_memory_system() {
     let sources: Vec<Box<dyn triangel::workloads::TraceSource>> = vec![
         Box::new(chase(30_000, 1)),
-        Box::new(RandomStream::new("r", Pc::new(0x60), Addr::new(1 << 33), 50_000, false, 2)),
+        Box::new(RandomStream::new(
+            "r",
+            Pc::new(0x60),
+            Addr::new(1 << 33),
+            50_000,
+            false,
+            2,
+        )),
     ];
     let report = Experiment::multiprogrammed(sources)
         .warmup(100_000)
@@ -123,7 +130,12 @@ fn spec_workloads_run_under_every_configuration() {
                 .sizing_window(20_000)
                 .prefetcher(cfg)
                 .run();
-            assert!(r.ipc() > 0.0, "{}/{} produced zero IPC", wl.label(), cfg.label());
+            assert!(
+                r.ipc() > 0.0,
+                "{}/{} produced zero IPC",
+                wl.label(),
+                cfg.label()
+            );
             assert!(r.dram_reads() > 0);
         }
     }
