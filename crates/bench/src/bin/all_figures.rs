@@ -54,11 +54,16 @@ fn main() {
         for out in &outputs {
             out.print();
         }
-        if let Some(dir) = &cli.out_dir {
-            if let Err(e) = figures::emit_outputs(dir, def.name, &outputs) {
-                eprintln!("failed to emit {} to {}: {e}", def.name, dir.display());
-                std::process::exit(1);
-            }
+        // Tables/text are emitted only under --out-dir; JSON artefacts
+        // (the perf trajectory) are always written, defaulting to the
+        // working directory.
+        let dir = cli
+            .out_dir
+            .clone()
+            .unwrap_or_else(|| std::path::PathBuf::from("."));
+        if let Err(e) = figures::emit_selected(&dir, def.name, &outputs, cli.out_dir.is_some()) {
+            eprintln!("failed to emit {} to {}: {e}", def.name, dir.display());
+            std::process::exit(1);
         }
         ran += 1;
     }

@@ -4,7 +4,8 @@
 use std::sync::Arc;
 
 use triangel_core::{structure_sizes, TriangelConfig, TriangelFeatures};
-use triangel_harness::{GridSpec, MapperSpec, WorkloadSpec};
+use triangel_harness::emit::{perf_to_json, PerfRecord, PerfReport};
+use triangel_harness::{GridSpec, MapperSpec, RunParams, SweepOptions, WorkloadSpec};
 use triangel_markov::TargetFormat;
 use triangel_sim::{PrefetcherChoice, SystemConfig};
 use triangel_triage::TriageConfig;
@@ -284,6 +285,74 @@ pub(super) fn sec33_replacement(ctx: &mut FigureContext) -> Vec<FigureOutput> {
         )));
     }
     out
+}
+
+/// The perf smoke sweep's fixed scale. Deliberately *not* tied to
+/// `TRIANGEL_QUICK`/`TRIANGEL_WARMUP`: the trajectory is only
+/// comparable across PRs if every measurement simulates the same work.
+const PERF_PARAMS: RunParams = RunParams {
+    warmup: 50_000,
+    accesses: 50_000,
+    sizing_window: 25_000,
+    seed: 42,
+};
+
+/// The recorded reference measurement for `BENCH_perf.json`, taken with
+/// `--jobs 1` on the repo's dev container. PR 2's pre-refactor hot path
+/// (HashMap `ready_at` / HashSet `temporal_resident` side tables in
+/// `MemorySystem`, HashMap MSHR file, SipHash page/stride tables) is the
+/// trajectory's origin; update the label and numbers only when the
+/// sweep's shape changes and the trajectory must restart.
+fn perf_baseline() -> PerfRecord {
+    PerfRecord {
+        label: "PR 1 side-table hot path (pre-refactor)".into(),
+        wall_ms: 1537.0,
+        accesses_per_sec: 1_366_000.0,
+    }
+}
+
+pub(super) fn perf(ctx: &mut FigureContext) -> Vec<FigureOutput> {
+    let grid = GridSpec::new(PERF_PARAMS)
+        .spec_rows()
+        .columns([PrefetcherChoice::Triage, PrefetcherChoice::Triangel]);
+    // Serial and with a private (empty) cache: the wall clock must
+    // measure simulation throughput, not scheduling or result reuse.
+    let t0 = std::time::Instant::now();
+    let result = grid
+        .run(&SweepOptions::serial())
+        .unwrap_or_else(|e| panic!("{e}"));
+    let wall = t0.elapsed();
+    ctx.absorb(result.stats);
+
+    let jobs = result.stats.executed;
+    let total_accesses = jobs as u64 * (PERF_PARAMS.warmup + PERF_PARAMS.accesses);
+    let current = PerfRecord {
+        label: "working tree".into(),
+        wall_ms: wall.as_secs_f64() * 1e3,
+        accesses_per_sec: total_accesses as f64 / wall.as_secs_f64(),
+    };
+    let report = PerfReport {
+        sweep: format!(
+            "7 SPEC workloads x {{Baseline, Triage, Triangel}}, warmup {} + {} accesses each, --jobs 1",
+            PERF_PARAMS.warmup, PERF_PARAMS.accesses
+        ),
+        jobs,
+        total_accesses,
+        baseline: perf_baseline(),
+        current,
+    };
+    eprintln!(
+        "[perf] {} job(s), {:.0} ms wall, {:.3}M accesses/s — {:.2}x vs `{}`",
+        report.jobs,
+        report.current.wall_ms,
+        report.current.accesses_per_sec / 1e6,
+        report.speedup(),
+        report.baseline.label,
+    );
+    vec![FigureOutput::Json {
+        name: "BENCH_perf".into(),
+        body: perf_to_json(&report),
+    }]
 }
 
 pub(super) fn duel_bias(ctx: &mut FigureContext) -> Vec<FigureOutput> {

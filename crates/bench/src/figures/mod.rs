@@ -26,6 +26,18 @@ pub enum FigureOutput {
     Table(FigureTable),
     /// Free-form text (Tables 1 and 2 of the paper).
     Text(String),
+    /// A machine-readable JSON artefact written under exactly
+    /// `<name>.json` (the perf trajectory's `BENCH_perf.json`). Always
+    /// persisted — to `--out-dir` when given, the working directory
+    /// otherwise — and never printed to stdout, so experiments whose
+    /// artefacts carry wall-clock timings keep `all_figures`' stdout
+    /// deterministic.
+    Json {
+        /// File stem (`BENCH_perf` → `BENCH_perf.json`).
+        name: String,
+        /// The serialized JSON body.
+        body: String,
+    },
 }
 
 impl FigureOutput {
@@ -34,6 +46,9 @@ impl FigureOutput {
         match self {
             FigureOutput::Table(t) => t.print(),
             FigureOutput::Text(s) => println!("{s}"),
+            FigureOutput::Json { name, .. } => {
+                println!("(machine-readable artefact: {name}.json)");
+            }
         }
     }
 
@@ -42,6 +57,8 @@ impl FigureOutput {
         let base = match self {
             FigureOutput::Table(t) => t.title().to_string(),
             FigureOutput::Text(_) => fallback.to_string(),
+            // Exact, ordinal-free: tooling greps for this very path.
+            FigureOutput::Json { name, .. } => return name.clone(),
         };
         let mut slug: String = base
             .chars()
@@ -215,6 +232,11 @@ pub fn registry() -> Vec<FigureDef> {
             title: "Set Dueller bias sweep",
             run: defs::duel_bias,
         },
+        FigureDef {
+            name: "perf",
+            title: "Hot-path throughput vs recorded baseline",
+            run: defs::perf,
+        },
     ]
 }
 
@@ -293,11 +315,10 @@ pub fn run_main(name: &str) {
     for out in &outputs {
         out.print();
     }
-    if let Some(dir) = &cli.out_dir {
-        if let Err(e) = emit_outputs(dir, name, &outputs) {
-            eprintln!("failed to emit {name} to {}: {e}", dir.display());
-            std::process::exit(1);
-        }
+    let dir = cli.out_dir.clone().unwrap_or_else(|| PathBuf::from("."));
+    if let Err(e) = emit_selected(&dir, name, &outputs, cli.out_dir.is_some()) {
+        eprintln!("failed to emit {name} to {}: {e}", dir.display());
+        std::process::exit(1);
     }
 }
 
@@ -311,17 +332,44 @@ pub fn emit_outputs(
     name: &str,
     outputs: &[FigureOutput],
 ) -> std::io::Result<()> {
-    std::fs::create_dir_all(dir)?;
+    emit_selected(dir, name, outputs, true)
+}
+
+/// Writes artefacts under `dir`. `FigureOutput::Json` artefacts are
+/// always written (they are the whole point of the experiments that
+/// produce them); tables and text only when `all` is set (i.e. the
+/// user asked for `--out-dir`).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn emit_selected(
+    dir: &std::path::Path,
+    name: &str,
+    outputs: &[FigureOutput],
+    all: bool,
+) -> std::io::Result<()> {
+    if all
+        || outputs
+            .iter()
+            .any(|o| matches!(o, FigureOutput::Json { .. }))
+    {
+        std::fs::create_dir_all(dir)?;
+    }
     for (i, out) in outputs.iter().enumerate() {
         let slug = out.slug(name, i);
         match out {
-            FigureOutput::Table(t) => {
+            FigureOutput::Table(t) if all => {
                 std::fs::write(dir.join(format!("{slug}.json")), emit::table_to_json(t))?;
                 std::fs::write(dir.join(format!("{slug}.csv")), emit::table_to_csv(t))?;
             }
-            FigureOutput::Text(s) => {
+            FigureOutput::Text(s) if all => {
                 std::fs::write(dir.join(format!("{slug}.txt")), s)?;
             }
+            FigureOutput::Json { body, .. } => {
+                std::fs::write(dir.join(format!("{slug}.json")), body)?;
+            }
+            _ => {}
         }
     }
     Ok(())
@@ -347,6 +395,7 @@ mod tests {
             "table2",
             "sec33_replacement",
             "duel_bias",
+            "perf",
         ] {
             assert!(names.contains(&expected), "registry missing {expected}");
         }

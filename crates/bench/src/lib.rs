@@ -132,20 +132,16 @@ impl SpecSweep {
         ]
     }
 
-    /// Figs. 14–15 add the No-MRB ablation.
+    /// The one configuration list the Figs. 10–15 sweep carries:
+    /// [`SpecSweep::paper_configs`] plus the No-MRB ablation of
+    /// Figs. 14–15. Both the standalone `fig10`–`fig15` binaries and
+    /// `all_figures` run (and print) exactly these columns, so their
+    /// outputs agree byte for byte — the seed's standalone binaries
+    /// dropped the No-MRB column while `all_figures` printed it.
     pub fn paper_configs_with_nomrb() -> Vec<PrefetcherChoice> {
         let mut c = SpecSweep::paper_configs();
         c.push(PrefetcherChoice::TriangelNoMrb);
         c
-    }
-
-    /// The column labels of Figs. 10–13 (the subset every sweep
-    /// carrying [`SpecSweep::paper_configs_with_nomrb`] also serves).
-    pub fn paper_labels() -> Vec<String> {
-        SpecSweep::paper_configs()
-            .iter()
-            .map(|c| c.label())
-            .collect()
     }
 
     /// Runs the sweep serially (see [`SpecSweep::run_opts`]).
@@ -186,90 +182,75 @@ impl SpecSweep {
         self.grid.col_labels().to_vec()
     }
 
-    /// Folds a metric into a figure table over the given column labels
-    /// (so the sweep can carry more configurations than one figure
-    /// plots — Figs. 10–13 ignore the No-MRB column, for instance).
-    fn table_for(
-        &self,
-        title: &str,
-        metric: &str,
-        labels: &[String],
-        f: impl Fn(Comparison) -> f64,
-    ) -> FigureTable {
-        let wanted: Vec<&str> = labels
-            .iter()
-            .map(String::as_str)
-            .filter(|l| self.grid.col_labels().iter().any(|have| have == l))
-            .collect();
+    /// Folds a metric into a figure table over every column the sweep
+    /// carries. All of Figs. 10–15 print the sweep's full configuration
+    /// list, so standalone binaries and `all_figures` (which share this
+    /// fold) produce identical tables.
+    fn table_all(&self, title: &str, metric: &str, f: impl Fn(Comparison) -> f64) -> FigureTable {
+        let labels = self.config_labels();
+        let wanted: Vec<&str> = labels.iter().map(String::as_str).collect();
         self.grid.table_for(title, metric, &wanted, f)
     }
 
     /// Fig. 10: speedup over the stride-only baseline.
     pub fn fig10_speedup(&self) -> FigureTable {
-        self.table_for(
+        self.table_all(
             "Fig. 10: Speedup",
             "IPC relative to stride-only baseline",
-            &SpecSweep::paper_labels(),
             |c| c.speedup,
         )
     }
 
     /// Fig. 11: normalized DRAM traffic.
     pub fn fig11_traffic(&self) -> FigureTable {
-        self.table_for(
+        self.table_all(
             "Fig. 11: Normalized DRAM Traffic",
             "DRAM line reads relative to baseline (lower is better)",
-            &SpecSweep::paper_labels(),
             |c| c.dram_traffic,
         )
     }
 
     /// Fig. 12: accuracy.
     pub fn fig12_accuracy(&self) -> FigureTable {
-        self.table_for(
+        self.table_all(
             "Fig. 12: Accuracy",
             "prefetched lines used before L2 eviction",
-            &SpecSweep::paper_labels(),
             |c| c.accuracy,
         )
     }
 
     /// Fig. 13: coverage.
     pub fn fig13_coverage(&self) -> FigureTable {
-        self.table_for(
+        self.table_all(
             "Fig. 13: Coverage",
             "baseline L2 demand misses eliminated",
-            &SpecSweep::paper_labels(),
             |c| c.coverage,
         )
     }
 
     /// Fig. 14: normalized L3 accesses.
     pub fn fig14_l3(&self) -> FigureTable {
-        self.table_for(
+        self.table_all(
             "Fig. 14: Normalized L3 Accesses",
             "L3 data + Markov-table accesses relative to baseline (lower is better)",
-            &self.config_labels(),
             |c| c.l3_accesses,
         )
     }
 
     /// Fig. 15: normalized DRAM+L3 dynamic energy.
     pub fn fig15_energy(&self) -> FigureTable {
-        self.table_for(
+        self.table_all(
             "Fig. 15: Normalized DRAM+L3 Dynamic Energy",
             "25 units/DRAM access + 1 unit/L3 access, relative to baseline",
-            &self.config_labels(),
             |c| c.energy,
         )
     }
 
     /// The DRAM share of each run's energy (Fig. 15's hashed bars).
     pub fn fig15_dram_fraction(&self) -> FigureTable {
-        self.table_for(
+        self.table_all(
             "Fig. 15 (hashed): DRAM share of dynamic energy",
             "fraction of energy units from DRAM",
-            &self.config_labels(),
             |c| c.energy_dram_fraction,
         )
     }
@@ -322,8 +303,13 @@ mod tests {
         // 7 workloads x (1 baseline + 6 configs), no duplicates.
         assert_eq!(sweep.stats().jobs, 49);
         assert_eq!(sweep.stats().executed, 49);
-        // Figs. 10-13 plot 5 columns; 14-15 all 6.
-        assert_eq!(sweep.fig10_speedup().configs().len(), 5);
+        // Every figure of the shared sweep prints the same 6 columns,
+        // whether invoked standalone or through all_figures.
+        assert_eq!(sweep.fig10_speedup().configs().len(), 6);
         assert_eq!(sweep.fig14_l3().configs().len(), 6);
+        assert_eq!(
+            sweep.fig13_coverage().configs(),
+            sweep.config_labels().as_slice()
+        );
     }
 }

@@ -118,6 +118,66 @@ pub fn table_to_csv(t: &FigureTable) -> String {
     out
 }
 
+/// One timed measurement of the perf smoke sweep: a label naming the
+/// code state it was taken under, and the observed wall time / rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfRecord {
+    /// What was measured (e.g. `"PR 1 side-table hot path"`).
+    pub label: String,
+    /// Wall-clock milliseconds for the whole sweep.
+    pub wall_ms: f64,
+    /// Simulated accesses (warm-up + measured) per wall-clock second.
+    pub accesses_per_sec: f64,
+}
+
+/// The repo's perf-trajectory artefact (`BENCH_perf.json`): a fixed
+/// smoke sweep timed under the current build, against the recorded
+/// baseline it is tracked from. Wall times are machine-dependent; the
+/// `speedup` ratio of two runs on the *same* machine is the tracked
+/// number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Human description of the fixed sweep (workloads × configs × scale).
+    pub sweep: String,
+    /// Simulations the sweep runs.
+    pub jobs: usize,
+    /// Total simulated accesses across all jobs (warm-up + measured).
+    pub total_accesses: u64,
+    /// The recorded reference measurement.
+    pub baseline: PerfRecord,
+    /// The measurement just taken.
+    pub current: PerfRecord,
+}
+
+impl PerfReport {
+    /// Throughput ratio of `current` over `baseline` (>1 is faster).
+    pub fn speedup(&self) -> f64 {
+        self.current.accesses_per_sec / self.baseline.accesses_per_sec
+    }
+}
+
+fn perf_record_json(r: &PerfRecord) -> String {
+    format!(
+        "{{\"label\":{},\"wall_ms\":{},\"accesses_per_sec\":{}}}",
+        json_str(&r.label),
+        json_f64(r.wall_ms),
+        json_f64(r.accesses_per_sec),
+    )
+}
+
+/// Serializes a perf report as JSON (the `BENCH_perf.json` schema).
+pub fn perf_to_json(r: &PerfReport) -> String {
+    format!(
+        "{{\"schema\":1,\"figure\":\"perf\",\"sweep\":{},\"jobs\":{},\"total_accesses\":{},\"baseline\":{},\"current\":{},\"speedup\":{}}}",
+        json_str(&r.sweep),
+        r.jobs,
+        r.total_accesses,
+        perf_record_json(&r.baseline),
+        perf_record_json(&r.current),
+        json_f64(r.speedup()),
+    )
+}
+
 /// The per-run scalars worth publishing in machine-readable reports.
 fn run_summary_json(r: &RunReport) -> String {
     format!(
@@ -202,6 +262,31 @@ mod tests {
         let c = table_to_csv(&t);
         assert!(c.contains("w,\n"), "NaN should be an empty CSV field: {c}");
         assert!(!c.contains("NaN") && !c.contains("inf"));
+    }
+
+    #[test]
+    fn perf_report_json_shape() {
+        let r = PerfReport {
+            sweep: "7 workloads x 3 configs".into(),
+            jobs: 21,
+            total_accesses: 2_100_000,
+            baseline: PerfRecord {
+                label: "pre".into(),
+                wall_ms: 2000.0,
+                accesses_per_sec: 1_050_000.0,
+            },
+            current: PerfRecord {
+                label: "now".into(),
+                wall_ms: 1000.0,
+                accesses_per_sec: 2_100_000.0,
+            },
+        };
+        assert!((r.speedup() - 2.0).abs() < 1e-12);
+        let j = perf_to_json(&r);
+        assert!(j.contains("\"figure\":\"perf\""));
+        assert!(j.contains("\"speedup\":2.0"));
+        assert!(j.contains("\"baseline\":{\"label\":\"pre\""));
+        assert_eq!(perf_to_json(&r), perf_to_json(&r));
     }
 
     #[test]

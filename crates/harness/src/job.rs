@@ -130,13 +130,17 @@ impl JobSpec {
     /// The prefetcher configuration enters through its `Debug`
     /// rendering, which spells out every field of custom configs, so
     /// two `TriangelCustom` jobs differing in any knob get distinct
-    /// keys. The sizing window is omitted for the stride-only
-    /// baseline (the `NullPrefetcher` never reads it), which lets
-    /// sweeps with different windows share one baseline run.
+    /// keys. The sizing window enters only for configurations that
+    /// actually read it ([`PrefetcherChoice::uses_sizing_window`]):
+    /// the stride-only baseline has no temporal prefetcher, Triage
+    /// ignores the window, and the custom configs carry their own —
+    /// so sweeps with different windows share those runs through the
+    /// [`crate::ResultCache`] instead of re-simulating them.
     pub fn key(&self) -> String {
-        let sizing = match self.prefetcher {
-            PrefetcherChoice::Baseline => "-".to_string(),
-            _ => self.params.sizing_window.to_string(),
+        let sizing = if self.prefetcher.uses_sizing_window() {
+            self.params.sizing_window.to_string()
+        } else {
+            "-".to_string()
         };
         format!(
             "{}|pf={:?}|w={}|a={}|sw={}|s={}|m={:?}",
@@ -226,33 +230,30 @@ mod tests {
     }
 
     #[test]
-    fn baseline_key_ignores_sizing_window() {
+    fn sizing_window_enters_key_only_where_it_matters() {
         let mut p1 = params();
         let mut p2 = params();
         p1.sizing_window = 100;
         p2.sizing_window = 999;
-        let base1 = JobSpec::new(
-            WorkloadSpec::Spec(SpecWorkload::Mcf),
+        let key = |pf: PrefetcherChoice, p: RunParams| {
+            JobSpec::new(WorkloadSpec::Spec(SpecWorkload::Mcf), pf, p).key()
+        };
+        // Configurations that never read the window — the baseline and
+        // the whole Triage family — share one run across sweeps that
+        // differ only in it (the fig18/fig19 cache-hit case).
+        for pf in [
             PrefetcherChoice::Baseline,
-            p1,
+            PrefetcherChoice::Triage,
+            PrefetcherChoice::TriageDeg4,
+            PrefetcherChoice::TriageDeg4Look2,
+        ] {
+            assert_eq!(key(pf, p1), key(pf, p2), "{pf:?} must ignore the window");
+        }
+        // Triangel's Set Dueller genuinely depends on it.
+        assert_ne!(
+            key(PrefetcherChoice::Triangel, p1),
+            key(PrefetcherChoice::Triangel, p2)
         );
-        let base2 = JobSpec::new(
-            WorkloadSpec::Spec(SpecWorkload::Mcf),
-            PrefetcherChoice::Baseline,
-            p2,
-        );
-        assert_eq!(base1.key(), base2.key());
-        let tri1 = JobSpec::new(
-            WorkloadSpec::Spec(SpecWorkload::Mcf),
-            PrefetcherChoice::Triangel,
-            p1,
-        );
-        let tri2 = JobSpec::new(
-            WorkloadSpec::Spec(SpecWorkload::Mcf),
-            PrefetcherChoice::Triangel,
-            p2,
-        );
-        assert_ne!(tri1.key(), tri2.key());
     }
 
     #[test]

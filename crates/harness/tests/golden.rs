@@ -1,0 +1,90 @@
+//! Golden-equivalence pin for the simulator's `RunReport`s.
+//!
+//! The fixture was generated *before* the in-line cache-metadata
+//! refactor (PR 2) from the side-table implementation of
+//! `MemorySystem`, so this test proves the metadata migration is
+//! behaviour-preserving: a multi-workload sweep — single-core,
+//! multiprogrammed, and fragmented-mapping jobs across the prefetcher
+//! families — must emit byte-identical JSON under `--jobs 1` and
+//! `--jobs 8`, and both must equal the committed pre-refactor bytes.
+//!
+//! Regenerate (only when an *intentional* behaviour change is being
+//! made, and say so in the commit):
+//!
+//! ```sh
+//! TRIANGEL_BLESS=1 cargo test -p triangel-harness --test golden
+//! ```
+
+use triangel_harness::{emit, JobSpec, MapperSpec, RunParams, Sweep, SweepOptions, WorkloadSpec};
+use triangel_sim::PrefetcherChoice;
+use triangel_workloads::spec::SpecWorkload;
+
+const FIXTURE_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/golden_sweep.json"
+);
+
+fn params() -> RunParams {
+    // Small enough to run in seconds, long enough for every prefetcher
+    // family to train, fill, hit and evict.
+    RunParams {
+        warmup: 3_000,
+        accesses: 3_000,
+        sizing_window: 1_500,
+        seed: 11,
+    }
+}
+
+/// The pinned sweep: three single-core workloads under five
+/// configurations, a multiprogrammed pair, and two fragmented-mapping
+/// jobs (the fig18/19 shape).
+fn golden_sweep() -> Sweep {
+    let mut sweep = Sweep::new();
+    for wl in [SpecWorkload::Xalan, SpecWorkload::Mcf, SpecWorkload::Sphinx] {
+        for pf in [
+            PrefetcherChoice::Baseline,
+            PrefetcherChoice::Triage,
+            PrefetcherChoice::TriageDeg4Look2,
+            PrefetcherChoice::Triangel,
+            PrefetcherChoice::TriangelBloom,
+        ] {
+            sweep.push(JobSpec::new(WorkloadSpec::Spec(wl), pf, params()));
+        }
+    }
+    sweep.push(JobSpec::new(
+        WorkloadSpec::Pair(SpecWorkload::Xalan, SpecWorkload::Omnetpp),
+        PrefetcherChoice::Triangel,
+        params(),
+    ));
+    for pf in [PrefetcherChoice::Triage, PrefetcherChoice::Triangel] {
+        sweep.push(
+            JobSpec::new(WorkloadSpec::Spec(SpecWorkload::Gcc166), pf, params())
+                .mapper(MapperSpec::Realistic(7)),
+        );
+    }
+    sweep
+}
+
+#[test]
+fn run_reports_match_pre_refactor_fixture_serial_and_parallel() {
+    let serial = emit::sweep_to_json(&golden_sweep().run(&SweepOptions::serial()));
+
+    if std::env::var("TRIANGEL_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::write(FIXTURE_PATH, &serial).expect("write fixture");
+        eprintln!("blessed {FIXTURE_PATH}");
+    }
+
+    let fixture = std::fs::read_to_string(FIXTURE_PATH).expect(
+        "missing fixture; generate with TRIANGEL_BLESS=1 cargo test -p triangel-harness --test golden",
+    );
+    assert_eq!(
+        serial, fixture,
+        "serial sweep diverged from the committed pre-refactor RunReports"
+    );
+
+    let parallel = emit::sweep_to_json(&golden_sweep().run(&SweepOptions::parallel(8)));
+    assert_eq!(
+        parallel, fixture,
+        "--jobs 8 sweep diverged from the committed pre-refactor RunReports"
+    );
+}

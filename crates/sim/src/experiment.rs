@@ -61,6 +61,23 @@ impl PrefetcherChoice {
         }
     }
 
+    /// Whether [`Experiment::sizing_window`] affects this configuration
+    /// at all. Only the non-custom Triangel variants read the window
+    /// (their Set Dueller / Bloom reset period); Triage ignores it, the
+    /// stride-only baseline has no temporal prefetcher, and the custom
+    /// configurations carry their own window. Batch drivers use this to
+    /// keep job content keys honest: two Triage jobs that differ only in
+    /// the sweep's window describe the same simulation.
+    pub fn uses_sizing_window(&self) -> bool {
+        matches!(
+            self,
+            PrefetcherChoice::Triangel
+                | PrefetcherChoice::TriangelBloom
+                | PrefetcherChoice::TriangelNoMrb
+                | PrefetcherChoice::TriangelLadder(_)
+        )
+    }
+
     fn build(&self, sizing_window: u64) -> Box<dyn Prefetcher> {
         match self {
             PrefetcherChoice::Baseline => Box::new(NullPrefetcher),

@@ -30,8 +30,12 @@ pub struct CoreStats {
 }
 
 impl CoreStats {
-    /// Prefetch accuracy: used / (used + wasted + still-resident-unused
-    /// approximated by fills). Uses resolved lines only when possible.
+    /// Prefetch accuracy over *resolved* lines only:
+    /// `used / (used + wasted)`. A temporal fill resolves either by
+    /// first demand use (`temporal_used`) or by unused eviction
+    /// (`temporal_wasted`); lines still resident and untouched at
+    /// measurement end are not counted in either direction. Returns
+    /// `0.0` when nothing has resolved.
     pub fn accuracy(&self) -> f64 {
         let resolved = self.temporal_used + self.temporal_wasted;
         if resolved == 0 {

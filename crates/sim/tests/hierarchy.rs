@@ -193,6 +193,26 @@ fn stride_prefetcher_in_baseline_covers_streaming() {
 }
 
 #[test]
+fn accuracy_formula_counts_resolved_lines_only() {
+    use triangel_sim::CoreStats;
+    // Pin the formula: used / (used + wasted), nothing else. Fills of
+    // still-resident, never-touched lines must not enter the ratio.
+    let s = CoreStats {
+        temporal_fills: 100, // 60 still unresolved at measurement end
+        temporal_used: 30,
+        temporal_wasted: 10,
+        ..Default::default()
+    };
+    assert!((s.accuracy() - 0.75).abs() < 1e-12);
+    // No resolved lines: defined as zero, not NaN.
+    let empty = CoreStats {
+        temporal_fills: 5,
+        ..Default::default()
+    };
+    assert_eq!(empty.accuracy(), 0.0);
+}
+
+#[test]
 fn warmup_reset_zeroes_measurement_counters() {
     let sys = one_core_system();
     let accesses: Vec<MemoryAccess> = (0..100)
