@@ -322,19 +322,6 @@ pub fn run_main(name: &str) {
     }
 }
 
-/// Writes an experiment's artefacts as JSON and CSV files under `dir`.
-///
-/// # Errors
-///
-/// Propagates I/O errors.
-pub fn emit_outputs(
-    dir: &std::path::Path,
-    name: &str,
-    outputs: &[FigureOutput],
-) -> std::io::Result<()> {
-    emit_selected(dir, name, outputs, true)
-}
-
 /// Writes artefacts under `dir`. `FigureOutput::Json` artefacts are
 /// always written (they are the whole point of the experiments that
 /// produce them); tables and text only when `all` is set (i.e. the

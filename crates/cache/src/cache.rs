@@ -2,9 +2,12 @@
 
 use crate::config::CacheConfig;
 use crate::replacement::{all_ways, AccessMeta, ReplacementPolicy, WayMask};
-use triangel_types::{LineAddr, Pc};
+use triangel_types::{Cycle, FillSource, LineAddr, LineMeta, Pc};
 
-/// One cache line's bookkeeping state.
+/// One cache line's bookkeeping state, including the simulation
+/// metadata word ([`LineMeta`]) that used to live in `MemorySystem`
+/// side tables: who filled the line, when the fill's data arrives, and
+/// whether a demand has touched it since.
 #[derive(Debug, Clone, Copy, Default)]
 struct Line {
     tag: LineAddr,
@@ -14,10 +17,35 @@ struct Line {
     /// a "tagged prefetch hit" and trains temporal prefetchers exactly as
     /// a miss would (Section 2 of the paper).
     prefetch_tagged: bool,
+    /// Who filled the line.
+    source: FillSource,
+    /// Cycle the fill's data arrives (late-prefetch timing).
+    ready_at: Cycle,
     /// Whether the line has been demand-accessed since fill; used to
     /// classify evictions for accuracy accounting.
     used: bool,
     fill_pc: Option<Pc>,
+}
+
+impl Line {
+    fn meta(&self) -> LineMeta {
+        LineMeta {
+            source: self.source,
+            ready_at: self.ready_at,
+            used: self.used,
+        }
+    }
+
+    fn to_evicted(self) -> EvictedLine {
+        EvictedLine {
+            line: self.tag,
+            was_unused_prefetch: self.prefetch_tagged,
+            was_used: self.used,
+            source: self.source,
+            ready_at: self.ready_at,
+            fill_pc: self.fill_pc,
+        }
+    }
 }
 
 /// Result of a cache lookup.
@@ -28,9 +56,14 @@ pub struct AccessOutcome {
     /// The line was present, was filled by a prefetch, and this was its
     /// first demand use — a *tagged prefetch hit*.
     pub prefetch_hit: bool,
+    /// The hit line's metadata word (as of after this access updated
+    /// it); `None` on a miss.
+    pub meta: Option<LineMeta>,
 }
 
-/// Describes a line displaced by a fill or invalidation.
+/// Describes a line displaced by a fill or invalidation, carrying its
+/// final metadata word so used/wasted prefetch attribution happens
+/// exactly where the line dies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvictedLine {
     /// The displaced line address.
@@ -39,8 +72,23 @@ pub struct EvictedLine {
     pub was_unused_prefetch: bool,
     /// The line was demand-used at least once while resident.
     pub was_used: bool,
+    /// Who filled the line.
+    pub source: FillSource,
+    /// Cycle the line's fill completed (from its metadata word).
+    pub ready_at: Cycle,
     /// PC recorded at fill time, if any.
     pub fill_pc: Option<Pc>,
+}
+
+impl EvictedLine {
+    /// The dying line's metadata word.
+    pub fn meta(&self) -> LineMeta {
+        LineMeta {
+            source: self.source,
+            ready_at: self.ready_at,
+            used: self.was_used,
+        }
+    }
 }
 
 /// Result of a fill.
@@ -113,6 +161,10 @@ pub struct Cache {
     policy: Box<dyn ReplacementPolicy>,
     way_mask: WayMask,
     stats: CacheStats,
+    /// Geometry cached out of `cfg` — `CacheConfig::sets` divides, and
+    /// the hot path indexes on every access.
+    ways: usize,
+    set_mask: usize,
 }
 
 impl Cache {
@@ -127,6 +179,8 @@ impl Cache {
             way_mask: all_ways(ways),
             cfg,
             stats: CacheStats::default(),
+            ways,
+            set_mask: sets - 1,
         }
     }
 
@@ -147,19 +201,23 @@ impl Cache {
 
     /// Returns the set index a line maps to.
     pub fn set_of(&self, line: LineAddr) -> usize {
-        (line.index() as usize) & (self.cfg.sets() - 1)
+        (line.index() as usize) & self.set_mask
     }
 
     fn slot(&self, set: usize, way: usize) -> usize {
-        set * self.cfg.ways() + way
+        set * self.ways + way
     }
 
     fn find(&self, line: LineAddr) -> Option<(usize, usize)> {
         let set = self.set_of(line);
-        (0..self.cfg.ways()).find_map(|w| {
-            let l = &self.lines[self.slot(set, w)];
-            (l.valid && l.tag == line).then_some((set, w))
-        })
+        let ways = self.ways;
+        let base = set * ways;
+        // One contiguous scan of the set — this is the single hottest
+        // loop in the simulator (every access walks it at least once).
+        self.lines[base..base + ways]
+            .iter()
+            .position(|l| l.valid && l.tag == line)
+            .map(|w| (set, w))
     }
 
     /// Looks up `line`, updating replacement and prefetch-tag state.
@@ -179,6 +237,7 @@ impl Cache {
             return AccessOutcome {
                 hit,
                 prefetch_hit: false,
+                meta: None,
             };
         }
         match self.find(line) {
@@ -195,6 +254,7 @@ impl Cache {
                 AccessOutcome {
                     hit: true,
                     prefetch_hit: first_use_of_prefetch,
+                    meta: Some(self.lines[slot].meta()),
                 }
             }
             None => {
@@ -202,6 +262,7 @@ impl Cache {
                 AccessOutcome {
                     hit: false,
                     prefetch_hit: false,
+                    meta: None,
                 }
             }
         }
@@ -212,21 +273,58 @@ impl Cache {
         self.find(line).is_some()
     }
 
-    /// Installs `line`, evicting if necessary. Filling a line already
-    /// present refreshes its metadata instead of duplicating it.
+    /// Peeks at `line`'s metadata word without updating any state
+    /// (policy- and prefetcher-visible; `None` when not resident).
+    pub fn line_meta(&self, line: LineAddr) -> Option<LineMeta> {
+        let (set, way) = self.find(line)?;
+        Some(self.lines[self.slot(set, way)].meta())
+    }
+
+    /// Installs `line`, evicting if necessary (convenience form of
+    /// [`Cache::fill_at`]: a prefetch fill is attributed to the stride
+    /// prefetcher and tagged, with an immediately-ready timestamp).
     pub fn fill(&mut self, line: LineAddr, pc: Option<Pc>, is_prefetch: bool) -> FillOutcome {
+        let source = if is_prefetch {
+            FillSource::Stride
+        } else {
+            FillSource::Demand
+        };
+        self.fill_at(line, pc, source, is_prefetch, 0)
+    }
+
+    /// Installs `line`, evicting if necessary, recording the full
+    /// metadata word: who filled it (`source`), whether it gets the
+    /// prefetch tag bit (`tagged` — the memory system tags temporal L2
+    /// fills and L1/L3 prefetch fills, but treats stride fills into the
+    /// L2 as demand-like), and when the fill's data arrives
+    /// (`ready_at`).
+    ///
+    /// Filling a line already present refreshes its metadata instead of
+    /// duplicating it: the word is overwritten, and a demand (untagged)
+    /// refill clears the prefetch tag while a prefetch refill keeps the
+    /// stronger (demand) tag state.
+    pub fn fill_at(
+        &mut self,
+        line: LineAddr,
+        pc: Option<Pc>,
+        source: FillSource,
+        tagged: bool,
+        ready_at: Cycle,
+    ) -> FillOutcome {
         let meta = AccessMeta {
             line,
             pc,
-            is_prefetch,
+            is_prefetch: source.is_prefetch(),
         };
         if let Some((set, way)) = self.find(line) {
             // Already present (e.g. demand fill racing a prefetch fill):
-            // treat as a touch, keep the stronger (demand) tag state.
+            // treat as a touch.
             let slot = self.slot(set, way);
-            if !is_prefetch {
+            if !tagged {
                 self.lines[slot].prefetch_tagged = false;
             }
+            self.lines[slot].source = source;
+            self.lines[slot].ready_at = ready_at;
             self.policy.on_hit(set, way, &meta);
             return FillOutcome {
                 evicted: None,
@@ -252,12 +350,7 @@ impl Cache {
             self.stats.evictions += 1;
             let old = self.lines[slot];
             self.policy.on_evict(set, way, old.tag);
-            Some(EvictedLine {
-                line: old.tag,
-                was_unused_prefetch: old.prefetch_tagged,
-                was_used: old.used,
-                fill_pc: old.fill_pc,
-            })
+            Some(old.to_evicted())
         } else {
             None
         };
@@ -265,8 +358,10 @@ impl Cache {
         self.lines[slot] = Line {
             tag: line,
             valid: true,
-            prefetch_tagged: is_prefetch,
-            used: !is_prefetch,
+            prefetch_tagged: tagged,
+            source,
+            ready_at,
+            used: !tagged,
             fill_pc: pc,
         };
         self.policy.on_fill(set, way, &meta);
@@ -284,12 +379,7 @@ impl Cache {
         let old = self.lines[slot];
         self.lines[slot].valid = false;
         self.policy.on_invalidate(set, way);
-        EvictedLine {
-            line: old.tag,
-            was_unused_prefetch: old.prefetch_tagged,
-            was_used: old.used,
-            fill_pc: old.fill_pc,
-        }
+        old.to_evicted()
     }
 
     /// Restricts fills and victims to the ways in `mask`, invalidating
@@ -463,6 +553,54 @@ mod tests {
         c.access(a, None, false); // a is MRU
         let ev = c.fill(d, None, false).evicted.unwrap();
         assert_eq!(ev.line, b);
+    }
+
+    #[test]
+    fn metadata_word_travels_fill_hit_evict() {
+        let mut c = tiny(1);
+        let a = LineAddr::new(0);
+        let b = LineAddr::new(4); // same set
+        c.fill_at(a, Some(Pc::new(9)), FillSource::Temporal, true, 777);
+        let m = c.line_meta(a).unwrap();
+        assert_eq!(m.source, FillSource::Temporal);
+        assert_eq!(m.ready_at, 777);
+        assert!(!m.used);
+        let out = c.access(a, None, false);
+        assert!(out.prefetch_hit);
+        let m = out.meta.unwrap();
+        assert_eq!(m.ready_at, 777, "hit must surface the fill time");
+        assert!(m.used, "meta reflects the access that just happened");
+        let ev = c
+            .fill_at(b, None, FillSource::Demand, false, 0)
+            .evicted
+            .unwrap();
+        assert_eq!(ev.source, FillSource::Temporal, "attribution at death");
+        assert!(ev.was_used);
+        assert!(!ev.was_unused_prefetch);
+    }
+
+    #[test]
+    fn untagged_prefetch_fill_is_demand_like_but_attributed() {
+        // The memory system fills stride prefetches into the L2
+        // untagged; they must not produce tagged prefetch hits, yet the
+        // metadata word still records who brought the line in.
+        let mut c = tiny(1);
+        let a = LineAddr::new(0);
+        c.fill_at(a, None, FillSource::Stride, false, 42);
+        let out = c.access(a, None, false);
+        assert!(out.hit && !out.prefetch_hit);
+        assert_eq!(out.meta.unwrap().source, FillSource::Stride);
+        assert_eq!(c.stats().prefetch_hits, 0);
+    }
+
+    #[test]
+    fn miss_and_prefetch_lookup_carry_no_meta() {
+        let mut c = tiny(2);
+        let l = LineAddr::new(3);
+        assert_eq!(c.access(l, None, false).meta, None);
+        c.fill(l, None, true);
+        assert_eq!(c.access(l, None, true).meta, None, "prefetch lookup");
+        assert_eq!(c.line_meta(LineAddr::new(99)), None);
     }
 
     #[test]

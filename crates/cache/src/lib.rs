@@ -44,3 +44,7 @@ pub use cache::{AccessOutcome, Cache, CacheStats, EvictedLine, FillOutcome};
 pub use config::CacheConfig;
 pub use mshr::{Mshr, MshrSlot};
 pub use partition::PartitionedWays;
+// The per-line metadata word lives in `triangel-types` so prefetchers
+// can see it without depending on this crate; re-exported here because
+// it is above all *cache* vocabulary.
+pub use triangel_types::{FillSource, LineMeta};

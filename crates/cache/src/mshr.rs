@@ -1,7 +1,5 @@
 //! Miss-status holding registers.
 
-use std::collections::HashMap;
-
 use triangel_types::{Cycle, LineAddr};
 
 /// One outstanding miss.
@@ -22,6 +20,11 @@ pub struct MshrSlot {
 /// and merges requests to the same line (Table 2: 16 MSHRs at L1, 32 at
 /// L2, 36 at L3).
 ///
+/// Storage is a small vector in allocation order: with at most a few
+/// dozen slots, a linear scan beats hashing on the per-access hot path,
+/// and [`Mshr::retire_until`] releases completed slots without
+/// allocating.
+///
 /// # Examples
 ///
 /// ```
@@ -33,13 +36,13 @@ pub struct MshrSlot {
 /// assert!(mshr.allocate(LineAddr::new(2), 120, true));
 /// assert!(!mshr.allocate(LineAddr::new(3), 130, false)); // full
 /// assert_eq!(mshr.earliest_ready(), Some(100));
-/// mshr.complete_until(110);
+/// mshr.retire_until(110);
 /// assert!(mshr.allocate(LineAddr::new(3), 130, false)); // slot freed
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Mshr {
     capacity: usize,
-    slots: HashMap<LineAddr, MshrSlot>,
+    slots: Vec<MshrSlot>,
 }
 
 impl Mshr {
@@ -52,20 +55,20 @@ impl Mshr {
         assert!(capacity > 0, "MSHR file needs at least one slot");
         Mshr {
             capacity,
-            slots: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
         }
     }
 
     /// Returns the slot tracking `line`, if any.
     pub fn lookup(&self, line: LineAddr) -> Option<&MshrSlot> {
-        self.slots.get(&line)
+        self.slots.iter().find(|s| s.line == line)
     }
 
     /// Merges a request into an existing slot. A demand request clears
     /// `prefetch_only` (the in-flight prefetch becomes demand-critical).
     /// Returns the fill time, or `None` if no slot tracks `line`.
     pub fn merge(&mut self, line: LineAddr, is_prefetch: bool) -> Option<Cycle> {
-        let slot = self.slots.get_mut(&line)?;
+        let slot = self.slots.iter_mut().find(|s| s.line == line)?;
         slot.merged += 1;
         if !is_prefetch {
             slot.prefetch_only = false;
@@ -76,41 +79,50 @@ impl Mshr {
     /// Allocates a slot for a new miss completing at `ready_at`.
     /// Returns `false` when the file is full (the requester must stall).
     pub fn allocate(&mut self, line: LineAddr, ready_at: Cycle, is_prefetch: bool) -> bool {
-        debug_assert!(
-            !self.slots.contains_key(&line),
-            "allocate after lookup/merge"
-        );
+        debug_assert!(self.lookup(line).is_none(), "allocate after lookup/merge");
         if self.slots.len() >= self.capacity {
             return false;
         }
-        self.slots.insert(
+        self.slots.push(MshrSlot {
             line,
-            MshrSlot {
-                line,
-                ready_at,
-                prefetch_only: is_prefetch,
-                merged: 1,
-            },
-        );
+            ready_at,
+            prefetch_only: is_prefetch,
+            merged: 1,
+        });
         true
     }
 
-    /// Releases every slot whose fill time is `<= now`, returning them.
+    /// Releases every slot whose fill time is `<= now` without
+    /// allocating — the per-access form ([`Mshr::complete_until`]
+    /// additionally returns the released slots). Returns how many slots
+    /// were released.
+    pub fn retire_until(&mut self, now: Cycle) -> usize {
+        let before = self.slots.len();
+        if before == 0 {
+            return 0;
+        }
+        self.slots.retain(|s| s.ready_at > now);
+        before - self.slots.len()
+    }
+
+    /// Releases every slot whose fill time is `<= now`, returning them
+    /// in allocation order.
     pub fn complete_until(&mut self, now: Cycle) -> Vec<MshrSlot> {
-        let done: Vec<LineAddr> = self
-            .slots
-            .values()
-            .filter(|s| s.ready_at <= now)
-            .map(|s| s.line)
-            .collect();
-        done.iter()
-            .map(|l| self.slots.remove(l).expect("slot present"))
-            .collect()
+        let mut done = Vec::new();
+        self.slots.retain(|s| {
+            if s.ready_at <= now {
+                done.push(*s);
+                false
+            } else {
+                true
+            }
+        });
+        done
     }
 
     /// Returns the soonest fill time among outstanding misses.
     pub fn earliest_ready(&self) -> Option<Cycle> {
-        self.slots.values().map(|s| s.ready_at).min()
+        self.slots.iter().map(|s| s.ready_at).min()
     }
 
     /// Number of occupied slots.
@@ -165,6 +177,20 @@ mod tests {
         assert_eq!(done.len(), 2);
         assert_eq!(m.len(), 1);
         assert_eq!(m.earliest_ready(), Some(30));
+    }
+
+    #[test]
+    fn retire_until_matches_complete_until() {
+        let mut a = Mshr::new(8);
+        let mut b = Mshr::new(8);
+        for k in 0..6u64 {
+            a.allocate(LineAddr::new(k), 10 * k, k % 2 == 0);
+            b.allocate(LineAddr::new(k), 10 * k, k % 2 == 0);
+        }
+        assert_eq!(a.retire_until(25), b.complete_until(25).len());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.earliest_ready(), b.earliest_ready());
+        assert_eq!(a.retire_until(5), 0, "nothing newly ready");
     }
 
     #[test]

@@ -10,7 +10,8 @@ use crate::training::{TrainingTable, CONF_INIT};
 use triangel_cache::replacement::PolicyKind;
 use triangel_markov::{MarkovTable, MarkovTableConfig};
 use triangel_prefetch::{
-    BloomFilter, CacheView, PrefetchRequest, Prefetcher, PrefetcherStats, TrainEvent, TrainKind,
+    BloomFilter, CacheView, EvictNotice, PrefetchRequest, Prefetcher, PrefetcherStats, TrainEvent,
+    TrainKind,
 };
 use triangel_types::{Cycle, LineAddr};
 
@@ -38,6 +39,11 @@ pub struct Triangel {
     /// Diagnostic counters: (reuse_inc, reuse_dec, stale_victims,
     /// fresh_unused_victims, sampler_hits, mismatches).
     debug: [u64; 6],
+    /// L2 eviction notices observed: (own temporal lines that died
+    /// demand-used, own temporal lines that died unused). Diagnostics
+    /// only — the simulator settles accuracy stats itself; training on
+    /// evictions is a designed extension point.
+    evict_seen: (u64, u64),
 }
 
 impl Triangel {
@@ -98,6 +104,7 @@ impl Triangel {
             cfg,
             name,
             debug: [0; 6],
+            evict_seen: (0, 0),
         }
     }
 
@@ -437,13 +444,23 @@ impl Prefetcher for Triangel {
         }
     }
 
+    fn on_l2_evict(&mut self, notice: &EvictNotice) {
+        match notice.temporal_death() {
+            Some(true) => self.evict_seen.1 += 1,
+            Some(false) => self.evict_seen.0 += 1,
+            None => {}
+        }
+    }
+
     fn debug_string(&self) -> String {
         format!(
-            "gates={:?} ways={} occ={} dbg={:?}",
+            "gates={:?} ways={} occ={} dbg={:?} evict=({} used, {} wasted)",
             self.training.gate_summary(),
             self.markov.ways(),
             self.markov.occupancy(),
-            self.debug
+            self.debug,
+            self.evict_seen.0,
+            self.evict_seen.1,
         )
     }
 }

@@ -39,7 +39,7 @@ mod stride;
 pub use bloom::BloomFilter;
 pub use stride::StridePrefetcher;
 
-use triangel_types::{Cycle, LineAddr, Pc};
+use triangel_types::{Cycle, LineAddr, LineMeta, Pc};
 
 /// What kind of event is training the prefetcher.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +95,12 @@ pub trait CacheView {
     fn in_l2(&self, line: LineAddr) -> bool;
     /// Whether the line is resident in the L3 (data side).
     fn in_l3(&self, line: LineAddr) -> bool;
+    /// The resident L2 line's metadata word — who filled it, when the
+    /// fill completes, whether a demand has used it — or `None` when
+    /// the line is absent (or the view cannot say, the default).
+    fn l2_meta(&self, _line: LineAddr) -> Option<LineMeta> {
+        None
+    }
 }
 
 /// A [`CacheView`] that reports nothing resident; useful in tests.
@@ -107,6 +113,34 @@ impl CacheView for NullCacheView {
     }
     fn in_l3(&self, _line: LineAddr) -> bool {
         false
+    }
+}
+
+/// Delivered to a core's temporal prefetcher when an L2 line dies (by
+/// conflict eviction), carrying the line's final metadata word — the
+/// exact moment and place used/wasted prefetch attribution happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictNotice {
+    /// The line leaving the L2.
+    pub line: LineAddr,
+    /// Its final metadata word (source, fill time, demand-used bit).
+    pub meta: LineMeta,
+    /// Set when the line was prefetched and never demand-used — a
+    /// wasted prefetch from the tag bit's point of view.
+    pub was_unused_prefetch: bool,
+    /// PC recorded at fill time, if any.
+    pub fill_pc: Option<Pc>,
+}
+
+impl EvictNotice {
+    /// Classifies the death of a *temporal-prefetched* line: `None` if
+    /// the line was not a temporal fill, otherwise `Some(wasted)` where
+    /// `wasted` means it died without ever being demand-used. The one
+    /// shared definition both Triage and Triangel count diagnostics
+    /// (and future eviction training) from.
+    pub fn temporal_death(&self) -> Option<bool> {
+        (self.meta.source == triangel_types::FillSource::Temporal)
+            .then_some(self.was_unused_prefetch)
     }
 }
 
@@ -143,6 +177,13 @@ impl PrefetcherStats {
 pub trait Prefetcher: std::fmt::Debug {
     /// Observes an event and optionally emits prefetch requests.
     fn on_event(&mut self, ev: &TrainEvent, caches: &dyn CacheView, out: &mut Vec<PrefetchRequest>);
+
+    /// Observes an L2 line dying, with its final metadata word. The
+    /// memory system calls this on every conflict eviction; the default
+    /// ignores it. Implementations currently use it for diagnostics
+    /// only — training on evictions is a designed-for extension point
+    /// and must not change reported statistics when adopted silently.
+    fn on_l2_evict(&mut self, _notice: &EvictNotice) {}
 
     /// Display name for reports.
     fn name(&self) -> &str;

@@ -1,8 +1,7 @@
 //! The baseline L1D stride prefetcher (Chen & Baer, ASPLOS 1992).
 
-use std::collections::HashMap;
-
 use crate::{CacheView, PrefetchRequest, Prefetcher, TrainEvent, TrainKind};
+use triangel_types::hash::FxHashMap;
 use triangel_types::{LineAddr, Pc};
 
 /// Per-PC stride tracking state.
@@ -23,7 +22,10 @@ struct StrideEntry {
 /// baseline and prefetcher configurations.
 #[derive(Debug)]
 pub struct StridePrefetcher {
-    table: HashMap<u64, StrideEntry>,
+    /// PC → stride state, touched on every L1 access: a deterministic
+    /// fast hash (the eviction fold takes `min`, so iteration order
+    /// cannot leak into results).
+    table: FxHashMap<u64, StrideEntry>,
     capacity: usize,
     degree: usize,
     issued: u64,
@@ -39,7 +41,7 @@ impl StridePrefetcher {
     pub fn new(capacity: usize, degree: usize) -> Self {
         assert!(capacity > 0 && degree > 0);
         StridePrefetcher {
-            table: HashMap::with_capacity(capacity),
+            table: FxHashMap::default(),
             capacity,
             degree,
             issued: 0,

@@ -53,7 +53,6 @@ pub struct Engine {
     sources: Vec<Box<dyn TraceSource>>,
     timelines: Vec<CoreTimeline>,
     mapper: PageMapper,
-    steps: u64,
 }
 
 impl Engine {
@@ -100,7 +99,6 @@ impl Engine {
             sources,
             timelines: (0..n).map(|_| CoreTimeline::new()).collect(),
             mapper,
-            steps: 0,
         })
     }
 
@@ -140,17 +138,6 @@ impl Engine {
         tl.last_retire = retire;
         tl.inflight.push_back((retire, k));
         tl.inflight_instrs += k;
-
-        self.steps += 1;
-        if self.steps.is_multiple_of(65_536) {
-            let horizon = self
-                .timelines
-                .iter()
-                .map(|t| t.last_retire)
-                .min()
-                .unwrap_or(0);
-            self.system.prune_ready(horizon);
-        }
     }
 
     /// Runs `n` accesses on every core (round-robin interleaved).

@@ -1,16 +1,14 @@
 //! The memory hierarchy: per-core L1/L2 + prefetchers, shared L3 + DRAM.
 
-use std::collections::{HashMap, HashSet};
-
 use crate::config::SystemConfig;
 use triangel_cache::replacement::all_ways;
-use triangel_cache::{Cache, Mshr};
+use triangel_cache::{Cache, EvictedLine, Mshr};
 use triangel_mem::Dram;
 use triangel_prefetch::{
-    CacheView, PrefetchRequest, Prefetcher, PrefetcherStats, StridePrefetcher, TrainEvent,
-    TrainKind,
+    CacheView, EvictNotice, PrefetchRequest, Prefetcher, PrefetcherStats, StridePrefetcher,
+    TrainEvent, TrainKind,
 };
-use triangel_types::{Cycle, LineAddr, Pc};
+use triangel_types::{Cycle, FillSource, LineAddr, LineMeta, Pc};
 
 /// Per-core accuracy/traffic bookkeeping.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -47,6 +45,11 @@ impl CoreStats {
 }
 
 /// One core's private memory-side state.
+///
+/// Everything the old side tables tracked — fill-completion times and
+/// temporal-fill attribution — now lives in the L2's own lines (see
+/// [`triangel_types::LineMeta`]), so there is nothing per-line to keep
+/// in sync, prune, or look up here.
 #[derive(Debug)]
 struct CoreMem {
     l1: Cache,
@@ -54,12 +57,6 @@ struct CoreMem {
     mshr: Mshr,
     stride: StridePrefetcher,
     temporal: Box<dyn Prefetcher>,
-    /// Fill-completion times for resident L2 lines (late-prefetch /
-    /// in-flight merge timing).
-    ready_at: HashMap<LineAddr, Cycle>,
-    /// L2-resident lines filled by the *temporal* prefetcher and not yet
-    /// demand-used (accuracy attribution).
-    temporal_resident: HashSet<LineAddr>,
     stats: CoreStats,
     pf_snapshot: PrefetcherStats,
     req_buf: Vec<PrefetchRequest>,
@@ -77,20 +74,30 @@ impl CacheView for ViewPair<'_> {
     fn in_l3(&self, line: LineAddr) -> bool {
         self.l3.contains(line)
     }
+    fn l2_meta(&self, line: LineAddr) -> Option<LineMeta> {
+        self.l2.line_meta(line)
+    }
 }
 
 /// The assembled memory system.
 ///
-/// Fills are applied eagerly with per-line completion timestamps
-/// (`ready_at`), which is exact because the engine issues accesses in
-/// non-decreasing time order; the MSHR file bounds outstanding misses
-/// and drops prefetches under pressure, as hardware does.
+/// Fills are applied eagerly and each line records its own completion
+/// timestamp (`LineMeta::ready_at`), which is exact because the engine
+/// issues accesses in non-decreasing time order; the MSHR file bounds
+/// outstanding misses and drops prefetches under pressure, as hardware
+/// does. Used/wasted prefetch attribution happens on the line itself:
+/// at first demand use (the tagged prefetch hit) and at eviction, where
+/// the dying line's metadata word names the prefetcher that filled it.
 #[derive(Debug)]
 pub struct MemorySystem {
     cfg: SystemConfig,
     cores: Vec<CoreMem>,
     l3: Cache,
     dram: Dram,
+    /// Hit latencies cached out of `cfg` for the per-access path.
+    l1_lat: Cycle,
+    l2_lat: Cycle,
+    l3_lat: Cycle,
     /// L3 ways currently ceded to the Markov partition (max over cores'
     /// wishes; the partition is shared in multiprogrammed mode,
     /// Section 6.3).
@@ -113,8 +120,6 @@ impl MemorySystem {
                 mshr: Mshr::new(cfg.l2_mshrs),
                 stride: StridePrefetcher::new(64, cfg.stride_degree),
                 temporal: t,
-                ready_at: HashMap::new(),
-                temporal_resident: HashSet::new(),
                 stats: CoreStats::default(),
                 pf_snapshot: PrefetcherStats::default(),
                 req_buf: Vec::new(),
@@ -125,6 +130,9 @@ impl MemorySystem {
             dram: Dram::new(cfg.dram),
             cores,
             markov_ways: 0,
+            l1_lat: cfg.l1.hit_latency(),
+            l2_lat: cfg.l2.hit_latency(),
+            l3_lat: cfg.l3.hit_latency(),
             cfg,
         }
     }
@@ -136,8 +144,8 @@ impl MemorySystem {
 
     /// Performs one demand access; returns the cycle the data is ready.
     pub fn demand_access(&mut self, core_idx: usize, pc: Pc, line: LineAddr, t: Cycle) -> Cycle {
-        let l1_lat = self.cfg.l1.hit_latency();
-        let l2_lat = self.cfg.l2.hit_latency();
+        let l1_lat = self.l1_lat;
+        let l2_lat = self.l2_lat;
 
         // --- L1 ---
         let l1_hit = self.cores[core_idx].l1.access(line, Some(pc), false).hit;
@@ -148,18 +156,15 @@ impl MemorySystem {
 
         // --- L2 ---
         let t2 = t + l1_lat;
-        self.cores[core_idx].mshr.complete_until(t2);
+        self.cores[core_idx].mshr.retire_until(t2);
         let l2_out = self.cores[core_idx].l2.access(line, Some(pc), false);
         if l2_out.hit {
-            // Data may still be in flight (late prefetch).
-            let pending = self.cores[core_idx]
-                .ready_at
-                .get(&line)
-                .copied()
-                .unwrap_or(0);
-            let ready = (t2 + l2_lat).max(pending);
+            // Data may still be in flight (late prefetch): the line's
+            // own metadata word records when its fill completes.
+            let meta = l2_out.meta.expect("hit carries metadata");
+            let ready = (t2 + l2_lat).max(meta.ready_at);
             if l2_out.prefetch_hit {
-                if self.cores[core_idx].temporal_resident.remove(&line) {
+                if meta.source == FillSource::Temporal {
                     self.cores[core_idx].stats.temporal_used += 1;
                 }
                 self.train_temporal(core_idx, pc, line, TrainKind::L2PrefetchHit, t2);
@@ -173,22 +178,22 @@ impl MemorySystem {
         if self.cores[core_idx].mshr.is_full() {
             if let Some(earliest) = self.cores[core_idx].mshr.earliest_ready() {
                 t3 = t3.max(earliest);
-                self.cores[core_idx].mshr.complete_until(t3);
+                self.cores[core_idx].mshr.retire_until(t3);
             }
         }
 
         // --- L3 ---
-        let l3_lat = self.cfg.l3.hit_latency();
+        let l3_lat = self.l3_lat;
         let l3_hit = self.l3.access(line, Some(pc), false).hit;
         let ready = if l3_hit {
             t3 + l3_lat
         } else {
             let fetched = self.dram.request(t3 + l3_lat, false).completes_at;
-            self.fill_l3(line, pc, false);
+            self.fill_l3(line, pc, FillSource::Demand);
             fetched
         };
 
-        self.fill_l2(core_idx, pc, line, false, ready);
+        self.fill_l2(core_idx, pc, line, FillSource::Demand, ready);
         self.fill_l1(core_idx, pc, line);
 
         // Train the temporal prefetcher on the miss and issue whatever
@@ -201,35 +206,52 @@ impl MemorySystem {
         self.cores[core_idx].l1.fill(line, Some(pc), false);
     }
 
-    fn fill_l3(&mut self, line: LineAddr, pc: Pc, is_prefetch: bool) {
-        self.l3.fill(line, Some(pc), is_prefetch);
+    fn fill_l3(&mut self, line: LineAddr, pc: Pc, source: FillSource) {
+        self.l3
+            .fill_at(line, Some(pc), source, source.is_prefetch(), 0);
     }
 
-    /// Fills the L2, maintaining readiness and accuracy bookkeeping.
+    /// Fills the L2. The line itself records who filled it and when the
+    /// data arrives; the dying victim's metadata word settles accuracy
+    /// accounting on the spot and is handed to the temporal prefetcher
+    /// as an eviction notice.
+    ///
+    /// Note the tag-bit policy: only *temporal* fills are
+    /// prefetch-tagged at the L2. Stride fills behave demand-like here
+    /// (the stride prefetcher is part of the baseline, so its hits must
+    /// not train the temporal prefetcher), while still being attributed
+    /// to the stride engine in their metadata word.
     fn fill_l2(
         &mut self,
         core_idx: usize,
         pc: Pc,
         line: LineAddr,
-        temporal_prefetch: bool,
+        source: FillSource,
         ready: Cycle,
     ) {
         let core = &mut self.cores[core_idx];
-        let out = core.l2.fill(line, Some(pc), temporal_prefetch);
+        let tagged = source == FillSource::Temporal;
+        let out = core.l2.fill_at(line, Some(pc), source, tagged, ready);
         core.stats.l2_fills += 1;
         if let Some(ev) = out.evicted {
-            core.ready_at.remove(&ev.line);
-            if core.temporal_resident.remove(&ev.line) && ev.was_unused_prefetch {
-                core.stats.temporal_wasted += 1;
-            }
+            Self::settle_l2_eviction(core, &ev);
         }
-        core.ready_at.insert(line, ready);
-        if temporal_prefetch {
-            core.temporal_resident.insert(line);
+        if tagged {
             core.stats.temporal_fills += 1;
-        } else {
-            core.temporal_resident.remove(&line);
         }
+    }
+
+    /// Attributes a dying L2 line and notifies the temporal prefetcher.
+    fn settle_l2_eviction(core: &mut CoreMem, ev: &EvictedLine) {
+        if ev.source == FillSource::Temporal && ev.was_unused_prefetch {
+            core.stats.temporal_wasted += 1;
+        }
+        core.temporal.on_l2_evict(&EvictNotice {
+            line: ev.line,
+            meta: ev.meta(),
+            was_unused_prefetch: ev.was_unused_prefetch,
+            fill_pc: ev.fill_pc,
+        });
     }
 
     /// Trains the stride prefetcher (every L1 access) and issues its
@@ -295,28 +317,33 @@ impl MemorySystem {
     /// only the L2, as in the paper).
     fn issue_prefetch(&mut self, core_idx: usize, req: PrefetchRequest, t: Cycle, temporal: bool) {
         let t = t + req.issue_delay;
+        let source = if temporal {
+            FillSource::Temporal
+        } else {
+            FillSource::Stride
+        };
         if self.cores[core_idx].l2.contains(req.line) {
             if !temporal && !self.cores[core_idx].l1.contains(req.line) {
                 self.cores[core_idx].l1.fill(req.line, Some(req.pc), true);
             }
             return;
         }
-        self.cores[core_idx].mshr.complete_until(t);
+        self.cores[core_idx].mshr.retire_until(t);
         if self.cores[core_idx].mshr.is_full() {
             self.cores[core_idx].stats.prefetches_dropped += 1;
             return;
         }
-        let l3_lat = self.cfg.l3.hit_latency();
+        let l3_lat = self.l3_lat;
         let l3_hit = self.l3.access(req.line, Some(req.pc), true).hit;
         let ready = if l3_hit {
             t + l3_lat
         } else {
             let fetched = self.dram.request(t + l3_lat, true).completes_at;
-            self.fill_l3(req.line, req.pc, true);
+            self.fill_l3(req.line, req.pc, source);
             fetched
         };
         self.cores[core_idx].mshr.allocate(req.line, ready, true);
-        self.fill_l2(core_idx, req.pc, req.line, temporal, ready);
+        self.fill_l2(core_idx, req.pc, req.line, source, ready);
         if !temporal {
             self.cores[core_idx].l1.fill(req.line, Some(req.pc), true);
         }
@@ -337,13 +364,6 @@ impl MemorySystem {
             let total = self.cfg.l3.ways();
             let mask = all_ways(total) & !all_ways(want);
             let _flushed = self.l3.set_way_mask(mask);
-        }
-    }
-
-    /// Evicts stale readiness records (bounded memory on long runs).
-    pub fn prune_ready(&mut self, now: Cycle) {
-        for core in &mut self.cores {
-            core.ready_at.retain(|_, ready| *ready > now);
         }
     }
 

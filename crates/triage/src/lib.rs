@@ -50,7 +50,8 @@ pub use training::{TrainingTable, TrainingUpdate};
 
 use triangel_markov::{MarkovTable, MarkovTableConfig};
 use triangel_prefetch::{
-    BloomFilter, CacheView, PrefetchRequest, Prefetcher, PrefetcherStats, TrainEvent, TrainKind,
+    BloomFilter, CacheView, EvictNotice, PrefetchRequest, Prefetcher, PrefetcherStats, TrainEvent,
+    TrainKind,
 };
 use triangel_types::{Cycle, LineAddr};
 
@@ -127,6 +128,9 @@ pub struct Triage {
     desired_ways: usize,
     issued: u64,
     name: String,
+    /// L2 eviction notices for own (temporal) fills: (died used,
+    /// died unused). Diagnostics only; surfaced via `debug_string`.
+    evict_seen: (u64, u64),
 }
 
 impl Triage {
@@ -147,6 +151,7 @@ impl Triage {
             issued: 0,
             cfg,
             name,
+            evict_seen: (0, 0),
         }
     }
 
@@ -236,6 +241,21 @@ impl Prefetcher for Triage {
             mrb_hits: 0,
             updates_suppressed: 0,
         }
+    }
+
+    fn on_l2_evict(&mut self, notice: &EvictNotice) {
+        match notice.temporal_death() {
+            Some(true) => self.evict_seen.1 += 1,
+            Some(false) => self.evict_seen.0 += 1,
+            None => {}
+        }
+    }
+
+    fn debug_string(&self) -> String {
+        format!(
+            "ways={} issued={} evict=({} used, {} wasted)",
+            self.desired_ways, self.issued, self.evict_seen.0, self.evict_seen.1,
+        )
     }
 }
 

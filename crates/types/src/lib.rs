@@ -12,6 +12,12 @@
 //!   linear-congruential randomness suffices for the samplers.
 //! * [`stats`] — counters, ratios, histograms and the geometric mean used
 //!   throughout the evaluation.
+//! * [`LineMeta`] / [`FillSource`] — the per-cache-line metadata word
+//!   (who filled the line, when the fill completes, demand-used bit)
+//!   shared by the cache model, the prefetcher interfaces and the
+//!   memory system.
+//! * [`hash`] — a deterministic fast hasher ([`hash::FxHashMap`]) for
+//!   hot-path lookup tables keyed by simulator-generated values.
 //!
 //! # Examples
 //!
@@ -28,6 +34,8 @@
 
 mod addr;
 mod counter;
+pub mod hash;
+mod meta;
 pub mod rng;
 pub mod stats;
 
@@ -35,6 +43,7 @@ pub use addr::{
     Addr, LineAddr, Pc, CACHE_LINE_BYTES, LINE_OFFSET_BITS, PAGE_BYTES, PAGE_OFFSET_BITS,
 };
 pub use counter::SaturatingCounter;
+pub use meta::{FillSource, LineMeta};
 
 /// A simulated clock value, measured in core cycles.
 pub type Cycle = u64;

@@ -1,0 +1,71 @@
+//! The per-cache-line simulation metadata word.
+//!
+//! PR 2 moved the facts the simulator used to keep in side tables
+//! (`HashMap<LineAddr, Cycle>` fill times, a `HashSet<LineAddr>` of
+//! temporal-prefetched residents) into the cache lines themselves: every
+//! line carries a small metadata word — who filled it, when the fill
+//! completes, and whether a demand has touched it — that rides along
+//! through fill, hit and eviction. The word is the authoritative record:
+//! it is born at fill, surfaced on every lookup, and delivered to
+//! whoever is watching exactly when the line dies, so used/wasted
+//! prefetch attribution needs no shadow bookkeeping.
+
+use crate::Cycle;
+
+/// Who installed a cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FillSource {
+    /// A demand miss brought the line in.
+    #[default]
+    Demand,
+    /// The L1D stride prefetcher (part of the paper's baseline).
+    Stride,
+    /// The temporal prefetcher under evaluation (Triage / Triangel).
+    Temporal,
+}
+
+impl FillSource {
+    /// Whether the line was installed by any prefetcher.
+    pub fn is_prefetch(self) -> bool {
+        !matches!(self, FillSource::Demand)
+    }
+}
+
+/// The metadata word one cache line carries.
+///
+/// Small by design — hardware would spend a handful of bits per line on
+/// this (2 source bits, a used bit, and a bounded fill timestamp held in
+/// the MSHR until completion); the simulator widens the timestamp to a
+/// full [`Cycle`] so late-prefetch timing is exact over arbitrarily long
+/// runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LineMeta {
+    /// Who filled the line.
+    pub source: FillSource,
+    /// Cycle at which the fill's data actually arrives. A demand hit
+    /// before this cycle is a *late prefetch* and waits for it.
+    pub ready_at: Cycle,
+    /// Whether any demand access has touched the line since fill.
+    pub used: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_prefetch_classification() {
+        assert!(!FillSource::Demand.is_prefetch());
+        assert!(FillSource::Stride.is_prefetch());
+        assert!(FillSource::Temporal.is_prefetch());
+        assert_eq!(FillSource::default(), FillSource::Demand);
+    }
+
+    #[test]
+    fn meta_defaults_are_inert() {
+        let m = LineMeta::default();
+        assert_eq!(m.ready_at, 0);
+        assert!(!m.used);
+        assert_eq!(m.source, FillSource::Demand);
+    }
+}

@@ -9,8 +9,7 @@
 //! contiguously (a freshly booted machine) or scattered across a larger
 //! physical space (a fragmented, long-running OS).
 
-use std::collections::{HashMap, HashSet};
-
+use triangel_types::hash::{FxHashMap, FxHashSet};
 use triangel_types::rng::SplitMix64;
 use triangel_types::{Addr, PAGE_BYTES};
 
@@ -37,8 +36,10 @@ use triangel_types::{Addr, PAGE_BYTES};
 pub struct PageMapper {
     fragmentation: f64,
     spread: u64,
-    table: HashMap<u64, u64>,
-    used_frames: HashSet<u64>,
+    /// Page → frame, on the per-access translate path: a deterministic
+    /// fast hash (lookups only; nothing folds over iteration order).
+    table: FxHashMap<u64, u64>,
+    used_frames: FxHashSet<u64>,
     next_frame: u64,
     run_left: u64,
     rng: SplitMix64,
@@ -59,8 +60,8 @@ impl PageMapper {
         PageMapper {
             fragmentation,
             spread,
-            table: HashMap::new(),
-            used_frames: HashSet::new(),
+            table: FxHashMap::default(),
+            used_frames: FxHashSet::default(),
             next_frame: 1, // frame 0 reserved so translated addresses stay nonzero
             run_left: 0,
             rng: SplitMix64::new(seed),

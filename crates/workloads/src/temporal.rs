@@ -249,8 +249,13 @@ impl StridedStream {
 
 impl TraceSource for StridedStream {
     fn next_access(&mut self) -> MemoryAccess {
-        let line = self.pos % self.array_lines;
+        // `pos` is kept reduced below `array_lines`, so the wrap costs a
+        // division only when it actually happens instead of every access.
+        let line = self.pos;
         self.pos += self.stride_lines;
+        if self.pos >= self.array_lines {
+            self.pos %= self.array_lines;
+        }
         MemoryAccess::new(
             self.pc,
             Addr::new(self.base.get() + line * CACHE_LINE_BYTES),
