@@ -3,7 +3,7 @@
 //! the cost of regenerating every figure.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use triangel_sim::{Experiment, PrefetcherChoice};
+use triangel_sim::{PrefetcherChoice, SimSession};
 use triangel_workloads::spec::SpecWorkload;
 
 fn bench_pipeline(c: &mut Criterion) {
@@ -17,12 +17,14 @@ fn bench_pipeline(c: &mut Criterion) {
     ] {
         g.bench_function(BenchmarkId::from_parameter(choice.label()), |b| {
             b.iter(|| {
-                Experiment::new(SpecWorkload::Xalan.generator(1))
+                SimSession::builder()
+                    .workload(SpecWorkload::Xalan.generator(1))
                     .warmup(10_000)
                     .accesses(50_000)
                     .sizing_window(20_000)
                     .prefetcher(choice)
                     .run()
+                    .unwrap()
             });
         });
     }

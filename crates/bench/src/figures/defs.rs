@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use triangel_core::{structure_sizes, TriangelConfig, TriangelFeatures};
-use triangel_harness::emit::{perf_to_json, PerfRecord, PerfReport};
+use triangel_harness::emit::{perf_to_json, PerfRecord, PerfReport, PerfScalingPoint};
 use triangel_harness::{GridSpec, MapperSpec, RunParams, SweepOptions, WorkloadSpec};
 use triangel_markov::TargetFormat;
 use triangel_sim::{PrefetcherChoice, SystemConfig};
@@ -312,13 +312,15 @@ fn perf_baseline() -> PerfRecord {
 }
 
 pub(super) fn perf(ctx: &mut FigureContext) -> Vec<FigureOutput> {
-    let grid = GridSpec::new(PERF_PARAMS)
-        .spec_rows()
-        .columns([PrefetcherChoice::Triage, PrefetcherChoice::Triangel]);
+    let grid = || {
+        GridSpec::new(PERF_PARAMS)
+            .spec_rows()
+            .columns([PrefetcherChoice::Triage, PrefetcherChoice::Triangel])
+    };
     // Serial and with a private (empty) cache: the wall clock must
     // measure simulation throughput, not scheduling or result reuse.
     let t0 = std::time::Instant::now();
-    let result = grid
+    let result = grid()
         .run(&SweepOptions::serial())
         .unwrap_or_else(|e| panic!("{e}"));
     let wall = t0.elapsed();
@@ -326,20 +328,57 @@ pub(super) fn perf(ctx: &mut FigureContext) -> Vec<FigureOutput> {
 
     let jobs = result.stats.executed;
     let total_accesses = jobs as u64 * (PERF_PARAMS.warmup + PERF_PARAMS.accesses);
+    let serial_rate = total_accesses as f64 / wall.as_secs_f64();
     let current = PerfRecord {
         label: "working tree".into(),
         wall_ms: wall.as_secs_f64() * 1e3,
-        accesses_per_sec: total_accesses as f64 / wall.as_secs_f64(),
+        accesses_per_sec: serial_rate,
     };
+
+    // The parallel-scaling curve: jobs ∈ {1, 2, N}, each width on a
+    // fresh private cache so it executes the full job list. The
+    // scheduler takes the thread-free serial path whenever workers==1
+    // (`pool::run_indexed`), so the measurement above *is* the jobs=1
+    // point — re-running it would record pure run-to-run noise as
+    // "scheduling overhead". Wider points (2, one-per-core) expose
+    // real scheduler + memory-bandwidth overhead.
+    let max_workers = triangel_harness::pool::default_workers();
+    let mut scaling = vec![PerfScalingPoint {
+        workers: 1,
+        wall_ms: current.wall_ms,
+        accesses_per_sec: serial_rate,
+        speedup_vs_serial: 1.0,
+    }];
+    let mut widths = vec![2usize, max_workers];
+    widths.sort_unstable();
+    widths.dedup();
+    widths.retain(|w| *w > 1);
+    for workers in widths {
+        let t0 = std::time::Instant::now();
+        let result = grid()
+            .run(&SweepOptions::parallel(workers))
+            .unwrap_or_else(|e| panic!("{e}"));
+        let wall = t0.elapsed().as_secs_f64();
+        ctx.absorb(result.stats);
+        let rate = total_accesses as f64 / wall;
+        scaling.push(PerfScalingPoint {
+            workers,
+            wall_ms: wall * 1e3,
+            accesses_per_sec: rate,
+            speedup_vs_serial: rate / serial_rate,
+        });
+    }
+
     let report = PerfReport {
         sweep: format!(
-            "7 SPEC workloads x {{Baseline, Triage, Triangel}}, warmup {} + {} accesses each, --jobs 1",
+            "7 SPEC workloads x {{Baseline, Triage, Triangel}}, warmup {} + {} accesses each, serial + jobs scaling",
             PERF_PARAMS.warmup, PERF_PARAMS.accesses
         ),
         jobs,
         total_accesses,
         baseline: perf_baseline(),
         current,
+        scaling,
     };
     eprintln!(
         "[perf] {} job(s), {:.0} ms wall, {:.3}M accesses/s — {:.2}x vs `{}`",
@@ -349,6 +388,15 @@ pub(super) fn perf(ctx: &mut FigureContext) -> Vec<FigureOutput> {
         report.speedup(),
         report.baseline.label,
     );
+    for p in &report.scaling {
+        eprintln!(
+            "[perf]   --jobs {}: {:.0} ms, {:.3}M accesses/s ({:.2}x vs serial)",
+            p.workers,
+            p.wall_ms,
+            p.accesses_per_sec / 1e6,
+            p.speedup_vs_serial,
+        );
+    }
     vec![FigureOutput::Json {
         name: "BENCH_perf".into(),
         body: perf_to_json(&report),

@@ -1,7 +1,7 @@
 //! The set-associative cache model.
 
 use crate::config::CacheConfig;
-use crate::replacement::{all_ways, AccessMeta, ReplacementPolicy, WayMask};
+use crate::replacement::{all_ways, AccessMeta, ReplacementImpl, ReplacementPolicy, WayMask};
 use triangel_types::{Cycle, FillSource, LineAddr, LineMeta, Pc};
 
 /// One cache line's bookkeeping state, including the simulation
@@ -158,7 +158,9 @@ impl CacheStats {
 pub struct Cache {
     cfg: CacheConfig,
     lines: Vec<Line>,
-    policy: Box<dyn ReplacementPolicy>,
+    /// Enum-dispatched so victim selection inlines into the set scan
+    /// (no virtual call per access).
+    policy: ReplacementImpl,
     way_mask: WayMask,
     stats: CacheStats,
     /// Geometry cached out of `cfg` — `CacheConfig::sets` divides, and
@@ -172,7 +174,7 @@ impl Cache {
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = cfg.sets();
         let ways = cfg.ways();
-        let policy = cfg.policy().build(sets, ways);
+        let policy = cfg.policy().build_impl(sets, ways);
         Cache {
             lines: vec![Line::default(); sets * ways],
             policy,

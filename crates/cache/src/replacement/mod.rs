@@ -130,7 +130,13 @@ pub enum PolicyKind {
 }
 
 impl PolicyKind {
-    /// Instantiates the policy for a cache of `sets x ways`.
+    /// Instantiates the policy for a cache of `sets x ways` behind a
+    /// trait object.
+    ///
+    /// Compatibility shim for callers that store policies as
+    /// `Box<dyn ReplacementPolicy>`; the simulator's own caches and the
+    /// Markov table use [`PolicyKind::build_impl`] so victim selection
+    /// monomorphizes on the per-access hot path.
     pub fn build(self, sets: usize, ways: usize) -> Box<dyn ReplacementPolicy> {
         match self {
             PolicyKind::Lru => Box::new(Lru::new(sets, ways)),
@@ -140,6 +146,104 @@ impl PolicyKind {
             PolicyKind::Srrip => Box::new(Rrip::new(sets, ways, RripMode::Static)),
             PolicyKind::Brrip => Box::new(Rrip::new(sets, ways, RripMode::Bimodal)),
             PolicyKind::Hawkeye => Box::new(HawkEye::new(sets, ways, HawkEyeConfig::default())),
+        }
+    }
+
+    /// Instantiates the policy as a [`ReplacementImpl`] (enum dispatch,
+    /// no vtable on the hot path).
+    pub fn build_impl(self, sets: usize, ways: usize) -> ReplacementImpl {
+        match self {
+            PolicyKind::Lru => ReplacementImpl::Lru(Lru::new(sets, ways)),
+            PolicyKind::Fifo => ReplacementImpl::Fifo(Fifo::new(sets, ways)),
+            PolicyKind::Random => ReplacementImpl::Random(Random::new(sets, ways, 0xC0FFEE)),
+            PolicyKind::TreePlru => ReplacementImpl::TreePlru(TreePlru::new(sets, ways)),
+            PolicyKind::Srrip => ReplacementImpl::Rrip(Rrip::new(sets, ways, RripMode::Static)),
+            PolicyKind::Brrip => ReplacementImpl::Rrip(Rrip::new(sets, ways, RripMode::Bimodal)),
+            PolicyKind::Hawkeye => {
+                ReplacementImpl::Hawkeye(HawkEye::new(sets, ways, HawkEyeConfig::default()))
+            }
+        }
+    }
+}
+
+/// Every shipped replacement policy as one concrete value.
+///
+/// The caches and the Markov table are generic consumers of
+/// [`ReplacementPolicy`]; storing the policy as this enum instead of a
+/// `Box<dyn ReplacementPolicy>` replaces per-access virtual calls with
+/// a branch-predictable match, so the policy's `on_hit`/`victim` logic
+/// (HawkEye's OPTgen sampling, SRRIP's interval scan) inlines into the
+/// set-scan loop. Behaviour is identical to the boxed form by
+/// construction: both wrap the very same concrete types.
+#[derive(Debug)]
+pub enum ReplacementImpl {
+    /// Least recently used.
+    Lru(Lru),
+    /// First in, first out.
+    Fifo(Fifo),
+    /// Uniform random.
+    Random(Random),
+    /// Tree pseudo-LRU.
+    TreePlru(TreePlru),
+    /// RRIP, static or bimodal (see [`RripMode`]).
+    Rrip(Rrip),
+    /// HawkEye (Belady-mimicking, PC-classified).
+    Hawkeye(HawkEye),
+}
+
+impl ReplacementPolicy for ReplacementImpl {
+    fn on_hit(&mut self, set: usize, way: usize, meta: &AccessMeta) {
+        match self {
+            ReplacementImpl::Lru(p) => p.on_hit(set, way, meta),
+            ReplacementImpl::Fifo(p) => p.on_hit(set, way, meta),
+            ReplacementImpl::Random(p) => p.on_hit(set, way, meta),
+            ReplacementImpl::TreePlru(p) => p.on_hit(set, way, meta),
+            ReplacementImpl::Rrip(p) => p.on_hit(set, way, meta),
+            ReplacementImpl::Hawkeye(p) => p.on_hit(set, way, meta),
+        }
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, meta: &AccessMeta) {
+        match self {
+            ReplacementImpl::Lru(p) => p.on_fill(set, way, meta),
+            ReplacementImpl::Fifo(p) => p.on_fill(set, way, meta),
+            ReplacementImpl::Random(p) => p.on_fill(set, way, meta),
+            ReplacementImpl::TreePlru(p) => p.on_fill(set, way, meta),
+            ReplacementImpl::Rrip(p) => p.on_fill(set, way, meta),
+            ReplacementImpl::Hawkeye(p) => p.on_fill(set, way, meta),
+        }
+    }
+
+    fn victim(&mut self, set: usize, mask: WayMask) -> usize {
+        match self {
+            ReplacementImpl::Lru(p) => p.victim(set, mask),
+            ReplacementImpl::Fifo(p) => p.victim(set, mask),
+            ReplacementImpl::Random(p) => p.victim(set, mask),
+            ReplacementImpl::TreePlru(p) => p.victim(set, mask),
+            ReplacementImpl::Rrip(p) => p.victim(set, mask),
+            ReplacementImpl::Hawkeye(p) => p.victim(set, mask),
+        }
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        match self {
+            ReplacementImpl::Lru(p) => p.on_invalidate(set, way),
+            ReplacementImpl::Fifo(p) => p.on_invalidate(set, way),
+            ReplacementImpl::Random(p) => p.on_invalidate(set, way),
+            ReplacementImpl::TreePlru(p) => p.on_invalidate(set, way),
+            ReplacementImpl::Rrip(p) => p.on_invalidate(set, way),
+            ReplacementImpl::Hawkeye(p) => p.on_invalidate(set, way),
+        }
+    }
+
+    fn on_evict(&mut self, set: usize, way: usize, line: LineAddr) {
+        match self {
+            ReplacementImpl::Lru(p) => p.on_evict(set, way, line),
+            ReplacementImpl::Fifo(p) => p.on_evict(set, way, line),
+            ReplacementImpl::Random(p) => p.on_evict(set, way, line),
+            ReplacementImpl::TreePlru(p) => p.on_evict(set, way, line),
+            ReplacementImpl::Rrip(p) => p.on_evict(set, way, line),
+            ReplacementImpl::Hawkeye(p) => p.on_evict(set, way, line),
         }
     }
 }
@@ -173,6 +277,47 @@ mod tests {
             }
             let v = p.victim(0, all_ways(4));
             assert!(v < 4, "{kind:?} returned out-of-range victim");
+        }
+    }
+
+    #[test]
+    fn enum_dispatch_matches_boxed_dispatch() {
+        // Same policy behind the dyn shim and the enum must make the
+        // same decisions on the same history: both wrap identical
+        // concrete state (including the Random policy's fixed seed).
+        for kind in [
+            PolicyKind::Lru,
+            PolicyKind::Fifo,
+            PolicyKind::Random,
+            PolicyKind::TreePlru,
+            PolicyKind::Srrip,
+            PolicyKind::Brrip,
+            PolicyKind::Hawkeye,
+        ] {
+            let mut boxed = kind.build(4, 8);
+            let mut inline = kind.build_impl(4, 8);
+            for i in 0..256u64 {
+                let set = (i % 4) as usize;
+                let way = (i % 8) as usize;
+                let meta = AccessMeta::demand(LineAddr::new(i * 3), Some(Pc::new(i % 5)));
+                match i % 3 {
+                    0 => {
+                        boxed.on_fill(set, way, &meta);
+                        inline.on_fill(set, way, &meta);
+                    }
+                    1 => {
+                        boxed.on_hit(set, way, &meta);
+                        inline.on_hit(set, way, &meta);
+                    }
+                    _ => {
+                        let mask = all_ways(8);
+                        let (a, b) = (boxed.victim(set, mask), inline.victim(set, mask));
+                        assert_eq!(a, b, "{kind:?} diverged at step {i}");
+                        boxed.on_evict(set, a, meta.line);
+                        inline.on_evict(set, b, meta.line);
+                    }
+                }
+            }
         }
     }
 

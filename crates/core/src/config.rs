@@ -39,10 +39,22 @@ pub struct TriangelFeatures {
     /// `+HighPatternConf`: require the 5/6-accuracy classifier before
     /// degree-4/lookahead-2 aggression (Section 4.5).
     pub high_pattern_conf: bool,
+    /// Train on L2 eviction notices (paper-faithful eviction feedback
+    /// through [`Prefetcher::on_l2_evict`]). **Experimental gate, off
+    /// everywhere by default** — it is not part of the Fig. 20 ladder,
+    /// [`TriangelFeatures::all`] leaves it off, and today the flag only
+    /// reserves the knob: enabling it changes no behaviour yet. When
+    /// the training path lands behind it, goldens must be re-blessed
+    /// deliberately.
+    ///
+    /// [`Prefetcher::on_l2_evict`]: triangel_prefetch::Prefetcher::on_l2_evict
+    pub train_on_eviction: bool,
 }
 
 impl TriangelFeatures {
-    /// Everything on: full Triangel.
+    /// Everything on: full Triangel. The experimental
+    /// `train_on_eviction` gate stays off — it is not part of the
+    /// paper's default configuration.
     pub const fn all() -> Self {
         TriangelFeatures {
             lookahead2: true,
@@ -53,6 +65,7 @@ impl TriangelFeatures {
             set_dueller: true,
             reuse_conf: true,
             high_pattern_conf: true,
+            train_on_eviction: false,
         }
     }
 
@@ -68,6 +81,7 @@ impl TriangelFeatures {
             set_dueller: false,
             reuse_conf: false,
             high_pattern_conf: false,
+            train_on_eviction: false,
         }
     }
 
@@ -256,5 +270,17 @@ mod tests {
     #[should_panic(expected = "8 steps")]
     fn ladder_bounds() {
         let _ = TriangelFeatures::ladder(9);
+    }
+
+    #[test]
+    fn eviction_training_gate_is_off_everywhere() {
+        // The experimental gate must not leak into any shipped
+        // configuration: enabling it is always an explicit opt-in.
+        assert!(!TriangelFeatures::all().train_on_eviction);
+        assert!(!TriangelFeatures::none().train_on_eviction);
+        for step in 0..=8 {
+            assert!(!TriangelFeatures::ladder(step).train_on_eviction);
+        }
+        assert!(!TriangelConfig::paper_default().features.train_on_eviction);
     }
 }

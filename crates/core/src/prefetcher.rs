@@ -62,15 +62,21 @@ impl Triangel {
             ..cfg.table
         };
         let max_size = table_cfg.max_capacity_entries() as u64;
+        // Naming ignores the experimental eviction-training gate (it is
+        // orthogonal to the ablation features) and tags it as a suffix.
+        let base = crate::config::TriangelFeatures {
+            train_on_eviction: false,
+            ..f
+        };
         let with_dueller = crate::config::TriangelFeatures {
             set_dueller: true,
-            ..f
+            ..base
         };
         let with_mrb = crate::config::TriangelFeatures {
             metadata_reuse_buffer: true,
-            ..f
+            ..base
         };
-        let name = if f == crate::config::TriangelFeatures::all() {
+        let mut name = if base == crate::config::TriangelFeatures::all() {
             "Triangel".to_string()
         } else if cfg.sizing() == SizingMechanism::Bloom
             && with_dueller == crate::config::TriangelFeatures::all()
@@ -81,6 +87,9 @@ impl Triangel {
         } else {
             "Triangel-partial".to_string()
         };
+        if f.train_on_eviction {
+            name.push_str("+EvictTrain");
+        }
         Triangel {
             training: TrainingTable::new(cfg.training_entries),
             sampler: HistorySampler::new(cfg.sampler_entries, cfg.seed),
@@ -145,10 +154,10 @@ impl Triangel {
     }
 
     /// Runs the History/Second-Chance sampling machinery (Section 4.4).
-    fn run_samplers(
+    fn run_samplers<V: CacheView + ?Sized>(
         &mut self,
         ev: &TrainEvent,
-        caches: &dyn CacheView,
+        caches: &V,
         idx: u16,
         prev0: Option<LineAddr>,
         ts: u32,
@@ -277,13 +286,19 @@ impl Triangel {
             }
         }
     }
-}
 
-impl Prefetcher for Triangel {
-    fn on_event(
+    /// Processes one training event with a statically-known cache view.
+    ///
+    /// The monomorphized form of [`Prefetcher::on_event`]: the
+    /// simulator's enum-dispatched pipeline calls it directly, so the
+    /// sampler verdicts, aggression gates, Markov training and the
+    /// MRB-short-circuited prefetch walk all specialize against the
+    /// concrete cache view (residency checks become direct set scans).
+    /// The trait method forwards here with the dynamic view.
+    pub fn handle<V: CacheView + ?Sized>(
         &mut self,
         ev: &TrainEvent,
-        caches: &dyn CacheView,
+        caches: &V,
         out: &mut Vec<PrefetchRequest>,
     ) {
         if !matches!(ev.kind, TrainKind::L2Miss | TrainKind::L2PrefetchHit) {
@@ -423,6 +438,17 @@ impl Prefetcher for Triangel {
         }
 
         self.run_sizing(ev.line, allowed);
+    }
+}
+
+impl Prefetcher for Triangel {
+    fn on_event(
+        &mut self,
+        ev: &TrainEvent,
+        caches: &dyn CacheView,
+        out: &mut Vec<PrefetchRequest>,
+    ) {
+        self.handle(ev, caches, out);
     }
 
     fn name(&self) -> &str {

@@ -130,6 +130,22 @@ pub struct PerfRecord {
     pub accesses_per_sec: f64,
 }
 
+/// One point of the parallel-scaling curve: the same fixed sweep run
+/// under a worker pool instead of serially.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfScalingPoint {
+    /// Worker threads the sweep was scheduled across (`--jobs N`).
+    pub workers: usize,
+    /// Wall-clock milliseconds for the whole sweep at this width.
+    pub wall_ms: f64,
+    /// Simulated accesses per wall-clock second at this width.
+    pub accesses_per_sec: f64,
+    /// Throughput ratio over the same run's serial measurement
+    /// (ideal = `workers`; the gap is scheduler + memory-bandwidth
+    /// overhead).
+    pub speedup_vs_serial: f64,
+}
+
 /// The repo's perf-trajectory artefact (`BENCH_perf.json`): a fixed
 /// smoke sweep timed under the current build, against the recorded
 /// baseline it is tracked from. Wall times are machine-dependent; the
@@ -147,6 +163,9 @@ pub struct PerfReport {
     pub baseline: PerfRecord,
     /// The measurement just taken.
     pub current: PerfRecord,
+    /// The parallel-scaling curve (jobs ∈ {1, 2, N}), empty when only
+    /// the serial number was measured.
+    pub scaling: Vec<PerfScalingPoint>,
 }
 
 impl PerfReport {
@@ -165,16 +184,28 @@ fn perf_record_json(r: &PerfRecord) -> String {
     )
 }
 
+fn perf_scaling_json(p: &PerfScalingPoint) -> String {
+    format!(
+        "{{\"workers\":{},\"wall_ms\":{},\"accesses_per_sec\":{},\"speedup_vs_serial\":{}}}",
+        p.workers,
+        json_f64(p.wall_ms),
+        json_f64(p.accesses_per_sec),
+        json_f64(p.speedup_vs_serial),
+    )
+}
+
 /// Serializes a perf report as JSON (the `BENCH_perf.json` schema).
 pub fn perf_to_json(r: &PerfReport) -> String {
+    let scaling: Vec<String> = r.scaling.iter().map(perf_scaling_json).collect();
     format!(
-        "{{\"schema\":1,\"figure\":\"perf\",\"sweep\":{},\"jobs\":{},\"total_accesses\":{},\"baseline\":{},\"current\":{},\"speedup\":{}}}",
+        "{{\"schema\":2,\"figure\":\"perf\",\"sweep\":{},\"jobs\":{},\"total_accesses\":{},\"baseline\":{},\"current\":{},\"speedup\":{},\"scaling\":[{}]}}",
         json_str(&r.sweep),
         r.jobs,
         r.total_accesses,
         perf_record_json(&r.baseline),
         perf_record_json(&r.current),
         json_f64(r.speedup()),
+        scaling.join(","),
     )
 }
 
@@ -280,12 +311,19 @@ mod tests {
                 wall_ms: 1000.0,
                 accesses_per_sec: 2_100_000.0,
             },
+            scaling: vec![PerfScalingPoint {
+                workers: 2,
+                wall_ms: 600.0,
+                accesses_per_sec: 3_500_000.0,
+                speedup_vs_serial: 1.6666666666666667,
+            }],
         };
         assert!((r.speedup() - 2.0).abs() < 1e-12);
         let j = perf_to_json(&r);
         assert!(j.contains("\"figure\":\"perf\""));
         assert!(j.contains("\"speedup\":2.0"));
         assert!(j.contains("\"baseline\":{\"label\":\"pre\""));
+        assert!(j.contains("\"scaling\":[{\"workers\":2,"));
         assert_eq!(perf_to_json(&r), perf_to_json(&r));
     }
 

@@ -3,7 +3,9 @@
 use std::fmt;
 use std::sync::Arc;
 
-use triangel_sim::{Experiment, PrefetcherChoice, RunReport, SimError};
+use triangel_sim::{
+    PrefetcherChoice, RunReport, SimError, SimSession, SimSessionBuilder, TriangelFeatures,
+};
 use triangel_workloads::graph500::BfsTrace;
 use triangel_workloads::graph500::Csr;
 use triangel_workloads::paging::PageMapper;
@@ -104,6 +106,12 @@ pub struct JobSpec {
     pub params: RunParams,
     /// Virtual-to-physical mapping.
     pub mapper: MapperSpec,
+    /// Optional Triangel feature override (the session-level gate for
+    /// experimental mechanisms such as
+    /// [`TriangelFeatures::train_on_eviction`]). `None` — the default —
+    /// keeps each configuration's own paper features and leaves the
+    /// job key unchanged.
+    pub features: Option<TriangelFeatures>,
 }
 
 impl JobSpec {
@@ -115,6 +123,7 @@ impl JobSpec {
             prefetcher,
             params,
             mapper: MapperSpec::Default,
+            features: None,
         }
     }
 
@@ -122,6 +131,14 @@ impl JobSpec {
     #[must_use]
     pub fn mapper(mut self, mapper: MapperSpec) -> Self {
         self.mapper = mapper;
+        self
+    }
+
+    /// Overrides the Triangel feature toggles (see
+    /// [`SimSessionBuilder::triangel_features`]).
+    #[must_use]
+    pub fn features(mut self, features: TriangelFeatures) -> Self {
+        self.features = Some(features);
         self
     }
 
@@ -142,8 +159,18 @@ impl JobSpec {
         } else {
             "-".to_string()
         };
+        // The feature override enters only when set *and* the
+        // configuration actually reads it (the Triangel family), so
+        // ungated jobs keep their historical keys — including every
+        // golden-pinned sweep — and a gated Triage/baseline column
+        // still cache-shares with its ungated twin (the same honesty
+        // rule as the sizing window above).
+        let features = match &self.features {
+            Some(f) if self.prefetcher.accepts_feature_override() => format!("|f={f:?}"),
+            _ => String::new(),
+        };
         format!(
-            "{}|pf={:?}|w={}|a={}|sw={}|s={}|m={:?}",
+            "{}|pf={:?}|w={}|a={}|sw={}|s={}|m={:?}{}",
             self.workload.key(),
             self.prefetcher,
             self.params.warmup,
@@ -151,10 +178,12 @@ impl JobSpec {
             sizing,
             self.params.seed,
             self.mapper,
+            features,
         )
     }
 
-    /// Runs the simulation this job describes.
+    /// Runs the simulation this job describes through
+    /// [`SimSession::builder`] (the monomorphized pipeline).
     ///
     /// Deterministic: the generator is built from the job's own seed in
     /// the calling thread, so the result does not depend on what other
@@ -162,35 +191,36 @@ impl JobSpec {
     ///
     /// # Errors
     ///
-    /// Propagates [`SimError`] from the experiment runner.
+    /// Propagates [`SimError`] from the session builder.
     pub fn run(&self) -> Result<RunReport, SimError> {
         let p = self.params;
-        let mut exp = match &self.workload {
-            WorkloadSpec::Spec(wl) => Experiment::new(wl.generator(p.seed)).label(wl.label()),
-            WorkloadSpec::Pair(a, b) => {
-                let sources: Vec<Box<dyn TraceSource>> = vec![
-                    Box::new(a.generator(p.seed)),
-                    Box::new(b.generator(p.seed ^ 0x9999)),
-                ];
-                Experiment::multiprogrammed(sources).label(format!("{} & {}", a.label(), b.label()))
-            }
-            WorkloadSpec::Graph500 { label, graph } => {
-                Experiment::new(BfsTrace::new(label.clone(), Arc::clone(graph), p.seed))
-                    .label(label.clone())
-            }
-            WorkloadSpec::Custom { name, build } => {
-                Experiment::new_boxed(build(p.seed)).label(name.clone())
-            }
+        let mut b: SimSessionBuilder = match &self.workload {
+            WorkloadSpec::Spec(wl) => SimSession::builder()
+                .workload(wl.generator(p.seed))
+                .label(wl.label()),
+            WorkloadSpec::Pair(a, b) => SimSession::builder()
+                .workload(a.generator(p.seed))
+                .workload(b.generator(p.seed ^ 0x9999))
+                .label(format!("{} & {}", a.label(), b.label())),
+            WorkloadSpec::Graph500 { label, graph } => SimSession::builder()
+                .workload(BfsTrace::new(label.clone(), Arc::clone(graph), p.seed))
+                .label(label.clone()),
+            WorkloadSpec::Custom { name, build } => SimSession::builder()
+                .boxed_workload(build(p.seed))
+                .label(name.clone()),
         };
-        exp = exp
+        b = b
             .warmup(p.warmup)
             .accesses(p.accesses)
             .sizing_window(p.sizing_window)
             .prefetcher(self.prefetcher);
         if let MapperSpec::Realistic(seed) = self.mapper {
-            exp = exp.page_mapper(PageMapper::realistic(seed));
+            b = b.page_mapper(PageMapper::realistic(seed));
         }
-        exp.try_run()
+        if let Some(features) = self.features {
+            b = b.triangel_features(features);
+        }
+        b.run()
     }
 }
 
@@ -254,6 +284,35 @@ mod tests {
             key(PrefetcherChoice::Triangel, p1),
             key(PrefetcherChoice::Triangel, p2)
         );
+    }
+
+    #[test]
+    fn features_enter_the_key_only_when_set() {
+        let job = JobSpec::new(
+            WorkloadSpec::Spec(SpecWorkload::Xalan),
+            PrefetcherChoice::Triangel,
+            params(),
+        );
+        let base_key = job.key();
+        assert!(
+            !base_key.contains("|f="),
+            "default jobs must keep their historical keys: {base_key}"
+        );
+        let gate = TriangelFeatures {
+            train_on_eviction: true,
+            ..TriangelFeatures::all()
+        };
+        let gated = job.clone().features(gate);
+        assert_ne!(base_key, gated.key());
+        assert!(gated.key().contains("train_on_eviction: true"));
+        // A configuration that ignores the override must keep its key:
+        // a gated Triage column cache-shares with the ungated one.
+        let triage = JobSpec::new(
+            WorkloadSpec::Spec(SpecWorkload::Xalan),
+            PrefetcherChoice::Triage,
+            params(),
+        );
+        assert_eq!(triage.key(), triage.clone().features(gate).key());
     }
 
     #[test]

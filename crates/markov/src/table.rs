@@ -2,7 +2,9 @@
 
 use crate::format::TargetFormat;
 use crate::lut::LookupTable;
-use triangel_cache::replacement::{all_ways, AccessMeta, PolicyKind, ReplacementPolicy};
+use triangel_cache::replacement::{
+    all_ways, AccessMeta, PolicyKind, ReplacementImpl, ReplacementPolicy,
+};
 use triangel_types::{xor_fold, LineAddr, Pc};
 
 /// Geometry and policy of the Markov table.
@@ -113,7 +115,9 @@ pub struct MarkovTable {
     set_bits: u32,
     ways: usize,
     entries: Vec<Option<Entry>>,
-    repl: Box<dyn ReplacementPolicy>,
+    /// Enum-dispatched (HawkEye for Triage, SRRIP for Triangel) so
+    /// entry train/lookup monomorphizes.
+    repl: ReplacementImpl,
     lut: Option<LookupTable>,
     stats: MarkovTableStats,
 }
@@ -144,7 +148,7 @@ impl MarkovTable {
             set_bits: cfg.sets.trailing_zeros(),
             ways: 0,
             entries: vec![None; lines * epl],
-            repl: cfg.replacement.build(lines, epl),
+            repl: cfg.replacement.build_impl(lines, epl),
             lut,
             stats: MarkovTableStats::default(),
         }

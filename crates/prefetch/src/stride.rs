@@ -53,23 +53,16 @@ impl StridePrefetcher {
         StridePrefetcher::new(64, 8)
     }
 
-    fn evict_if_full(&mut self, pc: Pc) {
-        if self.table.len() >= self.capacity && !self.table.contains_key(&pc.get()) {
-            // Deterministic eviction: drop the smallest key. A real table
-            // would be set-indexed by PC; the effect is equivalent for
-            // our stream counts (well under capacity).
-            if let Some(k) = self.table.keys().min().copied() {
-                self.table.remove(&k);
-            }
-        }
-    }
-}
-
-impl Prefetcher for StridePrefetcher {
-    fn on_event(
+    /// Processes one training event with a statically-known cache view.
+    ///
+    /// This is the monomorphized form of
+    /// [`Prefetcher::on_event`] — the simulator calls it directly on
+    /// every L1 access, so the whole delta/confidence update inlines
+    /// into the access loop. The trait method forwards here.
+    pub fn handle<V: CacheView + ?Sized>(
         &mut self,
         ev: &TrainEvent,
-        _caches: &dyn CacheView,
+        _caches: &V,
         out: &mut Vec<PrefetchRequest>,
     ) {
         if ev.kind != TrainKind::L1Access {
@@ -100,6 +93,28 @@ impl Prefetcher for StridePrefetcher {
             }
             self.issued += self.degree as u64;
         }
+    }
+
+    fn evict_if_full(&mut self, pc: Pc) {
+        if self.table.len() >= self.capacity && !self.table.contains_key(&pc.get()) {
+            // Deterministic eviction: drop the smallest key. A real table
+            // would be set-indexed by PC; the effect is equivalent for
+            // our stream counts (well under capacity).
+            if let Some(k) = self.table.keys().min().copied() {
+                self.table.remove(&k);
+            }
+        }
+    }
+}
+
+impl Prefetcher for StridePrefetcher {
+    fn on_event(
+        &mut self,
+        ev: &TrainEvent,
+        caches: &dyn CacheView,
+        out: &mut Vec<PrefetchRequest>,
+    ) {
+        self.handle(ev, caches, out);
     }
 
     fn name(&self) -> &str {

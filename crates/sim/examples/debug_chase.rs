@@ -1,7 +1,7 @@
 //! Diagnostic end-to-end check on the canonical pointer chase: a strict
 //! dependent chain beyond cache capacity but within Markov reach, where
 //! a temporal prefetcher must win decisively.
-use triangel_sim::{Comparison, Experiment, PrefetcherChoice};
+use triangel_sim::{Comparison, PrefetcherChoice, SimSession};
 use triangel_types::{Addr, Pc};
 use triangel_workloads::temporal::{TemporalStream, TemporalStreamConfig};
 
@@ -13,11 +13,13 @@ fn chase(len: usize) -> TemporalStream {
 }
 
 fn main() {
-    let base = Experiment::new(chase(50_000))
+    let base = SimSession::builder()
+        .workload(chase(50_000))
         .warmup(300_000)
         .accesses(200_000)
         .sizing_window(60_000)
-        .run();
+        .run()
+        .unwrap();
     println!(
         "BASE ipc={:.4} dram={} l2miss={} l3acc={}",
         base.ipc(),
@@ -25,12 +27,14 @@ fn main() {
         base.l2_demand_misses(),
         base.l3_accesses()
     );
-    let tri = Experiment::new(chase(50_000))
+    let tri = SimSession::builder()
+        .workload(chase(50_000))
         .warmup(300_000)
         .accesses(200_000)
         .sizing_window(60_000)
         .prefetcher(PrefetcherChoice::Triangel)
-        .run();
+        .run()
+        .unwrap();
     println!(
         "TRI  ipc={:.4} dram={} l2miss={} l3acc={} ways={} pf={:?} core={:?}",
         tri.ipc(),

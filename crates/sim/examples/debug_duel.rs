@@ -4,8 +4,7 @@
 //!
 //! Usage: `cargo run --release -p triangel-sim --example debug_duel [workload-index]`
 use triangel_core::{Triangel, TriangelConfig};
-use triangel_prefetch::Prefetcher;
-use triangel_sim::{Engine, MemorySystem, SystemConfig};
+use triangel_sim::{Engine, MemorySystem, PrefetcherImpl, SystemConfig};
 use triangel_workloads::paging::PageMapper;
 use triangel_workloads::spec::SpecWorkload;
 
@@ -17,13 +16,14 @@ fn main() {
     let wl = SpecWorkload::ALL[wl];
     let mut cfg = TriangelConfig::paper_default();
     cfg.sizing_window = 150_000;
-    let pf: Box<dyn Prefetcher> = Box::new(Triangel::new(cfg));
-    let system = MemorySystem::new(SystemConfig::paper_single_core(), vec![pf]);
-    let mut engine = Engine::new(
+    let pf = PrefetcherImpl::Triangel(Box::new(Triangel::new(cfg)));
+    let system = MemorySystem::with_prefetchers(SystemConfig::paper_single_core(), vec![pf]);
+    let mut engine = Engine::try_new(
         system,
         vec![Box::new(wl.generator(42))],
         PageMapper::realistic(0xA11C),
-    );
+    )
+    .unwrap();
     println!("{}:", wl.label());
     for i in 0..24 {
         engine.run_accesses(150_000);

@@ -4,7 +4,7 @@
 //!
 //! Usage: `cargo run --release -p triangel-sim --example debug_spec [accesses] [warmup]`
 use std::time::Instant;
-use triangel_sim::{Comparison, Experiment, PrefetcherChoice};
+use triangel_sim::{Comparison, PrefetcherChoice, SimSession};
 use triangel_workloads::spec::SpecWorkload;
 
 fn main() {
@@ -13,11 +13,13 @@ fn main() {
     let w: u64 = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(800_000);
     for wl in SpecWorkload::ALL {
         let t0 = Instant::now();
-        let base = Experiment::new(wl.generator(42))
+        let base = SimSession::builder()
+            .workload(wl.generator(42))
             .warmup(w)
             .accesses(n)
             .sizing_window(150_000)
-            .run();
+            .run()
+            .unwrap();
         let mut line = format!("{:12} base_ipc={:.3}", wl.label(), base.ipc());
         for choice in [
             PrefetcherChoice::Triage,
@@ -25,12 +27,14 @@ fn main() {
             PrefetcherChoice::Triangel,
             PrefetcherChoice::TriangelBloom,
         ] {
-            let r = Experiment::new(wl.generator(42))
+            let r = SimSession::builder()
+                .workload(wl.generator(42))
                 .warmup(w)
                 .accesses(n)
                 .sizing_window(150_000)
                 .prefetcher(choice)
-                .run();
+                .run()
+                .unwrap();
             let c = Comparison::new(&base, &r);
             line += &format!(
                 "  {}[sp={:.2} tr={:.2} ac={:.2} cv={:.2}]",

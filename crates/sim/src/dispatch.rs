@@ -1,0 +1,164 @@
+//! Enum dispatch for the temporal prefetchers.
+//!
+//! The simulator's per-access hot path used to train prefetchers
+//! through `Box<dyn Prefetcher>`, which blocked inlining across the
+//! hottest loop in the workspace (the Triage/Triangel Markov
+//! train/lookup walk). [`PrefetcherImpl`] wraps the shipped concrete
+//! types in one enum so the default pipeline dispatches with a
+//! branch-predictable match and passes the cache view as a concrete
+//! type — zero virtual calls per access. A [`PrefetcherImpl::Dyn`]
+//! variant keeps the old trait-object path available as a
+//! compatibility shim (and as the reference the dispatch-equivalence
+//! tests compare against).
+
+use triangel_core::Triangel;
+use triangel_prefetch::{
+    CacheView, EvictNotice, NullPrefetcher, PrefetchRequest, Prefetcher, PrefetcherStats,
+    TrainEvent,
+};
+use triangel_triage::Triage;
+
+/// A temporal prefetcher as a concrete value.
+///
+/// Built by
+/// [`PrefetcherChoice::build_impl`](crate::PrefetcherChoice::build_impl)
+/// for the default monomorphized pipeline, or wrapped around any
+/// [`Prefetcher`] trait object via [`PrefetcherImpl::Dyn`] for the
+/// compatibility path ([`MemorySystem::new`](crate::MemorySystem::new)).
+#[derive(Debug)]
+pub enum PrefetcherImpl {
+    /// No temporal prefetcher (the stride-only baseline).
+    Null(NullPrefetcher),
+    /// The Triage family (boxed: the Markov table dominates its size).
+    Triage(Box<Triage>),
+    /// The Triangel family.
+    Triangel(Box<Triangel>),
+    /// Any other implementation, behind the original trait object.
+    /// This arm pays the virtual call the concrete arms eliminate.
+    Dyn(Box<dyn Prefetcher>),
+}
+
+impl PrefetcherImpl {
+    /// Delivers one training event; monomorphizes over the cache view
+    /// for the concrete arms.
+    #[inline]
+    pub fn on_event<V: CacheView>(
+        &mut self,
+        ev: &TrainEvent,
+        caches: &V,
+        out: &mut Vec<PrefetchRequest>,
+    ) {
+        match self {
+            PrefetcherImpl::Null(_) => {}
+            PrefetcherImpl::Triage(p) => p.handle(ev, caches, out),
+            PrefetcherImpl::Triangel(p) => p.handle(ev, caches, out),
+            PrefetcherImpl::Dyn(p) => p.on_event(ev, caches, out),
+        }
+    }
+
+    /// Delivers an L2 eviction notice.
+    pub fn on_l2_evict(&mut self, notice: &EvictNotice) {
+        match self {
+            PrefetcherImpl::Null(_) => {}
+            PrefetcherImpl::Triage(p) => p.on_l2_evict(notice),
+            PrefetcherImpl::Triangel(p) => p.on_l2_evict(notice),
+            PrefetcherImpl::Dyn(p) => p.on_l2_evict(notice),
+        }
+    }
+
+    /// Display name for reports.
+    pub fn name(&self) -> &str {
+        match self {
+            PrefetcherImpl::Null(p) => p.name(),
+            PrefetcherImpl::Triage(p) => p.name(),
+            PrefetcherImpl::Triangel(p) => p.name(),
+            PrefetcherImpl::Dyn(p) => p.name(),
+        }
+    }
+
+    /// L3 ways currently wanted for Markov metadata.
+    pub fn desired_markov_ways(&self) -> usize {
+        match self {
+            PrefetcherImpl::Null(p) => p.desired_markov_ways(),
+            PrefetcherImpl::Triage(p) => p.desired_markov_ways(),
+            PrefetcherImpl::Triangel(p) => p.desired_markov_ways(),
+            PrefetcherImpl::Dyn(p) => p.desired_markov_ways(),
+        }
+    }
+
+    /// Evaluation counters.
+    pub fn stats(&self) -> PrefetcherStats {
+        match self {
+            PrefetcherImpl::Null(p) => p.stats(),
+            PrefetcherImpl::Triage(p) => p.stats(),
+            PrefetcherImpl::Triangel(p) => p.stats(),
+            PrefetcherImpl::Dyn(p) => p.stats(),
+        }
+    }
+
+    /// Free-form diagnostic snapshot.
+    pub fn debug_string(&self) -> String {
+        match self {
+            PrefetcherImpl::Null(p) => p.debug_string(),
+            PrefetcherImpl::Triage(p) => p.debug_string(),
+            PrefetcherImpl::Triangel(p) => p.debug_string(),
+            PrefetcherImpl::Dyn(p) => p.debug_string(),
+        }
+    }
+}
+
+impl From<Box<dyn Prefetcher>> for PrefetcherImpl {
+    fn from(p: Box<dyn Prefetcher>) -> Self {
+        PrefetcherImpl::Dyn(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triangel_prefetch::{NullCacheView, TrainKind};
+    use triangel_triage::TriageConfig;
+    use triangel_types::{LineAddr, Pc};
+
+    fn ev(line: u64) -> TrainEvent {
+        TrainEvent {
+            pc: Pc::new(0x40),
+            line: LineAddr::new(line),
+            kind: TrainKind::L2Miss,
+            cycle: 0,
+            l2_fills: 0,
+        }
+    }
+
+    #[test]
+    fn enum_and_dyn_arms_agree() {
+        let mut concrete = PrefetcherImpl::Triage(Box::new(Triage::new(TriageConfig::degree4())));
+        let mut boxed: PrefetcherImpl =
+            (Box::new(Triage::new(TriageConfig::degree4())) as Box<dyn Prefetcher>).into();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for pass in 0..2 {
+            for line in [10u64, 20, 30, 40, 50] {
+                a.clear();
+                b.clear();
+                concrete.on_event(&ev(line), &NullCacheView, &mut a);
+                boxed.on_event(&ev(line), &NullCacheView, &mut b);
+                assert_eq!(a, b, "pass {pass} line {line}");
+            }
+        }
+        assert_eq!(concrete.stats(), boxed.stats());
+        assert_eq!(concrete.name(), boxed.name());
+        assert_eq!(concrete.desired_markov_ways(), boxed.desired_markov_ways());
+    }
+
+    #[test]
+    fn null_arm_is_silent() {
+        let mut p = PrefetcherImpl::Null(NullPrefetcher);
+        let mut out = Vec::new();
+        p.on_event(&ev(1), &NullCacheView, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(p.name(), "none");
+        assert_eq!(p.desired_markov_ways(), 0);
+        assert_eq!(p.stats(), PrefetcherStats::default());
+        assert_eq!(p.debug_string(), "");
+    }
+}

@@ -1,21 +1,67 @@
 //! The interval-based out-of-order timing engine.
 
-use std::collections::VecDeque;
-
 use crate::error::SimError;
 use crate::hierarchy::MemorySystem;
 use crate::metrics::{CoreReport, RunReport};
 use triangel_types::{Addr, Cycle, Pc};
 use triangel_workloads::paging::PageMapper;
-use triangel_workloads::TraceSource;
+use triangel_workloads::{AccessRing, TraceSource};
+
+/// Fixed power-of-two ring of in-flight accesses, bounded by the ROB.
+///
+/// Every element carries at least one instruction and the engine pops
+/// until the in-flight instruction count fits the ROB before pushing,
+/// so occupancy never exceeds `rob_entries` elements; sizing the
+/// buffer to the next power of two above that makes push/pop a store,
+/// a load and a mask — no branchy `VecDeque` block management on the
+/// per-access path.
+#[derive(Debug)]
+struct InflightRing {
+    /// `(retire_time, instructions)` slots, oldest at `head`.
+    buf: Box<[(Cycle, u64)]>,
+    head: usize,
+    len: usize,
+    mask: usize,
+}
+
+impl InflightRing {
+    /// A ring that can hold `capacity` in-flight accesses.
+    fn new(capacity: usize) -> Self {
+        let size = (capacity + 1).next_power_of_two();
+        InflightRing {
+            buf: vec![(0, 0); size].into_boxed_slice(),
+            head: 0,
+            len: 0,
+            mask: size - 1,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, entry: (Cycle, u64)) {
+        debug_assert!(self.len <= self.mask, "ROB accounting overflowed the ring");
+        self.buf[(self.head + self.len) & self.mask] = entry;
+        self.len += 1;
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(Cycle, u64)> {
+        if self.len == 0 {
+            return None;
+        }
+        let entry = self.buf[self.head];
+        self.head = (self.head + 1) & self.mask;
+        self.len -= 1;
+        Some(entry)
+    }
+}
 
 /// Per-core architectural timeline: out-of-order issue bounded by ROB
 /// occupancy and load dependences, in-order retire.
 #[derive(Debug)]
 struct CoreTimeline {
     instr_count: u64,
-    /// (retire_time, instructions) per in-flight access, oldest first.
-    inflight: VecDeque<(Cycle, u64)>,
+    /// In-flight accesses, oldest first.
+    inflight: InflightRing,
     inflight_instrs: u64,
     prev_ready: Cycle,
     last_retire: Cycle,
@@ -24,10 +70,10 @@ struct CoreTimeline {
 }
 
 impl CoreTimeline {
-    fn new() -> Self {
+    fn new(rob_entries: usize) -> Self {
         CoreTimeline {
             instr_count: 0,
-            inflight: VecDeque::new(),
+            inflight: InflightRing::new(rob_entries),
             inflight_instrs: 0,
             prev_ready: 0,
             last_retire: 0,
@@ -51,6 +97,10 @@ impl CoreTimeline {
 pub struct Engine {
     system: MemorySystem,
     sources: Vec<Box<dyn TraceSource>>,
+    /// Per-core access batches: the trace-source virtual call is paid
+    /// once per [`AccessRing::DEFAULT_CAPACITY`] accesses, not per
+    /// access.
+    rings: Vec<AccessRing>,
     timelines: Vec<CoreTimeline>,
     mapper: PageMapper,
 }
@@ -63,6 +113,10 @@ impl Engine {
     /// Panics if the source count does not match the system's core
     /// count; [`Engine::try_new`] reports the same condition as a
     /// [`SimError`] instead.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Engine::try_new` (or drive runs through `SimSession::builder()`)"
+    )]
     pub fn new(
         system: MemorySystem,
         sources: Vec<Box<dyn TraceSource>>,
@@ -94,10 +148,12 @@ impl Engine {
             });
         }
         let n = sources.len();
+        let rob = system.config().rob_entries;
         Ok(Engine {
             system,
             sources,
-            timelines: (0..n).map(|_| CoreTimeline::new()).collect(),
+            rings: (0..n).map(|_| AccessRing::new()).collect(),
+            timelines: (0..n).map(|_| CoreTimeline::new(rob)).collect(),
             mapper,
         })
     }
@@ -108,7 +164,18 @@ impl Engine {
         let width = cfg.width;
         let rob = cfg.rob_entries as u64;
 
-        let acc = self.sources[core].next_access();
+        // Batched pull: refill the core's ring (one virtual call per
+        // batch) and consume from it. Order is exactly the source's
+        // `next_access` order, so batching is behaviour-invisible.
+        let acc = match self.rings[core].pop() {
+            Some(a) => a,
+            None => {
+                self.sources[core].fill(&mut self.rings[core]);
+                self.rings[core]
+                    .pop()
+                    .expect("fill() on an infinite source yields accesses")
+            }
+        };
         let k = 1 + acc.work as u64;
 
         let tl = &mut self.timelines[core];
@@ -117,7 +184,7 @@ impl Engine {
 
         let mut issue = dispatch;
         while tl.inflight_instrs + k > rob {
-            let (retire, n) = tl.inflight.pop_front().expect("rob accounting");
+            let (retire, n) = tl.inflight.pop().expect("rob accounting");
             tl.inflight_instrs -= n;
             issue = issue.max(retire);
         }
@@ -136,7 +203,7 @@ impl Engine {
         tl.prev_ready = ready;
         let retire = tl.last_retire.max(ready);
         tl.last_retire = retire;
-        tl.inflight.push_back((retire, k));
+        tl.inflight.push((retire, k));
         tl.inflight_instrs += k;
     }
 

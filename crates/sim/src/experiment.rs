@@ -1,11 +1,12 @@
-//! High-level experiment runner.
+//! High-level experiment runner (thin wrapper over
+//! [`SimSession`](crate::SimSession)).
 
 use crate::config::SystemConfig;
-use crate::engine::Engine;
+use crate::dispatch::PrefetcherImpl;
 use crate::error::SimError;
-use crate::hierarchy::MemorySystem;
 use crate::metrics::RunReport;
-use triangel_core::{Triangel, TriangelConfig};
+use crate::session::SimSession;
+use triangel_core::{Triangel, TriangelConfig, TriangelFeatures};
 use triangel_markov::TargetFormat;
 use triangel_prefetch::{NullPrefetcher, Prefetcher};
 use triangel_triage::{Triage, TriageConfig};
@@ -78,40 +79,96 @@ impl PrefetcherChoice {
         )
     }
 
-    fn build(&self, sizing_window: u64) -> Box<dyn Prefetcher> {
+    /// The Triangel configuration this choice describes, with the
+    /// sweep's sizing window applied, or `None` for non-Triangel
+    /// choices. Custom configurations carry their own window.
+    fn triangel_config(&self, sizing_window: u64) -> Option<TriangelConfig> {
+        let mut c = match self {
+            PrefetcherChoice::Triangel => TriangelConfig::paper_default(),
+            PrefetcherChoice::TriangelBloom => TriangelConfig::bloom_variant(),
+            PrefetcherChoice::TriangelNoMrb => TriangelConfig::no_mrb(),
+            PrefetcherChoice::TriangelLadder(s) => TriangelConfig::ladder(*s),
+            PrefetcherChoice::TriangelCustom(c) => return Some(*c),
+            _ => return None,
+        };
+        c.sizing_window = sizing_window;
+        Some(c)
+    }
+
+    /// Builds the enum-dispatched prefetcher this choice describes —
+    /// the form the default [`SimSession`] pipeline uses, with no
+    /// virtual call on the training path.
+    pub fn build_impl(&self, sizing_window: u64) -> PrefetcherImpl {
+        self.build_impl_with(sizing_window, None)
+    }
+
+    /// [`PrefetcherChoice::build_impl`] with an optional
+    /// [`TriangelFeatures`] override (applied to Triangel-family
+    /// choices only; see
+    /// [`SimSessionBuilder::triangel_features`](crate::SimSessionBuilder::triangel_features)).
+    pub(crate) fn build_impl_with(
+        &self,
+        sizing_window: u64,
+        features: Option<TriangelFeatures>,
+    ) -> PrefetcherImpl {
         match self {
-            PrefetcherChoice::Baseline => Box::new(NullPrefetcher),
-            PrefetcherChoice::Triage => Box::new(Triage::new(TriageConfig::paper_default())),
-            PrefetcherChoice::TriageDeg4 => Box::new(Triage::new(TriageConfig::degree4())),
+            PrefetcherChoice::Baseline => PrefetcherImpl::Null(NullPrefetcher),
+            PrefetcherChoice::Triage => {
+                PrefetcherImpl::Triage(Box::new(Triage::new(TriageConfig::paper_default())))
+            }
+            PrefetcherChoice::TriageDeg4 => {
+                PrefetcherImpl::Triage(Box::new(Triage::new(TriageConfig::degree4())))
+            }
             PrefetcherChoice::TriageDeg4Look2 => {
-                Box::new(Triage::new(TriageConfig::degree4_lookahead2()))
+                PrefetcherImpl::Triage(Box::new(Triage::new(TriageConfig::degree4_lookahead2())))
             }
-            PrefetcherChoice::TriageFormat(f) => {
-                Box::new(Triage::new(TriageConfig::paper_default().with_format(*f)))
+            PrefetcherChoice::TriageFormat(f) => PrefetcherImpl::Triage(Box::new(Triage::new(
+                TriageConfig::paper_default().with_format(*f),
+            ))),
+            PrefetcherChoice::TriageCustom(c) => PrefetcherImpl::Triage(Box::new(Triage::new(*c))),
+            _ => {
+                let mut c = self
+                    .triangel_config(sizing_window)
+                    .expect("non-Triage choices are Triangel-family");
+                if let Some(f) = features {
+                    c.features = f;
+                }
+                PrefetcherImpl::Triangel(Box::new(Triangel::new(c)))
             }
-            PrefetcherChoice::Triangel => {
-                let mut c = TriangelConfig::paper_default();
-                c.sizing_window = sizing_window;
-                Box::new(Triangel::new(c))
-            }
-            PrefetcherChoice::TriangelBloom => {
-                let mut c = TriangelConfig::bloom_variant();
-                c.sizing_window = sizing_window;
-                Box::new(Triangel::new(c))
-            }
-            PrefetcherChoice::TriangelNoMrb => {
-                let mut c = TriangelConfig::no_mrb();
-                c.sizing_window = sizing_window;
-                Box::new(Triangel::new(c))
-            }
-            PrefetcherChoice::TriangelLadder(s) => {
-                let mut c = TriangelConfig::ladder(*s);
-                c.sizing_window = sizing_window;
-                Box::new(Triangel::new(c))
-            }
-            PrefetcherChoice::TriageCustom(c) => Box::new(Triage::new(*c)),
-            PrefetcherChoice::TriangelCustom(c) => Box::new(Triangel::new(*c)),
         }
+    }
+
+    /// Builds the prefetcher behind a trait object.
+    ///
+    /// Compatibility shim for callers that store prefetchers as
+    /// `Box<dyn Prefetcher>` (and the reference the
+    /// dispatch-equivalence tests compare the enum path against).
+    /// Delegates to [`PrefetcherChoice::build_impl`] so the two
+    /// dispatch paths cannot drift apart.
+    pub fn build_boxed(&self, sizing_window: u64) -> Box<dyn Prefetcher> {
+        match self.build_impl(sizing_window) {
+            PrefetcherImpl::Null(p) => Box::new(p),
+            PrefetcherImpl::Triage(p) => p,
+            PrefetcherImpl::Triangel(p) => p,
+            PrefetcherImpl::Dyn(p) => p,
+        }
+    }
+
+    /// Whether a [`TriangelFeatures`] override (e.g. via
+    /// [`crate::SimSessionBuilder::triangel_features`]) affects this
+    /// configuration at all — only the Triangel family carries feature
+    /// toggles; the baseline and Triage ignore an override entirely.
+    /// Batch drivers use this to keep job content keys honest: a gated
+    /// and an ungated Triage job describe the same simulation.
+    pub fn accepts_feature_override(&self) -> bool {
+        matches!(
+            self,
+            PrefetcherChoice::Triangel
+                | PrefetcherChoice::TriangelBloom
+                | PrefetcherChoice::TriangelNoMrb
+                | PrefetcherChoice::TriangelLadder(_)
+                | PrefetcherChoice::TriangelCustom(_)
+        )
     }
 }
 
@@ -234,6 +291,10 @@ impl Experiment {
     ///
     /// Panics on a malformed specification (see [`Experiment::try_run`]
     /// for the non-panicking form that batch drivers use).
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Experiment::try_run`, or build runs with `SimSession::builder()`"
+    )]
     pub fn run(self) -> RunReport {
         self.try_run().unwrap_or_else(|e| panic!("{e}"))
     }
@@ -242,36 +303,37 @@ impl Experiment {
     /// core-count/source mismatch from [`Experiment::system`]) as a
     /// typed error instead of panicking.
     ///
+    /// Delegates to [`SimSession`], so it runs the same monomorphized
+    /// pipeline as [`SimSession::builder`].
+    ///
     /// # Errors
     ///
-    /// Propagates [`SimError`] from [`Engine::try_new`].
+    /// Propagates [`SimError`] from [`crate::SimSessionBuilder::build`].
     pub fn try_run(self) -> Result<RunReport, SimError> {
-        let n_cores = self.sources.len();
-        let temporal: Vec<Box<dyn Prefetcher>> = (0..n_cores)
-            .map(|_| self.choice.build(self.sizing_window))
-            .collect();
-        let system = MemorySystem::new(self.system, temporal);
-        let mapper = self
-            .fragmentation
-            .unwrap_or_else(|| PageMapper::realistic(0xA11C));
-        let workload = self.label.unwrap_or_else(|| {
-            self.sources
-                .iter()
-                .map(|s| s.name().to_string())
-                .collect::<Vec<_>>()
-                .join(" & ")
-        });
-        let mut engine = Engine::try_new(system, self.sources, mapper)?;
-        engine.run_accesses(self.warmup);
-        engine.start_measurement();
-        engine.run_accesses(self.accesses);
-        Ok(engine.report(workload))
+        let mut b = SimSession::builder()
+            .system(self.system)
+            .prefetcher(self.choice)
+            .warmup(self.warmup)
+            .accesses(self.accesses)
+            .sizing_window(self.sizing_window);
+        for source in self.sources {
+            b = b.boxed_workload(source);
+        }
+        if let Some(mapper) = self.fragmentation {
+            b = b.page_mapper(mapper);
+        }
+        if let Some(label) = self.label {
+            b = b.label(label);
+        }
+        b.run()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::Engine;
+    use crate::hierarchy::MemorySystem;
     use crate::metrics::Comparison;
     use triangel_types::{Addr, Pc};
     use triangel_workloads::temporal::{TemporalStream, TemporalStreamConfig};
@@ -285,6 +347,9 @@ mod tests {
 
     #[test]
     fn baseline_runs_and_reports() {
+        // The deprecated panicking shim must keep working for external
+        // callers while they migrate.
+        #[allow(deprecated)]
         let r = Experiment::new(chase(50_000))
             .warmup(20_000)
             .accesses(50_000)
@@ -303,13 +368,15 @@ mod tests {
             .warmup(300_000)
             .accesses(200_000)
             .sizing_window(60_000)
-            .run();
+            .try_run()
+            .unwrap();
         let tri = Experiment::new(chase(50_000))
             .warmup(300_000)
             .accesses(200_000)
             .sizing_window(60_000)
             .prefetcher(PrefetcherChoice::Triangel)
-            .run();
+            .try_run()
+            .unwrap();
         let c = Comparison::new(&base, &tri);
         assert!(
             c.speedup > 1.05,

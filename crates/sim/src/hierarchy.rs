@@ -1,6 +1,7 @@
 //! The memory hierarchy: per-core L1/L2 + prefetchers, shared L3 + DRAM.
 
 use crate::config::SystemConfig;
+use crate::dispatch::PrefetcherImpl;
 use triangel_cache::replacement::all_ways;
 use triangel_cache::{Cache, EvictedLine, Mshr};
 use triangel_mem::Dram;
@@ -56,7 +57,9 @@ struct CoreMem {
     l2: Cache,
     mshr: Mshr,
     stride: StridePrefetcher,
-    temporal: Box<dyn Prefetcher>,
+    /// Enum-dispatched: the default pipeline's train/lookup path has no
+    /// virtual call (see [`PrefetcherImpl`]).
+    temporal: PrefetcherImpl,
     stats: CoreStats,
     pf_snapshot: PrefetcherStats,
     req_buf: Vec<PrefetchRequest>,
@@ -105,12 +108,28 @@ pub struct MemorySystem {
 }
 
 impl MemorySystem {
-    /// Builds the system with one temporal prefetcher per core.
+    /// Builds the system with one boxed temporal prefetcher per core.
+    ///
+    /// Compatibility shim: every prefetcher is wrapped in
+    /// [`PrefetcherImpl::Dyn`], so this path keeps the virtual call per
+    /// training event. The default pipeline
+    /// ([`SimSession`](crate::SimSession), [`crate::Experiment`]) uses
+    /// [`MemorySystem::with_prefetchers`] with enum-dispatched
+    /// prefetchers instead.
     ///
     /// # Panics
     ///
     /// Panics if `temporal` is empty.
     pub fn new(cfg: SystemConfig, temporal: Vec<Box<dyn Prefetcher>>) -> Self {
+        MemorySystem::with_prefetchers(cfg, temporal.into_iter().map(Into::into).collect())
+    }
+
+    /// Builds the system with one temporal prefetcher per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temporal` is empty.
+    pub fn with_prefetchers(cfg: SystemConfig, temporal: Vec<PrefetcherImpl>) -> Self {
         assert!(!temporal.is_empty(), "at least one core required");
         let cores = temporal
             .into_iter()
@@ -272,7 +291,8 @@ impl MemorySystem {
                 l2: &core.l2,
                 l3: &self.l3,
             };
-            core.stride.on_event(&ev, &view, &mut reqs);
+            // Inherent generic method: monomorphizes over `ViewPair`.
+            core.stride.handle(&ev, &view, &mut reqs);
         }
         for req in &reqs {
             self.issue_prefetch(core_idx, *req, t, false);

@@ -14,17 +14,32 @@
 //! effects temporal prefetching lives on — memory-level parallelism,
 //! prefetch timeliness, and DRAM congestion.
 //!
+//! The pipeline is monomorphized end to end: trace sources are pulled
+//! in batches ([`triangel_workloads::AccessRing`]), the temporal
+//! prefetcher and cache replacement are enum-dispatched
+//! ([`PrefetcherImpl`],
+//! [`triangel_cache::replacement::ReplacementImpl`]), and the engine's
+//! in-flight timeline is a fixed power-of-two ring — no `dyn` call
+//! remains on the per-access hot path of the default pipeline. The
+//! trait-object constructors ([`MemorySystem::new`],
+//! [`PrefetcherChoice::build_boxed`]) are kept as compatibility shims.
+//!
 //! # Examples
 //!
+//! [`SimSession::builder`] is the single entry point: configuration →
+//! workloads → prefetcher → run.
+//!
 //! ```
-//! use triangel_sim::{Experiment, PrefetcherChoice};
+//! use triangel_sim::{PrefetcherChoice, SimSession};
 //! use triangel_workloads::spec::SpecWorkload;
 //!
-//! let report = Experiment::new(SpecWorkload::Xalan.generator(1))
+//! let report = SimSession::builder()
+//!     .workload(SpecWorkload::Xalan.generator(1))
+//!     .prefetcher(PrefetcherChoice::Triangel)
 //!     .warmup(5_000)
 //!     .accesses(10_000)
-//!     .prefetcher(PrefetcherChoice::Triangel)
-//!     .run();
+//!     .run()
+//!     .unwrap();
 //! assert!(report.ipc() > 0.0);
 //! ```
 
@@ -32,16 +47,23 @@
 #![warn(missing_debug_implementations)]
 
 mod config;
+mod dispatch;
 mod engine;
 mod error;
 mod experiment;
 mod hierarchy;
 mod metrics;
 pub mod report;
+mod session;
 
 pub use config::SystemConfig;
+pub use dispatch::PrefetcherImpl;
 pub use engine::Engine;
 pub use error::SimError;
 pub use experiment::{Experiment, PrefetcherChoice};
 pub use hierarchy::{CoreStats, MemorySystem};
 pub use metrics::{Comparison, RunReport};
+pub use session::{SimSession, SimSessionBuilder};
+// Re-exported so batch drivers can set session-level feature gates
+// without depending on `triangel-core` directly.
+pub use triangel_core::TriangelFeatures;

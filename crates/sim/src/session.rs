@@ -1,0 +1,370 @@
+//! [`SimSession`]: the single entry point for constructing and running
+//! simulations.
+//!
+//! A session is built in four steps — configuration, workloads,
+//! prefetcher, run — and the pipeline it assembles is the monomorphized
+//! one end to end: trace sources are pulled in batches through
+//! [`AccessRing`](triangel_workloads::AccessRing), the temporal
+//! prefetcher is enum-dispatched
+//! ([`PrefetcherImpl`](crate::PrefetcherImpl)), and cache replacement is
+//! enum-dispatched inside the caches themselves, so no `dyn` call
+//! remains on the per-access hot path.
+//!
+//! The older [`Experiment`](crate::Experiment) builder is now a thin
+//! wrapper over this type; its panicking `run()` is deprecated.
+
+use crate::config::SystemConfig;
+use crate::dispatch::PrefetcherImpl;
+use crate::engine::Engine;
+use crate::error::SimError;
+use crate::experiment::PrefetcherChoice;
+use crate::hierarchy::MemorySystem;
+use crate::metrics::RunReport;
+use triangel_core::TriangelFeatures;
+use triangel_workloads::paging::PageMapper;
+use triangel_workloads::TraceSource;
+
+/// A fully-assembled simulation, ready to run.
+///
+/// Construct with [`SimSession::builder`]; see
+/// [`SimSessionBuilder::run`] for the one-shot form that most callers
+/// use. Holding the session (rather than running the builder directly)
+/// lets tests drive warm-up and measurement separately.
+#[derive(Debug)]
+pub struct SimSession {
+    engine: Engine,
+    warmup: u64,
+    accesses: u64,
+    workload: String,
+}
+
+impl SimSession {
+    /// Starts building a session: configuration → workloads →
+    /// prefetcher → run.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use triangel_sim::{PrefetcherChoice, SimSession};
+    /// use triangel_workloads::spec::SpecWorkload;
+    ///
+    /// let report = SimSession::builder()
+    ///     .workload(SpecWorkload::Xalan.generator(1))
+    ///     .prefetcher(PrefetcherChoice::Triangel)
+    ///     .warmup(5_000)
+    ///     .accesses(10_000)
+    ///     .run()
+    ///     .unwrap();
+    /// assert!(report.ipc() > 0.0);
+    /// ```
+    pub fn builder() -> SimSessionBuilder {
+        SimSessionBuilder::default()
+    }
+
+    /// Runs warm-up, measurement, and reporting to completion.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today (construction already validated the spec);
+    /// typed for forward compatibility with runtime limits.
+    pub fn run(mut self) -> Result<RunReport, SimError> {
+        self.engine.run_accesses(self.warmup);
+        self.engine.start_measurement();
+        self.engine.run_accesses(self.accesses);
+        Ok(self.engine.report(self.workload))
+    }
+
+    /// The assembled engine (diagnostics in tests).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+/// Builder for a [`SimSession`].
+///
+/// Defaults follow the paper's methodology scaled to trace length
+/// (Section 5): 1M warm-up + 2M measured accesses per core, the
+/// realistic fragmented page mapping, and the stride-only baseline
+/// prefetcher. The system configuration defaults to the paper's
+/// single-core setup for one workload and the dual-core multiprogrammed
+/// setup (Section 6.3) otherwise.
+#[derive(Debug)]
+pub struct SimSessionBuilder {
+    sources: Vec<Box<dyn TraceSource>>,
+    system: Option<SystemConfig>,
+    choice: PrefetcherChoice,
+    warmup: u64,
+    accesses: u64,
+    mapper: Option<PageMapper>,
+    sizing_window: u64,
+    label: Option<String>,
+    features: Option<TriangelFeatures>,
+}
+
+impl Default for SimSessionBuilder {
+    fn default() -> Self {
+        SimSessionBuilder {
+            sources: Vec::new(),
+            system: None,
+            choice: PrefetcherChoice::Baseline,
+            warmup: 1_000_000,
+            accesses: 2_000_000,
+            mapper: None,
+            sizing_window: 250_000,
+            label: None,
+            features: None,
+        }
+    }
+}
+
+impl SimSessionBuilder {
+    /// Adds one core's trace source (call once per core).
+    #[must_use]
+    pub fn workload(mut self, source: impl TraceSource + 'static) -> Self {
+        self.sources.push(Box::new(source));
+        self
+    }
+
+    /// Adds one core's trace source, already boxed (the form batch
+    /// drivers that store sources as data need).
+    #[must_use]
+    pub fn boxed_workload(mut self, source: Box<dyn TraceSource>) -> Self {
+        self.sources.push(source);
+        self
+    }
+
+    /// Overrides the system configuration (otherwise derived from the
+    /// workload count).
+    #[must_use]
+    pub fn system(mut self, cfg: SystemConfig) -> Self {
+        self.system = Some(cfg);
+        self
+    }
+
+    /// Sets the temporal prefetcher (default: stride-only baseline).
+    #[must_use]
+    pub fn prefetcher(mut self, choice: PrefetcherChoice) -> Self {
+        self.choice = choice;
+        self
+    }
+
+    /// Sets warm-up length in accesses per core.
+    #[must_use]
+    pub fn warmup(mut self, accesses: u64) -> Self {
+        self.warmup = accesses;
+        self
+    }
+
+    /// Sets measured length in accesses per core.
+    #[must_use]
+    pub fn accesses(mut self, accesses: u64) -> Self {
+        self.accesses = accesses;
+        self
+    }
+
+    /// Overrides the virtual-to-physical mapper (Fig. 18/19 study).
+    #[must_use]
+    pub fn page_mapper(mut self, mapper: PageMapper) -> Self {
+        self.mapper = Some(mapper);
+        self
+    }
+
+    /// Overrides the sizing window (Set Dueller / Bloom reset period).
+    #[must_use]
+    pub fn sizing_window(mut self, window: u64) -> Self {
+        self.sizing_window = window;
+        self
+    }
+
+    /// Overrides the report's workload label.
+    #[must_use]
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Overrides the Triangel feature toggles for whichever
+    /// Triangel-family configuration the prefetcher choice builds.
+    ///
+    /// This is the session-level gate for experimental mechanisms —
+    /// above all [`TriangelFeatures::train_on_eviction`], which is off
+    /// in every shipped configuration. Ignored (with no effect) for
+    /// the baseline and the Triage family, which carry no Triangel
+    /// features. Unset by default: each choice keeps its own paper
+    /// configuration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use triangel_core::TriangelFeatures;
+    /// use triangel_sim::{PrefetcherChoice, SimSession};
+    /// use triangel_workloads::spec::SpecWorkload;
+    ///
+    /// // Opt a Triangel run into the experimental eviction-training
+    /// // gate (no behaviour change until the mechanism lands).
+    /// let report = SimSession::builder()
+    ///     .workload(SpecWorkload::Mcf.generator(3))
+    ///     .prefetcher(PrefetcherChoice::Triangel)
+    ///     .triangel_features(TriangelFeatures {
+    ///         train_on_eviction: true,
+    ///         ..TriangelFeatures::all()
+    ///     })
+    ///     .warmup(2_000)
+    ///     .accesses(2_000)
+    ///     .run()
+    ///     .unwrap();
+    /// assert_eq!(report.cores[0].pf_name, "Triangel+EvictTrain");
+    /// ```
+    #[must_use]
+    pub fn triangel_features(mut self, features: TriangelFeatures) -> Self {
+        self.features = Some(features);
+        self
+    }
+
+    /// Assembles the session, validating the specification.
+    ///
+    /// The core count always equals the workload count (one prefetcher
+    /// and one timeline per source); an explicit
+    /// [`system`](SimSessionBuilder::system) configuration sets the
+    /// geometry, never the core count.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NoSources`] without any workload; other
+    /// [`SimError`]s as [`Engine::try_new`] reports them.
+    pub fn build(self) -> Result<SimSession, SimError> {
+        let n_cores = self.sources.len();
+        if n_cores == 0 {
+            return Err(SimError::NoSources);
+        }
+        let system_cfg = self.system.unwrap_or_else(|| {
+            if n_cores == 1 {
+                SystemConfig::paper_single_core()
+            } else {
+                SystemConfig::paper_dual_core()
+            }
+        });
+        let temporal: Vec<PrefetcherImpl> = (0..n_cores)
+            .map(|_| {
+                self.choice
+                    .build_impl_with(self.sizing_window, self.features)
+            })
+            .collect();
+        let system = MemorySystem::with_prefetchers(system_cfg, temporal);
+        let mapper = self.mapper.unwrap_or_else(|| PageMapper::realistic(0xA11C));
+        let workload = self.label.unwrap_or_else(|| {
+            self.sources
+                .iter()
+                .map(|s| s.name().to_string())
+                .collect::<Vec<_>>()
+                .join(" & ")
+        });
+        let engine = Engine::try_new(system, self.sources, mapper)?;
+        Ok(SimSession {
+            engine,
+            warmup: self.warmup,
+            accesses: self.accesses,
+            workload,
+        })
+    }
+
+    /// Builds and runs the session to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from [`SimSessionBuilder::build`].
+    pub fn run(self) -> Result<RunReport, SimError> {
+        self.build()?.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triangel_types::{Addr, Pc};
+    use triangel_workloads::temporal::{TemporalStream, TemporalStreamConfig};
+
+    fn chase(len: usize) -> TemporalStream {
+        TemporalStream::new(
+            TemporalStreamConfig::pointer_chase("chase", Pc::new(0x40), Addr::new(1 << 30), len),
+            7,
+        )
+    }
+
+    #[test]
+    fn builder_runs_and_reports() {
+        // 50k lines: beyond L2/L3 capacity, so measurement still sees
+        // DRAM traffic after warm-up.
+        let r = SimSession::builder()
+            .workload(chase(50_000))
+            .warmup(20_000)
+            .accesses(50_000)
+            .run()
+            .unwrap();
+        assert!(r.ipc() > 0.0);
+        assert!(r.dram_reads() > 0);
+        assert_eq!(r.cores.len(), 1);
+    }
+
+    #[test]
+    fn no_workloads_is_a_typed_error() {
+        assert_eq!(
+            SimSession::builder().run().unwrap_err(),
+            SimError::NoSources
+        );
+    }
+
+    #[test]
+    fn explicit_system_is_honoured() {
+        // The core count always follows the workload list (one
+        // prefetcher per source), so an explicit configuration changes
+        // geometry, never the core count.
+        let session = SimSession::builder()
+            .workload(chase(100))
+            .system(SystemConfig::tiny())
+            .build()
+            .unwrap();
+        assert_eq!(session.engine().system().core_count(), 1);
+        assert_eq!(
+            session.engine().system().config().l2.size_bytes(),
+            16 * 1024
+        );
+    }
+
+    #[test]
+    fn two_workloads_default_to_the_dual_core_setup() {
+        let r = SimSession::builder()
+            .workload(chase(100))
+            .workload(chase(100))
+            .warmup(500)
+            .accesses(500)
+            .run()
+            .unwrap();
+        assert_eq!(r.cores.len(), 2);
+    }
+
+    #[test]
+    fn features_override_reaches_triangel() {
+        let session = SimSession::builder()
+            .workload(chase(100))
+            .prefetcher(PrefetcherChoice::Triangel)
+            .triangel_features(TriangelFeatures {
+                train_on_eviction: true,
+                ..TriangelFeatures::all()
+            })
+            .build()
+            .unwrap();
+        assert_eq!(
+            session.engine().system().prefetcher_name(0),
+            "Triangel+EvictTrain"
+        );
+        // ...and is ignored for choices without Triangel features.
+        let session = SimSession::builder()
+            .workload(chase(100))
+            .prefetcher(PrefetcherChoice::Triage)
+            .triangel_features(TriangelFeatures::none())
+            .build()
+            .unwrap();
+        assert_eq!(session.engine().system().prefetcher_name(0), "Triage");
+    }
+}

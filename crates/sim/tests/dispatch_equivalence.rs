@@ -1,0 +1,128 @@
+//! Golden equivalence of the enum-dispatched pipeline and the
+//! `Box<dyn>` compatibility path.
+//!
+//! `SimSession` builds its per-core prefetchers through
+//! `PrefetcherChoice::build_impl` (enum dispatch, monomorphized cache
+//! views); the old path boxes them behind the `Prefetcher` trait and
+//! goes through `MemorySystem::new`. Both must produce byte-identical
+//! `RunReport`s on the smoke sweep — the enum is a dispatch mechanism,
+//! never a behaviour change.
+
+use triangel_sim::{Engine, MemorySystem, PrefetcherChoice, RunReport, SimSession, SystemConfig};
+use triangel_workloads::paging::PageMapper;
+use triangel_workloads::spec::SpecWorkload;
+use triangel_workloads::TraceSource;
+
+const WARMUP: u64 = 3_000;
+const ACCESSES: u64 = 3_000;
+const SIZING: u64 = 1_500;
+const SEED: u64 = 11;
+
+/// The smoke sweep: every prefetcher family over three workloads, a
+/// multiprogrammed pair, and a fragmented-mapping job (the golden
+/// sweep's shape at the same scale).
+fn sweep() -> Vec<(Vec<SpecWorkload>, PrefetcherChoice, Option<u64>)> {
+    let mut jobs = Vec::new();
+    for wl in [SpecWorkload::Xalan, SpecWorkload::Mcf, SpecWorkload::Sphinx] {
+        for pf in [
+            PrefetcherChoice::Baseline,
+            PrefetcherChoice::Triage,
+            PrefetcherChoice::TriageDeg4Look2,
+            PrefetcherChoice::Triangel,
+            PrefetcherChoice::TriangelBloom,
+        ] {
+            jobs.push((vec![wl], pf, None));
+        }
+    }
+    jobs.push((
+        vec![SpecWorkload::Xalan, SpecWorkload::Omnetpp],
+        PrefetcherChoice::Triangel,
+        None,
+    ));
+    jobs.push((
+        vec![SpecWorkload::Gcc166],
+        PrefetcherChoice::Triage,
+        Some(7),
+    ));
+    jobs
+}
+
+fn label(workloads: &[SpecWorkload]) -> String {
+    workloads
+        .iter()
+        .map(|w| w.label().to_string())
+        .collect::<Vec<_>>()
+        .join(" & ")
+}
+
+/// Runs one job through `SimSession` (enum dispatch).
+fn run_enum(
+    workloads: &[SpecWorkload],
+    choice: PrefetcherChoice,
+    mapper_seed: Option<u64>,
+) -> RunReport {
+    let mut b = SimSession::builder()
+        .prefetcher(choice)
+        .warmup(WARMUP)
+        .accesses(ACCESSES)
+        .sizing_window(SIZING)
+        .label(label(workloads));
+    for (i, wl) in workloads.iter().enumerate() {
+        let seed = if i == 0 { SEED } else { SEED ^ 0x9999 };
+        b = b.workload(wl.generator(seed));
+    }
+    if let Some(s) = mapper_seed {
+        b = b.page_mapper(PageMapper::realistic(s));
+    }
+    b.run().unwrap()
+}
+
+/// Runs the same job through the `Box<dyn Prefetcher>` compatibility
+/// constructors, replicating the session's defaults by hand.
+fn run_dyn(
+    workloads: &[SpecWorkload],
+    choice: PrefetcherChoice,
+    mapper_seed: Option<u64>,
+) -> RunReport {
+    let cfg = if workloads.len() == 1 {
+        SystemConfig::paper_single_core()
+    } else {
+        SystemConfig::paper_dual_core()
+    };
+    let temporal = workloads
+        .iter()
+        .map(|_| choice.build_boxed(SIZING))
+        .collect();
+    let system = MemorySystem::new(cfg, temporal);
+    let sources: Vec<Box<dyn TraceSource>> = workloads
+        .iter()
+        .enumerate()
+        .map(|(i, wl)| {
+            let seed = if i == 0 { SEED } else { SEED ^ 0x9999 };
+            Box::new(wl.generator(seed)) as Box<dyn TraceSource>
+        })
+        .collect();
+    let mapper = PageMapper::realistic(mapper_seed.unwrap_or(0xA11C));
+    let mut engine = Engine::try_new(system, sources, mapper).unwrap();
+    engine.run_accesses(WARMUP);
+    engine.start_measurement();
+    engine.run_accesses(ACCESSES);
+    engine.report(label(workloads))
+}
+
+#[test]
+fn enum_dispatch_is_byte_identical_to_boxed_dispatch_on_the_smoke_sweep() {
+    for (workloads, choice, mapper_seed) in sweep() {
+        let via_enum = run_enum(&workloads, choice, mapper_seed);
+        let via_dyn = run_dyn(&workloads, choice, mapper_seed);
+        // Byte-for-byte: the full Debug rendering covers every counter
+        // in the report (per-core stats, cache stats, DRAM, Markov).
+        assert_eq!(
+            format!("{via_enum:?}"),
+            format!("{via_dyn:?}"),
+            "dispatch paths diverged on {} / {}",
+            label(&workloads),
+            choice.label()
+        );
+    }
+}

@@ -92,11 +92,12 @@ fn engine_cycles_advance_monotonically() {
         .map(|i| MemoryAccess::new(Pc::new(0x4), Addr::new(i * 64)))
         .collect();
     let sys = one_core_system();
-    let mut engine = Engine::new(
+    let mut engine = Engine::try_new(
         sys,
         vec![Box::new(RecordedTrace::new("t", accesses))],
         PageMapper::contiguous(),
-    );
+    )
+    .unwrap();
     engine.run_accesses(100);
     engine.start_measurement();
     engine.run_accesses(100);
@@ -127,7 +128,8 @@ fn dependent_chains_are_slower_than_independent_streams() {
             SystemConfig::paper_single_core(),
             vec![Box::new(NullPrefetcher)],
         );
-        let mut engine = Engine::new(sys, vec![Box::new(make(dep))], PageMapper::contiguous());
+        let mut engine =
+            Engine::try_new(sys, vec![Box::new(make(dep))], PageMapper::contiguous()).unwrap();
         engine.start_measurement();
         engine.run_accesses(2000);
         engine.report("t".into()).cores[0].cycles
@@ -154,7 +156,8 @@ fn rob_bounds_memory_level_parallelism() {
         let mut cfg = SystemConfig::paper_single_core();
         cfg.rob_entries = rob;
         let sys = MemorySystem::new(cfg, vec![Box::new(NullPrefetcher)]);
-        let mut engine = Engine::new(sys, vec![Box::new(trace())], PageMapper::contiguous());
+        let mut engine =
+            Engine::try_new(sys, vec![Box::new(trace())], PageMapper::contiguous()).unwrap();
         engine.start_measurement();
         engine.run_accesses(1000);
         engine.report("t".into()).cores[0].cycles
@@ -181,7 +184,8 @@ fn stride_prefetcher_in_baseline_covers_streaming() {
     .warmup(50_000)
     .accesses(100_000)
     .prefetcher(PrefetcherChoice::Baseline)
-    .run();
+    .try_run()
+    .unwrap();
     // The scan consumes one line per access, which exceeds the DRAM
     // channel's sustainable rate, so full coverage is impossible; the
     // stride prefetcher should still hide a healthy fraction.
@@ -218,11 +222,12 @@ fn warmup_reset_zeroes_measurement_counters() {
     let accesses: Vec<MemoryAccess> = (0..100)
         .map(|i| MemoryAccess::new(Pc::new(4), Addr::new(i * 64)))
         .collect();
-    let mut engine = Engine::new(
+    let mut engine = Engine::try_new(
         sys,
         vec![Box::new(RecordedTrace::new("t", accesses))],
         PageMapper::contiguous(),
-    );
+    )
+    .unwrap();
     engine.run_accesses(100);
     engine.start_measurement();
     let r = engine.report("t".into());

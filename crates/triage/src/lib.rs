@@ -160,6 +160,46 @@ impl Triage {
         &self.markov
     }
 
+    /// Processes one training event with a statically-known cache view.
+    ///
+    /// The monomorphized form of [`Prefetcher::on_event`]: the
+    /// simulator's enum-dispatched pipeline calls it directly so the
+    /// Markov train/lookup walk (and its HawkEye entry replacement)
+    /// inlines without a virtual call. The trait method forwards here.
+    pub fn handle<V: CacheView + ?Sized>(
+        &mut self,
+        ev: &TrainEvent,
+        _caches: &V,
+        out: &mut Vec<PrefetchRequest>,
+    ) {
+        if !matches!(ev.kind, TrainKind::L2Miss | TrainKind::L2PrefetchHit) {
+            return;
+        }
+        self.update_sizing(ev.line);
+
+        // Train the Markov table from the per-PC history.
+        let update = self.training.update(ev.pc, ev.line);
+        if let Some(prev) = update.train_index {
+            self.markov.train(prev, ev.line, ev.pc);
+        }
+
+        // Generate chained prefetches from the current address.
+        let mut cursor = ev.line;
+        for hop in 0..self.cfg.degree {
+            let Some(hit) = self.markov.lookup(cursor) else {
+                break;
+            };
+            let delay = (hop as Cycle + 1) * self.cfg.markov_latency;
+            out.push(PrefetchRequest {
+                line: hit.target,
+                pc: ev.pc,
+                issue_delay: delay,
+            });
+            self.issued += 1;
+            cursor = hit.target;
+        }
+    }
+
     /// Grows the partition target to fit the unique indices seen this
     /// window (Section 3.5: a Bloom miss means a never-seen address, so
     /// the target size is increased to fit it). Shrinks only at window
@@ -193,35 +233,10 @@ impl Prefetcher for Triage {
     fn on_event(
         &mut self,
         ev: &TrainEvent,
-        _caches: &dyn CacheView,
+        caches: &dyn CacheView,
         out: &mut Vec<PrefetchRequest>,
     ) {
-        if !matches!(ev.kind, TrainKind::L2Miss | TrainKind::L2PrefetchHit) {
-            return;
-        }
-        self.update_sizing(ev.line);
-
-        // Train the Markov table from the per-PC history.
-        let update = self.training.update(ev.pc, ev.line);
-        if let Some(prev) = update.train_index {
-            self.markov.train(prev, ev.line, ev.pc);
-        }
-
-        // Generate chained prefetches from the current address.
-        let mut cursor = ev.line;
-        for hop in 0..self.cfg.degree {
-            let Some(hit) = self.markov.lookup(cursor) else {
-                break;
-            };
-            let delay = (hop as Cycle + 1) * self.cfg.markov_latency;
-            out.push(PrefetchRequest {
-                line: hit.target,
-                pc: ev.pc,
-                issue_delay: delay,
-            });
-            self.issued += 1;
-            cursor = hit.target;
-        }
+        self.handle(ev, caches, out);
     }
 
     fn name(&self) -> &str {

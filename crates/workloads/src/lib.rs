@@ -40,4 +40,4 @@ pub mod spec;
 pub mod temporal;
 pub mod trace;
 
-pub use trace::{MemoryAccess, TraceSource};
+pub use trace::{AccessRing, MemoryAccess, TraceSource};

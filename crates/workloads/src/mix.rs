@@ -1,7 +1,64 @@
 //! Weighted interleaving of streams into a single core's access trace.
 
-use crate::trace::{MemoryAccess, TraceSource};
+use crate::temporal::{RandomStream, StridedStream, TemporalStream};
+use crate::trace::{AccessRing, MemoryAccess, TraceSource};
 use triangel_types::rng::SplitMix64;
+
+/// One constituent stream of a [`WorkloadMix`], enum-dispatched.
+///
+/// The mix sits on the simulator's per-access hot path; storing the
+/// shipped building blocks as concrete variants (instead of
+/// `Box<dyn TraceSource>`) lets the per-pick pull monomorphize. The
+/// [`StreamImpl::Dyn`] arm keeps arbitrary sources working through the
+/// original trait object.
+#[derive(Debug)]
+pub enum StreamImpl {
+    /// A repeating temporal sequence.
+    Temporal(TemporalStream),
+    /// A strided scan.
+    Strided(StridedStream),
+    /// Unlearnable uniform noise.
+    Random(RandomStream),
+    /// Any other source, behind the trait object (pays the virtual
+    /// call the concrete arms avoid).
+    Dyn(Box<dyn TraceSource>),
+}
+
+impl StreamImpl {
+    #[inline]
+    fn next_access(&mut self) -> MemoryAccess {
+        match self {
+            StreamImpl::Temporal(s) => s.next_access(),
+            StreamImpl::Strided(s) => s.next_access(),
+            StreamImpl::Random(s) => s.next_access(),
+            StreamImpl::Dyn(s) => s.next_access(),
+        }
+    }
+}
+
+impl From<TemporalStream> for StreamImpl {
+    fn from(s: TemporalStream) -> Self {
+        StreamImpl::Temporal(s)
+    }
+}
+
+impl From<StridedStream> for StreamImpl {
+    fn from(s: StridedStream) -> Self {
+        StreamImpl::Strided(s)
+    }
+}
+
+impl From<RandomStream> for StreamImpl {
+    fn from(s: RandomStream) -> Self {
+        StreamImpl::Random(s)
+    }
+}
+
+impl From<Box<dyn TraceSource>> for StreamImpl {
+    fn from(s: Box<dyn TraceSource>) -> Self {
+        StreamImpl::Dyn(s)
+    }
+}
 
 /// Interleaves several [`TraceSource`]s with fixed weights, modelling a
 /// program whose loops touch several data structures.
@@ -31,7 +88,7 @@ use triangel_types::rng::SplitMix64;
 #[derive(Debug)]
 pub struct WorkloadMix {
     name: String,
-    streams: Vec<(Box<dyn TraceSource>, u32)>,
+    streams: Vec<(StreamImpl, u32)>,
     total_weight: u64,
     rng: SplitMix64,
 }
@@ -47,15 +104,29 @@ impl WorkloadMix {
         }
     }
 
-    /// Adds a stream with the given selection weight.
+    /// Adds a boxed stream with the given selection weight.
+    ///
+    /// Compatibility shim: the source lands in the [`StreamImpl::Dyn`]
+    /// arm. Prefer [`WorkloadMix::add_stream`] for the shipped building
+    /// blocks, which dispatch without a virtual call.
     ///
     /// # Panics
     ///
     /// Panics if `weight` is zero.
     pub fn add(&mut self, stream: Box<dyn TraceSource>, weight: u32) {
+        self.add_stream(stream, weight);
+    }
+
+    /// Adds a stream with the given selection weight, enum-dispatched
+    /// where the concrete type is one of the shipped building blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is zero.
+    pub fn add_stream(&mut self, stream: impl Into<StreamImpl>, weight: u32) {
         assert!(weight > 0, "stream weight must be positive");
         self.total_weight += weight as u64;
-        self.streams.push((stream, weight));
+        self.streams.push((stream.into(), weight));
     }
 
     /// Number of constituent streams.
@@ -80,6 +151,30 @@ impl TraceSource for WorkloadMix {
             pick -= *w as u64;
         }
         unreachable!("weights sum correctly")
+    }
+
+    fn fill(&mut self, ring: &mut AccessRing) -> usize {
+        assert!(!self.streams.is_empty(), "mix has no streams");
+        // Batched selection: identical RNG-draw and stream-pull order
+        // to `next_access` (one draw, one pull, per slot), with the
+        // emptiness check, the weight-total load and the ring bounds
+        // hoisted out of the per-access loop.
+        let want = ring.remaining();
+        let total = self.total_weight;
+        for _ in 0..want {
+            let mut pick = self.rng.next_below(total);
+            let access = 'sel: {
+                for (stream, w) in &mut self.streams {
+                    if pick < *w as u64 {
+                        break 'sel stream.next_access();
+                    }
+                    pick -= *w as u64;
+                }
+                unreachable!("weights sum correctly")
+            };
+            ring.push(access);
+        }
+        want
     }
 
     fn name(&self) -> &str {
@@ -143,6 +238,33 @@ mod tests {
     fn empty_mix_panics() {
         let mut mix = WorkloadMix::new("m", 0);
         let _ = mix.next_access();
+    }
+
+    #[test]
+    #[should_panic(expected = "mix has no streams")]
+    fn empty_mix_fill_panics() {
+        let mut mix = WorkloadMix::new("m", 0);
+        let _ = mix.fill(&mut AccessRing::new());
+    }
+
+    #[test]
+    fn fill_matches_next_access_exactly() {
+        let build = || {
+            let mut mix = WorkloadMix::new("m", 9);
+            mix.add(chase(1, 0, 16), 3);
+            mix.add(chase(2, 1 << 30, 16), 1);
+            mix.add(chase(3, 2 << 30, 16), 5);
+            mix
+        };
+        let mut by_next = build();
+        let mut by_fill = build();
+        let mut ring = AccessRing::with_capacity(13);
+        for _ in 0..50 {
+            by_fill.fill(&mut ring);
+            while let Some(a) = ring.pop() {
+                assert_eq!(a, by_next.next_access());
+            }
+        }
     }
 
     #[test]

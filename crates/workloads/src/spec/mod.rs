@@ -152,22 +152,15 @@ impl Builder {
             work: 4,
         };
         let seed = self.seed ^ pc.get();
-        self.mix
-            .add(Box::new(TemporalStream::new(cfg, seed)), weight);
+        self.mix.add_stream(TemporalStream::new(cfg, seed), weight);
     }
 
     /// Adds a strided scan.
     pub(crate) fn strided(&mut self, name: &str, stride_lines: u64, array_lines: u64, weight: u32) {
         let pc = self.pc();
         let base = self.region();
-        self.mix.add(
-            Box::new(StridedStream::new(
-                name,
-                pc,
-                base,
-                stride_lines,
-                array_lines,
-            )),
+        self.mix.add_stream(
+            StridedStream::new(name, pc, base, stride_lines, array_lines),
             weight,
         );
     }
@@ -177,15 +170,8 @@ impl Builder {
         let pc = self.pc();
         let base = self.region();
         let seed = self.seed ^ pc.get();
-        self.mix.add(
-            Box::new(RandomStream::new(
-                name,
-                pc,
-                base,
-                region_lines,
-                dependent,
-                seed,
-            )),
+        self.mix.add_stream(
+            RandomStream::new(name, pc, base, region_lines, dependent, seed),
             weight,
         );
     }

@@ -51,6 +51,130 @@ impl MemoryAccess {
     }
 }
 
+/// A small fixed-capacity batch of accesses, filled by
+/// [`TraceSource::fill`] and drained by the simulation engine.
+///
+/// The ring is the unit of amortization on the hot path: the engine
+/// crosses the trace-source virtual-call boundary once per
+/// [`AccessRing::capacity`] accesses instead of once per access, and
+/// generators can hoist per-call setup (weight sums, asserts, bounds)
+/// out of their per-access loop. Draining preserves order exactly:
+/// `pop` yields accesses in the order they were pushed, so a batched
+/// source is observationally identical to repeated
+/// [`TraceSource::next_access`] calls.
+///
+/// # Examples
+///
+/// ```
+/// use triangel_workloads::trace::{AccessRing, MemoryAccess, TraceSource};
+/// use triangel_types::{Addr, Pc};
+///
+/// let mut ring = AccessRing::with_capacity(4);
+/// assert_eq!(ring.remaining(), 4);
+/// ring.push(MemoryAccess::new(Pc::new(1), Addr::new(64)));
+/// assert_eq!(ring.len(), 1);
+/// assert_eq!(ring.pop().unwrap().vaddr, Addr::new(64));
+/// assert!(ring.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct AccessRing {
+    buf: Vec<MemoryAccess>,
+    head: usize,
+    cap: usize,
+}
+
+impl AccessRing {
+    /// The default batch size used by the engine (one refill per 64
+    /// accesses keeps the ring in cache while amortizing dispatch).
+    pub const DEFAULT_CAPACITY: usize = 64;
+
+    /// A ring with the default capacity.
+    pub fn new() -> Self {
+        AccessRing::with_capacity(AccessRing::DEFAULT_CAPACITY)
+    }
+
+    /// A ring holding at most `cap` accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap > 0, "ring capacity must be positive");
+        AccessRing {
+            buf: Vec::with_capacity(cap),
+            head: 0,
+            cap,
+        }
+    }
+
+    /// Maximum number of accesses the ring holds.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Accesses pushed but not yet popped.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    /// Whether every pushed access has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.head == self.buf.len()
+    }
+
+    /// Free slots available to [`TraceSource::fill`].
+    pub fn remaining(&self) -> usize {
+        self.cap - self.len()
+    }
+
+    /// Appends one access; returns `false` (without storing) when the
+    /// ring is full.
+    pub fn push(&mut self, access: MemoryAccess) -> bool {
+        if self.len() == self.cap {
+            return false;
+        }
+        if self.buf.len() == self.cap {
+            // Physical space exhausted but logical space free: reclaim
+            // the consumed prefix. Amortized O(1) per push.
+            self.buf.drain(..self.head);
+            self.head = 0;
+        }
+        self.buf.push(access);
+        true
+    }
+
+    /// Removes and returns the oldest unconsumed access.
+    pub fn pop(&mut self) -> Option<MemoryAccess> {
+        if self.is_empty() {
+            return None;
+        }
+        let a = self.buf[self.head];
+        self.head += 1;
+        if self.head == self.buf.len() {
+            self.buf.clear();
+            self.head = 0;
+        }
+        Some(a)
+    }
+
+    /// The unconsumed accesses, oldest first.
+    pub fn as_slice(&self) -> &[MemoryAccess] {
+        &self.buf[self.head..]
+    }
+
+    /// Discards all unconsumed accesses.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+}
+
+impl Default for AccessRing {
+    fn default() -> Self {
+        AccessRing::new()
+    }
+}
+
 /// An unbounded, deterministic stream of memory accesses.
 ///
 /// Generators are infinite: the experiment harness decides how many
@@ -59,6 +183,25 @@ impl MemoryAccess {
 pub trait TraceSource: std::fmt::Debug {
     /// Produces the next access.
     fn next_access(&mut self) -> MemoryAccess;
+
+    /// Fills the ring's free space with the next accesses of the
+    /// stream, returning how many were appended.
+    ///
+    /// The contract is strict equivalence: the concatenation of every
+    /// access ever delivered through `fill` must equal the sequence
+    /// repeated [`TraceSource::next_access`] calls would produce,
+    /// whatever the ring's capacity or fill pattern. The default does
+    /// exactly that; implementations override it only to amortize
+    /// per-access overhead (e.g. [`crate::mix::WorkloadMix`] hoists its
+    /// weight scan, [`RecordedTrace`] turns replay into slice copies).
+    fn fill(&mut self, ring: &mut AccessRing) -> usize {
+        let want = ring.remaining();
+        for _ in 0..want {
+            let pushed = ring.push(self.next_access());
+            debug_assert!(pushed, "remaining() slots must accept pushes");
+        }
+        want
+    }
 
     /// A short display name for reports.
     fn name(&self) -> &str;
@@ -109,6 +252,25 @@ impl TraceSource for RecordedTrace {
         a
     }
 
+    fn fill(&mut self, ring: &mut AccessRing) -> usize {
+        // Replay is contiguous slices of the recording (with wrap), so
+        // batching is chunked copies instead of per-access modulo.
+        let want = ring.remaining();
+        let mut left = want;
+        while left > 0 {
+            let run = left.min(self.accesses.len() - self.pos);
+            for a in &self.accesses[self.pos..self.pos + run] {
+                ring.push(*a);
+            }
+            self.pos += run;
+            if self.pos == self.accesses.len() {
+                self.pos = 0;
+            }
+            left -= run;
+        }
+        want
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
@@ -143,5 +305,45 @@ mod tests {
     #[should_panic(expected = "at least one access")]
     fn empty_trace_rejected() {
         let _ = RecordedTrace::new("empty", vec![]);
+    }
+
+    #[test]
+    fn ring_push_pop_preserves_order() {
+        let mut ring = AccessRing::with_capacity(3);
+        for i in 0..3u64 {
+            assert!(ring.push(MemoryAccess::new(Pc::new(1), Addr::new(i * 64))));
+        }
+        assert!(!ring.push(MemoryAccess::new(Pc::new(1), Addr::new(999))));
+        assert_eq!(ring.pop().unwrap().vaddr, Addr::new(0));
+        // One slot free again: pushing compacts the consumed prefix.
+        assert!(ring.push(MemoryAccess::new(Pc::new(1), Addr::new(3 * 64))));
+        let drained: Vec<u64> = std::iter::from_fn(|| ring.pop())
+            .map(|a| a.vaddr.get())
+            .collect();
+        assert_eq!(drained, vec![64, 128, 192]);
+        assert!(ring.is_empty());
+        assert_eq!(ring.remaining(), 3);
+    }
+
+    #[test]
+    fn recorded_fill_matches_next_across_wrap() {
+        let accs: Vec<MemoryAccess> = (0..5u64)
+            .map(|i| MemoryAccess::new(Pc::new(1), Addr::new(i * 64)))
+            .collect();
+        let mut by_next = RecordedTrace::new("t", accs.clone());
+        let mut by_fill = RecordedTrace::new("t", accs);
+        let mut ring = AccessRing::with_capacity(7); // not a divisor of 5
+        for _ in 0..4 {
+            by_fill.fill(&mut ring);
+            while let Some(a) = ring.pop() {
+                assert_eq!(a, by_next.next_access());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_ring_rejected() {
+        let _ = AccessRing::with_capacity(0);
     }
 }

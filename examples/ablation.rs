@@ -9,7 +9,7 @@
 //! ```
 
 use triangel::core::TriangelFeatures;
-use triangel::sim::{Comparison, Experiment, PrefetcherChoice};
+use triangel::sim::{Comparison, PrefetcherChoice, SimSession};
 use triangel::workloads::spec::SpecWorkload;
 
 fn main() {
@@ -24,21 +24,25 @@ fn main() {
     );
 
     println!("Running baseline...");
-    let base = Experiment::new(workload.generator(42))
+    let base = SimSession::builder()
+        .workload(workload.generator(42))
         .warmup(1_200_000)
         .accesses(600_000)
         .sizing_window(150_000)
-        .run();
+        .run()
+        .unwrap();
 
     println!("{:28} {:>8} {:>9}", "Configuration", "Speedup", "Traffic");
     println!("{}", "-".repeat(47));
     for step in 0..=8 {
-        let run = Experiment::new(workload.generator(42))
+        let run = SimSession::builder()
+            .workload(workload.generator(42))
             .warmup(1_200_000)
             .accesses(600_000)
             .sizing_window(150_000)
             .prefetcher(PrefetcherChoice::TriangelLadder(step))
-            .run();
+            .run()
+            .unwrap();
         let c = Comparison::new(&base, &run);
         println!(
             "{:28} {:>7.3}x {:>8.3}x",

@@ -10,7 +10,7 @@
 //! ```
 
 use triangel::core::TriangelConfig;
-use triangel::sim::{Comparison, Experiment, PrefetcherChoice};
+use triangel::sim::{Comparison, PrefetcherChoice, SimSession};
 use triangel::types::{Addr, Pc};
 use triangel::workloads::mix::WorkloadMix;
 use triangel::workloads::temporal::{RandomStream, TemporalStream, TemporalStreamConfig};
@@ -69,11 +69,13 @@ fn build_workload(seed: u64) -> WorkloadMix {
 
 fn main() {
     println!("Running baseline...");
-    let base = Experiment::new(build_workload(7))
+    let base = SimSession::builder()
+        .workload(build_workload(7))
         .warmup(900_000)
         .accesses(500_000)
         .sizing_window(150_000)
-        .run();
+        .run()
+        .unwrap();
 
     // A customized Triangel: smaller maximum degree, larger Second-
     // Chance window.
@@ -83,19 +85,23 @@ fn main() {
     cfg.sizing_window = 150_000;
 
     println!("Running customized Triangel (degree<=2, SCS window 1024)...");
-    let custom = Experiment::new(build_workload(7))
+    let custom = SimSession::builder()
+        .workload(build_workload(7))
         .warmup(900_000)
         .accesses(500_000)
         .prefetcher(PrefetcherChoice::TriangelCustom(cfg))
-        .run();
+        .run()
+        .unwrap();
 
     println!("Running paper-default Triangel...");
-    let default = Experiment::new(build_workload(7))
+    let default = SimSession::builder()
+        .workload(build_workload(7))
         .warmup(900_000)
         .accesses(500_000)
         .sizing_window(150_000)
         .prefetcher(PrefetcherChoice::Triangel)
-        .run();
+        .run()
+        .unwrap();
 
     let c_custom = Comparison::new(&base, &custom);
     let c_default = Comparison::new(&base, &default);

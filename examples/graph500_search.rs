@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use triangel::sim::{Comparison, Experiment, PrefetcherChoice};
+use triangel::sim::{Comparison, PrefetcherChoice, SimSession};
 use triangel::workloads::graph500::{BfsTrace, Graph500Config, KroneckerConfig};
 
 fn main() {
@@ -42,11 +42,13 @@ fn main() {
     );
 
     println!("Running baseline...");
-    let base = Experiment::new(BfsTrace::new(cfg.label(), Arc::clone(&graph), 1))
+    let base = SimSession::builder()
+        .workload(BfsTrace::new(cfg.label(), Arc::clone(&graph), 1))
         .warmup(600_000)
         .accesses(400_000)
         .sizing_window(150_000)
-        .run();
+        .run()
+        .unwrap();
 
     for choice in [
         PrefetcherChoice::Triage,
@@ -55,12 +57,14 @@ fn main() {
         PrefetcherChoice::TriangelBloom,
     ] {
         println!("Running {}...", choice.label());
-        let run = Experiment::new(BfsTrace::new(cfg.label(), Arc::clone(&graph), 1))
+        let run = SimSession::builder()
+            .workload(BfsTrace::new(cfg.label(), Arc::clone(&graph), 1))
             .warmup(600_000)
             .accesses(400_000)
             .sizing_window(150_000)
             .prefetcher(choice)
-            .run();
+            .run()
+            .unwrap();
         let c = Comparison::new(&base, &run);
         println!(
             "  {:18} slowdown {:.3}x, DRAM traffic {:.3}x, markov ways {}",

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use triangel::sim::{Comparison, Experiment, PrefetcherChoice};
+use triangel::sim::{Comparison, PrefetcherChoice, SimSession};
 use triangel::workloads::spec::SpecWorkload;
 
 fn main() {
@@ -18,19 +18,23 @@ fn main() {
     // The baseline system already includes the degree-8 stride
     // prefetcher (Table 2 of the paper); every speedup is relative to it.
     println!("Running baseline (stride prefetcher only)...");
-    let baseline = Experiment::new(workload.generator(42))
+    let baseline = SimSession::builder()
+        .workload(workload.generator(42))
         .warmup(800_000)
         .accesses(500_000)
         .sizing_window(150_000)
-        .run();
+        .run()
+        .unwrap();
 
     println!("Running Triangel...");
-    let triangel = Experiment::new(workload.generator(42))
+    let triangel = SimSession::builder()
+        .workload(workload.generator(42))
         .warmup(800_000)
         .accesses(500_000)
         .sizing_window(150_000)
         .prefetcher(PrefetcherChoice::Triangel)
-        .run();
+        .run()
+        .unwrap();
 
     let c = Comparison::new(&baseline, &triangel);
     println!();

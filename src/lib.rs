@@ -24,16 +24,18 @@
 //! # Quickstart
 //!
 //! ```
-//! use triangel::sim::{Experiment, PrefetcherChoice};
+//! use triangel::sim::{PrefetcherChoice, SimSession};
 //! use triangel::workloads::spec::SpecWorkload;
 //!
-//! // Run a short Triangel experiment on the Omnetpp-like workload.
+//! // Run a short Triangel session on the Omnetpp-like workload.
 //! // (Real evaluations use millions of accesses; see EXPERIMENTS.md.)
-//! let report = Experiment::new(SpecWorkload::Omnetpp.generator(7))
+//! let report = SimSession::builder()
+//!     .workload(SpecWorkload::Omnetpp.generator(7))
+//!     .prefetcher(PrefetcherChoice::Triangel)
 //!     .warmup(5_000)
 //!     .accesses(10_000)
-//!     .prefetcher(PrefetcherChoice::Triangel)
-//!     .run();
+//!     .run()
+//!     .unwrap();
 //! assert!(report.ipc() > 0.0);
 //! ```
 //!

@@ -2,7 +2,7 @@
 //! hierarchy -> prefetcher -> metrics) must reproduce the paper's
 //! qualitative claims on controlled inputs.
 
-use triangel::sim::{Comparison, Experiment, PrefetcherChoice, RunReport};
+use triangel::sim::{Comparison, Experiment, PrefetcherChoice, RunReport, SimSession};
 use triangel::types::{Addr, Pc};
 use triangel::workloads::spec::SpecWorkload;
 use triangel::workloads::temporal::{RandomStream, TemporalStream, TemporalStreamConfig};
@@ -15,12 +15,14 @@ fn chase(len: usize, seed: u64) -> TemporalStream {
 }
 
 fn run(src: impl triangel::workloads::TraceSource + 'static, c: PrefetcherChoice) -> RunReport {
-    Experiment::new(src)
+    SimSession::builder()
+        .workload(src)
         .warmup(350_000)
         .accesses(200_000)
         .sizing_window(60_000)
         .prefetcher(c)
         .run()
+        .unwrap()
 }
 
 #[test]
@@ -101,7 +103,8 @@ fn multiprogrammed_runs_share_memory_system() {
         .accesses(100_000)
         .sizing_window(60_000)
         .prefetcher(PrefetcherChoice::Triangel)
-        .run();
+        .try_run()
+        .unwrap();
     assert_eq!(report.cores.len(), 2);
     assert!(report.cores[0].ipc() > 0.0);
     assert!(report.cores[1].ipc() > 0.0);
@@ -124,12 +127,14 @@ fn spec_workloads_run_under_every_configuration() {
             PrefetcherChoice::TriangelNoMrb,
             PrefetcherChoice::TriangelLadder(3),
         ] {
-            let r = Experiment::new(wl.generator(11))
+            let r = SimSession::builder()
+                .workload(wl.generator(11))
                 .warmup(30_000)
                 .accesses(30_000)
                 .sizing_window(20_000)
                 .prefetcher(cfg)
-                .run();
+                .run()
+                .unwrap();
             assert!(
                 r.ipc() > 0.0,
                 "{}/{} produced zero IPC",
