@@ -1,0 +1,7 @@
+//! The `features` ablation: the Fig. 20 feature ladder, each step run
+//! with and without the experimental `train_on_eviction` gate, at a
+//! fixed smoke scale. Emits `BENCH_features.json`.
+
+fn main() {
+    triangel_bench::figures::run_main("features");
+}

@@ -4,7 +4,10 @@
 use std::sync::Arc;
 
 use triangel_core::{structure_sizes, TriangelConfig, TriangelFeatures};
-use triangel_harness::emit::{perf_to_json, PerfRecord, PerfReport, PerfScalingPoint};
+use triangel_harness::emit::{
+    features_to_json, perf_to_json, FeatureCell, FeatureRow, FeatureStep, FeaturesReport,
+    PerfRecord, PerfReport, PerfScalingPoint,
+};
 use triangel_harness::{GridSpec, MapperSpec, RunParams, SweepOptions, WorkloadSpec};
 use triangel_markov::TargetFormat;
 use triangel_sim::{PrefetcherChoice, SystemConfig};
@@ -401,6 +404,100 @@ pub(super) fn perf(ctx: &mut FigureContext) -> Vec<FigureOutput> {
         name: "BENCH_perf".into(),
         body: perf_to_json(&report),
     }]
+}
+
+/// The `features` ablation's fixed scale. Like `perf`, deliberately
+/// not tied to `TRIANGEL_QUICK`/`TRIANGEL_WARMUP`: the gate's effect is
+/// only comparable across PRs if every measurement simulates the same
+/// work — and the scale must be large enough that temporal fills die
+/// (eviction training is a no-op until lines actually leave the L2).
+const FEATURES_PARAMS: RunParams = RunParams {
+    warmup: 25_000,
+    accesses: 25_000,
+    sizing_window: 10_000,
+    seed: 42,
+};
+
+/// The `features` ablation: the Fig. 20 feature ladder, each step run
+/// with the experimental `train_on_eviction` gate off and on, over the
+/// smoke sweep. Emits the per-step off/on metrics as
+/// `BENCH_features.json` (recorded like `perf`, minus wall clocks —
+/// the artefact is byte-deterministic) plus speedup/accuracy/coverage
+/// tables.
+pub(super) fn features(ctx: &mut FigureContext) -> Vec<FigureOutput> {
+    let mut grid = GridSpec::new(FEATURES_PARAMS).spec_rows();
+    for step in 0..=8 {
+        let label = TriangelFeatures::ladder_label(step);
+        grid = grid.labeled_column(label, PrefetcherChoice::TriangelLadder(step));
+        grid = grid.labeled_column_with_features(
+            format!("{label}+EvictTrain"),
+            PrefetcherChoice::TriangelLadder(step),
+            TriangelFeatures {
+                train_on_eviction: true,
+                ..TriangelFeatures::ladder(step)
+            },
+        );
+    }
+    let result = grid.run(&ctx.opts).unwrap_or_else(|e| panic!("{e}"));
+    ctx.absorb(result.stats);
+
+    let cell = |c: triangel_sim::Comparison| FeatureCell {
+        speedup: c.speedup,
+        accuracy: c.accuracy,
+        coverage: c.coverage,
+        dram_traffic: c.dram_traffic,
+    };
+    let rows = result
+        .row_labels()
+        .iter()
+        .enumerate()
+        .map(|(r, workload)| FeatureRow {
+            workload: workload.clone(),
+            // Columns alternate off/on per step (2 per ladder step).
+            steps: (0..=8)
+                .map(|step| FeatureStep {
+                    step,
+                    label: TriangelFeatures::ladder_label(step).to_string(),
+                    off: cell(result.comparison(r, step * 2)),
+                    on: cell(result.comparison(r, step * 2 + 1)),
+                })
+                .collect(),
+        })
+        .collect();
+    let report = FeaturesReport {
+        sweep: format!(
+            "7 SPEC workloads x 9 ladder steps x {{-, +EvictTrain}}, warmup {} + {} accesses each",
+            FEATURES_PARAMS.warmup, FEATURES_PARAMS.accesses
+        ),
+        rows,
+    };
+
+    let mut out = tables(vec![
+        result.table(
+            "Features ablation: speedup +/- EvictTrain",
+            "IPC relative to stride-only baseline; each ladder step paired with its +EvictTrain twin",
+            |c| c.speedup,
+        ),
+        result
+            .table(
+                "Features ablation: accuracy +/- EvictTrain",
+                "prefetched lines demand-used before L2 eviction",
+                |c| c.accuracy,
+            )
+            .without_geomean(),
+        result
+            .table(
+                "Features ablation: coverage +/- EvictTrain",
+                "fraction of baseline L2 demand misses eliminated",
+                |c| c.coverage,
+            )
+            .without_geomean(),
+    ]);
+    out.push(FigureOutput::Json {
+        name: "BENCH_features".into(),
+        body: features_to_json(&report),
+    });
+    out
 }
 
 pub(super) fn duel_bias(ctx: &mut FigureContext) -> Vec<FigureOutput> {

@@ -233,6 +233,11 @@ pub fn registry() -> Vec<FigureDef> {
             run: defs::duel_bias,
         },
         FigureDef {
+            name: "features",
+            title: "Feature ladder +/- eviction training",
+            run: defs::features,
+        },
+        FigureDef {
             name: "perf",
             title: "Hot-path throughput vs recorded baseline",
             run: defs::perf,
@@ -382,6 +387,7 @@ mod tests {
             "table2",
             "sec33_replacement",
             "duel_bias",
+            "features",
             "perf",
         ] {
             assert!(names.contains(&expected), "registry missing {expected}");

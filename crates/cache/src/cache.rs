@@ -24,6 +24,9 @@ struct Line {
     /// Whether the line has been demand-accessed since fill; used to
     /// classify evictions for accuracy accounting.
     used: bool,
+    /// Ordinal of the fill that installed the line (the cache's fill
+    /// clock at install time; see [`Cache`]'s `fill_clock`).
+    fill_seq: u64,
     fill_pc: Option<Pc>,
 }
 
@@ -33,16 +36,19 @@ impl Line {
             source: self.source,
             ready_at: self.ready_at,
             used: self.used,
+            fill_seq: self.fill_seq,
         }
     }
 
-    fn to_evicted(self) -> EvictedLine {
+    fn to_evicted(self, evict_seq: u64) -> EvictedLine {
         EvictedLine {
             line: self.tag,
             was_unused_prefetch: self.prefetch_tagged,
             was_used: self.used,
             source: self.source,
             ready_at: self.ready_at,
+            fill_seq: self.fill_seq,
+            evict_seq,
             fill_pc: self.fill_pc,
         }
     }
@@ -76,6 +82,14 @@ pub struct EvictedLine {
     pub source: FillSource,
     /// Cycle the line's fill completed (from its metadata word).
     pub ready_at: Cycle,
+    /// Fill-clock ordinal of the fill that installed the dying line.
+    pub fill_seq: u64,
+    /// Fill-clock reading at the eviction itself. For a conflict
+    /// eviction this is the incoming fill's own ordinal, so
+    /// `fill_seq < evict_seq` holds strictly; invalidations and
+    /// way-mask flushes read the clock without advancing it, so there
+    /// `fill_seq <= evict_seq`.
+    pub evict_seq: u64,
     /// PC recorded at fill time, if any.
     pub fill_pc: Option<Pc>,
 }
@@ -87,6 +101,7 @@ impl EvictedLine {
             source: self.source,
             ready_at: self.ready_at,
             used: self.was_used,
+            fill_seq: self.fill_seq,
         }
     }
 }
@@ -163,6 +178,12 @@ pub struct Cache {
     policy: ReplacementImpl,
     way_mask: WayMask,
     stats: CacheStats,
+    /// Monotonic fill clock: incremented on every installing fill and
+    /// stamped onto the installed line. Deliberately *not* part of
+    /// [`CacheStats`] — `reset_stats` must never rewind it, or fill
+    /// ordinals from before a measurement reset would compare wrongly
+    /// against evictions after it.
+    fill_clock: u64,
     /// Geometry cached out of `cfg` — `CacheConfig::sets` divides, and
     /// the hot path indexes on every access.
     ways: usize,
@@ -181,6 +202,7 @@ impl Cache {
             way_mask: all_ways(ways),
             cfg,
             stats: CacheStats::default(),
+            fill_clock: 0,
             ways,
             set_mask: sets - 1,
         }
@@ -304,7 +326,9 @@ impl Cache {
     /// Filling a line already present refreshes its metadata instead of
     /// duplicating it: the word is overwritten, and a demand (untagged)
     /// refill clears the prefetch tag while a prefetch refill keeps the
-    /// stronger (demand) tag state.
+    /// stronger (demand) tag state. A refresh does not advance the fill
+    /// clock or restamp `fill_seq` — the line's install ordinal is the
+    /// fill that actually brought it in.
     pub fn fill_at(
         &mut self,
         line: LineAddr,
@@ -336,6 +360,7 @@ impl Cache {
         }
 
         self.stats.fills += 1;
+        self.fill_clock += 1;
         let set = self.set_of(line);
         // Fill an invalid eligible way first.
         let way = (0..self.cfg.ways())
@@ -352,7 +377,7 @@ impl Cache {
             self.stats.evictions += 1;
             let old = self.lines[slot];
             self.policy.on_evict(set, way, old.tag);
-            Some(old.to_evicted())
+            Some(old.to_evicted(self.fill_clock))
         } else {
             None
         };
@@ -364,6 +389,7 @@ impl Cache {
             source,
             ready_at,
             used: !tagged,
+            fill_seq: self.fill_clock,
             fill_pc: pc,
         };
         self.policy.on_fill(set, way, &meta);
@@ -381,7 +407,7 @@ impl Cache {
         let old = self.lines[slot];
         self.lines[slot].valid = false;
         self.policy.on_invalidate(set, way);
-        old.to_evicted()
+        old.to_evicted(self.fill_clock)
     }
 
     /// Restricts fills and victims to the ways in `mask`, invalidating
@@ -495,6 +521,36 @@ mod tests {
         let ev = c.fill(b, None, false).evicted.unwrap();
         assert!(ev.was_used);
         assert!(!ev.was_unused_prefetch);
+    }
+
+    #[test]
+    fn fill_clock_orders_fills_before_their_evictions() {
+        let mut c = tiny(1);
+        let a = LineAddr::new(0);
+        let b = LineAddr::new(4); // same set
+        c.fill(a, None, false);
+        let seq_a = c.line_meta(a).unwrap().fill_seq;
+        assert_eq!(seq_a, 1, "first fill stamps ordinal 1");
+        // A refresh keeps the install ordinal and does not tick the clock.
+        c.fill(a, None, false);
+        assert_eq!(c.line_meta(a).unwrap().fill_seq, seq_a);
+        // A conflict eviction carries the evicting fill's ordinal,
+        // strictly after the victim's.
+        let ev = c.fill(b, None, false).evicted.unwrap();
+        assert_eq!(ev.fill_seq, seq_a);
+        assert_eq!(ev.evict_seq, 2);
+        assert!(ev.fill_seq < ev.evict_seq);
+        assert_eq!(ev.meta().fill_seq, seq_a);
+        // An invalidation reads the clock without advancing it.
+        let ev = c.invalidate(b).unwrap();
+        assert_eq!(ev.fill_seq, 2);
+        assert_eq!(ev.evict_seq, 2, "invalidation does not tick the clock");
+        // The clock survives a stats reset (it is not a statistic).
+        c.fill(a, None, false);
+        c.reset_stats();
+        let ev = c.fill(b, None, false).evicted.unwrap();
+        assert!(ev.fill_seq < ev.evict_seq);
+        assert_eq!(ev.evict_seq, 4);
     }
 
     #[test]

@@ -41,20 +41,34 @@ pub struct TriangelFeatures {
     pub high_pattern_conf: bool,
     /// Train on L2 eviction notices (paper-faithful eviction feedback
     /// through [`Prefetcher::on_l2_evict`]). **Experimental gate, off
-    /// everywhere by default** — it is not part of the Fig. 20 ladder,
-    /// [`TriangelFeatures::all`] leaves it off, and today the flag only
-    /// reserves the knob: enabling it changes no behaviour yet. When
-    /// the training path lands behind it, goldens must be re-blessed
-    /// deliberately.
+    /// everywhere by default** — it is not part of the Fig. 20 ladder
+    /// and [`TriangelFeatures::all`] leaves it off. When set, the
+    /// dying line's metadata word (fill source, demand-used bit, fill
+    /// cycle) settles training at eviction time: the Markov entry that
+    /// predicted the line is reinforced or weakened, and the filling
+    /// PC's pattern classifiers receive eviction ground truth.
+    /// Enabling it is a behaviour change; golden fixtures must be
+    /// re-blessed deliberately (`cargo run -p triangel-bench --bin
+    /// bless`). The `features` ablation figure measures its effect.
     ///
     /// [`Prefetcher::on_l2_evict`]: triangel_prefetch::Prefetcher::on_l2_evict
     pub train_on_eviction: bool,
 }
 
 impl TriangelFeatures {
-    /// Everything on: full Triangel. The experimental
-    /// `train_on_eviction` gate stays off — it is not part of the
-    /// paper's default configuration.
+    /// Everything on: full Triangel.
+    ///
+    /// # Invariant: `all()` excludes `train_on_eviction`
+    ///
+    /// "All" means *all of the paper's Fig. 20 ladder*, not every field
+    /// of the struct. The experimental `train_on_eviction` gate is
+    /// deliberately **not** part of `all()`: it is not in the paper's
+    /// default configuration, and `all()` is what every shipped
+    /// Triangel preset (and therefore every golden fixture) is built
+    /// from. Flipping it on here would silently change every golden.
+    /// The invariant is pinned by `ladder_is_cumulative` and
+    /// `eviction_training_gate_is_off_everywhere` below — an "enable
+    /// everything" edit must fail those tests first.
     pub const fn all() -> Self {
         TriangelFeatures {
             lookahead2: true,
@@ -237,6 +251,11 @@ mod tests {
         let f3 = TriangelFeatures::ladder(3);
         assert!(f3.lookahead2 && f3.triangel_metadata && f3.base_pattern_conf);
         assert!(!f3.second_chance && !f3.set_dueller);
+        // The ladder's top — and `all()` with it — excludes the
+        // experimental eviction-training gate by design: "all" is the
+        // paper's Fig. 20 feature set, and every golden fixture is
+        // built from it. See the invariant note on `all()` itself.
+        assert!(!TriangelFeatures::all().train_on_eviction);
     }
 
     #[test]

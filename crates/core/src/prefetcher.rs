@@ -10,8 +10,8 @@ use crate::training::{TrainingTable, CONF_INIT};
 use triangel_cache::replacement::PolicyKind;
 use triangel_markov::{MarkovTable, MarkovTableConfig};
 use triangel_prefetch::{
-    BloomFilter, CacheView, EvictNotice, PrefetchRequest, Prefetcher, PrefetcherStats, TrainEvent,
-    TrainKind,
+    BloomFilter, CacheView, EvictNotice, IssueTable, PrefetchRequest, Prefetcher, PrefetcherStats,
+    TrainEvent, TrainKind,
 };
 use triangel_types::{Cycle, LineAddr};
 
@@ -40,10 +40,16 @@ pub struct Triangel {
     /// fresh_unused_victims, sampler_hits, mismatches).
     debug: [u64; 6],
     /// L2 eviction notices observed: (own temporal lines that died
-    /// demand-used, own temporal lines that died unused). Diagnostics
-    /// only — the simulator settles accuracy stats itself; training on
-    /// evictions is a designed extension point.
+    /// demand-used, own temporal lines that died unused). Always
+    /// counted; the simulator settles accuracy stats itself.
     evict_seen: (u64, u64),
+    /// Eviction-training state, live only behind
+    /// `features.train_on_eviction`: which Markov entry produced each
+    /// resident temporal fill.
+    issue_table: IssueTable,
+    /// Eviction-training diagnostics: (Markov entry updates applied,
+    /// pattern-classifier deltas applied, premature deaths skipped).
+    evict_train: [u64; 3],
 }
 
 impl Triangel {
@@ -114,6 +120,8 @@ impl Triangel {
             name,
             debug: [0; 6],
             evict_seen: (0, 0),
+            issue_table: IssueTable::paper_l2(),
+            evict_train: [0; 3],
         }
     }
 
@@ -122,6 +130,13 @@ impl Triangel {
     /// mismatches]`.
     pub fn debug_counters(&self) -> [u64; 6] {
         self.debug
+    }
+
+    /// Eviction-training counters for tests and tuning: `[markov_entry
+    /// updates, pattern deltas, premature skips]`. All zero unless
+    /// `features.train_on_eviction` is set.
+    pub fn evict_train_counters(&self) -> [u64; 3] {
+        self.evict_train
     }
 
     /// Read access to the Markov table (for experiments and tests).
@@ -432,6 +447,11 @@ impl Triangel {
                         issue_delay: delay,
                     });
                     self.issued += 1;
+                    if f.train_on_eviction {
+                        // Remember which entry predicted this line so
+                        // its eventual death can settle the entry.
+                        self.issue_table.record(target, cursor);
+                    }
                 }
                 cursor = target;
             }
@@ -470,23 +490,73 @@ impl Prefetcher for Triangel {
         }
     }
 
+    /// Eviction feedback. Death diagnostics are always counted; behind
+    /// `features.train_on_eviction` the dying line's metadata word
+    /// (fill source, demand-used bit, fill cycle) additionally settles
+    /// training at the moment the line leaves the L2:
+    ///
+    /// * the Markov entry that predicted the line is reinforced (used
+    ///   death) or weakened/dropped (wasted death) via
+    ///   [`MarkovTable::train_on_evict`], with the Metadata Reuse
+    ///   Buffer's cached copy refreshed to match;
+    /// * the filling PC's pattern classifiers receive eviction ground
+    ///   truth — +1 for a used death, the asymmetric −2/−5 for a
+    ///   wasted one — alongside the History Sampler's hypothetical
+    ///   verdicts;
+    /// * *premature* deaths (evicted before the fill's data arrived,
+    ///   judged from the metadata word's fill cycle) are excluded from
+    ///   the negative paths: they indict cache pressure, not the
+    ///   prediction.
     fn on_l2_evict(&mut self, notice: &EvictNotice) {
         match notice.temporal_death() {
             Some(true) => self.evict_seen.1 += 1,
             Some(false) => self.evict_seen.0 += 1,
             None => {}
         }
+        let f = self.cfg.features;
+        if !f.train_on_eviction {
+            return;
+        }
+        let Some(wasted) = notice.temporal_death() else {
+            return;
+        };
+        if wasted && notice.premature() {
+            self.evict_train[2] += 1;
+            return;
+        }
+        let used = !wasted;
+        if let Some(pred) = self.issue_table.take(notice.line) {
+            if self.markov.train_on_evict(pred, notice.line, used) {
+                self.evict_train[0] += 1;
+                if f.metadata_reuse_buffer {
+                    // Keep the near-side copy coherent with the entry
+                    // the update just changed (or dropped).
+                    match self.markov.peek(pred) {
+                        Some((t, c)) => self.mrb.insert(pred, t, c),
+                        None => self.mrb.invalidate(pred),
+                    }
+                }
+            }
+        }
+        if f.base_pattern_conf {
+            if let Some(pc) = notice.fill_pc {
+                let idx = self.training.index_of(pc) as u16;
+                self.apply_pattern_delta(idx, used);
+                self.evict_train[1] += 1;
+            }
+        }
     }
 
     fn debug_string(&self) -> String {
         format!(
-            "gates={:?} ways={} occ={} dbg={:?} evict=({} used, {} wasted)",
+            "gates={:?} ways={} occ={} dbg={:?} evict=({} used, {} wasted) etrain={:?}",
             self.training.gate_summary(),
             self.markov.ways(),
             self.markov.occupancy(),
             self.debug,
             self.evict_seen.0,
             self.evict_seen.1,
+            self.evict_train,
         )
     }
 }
@@ -656,5 +726,85 @@ mod tests {
         let s = pf.stats();
         assert!(s.markov_writes > 0);
         assert!(s.markov_reads > 0);
+    }
+
+    fn notice(line: u64, used: bool, ready_at: u64, evict_cycle: u64) -> EvictNotice {
+        EvictNotice {
+            line: LineAddr::new(line),
+            meta: triangel_types::LineMeta {
+                source: triangel_types::FillSource::Temporal,
+                ready_at,
+                used,
+                fill_seq: 1,
+            },
+            was_unused_prefetch: !used,
+            evict_cycle,
+            evict_seq: 2,
+            fill_pc: Some(Pc::new(0x40)),
+        }
+    }
+
+    /// Builds a gate-on Triangel that has issued prefetches for a
+    /// strict pattern, returning it plus the last pass's target lines.
+    fn trained_gated() -> (Triangel, Vec<u64>) {
+        let mut cfg = small_config();
+        cfg.features.train_on_eviction = true;
+        let mut pf = Triangel::new(cfg);
+        let seq: Vec<u64> = (0..600).map(|i| 10 + i * 3).collect();
+        let reqs = drive_pattern(&mut pf, 0x40, &seq, 20);
+        assert!(!reqs.is_empty());
+        (pf, reqs.iter().map(|r| r.line.index()).collect())
+    }
+
+    #[test]
+    fn eviction_training_settles_issued_prefetches() {
+        let (mut pf, targets) = trained_gated();
+        // A used death reinforces the entry that predicted the target.
+        // Issue-table collisions may have displaced individual
+        // associations; at least one recent target must still settle.
+        let mut settled = None;
+        for t in &targets {
+            pf.on_l2_evict(&notice(*t, true, 100, 500));
+            if pf.evict_train_counters()[0] == 1 {
+                settled = Some(*t);
+                break;
+            }
+        }
+        let target = settled.expect("a recent prefetch settles its entry");
+        assert!(pf.evict_train_counters()[1] >= 1, "pattern deltas applied");
+        // The association is consumed: a second notice for the same
+        // line no longer finds an entry to update.
+        pf.on_l2_evict(&notice(target, true, 100, 500));
+        assert_eq!(pf.evict_train_counters()[0], 1);
+    }
+
+    #[test]
+    fn premature_deaths_are_not_pattern_failures() {
+        let (mut pf, targets) = trained_gated();
+        // Evicted at cycle 50, data due at 100: in-flight kill.
+        pf.on_l2_evict(&notice(targets[0], false, 100, 50));
+        assert_eq!(
+            pf.evict_train_counters(),
+            [0, 0, 1],
+            "only the premature skip counts; no negative training"
+        );
+    }
+
+    #[test]
+    fn eviction_training_is_inert_when_gated_off() {
+        let mut pf = Triangel::new(small_config());
+        let seq: Vec<u64> = (0..600).map(|i| 10 + i * 3).collect();
+        let reqs = drive_pattern(&mut pf, 0x40, &seq, 20);
+        assert!(!reqs.is_empty());
+        let before = format!("{:?}", pf.markov().stats());
+        pf.on_l2_evict(&notice(reqs[0].line.index(), false, 100, 500));
+        pf.on_l2_evict(&notice(reqs[0].line.index(), true, 100, 500));
+        assert_eq!(pf.evict_train_counters(), [0, 0, 0]);
+        assert_eq!(
+            format!("{:?}", pf.markov().stats()),
+            before,
+            "gated-off notices must not touch the Markov table"
+        );
+        assert_eq!(pf.evict_seen, (1, 1), "diagnostics still count");
     }
 }

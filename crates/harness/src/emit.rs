@@ -209,6 +209,101 @@ pub fn perf_to_json(r: &PerfReport) -> String {
     )
 }
 
+/// One cell of the `features` ablation: the comparison metrics of a
+/// `(workload, ladder step, gate)` configuration against its
+/// stride-only baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureCell {
+    /// IPC over the stride-only baseline.
+    pub speedup: f64,
+    /// Prefetch accuracy (used / resolved temporal fills).
+    pub accuracy: f64,
+    /// Fraction of baseline L2 demand misses eliminated.
+    pub coverage: f64,
+    /// DRAM line reads relative to baseline.
+    pub dram_traffic: f64,
+}
+
+/// One ladder step of the `features` ablation for one workload: the
+/// gate-off and gate-on measurements side by side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureStep {
+    /// Ladder step index (0 = Triage-Deg-4, 8 = full Triangel).
+    pub step: usize,
+    /// The step's Fig. 20 label.
+    pub label: String,
+    /// Metrics with `train_on_eviction` off.
+    pub off: FeatureCell,
+    /// Metrics with `train_on_eviction` on.
+    pub on: FeatureCell,
+}
+
+/// One workload row of the `features` ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureRow {
+    /// Workload label.
+    pub workload: String,
+    /// One entry per ladder step.
+    pub steps: Vec<FeatureStep>,
+}
+
+/// The `features` ablation artefact (`BENCH_features.json`): the
+/// Fig. 20 feature ladder swept with the experimental
+/// `train_on_eviction` gate off and on, per workload. Unlike the perf
+/// artefact this carries no wall-clock numbers, so its bytes are fully
+/// deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeaturesReport {
+    /// Human description of the fixed sweep.
+    pub sweep: String,
+    /// Per-workload results.
+    pub rows: Vec<FeatureRow>,
+}
+
+fn feature_cell_json(c: &FeatureCell) -> String {
+    format!(
+        "{{\"speedup\":{},\"accuracy\":{},\"coverage\":{},\"dram_traffic\":{}}}",
+        json_f64(c.speedup),
+        json_f64(c.accuracy),
+        json_f64(c.coverage),
+        json_f64(c.dram_traffic),
+    )
+}
+
+/// Serializes a features report as JSON (the `BENCH_features.json`
+/// schema). Deterministic: equal reports emit equal bytes.
+pub fn features_to_json(r: &FeaturesReport) -> String {
+    let rows: Vec<String> = r
+        .rows
+        .iter()
+        .map(|row| {
+            let steps: Vec<String> = row
+                .steps
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"step\":{},\"label\":{},\"off\":{},\"on\":{}}}",
+                        s.step,
+                        json_str(&s.label),
+                        feature_cell_json(&s.off),
+                        feature_cell_json(&s.on),
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"workload\":{},\"steps\":[{}]}}",
+                json_str(&row.workload),
+                steps.join(",")
+            )
+        })
+        .collect();
+    format!(
+        "{{\"schema\":1,\"figure\":\"features\",\"sweep\":{},\"rows\":[{}]}}",
+        json_str(&r.sweep),
+        rows.join(","),
+    )
+}
+
 /// The per-run scalars worth publishing in machine-readable reports.
 fn run_summary_json(r: &RunReport) -> String {
     format!(
@@ -332,5 +427,33 @@ mod tests {
         let t = table();
         assert_eq!(table_to_json(&t), table_to_json(&t));
         assert_eq!(table_to_csv(&t), table_to_csv(&t));
+    }
+
+    #[test]
+    fn features_report_json_shape() {
+        let cell = |s: f64| FeatureCell {
+            speedup: s,
+            accuracy: 0.5,
+            coverage: 0.25,
+            dram_traffic: 1.0,
+        };
+        let r = FeaturesReport {
+            sweep: "7 workloads x 9 steps x {off,on}".into(),
+            rows: vec![FeatureRow {
+                workload: "Xalan".into(),
+                steps: vec![FeatureStep {
+                    step: 0,
+                    label: "Triage-Deg-4".into(),
+                    off: cell(1.0),
+                    on: cell(1.25),
+                }],
+            }],
+        };
+        let j = features_to_json(&r);
+        assert!(j.contains("\"figure\":\"features\""));
+        assert!(j.contains("\"label\":\"Triage-Deg-4\""));
+        assert!(j.contains("\"off\":{\"speedup\":1.0,"));
+        assert!(j.contains("\"on\":{\"speedup\":1.25,"));
+        assert_eq!(features_to_json(&r), features_to_json(&r));
     }
 }

@@ -1,0 +1,204 @@
+//! The pinned golden sweeps, shared by the fixture tests and the
+//! `bless` devtool.
+//!
+//! A golden fixture is the byte-exact [`crate::emit::sweep_to_json`]
+//! rendering of one of these sweeps, committed under
+//! `crates/harness/tests/fixtures/`. The tests assert the current code
+//! reproduces the committed bytes at `--jobs 1` and `--jobs 8`; the
+//! `bless` binary (`cargo run -p triangel-bench --bin bless`)
+//! regenerates them when — and only when — a behaviour change is being
+//! landed deliberately. Defining the sweeps here, once, keeps the two
+//! sides incapable of drifting apart.
+//!
+//! Two sweeps are pinned:
+//!
+//! * [`golden_sweep`] — the original pre-refactor pin: every prefetcher
+//!   family with its **default** (gate-off) configuration. Any diff
+//!   here means default behaviour changed.
+//! * [`evict_train_sweep`] — the same workload shapes with the
+//!   experimental `train_on_eviction` gate **on** for every
+//!   Triangel-family job, at a scale where temporal fills actually die
+//!   and train. Any diff here means the eviction-training mechanism
+//!   changed.
+
+use std::path::PathBuf;
+
+use triangel_sim::{PrefetcherChoice, TriangelFeatures};
+use triangel_workloads::spec::SpecWorkload;
+
+use crate::emit;
+use crate::job::{JobSpec, MapperSpec, RunParams, WorkloadSpec};
+use crate::sweep::{Sweep, SweepOptions};
+
+/// Directory holding the committed fixtures.
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures"))
+}
+
+/// Path of the gate-off (pre-refactor) fixture.
+pub fn golden_fixture_path() -> PathBuf {
+    fixtures_dir().join("golden_sweep.json")
+}
+
+/// Path of the gate-on (eviction-training) fixture.
+pub fn evict_train_fixture_path() -> PathBuf {
+    fixtures_dir().join("golden_evict_train.json")
+}
+
+/// Scale of [`golden_sweep`]: small enough to run in seconds, long
+/// enough for every prefetcher family to train, fill, hit and evict.
+pub fn golden_params() -> RunParams {
+    RunParams {
+        warmup: 3_000,
+        accesses: 3_000,
+        sizing_window: 1_500,
+        seed: 11,
+    }
+}
+
+/// The gate-off pinned sweep: three single-core workloads under five
+/// configurations, a multiprogrammed pair, and two fragmented-mapping
+/// jobs (the fig18/19 shape).
+pub fn golden_sweep() -> Sweep {
+    let params = golden_params();
+    let mut sweep = Sweep::new();
+    for wl in [SpecWorkload::Xalan, SpecWorkload::Mcf, SpecWorkload::Sphinx] {
+        for pf in [
+            PrefetcherChoice::Baseline,
+            PrefetcherChoice::Triage,
+            PrefetcherChoice::TriageDeg4Look2,
+            PrefetcherChoice::Triangel,
+            PrefetcherChoice::TriangelBloom,
+        ] {
+            sweep.push(JobSpec::new(WorkloadSpec::Spec(wl), pf, params));
+        }
+    }
+    sweep.push(JobSpec::new(
+        WorkloadSpec::Pair(SpecWorkload::Xalan, SpecWorkload::Omnetpp),
+        PrefetcherChoice::Triangel,
+        params,
+    ));
+    for pf in [PrefetcherChoice::Triage, PrefetcherChoice::Triangel] {
+        sweep.push(
+            JobSpec::new(WorkloadSpec::Spec(SpecWorkload::Gcc166), pf, params)
+                .mapper(MapperSpec::Realistic(7)),
+        );
+    }
+    sweep
+}
+
+/// The feature set a Triangel-family choice runs with by default, with
+/// the eviction-training gate switched on. The override must start
+/// from the choice's *own* base features — overriding `TriangelBloom`
+/// with `all()` would silently re-enable its Set Dueller.
+pub fn gated_features(choice: PrefetcherChoice) -> TriangelFeatures {
+    let base = match choice {
+        PrefetcherChoice::TriangelBloom => TriangelFeatures {
+            set_dueller: false,
+            ..TriangelFeatures::all()
+        },
+        PrefetcherChoice::TriangelNoMrb => TriangelFeatures {
+            metadata_reuse_buffer: false,
+            ..TriangelFeatures::all()
+        },
+        PrefetcherChoice::TriangelLadder(s) => TriangelFeatures::ladder(s),
+        _ => TriangelFeatures::all(),
+    };
+    TriangelFeatures {
+        train_on_eviction: true,
+        ..base
+    }
+}
+
+/// Scale of [`evict_train_sweep`]: large enough that temporal fills
+/// die (and eviction training demonstrably fires — the ladder-0 cells
+/// change their fill/waste counts), small enough for test suites.
+pub fn evict_train_params() -> RunParams {
+    RunParams {
+        warmup: 25_000,
+        accesses: 25_000,
+        sizing_window: 8_000,
+        seed: 11,
+    }
+}
+
+/// The gate-on pinned sweep: the golden shapes with `train_on_eviction`
+/// set on every Triangel-family job. Ladder steps 0 and 2 are included
+/// because their ungated prefetching exercises the training path
+/// heavily at this scale; the full configurations pin the gate's
+/// interaction with the classifier/MRB machinery.
+pub fn evict_train_sweep() -> Sweep {
+    let params = evict_train_params();
+    let mut sweep = Sweep::new();
+    for wl in [SpecWorkload::Xalan, SpecWorkload::Mcf, SpecWorkload::Sphinx] {
+        for pf in [
+            PrefetcherChoice::TriangelLadder(0),
+            PrefetcherChoice::TriangelLadder(2),
+            PrefetcherChoice::Triangel,
+            PrefetcherChoice::TriangelBloom,
+        ] {
+            sweep.push(
+                JobSpec::new(WorkloadSpec::Spec(wl), pf, params).features(gated_features(pf)),
+            );
+        }
+    }
+    sweep.push(
+        JobSpec::new(
+            WorkloadSpec::Pair(SpecWorkload::Xalan, SpecWorkload::Omnetpp),
+            PrefetcherChoice::Triangel,
+            params,
+        )
+        .features(gated_features(PrefetcherChoice::Triangel)),
+    );
+    let ladder0 = PrefetcherChoice::TriangelLadder(0);
+    sweep.push(
+        JobSpec::new(WorkloadSpec::Spec(SpecWorkload::Gcc166), ladder0, params)
+            .mapper(MapperSpec::Realistic(7))
+            .features(gated_features(ladder0)),
+    );
+    sweep
+}
+
+/// Renders a sweep the way fixtures are stored: executed serially on a
+/// private cache, serialized as deterministic JSON.
+pub fn render(sweep: &Sweep) -> String {
+    emit::sweep_to_json(&sweep.run(&SweepOptions::serial()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gated_features_start_from_each_choice_base() {
+        let bloom = gated_features(PrefetcherChoice::TriangelBloom);
+        assert!(bloom.train_on_eviction && !bloom.set_dueller);
+        let nomrb = gated_features(PrefetcherChoice::TriangelNoMrb);
+        assert!(nomrb.train_on_eviction && !nomrb.metadata_reuse_buffer);
+        let l0 = gated_features(PrefetcherChoice::TriangelLadder(0));
+        assert_eq!(
+            TriangelFeatures {
+                train_on_eviction: false,
+                ..l0
+            },
+            TriangelFeatures::none()
+        );
+        let full = gated_features(PrefetcherChoice::Triangel);
+        assert_eq!(
+            TriangelFeatures {
+                train_on_eviction: false,
+                ..full
+            },
+            TriangelFeatures::all()
+        );
+    }
+
+    #[test]
+    fn every_evict_train_job_is_gated() {
+        for job in evict_train_sweep().jobs() {
+            let f = job.features.expect("gate-on sweep sets features");
+            assert!(f.train_on_eviction, "job {} is not gated", job.key());
+            assert!(job.key().contains("train_on_eviction: true"));
+        }
+    }
+}

@@ -3,10 +3,20 @@
 use std::sync::Arc;
 
 use triangel_sim::report::FigureTable;
-use triangel_sim::{Comparison, PrefetcherChoice, RunReport};
+use triangel_sim::{Comparison, PrefetcherChoice, RunReport, TriangelFeatures};
 
 use crate::job::{JobSpec, MapperSpec, RunParams, WorkloadSpec};
 use crate::sweep::{JobError, Sweep, SweepOptions, SweepStats};
+
+/// One column of a grid: a labeled prefetcher configuration, with an
+/// optional Triangel feature override (the session-level gate for
+/// experimental mechanisms such as `train_on_eviction`).
+#[derive(Debug, Clone)]
+struct Column {
+    label: String,
+    choice: PrefetcherChoice,
+    features: Option<TriangelFeatures>,
+}
 
 /// The shape shared by every figure of the paper: a set of workloads
 /// (rows), a set of prefetcher configurations (columns), and a
@@ -14,7 +24,7 @@ use crate::sweep::{JobError, Sweep, SweepOptions, SweepStats};
 #[derive(Debug, Clone)]
 pub struct GridSpec {
     rows: Vec<(String, WorkloadSpec)>,
-    columns: Vec<(String, PrefetcherChoice)>,
+    columns: Vec<Column>,
     baseline: PrefetcherChoice,
     params: RunParams,
     mapper: MapperSpec,
@@ -65,7 +75,30 @@ impl GridSpec {
     /// Adds a column with an explicit label.
     #[must_use]
     pub fn labeled_column(mut self, label: impl Into<String>, choice: PrefetcherChoice) -> Self {
-        self.columns.push((label.into(), choice));
+        self.columns.push(Column {
+            label: label.into(),
+            choice,
+            features: None,
+        });
+        self
+    }
+
+    /// Adds a column whose jobs carry a [`TriangelFeatures`] override
+    /// (ignored, like [`JobSpec::features`], by configurations without
+    /// Triangel features). This is how the `features` ablation figure
+    /// builds its `±EvictTrain` column pairs.
+    #[must_use]
+    pub fn labeled_column_with_features(
+        mut self,
+        label: impl Into<String>,
+        choice: PrefetcherChoice,
+        features: TriangelFeatures,
+    ) -> Self {
+        self.columns.push(Column {
+            label: label.into(),
+            choice,
+            features: Some(features),
+        });
         self
     }
 
@@ -93,8 +126,13 @@ impl GridSpec {
             jobs.push(
                 JobSpec::new(workload.clone(), self.baseline, self.params).mapper(self.mapper),
             );
-            for (_, choice) in &self.columns {
-                jobs.push(JobSpec::new(workload.clone(), *choice, self.params).mapper(self.mapper));
+            for col in &self.columns {
+                let mut job =
+                    JobSpec::new(workload.clone(), col.choice, self.params).mapper(self.mapper);
+                if let Some(f) = col.features {
+                    job = job.features(f);
+                }
+                jobs.push(job);
             }
         }
         jobs
@@ -123,7 +161,7 @@ impl GridSpec {
         }
         Ok(GridResult {
             row_labels: self.rows.iter().map(|(l, _)| l.clone()).collect(),
-            col_labels: self.columns.iter().map(|(l, _)| l.clone()).collect(),
+            col_labels: self.columns.iter().map(|c| c.label.clone()).collect(),
             baselines,
             cells,
             stats,

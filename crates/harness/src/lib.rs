@@ -22,6 +22,8 @@
 //!   grid that folds [`RunReport`](triangel_sim::RunReport)s into
 //!   labeled [`FigureTable`](triangel_sim::report::FigureTable)s.
 //! * [`emit`] — JSON and CSV emitters for tables and sweep reports.
+//! * [`goldens`] — the pinned fixture sweeps, shared by the golden
+//!   tests and the `bless` re-bless devtool so they cannot drift.
 //! * [`filter::Pattern`] — a small regex engine (no dependencies) used
 //!   by `all_figures --filter` to select a subset of experiments.
 //!
@@ -54,6 +56,7 @@
 
 pub mod emit;
 pub mod filter;
+pub mod goldens;
 mod grid;
 mod job;
 pub mod pool;
@@ -62,3 +65,6 @@ mod sweep;
 pub use grid::{GridResult, GridSpec};
 pub use job::{JobSpec, MapperSpec, RunParams, WorkloadSpec};
 pub use sweep::{JobError, Progress, ResultCache, Sweep, SweepOptions, SweepReport, SweepStats};
+// Re-exported so fixture tests and batch drivers can build
+// `JobSpec::features` overrides without a direct `triangel-sim` import.
+pub use triangel_sim::TriangelFeatures;

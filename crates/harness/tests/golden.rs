@@ -1,81 +1,50 @@
-//! Golden-equivalence pin for the simulator's `RunReport`s.
+//! Golden-equivalence pins for the simulator's `RunReport`s.
 //!
-//! The fixture was generated *before* the in-line cache-metadata
-//! refactor (PR 2) from the side-table implementation of
-//! `MemorySystem`, so this test proves the metadata migration is
-//! behaviour-preserving: a multi-workload sweep — single-core,
-//! multiprogrammed, and fragmented-mapping jobs across the prefetcher
-//! families — must emit byte-identical JSON under `--jobs 1` and
-//! `--jobs 8`, and both must equal the committed pre-refactor bytes.
+//! The sweeps live in [`triangel_harness::goldens`], shared with the
+//! `bless` devtool. Two fixtures are pinned:
+//!
+//! * `golden_sweep.json` — generated *before* the in-line
+//!   cache-metadata refactor (PR 2) from the side-table implementation
+//!   of `MemorySystem`: default (gate-off) behaviour must stay
+//!   byte-identical to it, at `--jobs 1` and `--jobs 8`.
+//! * `golden_evict_train.json` — the same workload shapes with the
+//!   `train_on_eviction` gate on for every Triangel-family job,
+//!   blessed deliberately when the eviction-training mechanism landed.
+//!
+//! A third test pins that the gate is *provably inert when off*: an
+//! explicit gate-off feature override produces byte-identical reports
+//! to no override at all.
 //!
 //! Regenerate (only when an *intentional* behaviour change is being
 //! made, and say so in the commit):
 //!
 //! ```sh
+//! cargo run -p triangel-bench --bin bless            # all fixtures
 //! TRIANGEL_BLESS=1 cargo test -p triangel-harness --test golden
 //! ```
 
-use triangel_harness::{emit, JobSpec, MapperSpec, RunParams, Sweep, SweepOptions, WorkloadSpec};
-use triangel_sim::PrefetcherChoice;
-use triangel_workloads::spec::SpecWorkload;
+use triangel_harness::goldens::{
+    evict_train_fixture_path, evict_train_sweep, gated_features, golden_fixture_path, golden_sweep,
+};
+use triangel_harness::{emit, SweepOptions, TriangelFeatures};
 
-const FIXTURE_PATH: &str = concat!(
-    env!("CARGO_MANIFEST_DIR"),
-    "/tests/fixtures/golden_sweep.json"
-);
-
-fn params() -> RunParams {
-    // Small enough to run in seconds, long enough for every prefetcher
-    // family to train, fill, hit and evict.
-    RunParams {
-        warmup: 3_000,
-        accesses: 3_000,
-        sizing_window: 1_500,
-        seed: 11,
-    }
-}
-
-/// The pinned sweep: three single-core workloads under five
-/// configurations, a multiprogrammed pair, and two fragmented-mapping
-/// jobs (the fig18/19 shape).
-fn golden_sweep() -> Sweep {
-    let mut sweep = Sweep::new();
-    for wl in [SpecWorkload::Xalan, SpecWorkload::Mcf, SpecWorkload::Sphinx] {
-        for pf in [
-            PrefetcherChoice::Baseline,
-            PrefetcherChoice::Triage,
-            PrefetcherChoice::TriageDeg4Look2,
-            PrefetcherChoice::Triangel,
-            PrefetcherChoice::TriangelBloom,
-        ] {
-            sweep.push(JobSpec::new(WorkloadSpec::Spec(wl), pf, params()));
-        }
-    }
-    sweep.push(JobSpec::new(
-        WorkloadSpec::Pair(SpecWorkload::Xalan, SpecWorkload::Omnetpp),
-        PrefetcherChoice::Triangel,
-        params(),
-    ));
-    for pf in [PrefetcherChoice::Triage, PrefetcherChoice::Triangel] {
-        sweep.push(
-            JobSpec::new(WorkloadSpec::Spec(SpecWorkload::Gcc166), pf, params())
-                .mapper(MapperSpec::Realistic(7)),
-        );
-    }
-    sweep
+fn bless_requested() -> bool {
+    std::env::var("TRIANGEL_BLESS").is_ok_and(|v| v == "1")
 }
 
 #[test]
 fn run_reports_match_pre_refactor_fixture_serial_and_parallel() {
+    let path = golden_fixture_path();
     let serial = emit::sweep_to_json(&golden_sweep().run(&SweepOptions::serial()));
 
-    if std::env::var("TRIANGEL_BLESS").is_ok_and(|v| v == "1") {
-        std::fs::write(FIXTURE_PATH, &serial).expect("write fixture");
-        eprintln!("blessed {FIXTURE_PATH}");
+    if bless_requested() {
+        std::fs::write(&path, &serial).expect("write fixture");
+        eprintln!("blessed {}", path.display());
     }
 
-    let fixture = std::fs::read_to_string(FIXTURE_PATH).expect(
-        "missing fixture; generate with TRIANGEL_BLESS=1 cargo test -p triangel-harness --test golden",
+    let fixture = std::fs::read_to_string(&path).expect(
+        "missing fixture; generate with `cargo run -p triangel-bench --bin bless` \
+         or TRIANGEL_BLESS=1 cargo test -p triangel-harness --test golden",
     );
     assert_eq!(
         serial, fixture,
@@ -87,4 +56,56 @@ fn run_reports_match_pre_refactor_fixture_serial_and_parallel() {
         parallel, fixture,
         "--jobs 8 sweep diverged from the committed pre-refactor RunReports"
     );
+}
+
+#[test]
+fn evict_train_reports_match_blessed_fixture_serial_and_parallel() {
+    let path = evict_train_fixture_path();
+    let serial = emit::sweep_to_json(&evict_train_sweep().run(&SweepOptions::serial()));
+
+    if bless_requested() {
+        std::fs::write(&path, &serial).expect("write fixture");
+        eprintln!("blessed {}", path.display());
+    }
+
+    let fixture = std::fs::read_to_string(&path).expect(
+        "missing fixture; generate with `cargo run -p triangel-bench --bin bless` \
+         or TRIANGEL_BLESS=1 cargo test -p triangel-harness --test golden",
+    );
+    assert_eq!(
+        serial, fixture,
+        "serial gate-on sweep diverged from the blessed eviction-training fixture"
+    );
+
+    let parallel = emit::sweep_to_json(&evict_train_sweep().run(&SweepOptions::parallel(8)));
+    assert_eq!(
+        parallel, fixture,
+        "--jobs 8 gate-on sweep diverged from the blessed eviction-training fixture"
+    );
+}
+
+/// The gate must be provably inert when off: overriding a job's
+/// features with its own defaults (gate off) may change the job *key*,
+/// but must not change a byte of the report.
+#[test]
+fn explicit_gate_off_override_is_byte_identical_to_no_override() {
+    for job in golden_sweep().jobs() {
+        if !job.prefetcher.accepts_feature_override() {
+            continue;
+        }
+        let off = TriangelFeatures {
+            train_on_eviction: false,
+            ..gated_features(job.prefetcher)
+        };
+        let overridden = job.clone().features(off);
+        assert_ne!(job.key(), overridden.key(), "override must enter the key");
+        let plain = job.run().expect("golden job runs");
+        let gated_off = overridden.run().expect("overridden job runs");
+        assert_eq!(
+            format!("{plain:?}"),
+            format!("{gated_off:?}"),
+            "gate-off override changed behaviour for {}",
+            job.key()
+        );
+    }
 }

@@ -224,6 +224,21 @@ impl MarkovTable {
         }
     }
 
+    /// Reconstructs a stored target without touching LUT replacement
+    /// state or statistics (the read-only decode `peek`, `train` and
+    /// `train_on_evict` share).
+    fn peek_target(&self, stored: StoredTarget) -> Option<LineAddr> {
+        match (stored, self.cfg.format) {
+            (StoredTarget::Direct(t), _) => Some(LineAddr::new(t)),
+            (StoredTarget::Lut { idx, offset }, TargetFormat::Lut { offset_bits, .. }) => self
+                .lut
+                .as_ref()
+                .and_then(|l| l.upper_at(idx))
+                .map(|u| LineAddr::new((u << offset_bits) | offset as u64)),
+            (StoredTarget::Lut { .. }, _) => unreachable!("LUT target under non-LUT format"),
+        }
+    }
+
     fn decode_target(&mut self, stored: StoredTarget) -> Option<LineAddr> {
         match (stored, self.cfg.format) {
             (StoredTarget::Direct(t), _) => Some(LineAddr::new(t)),
@@ -272,18 +287,7 @@ impl MarkovTable {
         for slot in self.slot_range(line_idx) {
             if let Some(e) = self.entries[slot] {
                 if e.tag == tag {
-                    let target = match (e.target, self.cfg.format) {
-                        (StoredTarget::Direct(t), _) => LineAddr::new(t),
-                        (
-                            StoredTarget::Lut { idx, offset },
-                            TargetFormat::Lut { offset_bits, .. },
-                        ) => {
-                            let upper = self.lut.as_ref()?.upper_at(idx)?;
-                            LineAddr::new((upper << offset_bits) | offset as u64)
-                        }
-                        _ => unreachable!(),
-                    };
-                    return Some((target, e.conf));
+                    return Some((self.peek_target(e.target)?, e.conf));
                 }
             }
         }
@@ -313,15 +317,7 @@ impl MarkovTable {
             if e.tag != tag {
                 continue;
             }
-            let current = match (e.target, self.cfg.format) {
-                (StoredTarget::Direct(t), _) => Some(LineAddr::new(t)),
-                (StoredTarget::Lut { idx, offset }, TargetFormat::Lut { offset_bits, .. }) => self
-                    .lut
-                    .as_ref()
-                    .and_then(|l| l.upper_at(idx))
-                    .map(|u| LineAddr::new((u << offset_bits) | offset as u64)),
-                _ => unreachable!(),
-            };
+            let current = self.peek_target(e.target);
             let same = current == Some(self.canonical_target(next));
             if same {
                 e.conf = true;
@@ -356,6 +352,57 @@ impl MarkovTable {
             target,
         });
         self.repl.on_fill(line_idx, way, &meta);
+    }
+
+    /// Eviction-time entry update: the line prefetched from `prev`'s
+    /// entry just left the L2, and `used` says whether a demand touched
+    /// it first.
+    ///
+    /// The update extends the confidence protocol with ground truth
+    /// from the dying line instead of a conflicting retrain: a *used*
+    /// death sets the confidence bit (the pair demonstrably produced a
+    /// useful prefetch), a *wasted* death clears a set bit, and a
+    /// wasted death of an already-unconfident pair drops the entry
+    /// outright, freeing the slot for a live pattern. The entry is
+    /// only touched while it still stores exactly the target that was
+    /// prefetched — if training moved it on since the prefetch issued,
+    /// the feedback is stale and the entry is left alone.
+    ///
+    /// Counts one partition write when an entry is updated. Returns
+    /// whether an update happened.
+    pub fn train_on_evict(&mut self, prev: LineAddr, target: LineAddr, used: bool) -> bool {
+        let Some(line_idx) = self.line_index(prev) else {
+            return false;
+        };
+        let tag = self.tag_of(prev);
+        let range = self.slot_range(line_idx);
+        let canonical = self.canonical_target(target);
+        for (i, slot) in range.enumerate() {
+            let Some(mut e) = self.entries[slot] else {
+                continue;
+            };
+            if e.tag != tag {
+                continue;
+            }
+            if self.peek_target(e.target) != Some(canonical) {
+                // Retrained since the prefetch issued: stale feedback.
+                return false;
+            }
+            self.stats.writes += 1;
+            if used {
+                e.conf = true;
+                self.entries[slot] = Some(e);
+            } else if e.conf {
+                e.conf = false;
+                self.entries[slot] = Some(e);
+            } else {
+                self.entries[slot] = None;
+                self.stats.entry_evictions += 1;
+                self.repl.on_invalidate(line_idx, i);
+            }
+            return true;
+        }
+        false
     }
 
     /// What `target` will round-trip to under this format (for the
@@ -545,6 +592,71 @@ mod tests {
         assert!(t.stats().entry_evictions > 0);
         // Occupancy bounded by capacity of set 0 across its 4 ways.
         assert!(t.occupancy() <= 4 * 12);
+    }
+
+    #[test]
+    fn train_on_evict_reinforces_used_deaths() {
+        let mut t = table(TargetFormat::Direct42);
+        let (x, y) = (LineAddr::new(7), LineAddr::new(70));
+        t.train(x, y, Pc::new(1));
+        assert!(!t.lookup(x).unwrap().confidence);
+        assert!(t.train_on_evict(x, y, true));
+        assert!(
+            t.lookup(x).unwrap().confidence,
+            "used death sets confidence"
+        );
+    }
+
+    #[test]
+    fn train_on_evict_weakens_then_drops_wasted_deaths() {
+        let mut t = table(TargetFormat::Direct42);
+        let (x, y) = (LineAddr::new(7), LineAddr::new(70));
+        t.train(x, y, Pc::new(1));
+        t.train(x, y, Pc::new(1)); // confident
+        assert!(t.train_on_evict(x, y, false));
+        let h = t.lookup(x).unwrap();
+        assert_eq!(h.target, y, "first wasted death only clears the bit");
+        assert!(!h.confidence);
+        assert!(t.train_on_evict(x, y, false));
+        assert!(
+            t.lookup(x).is_none(),
+            "second wasted death drops the discredited entry"
+        );
+        assert!(!t.train_on_evict(x, y, false), "nothing left to update");
+    }
+
+    #[test]
+    fn train_on_evict_ignores_stale_feedback() {
+        let mut t = table(TargetFormat::Direct42);
+        let (x, y, z) = (LineAddr::new(7), LineAddr::new(70), LineAddr::new(700));
+        t.train(x, y, Pc::new(1));
+        t.train(x, z, Pc::new(1)); // entry now holds y unconfident... retrain moved on
+        t.train(x, z, Pc::new(1)); // replaces with z
+        assert!(
+            !t.train_on_evict(x, y, false),
+            "feedback about y must not touch the entry now holding z"
+        );
+        assert_eq!(t.lookup(x).unwrap().target, z);
+    }
+
+    #[test]
+    fn train_on_evict_counts_partition_writes() {
+        let mut t = table(TargetFormat::Direct42);
+        let (x, y) = (LineAddr::new(7), LineAddr::new(70));
+        t.train(x, y, Pc::new(1));
+        let before = t.stats().writes;
+        assert!(t.train_on_evict(x, y, true));
+        assert_eq!(t.stats().writes, before + 1);
+        // Inactive partition: no-op.
+        let mut empty = MarkovTable::new(MarkovTableConfig {
+            sets: 64,
+            max_ways: 4,
+            format: TargetFormat::Direct42,
+            tag_bits: 10,
+            replacement: PolicyKind::Lru,
+        });
+        assert!(!empty.train_on_evict(x, y, true));
+        assert_eq!(empty.stats().writes, 0);
     }
 
     #[test]

@@ -86,6 +86,116 @@ proptest! {
         prop_assert_eq!(t.lookup(x).unwrap().target, z);
     }
 
+    /// Direct42 stores 31 bits: targets at or beyond the 2^31 range
+    /// edge reconstruct to `target mod 2^31`, and two targets that
+    /// differ only above bit 30 are indistinguishable — retraining
+    /// with the aliased twin counts as "same target" and sets the
+    /// confidence bit instead of displacing the entry.
+    #[test]
+    fn direct42_truncates_at_the_31_bit_range_edge(
+        prev in 0u64..(1 << 31),
+        low in 0u64..(1 << 31),
+        high_bits in 1u64..(1 << 12),
+    ) {
+        let mut t = table(TargetFormat::Direct42);
+        let wide = LineAddr::new(low | (high_bits << 31));
+        t.train(LineAddr::new(prev), wide, Pc::new(4));
+        let hit = t.lookup(LineAddr::new(prev)).expect("fresh entry");
+        prop_assert_eq!(hit.target, LineAddr::new(low), "31-bit truncation");
+        // The aliased twin is the same stored target: confidence rises.
+        t.train(LineAddr::new(prev), LineAddr::new(low), Pc::new(4));
+        prop_assert!(t.lookup(LineAddr::new(prev)).unwrap().confidence);
+    }
+
+    /// Ideal32 is the hypothetical error-free format: it reconstructs
+    /// exactly even beyond Direct42's 31-bit range.
+    #[test]
+    fn ideal32_reconstructs_exactly_beyond_the_direct_range(
+        prev in 0u64..(1 << 31),
+        next in (1u64 << 31)..(1 << 40),
+    ) {
+        let mut t = table(TargetFormat::Ideal32);
+        t.train(LineAddr::new(prev), LineAddr::new(next), Pc::new(4));
+        prop_assert_eq!(
+            t.lookup(LineAddr::new(prev)).expect("fresh entry").target,
+            LineAddr::new(next)
+        );
+    }
+
+    /// LUT formats split the target at `offset_bits` (10 or 11): the
+    /// offset field round-trips verbatim — including the all-ones
+    /// boundary value — and targets one apart across a frame boundary
+    /// land in different LUT frames yet still reconstruct while their
+    /// slots are live.
+    #[test]
+    fn lut_offset_field_roundtrips_at_frame_boundaries(
+        prev in 0u64..(1 << 31),
+        upper in 1u64..10_000,
+        ten_bit in 0usize..2,
+    ) {
+        let (format, offset_bits) = [
+            (TargetFormat::triage_default(), 11u32),
+            (TargetFormat::triage_10b_offset(), 10u32),
+        ][ten_bit];
+        let mut t = table(format);
+        // The last line of frame `upper`: offset is all ones.
+        let edge = LineAddr::new((upper << offset_bits) | ((1 << offset_bits) - 1));
+        // Its successor: first line of the next frame, offset zero.
+        let next_frame = LineAddr::new((upper + 1) << offset_bits);
+        prop_assert_eq!(edge.index() + 1, next_frame.index());
+        t.train(LineAddr::new(prev), edge, Pc::new(4));
+        t.train(LineAddr::new(prev ^ 1), next_frame, Pc::new(4));
+        prop_assert_eq!(
+            t.lookup(LineAddr::new(prev)).expect("edge entry").target,
+            edge,
+            "all-ones offset survives the split encoding"
+        );
+        prop_assert_eq!(
+            t.lookup(LineAddr::new(prev ^ 1)).expect("next entry").target,
+            next_frame,
+            "zero offset in the adjacent frame survives too"
+        );
+    }
+
+    /// A LUT collision (the frame slot re-used by enough newer frames)
+    /// redirects the *upper* bits but always preserves the stored
+    /// offset field — Fig. 19's wrong-region inaccuracy, pinned as a
+    /// property across both offset widths.
+    #[test]
+    fn lut_collisions_redirect_upper_but_preserve_offset(
+        // Below 2^30 so the alias trainer lines (2^30 + k) never
+        // collide with `prev`'s own entry.
+        prev in 0u64..(1 << 30),
+        upper in 1u64..64,
+        offset in 0u64..(1 << 10),
+        ten_bit in 0usize..2,
+    ) {
+        let (format, offset_bits) = [
+            (TargetFormat::triage_default(), 11u32),
+            (TargetFormat::triage_10b_offset(), 10u32),
+        ][ten_bit];
+        let mut t = table(format);
+        let target = LineAddr::new((upper << offset_bits) | offset);
+        t.train(LineAddr::new(prev), target, Pc::new(4));
+        // 16 newer frames in the same Way16 congruence class (64 sets)
+        // evict `upper`'s slot.
+        for k in 1..=16u64 {
+            let alias_upper = upper + 64 * k;
+            t.train(
+                LineAddr::new((1 << 30) + k),
+                LineAddr::new((alias_upper << offset_bits) | 9),
+                Pc::new(4),
+            );
+        }
+        let got = t.lookup(LineAddr::new(prev)).expect("entry still present");
+        prop_assert_ne!(got.target, target, "stale slot reconstructs wrongly");
+        prop_assert_eq!(
+            got.target.index() & ((1 << offset_bits) - 1),
+            offset,
+            "offset bits are stored in the entry, not the LUT"
+        );
+    }
+
     /// Resizes never increase occupancy and never lose the ability to
     /// look up *recently retrained* pairs after re-activation.
     #[test]

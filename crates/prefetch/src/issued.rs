@@ -1,0 +1,127 @@
+//! Tracking which Markov entry produced each outstanding prefetch.
+//!
+//! Eviction-time training (the `train_on_eviction` gate) needs to walk
+//! back from a dying prefetched line to the Markov pair that predicted
+//! it: the table is indexed by *predecessor*, but an eviction notice
+//! only names the *target*. Hardware keeps this association alongside
+//! its prefetch machinery (the request knows which metadata entry spawned
+//! it); [`IssueTable`] models that as a small direct-mapped table written
+//! when a chained prefetch issues and consumed when the line dies.
+//!
+//! The table is deliberately lossy: a collision overwrites the older
+//! association and merely forfeits one training opportunity, exactly as
+//! a bounded hardware structure would. It is fully deterministic.
+
+use triangel_types::{xor_fold, LineAddr};
+
+/// A direct-mapped target → predecessor table for issued temporal
+/// prefetches.
+#[derive(Debug)]
+pub struct IssueTable {
+    /// `(target, predecessor)` per slot.
+    slots: Vec<Option<(LineAddr, LineAddr)>>,
+    index_bits: u32,
+    mask: usize,
+}
+
+impl IssueTable {
+    /// Creates a table with `entries` slots (rounded up to a power of
+    /// two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "issue table needs entries");
+        let n = entries.next_power_of_two();
+        IssueTable {
+            slots: vec![None; n],
+            index_bits: n.trailing_zeros(),
+            mask: n - 1,
+        }
+    }
+
+    /// The sizing both temporal prefetchers use: the paper L2's line
+    /// count (4096), so a well-behaved resident population of
+    /// prefetched lines rarely collides.
+    pub fn paper_l2() -> Self {
+        IssueTable::new(4096)
+    }
+
+    fn slot_of(&self, target: LineAddr) -> usize {
+        if self.index_bits == 0 {
+            0
+        } else {
+            (xor_fold(target.index(), self.index_bits) as usize) & self.mask
+        }
+    }
+
+    /// Records that a prefetch of `target` was produced by the Markov
+    /// entry indexed by `predecessor`, overwriting any collision.
+    pub fn record(&mut self, target: LineAddr, predecessor: LineAddr) {
+        let slot = self.slot_of(target);
+        self.slots[slot] = Some((target, predecessor));
+    }
+
+    /// Consumes the association for `target`, if it survived: returns
+    /// the predecessor whose entry predicted it and clears the slot.
+    pub fn take(&mut self, target: LineAddr) -> Option<LineAddr> {
+        let slot = self.slot_of(target);
+        match self.slots[slot] {
+            Some((t, pred)) if t == target => {
+                self.slots[slot] = None;
+                Some(pred)
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of live associations (diagnostics/tests).
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_take_roundtrip() {
+        let mut t = IssueTable::new(64);
+        t.record(LineAddr::new(100), LineAddr::new(7));
+        assert_eq!(t.take(LineAddr::new(100)), Some(LineAddr::new(7)));
+        assert_eq!(t.take(LineAddr::new(100)), None, "take consumes");
+        assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn collision_overwrites_older_association() {
+        // One slot: every target collides.
+        let mut t = IssueTable::new(1);
+        assert_eq!(t.capacity(), 1);
+        t.record(LineAddr::new(1), LineAddr::new(10));
+        t.record(LineAddr::new(2), LineAddr::new(20));
+        assert_eq!(t.take(LineAddr::new(1)), None, "displaced by collision");
+        assert_eq!(t.take(LineAddr::new(2)), Some(LineAddr::new(20)));
+    }
+
+    #[test]
+    fn rerecord_updates_predecessor() {
+        let mut t = IssueTable::new(8);
+        t.record(LineAddr::new(5), LineAddr::new(1));
+        t.record(LineAddr::new(5), LineAddr::new(2));
+        assert_eq!(t.take(LineAddr::new(5)), Some(LineAddr::new(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs entries")]
+    fn zero_entries_rejected() {
+        let _ = IssueTable::new(0);
+    }
+}

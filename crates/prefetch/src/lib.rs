@@ -34,9 +34,11 @@
 #![warn(missing_debug_implementations)]
 
 mod bloom;
+mod issued;
 mod stride;
 
 pub use bloom::BloomFilter;
+pub use issued::IssueTable;
 pub use stride::StridePrefetcher;
 
 use triangel_types::{Cycle, LineAddr, LineMeta, Pc};
@@ -123,11 +125,24 @@ impl CacheView for NullCacheView {
 pub struct EvictNotice {
     /// The line leaving the L2.
     pub line: LineAddr,
-    /// Its final metadata word (source, fill time, demand-used bit).
+    /// Its final metadata word (source, fill time, demand-used bit,
+    /// fill ordinal).
     pub meta: LineMeta,
     /// Set when the line was prefetched and never demand-used — a
     /// wasted prefetch from the tag bit's point of view.
     pub was_unused_prefetch: bool,
+    /// Cycle at which the eviction takes effect: the incoming fill's
+    /// data-arrival time (the victim holds its frame until the
+    /// replacement actually lands). Compare against `meta.ready_at` to
+    /// spot *premature* deaths — lines evicted before their own fill
+    /// even completed, which say nothing about prediction accuracy.
+    /// Cycles are not monotonic across evictions (prefetch delays
+    /// interleave); use `evict_seq` for ordering.
+    pub evict_cycle: Cycle,
+    /// The L2 fill clock at eviction (the evicting fill's ordinal).
+    /// Strictly greater than `meta.fill_seq`: the fill that installed
+    /// the dying line always precedes the fill that kills it.
+    pub evict_seq: u64,
     /// PC recorded at fill time, if any.
     pub fill_pc: Option<Pc>,
 }
@@ -137,10 +152,18 @@ impl EvictNotice {
     /// the line was not a temporal fill, otherwise `Some(wasted)` where
     /// `wasted` means it died without ever being demand-used. The one
     /// shared definition both Triage and Triangel count diagnostics
-    /// (and future eviction training) from.
+    /// and eviction-time training from.
     pub fn temporal_death(&self) -> Option<bool> {
         (self.meta.source == triangel_types::FillSource::Temporal)
             .then_some(self.was_unused_prefetch)
+    }
+
+    /// Whether the line died before its own fill completed (evicted
+    /// while the data was still in flight). A premature death is a
+    /// capacity/thrash artefact, not evidence about the prediction, so
+    /// eviction-time training skips the negative update for it.
+    pub fn premature(&self) -> bool {
+        self.evict_cycle < self.meta.ready_at
     }
 }
 
@@ -180,9 +203,13 @@ pub trait Prefetcher: std::fmt::Debug {
 
     /// Observes an L2 line dying, with its final metadata word. The
     /// memory system calls this on every conflict eviction; the default
-    /// ignores it. Implementations currently use it for diagnostics
-    /// only — training on evictions is a designed-for extension point
-    /// and must not change reported statistics when adopted silently.
+    /// ignores it. Triage and Triangel count per-source death
+    /// diagnostics here unconditionally, and — only behind their
+    /// explicit eviction-training gates (`TriangelFeatures::
+    /// train_on_eviction`, `TriageConfig::train_on_eviction`, both off
+    /// in every shipped configuration) — feed the dying line's metadata
+    /// word back into the training and Markov paths. With the gates
+    /// off the hook must not change any reported statistic.
     fn on_l2_evict(&mut self, _notice: &EvictNotice) {}
 
     /// Display name for reports.

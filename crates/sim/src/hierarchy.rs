@@ -253,15 +253,21 @@ impl MemorySystem {
         let out = core.l2.fill_at(line, Some(pc), source, tagged, ready);
         core.stats.l2_fills += 1;
         if let Some(ev) = out.evicted {
-            Self::settle_l2_eviction(core, &ev);
+            // The victim holds its frame until the replacement's data
+            // lands, so the incoming fill's completion time is the
+            // eviction's effective cycle.
+            Self::settle_l2_eviction(core, &ev, ready);
         }
         if tagged {
             core.stats.temporal_fills += 1;
         }
     }
 
-    /// Attributes a dying L2 line and notifies the temporal prefetcher.
-    fn settle_l2_eviction(core: &mut CoreMem, ev: &EvictedLine) {
+    /// Attributes a dying L2 line and notifies the temporal prefetcher,
+    /// handing it the line's full metadata word plus the eviction's
+    /// effective cycle and fill-clock ordinal (the eviction-training
+    /// inputs).
+    fn settle_l2_eviction(core: &mut CoreMem, ev: &EvictedLine, evict_cycle: Cycle) {
         if ev.source == FillSource::Temporal && ev.was_unused_prefetch {
             core.stats.temporal_wasted += 1;
         }
@@ -269,6 +275,8 @@ impl MemorySystem {
             line: ev.line,
             meta: ev.meta(),
             was_unused_prefetch: ev.was_unused_prefetch,
+            evict_cycle,
+            evict_seq: ev.evict_seq,
             fill_pc: ev.fill_pc,
         });
     }

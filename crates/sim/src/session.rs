@@ -201,7 +201,8 @@ impl SimSessionBuilder {
     /// use triangel_workloads::spec::SpecWorkload;
     ///
     /// // Opt a Triangel run into the experimental eviction-training
-    /// // gate (no behaviour change until the mechanism lands).
+    /// // gate (a behaviour change: dying L2 lines feed the training
+    /// // and Markov paths — golden fixtures pin both gate states).
     /// let report = SimSession::builder()
     ///     .workload(SpecWorkload::Mcf.generator(3))
     ///     .prefetcher(PrefetcherChoice::Triangel)

@@ -50,8 +50,8 @@ pub use training::{TrainingTable, TrainingUpdate};
 
 use triangel_markov::{MarkovTable, MarkovTableConfig};
 use triangel_prefetch::{
-    BloomFilter, CacheView, EvictNotice, PrefetchRequest, Prefetcher, PrefetcherStats, TrainEvent,
-    TrainKind,
+    BloomFilter, CacheView, EvictNotice, IssueTable, PrefetchRequest, Prefetcher, PrefetcherStats,
+    TrainEvent, TrainKind,
 };
 use triangel_types::{Cycle, LineAddr};
 
@@ -76,6 +76,12 @@ pub struct TriageConfig {
     /// Accesses per sizing window (the paper's 30M-instruction window
     /// scaled to prefetcher events).
     pub sizing_window: u64,
+    /// Train on L2 eviction notices: the Triage-compatible subset of
+    /// Triangel's experimental `train_on_eviction` gate (Markov-entry
+    /// reinforcement only — Triage has no pattern classifiers).
+    /// **Off in every shipped preset**; enabling it is an explicit
+    /// opt-in and a behaviour change.
+    pub train_on_eviction: bool,
 }
 
 impl TriageConfig {
@@ -89,6 +95,7 @@ impl TriageConfig {
             markov_latency: 25,
             bloom_bits: 1 << 20, // ~131 KiB: the "too large" structure of Sec. 3.5
             sizing_window: 250_000,
+            train_on_eviction: false,
         }
     }
 
@@ -115,6 +122,14 @@ impl TriageConfig {
         self.table.format = format;
         self
     }
+
+    /// Same config with eviction-time training enabled (explicit
+    /// opt-in; no shipped preset sets it).
+    #[must_use]
+    pub fn with_evict_training(mut self) -> Self {
+        self.train_on_eviction = true;
+        self
+    }
 }
 
 /// The Triage prefetcher.
@@ -129,19 +144,27 @@ pub struct Triage {
     issued: u64,
     name: String,
     /// L2 eviction notices for own (temporal) fills: (died used,
-    /// died unused). Diagnostics only; surfaced via `debug_string`.
+    /// died unused). Always counted; surfaced via `debug_string`.
     evict_seen: (u64, u64),
+    /// Eviction-training state, live only behind
+    /// `cfg.train_on_eviction`: which Markov entry produced each
+    /// resident temporal fill, and how many entry updates applied.
+    issue_table: IssueTable,
+    evict_trained: u64,
 }
 
 impl Triage {
     /// Builds Triage from its configuration.
     pub fn new(cfg: TriageConfig) -> Self {
-        let name = match (cfg.degree, cfg.lookahead) {
+        let mut name = match (cfg.degree, cfg.lookahead) {
             (1, 1) => "Triage".to_string(),
             (4, 1) => "Triage-Deg4".to_string(),
             (4, 2) => "Triage-Deg4-Look2".to_string(),
             (d, l) => format!("Triage-Deg{d}-Look{l}"),
         };
+        if cfg.train_on_eviction {
+            name.push_str("+EvictTrain");
+        }
         Triage {
             training: TrainingTable::new(cfg.training_entries, cfg.lookahead),
             markov: MarkovTable::new(cfg.table),
@@ -152,6 +175,8 @@ impl Triage {
             cfg,
             name,
             evict_seen: (0, 0),
+            issue_table: IssueTable::paper_l2(),
+            evict_trained: 0,
         }
     }
 
@@ -196,6 +221,11 @@ impl Triage {
                 issue_delay: delay,
             });
             self.issued += 1;
+            if self.cfg.train_on_eviction {
+                // Remember which entry predicted this line so its
+                // eventual death can settle the entry.
+                self.issue_table.record(hit.target, cursor);
+            }
             cursor = hit.target;
         }
     }
@@ -258,18 +288,43 @@ impl Prefetcher for Triage {
         }
     }
 
+    /// Eviction feedback: death diagnostics always; behind
+    /// `cfg.train_on_eviction`, the Triage-compatible subset of
+    /// eviction-time training — the Markov entry that predicted the
+    /// dying line is reinforced (used death) or weakened/dropped
+    /// (wasted death, skipping *premature* deaths whose fill never
+    /// completed). Triage has no pattern classifiers, so there is no
+    /// confidence-counter path here.
     fn on_l2_evict(&mut self, notice: &EvictNotice) {
         match notice.temporal_death() {
             Some(true) => self.evict_seen.1 += 1,
             Some(false) => self.evict_seen.0 += 1,
             None => {}
         }
+        if !self.cfg.train_on_eviction {
+            return;
+        }
+        let Some(wasted) = notice.temporal_death() else {
+            return;
+        };
+        if wasted && notice.premature() {
+            return;
+        }
+        if let Some(pred) = self.issue_table.take(notice.line) {
+            if self.markov.train_on_evict(pred, notice.line, !wasted) {
+                self.evict_trained += 1;
+            }
+        }
     }
 
     fn debug_string(&self) -> String {
         format!(
-            "ways={} issued={} evict=({} used, {} wasted)",
-            self.desired_ways, self.issued, self.evict_seen.0, self.evict_seen.1,
+            "ways={} issued={} evict=({} used, {} wasted) etrain={}",
+            self.desired_ways,
+            self.issued,
+            self.evict_seen.0,
+            self.evict_seen.1,
+            self.evict_trained,
         )
     }
 }
@@ -393,5 +448,85 @@ mod tests {
             Triage::new(TriageConfig::degree4_lookahead2()).name(),
             "Triage-Deg4-Look2"
         );
+        assert_eq!(
+            Triage::new(TriageConfig::degree4().with_evict_training()).name(),
+            "Triage-Deg4+EvictTrain"
+        );
+    }
+
+    #[test]
+    fn eviction_gate_is_off_in_every_preset() {
+        assert!(!TriageConfig::paper_default().train_on_eviction);
+        assert!(!TriageConfig::degree4().train_on_eviction);
+        assert!(!TriageConfig::degree4_lookahead2().train_on_eviction);
+    }
+
+    fn temporal_notice(line: u64, used: bool) -> EvictNotice {
+        EvictNotice {
+            line: LineAddr::new(line),
+            meta: triangel_types::LineMeta {
+                source: triangel_types::FillSource::Temporal,
+                ready_at: 10,
+                used,
+                fill_seq: 1,
+            },
+            was_unused_prefetch: !used,
+            evict_cycle: 100,
+            evict_seq: 2,
+            fill_pc: Some(Pc::new(1)),
+        }
+    }
+
+    #[test]
+    fn eviction_training_reinforces_used_predictions() {
+        let mut pf = Triage::new(TriageConfig::paper_default().with_evict_training());
+        drive(&mut pf, 0x40, &[10, 20, 30, 40]);
+        let reqs = drive(&mut pf, 0x40, &[10]); // predicts 20 from entry 10
+        assert_eq!(reqs[0].line, LineAddr::new(20));
+        pf.on_l2_evict(&temporal_notice(20, true));
+        assert_eq!(pf.evict_trained, 1);
+        assert_eq!(
+            pf.markov().peek(LineAddr::new(10)),
+            Some((LineAddr::new(20), true)),
+            "used death set the confidence bit"
+        );
+        // The confident entry now survives one conflicting retrain
+        // (bit cleared, target kept) instead of being replaced. PC
+        // 0x80 does not alias 0x40's training slot.
+        drive(&mut pf, 0x80, &[10, 99]);
+        assert_eq!(
+            pf.markov().peek(LineAddr::new(10)),
+            Some((LineAddr::new(20), false)),
+            "reinforced entry survives one conflicting retrain"
+        );
+    }
+
+    #[test]
+    fn eviction_training_drops_wasted_predictions() {
+        let mut pf = Triage::new(TriageConfig::paper_default().with_evict_training());
+        drive(&mut pf, 0x40, &[10, 20, 30, 40]);
+        let reqs = drive(&mut pf, 0x40, &[10]);
+        assert_eq!(reqs[0].line, LineAddr::new(20));
+        // (10 -> 20) was never confident; a wasted death drops it.
+        pf.on_l2_evict(&temporal_notice(20, false));
+        assert_eq!(pf.evict_trained, 1);
+        assert_eq!(
+            pf.markov().peek(LineAddr::new(10)),
+            None,
+            "discredited entry is gone"
+        );
+    }
+
+    #[test]
+    fn eviction_notices_are_inert_without_the_gate() {
+        let mut pf = Triage::new(TriageConfig::paper_default());
+        drive(&mut pf, 1, &[10, 20, 30, 40]);
+        let before = format!("{:?}", pf.markov().stats());
+        pf.on_l2_evict(&temporal_notice(20, false));
+        assert_eq!(pf.evict_trained, 0);
+        assert_eq!(format!("{:?}", pf.markov().stats()), before);
+        assert_eq!(pf.evict_seen, (0, 1), "diagnostics still count");
+        let reqs = drive(&mut pf, 1, &[10]);
+        assert_eq!(reqs[0].line, LineAddr::new(20), "entry untouched");
     }
 }

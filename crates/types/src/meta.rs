@@ -47,6 +47,16 @@ pub struct LineMeta {
     pub ready_at: Cycle,
     /// Whether any demand access has touched the line since fill.
     pub used: bool,
+    /// Ordinal of the fill that installed the line, stamped from the
+    /// owning cache's monotonic fill clock (1 is the cache's first
+    /// fill; 0 means "never stamped", i.e. a default word). Unlike
+    /// `ready_at`, fill ordinals are totally ordered within one cache:
+    /// a line's `fill_seq` is always strictly less than the ordinal of
+    /// the fill that later evicts it, which is what eviction-time
+    /// training and the eviction-notice invariants key on (`ready_at`
+    /// is *not* monotonic across fills — a delayed prefetch can
+    /// complete after a younger demand fill).
+    pub fill_seq: u64,
 }
 
 #[cfg(test)]
@@ -67,5 +77,6 @@ mod tests {
         assert_eq!(m.ready_at, 0);
         assert!(!m.used);
         assert_eq!(m.source, FillSource::Demand);
+        assert_eq!(m.fill_seq, 0, "an unstamped word has no fill ordinal");
     }
 }
