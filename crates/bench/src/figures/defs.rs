@@ -406,26 +406,36 @@ pub(super) fn perf(ctx: &mut FigureContext) -> Vec<FigureOutput> {
     }]
 }
 
-/// The `features` ablation's fixed scale. Like `perf`, deliberately
-/// not tied to `TRIANGEL_QUICK`/`TRIANGEL_WARMUP`: the gate's effect is
-/// only comparable across PRs if every measurement simulates the same
-/// work — and the scale must be large enough that temporal fills die
-/// (eviction training is a no-op until lines actually leave the L2).
-const FEATURES_PARAMS: RunParams = RunParams {
+/// The `features` ablation's fixed smoke scale. Like `perf`,
+/// deliberately not tied to `TRIANGEL_QUICK`/`TRIANGEL_WARMUP`: the
+/// gate's effect is only comparable across PRs if every measurement
+/// simulates the same work — and the scale must be large enough that
+/// temporal fills die (eviction training is a no-op until lines
+/// actually leave the L2).
+pub const FEATURES_PARAMS: RunParams = RunParams {
     warmup: 25_000,
     accesses: 25_000,
     sizing_window: 10_000,
     seed: 42,
 };
 
-/// The `features` ablation: the Fig. 20 feature ladder, each step run
-/// with the experimental `train_on_eviction` gate off and on, over the
-/// smoke sweep. Emits the per-step off/on metrics as
-/// `BENCH_features.json` (recorded like `perf`, minus wall clocks —
-/// the artefact is byte-deterministic) plus speedup/accuracy/coverage
-/// tables.
-pub(super) fn features(ctx: &mut FigureContext) -> Vec<FigureOutput> {
-    let mut grid = GridSpec::new(FEATURES_PARAMS).spec_rows();
+/// The `features` ablation at paper scale: the methodology's 1M-access
+/// warm-up plus 2M measured accesses per core. This is the scale the
+/// `train_on_eviction` promotion verdict is recorded at (sampled
+/// policies and Markov confidence dynamics only converge here); runs
+/// of this size go through the `campaign` binary, which checkpoints
+/// and resumes them.
+pub const FEATURES_FULL_PARAMS: RunParams = RunParams {
+    warmup: 1_000_000,
+    accesses: 2_000_000,
+    sizing_window: 250_000,
+    seed: 42,
+};
+
+/// The features-ablation grid at `params` scale: the Fig. 20 ladder,
+/// each step paired with its `+EvictTrain` twin.
+pub fn features_grid(params: RunParams) -> GridSpec {
+    let mut grid = GridSpec::new(params).spec_rows();
     for step in 0..=8 {
         let label = TriangelFeatures::ladder_label(step);
         grid = grid.labeled_column(label, PrefetcherChoice::TriangelLadder(step));
@@ -438,9 +448,33 @@ pub(super) fn features(ctx: &mut FigureContext) -> Vec<FigureOutput> {
             },
         );
     }
-    let result = grid.run(&ctx.opts).unwrap_or_else(|e| panic!("{e}"));
-    ctx.absorb(result.stats);
+    grid
+}
 
+/// The `features` ablation: the Fig. 20 feature ladder, each step run
+/// with the experimental `train_on_eviction` gate off and on, over the
+/// smoke sweep. Emits the per-step off/on metrics as
+/// `BENCH_features_smoke.json` (recorded like `perf`, minus wall
+/// clocks — the artefact is byte-deterministic; the un-suffixed
+/// `BENCH_features.json` name is reserved for the campaign runner's
+/// full-scale record) plus speedup/accuracy/coverage tables.
+pub(super) fn features(ctx: &mut FigureContext) -> Vec<FigureOutput> {
+    let result = features_grid(FEATURES_PARAMS)
+        .run(&ctx.opts)
+        .unwrap_or_else(|e| panic!("{e}"));
+    ctx.absorb(result.stats);
+    features_outputs(&result, FEATURES_PARAMS, "BENCH_features_smoke")
+}
+
+/// Folds a finished features grid into its tables and the
+/// `<artifact>.json` machine-readable report (shared by the smoke
+/// figure, which emits `BENCH_features_smoke`, and the campaign
+/// runner, whose full-scale run records `BENCH_features`).
+pub fn features_outputs(
+    result: &triangel_harness::GridResult,
+    params: RunParams,
+    artifact: &str,
+) -> Vec<FigureOutput> {
     let cell = |c: triangel_sim::Comparison| FeatureCell {
         speedup: c.speedup,
         accuracy: c.accuracy,
@@ -467,7 +501,7 @@ pub(super) fn features(ctx: &mut FigureContext) -> Vec<FigureOutput> {
     let report = FeaturesReport {
         sweep: format!(
             "7 SPEC workloads x 9 ladder steps x {{-, +EvictTrain}}, warmup {} + {} accesses each",
-            FEATURES_PARAMS.warmup, FEATURES_PARAMS.accesses
+            params.warmup, params.accesses
         ),
         rows,
     };
@@ -494,7 +528,7 @@ pub(super) fn features(ctx: &mut FigureContext) -> Vec<FigureOutput> {
             .without_geomean(),
     ]);
     out.push(FigureOutput::Json {
-        name: "BENCH_features".into(),
+        name: artifact.to_string(),
         body: features_to_json(&report),
     });
     out

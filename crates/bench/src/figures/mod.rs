@@ -9,6 +9,8 @@
 
 mod defs;
 
+pub use defs::{features_grid, features_outputs, FEATURES_FULL_PARAMS, FEATURES_PARAMS};
+
 use std::path::PathBuf;
 use std::sync::Arc;
 

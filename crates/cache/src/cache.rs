@@ -453,6 +453,82 @@ impl Cache {
     }
 }
 
+use triangel_types::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
+impl Snapshot for CacheStats {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.u64(self.demand_hits);
+        w.u64(self.demand_misses);
+        w.u64(self.prefetch_hits);
+        w.u64(self.prefetch_lookups);
+        w.u64(self.fills);
+        w.u64(self.evictions);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.demand_hits = r.u64()?;
+        self.demand_misses = r.u64()?;
+        self.prefetch_hits = r.u64()?;
+        self.prefetch_lookups = r.u64()?;
+        self.fills = r.u64()?;
+        self.evictions = r.u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for Line {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.u64(self.tag.index());
+        w.bool(self.valid);
+        w.bool(self.prefetch_tagged);
+        w.u8(self.source.snap_tag());
+        w.u64(self.ready_at);
+        w.bool(self.used);
+        w.u64(self.fill_seq);
+        w.opt_u64(self.fill_pc.map(|p| p.get()));
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.tag = LineAddr::new(r.u64()?);
+        self.valid = r.bool()?;
+        self.prefetch_tagged = r.bool()?;
+        self.source = FillSource::from_snap_tag(r.u8()?)?;
+        self.ready_at = r.u64()?;
+        self.used = r.bool()?;
+        self.fill_seq = r.u64()?;
+        self.fill_pc = r.opt_u64()?.map(Pc::new);
+        Ok(())
+    }
+}
+
+impl Snapshot for Cache {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.usize(self.lines.len());
+        for line in &self.lines {
+            line.save(w)?;
+        }
+        self.policy.save(w)?;
+        w.u64(self.way_mask);
+        self.stats.save(w)?;
+        w.u64(self.fill_clock);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        r.expect_len(self.lines.len(), "cache lines")?;
+        for line in &mut self.lines {
+            line.restore(r)?;
+        }
+        self.policy.restore(r)?;
+        self.way_mask = r.u64()?;
+        self.stats.restore(r)?;
+        self.fill_clock = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

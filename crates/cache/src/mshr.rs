@@ -146,6 +146,36 @@ impl Mshr {
     }
 }
 
+use triangel_types::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
+impl Snapshot for Mshr {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.usize(self.slots.len());
+        for s in &self.slots {
+            w.u64(s.line.index());
+            w.u64(s.ready_at);
+            w.bool(s.prefetch_only);
+            w.u32(s.merged);
+        }
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let n = r.usize()?;
+        triangel_types::snap::snap_check(n <= self.capacity, "MSHR occupancy above capacity")?;
+        self.slots.clear();
+        for _ in 0..n {
+            self.slots.push(MshrSlot {
+                line: LineAddr::new(r.u64()?),
+                ready_at: r.u64()?,
+                prefetch_only: r.bool()?,
+                merged: r.u32()?,
+            });
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

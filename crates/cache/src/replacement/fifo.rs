@@ -50,6 +50,32 @@ impl ReplacementPolicy for Fifo {
     }
 }
 
+impl triangel_types::snap::Snapshot for Fifo {
+    fn save(
+        &self,
+        w: &mut triangel_types::snap::SnapWriter,
+    ) -> Result<(), triangel_types::snap::SnapError> {
+        w.usize(self.stamp.len());
+        for s in &self.stamp {
+            w.u64(*s);
+        }
+        w.u64(self.clock);
+        Ok(())
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut triangel_types::snap::SnapReader,
+    ) -> Result<(), triangel_types::snap::SnapError> {
+        r.expect_len(self.stamp.len(), "FIFO stamps")?;
+        for s in &mut self.stamp {
+            *s = r.u64()?;
+        }
+        self.clock = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

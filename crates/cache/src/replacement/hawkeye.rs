@@ -204,6 +204,78 @@ impl ReplacementPolicy for HawkEye {
     }
 }
 
+impl triangel_types::snap::Snapshot for HawkEye {
+    fn save(
+        &self,
+        w: &mut triangel_types::snap::SnapWriter,
+    ) -> Result<(), triangel_types::snap::SnapError> {
+        w.usize(self.rrpv.len());
+        for v in &self.rrpv {
+            w.u8(*v);
+        }
+        w.usize(self.loader.len());
+        for v in &self.loader {
+            w.u64(*v);
+        }
+        w.usize(self.predictor.len());
+        for c in &self.predictor {
+            c.save(w)?;
+        }
+        w.usize(self.samples.len());
+        for s in &self.samples {
+            w.usize(s.history.len());
+            for (line, pc_hash) in &s.history {
+                w.u64(line.index());
+                w.u64(*pc_hash);
+            }
+            w.usize(s.occupancy.len());
+            for o in &s.occupancy {
+                w.u8(*o);
+            }
+        }
+        Ok(())
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut triangel_types::snap::SnapReader,
+    ) -> Result<(), triangel_types::snap::SnapError> {
+        r.expect_len(self.rrpv.len(), "HawkEye RRPVs")?;
+        for v in &mut self.rrpv {
+            *v = r.u8()?;
+        }
+        r.expect_len(self.loader.len(), "HawkEye loaders")?;
+        for v in &mut self.loader {
+            *v = r.u64()?;
+        }
+        r.expect_len(self.predictor.len(), "HawkEye predictor")?;
+        for c in &mut self.predictor {
+            c.restore(r)?;
+        }
+        r.expect_len(self.samples.len(), "HawkEye samples")?;
+        for s in &mut self.samples {
+            let n = r.usize()?;
+            triangel_types::snap::snap_check(n <= self.window, "OPTgen history above window")?;
+            s.history.clear();
+            for _ in 0..n {
+                let line = LineAddr::new(r.u64()?);
+                let pc_hash = r.u64()?;
+                s.history.push_back((line, pc_hash));
+            }
+            let n = r.usize()?;
+            triangel_types::snap::snap_check(
+                n == s.history.len(),
+                "OPTgen occupancy misaligned with history",
+            )?;
+            s.occupancy.clear();
+            for _ in 0..n {
+                s.occupancy.push_back(r.u8()?);
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

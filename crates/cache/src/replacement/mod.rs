@@ -248,6 +248,56 @@ impl ReplacementPolicy for ReplacementImpl {
     }
 }
 
+impl ReplacementImpl {
+    /// The snapshot discriminant for this policy variant.
+    fn snap_tag(&self) -> u8 {
+        match self {
+            ReplacementImpl::Lru(_) => 0,
+            ReplacementImpl::Fifo(_) => 1,
+            ReplacementImpl::Random(_) => 2,
+            ReplacementImpl::TreePlru(_) => 3,
+            ReplacementImpl::Rrip(_) => 4,
+            ReplacementImpl::Hawkeye(_) => 5,
+        }
+    }
+}
+
+impl triangel_types::snap::Snapshot for ReplacementImpl {
+    fn save(
+        &self,
+        w: &mut triangel_types::snap::SnapWriter,
+    ) -> Result<(), triangel_types::snap::SnapError> {
+        w.u8(self.snap_tag());
+        match self {
+            ReplacementImpl::Lru(p) => p.save(w),
+            ReplacementImpl::Fifo(p) => p.save(w),
+            ReplacementImpl::Random(p) => p.save(w),
+            ReplacementImpl::TreePlru(p) => p.save(w),
+            ReplacementImpl::Rrip(p) => p.save(w),
+            ReplacementImpl::Hawkeye(p) => p.save(w),
+        }
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut triangel_types::snap::SnapReader,
+    ) -> Result<(), triangel_types::snap::SnapError> {
+        let tag = r.u8()?;
+        triangel_types::snap::snap_check(
+            tag == self.snap_tag(),
+            "replacement-policy variant mismatch",
+        )?;
+        match self {
+            ReplacementImpl::Lru(p) => p.restore(r),
+            ReplacementImpl::Fifo(p) => p.restore(r),
+            ReplacementImpl::Random(p) => p.restore(r),
+            ReplacementImpl::TreePlru(p) => p.restore(r),
+            ReplacementImpl::Rrip(p) => p.restore(r),
+            ReplacementImpl::Hawkeye(p) => p.restore(r),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

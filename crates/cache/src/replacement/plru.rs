@@ -98,6 +98,30 @@ impl ReplacementPolicy for TreePlru {
     }
 }
 
+impl triangel_types::snap::Snapshot for TreePlru {
+    fn save(
+        &self,
+        w: &mut triangel_types::snap::SnapWriter,
+    ) -> Result<(), triangel_types::snap::SnapError> {
+        w.usize(self.bits.len());
+        for b in &self.bits {
+            w.bool(*b);
+        }
+        Ok(())
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut triangel_types::snap::SnapReader,
+    ) -> Result<(), triangel_types::snap::SnapError> {
+        r.expect_len(self.bits.len(), "PLRU bits")?;
+        for b in &mut self.bits {
+            *b = r.bool()?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -37,6 +37,22 @@ impl ReplacementPolicy for Random {
     }
 }
 
+impl triangel_types::snap::Snapshot for Random {
+    fn save(
+        &self,
+        w: &mut triangel_types::snap::SnapWriter,
+    ) -> Result<(), triangel_types::snap::SnapError> {
+        triangel_types::snap::Snapshot::save(&self.rng, w)
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut triangel_types::snap::SnapReader,
+    ) -> Result<(), triangel_types::snap::SnapError> {
+        triangel_types::snap::Snapshot::restore(&mut self.rng, r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

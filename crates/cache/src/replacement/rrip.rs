@@ -95,6 +95,30 @@ impl ReplacementPolicy for Rrip {
     }
 }
 
+impl triangel_types::snap::Snapshot for Rrip {
+    fn save(
+        &self,
+        w: &mut triangel_types::snap::SnapWriter,
+    ) -> Result<(), triangel_types::snap::SnapError> {
+        w.usize(self.rrpv.len());
+        for v in &self.rrpv {
+            w.u8(*v);
+        }
+        triangel_types::snap::Snapshot::save(&self.rng, w)
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut triangel_types::snap::SnapReader,
+    ) -> Result<(), triangel_types::snap::SnapError> {
+        r.expect_len(self.rrpv.len(), "RRIP RRPVs")?;
+        for v in &mut self.rrpv {
+            *v = r.u8()?;
+        }
+        triangel_types::snap::Snapshot::restore(&mut self.rng, r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

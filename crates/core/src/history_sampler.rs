@@ -207,6 +207,50 @@ impl HistorySampler {
     }
 }
 
+use triangel_types::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
+impl Snapshot for HistorySampler {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.usize(self.slots.len());
+        for slot in &self.slots {
+            match slot {
+                Some(s) => {
+                    w.bool(true);
+                    w.u32(s.addr_tag);
+                    w.u16(s.train_idx);
+                    w.u64(s.target.index());
+                    w.u32(s.timestamp);
+                    w.bool(s.used);
+                    w.u64(s.fifo);
+                }
+                None => w.bool(false),
+            }
+        }
+        w.u64(self.fifo_clock);
+        self.rng.save(w)
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        r.expect_len(self.slots.len(), "sampler slots")?;
+        for slot in &mut self.slots {
+            *slot = if r.bool()? {
+                Some(Sample {
+                    addr_tag: r.u32()?,
+                    train_idx: r.u16()?,
+                    target: LineAddr::new(r.u64()?),
+                    timestamp: r.u32()?,
+                    used: r.bool()?,
+                    fifo: r.u64()?,
+                })
+            } else {
+                None
+            };
+        }
+        self.fifo_clock = r.u64()?;
+        self.rng.restore(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -561,6 +561,58 @@ impl Prefetcher for Triangel {
     }
 }
 
+use triangel_types::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
+impl Snapshot for Triangel {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        self.training.save(w)?;
+        self.sampler.save(w)?;
+        self.scs.save(w)?;
+        self.mrb.save(w)?;
+        self.dueller.save(w)?;
+        self.bloom.save(w)?;
+        self.markov.save(w)?;
+        w.u64(self.bloom_window_left);
+        w.usize(self.desired_ways);
+        w.u64(self.issued);
+        w.u64(self.suppressed);
+        for d in &self.debug {
+            w.u64(*d);
+        }
+        w.u64(self.evict_seen.0);
+        w.u64(self.evict_seen.1);
+        self.issue_table.save(w)?;
+        for d in &self.evict_train {
+            w.u64(*d);
+        }
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.training.restore(r)?;
+        self.sampler.restore(r)?;
+        self.scs.restore(r)?;
+        self.mrb.restore(r)?;
+        self.dueller.restore(r)?;
+        self.bloom.restore(r)?;
+        self.markov.restore(r)?;
+        self.bloom_window_left = r.u64()?;
+        self.desired_ways = r.usize()?;
+        self.issued = r.u64()?;
+        self.suppressed = r.u64()?;
+        for d in &mut self.debug {
+            *d = r.u64()?;
+        }
+        self.evict_seen.0 = r.u64()?;
+        self.evict_seen.1 = r.u64()?;
+        self.issue_table.restore(r)?;
+        for d in &mut self.evict_train {
+            *d = r.u64()?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -137,6 +137,50 @@ impl MetadataReuseBuffer {
     }
 }
 
+use triangel_types::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
+impl Snapshot for MetadataReuseBuffer {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.usize(self.slots.len());
+        for slot in &self.slots {
+            match slot {
+                Some(e) => {
+                    w.bool(true);
+                    w.u64(e.lookup.index());
+                    w.u64(e.target.index());
+                    w.bool(e.confidence);
+                    w.u64(e.fifo);
+                }
+                None => w.bool(false),
+            }
+        }
+        w.u64(self.fifo_clock);
+        w.u64(self.hits);
+        w.u64(self.misses);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        r.expect_len(self.slots.len(), "MRB slots")?;
+        for slot in &mut self.slots {
+            *slot = if r.bool()? {
+                Some(MrbEntry {
+                    lookup: LineAddr::new(r.u64()?),
+                    target: LineAddr::new(r.u64()?),
+                    confidence: r.bool()?,
+                    fifo: r.u64()?,
+                })
+            } else {
+                None
+            };
+        }
+        self.fifo_clock = r.u64()?;
+        self.hits = r.u64()?;
+        self.misses = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

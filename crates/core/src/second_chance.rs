@@ -92,6 +92,46 @@ impl SecondChanceSampler {
     }
 }
 
+use triangel_types::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
+impl Snapshot for SecondChanceSampler {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.usize(self.slots.len());
+        for slot in &self.slots {
+            match slot {
+                Some(e) => {
+                    w.bool(true);
+                    w.u64(e.target.index());
+                    w.u16(e.train_idx);
+                    w.u64(e.deadline);
+                }
+                None => w.bool(false),
+            }
+        }
+        w.usize(self.fifo_next);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        r.expect_len(self.slots.len(), "SCS slots")?;
+        for slot in &mut self.slots {
+            *slot = if r.bool()? {
+                Some(ScsEntry {
+                    target: LineAddr::new(r.u64()?),
+                    train_idx: r.u16()?,
+                    deadline: r.u64()?,
+                })
+            } else {
+                None
+            };
+        }
+        let next = r.usize()?;
+        triangel_types::snap::snap_check(next < self.slots.len(), "SCS cursor out of range")?;
+        self.fifo_next = next;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

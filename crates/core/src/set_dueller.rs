@@ -160,6 +160,61 @@ impl SetDueller {
     }
 }
 
+use triangel_types::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
+impl TagStack {
+    fn save_snap(&self, w: &mut SnapWriter) {
+        w.usize(self.tags.len());
+        for t in &self.tags {
+            w.u16(*t);
+        }
+    }
+
+    fn restore_snap(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let n = r.usize()?;
+        triangel_types::snap::snap_check(n <= self.capacity, "tag stack above capacity")?;
+        self.tags.clear();
+        for _ in 0..n {
+            self.tags.push(r.u16()?);
+        }
+        Ok(())
+    }
+}
+
+impl Snapshot for SetDueller {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.usize(self.cache_stacks.len());
+        for s in &self.cache_stacks {
+            s.save_snap(w);
+        }
+        for s in &self.markov_stacks {
+            s.save_snap(w);
+        }
+        for c in &self.counters {
+            w.u64(*c);
+        }
+        w.u64(self.window_left);
+        w.usize(self.choice);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        r.expect_len(self.cache_stacks.len(), "dueller stacks")?;
+        for s in &mut self.cache_stacks {
+            s.restore_snap(r)?;
+        }
+        for s in &mut self.markov_stacks {
+            s.restore_snap(r)?;
+        }
+        for c in &mut self.counters {
+            *c = r.u64()?;
+        }
+        self.window_left = r.u64()?;
+        self.choice = r.usize()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -158,6 +158,56 @@ impl TrainingTable {
     }
 }
 
+use triangel_types::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
+impl Snapshot for TrainingEntry {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.u16(self.pc_tag);
+        w.bool(self.valid);
+        w.opt_u64(self.last[0].map(|l| l.index()));
+        w.opt_u64(self.last[1].map(|l| l.index()));
+        w.u32(self.timestamp);
+        self.reuse_conf.save(w)?;
+        self.base_pattern_conf.save(w)?;
+        self.high_pattern_conf.save(w)?;
+        self.sample_rate.save(w)?;
+        w.bool(self.lookahead2);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.pc_tag = r.u16()?;
+        self.valid = r.bool()?;
+        self.last[0] = r.opt_u64()?.map(LineAddr::new);
+        self.last[1] = r.opt_u64()?.map(LineAddr::new);
+        self.timestamp = r.u32()?;
+        self.reuse_conf.restore(r)?;
+        self.base_pattern_conf.restore(r)?;
+        self.high_pattern_conf.restore(r)?;
+        self.sample_rate.restore(r)?;
+        self.lookahead2 = r.bool()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for TrainingTable {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.usize(self.entries.len());
+        for e in &self.entries {
+            e.save(w)?;
+        }
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        r.expect_len(self.entries.len(), "training entries")?;
+        for e in &mut self.entries {
+            e.restore(r)?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,770 @@
+//! Paper-scale campaigns: checkpointable, resumable sweeps.
+//!
+//! A [`Campaign`] runs [`JobSpec`]s like a [`crate::Sweep`] does, but
+//! in *segments*: each job's simulation advances
+//! [`CampaignOptions::segment_accesses`] accesses at a time through
+//! [`SimSession::run_segment`](triangel_sim::SimSession::run_segment), and after every segment the full
+//! simulation state is snapshotted to disk. Killing the process (or
+//! exhausting a segment/wall-clock budget) therefore loses at most one
+//! segment of work: re-running the same campaign with the same
+//! `out_dir` resumes every partial job from its snapshot and skips
+//! every finished job entirely, loading its persisted report instead.
+//!
+//! On-disk layout under `out_dir`:
+//!
+//! * `manifest.tsv` — one row per unique job: file stem (a hash of the
+//!   job key), status (`done`/`partial`), segments executed, accesses
+//!   executed, total accesses, and the full job key. Rewritten
+//!   atomically (write + rename) after every state change.
+//! * `<stem>.snap` — the latest session snapshot of a partial job
+//!   (the versioned binary format of [`SimSession::snapshot`](triangel_sim::SimSession::snapshot)).
+//!   Removed when the job completes.
+//! * `<stem>.report.bin` — the finished job's [`RunReport`], in the
+//!   same binary framing, so a resumed campaign reproduces its results
+//!   byte-identically without re-simulating.
+//!
+//! Determinism: segmented execution is byte-identical to uninterrupted
+//! execution (the `snapshot_equivalence` suite pins this), and the
+//! campaign writes results into per-job slots, so a resumed campaign's
+//! output equals a clean run's whatever was interrupted and whatever
+//! `--jobs` is.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use triangel_sim::RunReport;
+use triangel_types::snap::{snap_check, SnapError, SnapReader, SnapWriter, Snapshot};
+
+use crate::job::JobSpec;
+use crate::pool;
+use crate::sweep::{JobError, Progress, ResultCache};
+
+/// Magic framing for persisted [`RunReport`]s.
+const REPORT_MAGIC: [u8; 8] = *b"TRGLRPT\0";
+/// Version of the persisted-report framing.
+const REPORT_VERSION: u32 = 1;
+/// Header line opening `manifest.tsv`.
+const MANIFEST_HEADER: &str = "# triangel campaign manifest v1";
+
+/// How a campaign executes.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Worker threads; `0` means one per available core.
+    pub workers: usize,
+    /// Accesses per core to run per segment (the checkpoint interval).
+    pub segment_accesses: u64,
+    /// Directory for snapshots, reports and the manifest.
+    pub out_dir: PathBuf,
+    /// Per-segment progress reporting.
+    pub progress: Progress,
+    /// Maximum segments to execute across the whole invocation
+    /// (`None` = unlimited). When the budget runs out, in-flight jobs
+    /// checkpoint and report [`JobOutcome::Interrupted`]; a later run
+    /// with the same `out_dir` picks them up where they stopped. This
+    /// is also how tests and CI force a mid-flight "kill".
+    pub max_segments: Option<u64>,
+    /// Wall-clock budget for this invocation (`None` = unlimited).
+    /// Checked between segments; the campaign checkpoints and stops
+    /// issuing work once the deadline passes.
+    pub wall_budget: Option<Duration>,
+}
+
+impl CampaignOptions {
+    /// A campaign writing under `out_dir`, with one worker per core,
+    /// 250k-access segments, and no budgets.
+    pub fn new(out_dir: impl Into<PathBuf>) -> Self {
+        CampaignOptions {
+            workers: 0,
+            segment_accesses: 250_000,
+            out_dir: out_dir.into(),
+            progress: Progress::Silent,
+            max_segments: None,
+            wall_budget: None,
+        }
+    }
+
+    /// Sets the worker-thread count (`0` = one per core).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the checkpoint interval in accesses per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accesses` is zero.
+    #[must_use]
+    pub fn segment_accesses(mut self, accesses: u64) -> Self {
+        assert!(accesses > 0, "segments must make progress");
+        self.segment_accesses = accesses;
+        self
+    }
+
+    /// Enables per-segment progress lines on stderr.
+    #[must_use]
+    pub fn with_progress(mut self) -> Self {
+        self.progress = Progress::Stderr;
+        self
+    }
+
+    /// Caps the number of segments this invocation executes.
+    #[must_use]
+    pub fn max_segments(mut self, segments: u64) -> Self {
+        self.max_segments = Some(segments);
+        self
+    }
+
+    /// Caps this invocation's wall-clock time.
+    #[must_use]
+    pub fn wall_budget(mut self, budget: Duration) -> Self {
+        self.wall_budget = Some(budget);
+        self
+    }
+}
+
+/// What happened to one job of a campaign invocation.
+#[derive(Debug, Clone)]
+pub enum JobOutcome {
+    /// The job finished (now or in an earlier invocation); the report
+    /// is available.
+    Done(Arc<RunReport>),
+    /// The job was checkpointed mid-run when a budget ran out; a later
+    /// invocation with the same `out_dir` resumes it.
+    Interrupted {
+        /// Accesses per core executed so far.
+        executed: u64,
+        /// Accesses per core the job needs in total.
+        total: u64,
+    },
+    /// The job failed.
+    Failed(JobError),
+}
+
+impl JobOutcome {
+    /// The report, if the job finished.
+    pub fn report(&self) -> Option<&Arc<RunReport>> {
+        match self {
+            JobOutcome::Done(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Execution counters for one campaign invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CampaignStats {
+    /// Jobs requested (including duplicates).
+    pub jobs: usize,
+    /// Unique simulations after key dedup.
+    pub unique: usize,
+    /// Unique jobs finished by the end of this invocation.
+    pub completed: usize,
+    /// Unique jobs satisfied from persisted reports without executing
+    /// a single access (the campaign-level cache-hit counter).
+    pub loaded: usize,
+    /// Unique jobs resumed from a mid-run snapshot.
+    pub resumed: usize,
+    /// Unique jobs left checkpointed when a budget ran out.
+    pub interrupted: usize,
+    /// Segments executed in this invocation.
+    pub segments_run: u64,
+    /// Accesses per core simulated in this invocation.
+    pub accesses_run: u64,
+    /// Jobs that failed.
+    pub errors: usize,
+}
+
+/// Results of one campaign invocation, in job-submission order.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Per-job outcome, indexed like the submitted job list.
+    pub outcomes: Vec<JobOutcome>,
+    /// The job keys, indexed like `outcomes`.
+    pub keys: Vec<String>,
+    /// Execution counters.
+    pub stats: CampaignStats,
+    /// Every finished report, keyed by job key — hand this to
+    /// [`crate::SweepOptions::with_cache`] and the ordinary sweep/grid
+    /// folds resolve entirely from campaign results.
+    pub cache: Arc<ResultCache>,
+}
+
+impl CampaignReport {
+    /// Whether every job finished.
+    pub fn is_complete(&self) -> bool {
+        self.outcomes
+            .iter()
+            .all(|o| matches!(o, JobOutcome::Done(_)))
+    }
+}
+
+/// One manifest row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ManifestEntry {
+    stem: String,
+    done: bool,
+    segments: u64,
+    executed: u64,
+    total: u64,
+    key: String,
+}
+
+/// The persisted campaign state: key → entry, mirrored to
+/// `manifest.tsv` after every change.
+#[derive(Debug, Default)]
+struct Manifest {
+    entries: HashMap<String, ManifestEntry>,
+}
+
+impl Manifest {
+    fn load(path: &Path) -> std::io::Result<Manifest> {
+        let mut m = Manifest::default();
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(m),
+            Err(e) => return Err(e),
+        };
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut f = line.splitn(6, '\t');
+            let (Some(stem), Some(status), Some(segments), Some(executed), Some(total), Some(key)) =
+                (f.next(), f.next(), f.next(), f.next(), f.next(), f.next())
+            else {
+                continue; // tolerate a torn final line from a hard kill
+            };
+            let (Ok(segments), Ok(executed), Ok(total)) =
+                (segments.parse(), executed.parse(), total.parse())
+            else {
+                continue;
+            };
+            m.entries.insert(
+                key.to_string(),
+                ManifestEntry {
+                    stem: stem.to_string(),
+                    done: status == "done",
+                    segments,
+                    executed,
+                    total,
+                    key: key.to_string(),
+                },
+            );
+        }
+        Ok(m)
+    }
+
+    fn render(&self) -> String {
+        let mut rows: Vec<&ManifestEntry> = self.entries.values().collect();
+        rows.sort_unstable_by(|a, b| a.key.cmp(&b.key));
+        let mut out = String::from(MANIFEST_HEADER);
+        out.push('\n');
+        for e in rows {
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{}\t{}\n",
+                e.stem,
+                if e.done { "done" } else { "partial" },
+                e.segments,
+                e.executed,
+                e.total,
+                e.key,
+            ));
+        }
+        out
+    }
+}
+
+/// FNV-1a over the job key: the stable file stem for a job's artifacts.
+fn key_stem(key: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Atomically replaces `path` with `bytes` (write to a sibling temp
+/// file, then rename), so a kill mid-write never corrupts an artifact.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Serializes a [`RunReport`] in the snapshot framing.
+pub fn report_to_bytes(report: &RunReport) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    w.bytes(&REPORT_MAGIC);
+    w.u32(REPORT_VERSION);
+    w.str(&report.workload);
+    w.usize(report.cores.len());
+    for c in &report.cores {
+        w.str(&c.workload);
+        w.str(&c.pf_name);
+        w.u64(c.instructions);
+        w.u64(c.cycles);
+        let _ = c.l2.save(&mut w);
+        let _ = c.core.save(&mut w);
+        let _ = c.pf.save(&mut w);
+    }
+    let _ = report.l3.save(&mut w);
+    let _ = report.dram.save(&mut w);
+    w.usize(report.markov_ways);
+    w.into_bytes()
+}
+
+/// Parses a report written by [`report_to_bytes`].
+///
+/// # Errors
+///
+/// [`SnapError`] on truncated, corrupt, or differently-versioned data.
+pub fn report_from_bytes(bytes: &[u8]) -> Result<RunReport, SnapError> {
+    let mut r = SnapReader::new(bytes);
+    snap_check(r.bytes()? == REPORT_MAGIC, "bad report magic")?;
+    let version = r.u32()?;
+    if version != REPORT_VERSION {
+        return Err(SnapError::Version {
+            found: version,
+            expected: REPORT_VERSION,
+        });
+    }
+    let workload = r.str()?;
+    let n = r.usize()?;
+    snap_check(n > 0 && n <= 1024, "implausible core count")?;
+    let mut cores = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut core = triangel_sim::CoreReport {
+            workload: r.str()?,
+            pf_name: r.str()?,
+            instructions: r.u64()?,
+            cycles: r.u64()?,
+            l2: Default::default(),
+            core: Default::default(),
+            pf: Default::default(),
+        };
+        core.l2.restore(&mut r)?;
+        core.core.restore(&mut r)?;
+        core.pf.restore(&mut r)?;
+        cores.push(core);
+    }
+    let mut report = RunReport {
+        workload,
+        cores,
+        l3: Default::default(),
+        dram: Default::default(),
+        markov_ways: 0,
+    };
+    report.l3.restore(&mut r)?;
+    report.dram.restore(&mut r)?;
+    report.markov_ways = r.usize()?;
+    r.finish()?;
+    Ok(report)
+}
+
+/// Shared mutable campaign state: the manifest plus its path, guarded
+/// so workers can checkpoint concurrently.
+struct ManifestStore {
+    path: PathBuf,
+    manifest: Mutex<Manifest>,
+}
+
+impl ManifestStore {
+    fn update(&self, entry: ManifestEntry) {
+        let mut m = self.manifest.lock().unwrap();
+        m.entries.insert(entry.key.clone(), entry);
+        let rendered = m.render();
+        // Persist while holding the lock so renders never interleave.
+        if let Err(e) = write_atomic(&self.path, rendered.as_bytes()) {
+            eprintln!("[campaign] manifest write failed: {e}");
+        }
+    }
+}
+
+/// A resumable, checkpointed sweep of [`JobSpec`]s.
+#[derive(Debug, Default)]
+pub struct Campaign {
+    jobs: Vec<JobSpec>,
+}
+
+impl Campaign {
+    /// An empty campaign.
+    pub fn new() -> Self {
+        Campaign::default()
+    }
+
+    /// Adds a job, returning its index in the report.
+    pub fn push(&mut self, job: JobSpec) -> usize {
+        self.jobs.push(job);
+        self.jobs.len() - 1
+    }
+
+    /// Adds a job, builder-style.
+    #[must_use]
+    pub fn job(mut self, job: JobSpec) -> Self {
+        self.jobs.push(job);
+        self
+    }
+
+    /// Adds every job of an iterator.
+    #[must_use]
+    pub fn jobs(mut self, jobs: impl IntoIterator<Item = JobSpec>) -> Self {
+        self.jobs.extend(jobs);
+        self
+    }
+
+    /// The submitted job list.
+    pub fn job_list(&self) -> &[JobSpec] {
+        &self.jobs
+    }
+
+    /// Runs (or resumes) the campaign.
+    ///
+    /// Jobs already finished under `opts.out_dir` load their persisted
+    /// reports without executing; partially finished jobs restore their
+    /// snapshots and continue from the interrupted segment. The
+    /// assembled results are byte-identical to a clean, uninterrupted
+    /// run of the same job list.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors preparing the output directory or reading the
+    /// manifest. Per-job failures are reported in the outcomes, not
+    /// here.
+    pub fn run(&self, opts: &CampaignOptions) -> std::io::Result<CampaignReport> {
+        std::fs::create_dir_all(&opts.out_dir)?;
+        let manifest_path = opts.out_dir.join("manifest.tsv");
+        let store = ManifestStore {
+            manifest: Mutex::new(Manifest::load(&manifest_path)?),
+            path: manifest_path,
+        };
+
+        let keys: Vec<String> = self.jobs.iter().map(JobSpec::key).collect();
+
+        // Dedup to unique keys, preserving first-occurrence order.
+        let mut unique: Vec<(&JobSpec, &str)> = Vec::new();
+        let mut slot_of_key: HashMap<&str, usize> = HashMap::new();
+        for (job, key) in self.jobs.iter().zip(&keys) {
+            if !slot_of_key.contains_key(key.as_str()) {
+                slot_of_key.insert(key, unique.len());
+                unique.push((job, key));
+            }
+        }
+
+        let segment_budget = AtomicI64::new(match opts.max_segments {
+            Some(n) => i64::try_from(n).unwrap_or(i64::MAX),
+            None => i64::MAX,
+        });
+        let deadline = opts.wall_budget.map(|b| Instant::now() + b);
+        let segments_run = AtomicU64::new(0);
+        let accesses_run = AtomicU64::new(0);
+        let loaded = AtomicU64::new(0);
+        let resumed = AtomicU64::new(0);
+
+        let outcomes: Vec<JobOutcome> =
+            pool::run_indexed(unique.len(), opts.workers_effective(), |i| {
+                let (job, key) = unique[i];
+                self.run_one(
+                    job,
+                    key,
+                    opts,
+                    &store,
+                    &segment_budget,
+                    deadline,
+                    &segments_run,
+                    &accesses_run,
+                    &loaded,
+                    &resumed,
+                )
+            });
+
+        // Publish finished reports to a cache keyed like sweeps are.
+        let cache = Arc::new(ResultCache::new());
+        for ((_, key), outcome) in unique.iter().zip(&outcomes) {
+            if let JobOutcome::Done(report) = outcome {
+                cache.insert(key.to_string(), Arc::clone(report));
+            }
+        }
+
+        let results: Vec<JobOutcome> = keys
+            .iter()
+            .map(|key| outcomes[slot_of_key[key.as_str()]].clone())
+            .collect();
+        let stats = CampaignStats {
+            jobs: self.jobs.len(),
+            unique: unique.len(),
+            completed: outcomes
+                .iter()
+                .filter(|o| matches!(o, JobOutcome::Done(_)))
+                .count(),
+            loaded: loaded.load(Ordering::Relaxed) as usize,
+            resumed: resumed.load(Ordering::Relaxed) as usize,
+            interrupted: outcomes
+                .iter()
+                .filter(|o| matches!(o, JobOutcome::Interrupted { .. }))
+                .count(),
+            segments_run: segments_run.load(Ordering::Relaxed),
+            accesses_run: accesses_run.load(Ordering::Relaxed),
+            errors: outcomes
+                .iter()
+                .filter(|o| matches!(o, JobOutcome::Failed(_)))
+                .count(),
+        };
+        Ok(CampaignReport {
+            outcomes: results,
+            keys,
+            stats,
+            cache,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_one(
+        &self,
+        job: &JobSpec,
+        key: &str,
+        opts: &CampaignOptions,
+        store: &ManifestStore,
+        segment_budget: &AtomicI64,
+        deadline: Option<Instant>,
+        segments_run: &AtomicU64,
+        accesses_run: &AtomicU64,
+        loaded: &AtomicU64,
+        resumed: &AtomicU64,
+    ) -> JobOutcome {
+        let stem = key_stem(key);
+        let snap_path = opts.out_dir.join(format!("{stem}.snap"));
+        let report_path = opts.out_dir.join(format!("{stem}.report.bin"));
+        let progress = opts.progress == Progress::Stderr;
+
+        // Finished in an earlier invocation: load the persisted report.
+        let prior = {
+            let m = store.manifest.lock().unwrap();
+            m.entries.get(key).cloned()
+        };
+        if let Some(entry) = &prior {
+            if entry.done {
+                match std::fs::read(&report_path)
+                    .map_err(|e| SnapError::corrupt(e.to_string()))
+                    .and_then(|b| report_from_bytes(&b))
+                {
+                    Ok(report) => {
+                        loaded.fetch_add(1, Ordering::Relaxed);
+                        if progress {
+                            eprintln!("[campaign] loaded  {key}");
+                        }
+                        return JobOutcome::Done(Arc::new(report));
+                    }
+                    Err(e) => {
+                        // Stale or corrupt artifact: re-run from scratch.
+                        eprintln!("[campaign] discarding report for {key}: {e}");
+                    }
+                }
+            }
+        }
+
+        let mut session = match job.session() {
+            Ok(s) => s,
+            Err(e) => {
+                return JobOutcome::Failed(JobError {
+                    key: key.to_string(),
+                    message: e.to_string(),
+                })
+            }
+        };
+        let total = session.total_accesses();
+        let mut segments_done = 0u64;
+
+        // Partially finished earlier: restore the checkpoint.
+        if let Some(entry) = prior.filter(|e| !e.done) {
+            match std::fs::read(&snap_path)
+                .map_err(|e| SnapError::corrupt(e.to_string()))
+                .and_then(|b| session.restore(&b))
+            {
+                Ok(()) => {
+                    segments_done = entry.segments;
+                    resumed.fetch_add(1, Ordering::Relaxed);
+                    if progress {
+                        eprintln!(
+                            "[campaign] resumed {key} at {}/{total}",
+                            session.executed_accesses()
+                        );
+                    }
+                }
+                Err(e) => {
+                    eprintln!("[campaign] discarding snapshot for {key}: {e}");
+                    session = match job.session() {
+                        Ok(s) => s,
+                        Err(e) => {
+                            return JobOutcome::Failed(JobError {
+                                key: key.to_string(),
+                                message: e.to_string(),
+                            })
+                        }
+                    };
+                }
+            }
+        }
+
+        // Whether this session's state can be checkpointed at all
+        // (custom boxed sources cannot); decided on first attempt.
+        let mut checkpointable = true;
+        // Segments executed by *this* invocation: a budget that bites
+        // before the first one means nothing changed on disk, so no
+        // snapshot or manifest write is owed.
+        let mut ran_this_invocation = false;
+        let checkpoint = |done: bool, segments: u64, executed: u64| {
+            store.update(ManifestEntry {
+                stem: stem.clone(),
+                done,
+                segments,
+                executed,
+                total,
+                key: key.to_string(),
+            });
+        };
+
+        while !session.is_complete() {
+            let out_of_budget = segment_budget.fetch_sub(1, Ordering::SeqCst) <= 0
+                || deadline.is_some_and(|d| Instant::now() >= d);
+            if out_of_budget {
+                if ran_this_invocation {
+                    if checkpointable {
+                        match session.snapshot() {
+                            Ok(bytes) => {
+                                if let Err(e) = write_atomic(&snap_path, &bytes) {
+                                    eprintln!("[campaign] checkpoint write failed for {key}: {e}");
+                                }
+                            }
+                            Err(e) => eprintln!("[campaign] checkpoint failed for {key}: {e}"),
+                        }
+                    }
+                    checkpoint(false, segments_done, session.executed_accesses());
+                }
+                if progress {
+                    eprintln!(
+                        "[campaign] paused  {key} at {}/{total} (budget exhausted)",
+                        session.executed_accesses()
+                    );
+                }
+                return JobOutcome::Interrupted {
+                    executed: session.executed_accesses(),
+                    total,
+                };
+            }
+
+            let ran = session.run_segment(opts.segment_accesses);
+            segments_done += 1;
+            ran_this_invocation = true;
+            segments_run.fetch_add(1, Ordering::Relaxed);
+            accesses_run.fetch_add(ran, Ordering::Relaxed);
+            if progress {
+                eprintln!(
+                    "[campaign] segment {key} {}/{total} ({:.0}%)",
+                    session.executed_accesses(),
+                    100.0 * session.executed_accesses() as f64 / total.max(1) as f64,
+                );
+            }
+
+            if !session.is_complete() && checkpointable {
+                match session.snapshot() {
+                    Ok(bytes) => {
+                        if let Err(e) = write_atomic(&snap_path, &bytes) {
+                            eprintln!("[campaign] checkpoint write failed for {key}: {e}");
+                        } else {
+                            checkpoint(false, segments_done, session.executed_accesses());
+                        }
+                    }
+                    Err(SnapError::Unsupported(why)) => {
+                        // Run on without checkpoints rather than fail.
+                        eprintln!("[campaign] {key}: not checkpointable ({why})");
+                        checkpointable = false;
+                    }
+                    Err(e) => eprintln!("[campaign] checkpoint failed for {key}: {e}"),
+                }
+            }
+        }
+
+        let report = Arc::new(session.report());
+        if let Err(e) = write_atomic(&report_path, &report_to_bytes(&report)) {
+            eprintln!("[campaign] report write failed for {key}: {e}");
+        }
+        checkpoint(true, segments_done, total);
+        let _ = std::fs::remove_file(&snap_path);
+        if progress {
+            eprintln!("[campaign] done    {key}");
+        }
+        JobOutcome::Done(report)
+    }
+}
+
+impl CampaignOptions {
+    fn workers_effective(&self) -> usize {
+        if self.workers == 0 {
+            pool::default_workers()
+        } else {
+            self.workers
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_stems_are_stable_and_distinct() {
+        let a = key_stem("spec:Xalan|pf=Triangel");
+        assert_eq!(a, key_stem("spec:Xalan|pf=Triangel"));
+        assert_ne!(a, key_stem("spec:Xalan|pf=Triage"));
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let mut m = Manifest::default();
+        m.entries.insert(
+            "k1".into(),
+            ManifestEntry {
+                stem: "abc".into(),
+                done: false,
+                segments: 3,
+                executed: 750,
+                total: 1000,
+                key: "k1".into(),
+            },
+        );
+        m.entries.insert(
+            "k2".into(),
+            ManifestEntry {
+                stem: "def".into(),
+                done: true,
+                segments: 4,
+                executed: 1000,
+                total: 1000,
+                key: "k2".into(),
+            },
+        );
+        let dir = std::env::temp_dir().join(format!("triangel-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("manifest.tsv");
+        write_atomic(&path, m.render().as_bytes()).unwrap();
+        let loaded = Manifest::load(&path).unwrap();
+        assert_eq!(loaded.entries.get("k1"), m.entries.get("k1"));
+        assert_eq!(loaded.entries.get("k2"), m.entries.get("k2"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_is_empty() {
+        let m = Manifest::load(Path::new("/nonexistent/manifest.tsv")).unwrap();
+        assert!(m.entries.is_empty());
+    }
+}

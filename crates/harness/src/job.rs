@@ -193,6 +193,22 @@ impl JobSpec {
     ///
     /// Propagates [`SimError`] from the session builder.
     pub fn run(&self) -> Result<RunReport, SimError> {
+        self.session()?.run()
+    }
+
+    /// Assembles — without running — the session this job describes.
+    ///
+    /// This is the campaign runner's entry point: holding the session
+    /// lets it drive the run in resumable segments
+    /// ([`SimSession::run_segment`]) and snapshot/restore state between
+    /// invocations. Construction is deterministic, so a session built
+    /// from the same spec in a later process restores an earlier
+    /// process's snapshot exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the session builder.
+    pub fn session(&self) -> Result<SimSession, SimError> {
         let p = self.params;
         let mut b: SimSessionBuilder = match &self.workload {
             WorkloadSpec::Spec(wl) => SimSession::builder()
@@ -220,7 +236,7 @@ impl JobSpec {
         if let Some(features) = self.features {
             b = b.triangel_features(features);
         }
-        b.run()
+        b.build()
     }
 }
 

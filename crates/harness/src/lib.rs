@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod campaign;
 pub mod emit;
 pub mod filter;
 pub mod goldens;
@@ -62,6 +63,7 @@ mod job;
 pub mod pool;
 mod sweep;
 
+pub use campaign::{Campaign, CampaignOptions, CampaignReport, CampaignStats, JobOutcome};
 pub use grid::{GridResult, GridSpec};
 pub use job::{JobSpec, MapperSpec, RunParams, WorkloadSpec};
 pub use sweep::{JobError, Progress, ResultCache, Sweep, SweepOptions, SweepReport, SweepStats};

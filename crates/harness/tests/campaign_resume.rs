@@ -1,0 +1,285 @@
+//! Campaign crash-resume semantics: killing a sweep mid-flight and
+//! re-running with the same `--out-dir` must produce byte-identical
+//! results to a clean run, without re-executing completed work.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use triangel_harness::{
+    Campaign, CampaignOptions, JobOutcome, JobSpec, RunParams, Sweep, SweepOptions, WorkloadSpec,
+};
+use triangel_sim::PrefetcherChoice;
+use triangel_workloads::spec::SpecWorkload;
+
+const WARMUP: u64 = 2_000;
+const ACCESSES: u64 = 2_000;
+/// 3 segments per job at this interval.
+const SEGMENT: u64 = 1_500;
+
+fn params() -> RunParams {
+    RunParams {
+        warmup: WARMUP,
+        accesses: ACCESSES,
+        sizing_window: 1_000,
+        seed: 11,
+    }
+}
+
+fn jobs() -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    for wl in [SpecWorkload::Xalan, SpecWorkload::Mcf, SpecWorkload::Sphinx] {
+        for pf in [PrefetcherChoice::Baseline, PrefetcherChoice::Triangel] {
+            jobs.push(JobSpec::new(WorkloadSpec::Spec(wl), pf, params()));
+        }
+    }
+    jobs
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("triangel-campaign-{}-{}", tag, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Every finished report, rendered exhaustively, keyed by job key.
+fn render(report: &triangel_harness::CampaignReport) -> BTreeMap<String, String> {
+    report
+        .keys
+        .iter()
+        .zip(&report.outcomes)
+        .map(|(k, o)| {
+            let body = match o {
+                JobOutcome::Done(r) => format!("{r:?}"),
+                other => panic!("job `{k}` did not finish: {other:?}"),
+            };
+            (k.clone(), body)
+        })
+        .collect()
+}
+
+#[test]
+fn interrupted_campaign_resumes_byte_identically() {
+    let job_list = jobs();
+    let total_segments = job_list.len() as u64 * (WARMUP + ACCESSES).div_ceil(SEGMENT);
+
+    // Reference: the same jobs through the ordinary (non-segmented)
+    // sweep scheduler — the campaign must agree with it exactly.
+    let sweep = job_list
+        .iter()
+        .fold(Sweep::new(), |s, j| s.job(j.clone()))
+        .run(&SweepOptions::serial());
+    let reference: BTreeMap<String, String> = sweep
+        .keys
+        .iter()
+        .zip(&sweep.results)
+        .map(|(k, r)| (k.clone(), format!("{:?}", r.as_ref().unwrap())))
+        .collect();
+
+    // Clean, uninterrupted campaign.
+    let clean_dir = scratch_dir("clean");
+    let clean = Campaign::new()
+        .jobs(job_list.clone())
+        .run(
+            &CampaignOptions::new(&clean_dir)
+                .workers(1)
+                .segment_accesses(SEGMENT),
+        )
+        .unwrap();
+    assert!(clean.is_complete());
+    assert_eq!(clean.stats.segments_run, total_segments);
+    assert_eq!(render(&clean), reference, "campaign != sweep");
+
+    // "Kill" a sweep mid-flight: drop the pool after 7 segments.
+    let dir = scratch_dir("resume");
+    let interrupted = Campaign::new()
+        .jobs(job_list.clone())
+        .run(
+            &CampaignOptions::new(&dir)
+                .workers(2)
+                .segment_accesses(SEGMENT)
+                .max_segments(7),
+        )
+        .unwrap();
+    assert!(!interrupted.is_complete(), "budget must bite");
+    assert!(interrupted.stats.interrupted > 0);
+    assert_eq!(interrupted.stats.segments_run, 7);
+    assert!(dir.join("manifest.tsv").exists());
+    // Jobs the budget stopped *before their first segment* write no
+    // checkpoint (there is nothing to save); everything that did make
+    // progress must appear as a partial manifest row. Counted now —
+    // the resumed run below rewrites the manifest.
+    let partial_rows = std::fs::read_to_string(dir.join("manifest.tsv"))
+        .unwrap()
+        .lines()
+        .filter(|l| l.split('\t').nth(1) == Some("partial"))
+        .count();
+    assert!(partial_rows > 0, "some job must have checkpointed mid-run");
+
+    // Re-run with the same out-dir: completed jobs load from disk,
+    // partial jobs resume from their snapshots.
+    let resumed = Campaign::new()
+        .jobs(job_list.clone())
+        .run(
+            &CampaignOptions::new(&dir)
+                .workers(2)
+                .segment_accesses(SEGMENT),
+        )
+        .unwrap();
+    assert!(resumed.is_complete());
+    assert_eq!(
+        resumed.stats.loaded, interrupted.stats.completed,
+        "every job finished before the kill must load, not re-run"
+    );
+    assert_eq!(
+        resumed.stats.resumed, partial_rows,
+        "every checkpointed job must resume from its snapshot"
+    );
+    assert_eq!(
+        interrupted.stats.segments_run + resumed.stats.segments_run,
+        total_segments,
+        "no completed segment may be re-executed"
+    );
+    assert_eq!(
+        render(&resumed),
+        reference,
+        "resumed sweep diverged from clean run"
+    );
+
+    // A third invocation is all cache hits: nothing executes.
+    let warm = Campaign::new()
+        .jobs(job_list)
+        .run(
+            &CampaignOptions::new(&dir)
+                .workers(1)
+                .segment_accesses(SEGMENT),
+        )
+        .unwrap();
+    assert_eq!(warm.stats.segments_run, 0);
+    assert_eq!(warm.stats.loaded, warm.stats.unique);
+    assert_eq!(render(&warm), reference);
+
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn campaign_parallelism_does_not_change_results() {
+    let job_list = jobs();
+    let d1 = scratch_dir("j1");
+    let d8 = scratch_dir("j8");
+    let serial = Campaign::new()
+        .jobs(job_list.clone())
+        .run(
+            &CampaignOptions::new(&d1)
+                .workers(1)
+                .segment_accesses(SEGMENT),
+        )
+        .unwrap();
+    let parallel = Campaign::new()
+        .jobs(job_list)
+        .run(
+            &CampaignOptions::new(&d8)
+                .workers(8)
+                .segment_accesses(SEGMENT),
+        )
+        .unwrap();
+    assert_eq!(render(&serial), render(&parallel));
+    let _ = std::fs::remove_dir_all(&d1);
+    let _ = std::fs::remove_dir_all(&d8);
+}
+
+#[test]
+fn campaign_cache_slots_into_sweep_folds() {
+    // The campaign's result cache satisfies an ordinary sweep without
+    // executing anything — the bridge the figure folds use.
+    let job_list = jobs();
+    let dir = scratch_dir("cache");
+    let campaign = Campaign::new()
+        .jobs(job_list.clone())
+        .run(
+            &CampaignOptions::new(&dir)
+                .workers(1)
+                .segment_accesses(SEGMENT),
+        )
+        .unwrap();
+    let sweep = job_list
+        .iter()
+        .fold(Sweep::new(), |s, j| s.job(j.clone()))
+        .run(&SweepOptions::serial().with_cache(campaign.cache.clone()));
+    assert_eq!(sweep.stats.executed, 0, "all jobs must cache-hit");
+    assert_eq!(sweep.stats.cache_hits, job_list.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn report_bytes_round_trip() {
+    let report = jobs()[0].run().unwrap();
+    let bytes = triangel_harness::campaign::report_to_bytes(&report);
+    let parsed = triangel_harness::campaign::report_from_bytes(&bytes).unwrap();
+    assert_eq!(format!("{report:?}"), format!("{parsed:?}"));
+    assert!(triangel_harness::campaign::report_from_bytes(&bytes[..bytes.len() - 2]).is_err());
+}
+
+/// The acceptance bar: snapshot/restore/continue on the *golden
+/// sweeps* (the byte-pinned fixture job lists), at `--jobs 1` and
+/// `--jobs 8`, interrupted mid-flight — reports must equal the plain
+/// serial sweep's exactly. Together with the golden fixture tests
+/// (which pin that sweep to committed bytes), this transitively pins
+/// campaign output to the fixtures.
+#[test]
+fn golden_sweeps_survive_interrupt_and_resume_at_jobs_1_and_8() {
+    for (tag, sweep, segment, workers) in [
+        (
+            "golden-j1",
+            triangel_harness::goldens::golden_sweep(),
+            2_500u64,
+            1usize,
+        ),
+        (
+            "golden-j8",
+            triangel_harness::goldens::golden_sweep(),
+            2_500,
+            8,
+        ),
+        (
+            "evict-j8",
+            triangel_harness::goldens::evict_train_sweep(),
+            20_000,
+            8,
+        ),
+    ] {
+        let job_list: Vec<JobSpec> = sweep.jobs().to_vec();
+        let reference: BTreeMap<String, String> = {
+            let report = job_list
+                .iter()
+                .fold(Sweep::new(), |s, j| s.job(j.clone()))
+                .run(&SweepOptions::serial());
+            report
+                .keys
+                .iter()
+                .zip(&report.results)
+                .map(|(k, r)| (k.clone(), format!("{:?}", r.as_ref().unwrap())))
+                .collect()
+        };
+        let dir = scratch_dir(tag);
+        let opts = |budget: Option<u64>| {
+            let mut o = CampaignOptions::new(&dir)
+                .workers(workers)
+                .segment_accesses(segment);
+            if let Some(b) = budget {
+                o = o.max_segments(b);
+            }
+            o
+        };
+        let first = Campaign::new()
+            .jobs(job_list.clone())
+            .run(&opts(Some(5)))
+            .unwrap();
+        assert!(!first.is_complete(), "{tag}: interrupt must bite");
+        let resumed = Campaign::new().jobs(job_list).run(&opts(None)).unwrap();
+        assert!(resumed.is_complete(), "{tag}");
+        assert_eq!(render(&resumed), reference, "{tag} diverged");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -114,6 +114,42 @@ impl LookupTable {
     }
 }
 
+use triangel_types::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
+impl Snapshot for LookupTable {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.usize(self.slots.len());
+        for s in &self.slots {
+            match s {
+                Some(upper) => {
+                    w.bool(true);
+                    w.u64(*upper);
+                }
+                None => w.bool(false),
+            }
+        }
+        for s in &self.stamps {
+            w.u64(*s);
+        }
+        w.u64(self.clock);
+        w.u64(self.evictions);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        r.expect_len(self.slots.len(), "LUT slots")?;
+        for s in &mut self.slots {
+            *s = if r.bool()? { Some(r.u64()?) } else { None };
+        }
+        for s in &mut self.stamps {
+            *s = r.u64()?;
+        }
+        self.clock = r.u64()?;
+        self.evictions = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

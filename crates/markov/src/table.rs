@@ -454,6 +454,96 @@ impl MarkovTable {
     }
 }
 
+use triangel_types::snap::{snap_check, SnapError, SnapReader, SnapWriter, Snapshot};
+
+impl Snapshot for MarkovTableStats {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.u64(self.reads);
+        w.u64(self.writes);
+        w.u64(self.entry_evictions);
+        w.u64(self.resizes);
+        w.u64(self.reindex_drops);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.reads = r.u64()?;
+        self.writes = r.u64()?;
+        self.entry_evictions = r.u64()?;
+        self.resizes = r.u64()?;
+        self.reindex_drops = r.u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for MarkovTable {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.usize(self.ways);
+        w.usize(self.entries.len());
+        for e in &self.entries {
+            match e {
+                Some(e) => {
+                    w.bool(true);
+                    w.u16(e.tag);
+                    w.bool(e.conf);
+                    match e.target {
+                        StoredTarget::Direct(t) => {
+                            w.u8(0);
+                            w.u64(t);
+                        }
+                        StoredTarget::Lut { idx, offset } => {
+                            w.u8(1);
+                            w.u16(idx);
+                            w.u32(offset);
+                        }
+                    }
+                }
+                None => w.bool(false),
+            }
+        }
+        self.repl.save(w)?;
+        match &self.lut {
+            Some(lut) => {
+                w.bool(true);
+                lut.save(w)?;
+            }
+            None => w.bool(false),
+        }
+        self.stats.save(w)
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let ways = r.usize()?;
+        snap_check(ways <= self.cfg.max_ways, "Markov ways above maximum")?;
+        self.ways = ways;
+        r.expect_len(self.entries.len(), "Markov entries")?;
+        for e in &mut self.entries {
+            *e = if r.bool()? {
+                let tag = r.u16()?;
+                let conf = r.bool()?;
+                let target = match r.u8()? {
+                    0 => StoredTarget::Direct(r.u64()?),
+                    1 => StoredTarget::Lut {
+                        idx: r.u16()?,
+                        offset: r.u32()?,
+                    },
+                    b => return Err(SnapError::corrupt(format!("stored-target byte {b}"))),
+                };
+                Some(Entry { tag, conf, target })
+            } else {
+                None
+            };
+        }
+        self.repl.restore(r)?;
+        let has_lut = r.bool()?;
+        snap_check(has_lut == self.lut.is_some(), "LUT presence mismatch")?;
+        if let Some(lut) = &mut self.lut {
+            lut.restore(r)?;
+        }
+        self.stats.restore(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -161,6 +161,38 @@ impl Dram {
     }
 }
 
+use triangel_types::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
+impl Snapshot for DramStats {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.u64(self.demand_reads);
+        w.u64(self.prefetch_reads);
+        w.u64(self.total_queue_delay);
+        w.u64(self.congested_requests);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.demand_reads = r.u64()?;
+        self.prefetch_reads = r.u64()?;
+        self.total_queue_delay = r.u64()?;
+        self.congested_requests = r.u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for Dram {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.u64(self.channel_free_at);
+        self.stats.save(w)
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.channel_free_at = r.u64()?;
+        self.stats.restore(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -102,6 +102,28 @@ impl BloomFilter {
     }
 }
 
+use triangel_types::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
+impl Snapshot for BloomFilter {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.usize(self.bits.len());
+        for word in &self.bits {
+            w.u64(*word);
+        }
+        w.u64(self.unique_inserts);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        r.expect_len(self.bits.len(), "bloom words")?;
+        for word in &mut self.bits {
+            *word = r.u64()?;
+        }
+        self.unique_inserts = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -87,6 +87,37 @@ impl IssueTable {
     }
 }
 
+use triangel_types::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
+impl Snapshot for IssueTable {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.usize(self.slots.len());
+        for slot in &self.slots {
+            match slot {
+                Some((t, p)) => {
+                    w.bool(true);
+                    w.u64(t.index());
+                    w.u64(p.index());
+                }
+                None => w.bool(false),
+            }
+        }
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        r.expect_len(self.slots.len(), "issue-table slots")?;
+        for slot in &mut self.slots {
+            *slot = if r.bool()? {
+                Some((LineAddr::new(r.u64()?), LineAddr::new(r.u64()?)))
+            } else {
+                None
+            };
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

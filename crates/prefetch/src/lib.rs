@@ -252,6 +252,32 @@ impl Prefetcher for NullPrefetcher {
     }
 }
 
+impl triangel_types::snap::Snapshot for PrefetcherStats {
+    fn save(
+        &self,
+        w: &mut triangel_types::snap::SnapWriter,
+    ) -> Result<(), triangel_types::snap::SnapError> {
+        w.u64(self.prefetches_issued);
+        w.u64(self.markov_reads);
+        w.u64(self.markov_writes);
+        w.u64(self.mrb_hits);
+        w.u64(self.updates_suppressed);
+        Ok(())
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut triangel_types::snap::SnapReader,
+    ) -> Result<(), triangel_types::snap::SnapError> {
+        self.prefetches_issued = r.u64()?;
+        self.markov_reads = r.u64()?;
+        self.markov_writes = r.u64()?;
+        self.mrb_hits = r.u64()?;
+        self.updates_suppressed = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

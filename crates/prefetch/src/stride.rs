@@ -129,6 +129,43 @@ impl Prefetcher for StridePrefetcher {
     }
 }
 
+use triangel_types::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
+impl Snapshot for StridePrefetcher {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        // Sorted by PC so snapshot bytes are deterministic (the map's
+        // iteration order is not part of simulated behaviour).
+        let mut entries: Vec<(&u64, &StrideEntry)> = self.table.iter().collect();
+        entries.sort_unstable_by_key(|(pc, _)| **pc);
+        w.usize(entries.len());
+        for (pc, e) in entries {
+            w.u64(*pc);
+            w.u64(e.last_line.index());
+            w.i64(e.stride);
+            w.u8(e.confidence);
+        }
+        w.u64(self.issued);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let n = r.usize()?;
+        triangel_types::snap::snap_check(n <= self.capacity, "stride table above capacity")?;
+        self.table.clear();
+        for _ in 0..n {
+            let pc = r.u64()?;
+            let e = StrideEntry {
+                last_line: LineAddr::new(r.u64()?),
+                stride: r.i64()?,
+                confidence: r.u8()?,
+            };
+            self.table.insert(pc, e);
+        }
+        self.issued = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -113,6 +113,47 @@ impl From<Box<dyn Prefetcher>> for PrefetcherImpl {
     }
 }
 
+impl triangel_types::snap::Snapshot for PrefetcherImpl {
+    fn save(
+        &self,
+        w: &mut triangel_types::snap::SnapWriter,
+    ) -> Result<(), triangel_types::snap::SnapError> {
+        match self {
+            PrefetcherImpl::Null(_) => {
+                w.u8(0);
+                Ok(())
+            }
+            PrefetcherImpl::Triage(p) => {
+                w.u8(1);
+                p.save(w)
+            }
+            PrefetcherImpl::Triangel(p) => {
+                w.u8(2);
+                p.save(w)
+            }
+            PrefetcherImpl::Dyn(p) => Err(triangel_types::snap::SnapError::unsupported(format!(
+                "prefetcher `{}` is behind the dyn compatibility shim",
+                p.name()
+            ))),
+        }
+    }
+
+    fn restore(
+        &mut self,
+        r: &mut triangel_types::snap::SnapReader,
+    ) -> Result<(), triangel_types::snap::SnapError> {
+        let tag = r.u8()?;
+        match (tag, self) {
+            (0, PrefetcherImpl::Null(_)) => Ok(()),
+            (1, PrefetcherImpl::Triage(p)) => p.restore(r),
+            (2, PrefetcherImpl::Triangel(p)) => p.restore(r),
+            _ => Err(triangel_types::snap::SnapError::corrupt(
+                "prefetcher variant mismatch",
+            )),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

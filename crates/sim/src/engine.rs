@@ -106,25 +106,6 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Creates an engine over `sources` (one per core).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the source count does not match the system's core
-    /// count; [`Engine::try_new`] reports the same condition as a
-    /// [`SimError`] instead.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use `Engine::try_new` (or drive runs through `SimSession::builder()`)"
-    )]
-    pub fn new(
-        system: MemorySystem,
-        sources: Vec<Box<dyn TraceSource>>,
-        mapper: PageMapper,
-    ) -> Self {
-        Engine::try_new(system, sources, mapper).unwrap_or_else(|e| panic!("{e}"))
-    }
-
     /// Creates an engine over `sources` (one per core), reporting a
     /// malformed specification as a typed error.
     ///
@@ -254,5 +235,89 @@ impl Engine {
     /// Access to the memory system (diagnostics in tests).
     pub fn system(&self) -> &MemorySystem {
         &self.system
+    }
+}
+
+use triangel_types::snap::{snap_check, SnapError, SnapReader, SnapWriter, Snapshot};
+
+impl Snapshot for InflightRing {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        // Only the live region, oldest first; `head` is normalized to 0
+        // on restore (occupancy, not physical position, is the state).
+        w.usize(self.len);
+        for i in 0..self.len {
+            let (retire, instrs) = self.buf[(self.head + i) & self.mask];
+            w.u64(retire);
+            w.u64(instrs);
+        }
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let n = r.usize()?;
+        snap_check(n <= self.mask, "in-flight ring above capacity")?;
+        self.head = 0;
+        self.len = 0;
+        for _ in 0..n {
+            let entry = (r.u64()?, r.u64()?);
+            self.push(entry);
+        }
+        Ok(())
+    }
+}
+
+impl Snapshot for CoreTimeline {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.u64(self.instr_count);
+        self.inflight.save(w)?;
+        w.u64(self.inflight_instrs);
+        w.u64(self.prev_ready);
+        w.u64(self.last_retire);
+        w.u64(self.meas_start_instr);
+        w.u64(self.meas_start_cycle);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.instr_count = r.u64()?;
+        self.inflight.restore(r)?;
+        self.inflight_instrs = r.u64()?;
+        self.prev_ready = r.u64()?;
+        self.last_retire = r.u64()?;
+        self.meas_start_instr = r.u64()?;
+        self.meas_start_cycle = r.u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for Engine {
+    /// The full dynamic state of a run: memory system (caches with
+    /// line metadata and fill clocks, prefetchers, DRAM), per-core
+    /// timelines and batch rings, trace-source positions and RNGs, and
+    /// the page mapper's allocations.
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        self.system.save(w)?;
+        w.usize(self.sources.len());
+        for (source, ring) in self.sources.iter().zip(&self.rings) {
+            source.save_state(w)?;
+            ring.save(w)?;
+        }
+        for tl in &self.timelines {
+            tl.save(w)?;
+        }
+        self.mapper.save(w)
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.system.restore(r)?;
+        r.expect_len(self.sources.len(), "trace sources")?;
+        for (source, ring) in self.sources.iter_mut().zip(&mut self.rings) {
+            source.restore_state(r)?;
+            ring.restore(r)?;
+        }
+        for tl in &mut self.timelines {
+            tl.restore(r)?;
+        }
+        self.mapper.restore(r)
     }
 }

@@ -285,20 +285,6 @@ impl Experiment {
         self
     }
 
-    /// Runs the experiment to completion.
-    ///
-    /// # Panics
-    ///
-    /// Panics on a malformed specification (see [`Experiment::try_run`]
-    /// for the non-panicking form that batch drivers use).
-    #[deprecated(
-        since = "0.3.0",
-        note = "use `Experiment::try_run`, or build runs with `SimSession::builder()`"
-    )]
-    pub fn run(self) -> RunReport {
-        self.try_run().unwrap_or_else(|e| panic!("{e}"))
-    }
-
     /// Runs the experiment, reporting a malformed specification (e.g. a
     /// core-count/source mismatch from [`Experiment::system`]) as a
     /// typed error instead of panicking.
@@ -347,13 +333,11 @@ mod tests {
 
     #[test]
     fn baseline_runs_and_reports() {
-        // The deprecated panicking shim must keep working for external
-        // callers while they migrate.
-        #[allow(deprecated)]
         let r = Experiment::new(chase(50_000))
             .warmup(20_000)
             .accesses(50_000)
-            .run();
+            .try_run()
+            .unwrap();
         assert!(r.ipc() > 0.0);
         assert!(r.dram_reads() > 0);
         assert_eq!(r.cores.len(), 1);

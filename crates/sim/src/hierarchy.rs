@@ -461,3 +461,71 @@ impl MemorySystem {
         &self.cfg
     }
 }
+
+use triangel_types::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
+impl Snapshot for CoreStats {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.u64(self.temporal_fills);
+        w.u64(self.temporal_used);
+        w.u64(self.temporal_wasted);
+        w.u64(self.prefetches_dropped);
+        w.u64(self.l2_fills);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.temporal_fills = r.u64()?;
+        self.temporal_used = r.u64()?;
+        self.temporal_wasted = r.u64()?;
+        self.prefetches_dropped = r.u64()?;
+        self.l2_fills = r.u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for CoreMem {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        self.l1.save(w)?;
+        self.l2.save(w)?;
+        self.mshr.save(w)?;
+        self.stride.save(w)?;
+        self.temporal.save(w)?;
+        self.stats.save(w)?;
+        self.pf_snapshot.save(w)
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.l1.restore(r)?;
+        self.l2.restore(r)?;
+        self.mshr.restore(r)?;
+        self.stride.restore(r)?;
+        self.temporal.restore(r)?;
+        self.stats.restore(r)?;
+        self.pf_snapshot.restore(r)
+    }
+}
+
+impl Snapshot for MemorySystem {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.usize(self.cores.len());
+        for core in &self.cores {
+            core.save(w)?;
+        }
+        self.l3.save(w)?;
+        self.dram.save(w)?;
+        w.usize(self.markov_ways);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        r.expect_len(self.cores.len(), "cores")?;
+        for core in &mut self.cores {
+            core.restore(r)?;
+        }
+        self.l3.restore(r)?;
+        self.dram.restore(r)?;
+        self.markov_ways = r.usize()?;
+        Ok(())
+    }
+}

@@ -62,8 +62,8 @@ pub use engine::Engine;
 pub use error::SimError;
 pub use experiment::{Experiment, PrefetcherChoice};
 pub use hierarchy::{CoreStats, MemorySystem};
-pub use metrics::{Comparison, RunReport};
-pub use session::{SimSession, SimSessionBuilder};
+pub use metrics::{Comparison, CoreReport, RunReport};
+pub use session::{SimSession, SimSessionBuilder, SNAPSHOT_VERSION};
 // Re-exported so batch drivers can set session-level feature gates
 // without depending on `triangel-core` directly.
 pub use triangel_core::TriangelFeatures;

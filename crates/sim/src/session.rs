@@ -21,8 +21,14 @@ use crate::experiment::PrefetcherChoice;
 use crate::hierarchy::MemorySystem;
 use crate::metrics::RunReport;
 use triangel_core::TriangelFeatures;
+use triangel_types::snap::{snap_check, SnapError, SnapReader, SnapWriter, Snapshot};
 use triangel_workloads::paging::PageMapper;
 use triangel_workloads::TraceSource;
+
+/// Magic bytes opening every session snapshot.
+const SNAP_MAGIC: [u8; 8] = *b"TRGLSNP\0";
+/// Snapshot format version this build writes and reads.
+pub const SNAPSHOT_VERSION: u32 = 1;
 
 /// A fully-assembled simulation, ready to run.
 ///
@@ -36,6 +42,10 @@ pub struct SimSession {
     warmup: u64,
     accesses: u64,
     workload: String,
+    /// Accesses per core executed so far (warm-up + measured).
+    executed: u64,
+    /// Whether the warm-up→measurement transition has been applied.
+    measuring: bool,
 }
 
 impl SimSession {
@@ -63,15 +73,126 @@ impl SimSession {
 
     /// Runs warm-up, measurement, and reporting to completion.
     ///
+    /// Equivalent — access for access — to driving the session through
+    /// [`SimSession::run_segment`] until [`SimSession::is_complete`];
+    /// the segmented form exists so long runs can be interrupted,
+    /// snapshotted and resumed.
+    ///
     /// # Errors
     ///
     /// Infallible today (construction already validated the spec);
     /// typed for forward compatibility with runtime limits.
     pub fn run(mut self) -> Result<RunReport, SimError> {
-        self.engine.run_accesses(self.warmup);
-        self.engine.start_measurement();
-        self.engine.run_accesses(self.accesses);
-        Ok(self.engine.report(self.workload))
+        self.run_segment(u64::MAX);
+        Ok(self.report())
+    }
+
+    /// Advances the run by up to `max_accesses` accesses per core,
+    /// preserving all state across calls, and returns how many were
+    /// executed. The warm-up→measurement transition happens at exactly
+    /// the same access boundary as in an uninterrupted run, whatever
+    /// the segmentation.
+    pub fn run_segment(&mut self, max_accesses: u64) -> u64 {
+        let mut budget = max_accesses.min(self.remaining_accesses());
+        let ran = budget;
+        if self.executed < self.warmup {
+            let n = budget.min(self.warmup - self.executed);
+            self.engine.run_accesses(n);
+            self.executed += n;
+            budget -= n;
+        }
+        if self.executed >= self.warmup && !self.measuring {
+            self.engine.start_measurement();
+            self.measuring = true;
+        }
+        if budget > 0 {
+            self.engine.run_accesses(budget);
+            self.executed += budget;
+        }
+        ran
+    }
+
+    /// Accesses per core executed so far (warm-up + measured).
+    pub fn executed_accesses(&self) -> u64 {
+        self.executed
+    }
+
+    /// Total accesses per core the session will run.
+    pub fn total_accesses(&self) -> u64 {
+        self.warmup + self.accesses
+    }
+
+    /// Accesses per core still to run.
+    pub fn remaining_accesses(&self) -> u64 {
+        self.total_accesses() - self.executed
+    }
+
+    /// Whether every warm-up and measured access has run.
+    pub fn is_complete(&self) -> bool {
+        self.executed >= self.total_accesses()
+    }
+
+    /// The measurement report as of the accesses executed so far.
+    pub fn report(&self) -> RunReport {
+        self.engine.report(self.workload.clone())
+    }
+
+    /// Serializes the complete dynamic simulation state — engine rings
+    /// and timelines, caches including line metadata and fill clocks,
+    /// Markov table, prefetcher and issue-table state, generator RNGs —
+    /// into a versioned binary snapshot.
+    ///
+    /// The invariant the format is built around: interrupting a run,
+    /// snapshotting, restoring into a freshly built session of the same
+    /// spec and continuing is byte-identical to never interrupting
+    /// (pinned by `crates/sim/tests/snapshot_equivalence.rs`).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Unsupported`] when a component sits behind a
+    /// non-snapshottable trait object (custom boxed sources or the
+    /// `Dyn` prefetcher shim).
+    pub fn snapshot(&self) -> Result<Vec<u8>, SnapError> {
+        let mut w = SnapWriter::new();
+        w.bytes(&SNAP_MAGIC);
+        w.u32(SNAPSHOT_VERSION);
+        w.u64(self.warmup);
+        w.u64(self.accesses);
+        w.u64(self.executed);
+        w.bool(self.measuring);
+        self.engine.save(&mut w)?;
+        Ok(w.into_bytes())
+    }
+
+    /// Restores a snapshot written by [`SimSession::snapshot`] into
+    /// this session, which must have been built from the same spec
+    /// (same workloads, seeds, configuration and scale).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Version`] for snapshots from another format
+    /// version, [`SnapError::Corrupt`] when the snapshot does not match
+    /// this session's structure, [`SnapError::Eof`] on truncation.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(bytes);
+        snap_check(r.bytes()? == SNAP_MAGIC, "bad snapshot magic")?;
+        let version = r.u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapError::Version {
+                found: version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        snap_check(r.u64()? == self.warmup, "warm-up length mismatch")?;
+        snap_check(r.u64()? == self.accesses, "measured length mismatch")?;
+        let executed = r.u64()?;
+        snap_check(executed <= self.total_accesses(), "progress out of range")?;
+        let measuring = r.bool()?;
+        self.engine.restore(&mut r)?;
+        r.finish()?;
+        self.executed = executed;
+        self.measuring = measuring;
+        Ok(())
     }
 
     /// The assembled engine (diagnostics in tests).
@@ -266,6 +387,8 @@ impl SimSessionBuilder {
             warmup: self.warmup,
             accesses: self.accesses,
             workload,
+            executed: 0,
+            measuring: false,
         })
     }
 

@@ -329,6 +329,38 @@ impl Prefetcher for Triage {
     }
 }
 
+use triangel_types::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
+impl Snapshot for Triage {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        self.training.save(w)?;
+        self.markov.save(w)?;
+        self.bloom.save(w)?;
+        w.u64(self.window_left);
+        w.usize(self.desired_ways);
+        w.u64(self.issued);
+        w.u64(self.evict_seen.0);
+        w.u64(self.evict_seen.1);
+        self.issue_table.save(w)?;
+        w.u64(self.evict_trained);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.training.restore(r)?;
+        self.markov.restore(r)?;
+        self.bloom.restore(r)?;
+        self.window_left = r.u64()?;
+        self.desired_ways = r.usize()?;
+        self.issued = r.u64()?;
+        self.evict_seen.0 = r.u64()?;
+        self.evict_seen.1 = r.u64()?;
+        self.issue_table.restore(r)?;
+        self.evict_trained = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

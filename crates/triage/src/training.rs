@@ -106,6 +106,32 @@ impl TrainingTable {
     }
 }
 
+use triangel_types::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
+impl Snapshot for TrainingTable {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.usize(self.slots.len());
+        for s in &self.slots {
+            w.u16(s.pc_tag);
+            w.bool(s.valid);
+            w.opt_u64(s.last[0].map(|l| l.index()));
+            w.opt_u64(s.last[1].map(|l| l.index()));
+        }
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        r.expect_len(self.slots.len(), "Triage training slots")?;
+        for s in &mut self.slots {
+            s.pc_tag = r.u16()?;
+            s.valid = r.bool()?;
+            s.last[0] = r.opt_u64()?.map(LineAddr::new);
+            s.last[1] = r.opt_u64()?.map(LineAddr::new);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -107,6 +107,20 @@ impl fmt::Display for SaturatingCounter {
     }
 }
 
+impl crate::snap::Snapshot for SaturatingCounter {
+    fn save(&self, w: &mut crate::snap::SnapWriter) -> Result<(), crate::snap::SnapError> {
+        w.u32(self.value);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut crate::snap::SnapReader) -> Result<(), crate::snap::SnapError> {
+        let v = r.u32()?;
+        crate::snap::snap_check(v <= self.max, "saturating counter above maximum")?;
+        self.value = v;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -37,6 +37,7 @@ mod counter;
 pub mod hash;
 mod meta;
 pub mod rng;
+pub mod snap;
 pub mod stats;
 
 pub use addr::{

@@ -59,6 +59,33 @@ pub struct LineMeta {
     pub fill_seq: u64,
 }
 
+impl FillSource {
+    /// The snapshot byte for this source (see [`crate::snap`]).
+    pub fn snap_tag(self) -> u8 {
+        match self {
+            FillSource::Demand => 0,
+            FillSource::Stride => 1,
+            FillSource::Temporal => 2,
+        }
+    }
+
+    /// Decodes a snapshot byte written by [`FillSource::snap_tag`].
+    ///
+    /// # Errors
+    ///
+    /// [`crate::snap::SnapError::Corrupt`] on an unknown byte.
+    pub fn from_snap_tag(b: u8) -> Result<Self, crate::snap::SnapError> {
+        match b {
+            0 => Ok(FillSource::Demand),
+            1 => Ok(FillSource::Stride),
+            2 => Ok(FillSource::Temporal),
+            other => Err(crate::snap::SnapError::corrupt(format!(
+                "fill-source byte {other}"
+            ))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

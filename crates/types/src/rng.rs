@@ -143,6 +143,30 @@ impl Default for SplitMix64 {
     }
 }
 
+impl crate::snap::Snapshot for Lcg {
+    fn save(&self, w: &mut crate::snap::SnapWriter) -> Result<(), crate::snap::SnapError> {
+        w.u64(self.state);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut crate::snap::SnapReader) -> Result<(), crate::snap::SnapError> {
+        self.state = r.u64()?;
+        Ok(())
+    }
+}
+
+impl crate::snap::Snapshot for SplitMix64 {
+    fn save(&self, w: &mut crate::snap::SnapWriter) -> Result<(), crate::snap::SnapError> {
+        w.u64(self.state);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut crate::snap::SnapReader) -> Result<(), crate::snap::SnapError> {
+        self.state = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,373 @@
+//! Hand-rolled binary snapshots of simulation state.
+//!
+//! Paper-scale runs (millions of accesses per job) need to be
+//! interruptible: the campaign runner executes simulations in segments
+//! and persists the full dynamic state between them, with the invariant
+//! that *interrupt → snapshot → restore → continue* is byte-identical
+//! to an uninterrupted run.
+//!
+//! The format is deliberately minimal: little-endian fixed-width
+//! integers written by [`SnapWriter`] and read back by [`SnapReader`],
+//! with no self-description. Instead of serializing configuration, a
+//! snapshot holds only *dynamic* state — the consumer reconstructs the
+//! object tree from its spec (which is data and deterministic) and then
+//! [`Snapshot::restore`]s the mutable fields into it. Structural
+//! sanity (vector lengths, enum discriminants) is checked on restore
+//! and reported as [`SnapError::Corrupt`] rather than trusted.
+//!
+//! Versioning lives at the envelope level: the simulation-session
+//! snapshot (in `triangel-sim`) prefixes a magic and a format version,
+//! so stale snapshot files fail loudly with [`SnapError::Version`].
+
+use std::fmt;
+
+/// Why a snapshot could not be written or restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// The snapshot ended before the expected data.
+    Eof,
+    /// The data contradicts the restoring object's structure.
+    Corrupt(String),
+    /// The object (e.g. a boxed trait object) does not support
+    /// snapshotting.
+    Unsupported(String),
+    /// The snapshot was written by an incompatible format version.
+    Version {
+        /// Version found in the snapshot envelope.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+}
+
+impl SnapError {
+    /// Convenience constructor for [`SnapError::Corrupt`].
+    pub fn corrupt(msg: impl Into<String>) -> Self {
+        SnapError::Corrupt(msg.into())
+    }
+
+    /// Convenience constructor for [`SnapError::Unsupported`].
+    pub fn unsupported(msg: impl Into<String>) -> Self {
+        SnapError::Unsupported(msg.into())
+    }
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::Eof => write!(f, "snapshot truncated"),
+            SnapError::Corrupt(m) => write!(f, "snapshot corrupt: {m}"),
+            SnapError::Unsupported(m) => write!(f, "snapshot unsupported: {m}"),
+            SnapError::Version { found, expected } => {
+                write!(f, "snapshot version {found} (this build reads {expected})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// Returns [`SnapError::Corrupt`] unless `cond` holds.
+pub fn snap_check(cond: bool, msg: &str) -> Result<(), SnapError> {
+    if cond {
+        Ok(())
+    } else {
+        Err(SnapError::corrupt(msg))
+    }
+}
+
+/// Append-only binary writer for snapshot data (little-endian).
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        SnapWriter::default()
+    }
+
+    /// Consumes the writer, returning the bytes written.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `f64` by bit pattern (exact round-trip).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes a `bool` as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Writes a `usize` widened to `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes `Some(v)`/`None` as a presence byte plus the value.
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.u64(x);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    /// Writes raw bytes (length-prefixed).
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a UTF-8 string (length-prefixed).
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+}
+
+/// Sequential reader over snapshot bytes.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        SnapReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Returns [`SnapError::Corrupt`] unless every byte was consumed.
+    pub fn finish(&self) -> Result<(), SnapError> {
+        snap_check(self.remaining() == 0, "trailing bytes after snapshot")
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::Eof);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u16`.
+    pub fn u16(&mut self) -> Result<u16, SnapError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `i64`.
+    pub fn i64(&mut self) -> Result<i64, SnapError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` by bit pattern.
+    pub fn f64(&mut self) -> Result<f64, SnapError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `bool`, rejecting bytes other than 0/1.
+    pub fn bool(&mut self) -> Result<bool, SnapError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(SnapError::corrupt(format!("bool byte {b}"))),
+        }
+    }
+
+    /// Reads a `usize` (written as `u64`), rejecting values beyond the
+    /// platform's range.
+    pub fn usize(&mut self) -> Result<usize, SnapError> {
+        usize::try_from(self.u64()?).map_err(|_| SnapError::corrupt("usize overflow"))
+    }
+
+    /// Reads an `Option<u64>`.
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, SnapError> {
+        Ok(if self.bool()? {
+            Some(self.u64()?)
+        } else {
+            None
+        })
+    }
+
+    /// Reads length-prefixed raw bytes.
+    pub fn bytes(&mut self) -> Result<&'a [u8], SnapError> {
+        let n = self.usize()?;
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, SnapError> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| SnapError::corrupt("invalid UTF-8"))
+    }
+
+    /// Reads a length written by [`SnapWriter::usize`] and checks it
+    /// matches the restoring structure's `expected` length.
+    pub fn expect_len(&mut self, expected: usize, what: &str) -> Result<(), SnapError> {
+        let found = self.usize()?;
+        snap_check(
+            found == expected,
+            &format!("{what}: snapshot has {found} elements, structure has {expected}"),
+        )
+    }
+}
+
+/// Save/restore of a structure's *dynamic* state.
+///
+/// `restore` is called on a freshly constructed object with identical
+/// configuration (same spec, same seeds); only fields that mutate
+/// during simulation are serialized. Implementations must be exact:
+/// after `restore`, the object's observable behaviour must be
+/// indistinguishable from the object `save` was called on.
+pub trait Snapshot {
+    /// Serializes the dynamic state into `w`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Unsupported`] when the object (or a component
+    /// behind a trait object) cannot be snapshotted.
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError>;
+
+    /// Restores the dynamic state from `r`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] when the data is truncated, corrupt, or does not
+    /// match this object's structure.
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        let mut w = SnapWriter::new();
+        w.u8(7);
+        w.u16(300);
+        w.u32(70_000);
+        w.u64(1 << 40);
+        w.i64(-5);
+        w.f64(0.25);
+        w.bool(true);
+        w.usize(42);
+        w.opt_u64(Some(9));
+        w.opt_u64(None);
+        w.str("hello");
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 300);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.i64().unwrap(), -5);
+        assert_eq!(r.f64().unwrap(), 0.25);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.usize().unwrap(), 42);
+        assert_eq!(r.opt_u64().unwrap(), Some(9));
+        assert_eq!(r.opt_u64().unwrap(), None);
+        assert_eq!(r.str().unwrap(), "hello");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_eof() {
+        let mut w = SnapWriter::new();
+        w.u64(1);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes[..4]);
+        assert_eq!(r.u64(), Err(SnapError::Eof));
+    }
+
+    #[test]
+    fn trailing_bytes_are_corrupt() {
+        let mut w = SnapWriter::new();
+        w.u64(1);
+        w.u64(2);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let _ = r.u64().unwrap();
+        assert!(matches!(r.finish(), Err(SnapError::Corrupt(_))));
+    }
+
+    #[test]
+    fn bad_bool_is_corrupt() {
+        let mut r = SnapReader::new(&[3]);
+        assert!(matches!(r.bool(), Err(SnapError::Corrupt(_))));
+    }
+
+    #[test]
+    fn length_mismatch_is_corrupt() {
+        let mut w = SnapWriter::new();
+        w.usize(4);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert!(r.expect_len(4, "v").is_ok());
+        let mut r = SnapReader::new(&bytes);
+        assert!(matches!(r.expect_len(5, "v"), Err(SnapError::Corrupt(_))));
+    }
+}

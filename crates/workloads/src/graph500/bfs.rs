@@ -160,6 +160,74 @@ impl TraceSource for BfsTrace {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        self.save_snap(w)
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.restore_snap(r)
+    }
+}
+
+use triangel_types::snap::{snap_check, SnapError, SnapReader, SnapWriter, Snapshot};
+
+impl BfsTrace {
+    pub(crate) fn save_snap(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.usize(self.visited.len());
+        // Bit-packed: the s21 visited map is 2M entries.
+        let mut byte = 0u8;
+        for (i, v) in self.visited.iter().enumerate() {
+            if *v {
+                byte |= 1 << (i % 8);
+            }
+            if i % 8 == 7 {
+                w.u8(byte);
+                byte = 0;
+            }
+        }
+        if !self.visited.len().is_multiple_of(8) {
+            w.u8(byte);
+        }
+        w.usize(self.queue.len());
+        for v in &self.queue {
+            w.u32(*v);
+        }
+        w.usize(self.buf.len());
+        for a in &self.buf {
+            a.snap_save(w);
+        }
+        w.u64(self.pop_pos);
+        w.u64(self.push_pos);
+        self.rng.save(w)
+    }
+
+    pub(crate) fn restore_snap(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        r.expect_len(self.visited.len(), "visited map")?;
+        let mut byte = 0u8;
+        for i in 0..self.visited.len() {
+            if i % 8 == 0 {
+                byte = r.u8()?;
+            }
+            self.visited[i] = byte & (1 << (i % 8)) != 0;
+        }
+        let n = r.usize()?;
+        let vertices = self.graph.n_vertices();
+        self.queue.clear();
+        for _ in 0..n {
+            let v = r.u32()?;
+            snap_check((v as usize) < vertices, "queued vertex out of range")?;
+            self.queue.push_back(v);
+        }
+        let n = r.usize()?;
+        self.buf.clear();
+        for _ in 0..n {
+            self.buf.push_back(MemoryAccess::snap_restore(r)?);
+        }
+        self.pop_pos = r.u64()?;
+        self.push_pos = r.u64()?;
+        self.rng.restore(r)
+    }
 }
 
 #[cfg(test)]

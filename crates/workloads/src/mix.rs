@@ -180,6 +180,71 @@ impl TraceSource for WorkloadMix {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        self.save_state_impl(w)
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.restore_state_impl(r)
+    }
+}
+
+use triangel_types::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
+impl StreamImpl {
+    fn save_snap(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        match self {
+            StreamImpl::Temporal(s) => s.save_snap(w),
+            StreamImpl::Strided(s) => {
+                s.save_snap(w);
+                Ok(())
+            }
+            StreamImpl::Random(s) => s.save_snap(w),
+            StreamImpl::Dyn(s) => s.save_state(w),
+        }
+    }
+
+    fn restore_snap(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        match self {
+            StreamImpl::Temporal(s) => s.restore_snap(r),
+            StreamImpl::Strided(s) => s.restore_snap(r),
+            StreamImpl::Random(s) => s.restore_snap(r),
+            StreamImpl::Dyn(s) => s.restore_state(r),
+        }
+    }
+}
+
+impl WorkloadMix {
+    /// Serializes the mix's dynamic state (selection RNG + every
+    /// constituent stream); the trait-level
+    /// [`TraceSource::save_state`] forwards here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] (e.g. an unsupported boxed stream).
+    pub fn save_state_impl(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        self.rng.save(w)?;
+        w.usize(self.streams.len());
+        for (s, _) in &self.streams {
+            s.save_snap(w)?;
+        }
+        Ok(())
+    }
+
+    /// Restores the state written by [`WorkloadMix::save_state_impl`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`].
+    pub fn restore_state_impl(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.rng.restore(r)?;
+        r.expect_len(self.streams.len(), "mix streams")?;
+        for (s, _) in &mut self.streams {
+            s.restore_snap(r)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

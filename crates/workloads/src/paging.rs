@@ -136,6 +136,49 @@ impl PageMapper {
     }
 }
 
+use triangel_types::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
+impl Snapshot for PageMapper {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        // Sorted so snapshot bytes are deterministic; map iteration
+        // order never reaches simulated behaviour (lookups only).
+        let mut pages: Vec<(&u64, &u64)> = self.table.iter().collect();
+        pages.sort_unstable_by_key(|(page, _)| **page);
+        w.usize(pages.len());
+        for (page, frame) in pages {
+            w.u64(*page);
+            w.u64(*frame);
+        }
+        let mut frames: Vec<&u64> = self.used_frames.iter().collect();
+        frames.sort_unstable();
+        w.usize(frames.len());
+        for f in frames {
+            w.u64(*f);
+        }
+        w.u64(self.next_frame);
+        w.u64(self.run_left);
+        self.rng.save(w)
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let n = r.usize()?;
+        self.table.clear();
+        for _ in 0..n {
+            let page = r.u64()?;
+            let frame = r.u64()?;
+            self.table.insert(page, frame);
+        }
+        let n = r.usize()?;
+        self.used_frames.clear();
+        for _ in 0..n {
+            self.used_frames.insert(r.u64()?);
+        }
+        self.next_frame = r.u64()?;
+        self.run_left = r.u64()?;
+        self.rng.restore(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

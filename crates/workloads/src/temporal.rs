@@ -205,6 +205,20 @@ impl TraceSource for TemporalStream {
     fn name(&self) -> &str {
         &self.cfg.name
     }
+
+    fn save_state(
+        &self,
+        w: &mut triangel_types::snap::SnapWriter,
+    ) -> Result<(), triangel_types::snap::SnapError> {
+        self.save_snap(w)
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut triangel_types::snap::SnapReader,
+    ) -> Result<(), triangel_types::snap::SnapError> {
+        self.restore_snap(r)
+    }
 }
 
 /// A sequential scan: `base + i*stride` lines over an array, repeated.
@@ -266,6 +280,21 @@ impl TraceSource for StridedStream {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn save_state(
+        &self,
+        w: &mut triangel_types::snap::SnapWriter,
+    ) -> Result<(), triangel_types::snap::SnapError> {
+        self.save_snap(w);
+        Ok(())
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut triangel_types::snap::SnapReader,
+    ) -> Result<(), triangel_types::snap::SnapError> {
+        self.restore_snap(r)
+    }
 }
 
 /// Uniform random accesses over a region: unlearnable by any prefetcher.
@@ -323,6 +352,83 @@ impl TraceSource for RandomStream {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn save_state(
+        &self,
+        w: &mut triangel_types::snap::SnapWriter,
+    ) -> Result<(), triangel_types::snap::SnapError> {
+        self.save_snap(w)
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut triangel_types::snap::SnapReader,
+    ) -> Result<(), triangel_types::snap::SnapError> {
+        self.restore_snap(r)
+    }
+}
+
+use triangel_types::snap::{snap_check, SnapError, SnapReader, SnapWriter, Snapshot};
+
+impl TemporalStream {
+    pub(crate) fn save_snap(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        // `seq` mutates under drift, so it is state, not configuration.
+        w.usize(self.seq.len());
+        for l in &self.seq {
+            w.u64(*l);
+        }
+        w.usize(self.pending.len());
+        for l in &self.pending {
+            w.u64(*l);
+        }
+        w.usize(self.front_age);
+        w.usize(self.pos);
+        self.rng.save(w)
+    }
+
+    pub(crate) fn restore_snap(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        r.expect_len(self.seq.len(), "temporal sequence")?;
+        for l in &mut self.seq {
+            *l = r.u64()?;
+        }
+        let n = r.usize()?;
+        snap_check(
+            n <= self.cfg.shuffle_window.max(1),
+            "reorder buffer above window",
+        )?;
+        self.pending.clear();
+        for _ in 0..n {
+            self.pending.push(r.u64()?);
+        }
+        self.front_age = r.usize()?;
+        let pos = r.usize()?;
+        snap_check(pos <= self.seq.len(), "pass cursor out of range")?;
+        self.pos = pos;
+        self.rng.restore(r)
+    }
+}
+
+impl StridedStream {
+    pub(crate) fn save_snap(&self, w: &mut SnapWriter) {
+        w.u64(self.pos);
+    }
+
+    pub(crate) fn restore_snap(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let pos = r.u64()?;
+        snap_check(pos < self.array_lines, "stride cursor out of range")?;
+        self.pos = pos;
+        Ok(())
+    }
+}
+
+impl RandomStream {
+    pub(crate) fn save_snap(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        self.rng.save(w)
+    }
+
+    pub(crate) fn restore_snap(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.rng.restore(r)
     }
 }
 

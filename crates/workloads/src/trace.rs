@@ -1,5 +1,6 @@
 //! The memory-access record and trace-source abstraction.
 
+use triangel_types::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use triangel_types::{Addr, Pc};
 
 /// One memory access as seen by the core's load/store unit.
@@ -48,6 +49,28 @@ impl MemoryAccess {
     pub fn with_work(mut self, work: u8) -> Self {
         self.work = work;
         self
+    }
+
+    /// Writes the access into a snapshot (see [`triangel_types::snap`]).
+    pub fn snap_save(&self, w: &mut SnapWriter) {
+        w.u64(self.pc.get());
+        w.u64(self.vaddr.get());
+        w.bool(self.dependent);
+        w.u8(self.work);
+    }
+
+    /// Reads an access written by [`MemoryAccess::snap_save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on truncated or corrupt data.
+    pub fn snap_restore(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(MemoryAccess {
+            pc: Pc::new(r.u64()?),
+            vaddr: Addr::new(r.u64()?),
+            dependent: r.bool()?,
+            work: r.u8()?,
+        })
     }
 }
 
@@ -205,6 +228,39 @@ pub trait TraceSource: std::fmt::Debug {
 
     /// A short display name for reports.
     fn name(&self) -> &str;
+
+    /// Serializes the generator's dynamic state (position, RNG, drifted
+    /// sequences) into `w`, so a run can be interrupted and resumed
+    /// byte-identically. The consumer reconstructs the generator from
+    /// its spec and calls [`TraceSource::restore_state`] on it.
+    ///
+    /// Every shipped generator implements this; the default refuses so
+    /// that external `Box<dyn TraceSource>` implementations fail loudly
+    /// instead of resuming with silently reset state.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Unsupported`] when the source has no snapshot
+    /// support.
+    fn save_state(&self, _w: &mut SnapWriter) -> Result<(), SnapError> {
+        Err(SnapError::unsupported(format!(
+            "trace source `{}` does not support snapshots",
+            self.name()
+        )))
+    }
+
+    /// Restores the dynamic state written by [`TraceSource::save_state`]
+    /// into a freshly constructed generator of the same spec.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on unsupported sources or mismatched data.
+    fn restore_state(&mut self, _r: &mut SnapReader) -> Result<(), SnapError> {
+        Err(SnapError::unsupported(format!(
+            "trace source `{}` does not support snapshots",
+            self.name()
+        )))
+    }
 }
 
 /// A replayable, pre-recorded trace (useful in tests and for capturing
@@ -273,6 +329,40 @@ impl TraceSource for RecordedTrace {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.usize(self.pos);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let pos = r.usize()?;
+        triangel_types::snap::snap_check(pos < self.accesses.len(), "trace cursor out of range")?;
+        self.pos = pos;
+        Ok(())
+    }
+}
+
+impl Snapshot for AccessRing {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        let pending = self.as_slice();
+        w.usize(pending.len());
+        for a in pending {
+            a.snap_save(w);
+        }
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let n = r.usize()?;
+        triangel_types::snap::snap_check(n <= self.cap, "ring occupancy above capacity")?;
+        self.clear();
+        for _ in 0..n {
+            let pushed = self.push(MemoryAccess::snap_restore(r)?);
+            debug_assert!(pushed, "cleared ring accepts up to cap pushes");
+        }
+        Ok(())
     }
 }
 

@@ -19,7 +19,9 @@
 //! * [`sim`] — the trace-driven timing simulator and experiment runner.
 //! * [`harness`] — parallel, deterministic experiment orchestration:
 //!   declarative job lists, a work-stealing scheduler, a content-keyed
-//!   result cache and JSON/CSV emitters (see EXPERIMENTS.md).
+//!   result cache, JSON/CSV emitters, and the checkpointable
+//!   [`Campaign`](harness::Campaign) runner that snapshots and resumes
+//!   paper-scale sweeps (see EXPERIMENTS.md).
 //!
 //! # Quickstart
 //!
