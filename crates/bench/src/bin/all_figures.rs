@@ -6,7 +6,7 @@
 //! run exactly once; the final summary reports the cache-hit count.
 //!
 //! ```text
-//! all_figures [--jobs N] [--filter <regex>] [--out-dir <dir>]
+//! all_figures [--jobs N] [--filter <regex>] [--out-dir <dir>] [--trace <path>]
 //! ```
 //!
 //! * `--jobs N` — worker threads (default: one per core). Reports are
@@ -14,6 +14,10 @@
 //! * `--filter <regex>` — run only the experiments whose registry name
 //!   matches, e.g. `--filter 'fig1[0-5]'` or `--filter '^table'`.
 //! * `--out-dir <dir>` — additionally emit every table as JSON and CSV.
+//! * `--trace <path>` — record the harness's wall-time spans (job
+//!   lifetimes, worker lanes, cache counters) as Chrome `trace_event`
+//!   JSON for <https://ui.perfetto.dev>. Host-only: figure output is
+//!   byte-identical with or without it.
 //!
 //! Full-scale run: `cargo run --release -p triangel-bench --bin all_figures`
 //! Smoke run: `TRIANGEL_QUICK=1 cargo run --release -p triangel-bench --bin all_figures -- --filter 'fig10|table'`
@@ -42,6 +46,7 @@ fn main() {
     );
 
     let mut ctx = FigureContext::new(params, cli.jobs);
+    let trace = figures::attach_trace(&mut ctx, &cli);
     let mut ran = 0usize;
     for def in figures::registry() {
         if let Some(filter) = &cli.filter {
@@ -71,6 +76,7 @@ fn main() {
         eprintln!("--filter matched no experiments");
         std::process::exit(2);
     }
+    figures::write_trace(&cli, trace.as_deref());
     let stats = ctx.stats();
     eprintln!(
         "==> {} experiment(s); {} job(s), {} executed, {} cache hit(s), {} error(s)",

@@ -27,6 +27,10 @@
 //! * `--max-segments K` — stop after K segments (forced interrupt; CI
 //!   uses this to exercise resume).
 //! * `--wall-budget-secs S` — stop issuing segments after S seconds.
+//! * `--trace PATH` — record the campaign's wall-time spans (one per
+//!   job and per executed segment, on named worker lanes) as Chrome
+//!   `trace_event` JSON for <https://ui.perfetto.dev>. Host-only:
+//!   results and artefacts are byte-identical with or without it.
 //! * `--quiet` — suppress per-segment progress.
 //!
 //! Exit status: 0 when the campaign (and its figure artefacts) are
@@ -61,6 +65,7 @@ struct Cli {
     segment: u64,
     max_segments: Option<u64>,
     wall_budget_secs: Option<u64>,
+    trace: Option<PathBuf>,
     quiet: bool,
 }
 
@@ -74,6 +79,7 @@ impl Default for Cli {
             segment: 250_000,
             max_segments: None,
             wall_budget_secs: None,
+            trace: None,
             quiet: false,
         }
     }
@@ -125,12 +131,13 @@ fn parse_cli(args: impl Iterator<Item = String>) -> Result<Cli, String> {
                         .map_err(|_| format!("bad --wall-budget-secs `{v}`"))?,
                 );
             }
+            "--trace" => cli.trace = Some(PathBuf::from(value("--trace")?)),
             "--quiet" => cli.quiet = true,
             other => {
                 return Err(format!(
                     "unknown argument `{other}` (expected --figure features|spec, \
                      --scale full|smoke, --jobs N, --out-dir DIR, --segment N, \
-                     --max-segments K, --wall-budget-secs S, --quiet)"
+                     --max-segments K, --wall-budget-secs S, --trace PATH, --quiet)"
                 ))
             }
         }
@@ -184,6 +191,13 @@ fn main() {
     if let Some(s) = cli.wall_budget_secs {
         opts = opts.wall_budget(Duration::from_secs(s));
     }
+    let trace = cli
+        .trace
+        .as_ref()
+        .map(|_| std::sync::Arc::new(triangel_obs::TraceBuffer::new()));
+    if let Some(t) = &trace {
+        opts = opts.with_trace(t.clone());
+    }
 
     let t0 = std::time::Instant::now();
     let report = Campaign::new()
@@ -207,6 +221,16 @@ fn main() {
         s.accesses_run,
         t0.elapsed().as_secs_f64(),
     );
+
+    // Written before any exit below: an interrupted campaign's trace is
+    // exactly the one worth looking at.
+    if let (Some(path), Some(t)) = (&cli.trace, &trace) {
+        if let Err(e) = std::fs::write(path, t.to_json()) {
+            eprintln!("failed to write trace to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("[trace] {} event(s) -> {}", t.len(), path.display());
+    }
 
     for (key, outcome) in report.keys.iter().zip(&report.outcomes) {
         if let JobOutcome::Failed(e) = outcome {

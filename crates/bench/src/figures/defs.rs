@@ -5,10 +5,14 @@ use std::sync::Arc;
 
 use triangel_core::{structure_sizes, TriangelConfig, TriangelFeatures};
 use triangel_harness::emit::{
-    features_to_json, perf_to_json, FeatureCell, FeatureRow, FeatureStep, FeaturesReport,
-    PerfRecord, PerfReport, PerfScalingPoint,
+    features_to_json, perf_to_json, timeline_to_json, FeatureCell, FeatureRow, FeatureStep,
+    FeaturesReport, PerfRecord, PerfReport, PerfScalingPoint, TimelineReport, TimelineRow,
+    TimelineSeries,
 };
-use triangel_harness::{GridSpec, MapperSpec, RunParams, SweepOptions, WorkloadSpec};
+use triangel_harness::goldens::gated_features;
+use triangel_harness::{
+    GridSpec, JobSpec, MapperSpec, RunParams, Sweep, SweepOptions, WorkloadSpec,
+};
 use triangel_markov::TargetFormat;
 use triangel_sim::{PrefetcherChoice, SystemConfig};
 use triangel_triage::TriageConfig;
@@ -532,6 +536,156 @@ pub fn features_outputs(
         body: features_to_json(&report),
     });
     out
+}
+
+/// Sampling period of the `timeline` figure at [`FEATURES_PARAMS`]
+/// scale: ten intervals across the measured run, fine enough to see
+/// *when* in a run EvictTrain's MCF coverage falls away, coarse
+/// enough to keep the figure at smoke-test cost.
+pub const TIMELINE_SAMPLE_EVERY: u64 = 2_500;
+
+/// The workloads the timeline watches: MCF is where the eviction-
+/// training gate's coverage collapses (the PR 5 campaign verdict);
+/// Astar and Omnetpp are the contrast group whose coverage holds.
+const TIMELINE_WORKLOADS: [SpecWorkload; 3] = [
+    SpecWorkload::Mcf,
+    SpecWorkload::Astar,
+    SpecWorkload::Omnetpp,
+];
+
+/// The `timeline` figure: per-interval time-series of
+/// {Baseline, Triangel-L0, Triangel-L0+EvictTrain} over the workloads
+/// above, recorded through the interval sampler and emitted as
+/// `BENCH_timeline.json` (`BENCH_timeline_smoke.json` when
+/// `TRIANGEL_TIMELINE_SMOKE=1`, so CI never clobbers the recorded
+/// artefact). The aggregate features tables say *that* EvictTrain
+/// loses MCF coverage; this figure says *when*.
+pub(super) fn timeline(ctx: &mut FigureContext) -> Vec<FigureOutput> {
+    let params = FEATURES_PARAMS;
+    // Ladder step 0, like the gate-on golden sweep: its ungated
+    // prefetching exercises the eviction-training path heavily at this
+    // scale, whereas full Triangel's confidence gates barely open
+    // within 25k measured accesses and every series would be flat.
+    let configs: [(&str, PrefetcherChoice, bool); 3] = [
+        ("Baseline", PrefetcherChoice::Baseline, false),
+        ("Triangel-L0", PrefetcherChoice::TriangelLadder(0), false),
+        (
+            "Triangel-L0+EvictTrain",
+            PrefetcherChoice::TriangelLadder(0),
+            true,
+        ),
+    ];
+    let mut sweep = Sweep::new();
+    for wl in TIMELINE_WORKLOADS {
+        for (_, pf, gated) in configs {
+            let mut job = JobSpec::new(WorkloadSpec::Spec(wl), pf, params)
+                .sample_every(TIMELINE_SAMPLE_EVERY);
+            if gated {
+                job = job.features(gated_features(pf));
+            }
+            sweep.push(job);
+        }
+    }
+    // A *private* cache, deliberately: sampling never enters content
+    // keys, so the shared figure cache may hold unsampled twins of
+    // these jobs — correct for summaries, useless for a figure that
+    // needs the recorded series.
+    let mut opts = SweepOptions::parallel(ctx.opts.workers);
+    if let Some(trace) = &ctx.opts.trace {
+        opts = opts.with_trace(Arc::clone(trace));
+    }
+    let result = sweep.run(&opts);
+    ctx.absorb(result.stats);
+
+    let series_at = |i: usize| -> &triangel_obs::IntervalSeries {
+        result.results[i]
+            .as_ref()
+            .unwrap_or_else(|e| panic!("timeline job failed: {e:?}"))
+            .intervals
+            .as_ref()
+            .expect("timeline jobs sample")
+    };
+    let rows: Vec<TimelineRow> = TIMELINE_WORKLOADS
+        .iter()
+        .enumerate()
+        .map(|(wi, wl)| {
+            let baseline = series_at(wi * configs.len());
+            TimelineRow {
+                workload: wl.label().to_string(),
+                series: configs
+                    .iter()
+                    .enumerate()
+                    .map(|(ci, (label, _, _))| {
+                        TimelineSeries::from_intervals(
+                            *label,
+                            series_at(wi * configs.len() + ci),
+                            (ci != 0).then_some(baseline),
+                        )
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+    let report = TimelineReport {
+        sweep: format!(
+            "{{MCF, Astar, Omnetpp}} x {{Baseline, Triangel-L0, Triangel-L0+EvictTrain}}, warmup {} + {} accesses, sampled every {}",
+            params.warmup, params.accesses, TIMELINE_SAMPLE_EVERY
+        ),
+        every: TIMELINE_SAMPLE_EVERY,
+        rows,
+    };
+
+    // Localize the gate's effect: the first interval where the gated
+    // twin visibly departs from the ungated run — cumulative coverage
+    // trailing by > 0.05, or the per-interval issue count shifting by
+    // more than 5% (with a small floor so near-idle intervals don't
+    // trigger on noise-scale counts).
+    let mut notes = vec![
+        "Timeline: first interval where +EvictTrain diverges from the ungated run".to_string(),
+    ];
+    for row in &report.rows {
+        let plain = &row.series[1].points;
+        let gated = &row.series[2].points;
+        let diverged = |p: &triangel_harness::emit::TimelinePoint,
+                        g: &triangel_harness::emit::TimelinePoint| {
+            let coverage_gap = p.coverage_so_far - g.coverage_so_far > 0.05;
+            let issue_shift = p.issued.max(20) as f64 * 0.05;
+            coverage_gap || (p.issued as f64 - g.issued as f64).abs() > issue_shift
+        };
+        match plain.iter().zip(gated).find(|(p, g)| diverged(p, g)) {
+            Some((p, g)) => notes.push(format!(
+                "  {}: diverges at access {} (issued {} vs {}, coverage {:.3} vs {:.3}); \
+                 end of run coverage {:.3} vs {:.3}",
+                row.workload,
+                p.end_access,
+                p.issued,
+                g.issued,
+                p.coverage_so_far,
+                g.coverage_so_far,
+                plain.last().map_or(0.0, |p| p.coverage_so_far),
+                gated.last().map_or(0.0, |p| p.coverage_so_far),
+            )),
+            None => notes.push(format!(
+                "  {}: no divergence (end of run coverage {:.3} vs {:.3})",
+                row.workload,
+                plain.last().map_or(0.0, |p| p.coverage_so_far),
+                gated.last().map_or(0.0, |p| p.coverage_so_far),
+            )),
+        }
+    }
+
+    let smoke = std::env::var("TRIANGEL_TIMELINE_SMOKE").is_ok_and(|v| v == "1");
+    vec![
+        FigureOutput::Text(notes.join("\n")),
+        FigureOutput::Json {
+            name: if smoke {
+                "BENCH_timeline_smoke".to_string()
+            } else {
+                "BENCH_timeline".to_string()
+            },
+            body: timeline_to_json(&report),
+        },
+    ]
 }
 
 pub(super) fn duel_bias(ctx: &mut FigureContext) -> Vec<FigureOutput> {

@@ -9,7 +9,9 @@
 
 mod defs;
 
-pub use defs::{features_grid, features_outputs, FEATURES_FULL_PARAMS, FEATURES_PARAMS};
+pub use defs::{
+    features_grid, features_outputs, FEATURES_FULL_PARAMS, FEATURES_PARAMS, TIMELINE_SAMPLE_EVERY,
+};
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -244,6 +246,11 @@ pub fn registry() -> Vec<FigureDef> {
             title: "Hot-path throughput vs recorded baseline",
             run: defs::perf,
         },
+        FigureDef {
+            name: "timeline",
+            title: "Per-interval time-series +/- eviction training",
+            run: defs::timeline,
+        },
     ]
 }
 
@@ -261,9 +268,14 @@ pub struct CliOptions {
     pub filter: Option<Pattern>,
     /// `--out-dir <dir>` (only `all_figures`): emit JSON/CSV here.
     pub out_dir: Option<PathBuf>,
+    /// `--trace <path>`: record the harness's wall-time spans and write
+    /// them as Chrome `trace_event` JSON (load at
+    /// <https://ui.perfetto.dev>). Host-only observability — figure
+    /// output is byte-identical with or without it.
+    pub trace: Option<PathBuf>,
 }
 
-/// Parses `--jobs N`, `--filter RE`, `--out-dir DIR`.
+/// Parses `--jobs N`, `--filter RE`, `--out-dir DIR`, `--trace PATH`.
 ///
 /// # Errors
 ///
@@ -286,9 +298,13 @@ pub fn parse_cli(args: impl Iterator<Item = String>) -> Result<CliOptions, Strin
                 let v = args.next().ok_or("--out-dir needs a path")?;
                 opts.out_dir = Some(PathBuf::from(v));
             }
+            "--trace" => {
+                let v = args.next().ok_or("--trace needs a path")?;
+                opts.trace = Some(PathBuf::from(v));
+            }
             other => {
                 return Err(format!(
-                    "unknown argument `{other}` (expected --jobs N, --filter RE, --out-dir DIR)"
+                    "unknown argument `{other}` (expected --jobs N, --filter RE, --out-dir DIR, --trace PATH)"
                 ))
             }
         }
@@ -318,6 +334,7 @@ pub fn run_main(name: &str) {
     }
     let def = find(name).unwrap_or_else(|| panic!("unknown figure `{name}`"));
     let mut ctx = FigureContext::new(SweepParams::from_env(), cli.jobs);
+    let trace = attach_trace(&mut ctx, &cli);
     let outputs = def.run(&mut ctx);
     for out in &outputs {
         out.print();
@@ -327,6 +344,38 @@ pub fn run_main(name: &str) {
         eprintln!("failed to emit {name} to {}: {e}", dir.display());
         std::process::exit(1);
     }
+    write_trace(&cli, trace.as_deref());
+}
+
+/// Creates the trace buffer `--trace` asked for (if any) and shares it
+/// with the context's scheduler options, so every sweep the figures
+/// run records its wall-time spans.
+pub fn attach_trace(
+    ctx: &mut FigureContext,
+    cli: &CliOptions,
+) -> Option<Arc<triangel_obs::TraceBuffer>> {
+    let trace = cli
+        .trace
+        .as_ref()
+        .map(|_| Arc::new(triangel_obs::TraceBuffer::new()));
+    if let Some(t) = &trace {
+        ctx.opts.trace = Some(Arc::clone(t));
+    }
+    trace
+}
+
+/// Writes the recorded trace to the `--trace` path as Chrome
+/// `trace_event` JSON. Exits the process on I/O failure (binary-level
+/// helper, like `emit_selected`'s callers).
+pub fn write_trace(cli: &CliOptions, trace: Option<&triangel_obs::TraceBuffer>) {
+    let (Some(path), Some(trace)) = (&cli.trace, trace) else {
+        return;
+    };
+    if let Err(e) = std::fs::write(path, trace.to_json()) {
+        eprintln!("failed to write trace to {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    eprintln!("[trace] {} event(s) -> {}", trace.len(), path.display());
 }
 
 /// Writes artefacts under `dir`. `FigureOutput::Json` artefacts are
@@ -391,6 +440,7 @@ mod tests {
             "duel_bias",
             "features",
             "perf",
+            "timeline",
         ] {
             assert!(names.contains(&expected), "registry missing {expected}");
         }

@@ -151,6 +151,17 @@ impl CacheStats {
     }
 }
 
+impl triangel_obs::Probe for CacheStats {
+    fn probe(&self, out: &mut triangel_obs::ProbeSet) {
+        out.record("demand_hits", self.demand_hits);
+        out.record("demand_misses", self.demand_misses);
+        out.record("prefetch_hits", self.prefetch_hits);
+        out.record("prefetch_lookups", self.prefetch_lookups);
+        out.record("fills", self.fills);
+        out.record("evictions", self.evictions);
+    }
+}
+
 /// A set-associative cache with pluggable replacement, prefetch tag bits
 /// and way masking (for the L3 Markov partition).
 ///

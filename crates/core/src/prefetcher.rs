@@ -149,6 +149,12 @@ impl Triangel {
         &self.training
     }
 
+    /// The Set Dueller's per-partitioning sample counters (index =
+    /// candidate way count; see [`SetDueller::counters`]).
+    pub fn dueller_counters(&self) -> &[u64; 9] {
+        self.dueller.counters()
+    }
+
     /// The `MaxSize` threshold used by ReuseConf and the samplers.
     pub fn max_size(&self) -> u64 {
         self.max_size
@@ -547,17 +553,38 @@ impl Prefetcher for Triangel {
         }
     }
 
-    fn debug_string(&self) -> String {
-        format!(
-            "gates={:?} ways={} occ={} dbg={:?} evict=({} used, {} wasted) etrain={:?}",
-            self.training.gate_summary(),
-            self.markov.ways(),
-            self.markov.occupancy(),
-            self.debug,
-            self.evict_seen.0,
-            self.evict_seen.1,
-            self.evict_train,
-        )
+    fn probe(&self, out: &mut triangel_obs::ProbeSet) {
+        let (valid, base_open, high_open, lookahead2) = self.training.gate_summary();
+        out.scoped("gates", |out| {
+            out.record("valid", valid as u64);
+            out.record("base_open", base_open as u64);
+            out.record("high_open", high_open as u64);
+            out.record("lookahead2", lookahead2 as u64);
+        });
+        out.record("desired_ways", self.desired_ways as u64);
+        out.record("issued", self.issued);
+        out.record("suppressed", self.suppressed);
+        out.record("reuse_inc", self.debug[0]);
+        out.record("reuse_dec", self.debug[1]);
+        out.record("stale_victims", self.debug[2]);
+        out.record("fresh_unused_victims", self.debug[3]);
+        out.record("sampler_hits", self.debug[4]);
+        out.record("mismatches", self.debug[5]);
+        out.record("evict_deaths_used", self.evict_seen.0);
+        out.record("evict_deaths_wasted", self.evict_seen.1);
+        out.scoped("etrain", |out| {
+            out.record("markov_updates", self.evict_train[0]);
+            out.record("pattern_deltas", self.evict_train[1]);
+            out.record("premature_skips", self.evict_train[2]);
+        });
+        out.scoped("duel", |out| {
+            for (ways, &count) in self.dueller.counters().iter().enumerate() {
+                out.record(&format!("ways{ways}"), count);
+            }
+        });
+        out.scoped("markov", |out| {
+            triangel_obs::Probe::probe(&self.markov, out);
+        });
     }
 }
 

@@ -36,6 +36,7 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use triangel_obs::TraceArg;
 use triangel_sim::RunReport;
 use triangel_types::snap::{snap_check, SnapError, SnapReader, SnapWriter, Snapshot};
 
@@ -45,10 +46,16 @@ use crate::sweep::{JobError, Progress, ResultCache};
 
 /// Magic framing for persisted [`RunReport`]s.
 const REPORT_MAGIC: [u8; 8] = *b"TRGLRPT\0";
-/// Version of the persisted-report framing.
-const REPORT_VERSION: u32 = 1;
-/// Header line opening `manifest.tsv`.
-const MANIFEST_HEADER: &str = "# triangel campaign manifest v1";
+/// Version of the persisted-report framing. v2 appends the optional
+/// interval time-series, so sampled campaign jobs resume with their
+/// recorded series intact.
+const REPORT_VERSION: u32 = 2;
+/// Header line opening `manifest.tsv`. v2 inserts a `wall_ms` column
+/// (cumulative host wall-time spent executing the job, across every
+/// invocation that touched it) before the key; v1 rows are still
+/// accepted on load with `wall_ms = 0`. Wall-time is observational —
+/// it never enters content keys or resume decisions.
+const MANIFEST_HEADER: &str = "# triangel campaign manifest v2";
 
 /// How a campaign executes.
 #[derive(Debug, Clone)]
@@ -71,6 +78,11 @@ pub struct CampaignOptions {
     /// Checked between segments; the campaign checkpoints and stops
     /// issuing work once the deadline passes.
     pub wall_budget: Option<Duration>,
+    /// Host-side trace buffer recording per-job and per-segment
+    /// wall-time spans (see [`triangel_obs::TraceBuffer`]). Purely
+    /// observational: tracing never changes what is simulated or
+    /// persisted.
+    pub trace: Option<Arc<triangel_obs::TraceBuffer>>,
 }
 
 impl CampaignOptions {
@@ -84,6 +96,7 @@ impl CampaignOptions {
             progress: Progress::Silent,
             max_segments: None,
             wall_budget: None,
+            trace: None,
         }
     }
 
@@ -124,6 +137,14 @@ impl CampaignOptions {
     #[must_use]
     pub fn wall_budget(mut self, budget: Duration) -> Self {
         self.wall_budget = Some(budget);
+        self
+    }
+
+    /// Records host-side spans (job lifetimes, segment wall-times)
+    /// into `trace`.
+    #[must_use]
+    pub fn with_trace(mut self, trace: Arc<triangel_obs::TraceBuffer>) -> Self {
+        self.trace = Some(trace);
         self
     }
 }
@@ -212,6 +233,9 @@ struct ManifestEntry {
     segments: u64,
     executed: u64,
     total: u64,
+    /// Cumulative host wall-time spent simulating this job, summed
+    /// across every invocation that advanced it. Observational only.
+    wall_ms: u64,
     key: String,
 }
 
@@ -231,15 +255,25 @@ impl Manifest {
             Err(e) => return Err(e),
         };
         for line in text.lines().filter(|l| !l.starts_with('#')) {
-            let mut f = line.splitn(6, '\t');
-            let (Some(stem), Some(status), Some(segments), Some(executed), Some(total), Some(key)) =
-                (f.next(), f.next(), f.next(), f.next(), f.next(), f.next())
-            else {
-                continue; // tolerate a torn final line from a hard kill
+            let fields: Vec<&str> = line.splitn(7, '\t').collect();
+            // v1 rows carry six columns; v2 inserts `wall_ms` before
+            // the key. Distinguish by field count so a v2 binary
+            // resumes a v1 campaign directory in place.
+            let (stem, status, segments, executed, total, wall_ms, key) = match fields.as_slice() {
+                [stem, status, segments, executed, total, key] => {
+                    (*stem, *status, *segments, *executed, *total, "0", *key)
+                }
+                [stem, status, segments, executed, total, wall_ms, key] => {
+                    (*stem, *status, *segments, *executed, *total, *wall_ms, *key)
+                }
+                _ => continue, // tolerate a torn final line from a hard kill
             };
-            let (Ok(segments), Ok(executed), Ok(total)) =
-                (segments.parse(), executed.parse(), total.parse())
-            else {
+            let (Ok(segments), Ok(executed), Ok(total), Ok(wall_ms)) = (
+                segments.parse(),
+                executed.parse(),
+                total.parse(),
+                wall_ms.parse(),
+            ) else {
                 continue;
             };
             m.entries.insert(
@@ -250,6 +284,7 @@ impl Manifest {
                     segments,
                     executed,
                     total,
+                    wall_ms,
                     key: key.to_string(),
                 },
             );
@@ -264,12 +299,13 @@ impl Manifest {
         out.push('\n');
         for e in rows {
             out.push_str(&format!(
-                "{}\t{}\t{}\t{}\t{}\t{}\n",
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
                 e.stem,
                 if e.done { "done" } else { "partial" },
                 e.segments,
                 e.executed,
                 e.total,
+                e.wall_ms,
                 e.key,
             ));
         }
@@ -318,6 +354,13 @@ pub fn report_to_bytes(report: &RunReport) -> Vec<u8> {
     let _ = report.l3.save(&mut w);
     let _ = report.dram.save(&mut w);
     w.usize(report.markov_ways);
+    match &report.intervals {
+        Some(series) => {
+            w.bool(true);
+            let _ = series.save(&mut w);
+        }
+        None => w.bool(false),
+    }
     w.into_bytes()
 }
 
@@ -361,10 +404,27 @@ pub fn report_from_bytes(bytes: &[u8]) -> Result<RunReport, SnapError> {
         l3: Default::default(),
         dram: Default::default(),
         markov_ways: 0,
+        intervals: None,
     };
     report.l3.restore(&mut r)?;
     report.dram.restore(&mut r)?;
     report.markov_ways = r.usize()?;
+    if r.bool()? {
+        // Mirror `IntervalSeries::save` by hand: its `restore` checks
+        // the period against an already-configured session, but a
+        // persisted report must accept whatever period it recorded.
+        let every = r.u64()?;
+        snap_check(every > 0, "sampled report with zero period")?;
+        let n = r.usize()?;
+        snap_check(n <= 1 << 24, "implausible sample count")?;
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut s = triangel_obs::IntervalSample::default();
+            s.restore(&mut r)?;
+            samples.push(s);
+        }
+        report.intervals = Some(triangel_obs::IntervalSeries { every, samples });
+    }
     r.finish()?;
     Ok(report)
 }
@@ -543,12 +603,32 @@ impl Campaign {
         let snap_path = opts.out_dir.join(format!("{stem}.snap"));
         let report_path = opts.out_dir.join(format!("{stem}.report.bin"));
         let progress = opts.progress == Progress::Stderr;
+        let trace = opts.trace.as_deref();
+        let job_start = trace.map(|t| t.now_us());
+        // Closes this job's wall-time span in the host trace; tagged
+        // with how the job left this invocation.
+        let job_span = |outcome: &str| {
+            if let (Some(t), Some(start)) = (trace, job_start) {
+                t.complete(
+                    &format!("job {}", job.workload.label()),
+                    "campaign",
+                    start,
+                    vec![
+                        ("key".to_string(), TraceArg::Str(key.to_string())),
+                        ("outcome".to_string(), TraceArg::Str(outcome.to_string())),
+                    ],
+                );
+            }
+        };
 
         // Finished in an earlier invocation: load the persisted report.
         let prior = {
             let m = store.manifest.lock().unwrap();
             m.entries.get(key).cloned()
         };
+        // Wall-time already spent on this job by earlier invocations;
+        // this invocation's segments accumulate on top.
+        let mut wall_ms = prior.as_ref().map_or(0, |e| e.wall_ms);
         if let Some(entry) = &prior {
             if entry.done {
                 match std::fs::read(&report_path)
@@ -560,6 +640,7 @@ impl Campaign {
                         if progress {
                             eprintln!("[campaign] loaded  {key}");
                         }
+                        job_span("loaded");
                         return JobOutcome::Done(Arc::new(report));
                     }
                     Err(e) => {
@@ -573,10 +654,11 @@ impl Campaign {
         let mut session = match job.session() {
             Ok(s) => s,
             Err(e) => {
+                job_span("failed");
                 return JobOutcome::Failed(JobError {
                     key: key.to_string(),
                     message: e.to_string(),
-                })
+                });
             }
         };
         let total = session.total_accesses();
@@ -603,10 +685,11 @@ impl Campaign {
                     session = match job.session() {
                         Ok(s) => s,
                         Err(e) => {
+                            job_span("failed");
                             return JobOutcome::Failed(JobError {
                                 key: key.to_string(),
                                 message: e.to_string(),
-                            })
+                            });
                         }
                     };
                 }
@@ -620,13 +703,14 @@ impl Campaign {
         // before the first one means nothing changed on disk, so no
         // snapshot or manifest write is owed.
         let mut ran_this_invocation = false;
-        let checkpoint = |done: bool, segments: u64, executed: u64| {
+        let checkpoint = |done: bool, segments: u64, executed: u64, wall_ms: u64| {
             store.update(ManifestEntry {
                 stem: stem.clone(),
                 done,
                 segments,
                 executed,
                 total,
+                wall_ms,
                 key: key.to_string(),
             });
         };
@@ -646,7 +730,7 @@ impl Campaign {
                             Err(e) => eprintln!("[campaign] checkpoint failed for {key}: {e}"),
                         }
                     }
-                    checkpoint(false, segments_done, session.executed_accesses());
+                    checkpoint(false, segments_done, session.executed_accesses(), wall_ms);
                 }
                 if progress {
                     eprintln!(
@@ -654,13 +738,32 @@ impl Campaign {
                         session.executed_accesses()
                     );
                 }
+                job_span("interrupted");
                 return JobOutcome::Interrupted {
                     executed: session.executed_accesses(),
                     total,
                 };
             }
 
+            let seg_wall = Instant::now();
+            let seg_span = trace.map(|t| t.now_us());
             let ran = session.run_segment(opts.segment_accesses);
+            wall_ms += u64::try_from(seg_wall.elapsed().as_millis()).unwrap_or(u64::MAX);
+            if let (Some(t), Some(start)) = (trace, seg_span) {
+                t.complete(
+                    "segment",
+                    "campaign",
+                    start,
+                    vec![
+                        ("key".to_string(), TraceArg::Str(key.to_string())),
+                        (
+                            "end_access".to_string(),
+                            TraceArg::U64(session.executed_accesses()),
+                        ),
+                        ("ran".to_string(), TraceArg::U64(ran)),
+                    ],
+                );
+            }
             segments_done += 1;
             ran_this_invocation = true;
             segments_run.fetch_add(1, Ordering::Relaxed);
@@ -679,7 +782,7 @@ impl Campaign {
                         if let Err(e) = write_atomic(&snap_path, &bytes) {
                             eprintln!("[campaign] checkpoint write failed for {key}: {e}");
                         } else {
-                            checkpoint(false, segments_done, session.executed_accesses());
+                            checkpoint(false, segments_done, session.executed_accesses(), wall_ms);
                         }
                     }
                     Err(SnapError::Unsupported(why)) => {
@@ -696,11 +799,12 @@ impl Campaign {
         if let Err(e) = write_atomic(&report_path, &report_to_bytes(&report)) {
             eprintln!("[campaign] report write failed for {key}: {e}");
         }
-        checkpoint(true, segments_done, total);
+        checkpoint(true, segments_done, total, wall_ms);
         let _ = std::fs::remove_file(&snap_path);
         if progress {
             eprintln!("[campaign] done    {key}");
         }
+        job_span("done");
         JobOutcome::Done(report)
     }
 }
@@ -738,6 +842,7 @@ mod tests {
                 segments: 3,
                 executed: 750,
                 total: 1000,
+                wall_ms: 412,
                 key: "k1".into(),
             },
         );
@@ -749,13 +854,16 @@ mod tests {
                 segments: 4,
                 executed: 1000,
                 total: 1000,
+                wall_ms: 0,
                 key: "k2".into(),
             },
         );
+        let rendered = m.render();
+        assert!(rendered.starts_with(MANIFEST_HEADER));
         let dir = std::env::temp_dir().join(format!("triangel-manifest-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("manifest.tsv");
-        write_atomic(&path, m.render().as_bytes()).unwrap();
+        write_atomic(&path, rendered.as_bytes()).unwrap();
         let loaded = Manifest::load(&path).unwrap();
         assert_eq!(loaded.entries.get("k1"), m.entries.get("k1"));
         assert_eq!(loaded.entries.get("k2"), m.entries.get("k2"));
@@ -763,8 +871,62 @@ mod tests {
     }
 
     #[test]
+    fn v1_manifest_rows_load_with_zero_wall_time() {
+        // A manifest written by a pre-wall-time binary resumes in
+        // place: six-column rows parse with `wall_ms = 0`.
+        let dir = std::env::temp_dir().join(format!("triangel-manifest-v1-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("manifest.tsv");
+        let v1 = "# triangel campaign manifest v1\n\
+                  abc\tpartial\t3\t750\t1000\tk1\n\
+                  def\tdone\t4\t1000\t1000\tk2\n";
+        write_atomic(&path, v1.as_bytes()).unwrap();
+        let loaded = Manifest::load(&path).unwrap();
+        assert_eq!(loaded.entries.len(), 2);
+        let k1 = loaded.entries.get("k1").unwrap();
+        assert_eq!((k1.segments, k1.executed, k1.wall_ms), (3, 750, 0));
+        assert!(loaded.entries.get("k2").unwrap().done);
+        // Rendering upgrades the directory to the v2 schema.
+        assert!(loaded.render().starts_with(MANIFEST_HEADER));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn missing_manifest_is_empty() {
         let m = Manifest::load(Path::new("/nonexistent/manifest.tsv")).unwrap();
         assert!(m.entries.is_empty());
+    }
+
+    #[test]
+    fn sampled_report_framing_round_trips() {
+        use crate::{JobSpec, RunParams, WorkloadSpec};
+        use triangel_sim::PrefetcherChoice;
+        use triangel_workloads::spec::SpecWorkload;
+
+        let job = JobSpec::new(
+            WorkloadSpec::Spec(SpecWorkload::Mcf),
+            PrefetcherChoice::Triangel,
+            RunParams {
+                warmup: 400,
+                accesses: 600,
+                sizing_window: 300,
+                seed: 7,
+            },
+        )
+        .sample_every(200);
+        let report = job.run().unwrap();
+        let series = report.intervals.as_ref().expect("sampling was on");
+        assert_eq!(series.len(), 3);
+
+        let bytes = report_to_bytes(&report);
+        let back = report_from_bytes(&bytes).unwrap();
+        assert_eq!(format!("{report:?}"), format!("{back:?}"));
+        assert_eq!(back.intervals, report.intervals);
+
+        // And an unsampled report still frames as intervals-absent.
+        let plain = job.clone().sample_every(0).run().unwrap();
+        assert!(plain.intervals.is_none());
+        let back = report_from_bytes(&report_to_bytes(&plain)).unwrap();
+        assert!(back.intervals.is_none());
     }
 }

@@ -304,6 +304,168 @@ pub fn features_to_json(r: &FeaturesReport) -> String {
     )
 }
 
+/// One per-interval point of a timeline series, already differenced
+/// (see [`triangel_obs::IntervalSeries::windows`]) and normalized
+/// against the stride-only baseline where a baseline exists.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelinePoint {
+    /// Measured accesses completed at the end of this interval.
+    pub end_access: u64,
+    /// IPC within the interval.
+    pub ipc: f64,
+    /// L2 demand miss rate within the interval.
+    pub l2_miss_rate: f64,
+    /// Temporal prefetches issued within the interval.
+    pub issued: u64,
+    /// Temporal prefetches used within the interval.
+    pub useful: u64,
+    /// Temporal prefetches evicted dead within the interval.
+    pub wasted: u64,
+    /// Cumulative prefetch accuracy up to the end of the interval.
+    pub accuracy_so_far: f64,
+    /// Cumulative fraction of the baseline's L2 demand misses
+    /// eliminated so far (0 for the baseline's own series).
+    pub coverage_so_far: f64,
+    /// Markov-table occupancy (entries) at the end of the interval.
+    pub markov_occupancy: u64,
+    /// L3 ways granted to the Markov partition at the end of the
+    /// interval.
+    pub markov_ways: u64,
+    /// Ways the prefetcher wanted at the end of the interval.
+    pub desired_ways: u64,
+}
+
+/// One configuration's timeline over a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineSeries {
+    /// Configuration label (e.g. `"Triangel+EvictTrain"`).
+    pub config: String,
+    /// Per-interval points, in simulation-time order.
+    pub points: Vec<TimelinePoint>,
+}
+
+impl TimelineSeries {
+    /// Builds a timeline series from a recorded interval series,
+    /// differencing adjacent samples and computing cumulative coverage
+    /// against `baseline` (the stride-only run's series over the same
+    /// workload at the same period). With no baseline, coverage is 0.
+    pub fn from_intervals(
+        config: impl Into<String>,
+        series: &triangel_obs::IntervalSeries,
+        baseline: Option<&triangel_obs::IntervalSeries>,
+    ) -> Self {
+        let points = series
+            .windows()
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let coverage_so_far = baseline.and_then(|b| b.samples.get(i)).map_or(0.0, |base| {
+                    let own = series.samples[i].l2_demand_misses;
+                    let base = base.l2_demand_misses;
+                    if base == 0 {
+                        0.0
+                    } else {
+                        (base as f64 - own as f64) / base as f64
+                    }
+                });
+                TimelinePoint {
+                    end_access: w.end_access,
+                    ipc: w.ipc,
+                    l2_miss_rate: w.l2_miss_rate,
+                    issued: w.issued,
+                    useful: w.useful,
+                    wasted: w.wasted,
+                    accuracy_so_far: w.accuracy_so_far,
+                    coverage_so_far,
+                    markov_occupancy: w.markov_occupancy,
+                    markov_ways: w.markov_ways,
+                    desired_ways: w.desired_ways,
+                }
+            })
+            .collect();
+        TimelineSeries {
+            config: config.into(),
+            points,
+        }
+    }
+}
+
+/// One workload row of the timeline figure: the same workload under
+/// several configurations, sampled at the same period.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineRow {
+    /// Workload label.
+    pub workload: String,
+    /// One series per configuration.
+    pub series: Vec<TimelineSeries>,
+}
+
+/// The timeline artefact (`BENCH_timeline.json`): per-interval
+/// time-series over the run, diagnosing *when* in a run a
+/// configuration's behaviour diverges (the EvictTrain coverage
+/// collapse). Carries no wall-clock numbers, so its bytes are fully
+/// deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineReport {
+    /// Human description of the fixed sweep.
+    pub sweep: String,
+    /// Sampling period in measured accesses.
+    pub every: u64,
+    /// Per-workload timelines.
+    pub rows: Vec<TimelineRow>,
+}
+
+fn timeline_point_json(p: &TimelinePoint) -> String {
+    format!(
+        "{{\"end_access\":{},\"ipc\":{},\"l2_miss_rate\":{},\"issued\":{},\"useful\":{},\"wasted\":{},\"accuracy_so_far\":{},\"coverage_so_far\":{},\"markov_occupancy\":{},\"markov_ways\":{},\"desired_ways\":{}}}",
+        p.end_access,
+        json_f64(p.ipc),
+        json_f64(p.l2_miss_rate),
+        p.issued,
+        p.useful,
+        p.wasted,
+        json_f64(p.accuracy_so_far),
+        json_f64(p.coverage_so_far),
+        p.markov_occupancy,
+        p.markov_ways,
+        p.desired_ways,
+    )
+}
+
+/// Serializes a timeline report as JSON (the `BENCH_timeline.json`
+/// schema). Deterministic: equal reports emit equal bytes.
+pub fn timeline_to_json(r: &TimelineReport) -> String {
+    let rows: Vec<String> = r
+        .rows
+        .iter()
+        .map(|row| {
+            let series: Vec<String> = row
+                .series
+                .iter()
+                .map(|s| {
+                    let points: Vec<String> = s.points.iter().map(timeline_point_json).collect();
+                    format!(
+                        "{{\"config\":{},\"points\":[{}]}}",
+                        json_str(&s.config),
+                        points.join(",")
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"workload\":{},\"series\":[{}]}}",
+                json_str(&row.workload),
+                series.join(",")
+            )
+        })
+        .collect();
+    format!(
+        "{{\"schema\":1,\"figure\":\"timeline\",\"sweep\":{},\"every\":{},\"rows\":[{}]}}",
+        json_str(&r.sweep),
+        r.every,
+        rows.join(","),
+    )
+}
+
 /// The per-run scalars worth publishing in machine-readable reports.
 fn run_summary_json(r: &RunReport) -> String {
     format!(
@@ -427,6 +589,60 @@ mod tests {
         let t = table();
         assert_eq!(table_to_json(&t), table_to_json(&t));
         assert_eq!(table_to_csv(&t), table_to_csv(&t));
+    }
+
+    #[test]
+    fn timeline_report_json_shape() {
+        use triangel_obs::{IntervalSample, IntervalSeries};
+        let sample = |end: u64, instr: u64, cyc: u64, misses: u64, used: u64| IntervalSample {
+            end_access: end,
+            instructions: instr,
+            cycles: cyc,
+            l2_demand_hits: end,
+            l2_demand_misses: misses,
+            prefetches_issued: used * 2,
+            temporal_used: used,
+            temporal_wasted: used / 2,
+            markov_occupancy: 100,
+            markov_ways: 4,
+            desired_ways: 6,
+            ..Default::default()
+        };
+        let baseline = IntervalSeries {
+            every: 100,
+            samples: vec![sample(100, 400, 200, 80, 0), sample(200, 800, 400, 160, 0)],
+        };
+        let triangel = IntervalSeries {
+            every: 100,
+            samples: vec![
+                sample(100, 500, 200, 40, 10),
+                sample(200, 1000, 400, 80, 20),
+            ],
+        };
+        let row = TimelineRow {
+            workload: "MCF".into(),
+            series: vec![
+                TimelineSeries::from_intervals("Baseline", &baseline, None),
+                TimelineSeries::from_intervals("Triangel", &triangel, Some(&baseline)),
+            ],
+        };
+        assert_eq!(row.series[0].points[0].coverage_so_far, 0.0);
+        // 40 of the baseline's 80 cumulative misses eliminated.
+        assert!((row.series[1].points[0].coverage_so_far - 0.5).abs() < 1e-12);
+        assert!((row.series[1].points[1].coverage_so_far - 0.5).abs() < 1e-12);
+        assert!((row.series[1].points[1].ipc - 2.5).abs() < 1e-12);
+        let r = TimelineReport {
+            sweep: "1 workload x 2 configs".into(),
+            every: 100,
+            rows: vec![row],
+        };
+        let j = timeline_to_json(&r);
+        assert!(j.contains("\"schema\":1"));
+        assert!(j.contains("\"figure\":\"timeline\""));
+        assert!(j.contains("\"every\":100"));
+        assert!(j.contains("\"config\":\"Triangel\""));
+        assert!(j.contains("\"coverage_so_far\":0.5"));
+        assert_eq!(timeline_to_json(&r), timeline_to_json(&r));
     }
 
     #[test]

@@ -112,6 +112,16 @@ pub struct JobSpec {
     /// keeps each configuration's own paper features and leaves the
     /// job key unchanged.
     pub features: Option<TriangelFeatures>,
+    /// Interval time-series sampling period in measured accesses
+    /// (0 = off; see [`SimSessionBuilder::sample_every`]).
+    ///
+    /// Deliberately **excluded from the content key**: sampling is
+    /// observational — the simulation it describes is byte-identical
+    /// with or without it — so a sampled job may legitimately resolve
+    /// from an unsampled twin's cached report. Sweeps that *need* the
+    /// series (the `timeline` figure) use a private cache instead of
+    /// the shared one.
+    pub sample_every: u64,
 }
 
 impl JobSpec {
@@ -124,6 +134,7 @@ impl JobSpec {
             params,
             mapper: MapperSpec::Default,
             features: None,
+            sample_every: 0,
         }
     }
 
@@ -139,6 +150,15 @@ impl JobSpec {
     #[must_use]
     pub fn features(mut self, features: TriangelFeatures) -> Self {
         self.features = Some(features);
+        self
+    }
+
+    /// Enables interval time-series sampling every `every` measured
+    /// accesses (see [`JobSpec::sample_every`] for why this never
+    /// enters the content key).
+    #[must_use]
+    pub fn sample_every(mut self, every: u64) -> Self {
+        self.sample_every = every;
         self
     }
 
@@ -229,6 +249,7 @@ impl JobSpec {
             .warmup(p.warmup)
             .accesses(p.accesses)
             .sizing_window(p.sizing_window)
+            .sample_every(self.sample_every)
             .prefetcher(self.prefetcher);
         if let MapperSpec::Realistic(seed) = self.mapper {
             b = b.page_mapper(PageMapper::realistic(seed));
@@ -329,6 +350,21 @@ mod tests {
             params(),
         );
         assert_eq!(triage.key(), triage.clone().features(gate).key());
+    }
+
+    #[test]
+    fn sample_every_never_enters_the_key() {
+        let job = JobSpec::new(
+            WorkloadSpec::Spec(SpecWorkload::Mcf),
+            PrefetcherChoice::Triangel,
+            params(),
+        );
+        let sampled = job.clone().sample_every(1_000);
+        assert_eq!(
+            job.key(),
+            sampled.key(),
+            "sampling is observational; it must not fragment the cache key space"
+        );
     }
 
     #[test]

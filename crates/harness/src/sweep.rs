@@ -5,6 +5,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use triangel_obs::TraceArg;
 use triangel_sim::RunReport;
 
 use crate::job::JobSpec;
@@ -38,6 +39,7 @@ impl std::error::Error for JobError {}
 pub struct ResultCache {
     entries: Mutex<HashMap<String, Arc<RunReport>>>,
     hits: AtomicUsize,
+    lookups: AtomicUsize,
 }
 
 impl ResultCache {
@@ -49,6 +51,7 @@ impl ResultCache {
     /// The report cached under `key`, if any (counts as a hit).
     pub fn get(&self, key: &str) -> Option<Arc<RunReport>> {
         let hit = self.entries.lock().unwrap().get(key).cloned();
+        self.lookups.fetch_add(1, Ordering::Relaxed);
         if hit.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -63,6 +66,16 @@ impl ResultCache {
     /// Total hits since construction.
     pub fn hits(&self) -> usize {
         self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total lookups since construction.
+    pub fn lookups(&self) -> usize {
+        self.lookups.load(Ordering::Relaxed)
+    }
+
+    /// Total misses since construction (`lookups − hits`).
+    pub fn misses(&self) -> usize {
+        self.lookups() - self.hits()
     }
 
     /// Number of cached runs.
@@ -96,6 +109,12 @@ pub struct SweepOptions {
     /// Cache shared with other sweeps (e.g. across the figures of one
     /// `all_figures` run). `None` gives the sweep a private cache.
     pub cache: Option<Arc<ResultCache>>,
+    /// Host-side trace buffer. When set, the sweep records one
+    /// wall-time span per executed job (worker lanes fall out of the
+    /// per-thread `tid`s), a [`ResultCache`] hit/miss counter sample,
+    /// and a whole-sweep span. Host-only: simulation output is
+    /// byte-identical with or without it.
+    pub trace: Option<Arc<triangel_obs::TraceBuffer>>,
 }
 
 impl SweepOptions {
@@ -135,6 +154,13 @@ impl SweepOptions {
     #[must_use]
     pub fn with_cache(mut self, cache: Arc<ResultCache>) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Records host-side wall-time spans into `trace`.
+    #[must_use]
+    pub fn with_trace(mut self, trace: Arc<triangel_obs::TraceBuffer>) -> Self {
+        self.trace = Some(trace);
         self
     }
 }
@@ -249,13 +275,27 @@ impl Sweep {
         let done = AtomicUsize::new(0);
         let total = to_run.len();
         let progress = opts.progress;
+        let trace = opts.trace.as_deref();
+        let sweep_start = trace.map(|t| t.now_us());
         let executed: Vec<Result<Arc<RunReport>, JobError>> =
             pool::run_indexed(total, opts.effective_workers(), |i| {
                 let job = to_run[i];
+                let job_start = trace.map(|t| t.now_us());
                 let outcome = job.run().map(Arc::new).map_err(|e| JobError {
                     key: job.key(),
                     message: e.to_string(),
                 });
+                if let (Some(t), Some(start)) = (trace, job_start) {
+                    t.complete(
+                        &format!("job {}", job.workload.label()),
+                        "job",
+                        start,
+                        vec![
+                            ("key".to_string(), TraceArg::Str(job.key())),
+                            ("ok".to_string(), TraceArg::U64(outcome.is_ok() as u64)),
+                        ],
+                    );
+                }
                 if progress == Progress::Stderr {
                     let n = done.fetch_add(1, Ordering::SeqCst) + 1;
                     let state = if outcome.is_ok() { "done" } else { "FAILED" };
@@ -279,6 +319,28 @@ impl Sweep {
             .collect();
 
         let errors = results.iter().filter(|r| r.is_err()).count();
+        if let (Some(t), Some(start)) = (trace, sweep_start) {
+            t.counter(
+                "ResultCache",
+                vec![
+                    ("hits".to_string(), TraceArg::U64(cache.hits() as u64)),
+                    ("misses".to_string(), TraceArg::U64(cache.misses() as u64)),
+                ],
+            );
+            t.complete(
+                "sweep",
+                "sweep",
+                start,
+                vec![
+                    ("jobs".to_string(), TraceArg::U64(self.jobs.len() as u64)),
+                    ("executed".to_string(), TraceArg::U64(total as u64)),
+                    (
+                        "cache_hits".to_string(),
+                        TraceArg::U64((self.jobs.len() - total) as u64),
+                    ),
+                ],
+            );
+        }
         SweepReport {
             stats: SweepStats {
                 jobs: self.jobs.len(),
@@ -341,5 +403,28 @@ mod tests {
         assert_eq!(second.stats.executed, 0);
         assert_eq!(second.stats.cache_hits, 1);
         assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.lookups(), 2);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn tracing_records_job_spans_without_changing_results() {
+        let trace = Arc::new(triangel_obs::TraceBuffer::new());
+        let traced_opts = SweepOptions::serial().with_trace(Arc::clone(&trace));
+        let sweep = Sweep::new()
+            .job(job(PrefetcherChoice::Baseline))
+            .job(job(PrefetcherChoice::Triangel));
+        let traced = sweep.run(&traced_opts);
+        let plain = sweep.run(&SweepOptions::serial());
+        // Host tracing is observational: identical reports.
+        for (a, b) in traced.results.iter().zip(&plain.results) {
+            assert_eq!(
+                format!("{:?}", a.as_ref().unwrap()),
+                format!("{:?}", b.as_ref().unwrap()),
+            );
+        }
+        // 2 job spans + 1 cache counter + 1 sweep span.
+        assert_eq!(trace.len(), 4);
+        triangel_obs::json::validate(&trace.to_json()).unwrap();
     }
 }

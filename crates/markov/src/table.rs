@@ -87,6 +87,25 @@ impl MarkovTableStats {
     }
 }
 
+impl triangel_obs::Probe for MarkovTableStats {
+    fn probe(&self, out: &mut triangel_obs::ProbeSet) {
+        out.record("reads", self.reads);
+        out.record("writes", self.writes);
+        out.record("entry_evictions", self.entry_evictions);
+        out.record("resizes", self.resizes);
+        out.record("reindex_drops", self.reindex_drops);
+    }
+}
+
+impl triangel_obs::Probe for MarkovTable {
+    fn probe(&self, out: &mut triangel_obs::ProbeSet) {
+        out.record("ways", self.ways() as u64);
+        out.record("capacity_entries", self.capacity_entries() as u64);
+        out.record("occupancy", self.occupancy() as u64);
+        triangel_obs::Probe::probe(&self.stats(), out);
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum StoredTarget {
     Direct(u64),

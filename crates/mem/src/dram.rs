@@ -93,6 +93,15 @@ impl DramStats {
     }
 }
 
+impl triangel_obs::Probe for DramStats {
+    fn probe(&self, out: &mut triangel_obs::ProbeSet) {
+        out.record("demand_reads", self.demand_reads);
+        out.record("prefetch_reads", self.prefetch_reads);
+        out.record("total_queue_delay", self.total_queue_delay);
+        out.record("congested_requests", self.congested_requests);
+    }
+}
+
 /// The DRAM channel.
 ///
 /// # Examples

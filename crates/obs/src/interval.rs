@@ -1,0 +1,330 @@
+//! The deterministic interval time-series recorder.
+//!
+//! End-of-run aggregates name symptoms ("MCF coverage collapses") but
+//! cannot localize them in run-time. An [`IntervalSeries`] carries one
+//! [`IntervalSample`] per N *measured accesses* — a simulation-time
+//! clock, never wall-clock — so the series is a pure function of the
+//! job spec: identical across `--jobs` counts, identical across
+//! snapshot interrupt→resume, and byte-identical whether or not anyone
+//! reads it.
+//!
+//! Samples store *cumulative-since-measurement-start* counters; the
+//! per-interval view ([`IntervalSeries::windows`]) differences
+//! adjacent samples.
+
+use triangel_types::snap::{snap_check, SnapError, SnapReader, SnapWriter, Snapshot};
+
+/// Number of Set-Dueller partitioning counters carried per sample
+/// (candidate Markov ways 0..=8).
+pub const DUELLER_COUNTERS: usize = 9;
+
+/// One sample of cumulative counters, taken at an interval boundary.
+///
+/// All fields count from measurement start (warmup excluded). Sums are
+/// over cores except where noted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntervalSample {
+    /// Measured accesses completed when the sample was taken.
+    pub end_access: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Cycles elapsed (max over cores).
+    pub cycles: u64,
+    /// L2 demand hits.
+    pub l2_demand_hits: u64,
+    /// L2 demand misses.
+    pub l2_demand_misses: u64,
+    /// Temporal prefetches issued.
+    pub prefetches_issued: u64,
+    /// Temporal prefetch fills into the L2.
+    pub temporal_fills: u64,
+    /// Temporal prefetches used by a demand access.
+    pub temporal_used: u64,
+    /// Temporal prefetches evicted dead.
+    pub temporal_wasted: u64,
+    /// Prefetches dropped (MSHR/queue pressure).
+    pub prefetches_dropped: u64,
+    /// Markov table entries currently valid (point-in-time).
+    pub markov_occupancy: u64,
+    /// Markov table entry capacity at the current sizing
+    /// (point-in-time).
+    pub markov_capacity: u64,
+    /// L3 ways currently granted to the Markov partition
+    /// (point-in-time).
+    pub markov_ways: u64,
+    /// Ways the prefetcher currently wants (max over cores,
+    /// point-in-time).
+    pub desired_ways: u64,
+    /// Set-Dueller per-partitioning sample counters (core 0), index =
+    /// candidate way count.
+    pub dueller: [u64; DUELLER_COUNTERS],
+}
+
+impl IntervalSample {
+    /// Cumulative IPC at this sample.
+    pub fn ipc_so_far(&self) -> f64 {
+        self.instructions as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Cumulative L2 demand miss rate at this sample.
+    pub fn l2_miss_rate_so_far(&self) -> f64 {
+        let total = self.l2_demand_hits + self.l2_demand_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l2_demand_misses as f64 / total as f64
+        }
+    }
+
+    /// Cumulative temporal-prefetch accuracy at this sample.
+    pub fn accuracy_so_far(&self) -> f64 {
+        let judged = self.temporal_used + self.temporal_wasted;
+        if judged == 0 {
+            0.0
+        } else {
+            self.temporal_used as f64 / judged as f64
+        }
+    }
+}
+
+impl Snapshot for IntervalSample {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.u64(self.end_access);
+        w.u64(self.instructions);
+        w.u64(self.cycles);
+        w.u64(self.l2_demand_hits);
+        w.u64(self.l2_demand_misses);
+        w.u64(self.prefetches_issued);
+        w.u64(self.temporal_fills);
+        w.u64(self.temporal_used);
+        w.u64(self.temporal_wasted);
+        w.u64(self.prefetches_dropped);
+        w.u64(self.markov_occupancy);
+        w.u64(self.markov_capacity);
+        w.u64(self.markov_ways);
+        w.u64(self.desired_ways);
+        for &d in &self.dueller {
+            w.u64(d);
+        }
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.end_access = r.u64()?;
+        self.instructions = r.u64()?;
+        self.cycles = r.u64()?;
+        self.l2_demand_hits = r.u64()?;
+        self.l2_demand_misses = r.u64()?;
+        self.prefetches_issued = r.u64()?;
+        self.temporal_fills = r.u64()?;
+        self.temporal_used = r.u64()?;
+        self.temporal_wasted = r.u64()?;
+        self.prefetches_dropped = r.u64()?;
+        self.markov_occupancy = r.u64()?;
+        self.markov_capacity = r.u64()?;
+        self.markov_ways = r.u64()?;
+        self.desired_ways = r.u64()?;
+        for d in &mut self.dueller {
+            *d = r.u64()?;
+        }
+        Ok(())
+    }
+}
+
+/// A recorded series: one sample every `every` measured accesses.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntervalSeries {
+    /// Sampling period in measured accesses (0 = sampling disabled;
+    /// such a series is never attached to a report).
+    pub every: u64,
+    /// Samples in simulation-time order.
+    pub samples: Vec<IntervalSample>,
+}
+
+impl IntervalSeries {
+    /// An empty series with the given period.
+    pub fn new(every: u64) -> Self {
+        IntervalSeries {
+            every,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The per-interval (differenced) view of the series.
+    pub fn windows(&self) -> Vec<IntervalWindow> {
+        let mut prev = IntervalSample::default();
+        self.samples
+            .iter()
+            .map(|s| {
+                let w = IntervalWindow {
+                    end_access: s.end_access,
+                    ipc: (s.instructions - prev.instructions) as f64
+                        / (s.cycles.saturating_sub(prev.cycles)).max(1) as f64,
+                    l2_miss_rate: {
+                        let misses = s.l2_demand_misses - prev.l2_demand_misses;
+                        let total = misses + (s.l2_demand_hits - prev.l2_demand_hits);
+                        if total == 0 {
+                            0.0
+                        } else {
+                            misses as f64 / total as f64
+                        }
+                    },
+                    issued: s.prefetches_issued - prev.prefetches_issued,
+                    useful: s.temporal_used - prev.temporal_used,
+                    wasted: s.temporal_wasted - prev.temporal_wasted,
+                    accuracy_so_far: s.accuracy_so_far(),
+                    markov_occupancy: s.markov_occupancy,
+                    markov_ways: s.markov_ways,
+                    desired_ways: s.desired_ways,
+                };
+                prev = *s;
+                w
+            })
+            .collect()
+    }
+}
+
+impl Snapshot for IntervalSeries {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.u64(self.every);
+        w.usize(self.samples.len());
+        for s in &self.samples {
+            s.save(w)?;
+        }
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let every = r.u64()?;
+        snap_check(
+            every == self.every,
+            &format!(
+                "interval series period: snapshot has {every}, session has {}",
+                self.every
+            ),
+        )?;
+        let n = r.usize()?;
+        self.samples.clear();
+        for _ in 0..n {
+            let mut s = IntervalSample::default();
+            s.restore(r)?;
+            self.samples.push(s);
+        }
+        Ok(())
+    }
+}
+
+/// One differenced interval of an [`IntervalSeries`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalWindow {
+    /// Measured accesses completed at the end of this interval.
+    pub end_access: u64,
+    /// IPC within the interval.
+    pub ipc: f64,
+    /// L2 demand miss rate within the interval.
+    pub l2_miss_rate: f64,
+    /// Temporal prefetches issued within the interval.
+    pub issued: u64,
+    /// Temporal prefetches used within the interval.
+    pub useful: u64,
+    /// Temporal prefetches evicted dead within the interval.
+    pub wasted: u64,
+    /// Cumulative accuracy up to the end of the interval.
+    pub accuracy_so_far: f64,
+    /// Markov occupancy at the end of the interval.
+    pub markov_occupancy: u64,
+    /// Markov partition ways at the end of the interval.
+    pub markov_ways: u64,
+    /// Desired Markov ways at the end of the interval.
+    pub desired_ways: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(end: u64, instr: u64, cyc: u64, hits: u64, misses: u64) -> IntervalSample {
+        IntervalSample {
+            end_access: end,
+            instructions: instr,
+            cycles: cyc,
+            l2_demand_hits: hits,
+            l2_demand_misses: misses,
+            prefetches_issued: end / 2,
+            temporal_used: end / 4,
+            temporal_wasted: end / 8,
+            dueller: [end; DUELLER_COUNTERS],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn windows_difference_adjacent_samples() {
+        let series = IntervalSeries {
+            every: 100,
+            samples: vec![
+                sample(100, 1000, 500, 80, 20),
+                sample(200, 1800, 900, 150, 50),
+            ],
+        };
+        let w = series.windows();
+        assert_eq!(w.len(), 2);
+        assert!((w[0].ipc - 2.0).abs() < 1e-12);
+        assert!((w[1].ipc - 2.0).abs() < 1e-12);
+        assert!((w[0].l2_miss_rate - 0.2).abs() < 1e-12);
+        assert!((w[1].l2_miss_rate - 0.3).abs() < 1e-12);
+        assert_eq!(w[1].issued, 50);
+        assert_eq!(w[1].useful, 25);
+    }
+
+    #[test]
+    fn cumulative_rates() {
+        let s = sample(100, 1000, 500, 80, 20);
+        assert!((s.ipc_so_far() - 2.0).abs() < 1e-12);
+        assert!((s.l2_miss_rate_so_far() - 0.2).abs() < 1e-12);
+        let judged = (s.temporal_used + s.temporal_wasted) as f64;
+        assert!((s.accuracy_so_far() - s.temporal_used as f64 / judged).abs() < 1e-12);
+        assert_eq!(IntervalSample::default().accuracy_so_far(), 0.0);
+    }
+
+    #[test]
+    fn series_snapshot_round_trips() {
+        let series = IntervalSeries {
+            every: 250,
+            samples: vec![
+                sample(250, 9, 8, 7, 6),
+                sample(500, 19, 18, 17, 16),
+                sample(750, 29, 28, 27, 26),
+            ],
+        };
+        let mut w = SnapWriter::new();
+        series.save(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut restored = IntervalSeries::new(250);
+        let mut r = SnapReader::new(&bytes);
+        restored.restore(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored, series);
+    }
+
+    #[test]
+    fn snapshot_period_mismatch_is_corrupt() {
+        let series = IntervalSeries::new(250);
+        let mut w = SnapWriter::new();
+        series.save(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut other = IntervalSeries::new(300);
+        let mut r = SnapReader::new(&bytes);
+        assert!(matches!(other.restore(&mut r), Err(SnapError::Corrupt(_))));
+    }
+}

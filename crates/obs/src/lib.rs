@@ -1,0 +1,29 @@
+//! Deterministic observability for the Triangel reproduction.
+//!
+//! Three concerns, strictly separated by where time comes from:
+//!
+//! * [`interval`] — a **simulation-time** series recorder:
+//!   [`IntervalSeries`] samples cumulative counters every N measured
+//!   accesses. Pure function of the job spec; snapshot-aware, so
+//!   interrupt→resume reproduces the series byte for byte.
+//! * [`probe`] — a **timeless** registry: components implement
+//!   [`Probe`] to export named counters into a [`ProbeSet`], replacing
+//!   the ad-hoc `debug_string`. Emitted as hand-rolled JSONL.
+//! * [`trace`] — **wall-clock**, host-side only: the harness records
+//!   spans/counters into a [`TraceBuffer`] emitted as Chrome
+//!   `trace_event` JSON for Perfetto. Never touches sim state.
+//!
+//! The invariant the whole crate is built around: enabling any of this
+//! must leave simulation output byte-identical to disabled.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod interval;
+pub mod json;
+pub mod probe;
+pub mod trace;
+
+pub use interval::{IntervalSample, IntervalSeries, IntervalWindow, DUELLER_COUNTERS};
+pub use probe::{Probe, ProbeSet};
+pub use trace::{TraceArg, TraceBuffer};

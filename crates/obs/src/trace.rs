@@ -1,0 +1,294 @@
+//! Host-side tracing for the harness, in Chrome `trace_event` format.
+//!
+//! **Wall-clock lives here and only here.** The simulator is
+//! deterministic; the harness around it (job scheduling, segment
+//! checkpointing, result caching) is where wall-time goes, and that is
+//! what a [`TraceBuffer`] records: complete spans (`ph:"X"`), counter
+//! samples (`ph:"C"`), and instant markers (`ph:"i"`), each stamped
+//! with microseconds since the buffer's creation and the recording OS
+//! thread. [`TraceBuffer::to_json`] emits a `{"traceEvents":[...]}`
+//! document loadable in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`; worker-thread lanes fall out of the per-thread
+//! `tid` assignment, so pool utilization is visible directly.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::thread::ThreadId;
+use std::time::Instant;
+
+use crate::json;
+
+/// A typed event argument.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceArg {
+    /// An integer counter or id.
+    U64(u64),
+    /// A rate or ratio.
+    F64(f64),
+    /// A label.
+    Str(String),
+}
+
+impl TraceArg {
+    fn to_json(&self) -> String {
+        match self {
+            TraceArg::U64(v) => v.to_string(),
+            TraceArg::F64(v) => json::fmt_f64(*v),
+            TraceArg::Str(s) => json::escape(s),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Event {
+    name: String,
+    cat: String,
+    ph: char,
+    ts_us: u64,
+    dur_us: Option<u64>,
+    tid: u32,
+    args: Vec<(String, TraceArg)>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    events: Vec<Event>,
+    /// OS thread → dense tid, in first-seen order.
+    tids: HashMap<ThreadId, u32>,
+}
+
+/// An append-only buffer of host-side trace events.
+///
+/// Thread-safe: harness workers record concurrently. Typically shared
+/// as an `Arc<TraceBuffer>` through `SweepOptions`/`CampaignOptions`.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    epoch: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl Default for TraceBuffer {
+    fn default() -> Self {
+        TraceBuffer::new()
+    }
+}
+
+impl TraceBuffer {
+    /// An empty buffer whose timebase starts now.
+    pub fn new() -> Self {
+        TraceBuffer {
+            epoch: Instant::now(),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Microseconds elapsed since the buffer was created — use as the
+    /// `start_us` of a later [`TraceBuffer::complete`] span.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn push(&self, ev: impl FnOnce(u64, u32) -> Event) {
+        let ts = self.now_us();
+        let mut inner = self.inner.lock().unwrap();
+        let next = inner.tids.len() as u32;
+        let tid = *inner
+            .tids
+            .entry(std::thread::current().id())
+            .or_insert(next);
+        let ev = ev(ts, tid);
+        inner.events.push(ev);
+    }
+
+    /// Records a complete span (`ph:"X"`) from `start_us` (a prior
+    /// [`TraceBuffer::now_us`]) to now, on the calling thread's lane.
+    pub fn complete(&self, name: &str, cat: &str, start_us: u64, args: Vec<(String, TraceArg)>) {
+        self.push(|now, tid| Event {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ph: 'X',
+            ts_us: start_us,
+            dur_us: Some(now.saturating_sub(start_us)),
+            tid,
+            args,
+        });
+    }
+
+    /// Records a counter sample (`ph:"C"`); each arg becomes one
+    /// series on the counter track.
+    pub fn counter(&self, name: &str, series: Vec<(String, TraceArg)>) {
+        self.push(|now, tid| Event {
+            name: name.to_string(),
+            cat: "counter".to_string(),
+            ph: 'C',
+            ts_us: now,
+            dur_us: None,
+            tid,
+            args: series,
+        });
+    }
+
+    /// Records an instant marker (`ph:"i"`).
+    pub fn instant(&self, name: &str, cat: &str, args: Vec<(String, TraceArg)>) {
+        self.push(|now, tid| Event {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ph: 'i',
+            ts_us: now,
+            dur_us: None,
+            tid,
+            args,
+        });
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().events.len()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serializes the buffer as a Chrome `trace_event` JSON document:
+    /// `{"traceEvents":[...]}` with `thread_name` metadata for each
+    /// recording thread.
+    pub fn to_json(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut parts: Vec<String> = Vec::with_capacity(inner.events.len() + inner.tids.len());
+        let mut tids: Vec<u32> = inner.tids.values().copied().collect();
+        tids.sort_unstable();
+        for tid in tids {
+            let label = if tid == 0 {
+                "harness-main".to_string()
+            } else {
+                format!("worker-{tid}")
+            };
+            parts.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"name\":{}}}}}",
+                json::escape(&label)
+            ));
+        }
+        for ev in &inner.events {
+            let mut fields = vec![
+                format!("\"name\":{}", json::escape(&ev.name)),
+                format!("\"cat\":{}", json::escape(&ev.cat)),
+                format!("\"ph\":\"{}\"", ev.ph),
+                format!("\"ts\":{}", ev.ts_us),
+                "\"pid\":1".to_string(),
+                format!("\"tid\":{}", ev.tid),
+            ];
+            if let Some(dur) = ev.dur_us {
+                fields.push(format!("\"dur\":{dur}"));
+            }
+            if ev.ph == 'i' {
+                fields.push("\"s\":\"t\"".to_string());
+            }
+            if !ev.args.is_empty() {
+                let args = ev
+                    .args
+                    .iter()
+                    .map(|(k, v)| format!("{}:{}", json::escape(k), v.to_json()))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                fields.push(format!("\"args\":{{{args}}}"));
+            }
+            parts.push(format!("{{{}}}", fields.join(",")));
+        }
+        format!("{{\"traceEvents\":[{}]}}", parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Value};
+
+    #[test]
+    fn emits_valid_trace_event_json() {
+        let buf = TraceBuffer::new();
+        let t0 = buf.now_us();
+        buf.complete(
+            "job xalan",
+            "job",
+            t0,
+            vec![
+                ("key".to_string(), TraceArg::Str("xalan|pf=Triangel".into())),
+                ("accesses".to_string(), TraceArg::U64(25_000)),
+            ],
+        );
+        buf.counter(
+            "ResultCache",
+            vec![
+                ("hits".to_string(), TraceArg::U64(3)),
+                ("misses".to_string(), TraceArg::U64(9)),
+            ],
+        );
+        buf.instant("checkpoint", "segment", vec![]);
+        assert_eq!(buf.len(), 3);
+
+        let doc = buf.to_json();
+        let v = parse(&doc).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // 1 thread_name metadata + 3 recorded events.
+        assert_eq!(events.len(), 4);
+        for ev in events {
+            assert!(ev.get("name").is_some());
+            assert!(ev.get("ph").is_some());
+            assert!(ev.get("pid").and_then(Value::as_u64).is_some());
+            assert!(ev.get("tid").and_then(Value::as_u64).is_some());
+        }
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .unwrap();
+        assert!(span.get("dur").and_then(Value::as_u64).is_some());
+        assert_eq!(
+            span.get("args")
+                .and_then(|a| a.get("key"))
+                .and_then(Value::as_str),
+            Some("xalan|pf=Triangel")
+        );
+        let meta = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+            .unwrap();
+        assert_eq!(
+            meta.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Value::as_str),
+            Some("harness-main")
+        );
+    }
+
+    #[test]
+    fn threads_get_distinct_lanes() {
+        let buf = std::sync::Arc::new(TraceBuffer::new());
+        let t0 = buf.now_us();
+        buf.complete("main-span", "job", t0, vec![]);
+        let b2 = buf.clone();
+        std::thread::spawn(move || {
+            let t = b2.now_us();
+            b2.complete("worker-span", "job", t, vec![]);
+        })
+        .join()
+        .unwrap();
+        let v = parse(&buf.to_json()).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let tids: std::collections::HashSet<u64> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .map(|e| e.get("tid").and_then(Value::as_u64).unwrap())
+            .collect();
+        assert_eq!(tids.len(), 2);
+    }
+
+    #[test]
+    fn empty_buffer_is_still_valid_json() {
+        let buf = TraceBuffer::new();
+        assert!(buf.is_empty());
+        crate::json::validate(&buf.to_json()).unwrap();
+    }
+}

@@ -192,6 +192,16 @@ impl PrefetcherStats {
     }
 }
 
+impl triangel_obs::Probe for PrefetcherStats {
+    fn probe(&self, out: &mut triangel_obs::ProbeSet) {
+        out.record("prefetches_issued", self.prefetches_issued);
+        out.record("markov_reads", self.markov_reads);
+        out.record("markov_writes", self.markov_writes);
+        out.record("mrb_hits", self.mrb_hits);
+        out.record("updates_suppressed", self.updates_suppressed);
+    }
+}
+
 /// The prefetcher interface.
 ///
 /// The simulator delivers [`TrainEvent`]s and collects requests into
@@ -226,8 +236,18 @@ pub trait Prefetcher: std::fmt::Debug {
         PrefetcherStats::default()
     }
 
+    /// Exports named internal counters (gate states, death diagnostics,
+    /// table occupancy) into the structured probe registry; records
+    /// nothing by default. Probing must be read-only and deterministic
+    /// — see [`triangel_obs::Probe`].
+    fn probe(&self, _out: &mut triangel_obs::ProbeSet) {}
+
     /// A free-form diagnostic snapshot (internal counters, gate states);
-    /// empty by default. Used by debugging harnesses only.
+    /// empty by default.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Prefetcher::probe` and the triangel-obs probe registry"
+    )]
     fn debug_string(&self) -> String {
         String::new()
     }

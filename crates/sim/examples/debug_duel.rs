@@ -30,7 +30,7 @@ fn main() {
         println!(
             "  w{i}: ways={} {}",
             engine.system().markov_ways(),
-            engine.system().prefetcher_debug(0)
+            engine.system().prefetcher_probe(0).render()
         );
     }
 }

@@ -96,7 +96,48 @@ impl PrefetcherImpl {
         }
     }
 
+    /// Exports the prefetcher's named internal counters into `out`
+    /// (see [`triangel_obs::Probe`]).
+    pub fn probe(&self, out: &mut triangel_obs::ProbeSet) {
+        match self {
+            PrefetcherImpl::Null(p) => p.probe(out),
+            PrefetcherImpl::Triage(p) => p.probe(out),
+            PrefetcherImpl::Triangel(p) => p.probe(out),
+            PrefetcherImpl::Dyn(p) => p.probe(out),
+        }
+    }
+
+    /// Current Markov table `(occupancy, capacity)` in entries; `(0, 0)`
+    /// for prefetchers without a Markov table.
+    pub fn markov_occupancy(&self) -> (u64, u64) {
+        match self {
+            PrefetcherImpl::Triage(p) => (
+                p.markov().occupancy() as u64,
+                p.markov().capacity_entries() as u64,
+            ),
+            PrefetcherImpl::Triangel(p) => (
+                p.markov().occupancy() as u64,
+                p.markov().capacity_entries() as u64,
+            ),
+            PrefetcherImpl::Null(_) | PrefetcherImpl::Dyn(_) => (0, 0),
+        }
+    }
+
+    /// Set-Dueller per-partitioning counters; `None` for prefetchers
+    /// without a Set Dueller (everything but Triangel).
+    pub fn dueller_counters(&self) -> Option<[u64; 9]> {
+        match self {
+            PrefetcherImpl::Triangel(p) => Some(*p.dueller_counters()),
+            _ => None,
+        }
+    }
+
     /// Free-form diagnostic snapshot.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `PrefetcherImpl::probe` and the triangel-obs probe registry"
+    )]
+    #[allow(deprecated)]
     pub fn debug_string(&self) -> String {
         match self {
             PrefetcherImpl::Null(p) => p.debug_string(),
@@ -200,6 +241,10 @@ mod tests {
         assert_eq!(p.name(), "none");
         assert_eq!(p.desired_markov_ways(), 0);
         assert_eq!(p.stats(), PrefetcherStats::default());
-        assert_eq!(p.debug_string(), "");
+        let mut probes = triangel_obs::ProbeSet::new();
+        p.probe(&mut probes);
+        assert!(probes.is_empty());
+        assert_eq!(p.markov_occupancy(), (0, 0));
+        assert_eq!(p.dueller_counters(), None);
     }
 }

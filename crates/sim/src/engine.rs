@@ -229,7 +229,44 @@ impl Engine {
             l3: self.system.l3_stats(),
             dram: self.system.dram_stats(),
             markov_ways: self.system.markov_ways(),
+            intervals: None,
         }
+    }
+
+    /// One interval sample of cumulative-since-measurement counters,
+    /// taken at `end_access` measured accesses. Read-only: sampling
+    /// never perturbs simulation state.
+    pub fn interval_sample(&self, end_access: u64) -> triangel_obs::IntervalSample {
+        let mut s = triangel_obs::IntervalSample {
+            end_access,
+            ..Default::default()
+        };
+        for (i, tl) in self.timelines.iter().enumerate() {
+            s.instructions += tl.instr_count - tl.meas_start_instr;
+            s.cycles = s
+                .cycles
+                .max(tl.last_retire.saturating_sub(tl.meas_start_cycle));
+            let l2 = self.system.l2_stats(i);
+            s.l2_demand_hits += l2.demand_hits;
+            s.l2_demand_misses += l2.demand_misses;
+            let core = self.system.core_stats(i);
+            s.temporal_fills += core.temporal_fills;
+            s.temporal_used += core.temporal_used;
+            s.temporal_wasted += core.temporal_wasted;
+            s.prefetches_dropped += core.prefetches_dropped;
+            s.prefetches_issued += self.system.prefetcher_stats(i).prefetches_issued;
+            let (occ, cap) = self.system.markov_occupancy(i);
+            s.markov_occupancy += occ;
+            s.markov_capacity += cap;
+            s.desired_ways = s
+                .desired_ways
+                .max(self.system.desired_markov_ways(i) as u64);
+        }
+        if let Some(duel) = self.system.dueller_counters(0) {
+            s.dueller = duel;
+        }
+        s.markov_ways = self.system.markov_ways() as u64;
+        s
     }
 
     /// Access to the memory system (diagnostics in tests).

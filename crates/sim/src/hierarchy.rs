@@ -45,6 +45,16 @@ impl CoreStats {
     }
 }
 
+impl triangel_obs::Probe for CoreStats {
+    fn probe(&self, out: &mut triangel_obs::ProbeSet) {
+        out.record("temporal_fills", self.temporal_fills);
+        out.record("temporal_used", self.temporal_used);
+        out.record("temporal_wasted", self.temporal_wasted);
+        out.record("prefetches_dropped", self.prefetches_dropped);
+        out.record("l2_fills", self.l2_fills);
+    }
+}
+
 /// One core's private memory-side state.
 ///
 /// Everything the old side tables tracked — fill-completion times and
@@ -447,8 +457,60 @@ impl MemorySystem {
     }
 
     /// The temporal prefetcher's diagnostic snapshot.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `MemorySystem::probe` / `prefetcher_probe` and the triangel-obs probe registry"
+    )]
+    #[allow(deprecated)]
     pub fn prefetcher_debug(&self, core_idx: usize) -> String {
         self.cores[core_idx].temporal.debug_string()
+    }
+
+    /// The temporal prefetcher's named internal counters.
+    pub fn prefetcher_probe(&self, core_idx: usize) -> triangel_obs::ProbeSet {
+        let mut out = triangel_obs::ProbeSet::new();
+        self.cores[core_idx].temporal.probe(&mut out);
+        out
+    }
+
+    /// The temporal prefetcher's Markov `(occupancy, capacity)` in
+    /// entries; `(0, 0)` without a Markov table.
+    pub fn markov_occupancy(&self, core_idx: usize) -> (u64, u64) {
+        self.cores[core_idx].temporal.markov_occupancy()
+    }
+
+    /// L3 ways the temporal prefetcher currently wants.
+    pub fn desired_markov_ways(&self, core_idx: usize) -> usize {
+        self.cores[core_idx].temporal.desired_markov_ways()
+    }
+
+    /// The temporal prefetcher's Set-Dueller counters, if it has one.
+    pub fn dueller_counters(&self, core_idx: usize) -> Option<[u64; 9]> {
+        self.cores[core_idx].temporal.dueller_counters()
+    }
+
+    /// Exports the whole hierarchy's named counters: per-core L2,
+    /// accuracy bookkeeping and prefetcher internals under `core<i>.`,
+    /// then the shared L3, DRAM and Markov partition allocation.
+    pub fn probe(&self, out: &mut triangel_obs::ProbeSet) {
+        for (i, core) in self.cores.iter().enumerate() {
+            out.scoped(&format!("core{i}"), |out| {
+                out.scoped("l2", |out| {
+                    triangel_obs::Probe::probe(&core.l2.stats(), out);
+                });
+                out.scoped("stats", |out| {
+                    triangel_obs::Probe::probe(&core.stats, out);
+                });
+                out.scoped("pf", |out| core.temporal.probe(out));
+            });
+        }
+        out.scoped("l3", |out| {
+            triangel_obs::Probe::probe(&self.l3.stats(), out);
+        });
+        out.scoped("dram", |out| {
+            triangel_obs::Probe::probe(&self.dram.stats(), out);
+        });
+        out.record("markov_ways", self.markov_ways as u64);
     }
 
     /// Current Markov partition allocation (ways of the L3).

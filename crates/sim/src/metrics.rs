@@ -48,6 +48,14 @@ pub struct RunReport {
     pub dram: DramStats,
     /// Final Markov partition allocation (L3 ways).
     pub markov_ways: usize,
+    /// Interval time-series, when the session sampled one
+    /// ([`SimSessionBuilder::sample_every`](crate::SimSessionBuilder::sample_every)).
+    ///
+    /// Purely observational: a function of simulation state only
+    /// (never wall-clock), excluded from the summary emitters, so
+    /// every aggregate stays byte-identical whether sampling is on or
+    /// off.
+    pub intervals: Option<triangel_obs::IntervalSeries>,
 }
 
 impl RunReport {
@@ -186,6 +194,7 @@ mod tests {
                 ..Default::default()
             },
             markov_ways: 0,
+            intervals: None,
         }
     }
 

@@ -28,7 +28,11 @@ use triangel_workloads::TraceSource;
 /// Magic bytes opening every session snapshot.
 const SNAP_MAGIC: [u8; 8] = *b"TRGLSNP\0";
 /// Snapshot format version this build writes and reads.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// Version history: 1 = initial envelope; 2 = adds the interval
+/// time-series recorder (sampling period + recorded samples), so
+/// interrupt→resume reproduces a sampled series byte for byte.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// A fully-assembled simulation, ready to run.
 ///
@@ -46,6 +50,10 @@ pub struct SimSession {
     executed: u64,
     /// Whether the warm-up→measurement transition has been applied.
     measuring: bool,
+    /// Interval-sampling period in measured accesses (0 = off).
+    sample_every: u64,
+    /// Samples recorded so far (empty when sampling is off).
+    samples: Vec<triangel_obs::IntervalSample>,
 }
 
 impl SimSession {
@@ -105,9 +113,25 @@ impl SimSession {
             self.engine.start_measurement();
             self.measuring = true;
         }
-        if budget > 0 {
-            self.engine.run_accesses(budget);
-            self.executed += budget;
+        // Measured phase, chunked to interval boundaries when sampling.
+        // Chunking `run_accesses` is behaviour-invisible (the engine's
+        // loop carries no per-call state), so with sampling off this
+        // degenerates to the original single call — the determinism bar
+        // golden tests pin.
+        while budget > 0 {
+            let n = if self.sample_every == 0 {
+                budget
+            } else {
+                let into_interval = (self.executed - self.warmup) % self.sample_every;
+                budget.min(self.sample_every - into_interval)
+            };
+            self.engine.run_accesses(n);
+            self.executed += n;
+            budget -= n;
+            let measured = self.executed - self.warmup;
+            if self.sample_every != 0 && measured.is_multiple_of(self.sample_every) {
+                self.samples.push(self.engine.interval_sample(measured));
+            }
         }
         ran
     }
@@ -132,9 +156,34 @@ impl SimSession {
         self.executed >= self.total_accesses()
     }
 
-    /// The measurement report as of the accesses executed so far.
+    /// The measurement report as of the accesses executed so far,
+    /// carrying the interval series when sampling was enabled.
     pub fn report(&self) -> RunReport {
-        self.engine.report(self.workload.clone())
+        let mut report = self.engine.report(self.workload.clone());
+        if self.sample_every != 0 {
+            report.intervals = Some(triangel_obs::IntervalSeries {
+                every: self.sample_every,
+                samples: self.samples.clone(),
+            });
+        }
+        report
+    }
+
+    /// The interval series recorded so far, when sampling is enabled.
+    pub fn interval_series(&self) -> Option<triangel_obs::IntervalSeries> {
+        (self.sample_every != 0).then(|| triangel_obs::IntervalSeries {
+            every: self.sample_every,
+            samples: self.samples.clone(),
+        })
+    }
+
+    /// The memory hierarchy's named counters (see
+    /// [`triangel_obs::Probe`]): the structured replacement for the
+    /// deprecated `prefetcher_debug` string.
+    pub fn probes(&self) -> triangel_obs::ProbeSet {
+        let mut out = triangel_obs::ProbeSet::new();
+        self.engine.system().probe(&mut out);
+        out
     }
 
     /// Serializes the complete dynamic simulation state — engine rings
@@ -160,6 +209,11 @@ impl SimSession {
         w.u64(self.accesses);
         w.u64(self.executed);
         w.bool(self.measuring);
+        w.u64(self.sample_every);
+        w.usize(self.samples.len());
+        for s in &self.samples {
+            s.save(&mut w)?;
+        }
         self.engine.save(&mut w)?;
         Ok(w.into_bytes())
     }
@@ -188,10 +242,22 @@ impl SimSession {
         let executed = r.u64()?;
         snap_check(executed <= self.total_accesses(), "progress out of range")?;
         let measuring = r.bool()?;
+        snap_check(
+            r.u64()? == self.sample_every,
+            "interval-sampling period mismatch",
+        )?;
+        let n_samples = r.usize()?;
+        let mut samples = Vec::with_capacity(n_samples);
+        for _ in 0..n_samples {
+            let mut s = triangel_obs::IntervalSample::default();
+            s.restore(&mut r)?;
+            samples.push(s);
+        }
         self.engine.restore(&mut r)?;
         r.finish()?;
         self.executed = executed;
         self.measuring = measuring;
+        self.samples = samples;
         Ok(())
     }
 
@@ -220,6 +286,7 @@ pub struct SimSessionBuilder {
     sizing_window: u64,
     label: Option<String>,
     features: Option<TriangelFeatures>,
+    sample_every: u64,
 }
 
 impl Default for SimSessionBuilder {
@@ -234,6 +301,7 @@ impl Default for SimSessionBuilder {
             sizing_window: 250_000,
             label: None,
             features: None,
+            sample_every: 0,
         }
     }
 }
@@ -343,6 +411,23 @@ impl SimSessionBuilder {
         self
     }
 
+    /// Enables interval time-series sampling: one
+    /// [`IntervalSample`](triangel_obs::IntervalSample) every `every`
+    /// *measured* accesses, carried on
+    /// [`RunReport::intervals`](crate::RunReport::intervals) (0, the
+    /// default, disables sampling).
+    ///
+    /// Sampling is purely observational — the interval clock is
+    /// simulation time, sampling reads but never writes engine state —
+    /// so every other reported number is byte-identical with sampling
+    /// on or off, and the series itself is deterministic across
+    /// parallelism and snapshot interrupt→resume.
+    #[must_use]
+    pub fn sample_every(mut self, every: u64) -> Self {
+        self.sample_every = every;
+        self
+    }
+
     /// Assembles the session, validating the specification.
     ///
     /// The core count always equals the workload count (one prefetcher
@@ -389,6 +474,8 @@ impl SimSessionBuilder {
             workload,
             executed: 0,
             measuring: false,
+            sample_every: self.sample_every,
+            samples: Vec::new(),
         })
     }
 

@@ -75,7 +75,7 @@ fn fingerprint(session: &SimSession) -> String {
     format!(
         "{:?} | pf={}",
         session.report(),
-        session.engine().system().prefetcher_debug(0),
+        session.engine().system().prefetcher_probe(0).render(),
     )
 }
 
@@ -163,6 +163,65 @@ fn multiprogrammed_pair_is_snapshot_equivalent() {
         };
         assert_equivalent(format!("pair x {}", cfg.label), &make);
     }
+}
+
+#[test]
+fn interval_series_is_snapshot_equivalent() {
+    // A sampling period of 700 interleaves awkwardly with both CUTS
+    // (one cut mid-warm-up, one mid-interval of measurement), so resume
+    // exercises partial-interval continuation, and the final measured
+    // count (3 500 = 5 × 700) pins the closing boundary sample.
+    let make = || {
+        SimSession::builder()
+            .workload(SpecWorkload::Mcf.generator(11))
+            .prefetcher(PrefetcherChoice::Triangel)
+            .warmup(WARMUP)
+            .accesses(ACCESSES)
+            .sizing_window(1_500)
+            .sample_every(700)
+            .build()
+            .expect("well-formed session")
+    };
+
+    let mut straight = make();
+    straight.run_segment(u64::MAX);
+    assert!(straight.is_complete());
+    let straight_series = straight.report().intervals.expect("sampling was enabled");
+    assert_eq!(straight_series.every, 700);
+    assert_eq!(straight_series.len(), (ACCESSES / 700) as usize);
+
+    let mut s = make();
+    let mut done = 0u64;
+    for cut in CUTS {
+        s.run_segment(cut - done);
+        done = cut;
+        let bytes = s.snapshot().expect("sampled sessions snapshot");
+        let mut fresh = make();
+        fresh.restore(&bytes).expect("sampled snapshot restores");
+        s = fresh;
+    }
+    s.run_segment(u64::MAX);
+    assert!(s.is_complete());
+    let resumed_series = s.report().intervals.expect("sampling survived resume");
+    assert_eq!(
+        straight_series, resumed_series,
+        "interval series diverged across interrupt→resume"
+    );
+    // And the full report fingerprints (aggregates + probes) match.
+    assert_eq!(fingerprint(&straight), fingerprint(&s));
+
+    // A snapshot from a sampled session will not restore into a
+    // session with a different (or absent) sampling period.
+    let bytes = make().snapshot().unwrap();
+    let mut unsampled = build(
+        SpecWorkload::Mcf.generator(11),
+        &Config {
+            label: "Triangel",
+            choice: PrefetcherChoice::Triangel,
+            features: None,
+        },
+    );
+    assert!(unsampled.restore(&bytes).is_err());
 }
 
 #[test]

@@ -144,7 +144,7 @@ pub struct Triage {
     issued: u64,
     name: String,
     /// L2 eviction notices for own (temporal) fills: (died used,
-    /// died unused). Always counted; surfaced via `debug_string`.
+    /// died unused). Always counted; surfaced via the probe registry.
     evict_seen: (u64, u64),
     /// Eviction-training state, live only behind
     /// `cfg.train_on_eviction`: which Markov entry produced each
@@ -317,15 +317,15 @@ impl Prefetcher for Triage {
         }
     }
 
-    fn debug_string(&self) -> String {
-        format!(
-            "ways={} issued={} evict=({} used, {} wasted) etrain={}",
-            self.desired_ways,
-            self.issued,
-            self.evict_seen.0,
-            self.evict_seen.1,
-            self.evict_trained,
-        )
+    fn probe(&self, out: &mut triangel_obs::ProbeSet) {
+        out.record("desired_ways", self.desired_ways as u64);
+        out.record("issued", self.issued);
+        out.record("evict_deaths_used", self.evict_seen.0);
+        out.record("evict_deaths_wasted", self.evict_seen.1);
+        out.record("evict_trained", self.evict_trained);
+        out.scoped("markov", |out| {
+            triangel_obs::Probe::probe(&self.markov, out);
+        });
     }
 }
 
