@@ -5,11 +5,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use triangel_cache::replacement::PolicyKind;
-use triangel_markov::{MarkovTable, MarkovTableConfig, TargetFormat};
+use triangel_markov::{MarkovTableConfig, MarkovTableImpl, TargetFormat};
 use triangel_types::{LineAddr, Pc};
 
-fn table(format: TargetFormat, replacement: PolicyKind) -> MarkovTable {
-    let mut t = MarkovTable::new(MarkovTableConfig {
+fn table(format: TargetFormat, replacement: PolicyKind) -> MarkovTableImpl {
+    let mut t = MarkovTableImpl::new(MarkovTableConfig {
         sets: 2048,
         max_ways: 8,
         format,

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use triangel_cache::replacement::{all_ways, AccessMeta, PolicyKind};
+use triangel_cache::replacement::{all_ways, AccessMeta, PolicyKind, ReplacementPolicy};
 use triangel_types::{LineAddr, Pc};
 
 fn bench_policies(c: &mut Criterion) {
@@ -15,7 +15,7 @@ fn bench_policies(c: &mut Criterion) {
         PolicyKind::Hawkeye,
     ] {
         g.bench_function(BenchmarkId::from_parameter(format!("{kind:?}")), |b| {
-            let mut p = kind.build(2048, 16);
+            let mut p = kind.build_impl(2048, 16);
             let mut i = 0u64;
             b.iter(|| {
                 i = i.wrapping_add(1);

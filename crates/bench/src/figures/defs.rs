@@ -6,8 +6,8 @@ use std::sync::Arc;
 use triangel_core::{structure_sizes, TriangelConfig, TriangelFeatures};
 use triangel_harness::emit::{
     features_to_json, perf_to_json, timeline_to_json, FeatureCell, FeatureRow, FeatureStep,
-    FeaturesReport, PerfRecord, PerfReport, PerfScalingPoint, TimelineReport, TimelineRow,
-    TimelineSeries,
+    FeaturesReport, PerfCellCost, PerfRecord, PerfReport, PerfScalingPoint, TimelineReport,
+    TimelineRow, TimelineSeries,
 };
 use triangel_harness::goldens::gated_features;
 use triangel_harness::{
@@ -376,6 +376,32 @@ pub(super) fn perf(ctx: &mut FigureContext) -> Vec<FigureOutput> {
         });
     }
 
+    // The per-cell cost: the same 7 workloads timed as a baseline-only
+    // and a Triangel-only job list, serial on a private cache. Their
+    // wall-time ratio isolates what the temporal prefetcher's metadata
+    // tables (training, Markov, issue) cost one simulation.
+    let mut time_cells = |choice: PrefetcherChoice| -> f64 {
+        let mut sweep = Sweep::new();
+        for wl in SpecWorkload::ALL {
+            sweep.push(JobSpec::new(WorkloadSpec::Spec(wl), choice, PERF_PARAMS));
+        }
+        let t0 = std::time::Instant::now();
+        let result = sweep.run(&SweepOptions::serial());
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        for r in result.results {
+            r.unwrap_or_else(|e| panic!("{e}"));
+        }
+        ctx.absorb(result.stats);
+        wall_ms
+    };
+    let baseline_wall_ms = time_cells(PrefetcherChoice::Baseline);
+    let triangel_wall_ms = time_cells(PrefetcherChoice::Triangel);
+    let cell_cost = PerfCellCost {
+        baseline_wall_ms,
+        triangel_wall_ms,
+        ratio: triangel_wall_ms / baseline_wall_ms,
+    };
+
     let report = PerfReport {
         sweep: format!(
             "7 SPEC workloads x {{Baseline, Triage, Triangel}}, warmup {} + {} accesses each, serial + jobs scaling",
@@ -386,6 +412,7 @@ pub(super) fn perf(ctx: &mut FigureContext) -> Vec<FigureOutput> {
         baseline: perf_baseline(),
         current,
         scaling,
+        cell_cost,
     };
     eprintln!(
         "[perf] {} job(s), {:.0} ms wall, {:.3}M accesses/s — {:.2}x vs `{}`",
@@ -404,6 +431,12 @@ pub(super) fn perf(ctx: &mut FigureContext) -> Vec<FigureOutput> {
             p.speedup_vs_serial,
         );
     }
+    eprintln!(
+        "[perf]   per-cell cost: Triangel {:.0} ms / baseline {:.0} ms = {:.2}x",
+        report.cell_cost.triangel_wall_ms,
+        report.cell_cost.baseline_wall_ms,
+        report.cell_cost.ratio,
+    );
     vec![FigureOutput::Json {
         name: "BENCH_perf".into(),
         body: perf_to_json(&report),

@@ -130,27 +130,11 @@ pub enum PolicyKind {
 }
 
 impl PolicyKind {
-    /// Instantiates the policy for a cache of `sets x ways` behind a
-    /// trait object.
-    ///
-    /// Compatibility shim for callers that store policies as
-    /// `Box<dyn ReplacementPolicy>`; the simulator's own caches and the
-    /// Markov table use [`PolicyKind::build_impl`] so victim selection
-    /// monomorphizes on the per-access hot path.
-    pub fn build(self, sets: usize, ways: usize) -> Box<dyn ReplacementPolicy> {
-        match self {
-            PolicyKind::Lru => Box::new(Lru::new(sets, ways)),
-            PolicyKind::Fifo => Box::new(Fifo::new(sets, ways)),
-            PolicyKind::Random => Box::new(Random::new(sets, ways, 0xC0FFEE)),
-            PolicyKind::TreePlru => Box::new(TreePlru::new(sets, ways)),
-            PolicyKind::Srrip => Box::new(Rrip::new(sets, ways, RripMode::Static)),
-            PolicyKind::Brrip => Box::new(Rrip::new(sets, ways, RripMode::Bimodal)),
-            PolicyKind::Hawkeye => Box::new(HawkEye::new(sets, ways, HawkEyeConfig::default())),
-        }
-    }
-
     /// Instantiates the policy as a [`ReplacementImpl`] (enum dispatch,
-    /// no vtable on the hot path).
+    /// no vtable on the hot path). This is the only builder: the old
+    /// `build` shim that returned `Box<dyn ReplacementPolicy>` is gone,
+    /// and callers that genuinely need a trait object can box the
+    /// concrete types themselves.
     pub fn build_impl(self, sets: usize, ways: usize) -> ReplacementImpl {
         match self {
             PolicyKind::Lru => ReplacementImpl::Lru(Lru::new(sets, ways)),
@@ -302,6 +286,22 @@ impl triangel_types::snap::Snapshot for ReplacementImpl {
 mod tests {
     use super::*;
 
+    /// A boxed reference build, local to the tests: the production
+    /// `PolicyKind::build` shim was removed, but the dyn-vs-enum
+    /// equivalence check below still wants an independently-dispatched
+    /// twin of `build_impl` (same concrete types, same constants).
+    fn build_boxed(kind: PolicyKind, sets: usize, ways: usize) -> Box<dyn ReplacementPolicy> {
+        match kind {
+            PolicyKind::Lru => Box::new(Lru::new(sets, ways)),
+            PolicyKind::Fifo => Box::new(Fifo::new(sets, ways)),
+            PolicyKind::Random => Box::new(Random::new(sets, ways, 0xC0FFEE)),
+            PolicyKind::TreePlru => Box::new(TreePlru::new(sets, ways)),
+            PolicyKind::Srrip => Box::new(Rrip::new(sets, ways, RripMode::Static)),
+            PolicyKind::Brrip => Box::new(Rrip::new(sets, ways, RripMode::Bimodal)),
+            PolicyKind::Hawkeye => Box::new(HawkEye::new(sets, ways, HawkEyeConfig::default())),
+        }
+    }
+
     #[test]
     fn all_ways_mask() {
         assert_eq!(all_ways(1), 0b1);
@@ -320,7 +320,7 @@ mod tests {
             PolicyKind::Brrip,
             PolicyKind::Hawkeye,
         ] {
-            let mut p = kind.build(4, 4);
+            let mut p = kind.build_impl(4, 4);
             let meta = AccessMeta::demand(LineAddr::new(1), Some(Pc::new(2)));
             for way in 0..4 {
                 p.on_fill(0, way, &meta);
@@ -344,7 +344,7 @@ mod tests {
             PolicyKind::Brrip,
             PolicyKind::Hawkeye,
         ] {
-            let mut boxed = kind.build(4, 8);
+            let mut boxed = build_boxed(kind, 4, 8);
             let mut inline = kind.build_impl(4, 8);
             for i in 0..256u64 {
                 let set = (i % 4) as usize;
@@ -382,7 +382,7 @@ mod tests {
             PolicyKind::Brrip,
             PolicyKind::Hawkeye,
         ] {
-            let mut p = kind.build(2, 8);
+            let mut p = kind.build_impl(2, 8);
             let meta = AccessMeta::demand(LineAddr::new(9), None);
             for way in 0..8 {
                 p.on_fill(1, way, &meta);

@@ -1,7 +1,7 @@
 //! Property-based tests on replacement policies and the cache model.
 
 use proptest::prelude::*;
-use triangel_cache::replacement::{all_ways, AccessMeta, PolicyKind};
+use triangel_cache::replacement::{all_ways, AccessMeta, PolicyKind, ReplacementPolicy};
 use triangel_cache::{Cache, CacheConfig, PartitionedWays};
 use triangel_types::{LineAddr, Pc};
 
@@ -26,7 +26,7 @@ proptest! {
         hist in prop::collection::vec((0usize..8, 0u64..64), 0..200),
         mask_bits in 1u64..255,
     ) {
-        let mut p = policy.build(4, 8);
+        let mut p = policy.build_impl(4, 8);
         for (way, line) in hist {
             let meta = AccessMeta::demand(LineAddr::new(line), Some(Pc::new(line % 16)));
             p.on_fill(1, way, &meta);
@@ -38,7 +38,7 @@ proptest! {
     /// Under pure LRU, the victim is never the most recently touched way.
     #[test]
     fn lru_never_evicts_mru(touches in prop::collection::vec(0usize..8, 1..100)) {
-        let mut p = PolicyKind::Lru.build(1, 8);
+        let mut p = PolicyKind::Lru.build_impl(1, 8);
         let meta = AccessMeta::demand(LineAddr::new(1), None);
         for w in 0..8 {
             p.on_fill(0, w, &meta);

@@ -8,7 +8,7 @@ use crate::second_chance::SecondChanceSampler;
 use crate::set_dueller::SetDueller;
 use crate::training::{TrainingTable, CONF_INIT};
 use triangel_cache::replacement::PolicyKind;
-use triangel_markov::{MarkovTable, MarkovTableConfig};
+use triangel_markov::{MarkovTableConfig, MarkovTableImpl};
 use triangel_prefetch::{
     BloomFilter, CacheView, EvictNotice, IssueTable, PrefetchRequest, Prefetcher, PrefetcherStats,
     TrainEvent, TrainKind,
@@ -29,7 +29,7 @@ pub struct Triangel {
     mrb: MetadataReuseBuffer,
     dueller: SetDueller,
     bloom: BloomFilter,
-    markov: MarkovTable,
+    markov: MarkovTableImpl,
     max_size: u64,
     bloom_window_left: u64,
     desired_ways: usize,
@@ -110,7 +110,7 @@ impl Triangel {
                 cfg.seed ^ 0xD137,
             ),
             bloom: BloomFilter::new(cfg.bloom_bits, 4),
-            markov: MarkovTable::new(table_cfg),
+            markov: MarkovTableImpl::new(table_cfg),
             max_size,
             bloom_window_left: cfg.sizing_window,
             desired_ways: 0,
@@ -140,7 +140,7 @@ impl Triangel {
     }
 
     /// Read access to the Markov table (for experiments and tests).
-    pub fn markov(&self) -> &MarkovTable {
+    pub fn markov(&self) -> &MarkovTableImpl {
         &self.markov
     }
 
@@ -503,7 +503,7 @@ impl Prefetcher for Triangel {
     ///
     /// * the Markov entry that predicted the line is reinforced (used
     ///   death) or weakened/dropped (wasted death) via
-    ///   [`MarkovTable::train_on_evict`], with the Metadata Reuse
+    ///   [`MarkovTableImpl::train_on_evict`], with the Metadata Reuse
     ///   Buffer's cached copy refreshed to match;
     /// * the filling PC's pattern classifiers receive eviction ground
     ///   truth — +1 for a used death, the asymmetric −2/−5 for a

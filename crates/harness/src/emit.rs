@@ -146,6 +146,22 @@ pub struct PerfScalingPoint {
     pub speedup_vs_serial: f64,
 }
 
+/// The per-cell cost measurement: the same workload list timed once
+/// under the stride-only baseline and once under full Triangel, both
+/// serial. The `ratio` (Triangel cell ÷ baseline cell) isolates what
+/// the temporal prefetcher's metadata tables add to one simulation —
+/// the number the arena refactor tracks, independent of whole-sweep
+/// composition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfCellCost {
+    /// Wall-clock milliseconds for the baseline-only job list.
+    pub baseline_wall_ms: f64,
+    /// Wall-clock milliseconds for the Triangel-only job list.
+    pub triangel_wall_ms: f64,
+    /// `triangel_wall_ms / baseline_wall_ms` (1.0 = metadata free).
+    pub ratio: f64,
+}
+
 /// The repo's perf-trajectory artefact (`BENCH_perf.json`): a fixed
 /// smoke sweep timed under the current build, against the recorded
 /// baseline it is tracked from. Wall times are machine-dependent; the
@@ -166,6 +182,8 @@ pub struct PerfReport {
     /// The parallel-scaling curve (jobs ∈ {1, 2, N}), empty when only
     /// the serial number was measured.
     pub scaling: Vec<PerfScalingPoint>,
+    /// The per-cell Triangel ÷ baseline cost measurement.
+    pub cell_cost: PerfCellCost,
 }
 
 impl PerfReport {
@@ -195,10 +213,13 @@ fn perf_scaling_json(p: &PerfScalingPoint) -> String {
 }
 
 /// Serializes a perf report as JSON (the `BENCH_perf.json` schema).
+///
+/// Schema history: 2 = adds the parallel-scaling curve; 3 = adds the
+/// `cell_cost` object with the per-cell Triangel ÷ baseline `ratio`.
 pub fn perf_to_json(r: &PerfReport) -> String {
     let scaling: Vec<String> = r.scaling.iter().map(perf_scaling_json).collect();
     format!(
-        "{{\"schema\":2,\"figure\":\"perf\",\"sweep\":{},\"jobs\":{},\"total_accesses\":{},\"baseline\":{},\"current\":{},\"speedup\":{},\"scaling\":[{}]}}",
+        "{{\"schema\":3,\"figure\":\"perf\",\"sweep\":{},\"jobs\":{},\"total_accesses\":{},\"baseline\":{},\"current\":{},\"speedup\":{},\"scaling\":[{}],\"cell_cost\":{{\"baseline_wall_ms\":{},\"triangel_wall_ms\":{},\"ratio\":{}}}}}",
         json_str(&r.sweep),
         r.jobs,
         r.total_accesses,
@@ -206,6 +227,9 @@ pub fn perf_to_json(r: &PerfReport) -> String {
         perf_record_json(&r.current),
         json_f64(r.speedup()),
         scaling.join(","),
+        json_f64(r.cell_cost.baseline_wall_ms),
+        json_f64(r.cell_cost.triangel_wall_ms),
+        json_f64(r.cell_cost.ratio),
     )
 }
 
@@ -574,13 +598,22 @@ mod tests {
                 accesses_per_sec: 3_500_000.0,
                 speedup_vs_serial: 1.6666666666666667,
             }],
+            cell_cost: PerfCellCost {
+                baseline_wall_ms: 100.0,
+                triangel_wall_ms: 125.0,
+                ratio: 1.25,
+            },
         };
         assert!((r.speedup() - 2.0).abs() < 1e-12);
         let j = perf_to_json(&r);
+        assert!(j.contains("\"schema\":3"));
         assert!(j.contains("\"figure\":\"perf\""));
         assert!(j.contains("\"speedup\":2.0"));
         assert!(j.contains("\"baseline\":{\"label\":\"pre\""));
         assert!(j.contains("\"scaling\":[{\"workers\":2,"));
+        assert!(j.contains(
+            "\"cell_cost\":{\"baseline_wall_ms\":100.0,\"triangel_wall_ms\":125.0,\"ratio\":1.25}"
+        ));
         assert_eq!(perf_to_json(&r), perf_to_json(&r));
     }
 

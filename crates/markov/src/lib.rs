@@ -16,15 +16,20 @@
 //!   set from the address, way from `tag-# % partition_ways`, 16-way (or
 //!   12-way) associative entries within the selected line, one
 //!   confidence bit per entry (Section 3.4), with re-indexing on
-//!   partition resize.
+//!   partition resize. The table is generic over its replacement
+//!   policy ([`TriageMarkov`] = HawkEye, [`TriangelMarkov`] = SRRIP)
+//!   and backed by a packed set-associative arena
+//!   ([`triangel_types::arena::SetArena`]), so a line probe is one
+//!   contiguous tag sweep; [`MarkovTableImpl`] wraps every shipped
+//!   combination for callers that pick the policy at runtime.
 //!
 //! # Examples
 //!
 //! ```
-//! use triangel_markov::{MarkovTable, MarkovTableConfig, TargetFormat};
+//! use triangel_markov::{MarkovTableImpl, MarkovTableConfig, TargetFormat};
 //! use triangel_types::{LineAddr, Pc};
 //!
-//! let mut t = MarkovTable::new(MarkovTableConfig::triangel());
+//! let mut t = MarkovTableImpl::new(MarkovTableConfig::triangel());
 //! t.set_ways(8);
 //! t.train(LineAddr::new(100), LineAddr::new(200), Pc::new(1));
 //! let hit = t.lookup(LineAddr::new(100)).expect("trained pair");
@@ -40,4 +45,7 @@ mod table;
 
 pub use format::{LutAssociativity, TargetFormat};
 pub use lut::LookupTable;
-pub use table::{MarkovHit, MarkovTable, MarkovTableConfig, MarkovTableStats};
+pub use table::{
+    MarkovHit, MarkovTable, MarkovTableConfig, MarkovTableImpl, MarkovTableStats, TriageMarkov,
+    TriangelMarkov,
+};

@@ -3,12 +3,12 @@
 use proptest::prelude::*;
 use triangel_cache::replacement::PolicyKind;
 use triangel_markov::{
-    LookupTable, LutAssociativity, MarkovTable, MarkovTableConfig, TargetFormat,
+    LookupTable, LutAssociativity, MarkovTableConfig, MarkovTableImpl, TargetFormat,
 };
 use triangel_types::{LineAddr, Pc};
 
-fn table(format: TargetFormat) -> MarkovTable {
-    let mut t = MarkovTable::new(MarkovTableConfig {
+fn table(format: TargetFormat) -> MarkovTableImpl {
+    let mut t = MarkovTableImpl::new(MarkovTableConfig {
         sets: 128,
         max_ways: 4,
         format,

@@ -7,8 +7,9 @@
 //!   accesses. Pure function of the job spec; snapshot-aware, so
 //!   interrupt→resume reproduces the series byte for byte.
 //! * [`probe`] — a **timeless** registry: components implement
-//!   [`Probe`] to export named counters into a [`ProbeSet`], replacing
-//!   the ad-hoc `debug_string`. Emitted as hand-rolled JSONL.
+//!   [`Probe`] to export named counters into a [`ProbeSet`], which
+//!   replaced the (since-removed) ad-hoc `debug_string`. Emitted as
+//!   hand-rolled JSONL.
 //! * [`trace`] — **wall-clock**, host-side only: the harness records
 //!   spans/counters into a [`TraceBuffer`] emitted as Chrome
 //!   `trace_event` JSON for Perfetto. Never touches sim state.

@@ -1,6 +1,6 @@
 //! The structured probe registry.
 //!
-//! `Prefetcher::debug_string` grew into an unparseable grab-bag: each
+//! The old `Prefetcher::debug_string` (removed) was an unparseable grab-bag: each
 //! prefetcher formatted its own counters into one line, and consumers
 //! string-matched against it. A [`Probe`] instead *names* each counter
 //! and records it into a [`ProbeSet`] — an ordered, scoped registry

@@ -12,14 +12,47 @@
 //! association and merely forfeits one training opportunity, exactly as
 //! a bounded hardware structure would. It is fully deterministic.
 
+use triangel_types::arena::SetArena;
+use triangel_types::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use triangel_types::{xor_fold, LineAddr};
 
+/// One recorded association: the prefetched target and the predecessor
+/// whose Markov entry predicted it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct IssueSlot {
+    target: LineAddr,
+    predecessor: LineAddr,
+}
+
+impl Default for IssueSlot {
+    fn default() -> Self {
+        IssueSlot {
+            target: LineAddr::new(0),
+            predecessor: LineAddr::new(0),
+        }
+    }
+}
+
+impl Snapshot for IssueSlot {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.u64(self.target.index());
+        w.u64(self.predecessor.index());
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.target = LineAddr::new(r.u64()?);
+        self.predecessor = LineAddr::new(r.u64()?);
+        Ok(())
+    }
+}
+
 /// A direct-mapped target → predecessor table for issued temporal
-/// prefetches.
+/// prefetches, stored as a one-way [`SetArena`] (one arena set per
+/// slot).
 #[derive(Debug)]
 pub struct IssueTable {
-    /// `(target, predecessor)` per slot.
-    slots: Vec<Option<(LineAddr, LineAddr)>>,
+    slots: SetArena<IssueSlot>,
     index_bits: u32,
     mask: usize,
 }
@@ -35,7 +68,7 @@ impl IssueTable {
         assert!(entries > 0, "issue table needs entries");
         let n = entries.next_power_of_two();
         IssueTable {
-            slots: vec![None; n],
+            slots: SetArena::new(n, 1),
             index_bits: n.trailing_zeros(),
             mask: n - 1,
         }
@@ -60,17 +93,25 @@ impl IssueTable {
     /// entry indexed by `predecessor`, overwriting any collision.
     pub fn record(&mut self, target: LineAddr, predecessor: LineAddr) {
         let slot = self.slot_of(target);
-        self.slots[slot] = Some((target, predecessor));
+        self.slots.insert(
+            slot,
+            0,
+            0,
+            IssueSlot {
+                target,
+                predecessor,
+            },
+        );
     }
 
     /// Consumes the association for `target`, if it survived: returns
     /// the predecessor whose entry predicted it and clears the slot.
     pub fn take(&mut self, target: LineAddr) -> Option<LineAddr> {
         let slot = self.slot_of(target);
-        match self.slots[slot] {
-            Some((t, pred)) if t == target => {
-                self.slots[slot] = None;
-                Some(pred)
+        match self.slots.get(slot, 0) {
+            Some((_, s)) if s.target == target => {
+                let (_, s) = self.slots.take(slot, 0).expect("slot just observed valid");
+                Some(s.predecessor)
             }
             _ => None,
         }
@@ -78,43 +119,22 @@ impl IssueTable {
 
     /// Number of live associations (diagnostics/tests).
     pub fn occupancy(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.slots.occupancy()
     }
 
     /// Number of slots.
     pub fn capacity(&self) -> usize {
-        self.slots.len()
+        self.slots.sets()
     }
 }
 
-use triangel_types::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
-
 impl Snapshot for IssueTable {
     fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
-        w.usize(self.slots.len());
-        for slot in &self.slots {
-            match slot {
-                Some((t, p)) => {
-                    w.bool(true);
-                    w.u64(t.index());
-                    w.u64(p.index());
-                }
-                None => w.bool(false),
-            }
-        }
-        Ok(())
+        self.slots.save(w)
     }
 
     fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
-        r.expect_len(self.slots.len(), "issue-table slots")?;
-        for slot in &mut self.slots {
-            *slot = if r.bool()? {
-                Some((LineAddr::new(r.u64()?), LineAddr::new(r.u64()?)))
-            } else {
-                None
-            };
-        }
-        Ok(())
+        self.slots.restore(r)
     }
 }
 
@@ -154,5 +174,22 @@ mod tests {
     #[should_panic(expected = "needs entries")]
     fn zero_entries_rejected() {
         let _ = IssueTable::new(0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut t = IssueTable::new(16);
+        t.record(LineAddr::new(100), LineAddr::new(7));
+        t.record(LineAddr::new(200), LineAddr::new(9));
+        let mut w = SnapWriter::new();
+        t.save(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut u = IssueTable::new(16);
+        let mut r = SnapReader::new(&bytes);
+        u.restore(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(u.occupancy(), t.occupancy());
+        assert_eq!(u.take(LineAddr::new(100)), Some(LineAddr::new(7)));
+        assert_eq!(u.take(LineAddr::new(200)), Some(LineAddr::new(9)));
     }
 }

@@ -241,16 +241,6 @@ pub trait Prefetcher: std::fmt::Debug {
     /// nothing by default. Probing must be read-only and deterministic
     /// — see [`triangel_obs::Probe`].
     fn probe(&self, _out: &mut triangel_obs::ProbeSet) {}
-
-    /// A free-form diagnostic snapshot (internal counters, gate states);
-    /// empty by default.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Prefetcher::probe` and the triangel-obs probe registry"
-    )]
-    fn debug_string(&self) -> String {
-        String::new()
-    }
 }
 
 /// A no-op prefetcher (the "Baseline" configuration minus the stride

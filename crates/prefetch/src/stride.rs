@@ -1,7 +1,7 @@
 //! The baseline L1D stride prefetcher (Chen & Baer, ASPLOS 1992).
 
 use crate::{CacheView, PrefetchRequest, Prefetcher, TrainEvent, TrainKind};
-use triangel_types::hash::FxHashMap;
+use triangel_types::arena::ArenaMap;
 use triangel_types::{LineAddr, Pc};
 
 /// Per-PC stride tracking state.
@@ -10,6 +10,16 @@ struct StrideEntry {
     last_line: LineAddr,
     stride: i64,
     confidence: u8,
+}
+
+impl Default for StrideEntry {
+    fn default() -> Self {
+        StrideEntry {
+            last_line: LineAddr::new(0),
+            stride: 0,
+            confidence: 0,
+        }
+    }
 }
 
 /// A PC-localized stride prefetcher, degree 8 at the L1D in the paper's
@@ -22,11 +32,12 @@ struct StrideEntry {
 /// baseline and prefetcher configurations.
 #[derive(Debug)]
 pub struct StridePrefetcher {
-    /// PC → stride state, touched on every L1 access: a deterministic
-    /// fast hash (the eviction fold takes `min`, so iteration order
-    /// cannot leak into results).
-    table: FxHashMap<u64, StrideEntry>,
-    capacity: usize,
+    /// PC → stride state, touched on every L1 access. A fixed-capacity
+    /// sorted-key arena map: probes binary-search one contiguous key
+    /// array, the eviction policy (drop the smallest PC when full) is
+    /// `O(1)` off the front, and iteration order is deterministic by
+    /// construction.
+    table: ArenaMap<StrideEntry>,
     degree: usize,
     issued: u64,
 }
@@ -41,8 +52,7 @@ impl StridePrefetcher {
     pub fn new(capacity: usize, degree: usize) -> Self {
         assert!(capacity > 0 && degree > 0);
         StridePrefetcher {
-            table: FxHashMap::default(),
-            capacity,
+            table: ArenaMap::new(capacity),
             degree,
             issued: 0,
         }
@@ -69,11 +79,13 @@ impl StridePrefetcher {
             return;
         }
         self.evict_if_full(ev.pc);
-        let entry = self.table.entry(ev.pc.get()).or_insert(StrideEntry {
-            last_line: ev.line,
-            stride: 0,
-            confidence: 0,
-        });
+        let entry = self
+            .table
+            .get_mut_or_insert_with(ev.pc.get(), || StrideEntry {
+                last_line: ev.line,
+                stride: 0,
+                confidence: 0,
+            });
         let delta = ev.line.index() as i64 - entry.last_line.index() as i64;
         if delta == entry.stride && delta != 0 {
             entry.confidence = entry.confidence.saturating_add(1);
@@ -96,12 +108,12 @@ impl StridePrefetcher {
     }
 
     fn evict_if_full(&mut self, pc: Pc) {
-        if self.table.len() >= self.capacity && !self.table.contains_key(&pc.get()) {
+        if self.table.len() >= self.table.capacity() && !self.table.contains_key(pc.get()) {
             // Deterministic eviction: drop the smallest key. A real table
             // would be set-indexed by PC; the effect is equivalent for
             // our stream counts (well under capacity).
-            if let Some(k) = self.table.keys().min().copied() {
-                self.table.remove(&k);
+            if let Some(k) = self.table.min_key() {
+                self.table.remove(k);
             }
         }
     }
@@ -133,13 +145,11 @@ use triangel_types::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 
 impl Snapshot for StridePrefetcher {
     fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
-        // Sorted by PC so snapshot bytes are deterministic (the map's
-        // iteration order is not part of simulated behaviour).
-        let mut entries: Vec<(&u64, &StrideEntry)> = self.table.iter().collect();
-        entries.sort_unstable_by_key(|(pc, _)| **pc);
-        w.usize(entries.len());
-        for (pc, e) in entries {
-            w.u64(*pc);
+        // The arena map iterates in ascending PC order, so the bytes
+        // are deterministic without an explicit sort.
+        w.usize(self.table.len());
+        for (pc, e) in self.table.iter() {
+            w.u64(pc);
             w.u64(e.last_line.index());
             w.i64(e.stride);
             w.u8(e.confidence);
@@ -150,7 +160,10 @@ impl Snapshot for StridePrefetcher {
 
     fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
         let n = r.usize()?;
-        triangel_types::snap::snap_check(n <= self.capacity, "stride table above capacity")?;
+        triangel_types::snap::snap_check(
+            n <= self.table.capacity(),
+            "stride table above capacity",
+        )?;
         self.table.clear();
         for _ in 0..n {
             let pc = r.u64()?;
@@ -159,7 +172,7 @@ impl Snapshot for StridePrefetcher {
                 stride: r.i64()?,
                 confidence: r.u8()?,
             };
-            self.table.insert(pc, e);
+            *self.table.get_mut_or_insert_with(pc, StrideEntry::default) = e;
         }
         self.issued = r.u64()?;
         Ok(())
@@ -251,5 +264,39 @@ mod tests {
         let mut pf = StridePrefetcher::new(16, 2);
         let out = drive(&mut pf, 1, &[42, 42, 42, 42, 42]);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn capacity_evicts_smallest_pc() {
+        let mut pf = StridePrefetcher::new(2, 2);
+        drive(&mut pf, 10, &[100]);
+        drive(&mut pf, 20, &[200]);
+        drive(&mut pf, 30, &[300]); // evicts PC 10
+        assert_eq!(pf.table.len(), 2);
+        assert!(!pf.table.contains_key(10));
+        assert!(pf.table.contains_key(20));
+        assert!(pf.table.contains_key(30));
+        // Touching a resident PC at capacity does not evict.
+        drive(&mut pf, 20, &[201]);
+        assert!(pf.table.contains_key(30));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_streams() {
+        let mut pf = StridePrefetcher::new(16, 2);
+        drive(&mut pf, 9, &[50, 51, 52]);
+        drive(&mut pf, 3, &[10, 12, 14]);
+        let mut w = SnapWriter::new();
+        pf.save(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut q = StridePrefetcher::new(16, 2);
+        let mut r = SnapReader::new(&bytes);
+        q.restore(&mut r).unwrap();
+        r.finish().unwrap();
+        // Both continue identically.
+        let a = drive(&mut pf, 9, &[53]);
+        let b = drive(&mut q, 9, &[53]);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
     }
 }

@@ -131,21 +131,6 @@ impl PrefetcherImpl {
             _ => None,
         }
     }
-
-    /// Free-form diagnostic snapshot.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `PrefetcherImpl::probe` and the triangel-obs probe registry"
-    )]
-    #[allow(deprecated)]
-    pub fn debug_string(&self) -> String {
-        match self {
-            PrefetcherImpl::Null(p) => p.debug_string(),
-            PrefetcherImpl::Triage(p) => p.debug_string(),
-            PrefetcherImpl::Triangel(p) => p.debug_string(),
-            PrefetcherImpl::Dyn(p) => p.debug_string(),
-        }
-    }
 }
 
 impl From<Box<dyn Prefetcher>> for PrefetcherImpl {

@@ -8,7 +8,7 @@ use crate::metrics::RunReport;
 use crate::session::SimSession;
 use triangel_core::{Triangel, TriangelConfig, TriangelFeatures};
 use triangel_markov::TargetFormat;
-use triangel_prefetch::{NullPrefetcher, Prefetcher};
+use triangel_prefetch::NullPrefetcher;
 use triangel_triage::{Triage, TriageConfig};
 use triangel_workloads::paging::PageMapper;
 use triangel_workloads::TraceSource;
@@ -135,22 +135,6 @@ impl PrefetcherChoice {
                 }
                 PrefetcherImpl::Triangel(Box::new(Triangel::new(c)))
             }
-        }
-    }
-
-    /// Builds the prefetcher behind a trait object.
-    ///
-    /// Compatibility shim for callers that store prefetchers as
-    /// `Box<dyn Prefetcher>` (and the reference the
-    /// dispatch-equivalence tests compare the enum path against).
-    /// Delegates to [`PrefetcherChoice::build_impl`] so the two
-    /// dispatch paths cannot drift apart.
-    pub fn build_boxed(&self, sizing_window: u64) -> Box<dyn Prefetcher> {
-        match self.build_impl(sizing_window) {
-            PrefetcherImpl::Null(p) => Box::new(p),
-            PrefetcherImpl::Triage(p) => p,
-            PrefetcherImpl::Triangel(p) => p,
-            PrefetcherImpl::Dyn(p) => p,
         }
     }
 

@@ -127,6 +127,11 @@ impl MemorySystem {
     /// [`MemorySystem::with_prefetchers`] with enum-dispatched
     /// prefetchers instead.
     ///
+    /// Kept deliberately (shim audit): this is the only way to drive
+    /// the hierarchy with a user-supplied `Prefetcher` implementation
+    /// from outside the workspace, and the dispatch-equivalence test
+    /// uses it as the independent reference for the enum path.
+    ///
     /// # Panics
     ///
     /// Panics if `temporal` is empty.
@@ -454,16 +459,6 @@ impl MemorySystem {
     /// The temporal prefetcher's display name.
     pub fn prefetcher_name(&self, core_idx: usize) -> &str {
         self.cores[core_idx].temporal.name()
-    }
-
-    /// The temporal prefetcher's diagnostic snapshot.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `MemorySystem::probe` / `prefetcher_probe` and the triangel-obs probe registry"
-    )]
-    #[allow(deprecated)]
-    pub fn prefetcher_debug(&self, core_idx: usize) -> String {
-        self.cores[core_idx].temporal.debug_string()
     }
 
     /// The temporal prefetcher's named internal counters.

@@ -21,8 +21,9 @@
 //! [`triangel_cache::replacement::ReplacementImpl`]), and the engine's
 //! in-flight timeline is a fixed power-of-two ring — no `dyn` call
 //! remains on the per-access hot path of the default pipeline. The
-//! trait-object constructors ([`MemorySystem::new`],
-//! [`PrefetcherChoice::build_boxed`]) are kept as compatibility shims.
+//! one remaining trait-object constructor, [`MemorySystem::new`], is
+//! kept deliberately as the entry point for user-supplied
+//! [`triangel_prefetch::Prefetcher`] implementations.
 //!
 //! # Examples
 //!

@@ -31,8 +31,11 @@ const SNAP_MAGIC: [u8; 8] = *b"TRGLSNP\0";
 ///
 /// Version history: 1 = initial envelope; 2 = adds the interval
 /// time-series recorder (sampling period + recorded samples), so
-/// interrupt→resume reproduces a sampled series byte for byte.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// interrupt→resume reproduces a sampled series byte for byte; 3 =
+/// metadata tables (Markov, training, issue) move onto packed
+/// set-associative arenas, which serialize per-set valid masks plus
+/// live slots only (plus a policy tag byte ahead of the Markov table).
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// A fully-assembled simulation, ready to run.
 ///
@@ -179,7 +182,7 @@ impl SimSession {
 
     /// The memory hierarchy's named counters (see
     /// [`triangel_obs::Probe`]): the structured replacement for the
-    /// deprecated `prefetcher_debug` string.
+    /// removed `prefetcher_debug` string.
     pub fn probes(&self) -> triangel_obs::ProbeSet {
         let mut out = triangel_obs::ProbeSet::new();
         self.engine.system().probe(&mut out);

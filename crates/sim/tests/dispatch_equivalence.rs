@@ -8,7 +8,10 @@
 //! `RunReport`s on the smoke sweep — the enum is a dispatch mechanism,
 //! never a behaviour change.
 
-use triangel_sim::{Engine, MemorySystem, PrefetcherChoice, RunReport, SimSession, SystemConfig};
+use triangel_prefetch::Prefetcher;
+use triangel_sim::{
+    Engine, MemorySystem, PrefetcherChoice, PrefetcherImpl, RunReport, SimSession, SystemConfig,
+};
 use triangel_workloads::paging::PageMapper;
 use triangel_workloads::spec::SpecWorkload;
 use triangel_workloads::TraceSource;
@@ -77,6 +80,19 @@ fn run_enum(
     b.run().unwrap()
 }
 
+/// Boxes the enum-built prefetcher behind the `Prefetcher` trait — the
+/// reference the equivalence check runs against. The production
+/// `build_boxed` shim was removed; unwrapping `build_impl` here keeps
+/// the two dispatch paths built from the very same constructors.
+fn build_boxed(choice: PrefetcherChoice, sizing_window: u64) -> Box<dyn Prefetcher> {
+    match choice.build_impl(sizing_window) {
+        PrefetcherImpl::Null(p) => Box::new(p),
+        PrefetcherImpl::Triage(p) => p,
+        PrefetcherImpl::Triangel(p) => p,
+        PrefetcherImpl::Dyn(p) => p,
+    }
+}
+
 /// Runs the same job through the `Box<dyn Prefetcher>` compatibility
 /// constructors, replicating the session's defaults by hand.
 fn run_dyn(
@@ -91,7 +107,7 @@ fn run_dyn(
     };
     let temporal = workloads
         .iter()
-        .map(|_| choice.build_boxed(SIZING))
+        .map(|_| build_boxed(choice, SIZING))
         .collect();
     let system = MemorySystem::new(cfg, temporal);
     let sources: Vec<Box<dyn TraceSource>> = workloads

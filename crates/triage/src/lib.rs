@@ -48,7 +48,7 @@ mod training;
 
 pub use training::{TrainingTable, TrainingUpdate};
 
-use triangel_markov::{MarkovTable, MarkovTableConfig};
+use triangel_markov::{MarkovTableConfig, MarkovTableImpl};
 use triangel_prefetch::{
     BloomFilter, CacheView, EvictNotice, IssueTable, PrefetchRequest, Prefetcher, PrefetcherStats,
     TrainEvent, TrainKind,
@@ -137,7 +137,7 @@ impl TriageConfig {
 pub struct Triage {
     cfg: TriageConfig,
     training: TrainingTable,
-    markov: MarkovTable,
+    markov: MarkovTableImpl,
     bloom: BloomFilter,
     window_left: u64,
     desired_ways: usize,
@@ -167,7 +167,7 @@ impl Triage {
         }
         Triage {
             training: TrainingTable::new(cfg.training_entries, cfg.lookahead),
-            markov: MarkovTable::new(cfg.table),
+            markov: MarkovTableImpl::new(cfg.table),
             bloom: BloomFilter::new(cfg.bloom_bits, 4),
             window_left: cfg.sizing_window,
             desired_ways: 0,
@@ -181,7 +181,7 @@ impl Triage {
     }
 
     /// Read access to the Markov table (for experiments and tests).
-    pub fn markov(&self) -> &MarkovTable {
+    pub fn markov(&self) -> &MarkovTableImpl {
         &self.markov
     }
 

@@ -1,15 +1,30 @@
 //! Triage's PC-indexed training table.
 
+use triangel_types::arena::SetArena;
+use triangel_types::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use triangel_types::{xor_fold, LineAddr, Pc};
 
-/// One training-table entry: the per-PC miss history shift register.
+/// One entry's payload: the per-PC miss history shift register. The PC
+/// tag and validity live in the arena's tag/mask storage.
 #[derive(Debug, Clone, Copy, Default)]
-struct Slot {
-    pc_tag: u16,
-    valid: bool,
+struct History {
     /// `last[0]` is the most recent miss/prefetch-hit; `last[1]` the one
     /// before (only maintained when lookahead 2 is configured).
     last: [Option<LineAddr>; 2],
+}
+
+impl Snapshot for History {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.opt_u64(self.last[0].map(|l| l.index()));
+        w.opt_u64(self.last[1].map(|l| l.index()));
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.last[0] = r.opt_u64()?.map(LineAddr::new);
+        self.last[1] = r.opt_u64()?.map(LineAddr::new);
+        Ok(())
+    }
 }
 
 /// Result of a training-table update.
@@ -29,9 +44,12 @@ pub struct TrainingUpdate {
 ///
 /// Direct-mapped on a hash of the PC with a 10-bit tag, like the paper's
 /// structures; collisions reset the history, as real hardware would.
+/// Stored as a one-way [`SetArena`] (one arena set per slot), which
+/// keeps the PC tags packed for the probe and the validity in a
+/// bitmask.
 #[derive(Debug)]
 pub struct TrainingTable {
-    slots: Vec<Slot>,
+    slots: SetArena<History>,
     lookahead: usize,
     index_bits: u32,
 }
@@ -48,7 +66,7 @@ impl TrainingTable {
         assert!(lookahead == 1 || lookahead == 2, "lookahead must be 1 or 2");
         let n = entries.next_power_of_two();
         TrainingTable {
-            slots: vec![Slot::default(); n],
+            slots: SetArena::new(n, 1),
             lookahead,
             index_bits: n.trailing_zeros(),
         }
@@ -58,7 +76,7 @@ impl TrainingTable {
         let idx = if self.index_bits == 0 {
             0
         } else {
-            (xor_fold(pc.get() >> 2, self.index_bits) as usize) & (self.slots.len() - 1)
+            (xor_fold(pc.get() >> 2, self.index_bits) as usize) & (self.slots.sets() - 1)
         };
         let tag = xor_fold(pc.get() >> 2, 10) as u16;
         (idx, tag)
@@ -68,23 +86,19 @@ impl TrainingTable {
     /// index (if any) should now be trained with `line` as its target.
     pub fn update(&mut self, pc: Pc, line: LineAddr) -> TrainingUpdate {
         let (idx, tag) = self.index_of(pc);
-        let slot = &mut self.slots[idx];
-        let allocated = !(slot.valid && slot.pc_tag == tag);
+        let allocated = self.slots.find(idx, tag).is_none();
         if allocated {
-            *slot = Slot {
-                pc_tag: tag,
-                valid: true,
-                last: [None, None],
-            };
+            self.slots.insert(idx, 0, tag, History::default());
         }
+        let h = self.slots.payload_mut(idx, 0);
         let train_index = if self.lookahead == 2 {
-            slot.last[1]
+            h.last[1]
         } else {
-            slot.last[0]
+            h.last[0]
         };
         // Shift the history register.
-        slot.last[1] = slot.last[0];
-        slot.last[0] = Some(line);
+        h.last[1] = h.last[0];
+        h.last[0] = Some(line);
         TrainingUpdate {
             train_index,
             allocated,
@@ -94,41 +108,25 @@ impl TrainingTable {
     /// Peeks at the most recent address recorded for `pc`.
     pub fn last_addr(&self, pc: Pc) -> Option<LineAddr> {
         let (idx, tag) = self.index_of(pc);
-        let slot = &self.slots[idx];
-        (slot.valid && slot.pc_tag == tag)
-            .then_some(slot.last[0])
-            .flatten()
+        match self.slots.get(idx, 0) {
+            Some((t, h)) if t == tag => h.last[0],
+            _ => None,
+        }
     }
 
     /// Number of slots.
     pub fn capacity(&self) -> usize {
-        self.slots.len()
+        self.slots.sets()
     }
 }
 
-use triangel_types::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
-
 impl Snapshot for TrainingTable {
     fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
-        w.usize(self.slots.len());
-        for s in &self.slots {
-            w.u16(s.pc_tag);
-            w.bool(s.valid);
-            w.opt_u64(s.last[0].map(|l| l.index()));
-            w.opt_u64(s.last[1].map(|l| l.index()));
-        }
-        Ok(())
+        self.slots.save(w)
     }
 
     fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
-        r.expect_len(self.slots.len(), "Triage training slots")?;
-        for s in &mut self.slots {
-            s.pc_tag = r.u16()?;
-            s.valid = r.bool()?;
-            s.last[0] = r.opt_u64()?.map(LineAddr::new);
-            s.last[1] = r.opt_u64()?.map(LineAddr::new);
-        }
-        Ok(())
+        self.slots.restore(r)
     }
 }
 
@@ -202,5 +200,26 @@ mod tests {
     #[should_panic(expected = "lookahead must be 1 or 2")]
     fn bad_lookahead_rejected() {
         let _ = TrainingTable::new(8, 3);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_histories() {
+        let mut t = TrainingTable::new(64, 2);
+        let pc = Pc::new(0x40);
+        t.update(pc, LineAddr::new(1));
+        t.update(pc, LineAddr::new(2));
+        let mut w = SnapWriter::new();
+        t.save(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut u = TrainingTable::new(64, 2);
+        let mut r = SnapReader::new(&bytes);
+        u.restore(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(
+            u.update(pc, LineAddr::new(3)).train_index,
+            Some(LineAddr::new(1)),
+            "shift-register state survives the round-trip"
+        );
+        assert_eq!(u.last_addr(pc), Some(LineAddr::new(3)));
     }
 }

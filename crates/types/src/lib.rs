@@ -33,6 +33,7 @@
 #![warn(missing_debug_implementations)]
 
 mod addr;
+pub mod arena;
 mod counter;
 pub mod hash;
 mod meta;

@@ -110,6 +110,11 @@ impl WorkloadMix {
     /// arm. Prefer [`WorkloadMix::add_stream`] for the shipped building
     /// blocks, which dispatch without a virtual call.
     ///
+    /// Kept deliberately (shim audit): external callers composing their
+    /// own `TraceSource` implementations have no enum arm to land in
+    /// (see `examples/custom_workload.rs`), so the boxed entry point
+    /// stays.
+    ///
     /// # Panics
     ///
     /// Panics if `weight` is zero.

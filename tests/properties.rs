@@ -4,7 +4,7 @@ use proptest::prelude::*;
 
 use triangel::cache::replacement::PolicyKind;
 use triangel::cache::{Cache, CacheConfig, Mshr};
-use triangel::markov::{MarkovTable, MarkovTableConfig, TargetFormat};
+use triangel::markov::{MarkovTableConfig, MarkovTableImpl, TargetFormat};
 use triangel::prefetch::BloomFilter;
 use triangel::types::stats::geomean;
 use triangel::types::{Addr, LineAddr, Pc, SaturatingCounter};
@@ -68,7 +68,7 @@ proptest! {
     /// never returns a hit from an inactive partition.
     #[test]
     fn markov_roundtrip_direct(pairs in prop::collection::vec((0u64..100_000, 0u64..100_000), 1..100)) {
-        let mut t = MarkovTable::new(MarkovTableConfig {
+        let mut t = MarkovTableImpl::new(MarkovTableConfig {
             sets: 256,
             max_ways: 4,
             format: TargetFormat::Direct42,
@@ -105,7 +105,7 @@ proptest! {
         format_idx in 0usize..3,
     ) {
         let format = [TargetFormat::Direct42, TargetFormat::triage_default(), TargetFormat::Ideal32][format_idx];
-        let mut t = MarkovTable::new(MarkovTableConfig {
+        let mut t = MarkovTableImpl::new(MarkovTableConfig {
             sets: 64,
             max_ways: 2,
             format,
@@ -126,7 +126,7 @@ proptest! {
         pairs in prop::collection::vec((0u64..50_000, 0u64..50_000), 1..200),
         new_ways in 0usize..5,
     ) {
-        let mut t = MarkovTable::new(MarkovTableConfig {
+        let mut t = MarkovTableImpl::new(MarkovTableConfig {
             sets: 128,
             max_ways: 4,
             format: TargetFormat::Direct42,
