@@ -27,6 +27,11 @@
 //! * `--max-segments K` — stop after K segments (forced interrupt; CI
 //!   uses this to exercise resume).
 //! * `--wall-budget-secs S` — stop issuing segments after S seconds.
+//! * `--store DIR` — bridge the campaign to the shared cross-process
+//!   result store: finished jobs found there are served without
+//!   executing (counted as loaded), and every report the campaign
+//!   completes is published back, so daemons and sweeps over the same
+//!   grid get hits.
 //! * `--trace PATH` — record the campaign's wall-time spans (one per
 //!   job and per executed segment, on named worker lanes) as Chrome
 //!   `trace_event` JSON for <https://ui.perfetto.dev>. Host-only:
@@ -65,6 +70,7 @@ struct Cli {
     segment: u64,
     max_segments: Option<u64>,
     wall_budget_secs: Option<u64>,
+    store: Option<PathBuf>,
     trace: Option<PathBuf>,
     quiet: bool,
 }
@@ -79,6 +85,7 @@ impl Default for Cli {
             segment: 250_000,
             max_segments: None,
             wall_budget_secs: None,
+            store: None,
             trace: None,
             quiet: false,
         }
@@ -131,13 +138,15 @@ fn parse_cli(args: impl Iterator<Item = String>) -> Result<Cli, String> {
                         .map_err(|_| format!("bad --wall-budget-secs `{v}`"))?,
                 );
             }
+            "--store" => cli.store = Some(PathBuf::from(value("--store")?)),
             "--trace" => cli.trace = Some(PathBuf::from(value("--trace")?)),
             "--quiet" => cli.quiet = true,
             other => {
                 return Err(format!(
                     "unknown argument `{other}` (expected --figure features|spec, \
                      --scale full|smoke, --jobs N, --out-dir DIR, --segment N, \
-                     --max-segments K, --wall-budget-secs S, --trace PATH, --quiet)"
+                     --max-segments K, --wall-budget-secs S, --store DIR, \
+                     --trace PATH, --quiet)"
                 ))
             }
         }
@@ -191,6 +200,16 @@ fn main() {
     if let Some(s) = cli.wall_budget_secs {
         opts = opts.wall_budget(Duration::from_secs(s));
     }
+    let shared_store = cli.store.as_ref().map(|dir| {
+        let store = triangel_harness::ResultStore::open(dir).unwrap_or_else(|e| {
+            eprintln!("cannot open result store at {}: {e}", dir.display());
+            std::process::exit(2);
+        });
+        std::sync::Arc::new(store)
+    });
+    if let Some(store) = &shared_store {
+        opts = opts.with_store(store.clone());
+    }
     let trace = cli
         .trace
         .as_ref()
@@ -221,6 +240,9 @@ fn main() {
         s.accesses_run,
         t0.elapsed().as_secs_f64(),
     );
+    if let Some(store) = &shared_store {
+        eprintln!("[store] {}", store.stats().render());
+    }
 
     // Written before any exit below: an interrupted campaign's trace is
     // exactly the one worth looking at.

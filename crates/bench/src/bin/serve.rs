@@ -1,0 +1,172 @@
+//! The simulation daemon: harness-as-a-service over a Unix socket.
+//!
+//! Runs a long-lived [`triangel_harness::Server`] that accepts sweep
+//! batches from any number of clients (figure binaries started with
+//! `--connect`, or other tools speaking the wire protocol), schedules
+//! them on the shared work-stealing pool, and streams back per-segment
+//! progress plus per-job reports. With `--store`, batches resolve
+//! against the on-disk result store first and publish what they
+//! execute, so repeated or overlapping sweeps each pay only for the
+//! jobs nobody has run yet.
+//!
+//! Served results are byte-identical to in-process execution — the
+//! handshake pins both the wire protocol and the simulator snapshot
+//! version, so a client never folds incomparable reports.
+//!
+//! ```text
+//! serve [--socket PATH] [--store DIR] [--jobs N] [--segment N] [--quiet]
+//! serve --shutdown [--socket PATH]
+//! ```
+//!
+//! * `--socket PATH` — the Unix socket to listen on (default:
+//!   `STORE/serve.sock` when `--store` is given, `serve.sock`
+//!   otherwise). A stale socket left by a dead daemon is replaced; a
+//!   live daemon on the path is an `AddrInUse` error.
+//! * `--store DIR` — share the content-addressed result store at
+//!   `DIR` (created if absent) across batches, clients, and processes.
+//! * `--jobs N` — worker threads per batch (0 = one per core).
+//! * `--segment N` — accesses per core between streamed progress
+//!   events.
+//! * `--quiet` — suppress per-connection/batch logging.
+//! * `--shutdown` — connect as a client and ask the daemon at
+//!   `--socket` to exit, instead of serving.
+//!
+//! Exit status: 0 on clean shutdown, 1 on serve failures, 2 on usage
+//! errors.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use triangel_harness::{Client, ResultStore, Server, ServerOptions};
+
+#[derive(Debug)]
+struct Cli {
+    socket: Option<PathBuf>,
+    store: Option<PathBuf>,
+    jobs: usize,
+    segment: u64,
+    quiet: bool,
+    shutdown: bool,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            socket: None,
+            store: None,
+            jobs: 0,
+            segment: 250_000,
+            quiet: false,
+            shutdown: false,
+        }
+    }
+}
+
+fn parse_cli(args: impl Iterator<Item = String>) -> Result<Cli, String> {
+    let mut cli = Cli::default();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--socket" => cli.socket = Some(PathBuf::from(value("--socket")?)),
+            "--store" => cli.store = Some(PathBuf::from(value("--store")?)),
+            "--jobs" => {
+                let v = value("--jobs")?;
+                cli.jobs = v.parse().map_err(|_| format!("bad --jobs value `{v}`"))?;
+            }
+            "--segment" => {
+                let v = value("--segment")?;
+                cli.segment = v
+                    .parse()
+                    .map_err(|_| format!("bad --segment value `{v}`"))?;
+                if cli.segment == 0 {
+                    return Err("--segment must be positive".into());
+                }
+            }
+            "--quiet" => cli.quiet = true,
+            "--shutdown" => cli.shutdown = true,
+            other => {
+                return Err(format!(
+                    "unknown argument `{other}` (expected --socket PATH, --store DIR, \
+                     --jobs N, --segment N, --quiet, --shutdown)"
+                ))
+            }
+        }
+    }
+    Ok(cli)
+}
+
+/// The socket path: explicit `--socket`, else alongside the store,
+/// else `serve.sock` in the working directory.
+fn socket_path(cli: &Cli) -> PathBuf {
+    if let Some(path) = &cli.socket {
+        return path.clone();
+    }
+    match &cli.store {
+        Some(dir) => dir.join("serve.sock"),
+        None => PathBuf::from("serve.sock"),
+    }
+}
+
+fn main() {
+    let cli = match parse_cli(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let socket = socket_path(&cli);
+
+    if cli.shutdown {
+        let client = Client::connect(&socket).unwrap_or_else(|e| {
+            eprintln!("cannot connect to daemon at {}: {e}", socket.display());
+            std::process::exit(1);
+        });
+        if let Err(e) = client.shutdown() {
+            eprintln!("shutdown request failed: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[serve] daemon at {} shut down", socket.display());
+        return;
+    }
+
+    let store = cli.store.as_ref().map(|dir| {
+        let store = ResultStore::open(dir).unwrap_or_else(|e| {
+            eprintln!("cannot open result store at {}: {e}", dir.display());
+            std::process::exit(2);
+        });
+        Arc::new(store)
+    });
+    let opts = ServerOptions {
+        workers: cli.jobs,
+        segment_accesses: cli.segment,
+        store: store.clone(),
+        verbose: !cli.quiet,
+    };
+    let server = Server::bind(&socket, opts).unwrap_or_else(|e| {
+        eprintln!("cannot bind daemon socket {}: {e}", socket.display());
+        std::process::exit(1);
+    });
+    eprintln!(
+        "[serve] listening on {}{}",
+        server.path().display(),
+        match &cli.store {
+            Some(dir) => format!(" (store: {})", dir.display()),
+            None => String::new(),
+        }
+    );
+    let result = server.serve();
+    // Clean up the socket so the next daemon binds fresh; the store's
+    // final counters tell the operator what this daemon's lifetime
+    // was worth.
+    let _ = std::fs::remove_file(&socket);
+    if let Some(store) = &store {
+        eprintln!("[store] {}", store.stats().render());
+    }
+    if let Err(e) = result {
+        eprintln!("[serve] daemon failed: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("[serve] exiting");
+}

@@ -30,7 +30,6 @@
 //! `--jobs` is.
 
 use std::collections::HashMap;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -38,18 +37,18 @@ use std::time::{Duration, Instant};
 
 use triangel_obs::TraceArg;
 use triangel_sim::RunReport;
-use triangel_types::snap::{snap_check, SnapError, SnapReader, SnapWriter, Snapshot};
+use triangel_store::{key_stem, write_atomic, ResultStore};
+use triangel_types::snap::SnapError;
+
+// The report framing grew up and moved out (to `triangel-store`, which
+// shares it between campaign artifacts, store entries, and the daemon
+// wire protocol); re-exported here so existing callers keep working.
+pub use triangel_store::{report_from_bytes, report_to_bytes, REPORT_MAGIC, REPORT_VERSION};
 
 use crate::job::JobSpec;
 use crate::pool;
 use crate::sweep::{JobError, Progress, ResultCache};
 
-/// Magic framing for persisted [`RunReport`]s.
-const REPORT_MAGIC: [u8; 8] = *b"TRGLRPT\0";
-/// Version of the persisted-report framing. v2 appends the optional
-/// interval time-series, so sampled campaign jobs resume with their
-/// recorded series intact.
-const REPORT_VERSION: u32 = 2;
 /// Header line opening `manifest.tsv`. v2 inserts a `wall_ms` column
 /// (cumulative host wall-time spent executing the job, across every
 /// invocation that touched it) before the key; v1 rows are still
@@ -83,6 +82,12 @@ pub struct CampaignOptions {
     /// observational: tracing never changes what is simulated or
     /// persisted.
     pub trace: Option<Arc<triangel_obs::TraceBuffer>>,
+    /// Shared cross-process [`ResultStore`]. When set, the campaign
+    /// serves finished jobs from the store (counted as `loaded`, like
+    /// its private `--out-dir` reports) and publishes every report it
+    /// finishes — or has finished — back into it, so a later daemon,
+    /// sweep, or campaign over the same grid is all hits.
+    pub store: Option<Arc<ResultStore>>,
 }
 
 impl CampaignOptions {
@@ -97,6 +102,7 @@ impl CampaignOptions {
             max_segments: None,
             wall_budget: None,
             trace: None,
+            store: None,
         }
     }
 
@@ -145,6 +151,14 @@ impl CampaignOptions {
     #[must_use]
     pub fn with_trace(mut self, trace: Arc<triangel_obs::TraceBuffer>) -> Self {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Bridges this campaign to a shared cross-process [`ResultStore`]
+    /// (see [`CampaignOptions::store`]).
+    #[must_use]
+    pub fn with_store(mut self, store: Arc<ResultStore>) -> Self {
+        self.store = Some(store);
         self
     }
 }
@@ -311,122 +325,6 @@ impl Manifest {
         }
         out
     }
-}
-
-/// FNV-1a over the job key: the stable file stem for a job's artifacts.
-fn key_stem(key: &str) -> String {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in key.as_bytes() {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    format!("{h:016x}")
-}
-
-/// Atomically replaces `path` with `bytes` (write to a sibling temp
-/// file, then rename), so a kill mid-write never corrupts an artifact.
-fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    let tmp = path.with_extension("tmp");
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
-    }
-    std::fs::rename(&tmp, path)
-}
-
-/// Serializes a [`RunReport`] in the snapshot framing.
-pub fn report_to_bytes(report: &RunReport) -> Vec<u8> {
-    let mut w = SnapWriter::new();
-    w.bytes(&REPORT_MAGIC);
-    w.u32(REPORT_VERSION);
-    w.str(&report.workload);
-    w.usize(report.cores.len());
-    for c in &report.cores {
-        w.str(&c.workload);
-        w.str(&c.pf_name);
-        w.u64(c.instructions);
-        w.u64(c.cycles);
-        let _ = c.l2.save(&mut w);
-        let _ = c.core.save(&mut w);
-        let _ = c.pf.save(&mut w);
-    }
-    let _ = report.l3.save(&mut w);
-    let _ = report.dram.save(&mut w);
-    w.usize(report.markov_ways);
-    match &report.intervals {
-        Some(series) => {
-            w.bool(true);
-            let _ = series.save(&mut w);
-        }
-        None => w.bool(false),
-    }
-    w.into_bytes()
-}
-
-/// Parses a report written by [`report_to_bytes`].
-///
-/// # Errors
-///
-/// [`SnapError`] on truncated, corrupt, or differently-versioned data.
-pub fn report_from_bytes(bytes: &[u8]) -> Result<RunReport, SnapError> {
-    let mut r = SnapReader::new(bytes);
-    snap_check(r.bytes()? == REPORT_MAGIC, "bad report magic")?;
-    let version = r.u32()?;
-    if version != REPORT_VERSION {
-        return Err(SnapError::Version {
-            found: version,
-            expected: REPORT_VERSION,
-        });
-    }
-    let workload = r.str()?;
-    let n = r.usize()?;
-    snap_check(n > 0 && n <= 1024, "implausible core count")?;
-    let mut cores = Vec::with_capacity(n);
-    for _ in 0..n {
-        let mut core = triangel_sim::CoreReport {
-            workload: r.str()?,
-            pf_name: r.str()?,
-            instructions: r.u64()?,
-            cycles: r.u64()?,
-            l2: Default::default(),
-            core: Default::default(),
-            pf: Default::default(),
-        };
-        core.l2.restore(&mut r)?;
-        core.core.restore(&mut r)?;
-        core.pf.restore(&mut r)?;
-        cores.push(core);
-    }
-    let mut report = RunReport {
-        workload,
-        cores,
-        l3: Default::default(),
-        dram: Default::default(),
-        markov_ways: 0,
-        intervals: None,
-    };
-    report.l3.restore(&mut r)?;
-    report.dram.restore(&mut r)?;
-    report.markov_ways = r.usize()?;
-    if r.bool()? {
-        // Mirror `IntervalSeries::save` by hand: its `restore` checks
-        // the period against an already-configured session, but a
-        // persisted report must accept whatever period it recorded.
-        let every = r.u64()?;
-        snap_check(every > 0, "sampled report with zero period")?;
-        let n = r.usize()?;
-        snap_check(n <= 1 << 24, "implausible sample count")?;
-        let mut samples = Vec::with_capacity(n);
-        for _ in 0..n {
-            let mut s = triangel_obs::IntervalSample::default();
-            s.restore(&mut r)?;
-            samples.push(s);
-        }
-        report.intervals = Some(triangel_obs::IntervalSeries { every, samples });
-    }
-    r.finish()?;
-    Ok(report)
 }
 
 /// Shared mutable campaign state: the manifest plus its path, guarded
@@ -637,11 +535,20 @@ impl Campaign {
                 {
                     Ok(report) => {
                         loaded.fetch_add(1, Ordering::Relaxed);
+                        let report = Arc::new(report);
+                        // Bridge to the shared store: a report this
+                        // campaign already owns becomes a hit for every
+                        // other process sweeping the same grid.
+                        if let Some(shared) = &opts.store {
+                            if shared.get(key).is_none() {
+                                shared.put(key, &report);
+                            }
+                        }
                         if progress {
                             eprintln!("[campaign] loaded  {key}");
                         }
                         job_span("loaded");
-                        return JobOutcome::Done(Arc::new(report));
+                        return JobOutcome::Done(report);
                     }
                     Err(e) => {
                         // Stale or corrupt artifact: re-run from scratch.
@@ -663,6 +570,32 @@ impl Campaign {
         };
         let total = session.total_accesses();
         let mut segments_done = 0u64;
+
+        // Finished by some *other* process sharing the store: persist
+        // its report as our own artifact and serve it without
+        // simulating — the cross-process analogue of the
+        // report-loaded path above.
+        if let Some(report) = opts.store.as_ref().and_then(|s| s.get(key)) {
+            if let Err(e) = write_atomic(&report_path, &report_to_bytes(&report)) {
+                eprintln!("[campaign] report write failed for {key}: {e}");
+            }
+            store.update(ManifestEntry {
+                stem: stem.clone(),
+                done: true,
+                segments: 0,
+                executed: total,
+                total,
+                wall_ms,
+                key: key.to_string(),
+            });
+            let _ = std::fs::remove_file(&snap_path);
+            loaded.fetch_add(1, Ordering::Relaxed);
+            if progress {
+                eprintln!("[campaign] loaded  {key} (from store)");
+            }
+            job_span("loaded");
+            return JobOutcome::Done(report);
+        }
 
         // Partially finished earlier: restore the checkpoint.
         if let Some(entry) = prior.filter(|e| !e.done) {
@@ -798,6 +731,9 @@ impl Campaign {
         let report = Arc::new(session.report());
         if let Err(e) = write_atomic(&report_path, &report_to_bytes(&report)) {
             eprintln!("[campaign] report write failed for {key}: {e}");
+        }
+        if let Some(shared) = &opts.store {
+            shared.put(key, &report);
         }
         checkpoint(true, segments_done, total, wall_ms);
         let _ = std::fs::remove_file(&snap_path);

@@ -1,0 +1,250 @@
+//! The daemon client: one connection, batch requests, streamed events.
+
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use triangel_sim::{RunReport, SNAPSHOT_VERSION};
+use triangel_store::report_from_bytes;
+
+use crate::job::JobSpec;
+use crate::service::wire::{read_frame, write_frame, Request, Response, PROTO_VERSION};
+use crate::sweep::JobError;
+
+/// One job's resolution from a daemon batch.
+#[derive(Debug, Clone)]
+pub struct RemoteOutcome {
+    /// The job's report (or its failure), exactly as a local execution
+    /// would have produced it.
+    pub result: Result<Arc<RunReport>, JobError>,
+    /// Whether the daemon served it from its store without executing.
+    pub from_store: bool,
+}
+
+/// Cumulative traffic counters for one [`Client`] (all batches).
+#[derive(Debug, Default)]
+pub struct ClientStats {
+    jobs: AtomicU64,
+    executed: AtomicU64,
+    store_hits: AtomicU64,
+}
+
+impl ClientStats {
+    /// Jobs sent to the daemon.
+    pub fn jobs(&self) -> u64 {
+        self.jobs.load(Ordering::Relaxed)
+    }
+
+    /// Jobs the daemon actually simulated for us.
+    pub fn executed(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Jobs the daemon served from its store.
+    pub fn store_hits(&self) -> u64 {
+        self.store_hits.load(Ordering::Relaxed)
+    }
+
+    /// The standard one-line rendering for stderr summaries:
+    /// `jobs=17 executed=14 store_hits=3`.
+    pub fn render(&self) -> String {
+        format!(
+            "jobs={} executed={} store_hits={}",
+            self.jobs(),
+            self.executed(),
+            self.store_hits()
+        )
+    }
+}
+
+/// A connection to a [`Server`](crate::service::Server).
+///
+/// Thread-compatible: one batch runs on the connection at a time
+/// (enforced by an internal lock), which is exactly the sweep layer's
+/// access pattern — the parallelism lives on the daemon's pool.
+#[derive(Debug)]
+pub struct Client {
+    stream: Mutex<UnixStream>,
+    stats: ClientStats,
+}
+
+impl Client {
+    /// Connects to the daemon at `path` and performs the version
+    /// handshake.
+    ///
+    /// # Errors
+    ///
+    /// Connection errors, or a daemon speaking a different protocol or
+    /// simulating under a different snapshot version (results would
+    /// not be comparable, so the mismatch is refused loudly).
+    pub fn connect(path: impl AsRef<Path>) -> io::Result<Client> {
+        let mut stream = UnixStream::connect(path)?;
+        write_frame(
+            &mut stream,
+            &Request::Hello {
+                proto: PROTO_VERSION,
+                snapshot: SNAPSHOT_VERSION,
+            }
+            .encode(),
+        )?;
+        match Self::read_response(&mut stream)? {
+            Response::HelloOk { .. } => Ok(Client {
+                stream: Mutex::new(stream),
+                stats: ClientStats::default(),
+            }),
+            Response::Error { message } => Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("daemon refused handshake: {message}"),
+            )),
+            other => Err(protocol_error(&other)),
+        }
+    }
+
+    /// This connection's cumulative counters.
+    pub fn stats(&self) -> &ClientStats {
+        &self.stats
+    }
+
+    /// Executes `jobs` on the daemon, blocking until the whole batch
+    /// resolves. Every job must be [`remotable`](crate::service::remotable).
+    /// With `progress` set, streamed per-segment events render as
+    /// stderr lines.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol errors — the *batch* could not be run.
+    /// Individual job failures come back inside their
+    /// [`RemoteOutcome`]s.
+    pub fn run_jobs(&self, jobs: &[JobSpec], progress: bool) -> io::Result<Vec<RemoteOutcome>> {
+        let mut stream = self.stream.lock().unwrap();
+        write_frame(
+            &mut *stream,
+            &Request::RunJobs {
+                jobs: jobs.to_vec(),
+            }
+            .encode(),
+        )?;
+        let mut outcomes: Vec<Option<RemoteOutcome>> = vec![None; jobs.len()];
+        let total = jobs.len();
+        let mut resolved = 0usize;
+        loop {
+            match Self::read_response(&mut stream)? {
+                Response::Progress {
+                    idx,
+                    executed,
+                    total,
+                } => {
+                    if progress {
+                        eprintln!(
+                            "[serve] job {idx}: {executed}/{total} ({:.0}%)",
+                            100.0 * executed as f64 / total.max(1) as f64
+                        );
+                    }
+                }
+                Response::JobDone {
+                    idx,
+                    from_store,
+                    report,
+                } => {
+                    let idx = idx as usize;
+                    let slot = outcomes.get_mut(idx).ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("daemon resolved out-of-range job {idx}"),
+                        )
+                    })?;
+                    let result = report_from_bytes(&report).map(Arc::new).map_err(|e| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("daemon sent undecodable report for job {idx}: {e}"),
+                        )
+                    })?;
+                    *slot = Some(RemoteOutcome {
+                        result: Ok(result),
+                        from_store,
+                    });
+                    resolved += 1;
+                    if progress {
+                        let kind = if from_store { "store hit" } else { "done" };
+                        eprintln!("[serve] {resolved}/{total} {kind}  {}", jobs[idx].key());
+                    }
+                }
+                Response::JobFailed { idx, message } => {
+                    let idx = idx as usize;
+                    let slot = outcomes.get_mut(idx).ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("daemon failed out-of-range job {idx}"),
+                        )
+                    })?;
+                    *slot = Some(RemoteOutcome {
+                        result: Err(JobError {
+                            key: jobs[idx].key(),
+                            message,
+                        }),
+                        from_store: false,
+                    });
+                    resolved += 1;
+                }
+                Response::BatchDone { .. } => break,
+                Response::Error { message } => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("daemon rejected batch: {message}"),
+                    ));
+                }
+                other => return Err(protocol_error(&other)),
+            }
+        }
+        let outcomes: Vec<RemoteOutcome> = outcomes
+            .into_iter()
+            .enumerate()
+            .map(|(i, o)| {
+                o.ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("daemon never resolved job {i}"),
+                    )
+                })
+            })
+            .collect::<io::Result<_>>()?;
+        self.stats.jobs.fetch_add(total as u64, Ordering::Relaxed);
+        for o in &outcomes {
+            if o.from_store {
+                self.stats.store_hits.fetch_add(1, Ordering::Relaxed);
+            } else if o.result.is_ok() {
+                self.stats.executed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(outcomes)
+    }
+
+    /// Asks the daemon to exit.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or an unexpected reply.
+    pub fn shutdown(&self) -> io::Result<()> {
+        let mut stream = self.stream.lock().unwrap();
+        write_frame(&mut *stream, &Request::Shutdown.encode())?;
+        match Self::read_response(&mut stream)? {
+            Response::ShutdownOk => Ok(()),
+            other => Err(protocol_error(&other)),
+        }
+    }
+
+    fn read_response(stream: &mut UnixStream) -> io::Result<Response> {
+        let frame = read_frame(stream)?;
+        Response::decode(&frame)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))
+    }
+}
+
+fn protocol_error(resp: &Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected daemon response: {resp:?}"),
+    )
+}

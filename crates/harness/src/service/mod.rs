@@ -1,0 +1,29 @@
+//! Harness-as-a-service: the simulation daemon and its client.
+//!
+//! The [`Server`] is a long-lived daemon on a Unix-domain socket; any
+//! number of clients connect, submit sweep batches, and stream back
+//! per-segment progress plus per-job reports. Jobs schedule on the
+//! same work-stealing [`pool`](crate::pool) as in-process sweeps, and
+//! resolve against a shared [`triangel_store::ResultStore`] first —
+//! many clients sweeping overlapping grids each pay only for the jobs
+//! nobody has run yet.
+//!
+//! The determinism bar is unchanged: a report served by the daemon
+//! (fresh execution or store hit) is byte-identical to running the
+//! same job in-process, so a sweep with [`crate::SweepOptions::remote`]
+//! attached folds remote results through grid aggregation without any
+//! observable difference in output. The handshake enforces this —
+//! client and daemon must agree on both the wire protocol and the
+//! simulator's snapshot version.
+//!
+//! See [`wire`] for the protocol itself and for which jobs it can
+//! express ([`remotable`]); sweeps run inexpressible jobs locally.
+
+pub mod wire;
+
+mod client;
+mod server;
+
+pub use client::{Client, ClientStats, RemoteOutcome};
+pub use server::{Server, ServerOptions};
+pub use wire::{remotable, PROTO_VERSION};

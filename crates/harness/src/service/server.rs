@@ -1,0 +1,282 @@
+//! The long-lived simulation daemon.
+
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+
+use triangel_sim::SNAPSHOT_VERSION;
+use triangel_store::{report_to_bytes, Claim, ResultStore};
+
+use crate::pool;
+use crate::service::wire::{read_frame, write_frame, Request, Response, PROTO_VERSION};
+
+/// How the daemon executes.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Worker threads per batch; `0` means one per available core.
+    pub workers: usize,
+    /// Accesses per core between streamed progress events.
+    pub segment_accesses: u64,
+    /// The shared result store. Batches resolve against it before
+    /// executing, coordinate executions through it, and publish into
+    /// it — so overlapping requests from any number of clients (and
+    /// other daemons on the same store) each pay only for the jobs
+    /// nobody has run yet.
+    pub store: Option<Arc<ResultStore>>,
+    /// One line per connection/batch on stderr.
+    pub verbose: bool,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            workers: 0,
+            segment_accesses: 250_000,
+            store: None,
+            verbose: false,
+        }
+    }
+}
+
+/// A Unix-domain-socket daemon serving sweep batches.
+///
+/// One accept loop, one handler thread per connection; batches
+/// schedule on the same work-stealing [`pool`] in-process sweeps use.
+/// Served results are byte-identical to local execution: a job is
+/// either simulated here (same deterministic pipeline) or read back
+/// from the store (exact framed bytes of such a simulation).
+#[derive(Debug)]
+pub struct Server {
+    listener: UnixListener,
+    path: PathBuf,
+    opts: ServerOptions,
+    shutdown: AtomicBool,
+}
+
+impl Server {
+    /// Binds the daemon to `path`, replacing a stale socket file left
+    /// by a dead daemon.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors — including `AddrInUse` when a *live* daemon
+    /// already serves this path (stale files are only removed when
+    /// nothing answers a connection attempt).
+    pub fn bind(path: impl Into<PathBuf>, opts: ServerOptions) -> io::Result<Server> {
+        let path = path.into();
+        if path.exists() && UnixStream::connect(&path).is_err() {
+            // Nothing is listening: a previous daemon died without
+            // unlinking its socket.
+            std::fs::remove_file(&path)?;
+        }
+        let listener = UnixListener::bind(&path)?;
+        Ok(Server {
+            listener,
+            path,
+            opts,
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// The socket path this daemon serves.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Accepts and serves connections until a client sends `Shutdown`.
+    /// Each connection is handled on its own thread; batches from
+    /// concurrent connections interleave on the shared store safely
+    /// (per-job claims), though each batch schedules its own pool.
+    ///
+    /// # Errors
+    ///
+    /// Fatal accept-loop errors only; per-connection errors are
+    /// reported to the offending client and logged.
+    pub fn serve(&self) -> io::Result<()> {
+        std::thread::scope(|scope| {
+            loop {
+                let (stream, _) = self.listener.accept()?;
+                if self.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                scope.spawn(move || {
+                    if let Err(e) = self.handle_connection(stream) {
+                        // Clients hanging up mid-conversation is
+                        // routine; anything else is worth a line.
+                        if e.kind() != io::ErrorKind::UnexpectedEof {
+                            eprintln!("[serve] connection error: {e}");
+                        }
+                    }
+                });
+            }
+            Ok(())
+        })
+    }
+
+    /// Signals the accept loop to exit and wakes it with a throwaway
+    /// self-connection.
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = UnixStream::connect(&self.path);
+    }
+
+    fn handle_connection(&self, stream: UnixStream) -> io::Result<()> {
+        let mut reader = stream.try_clone()?;
+        // Batch workers stream events concurrently, so writes go
+        // through a mutex; each frame is written whole.
+        let writer = Mutex::new(stream);
+        let send = |resp: &Response| -> io::Result<()> {
+            write_frame(&mut *writer.lock().unwrap(), &resp.encode())
+        };
+        loop {
+            let frame = match read_frame(&mut reader) {
+                Ok(f) => f,
+                // Client hung up between requests: a clean end.
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+                Err(e) => return Err(e),
+            };
+            let request = match Request::decode(&frame) {
+                Ok(r) => r,
+                Err(e) => {
+                    send(&Response::Error {
+                        message: format!("bad request: {e}"),
+                    })?;
+                    continue;
+                }
+            };
+            match request {
+                Request::Hello { proto, snapshot } => {
+                    if proto != PROTO_VERSION || snapshot != SNAPSHOT_VERSION {
+                        send(&Response::Error {
+                            message: format!(
+                                "version mismatch: client proto {proto} snapshot {snapshot}, \
+                                 daemon proto {PROTO_VERSION} snapshot {SNAPSHOT_VERSION}"
+                            ),
+                        })?;
+                        return Ok(());
+                    }
+                    send(&Response::HelloOk {
+                        proto: PROTO_VERSION,
+                        snapshot: SNAPSHOT_VERSION,
+                    })?;
+                }
+                Request::RunJobs { jobs } => {
+                    self.run_batch(&jobs, &send)?;
+                }
+                Request::Shutdown => {
+                    send(&Response::ShutdownOk)?;
+                    if self.opts.verbose {
+                        eprintln!("[serve] shutdown requested");
+                    }
+                    self.begin_shutdown();
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Executes one batch, streaming per-segment progress and per-job
+    /// completions, closing with `BatchDone`.
+    fn run_batch(
+        &self,
+        jobs: &[crate::JobSpec],
+        send: &(dyn Fn(&Response) -> io::Result<()> + Sync),
+    ) -> io::Result<()> {
+        let executed = AtomicU32::new(0);
+        let store_hits = AtomicU32::new(0);
+        let store = self.opts.store.as_deref();
+        let workers = if self.opts.workers == 0 {
+            pool::default_workers()
+        } else {
+            self.opts.workers
+        };
+        if self.opts.verbose {
+            eprintln!("[serve] batch of {} job(s)", jobs.len());
+        }
+        // Send failures inside workers can't abort the pool; remember
+        // the first one and surface it after the batch.
+        let send_error: Mutex<Option<io::Error>> = Mutex::new(None);
+        let send_checked = |resp: &Response| {
+            if let Err(e) = send(resp) {
+                send_error.lock().unwrap().get_or_insert(e);
+            }
+        };
+        pool::run_indexed(jobs.len(), workers, |i| {
+            let job = &jobs[i];
+            let idx = i as u32;
+            let run_here = || match self.execute_streaming(job, idx, &send_checked) {
+                Ok(report) => {
+                    executed.fetch_add(1, Ordering::Relaxed);
+                    Some(report)
+                }
+                Err(message) => {
+                    send_checked(&Response::JobFailed { idx, message });
+                    None
+                }
+            };
+            let (report, from_store) = match store {
+                None => (run_here(), false),
+                Some(s) => match s.get(&job.key()) {
+                    Some(report) => (Some(report), true),
+                    None => match s.claim_blocking(&job.key()) {
+                        Ok(Claim::Hit(report)) => (Some(report), true),
+                        Ok(Claim::Lease(lease)) => {
+                            let report = run_here();
+                            if let Some(report) = &report {
+                                lease.publish(report);
+                            }
+                            (report, false)
+                        }
+                        Err(e) => {
+                            eprintln!(
+                                "[serve] claim failed for {} ({e}); executing uncoordinated",
+                                job.key()
+                            );
+                            (run_here(), false)
+                        }
+                    },
+                },
+            };
+            if let Some(report) = report {
+                if from_store {
+                    store_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                send_checked(&Response::JobDone {
+                    idx,
+                    from_store,
+                    report: report_to_bytes(&report),
+                });
+            }
+        });
+        send(&Response::BatchDone {
+            executed: executed.load(Ordering::Relaxed),
+            store_hits: store_hits.load(Ordering::Relaxed),
+        })?;
+        if let Some(e) = send_error.into_inner().unwrap() {
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Runs one job in segments, streaming a progress event after each.
+    fn execute_streaming(
+        &self,
+        job: &crate::JobSpec,
+        idx: u32,
+        send: &(dyn Fn(&Response) + Sync),
+    ) -> Result<std::sync::Arc<triangel_sim::RunReport>, String> {
+        let mut session = job.session().map_err(|e| e.to_string())?;
+        let total = session.total_accesses();
+        while !session.is_complete() {
+            session.run_segment(self.opts.segment_accesses.max(1));
+            send(&Response::Progress {
+                idx,
+                executed: session.executed_accesses(),
+                total,
+            });
+        }
+        Ok(std::sync::Arc::new(session.report()))
+    }
+}

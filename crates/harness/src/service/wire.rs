@@ -1,0 +1,536 @@
+//! The daemon wire protocol: length-prefixed frames of snap-encoded
+//! messages.
+//!
+//! Hand-rolled on the same [`SnapWriter`]/[`SnapReader`] primitives as
+//! every other persisted format in the workspace — no serialization
+//! dependency, and the same loud-failure properties: truncated or
+//! malformed frames surface as [`SnapError`]s, never as garbage jobs.
+//!
+//! A frame is a `u32` little-endian payload length followed by the
+//! payload; payloads open with a one-byte message tag. [`Request`]
+//! tags live below 128, [`Response`] tags at or above it, so a peer
+//! reading the wrong direction fails immediately.
+//!
+//! Job expressibility: the protocol carries exactly the job shapes the
+//! figure ladder sweeps — SPEC-generator (and pair) workloads under
+//! any named prefetcher configuration, mapper, feature override, and
+//! sampling period. Jobs built from boxed custom generators, pre-built
+//! graphs, or custom prefetcher config structs are not expressible
+//! ([`remotable`] returns `false`) and run locally instead. Every
+//! encoded job also carries its content key; the decoder recomputes
+//! the key from the decoded spec and rejects mismatches, so protocol
+//! drift can never silently serve the wrong simulation.
+
+use std::io::{self, Read, Write};
+
+use triangel_sim::{PrefetcherChoice, TriangelFeatures};
+use triangel_types::snap::{snap_check, SnapError, SnapReader, SnapWriter};
+use triangel_workloads::spec::SpecWorkload;
+
+use crate::job::{JobSpec, MapperSpec, RunParams, WorkloadSpec};
+
+/// Wire-protocol version, exchanged in the hello handshake alongside
+/// the simulator's snapshot version.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Upper bound on one frame's payload, to keep a corrupt length prefix
+/// from provoking an absurd allocation.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// I/O errors, or a payload exceeding [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame.
+///
+/// # Errors
+///
+/// I/O errors (including a clean EOF as `UnexpectedEof`), or a length
+/// prefix exceeding [`MAX_FRAME`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Whether the wire protocol can express `job` (see the module docs).
+pub fn remotable(job: &JobSpec) -> bool {
+    let workload_ok = matches!(
+        job.workload,
+        WorkloadSpec::Spec(_) | WorkloadSpec::Pair(_, _)
+    );
+    let prefetcher_ok = matches!(
+        job.prefetcher,
+        PrefetcherChoice::Baseline
+            | PrefetcherChoice::Triage
+            | PrefetcherChoice::TriageDeg4
+            | PrefetcherChoice::TriageDeg4Look2
+            | PrefetcherChoice::Triangel
+            | PrefetcherChoice::TriangelBloom
+            | PrefetcherChoice::TriangelNoMrb
+            | PrefetcherChoice::TriangelLadder(_)
+    );
+    workload_ok && prefetcher_ok
+}
+
+fn encode_job(w: &mut SnapWriter, job: &JobSpec) {
+    debug_assert!(remotable(job), "caller must filter with remotable()");
+    match &job.workload {
+        WorkloadSpec::Spec(wl) => {
+            w.u8(0);
+            w.str(wl.label());
+        }
+        WorkloadSpec::Pair(a, b) => {
+            w.u8(1);
+            w.str(a.label());
+            w.str(b.label());
+        }
+        _ => unreachable!("non-remotable workload"),
+    }
+    match job.prefetcher {
+        PrefetcherChoice::Baseline => w.u8(0),
+        PrefetcherChoice::Triage => w.u8(1),
+        PrefetcherChoice::TriageDeg4 => w.u8(2),
+        PrefetcherChoice::TriageDeg4Look2 => w.u8(3),
+        PrefetcherChoice::Triangel => w.u8(4),
+        PrefetcherChoice::TriangelBloom => w.u8(5),
+        PrefetcherChoice::TriangelNoMrb => w.u8(6),
+        PrefetcherChoice::TriangelLadder(step) => {
+            w.u8(7);
+            w.usize(step);
+        }
+        _ => unreachable!("non-remotable prefetcher"),
+    }
+    w.u64(job.params.warmup);
+    w.u64(job.params.accesses);
+    w.u64(job.params.sizing_window);
+    w.u64(job.params.seed);
+    match job.mapper {
+        MapperSpec::Default => w.u8(0),
+        MapperSpec::Realistic(seed) => {
+            w.u8(1);
+            w.u64(seed);
+        }
+    }
+    match &job.features {
+        Some(f) => {
+            w.bool(true);
+            for bit in [
+                f.lookahead2,
+                f.triangel_metadata,
+                f.base_pattern_conf,
+                f.second_chance,
+                f.metadata_reuse_buffer,
+                f.set_dueller,
+                f.reuse_conf,
+                f.high_pattern_conf,
+                f.train_on_eviction,
+            ] {
+                w.bool(bit);
+            }
+        }
+        None => w.bool(false),
+    }
+    w.u64(job.sample_every);
+    // The content key rides along as a drift guard: the decoder
+    // recomputes it from the decoded spec and rejects mismatches.
+    w.str(&job.key());
+}
+
+fn spec_workload(label: &str) -> Result<SpecWorkload, SnapError> {
+    SpecWorkload::ALL
+        .into_iter()
+        .find(|wl| wl.label() == label)
+        .ok_or_else(|| SnapError::corrupt(format!("unknown SPEC workload `{label}`")))
+}
+
+fn decode_job(r: &mut SnapReader) -> Result<JobSpec, SnapError> {
+    let workload = match r.u8()? {
+        0 => WorkloadSpec::Spec(spec_workload(&r.str()?)?),
+        1 => WorkloadSpec::Pair(spec_workload(&r.str()?)?, spec_workload(&r.str()?)?),
+        t => return Err(SnapError::corrupt(format!("workload tag {t}"))),
+    };
+    let prefetcher = match r.u8()? {
+        0 => PrefetcherChoice::Baseline,
+        1 => PrefetcherChoice::Triage,
+        2 => PrefetcherChoice::TriageDeg4,
+        3 => PrefetcherChoice::TriageDeg4Look2,
+        4 => PrefetcherChoice::Triangel,
+        5 => PrefetcherChoice::TriangelBloom,
+        6 => PrefetcherChoice::TriangelNoMrb,
+        7 => PrefetcherChoice::TriangelLadder(r.usize()?),
+        t => return Err(SnapError::corrupt(format!("prefetcher tag {t}"))),
+    };
+    let params = RunParams {
+        warmup: r.u64()?,
+        accesses: r.u64()?,
+        sizing_window: r.u64()?,
+        seed: r.u64()?,
+    };
+    let mapper = match r.u8()? {
+        0 => MapperSpec::Default,
+        1 => MapperSpec::Realistic(r.u64()?),
+        t => return Err(SnapError::corrupt(format!("mapper tag {t}"))),
+    };
+    let features = if r.bool()? {
+        Some(TriangelFeatures {
+            lookahead2: r.bool()?,
+            triangel_metadata: r.bool()?,
+            base_pattern_conf: r.bool()?,
+            second_chance: r.bool()?,
+            metadata_reuse_buffer: r.bool()?,
+            set_dueller: r.bool()?,
+            reuse_conf: r.bool()?,
+            high_pattern_conf: r.bool()?,
+            train_on_eviction: r.bool()?,
+        })
+    } else {
+        None
+    };
+    let sample_every = r.u64()?;
+    let mut job = JobSpec::new(workload, prefetcher, params).mapper(mapper);
+    if let Some(f) = features {
+        job = job.features(f);
+    }
+    job = job.sample_every(sample_every);
+    let sent_key = r.str()?;
+    snap_check(
+        job.key() == sent_key,
+        &format!(
+            "job key drift: client sent `{sent_key}`, decoded spec keys `{}`",
+            job.key()
+        ),
+    )?;
+    Ok(job)
+}
+
+/// A client-to-daemon message.
+#[derive(Debug)]
+pub enum Request {
+    /// Version handshake; must open every connection.
+    Hello {
+        /// The client's [`PROTO_VERSION`].
+        proto: u32,
+        /// The client's [`triangel_sim::SNAPSHOT_VERSION`].
+        snapshot: u32,
+    },
+    /// Execute (or serve from the store) a batch of jobs.
+    RunJobs {
+        /// The decoded job list, batch-indexed.
+        jobs: Vec<JobSpec>,
+    },
+    /// Ask the daemon to exit after replying.
+    Shutdown,
+}
+
+impl Request {
+    /// Serializes this request into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        match self {
+            Request::Hello { proto, snapshot } => {
+                w.u8(1);
+                w.u32(*proto);
+                w.u32(*snapshot);
+            }
+            Request::RunJobs { jobs } => {
+                w.u8(2);
+                w.usize(jobs.len());
+                for job in jobs {
+                    encode_job(&mut w, job);
+                }
+            }
+            Request::Shutdown => w.u8(3),
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a frame payload written by [`Request::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on malformed or inexpressible payloads.
+    pub fn decode(payload: &[u8]) -> Result<Request, SnapError> {
+        let mut r = SnapReader::new(payload);
+        let req = match r.u8()? {
+            1 => Request::Hello {
+                proto: r.u32()?,
+                snapshot: r.u32()?,
+            },
+            2 => {
+                let n = r.usize()?;
+                snap_check(n <= 100_000, "implausible job count")?;
+                let mut jobs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    jobs.push(decode_job(&mut r)?);
+                }
+                Request::RunJobs { jobs }
+            }
+            3 => Request::Shutdown,
+            t => return Err(SnapError::corrupt(format!("request tag {t}"))),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+/// A daemon-to-client message. During a batch the daemon streams
+/// [`Response::Progress`]/[`Response::JobDone`]/[`Response::JobFailed`]
+/// in completion order (the batch `idx` identifies the job) and closes
+/// with [`Response::BatchDone`].
+#[derive(Debug)]
+pub enum Response {
+    /// Handshake accepted; versions echo the daemon's own.
+    HelloOk {
+        /// The daemon's [`PROTO_VERSION`].
+        proto: u32,
+        /// The daemon's [`triangel_sim::SNAPSHOT_VERSION`].
+        snapshot: u32,
+    },
+    /// One simulation segment finished on the daemon.
+    Progress {
+        /// Batch index of the job.
+        idx: u32,
+        /// Accesses per core executed so far.
+        executed: u64,
+        /// Accesses per core the job runs in total.
+        total: u64,
+    },
+    /// A job finished; `report` is in the persisted-report framing
+    /// ([`triangel_store::report_from_bytes`] decodes it).
+    JobDone {
+        /// Batch index of the job.
+        idx: u32,
+        /// Whether the daemon served it from its store without
+        /// executing.
+        from_store: bool,
+        /// The framed [`triangel_sim::RunReport`].
+        report: Vec<u8>,
+    },
+    /// A job failed on the daemon.
+    JobFailed {
+        /// Batch index of the job.
+        idx: u32,
+        /// The rendered error.
+        message: String,
+    },
+    /// The whole batch is resolved.
+    BatchDone {
+        /// Jobs the daemon actually simulated.
+        executed: u32,
+        /// Jobs served from the daemon's store.
+        store_hits: u32,
+    },
+    /// Shutdown acknowledged; the daemon exits after this frame.
+    ShutdownOk,
+    /// The request could not be processed at all.
+    Error {
+        /// The rendered error.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Serializes this response into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        match self {
+            Response::HelloOk { proto, snapshot } => {
+                w.u8(128);
+                w.u32(*proto);
+                w.u32(*snapshot);
+            }
+            Response::Progress {
+                idx,
+                executed,
+                total,
+            } => {
+                w.u8(129);
+                w.u32(*idx);
+                w.u64(*executed);
+                w.u64(*total);
+            }
+            Response::JobDone {
+                idx,
+                from_store,
+                report,
+            } => {
+                w.u8(130);
+                w.u32(*idx);
+                w.bool(*from_store);
+                w.bytes(report);
+            }
+            Response::JobFailed { idx, message } => {
+                w.u8(131);
+                w.u32(*idx);
+                w.str(message);
+            }
+            Response::BatchDone {
+                executed,
+                store_hits,
+            } => {
+                w.u8(132);
+                w.u32(*executed);
+                w.u32(*store_hits);
+            }
+            Response::ShutdownOk => w.u8(134),
+            Response::Error { message } => {
+                w.u8(133);
+                w.str(message);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a frame payload written by [`Response::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on malformed payloads.
+    pub fn decode(payload: &[u8]) -> Result<Response, SnapError> {
+        let mut r = SnapReader::new(payload);
+        let resp = match r.u8()? {
+            128 => Response::HelloOk {
+                proto: r.u32()?,
+                snapshot: r.u32()?,
+            },
+            129 => Response::Progress {
+                idx: r.u32()?,
+                executed: r.u64()?,
+                total: r.u64()?,
+            },
+            130 => Response::JobDone {
+                idx: r.u32()?,
+                from_store: r.bool()?,
+                report: r.bytes()?.to_vec(),
+            },
+            131 => Response::JobFailed {
+                idx: r.u32()?,
+                message: r.str()?,
+            },
+            132 => Response::BatchDone {
+                executed: r.u32()?,
+                store_hits: r.u32()?,
+            },
+            134 => Response::ShutdownOk,
+            133 => Response::Error { message: r.str()? },
+            t => return Err(SnapError::corrupt(format!("response tag {t}"))),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> RunParams {
+        RunParams {
+            warmup: 100,
+            accesses: 200,
+            sizing_window: 50,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn jobs_round_trip_with_key_intact() {
+        let jobs = vec![
+            JobSpec::new(
+                WorkloadSpec::Spec(SpecWorkload::Mcf),
+                PrefetcherChoice::Baseline,
+                params(),
+            ),
+            JobSpec::new(
+                WorkloadSpec::Pair(SpecWorkload::Xalan, SpecWorkload::Omnetpp),
+                PrefetcherChoice::TriangelLadder(4),
+                params(),
+            )
+            .mapper(MapperSpec::Realistic(17))
+            .sample_every(64),
+            JobSpec::new(
+                WorkloadSpec::Spec(SpecWorkload::Astar),
+                PrefetcherChoice::Triangel,
+                params(),
+            )
+            .features(TriangelFeatures {
+                train_on_eviction: true,
+                ..TriangelFeatures::all()
+            }),
+        ];
+        let frame = Request::RunJobs { jobs: jobs.clone() }.encode();
+        let Request::RunJobs { jobs: back } = Request::decode(&frame).unwrap() else {
+            panic!("wrong request variant");
+        };
+        assert_eq!(back.len(), jobs.len());
+        for (a, b) in jobs.iter().zip(&back) {
+            assert_eq!(a.key(), b.key());
+            assert_eq!(a.sample_every, b.sample_every);
+        }
+    }
+
+    #[test]
+    fn custom_shapes_are_not_remotable() {
+        let custom = JobSpec::new(
+            WorkloadSpec::Custom {
+                name: "x".into(),
+                build: std::sync::Arc::new(|_| unreachable!()),
+            },
+            PrefetcherChoice::Triangel,
+            params(),
+        );
+        assert!(!remotable(&custom));
+        let spec = JobSpec::new(
+            WorkloadSpec::Spec(SpecWorkload::Mcf),
+            PrefetcherChoice::Triangel,
+            params(),
+        );
+        assert!(remotable(&spec));
+    }
+
+    #[test]
+    fn truncated_frames_fail_loudly() {
+        let frame = Request::Hello {
+            proto: PROTO_VERSION,
+            snapshot: 3,
+        }
+        .encode();
+        assert!(Request::decode(&frame[..frame.len() - 1]).is_err());
+        // A response tag on the request channel is rejected.
+        assert!(Request::decode(&Response::ShutdownOk.encode()).is_err());
+    }
+
+    #[test]
+    fn frame_io_round_trips() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"");
+        assert!(read_frame(&mut cursor).is_err()); // clean EOF
+    }
+}

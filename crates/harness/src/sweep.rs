@@ -7,9 +7,11 @@ use std::sync::{Arc, Mutex};
 
 use triangel_obs::TraceArg;
 use triangel_sim::RunReport;
+use triangel_store::{Claim, ResultStore};
 
 use crate::job::JobSpec;
 use crate::pool;
+use crate::service::Client;
 
 /// A failed job, carrying enough context to point at the bad spec.
 #[derive(Debug, Clone)]
@@ -111,10 +113,24 @@ pub struct SweepOptions {
     pub cache: Option<Arc<ResultCache>>,
     /// Host-side trace buffer. When set, the sweep records one
     /// wall-time span per executed job (worker lanes fall out of the
-    /// per-thread `tid`s), a [`ResultCache`] hit/miss counter sample,
-    /// and a whole-sweep span. Host-only: simulation output is
+    /// per-thread `tid`s), a [`ResultCache`] hit/miss counter sample
+    /// (plus a [`ResultStore`] one when a store is attached), and a
+    /// whole-sweep span. Host-only: simulation output is
     /// byte-identical with or without it.
     pub trace: Option<Arc<triangel_obs::TraceBuffer>>,
+    /// On-disk result store shared across processes. When set, jobs
+    /// resolve from persisted entries before executing, executions are
+    /// coordinated through [`ResultStore::claim_blocking`] (exactly
+    /// once store-wide, even with concurrent processes), and finished
+    /// reports are published back. Results are byte-identical with or
+    /// without a store.
+    pub store: Option<Arc<ResultStore>>,
+    /// Simulation daemon connection. When set, every job the wire
+    /// protocol can express executes remotely (the daemon applies its
+    /// own store and pool); inexpressible jobs — boxed custom
+    /// workloads, pre-built graphs — fall back to local execution.
+    /// Results are byte-identical to local execution.
+    pub remote: Option<Arc<Client>>,
 }
 
 impl SweepOptions {
@@ -163,6 +179,22 @@ impl SweepOptions {
         self.trace = Some(trace);
         self
     }
+
+    /// Shares the on-disk `store` with this sweep (see
+    /// [`SweepOptions::store`]).
+    #[must_use]
+    pub fn with_store(mut self, store: Arc<ResultStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Executes expressible jobs on the daemon behind `client` (see
+    /// [`SweepOptions::remote`]).
+    #[must_use]
+    pub fn with_remote(mut self, client: Arc<Client>) -> Self {
+        self.remote = Some(client);
+        self
+    }
 }
 
 /// Execution counters for one sweep.
@@ -170,10 +202,14 @@ impl SweepOptions {
 pub struct SweepStats {
     /// Jobs requested.
     pub jobs: usize,
-    /// Simulations actually executed.
+    /// Simulations actually executed for this sweep — locally, or on
+    /// the daemon when a connection is attached. Jobs served from a
+    /// cache, the on-disk store, or another process's concurrent
+    /// execution do not count.
     pub executed: usize,
     /// Jobs satisfied without executing (dedup within the sweep plus
-    /// hits on a shared cache).
+    /// hits on a shared cache, the on-disk store, or the daemon's
+    /// store).
     pub cache_hits: usize,
     /// Jobs that failed with a [`JobError`].
     pub errors: usize,
@@ -243,10 +279,13 @@ impl Sweep {
     /// report is identical whatever `opts.workers` is.
     pub fn run(&self, opts: &SweepOptions) -> SweepReport {
         let cache = opts.cache.clone().unwrap_or_default();
+        let store = opts.store.as_deref();
         let keys: Vec<String> = self.jobs.iter().map(JobSpec::key).collect();
 
         // Resolve each job to either a cached report or a slot in the
-        // unique to-run list (first occurrence of each key wins).
+        // unique to-run list (first occurrence of each key wins). The
+        // on-disk store resolves like a shared cache: some earlier
+        // process already ran the job.
         enum Resolution {
             Cached(Arc<RunReport>),
             Pending(usize),
@@ -264,6 +303,10 @@ impl Sweep {
                 if let Some(&slot) = pending_of_key.get(key.as_str()) {
                     return Resolution::Pending(slot);
                 }
+                if let Some(report) = store.and_then(|s| s.get(key)) {
+                    cache.insert(key.clone(), Arc::clone(&report));
+                    return Resolution::Cached(report);
+                }
                 let slot = to_run.len();
                 to_run.push(job);
                 pending_of_key.insert(key, slot);
@@ -271,31 +314,91 @@ impl Sweep {
             })
             .collect();
 
-        // Execute the unique jobs in parallel.
         let done = AtomicUsize::new(0);
         let total = to_run.len();
         let progress = opts.progress;
         let trace = opts.trace.as_deref();
         let sweep_start = trace.map(|t| t.now_us());
+        let executed_n = AtomicUsize::new(0);
+
+        // Jobs the wire protocol can express run on the daemon as one
+        // batch; the rest (and, on a dead daemon, everything) run on
+        // the local pool below. Either way each slot's bytes are the
+        // same — remote execution is the same simulation.
+        let mut remote_results: HashMap<usize, crate::service::RemoteOutcome> = HashMap::new();
+        if let Some(client) = &opts.remote {
+            let slots: Vec<usize> = (0..total)
+                .filter(|&i| crate::service::remotable(to_run[i]))
+                .collect();
+            if !slots.is_empty() {
+                let jobs: Vec<JobSpec> = slots.iter().map(|&i| to_run[i].clone()).collect();
+                match client.run_jobs(&jobs, progress == Progress::Stderr) {
+                    Ok(outcomes) => {
+                        for (&slot, outcome) in slots.iter().zip(outcomes) {
+                            remote_results.insert(slot, outcome);
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("[harness] daemon unavailable ({e}); executing locally")
+                    }
+                }
+            }
+        }
+
+        // Execute the unique jobs in parallel.
         let executed: Vec<Result<Arc<RunReport>, JobError>> =
             pool::run_indexed(total, opts.effective_workers(), |i| {
                 let job = to_run[i];
-                let job_start = trace.map(|t| t.now_us());
-                let outcome = job.run().map(Arc::new).map_err(|e| JobError {
-                    key: job.key(),
-                    message: e.to_string(),
-                });
-                if let (Some(t), Some(start)) = (trace, job_start) {
-                    t.complete(
-                        &format!("job {}", job.workload.label()),
-                        "job",
-                        start,
-                        vec![
-                            ("key".to_string(), TraceArg::Str(job.key())),
-                            ("ok".to_string(), TraceArg::U64(outcome.is_ok() as u64)),
-                        ],
-                    );
-                }
+                let run_local = || {
+                    executed_n.fetch_add(1, Ordering::Relaxed);
+                    let job_start = trace.map(|t| t.now_us());
+                    let outcome = job.run().map(Arc::new).map_err(|e| JobError {
+                        key: job.key(),
+                        message: e.to_string(),
+                    });
+                    if let (Some(t), Some(start)) = (trace, job_start) {
+                        t.complete(
+                            &format!("job {}", job.workload.label()),
+                            "job",
+                            start,
+                            vec![
+                                ("key".to_string(), TraceArg::Str(job.key())),
+                                ("ok".to_string(), TraceArg::U64(outcome.is_ok() as u64)),
+                            ],
+                        );
+                    }
+                    outcome
+                };
+                let outcome = if let Some(remote) = remote_results.get(&i) {
+                    if !remote.from_store {
+                        executed_n.fetch_add(1, Ordering::Relaxed);
+                    }
+                    remote.result.clone()
+                } else {
+                    match store {
+                        None => run_local(),
+                        // Coordinate with concurrent processes: whoever
+                        // wins the job's lock executes and publishes;
+                        // everyone else blocks, then reads the entry.
+                        Some(s) => match s.claim_blocking(&job.key()) {
+                            Ok(Claim::Hit(report)) => Ok(report),
+                            Ok(Claim::Lease(lease)) => {
+                                let outcome = run_local();
+                                if let Ok(report) = &outcome {
+                                    lease.publish(report);
+                                }
+                                outcome
+                            }
+                            Err(e) => {
+                                eprintln!(
+                                    "[store] claim failed for {} ({e}); executing uncoordinated",
+                                    job.key()
+                                );
+                                run_local()
+                            }
+                        },
+                    }
+                };
                 if progress == Progress::Stderr {
                     let n = done.fetch_add(1, Ordering::SeqCst) + 1;
                     let state = if outcome.is_ok() { "done" } else { "FAILED" };
@@ -318,6 +421,7 @@ impl Sweep {
             })
             .collect();
 
+        let executed_jobs = executed_n.load(Ordering::Relaxed);
         let errors = results.iter().filter(|r| r.is_err()).count();
         if let (Some(t), Some(start)) = (trace, sweep_start) {
             t.counter(
@@ -327,16 +431,27 @@ impl Sweep {
                     ("misses".to_string(), TraceArg::U64(cache.misses() as u64)),
                 ],
             );
+            if let Some(s) = store {
+                t.counter(
+                    "ResultStore",
+                    vec![
+                        ("hits".to_string(), TraceArg::U64(s.stats().hits())),
+                        ("misses".to_string(), TraceArg::U64(s.stats().misses())),
+                        ("inserts".to_string(), TraceArg::U64(s.stats().inserts())),
+                        ("discards".to_string(), TraceArg::U64(s.stats().discards())),
+                    ],
+                );
+            }
             t.complete(
                 "sweep",
                 "sweep",
                 start,
                 vec![
                     ("jobs".to_string(), TraceArg::U64(self.jobs.len() as u64)),
-                    ("executed".to_string(), TraceArg::U64(total as u64)),
+                    ("executed".to_string(), TraceArg::U64(executed_jobs as u64)),
                     (
                         "cache_hits".to_string(),
-                        TraceArg::U64((self.jobs.len() - total) as u64),
+                        TraceArg::U64((self.jobs.len() - executed_jobs) as u64),
                     ),
                 ],
             );
@@ -344,8 +459,8 @@ impl Sweep {
         SweepReport {
             stats: SweepStats {
                 jobs: self.jobs.len(),
-                executed: total,
-                cache_hits: self.jobs.len() - total,
+                executed: executed_jobs,
+                cache_hits: self.jobs.len() - executed_jobs,
                 errors,
             },
             results,

@@ -283,3 +283,68 @@ fn golden_sweeps_survive_interrupt_and_resume_at_jobs_1_and_8() {
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
+
+/// The campaign ↔ store bridge, both directions: a campaign publishes
+/// everything it finishes into the shared store (so sweeps and other
+/// campaigns hit), and a campaign over a fresh `--out-dir` is served
+/// from the store without running a single segment.
+#[test]
+fn campaign_bridges_the_shared_store_both_ways() {
+    use std::sync::Arc;
+    use triangel_harness::ResultStore;
+
+    let store_dir = scratch_dir("bridge-store");
+    let job_list = jobs();
+
+    // Campaign A executes everything and publishes into the store.
+    let store_a = Arc::new(ResultStore::open(&store_dir).unwrap());
+    let dir_a = scratch_dir("bridge-a");
+    let a = Campaign::new()
+        .jobs(job_list.clone())
+        .run(
+            &CampaignOptions::new(&dir_a)
+                .workers(2)
+                .segment_accesses(SEGMENT)
+                .with_store(Arc::clone(&store_a)),
+        )
+        .expect("campaign io");
+    assert_eq!(a.stats.completed, a.stats.unique);
+    assert_eq!(
+        store_a.stats().inserts() as usize,
+        job_list.len(),
+        "every completed job must publish into the store"
+    );
+
+    // A plain sweep over the same directory executes nothing.
+    let sweep = job_list
+        .iter()
+        .fold(Sweep::new(), |s, j| s.job(j.clone()))
+        .run(&SweepOptions::serial().with_store(Arc::new(ResultStore::open(&store_dir).unwrap())));
+    assert_eq!(
+        sweep.stats.executed, 0,
+        "sweep must be served from the campaign's publishes"
+    );
+
+    // Campaign B, fresh out-dir, same store: all loads, zero segments,
+    // byte-identical outcomes.
+    let dir_b = scratch_dir("bridge-b");
+    let b = Campaign::new()
+        .jobs(job_list)
+        .run(
+            &CampaignOptions::new(&dir_b)
+                .workers(1)
+                .segment_accesses(SEGMENT)
+                .with_store(Arc::new(ResultStore::open(&store_dir).unwrap())),
+        )
+        .expect("campaign io");
+    assert_eq!(
+        b.stats.loaded, b.stats.unique,
+        "store must serve the whole campaign"
+    );
+    assert_eq!(b.stats.segments_run, 0);
+    assert_eq!(render(&a), render(&b));
+
+    for dir in [&store_dir, &dir_a, &dir_b] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -147,6 +147,55 @@ fn campaign_resume_reproduces_the_sampled_series() {
 }
 
 #[test]
+fn store_counters_surface_through_probe_and_trace() {
+    use triangel_obs::Probe as _;
+
+    let dir = std::env::temp_dir().join(format!("triangel-obs-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(triangel_harness::ResultStore::open(&dir).unwrap());
+
+    let sweep = {
+        let golden = triangel_harness::goldens::golden_sweep();
+        Sweep::new()
+            .job(golden.jobs()[0].clone())
+            .job(golden.jobs()[3].clone())
+    };
+
+    // Cold traced pass: everything misses, executes, publishes — and
+    // the trace carries a `ph:"C"` ResultStore counter sample next to
+    // the ResultCache one.
+    let trace = Arc::new(triangel_obs::TraceBuffer::new());
+    let cold = sweep.run(
+        &SweepOptions::serial()
+            .with_store(Arc::clone(&store))
+            .with_trace(Arc::clone(&trace)),
+    );
+    assert_eq!(cold.stats.executed, 2);
+    let doc = trace.to_json();
+    triangel_obs::json::validate(&doc).unwrap();
+    assert!(doc.contains("\"name\":\"ResultStore\",\"cat\":\"counter\",\"ph\":\"C\""));
+    assert!(doc.contains("\"name\":\"ResultCache\",\"cat\":\"counter\",\"ph\":\"C\""));
+    assert!(doc.contains("\"inserts\":2"));
+
+    // Warm pass on the same handle: the counters accumulate, and the
+    // probe registry view renders them.
+    let warm = sweep.run(&SweepOptions::serial().with_store(Arc::clone(&store)));
+    assert_eq!(warm.stats.executed, 0);
+    let mut probes = triangel_obs::ProbeSet::new();
+    probes.scoped("store", |set| store.probe(set));
+    assert_eq!(probes.get("store.hits"), Some(2));
+    assert_eq!(probes.get("store.misses"), Some(2));
+    assert_eq!(probes.get("store.inserts"), Some(2));
+    assert_eq!(probes.get("store.discards"), Some(0));
+    assert_eq!(
+        store.stats().render(),
+        "hits=2 misses=2 inserts=2 discards=0"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn traced_campaign_emits_valid_spans_without_changing_results() {
     let job = {
         let golden = triangel_harness::goldens::golden_sweep();

@@ -1,0 +1,180 @@
+//! End-to-end daemon coverage: an in-process [`Server`] on a temp
+//! socket, driven through [`Client`]-attached sweeps.
+//!
+//! The bar is the project-wide one: results served by the daemon —
+//! cold (fresh execution), warm (store hits), at any worker count —
+//! are byte-identical to a plain in-process serial run.
+
+use std::sync::Arc;
+
+use triangel_harness::{JobSpec, RunParams, ServerOptions, Sweep, SweepOptions, WorkloadSpec};
+use triangel_sim::PrefetcherChoice;
+use triangel_store::{report_to_bytes, ResultStore};
+use triangel_workloads::spec::SpecWorkload;
+
+fn tiny_params() -> RunParams {
+    RunParams {
+        warmup: 400,
+        accesses: 400,
+        sizing_window: 200,
+        seed: 29,
+    }
+}
+
+/// Four remotable jobs plus one the wire protocol cannot express
+/// (a custom Triage geometry), which must fall back to local
+/// execution transparently.
+fn sweep() -> Sweep {
+    let mut sweep = Sweep::new();
+    for workload in [SpecWorkload::Xalan, SpecWorkload::Mcf] {
+        for choice in [PrefetcherChoice::Baseline, PrefetcherChoice::Triangel] {
+            sweep.push(JobSpec::new(
+                WorkloadSpec::Spec(workload),
+                choice,
+                tiny_params(),
+            ));
+        }
+    }
+    sweep.push(JobSpec::new(
+        WorkloadSpec::Spec(SpecWorkload::Omnetpp),
+        PrefetcherChoice::TriageFormat(triangel_markov::TargetFormat::Ideal32),
+        tiny_params(),
+    ));
+    sweep
+}
+
+fn assert_bytes_match(
+    got: &triangel_harness::SweepReport,
+    want: &triangel_harness::SweepReport,
+    label: &str,
+) {
+    assert_eq!(got.results.len(), want.results.len());
+    for i in 0..want.results.len() {
+        assert_eq!(
+            report_to_bytes(got.report(i)),
+            report_to_bytes(want.report(i)),
+            "{label}: job {i} differs from the in-process serial run"
+        );
+    }
+}
+
+#[test]
+fn daemon_round_trip_is_byte_identical_cold_and_warm() {
+    let dir = std::env::temp_dir().join(format!("triangel-service-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join("serve.sock");
+
+    let store = Arc::new(ResultStore::open(dir.join("store")).unwrap());
+    let server = Arc::new(
+        triangel_harness::Server::bind(
+            &socket,
+            ServerOptions {
+                workers: 2,
+                segment_accesses: 150,
+                store: Some(Arc::clone(&store)),
+                verbose: false,
+            },
+        )
+        .unwrap(),
+    );
+    let daemon = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.serve())
+    };
+
+    let n_jobs = sweep().jobs().len();
+    let reference = sweep().run(&SweepOptions::serial());
+    assert_eq!(reference.stats.errors, 0);
+
+    // Cold: the daemon's store is empty, so it simulates everything
+    // remotable; the TriageFormat job runs locally. Byte-for-byte the
+    // same either way.
+    let cold_client = Arc::new(triangel_harness::Client::connect(&socket).unwrap());
+    let cold = sweep().run(&SweepOptions::parallel(2).with_remote(Arc::clone(&cold_client)));
+    assert_bytes_match(&cold, &reference, "cold daemon");
+    assert_eq!(cold.stats.executed, n_jobs);
+    assert_eq!(cold_client.stats().jobs(), (n_jobs - 1) as u64);
+    assert_eq!(cold_client.stats().executed(), (n_jobs - 1) as u64);
+    assert_eq!(cold_client.stats().store_hits(), 0);
+
+    // Warm: a second pass over the same daemon is all store hits for
+    // the remotable jobs — only the local-fallback job executes.
+    let warm_client = Arc::new(triangel_harness::Client::connect(&socket).unwrap());
+    let warm = sweep().run(&SweepOptions::parallel(8).with_remote(Arc::clone(&warm_client)));
+    assert_bytes_match(&warm, &reference, "warm daemon");
+    assert_eq!(
+        warm.stats.executed, 1,
+        "only the non-remotable job re-executes"
+    );
+    assert_eq!(warm_client.stats().store_hits(), (n_jobs - 1) as u64);
+    assert_eq!(warm_client.stats().executed(), 0);
+
+    // `--store` mode reads the daemon's directory directly: everything
+    // the daemon published is a hit here too, byte-identically.
+    let direct_store = Arc::new(ResultStore::open(dir.join("store")).unwrap());
+    let direct = sweep().run(&SweepOptions::serial().with_store(Arc::clone(&direct_store)));
+    assert_bytes_match(&direct, &reference, "--store over the daemon's directory");
+    assert_eq!(
+        direct.stats.executed, 1,
+        "only the non-remotable job misses the store"
+    );
+    assert_eq!(direct_store.stats().hits(), (n_jobs - 1) as u64);
+
+    // Clean shutdown: the daemon acknowledges, and once every client
+    // connection is gone (the serve loop waits for its handlers), the
+    // daemon thread exits.
+    drop(cold_client);
+    drop(warm_client);
+    triangel_harness::Client::connect(&socket)
+        .unwrap()
+        .shutdown()
+        .unwrap();
+    daemon.join().unwrap().unwrap();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn version_mismatch_is_refused() {
+    // A liar client: speaks the framing but claims a different
+    // snapshot version. The daemon must refuse the handshake rather
+    // than serve incomparable reports.
+    use triangel_harness::service::wire::{read_frame, write_frame, Request, Response};
+
+    let dir = std::env::temp_dir().join(format!("triangel-service-ver-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join("serve.sock");
+    let server =
+        Arc::new(triangel_harness::Server::bind(&socket, ServerOptions::default()).unwrap());
+    let daemon = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.serve())
+    };
+
+    let mut stream = std::os::unix::net::UnixStream::connect(&socket).unwrap();
+    write_frame(
+        &mut stream,
+        &Request::Hello {
+            proto: triangel_harness::service::PROTO_VERSION,
+            snapshot: u32::MAX,
+        }
+        .encode(),
+    )
+    .unwrap();
+    let frame = read_frame(&mut stream).unwrap();
+    match Response::decode(&frame).unwrap() {
+        Response::Error { message } => {
+            assert!(message.contains("version mismatch"), "got: {message}")
+        }
+        other => panic!("expected refusal, got {other:?}"),
+    }
+
+    // And the high-level client surfaces a connect error for the same
+    // reason only on a true mismatch — a well-versioned connect works.
+    let client = triangel_harness::Client::connect(&socket).unwrap();
+    client.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,63 @@
+//! Advisory whole-file locks via `flock(2)`.
+//!
+//! The store coordinates concurrent writers across *processes*, so an
+//! in-process mutex is not enough. `flock` gives exactly the semantics
+//! needed — advisory, whole-file, exclusive, released automatically
+//! when the descriptor closes (including on process death, which is
+//! what makes the store crash-safe without lock-file cleanup) — and it
+//! is per open-file-description, so two handles within one process
+//! contend exactly like two processes do.
+//!
+//! Bound directly against libc (always linked by `std` on unix) so the
+//! crate stays dependency-free.
+
+use std::fs::File;
+use std::io;
+
+#[cfg(unix)]
+mod sys {
+    use super::*;
+    use std::os::unix::io::AsRawFd;
+
+    const LOCK_EX: i32 = 2;
+
+    extern "C" {
+        fn flock(fd: i32, operation: i32) -> i32;
+    }
+
+    pub fn lock_exclusive(file: &File) -> io::Result<()> {
+        let fd = file.as_raw_fd();
+        loop {
+            if unsafe { flock(fd, LOCK_EX) } == 0 {
+                return Ok(());
+            }
+            let err = io::Error::last_os_error();
+            // A signal can interrupt the blocking wait; retry.
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use super::*;
+
+    // Non-unix builds fall back to no cross-process coordination: the
+    // store still works, but two *processes* racing one directory may
+    // duplicate work (never corrupt it — publishes stay atomic).
+    pub fn lock_exclusive(_file: &File) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Takes an exclusive advisory lock on `file`, blocking until it is
+/// available. The lock is released when `file` is dropped.
+///
+/// # Errors
+///
+/// The underlying `flock(2)` error, `EINTR` excepted (retried).
+pub fn lock_exclusive(file: &File) -> io::Result<()> {
+    sys::lock_exclusive(file)
+}

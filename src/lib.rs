@@ -19,9 +19,14 @@
 //! * [`sim`] — the trace-driven timing simulator and experiment runner.
 //! * [`harness`] — parallel, deterministic experiment orchestration:
 //!   declarative job lists, a work-stealing scheduler, a content-keyed
-//!   result cache, JSON/CSV emitters, and the checkpointable
+//!   result cache, JSON/CSV emitters, the checkpointable
 //!   [`Campaign`](harness::Campaign) runner that snapshots and resumes
-//!   paper-scale sweeps (see EXPERIMENTS.md).
+//!   paper-scale sweeps, and the simulation daemon
+//!   ([`harness::service`]) that serves sweeps over a Unix socket
+//!   (see EXPERIMENTS.md).
+//! * [`store`] — the on-disk, content-addressed result store shared
+//!   across processes: atomic publishes, `flock`-claimed exactly-once
+//!   execution, self-checking entries.
 //!
 //! # Quickstart
 //!
@@ -66,6 +71,7 @@ pub use triangel_markov as markov;
 pub use triangel_mem as mem;
 pub use triangel_prefetch as prefetch;
 pub use triangel_sim as sim;
+pub use triangel_store as store;
 pub use triangel_triage as triage;
 pub use triangel_types as types;
 pub use triangel_workloads as workloads;
