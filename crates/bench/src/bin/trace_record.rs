@@ -1,0 +1,76 @@
+//! `trace_record`: captures any built-in generator to a ChampSim-style
+//! binary trace file (see `triangel_workloads::trace_file`).
+//!
+//! Usage:
+//!
+//! ```text
+//! trace_record --workload <label> --out <path.trc> [--seed N] [--accesses N]
+//! ```
+//!
+//! `<label>` is any SPEC-like generator label (`MCF`, `Xalan`, ...) or
+//! irregular-family label (`ZipfKV`, `GCChurn`, `HashJoin`,
+//! `WebServe`). Recording is deterministic: the same label, seed, and
+//! access count always produce byte-identical files (the header
+//! checksum proves it). Replay the result with the `traces` figure
+//! (`TRIANGEL_TRACE_FILE=<path.trc>`) or programmatically through
+//! `WorkloadSpec::trace_file`.
+
+use triangel_workloads::irregular::IrregularWorkload;
+use triangel_workloads::spec::SpecWorkload;
+use triangel_workloads::trace_file::record_trace;
+use triangel_workloads::TraceSource;
+
+fn usage() -> ! {
+    let spec: Vec<&str> = SpecWorkload::ALL.iter().map(|w| w.label()).collect();
+    let irr: Vec<&str> = IrregularWorkload::ALL.iter().map(|w| w.label()).collect();
+    eprintln!(
+        "usage: trace_record --workload <label> --out <path.trc> [--seed N] [--accesses N]\n\
+         labels: {} | {}",
+        spec.join(", "),
+        irr.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn generator(label: &str, seed: u64) -> Option<Box<dyn TraceSource>> {
+    if let Some(wl) = SpecWorkload::ALL.into_iter().find(|w| w.label() == label) {
+        return Some(Box::new(wl.generator(seed)));
+    }
+    IrregularWorkload::from_label(label).map(|wl| Box::new(wl.generator(seed)) as Box<_>)
+}
+
+fn main() {
+    let mut workload: Option<String> = None;
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut seed: u64 = 42;
+    let mut accesses: u64 = 100_000;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--workload" => workload = Some(value("--workload")),
+            "--out" => out = Some(value("--out").into()),
+            "--seed" => seed = value("--seed").parse().expect("bad --seed"),
+            "--accesses" => accesses = value("--accesses").parse().expect("bad --accesses"),
+            _ => usage(),
+        }
+    }
+    let (Some(workload), Some(out)) = (workload, out) else {
+        usage();
+    };
+    let Some(mut src) = generator(&workload, seed) else {
+        eprintln!("unknown workload `{workload}`");
+        usage();
+    };
+    let header = record_trace(src.as_mut(), accesses, &out)
+        .unwrap_or_else(|e| panic!("recording {}: {e}", out.display()));
+    eprintln!(
+        "[trace_record] {workload} seed {seed}: {} record(s), checksum {:016x} -> {}",
+        header.records,
+        header.checksum,
+        out.display()
+    );
+}

@@ -5,9 +5,10 @@ use std::sync::Arc;
 
 use triangel_core::{structure_sizes, TriangelConfig, TriangelFeatures};
 use triangel_harness::emit::{
-    features_to_json, perf_to_json, timeline_to_json, FeatureCell, FeatureRow, FeatureStep,
-    FeaturesReport, PerfCellCost, PerfRecord, PerfReport, PerfScalingPoint, TimelineReport,
-    TimelineRow, TimelineSeries,
+    features_to_json, perf_to_json, timeline_to_json, traces_to_json, FeatureCell, FeatureRow,
+    FeatureStep, FeaturesReport, PerfCellCost, PerfRecord, PerfReport, PerfScalingPoint,
+    TimelineReport, TimelineRow, TimelineSeries, TraceCell, TraceProvenance, TracesReport,
+    TracesRow,
 };
 use triangel_harness::goldens::gated_features;
 use triangel_harness::{
@@ -17,7 +18,9 @@ use triangel_markov::TargetFormat;
 use triangel_sim::{PrefetcherChoice, SystemConfig};
 use triangel_triage::TriageConfig;
 use triangel_workloads::graph500::Graph500Config;
+use triangel_workloads::irregular::IrregularWorkload;
 use triangel_workloads::spec::SpecWorkload;
+use triangel_workloads::trace_file::record_trace;
 
 use super::{FigureContext, FigureOutput};
 use crate::quick_mode;
@@ -744,4 +747,127 @@ pub(super) fn duel_bias(ctx: &mut FigureContext) -> Vec<FigureOutput> {
             |c| c.dram_traffic,
         ),
     ])
+}
+
+/// Columns of the `traces` figure: the degree-matched Triage reference
+/// and full Triangel.
+const TRACES_CONFIGS: [PrefetcherChoice; 2] =
+    [PrefetcherChoice::Triage, PrefetcherChoice::Triangel];
+
+/// Resolves the `traces` figure's recorded-trace row:
+/// `TRIANGEL_TRACE_FILE` when set (replay any ChampSim-style `.trc`
+/// recording, e.g. one captured from a real program), otherwise a
+/// deterministic smoke trace recorded from the ZipfKV generator into
+/// the temp directory. The smoke recording is deliberately shorter
+/// than the run it feeds (half the warm-up + measured length), so the
+/// looping end-of-trace policy and its wrap accounting are exercised
+/// on every smoke run, never just at full scale.
+fn traces_trace_spec(params: RunParams) -> WorkloadSpec {
+    if let Ok(path) = std::env::var("TRIANGEL_TRACE_FILE") {
+        return WorkloadSpec::trace_file(&path)
+            .unwrap_or_else(|e| panic!("TRIANGEL_TRACE_FILE `{path}`: {e}"));
+    }
+    let records = ((params.warmup + params.accesses) / 2).clamp(256, 1 << 20);
+    let dir = std::env::temp_dir().join("triangel-traces-figure");
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("{}: {e}", dir.display()));
+    // Seed and length in the name: distinct scales record distinct
+    // files, and an existing file's content is exactly what this run
+    // would record (the generator is deterministic), so reuse is safe
+    // — `trace_file` re-validates the header either way.
+    let path = dir.join(format!("smoke-s{}-r{records}.trc", params.seed));
+    if let Ok(spec) = WorkloadSpec::trace_file(&path) {
+        return spec;
+    }
+    let mut src = IrregularWorkload::ZipfKv.generator(params.seed);
+    record_trace(&mut src, records, &path)
+        .unwrap_or_else(|e| panic!("recording {}: {e}", path.display()));
+    WorkloadSpec::trace_file(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// The `traces` figure: the four irregular workload families (zipfian
+/// KV store, GC churn, hash join, web serving) plus a recorded-trace
+/// replay row, each compared against its stride-only baseline under
+/// the [`TRACES_CONFIGS`] columns. Emits speedup/accuracy tables and
+/// the machine-readable `BENCH_traces.json`, whose trace row carries
+/// the header digest and wrap arithmetic.
+pub(super) fn traces(ctx: &mut FigureContext) -> Vec<FigureOutput> {
+    let params = ctx.params.run_params();
+    let trace_spec = traces_trace_spec(params);
+    let mut grid = GridSpec::new(params).columns(TRACES_CONFIGS);
+    for wl in IrregularWorkload::ALL {
+        grid = grid.row(WorkloadSpec::Irregular(wl));
+    }
+    grid = grid.row(trace_spec.clone());
+    let result = grid.run(&ctx.opts).unwrap_or_else(|e| panic!("{e}"));
+    ctx.absorb(result.stats);
+
+    let rows: Vec<TracesRow> = result
+        .row_labels()
+        .iter()
+        .enumerate()
+        .map(|(r, workload)| {
+            let provenance = if r < IrregularWorkload::ALL.len() {
+                TraceProvenance::Generator
+            } else {
+                let WorkloadSpec::TraceFile {
+                    records, checksum, ..
+                } = &trace_spec
+                else {
+                    unreachable!("last row is the trace-file row");
+                };
+                TraceProvenance::Recorded {
+                    records: *records,
+                    checksum: *checksum,
+                    replayed: params.warmup + params.accesses,
+                }
+            };
+            TracesRow {
+                workload: workload.clone(),
+                provenance,
+                cells: result
+                    .col_labels()
+                    .iter()
+                    .enumerate()
+                    .map(|(c, config)| {
+                        let m = result.comparison(r, c);
+                        TraceCell {
+                            config: config.clone(),
+                            speedup: m.speedup,
+                            accuracy: m.accuracy,
+                            coverage: m.coverage,
+                            dram_traffic: m.dram_traffic,
+                        }
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+    let report = TracesReport {
+        sweep: format!(
+            "4 irregular families + 1 recorded trace x {{Triage, Triangel}}, \
+             warmup {} + {} accesses each",
+            params.warmup, params.accesses
+        ),
+        rows,
+    };
+
+    let mut out = tables(vec![
+        result.table(
+            "Traces: irregular-family and recorded-trace speedup",
+            "IPC relative to stride-only baseline",
+            |c| c.speedup,
+        ),
+        result
+            .table(
+                "Traces: prefetch accuracy",
+                "prefetched lines demand-used before L2 eviction",
+                |c| c.accuracy,
+            )
+            .without_geomean(),
+    ]);
+    out.push(FigureOutput::Json {
+        name: "BENCH_traces".into(),
+        body: traces_to_json(&report),
+    });
+    out
 }

@@ -251,6 +251,11 @@ pub fn registry() -> Vec<FigureDef> {
             title: "Per-interval time-series +/- eviction training",
             run: defs::timeline,
         },
+        FigureDef {
+            name: "traces",
+            title: "Irregular families + recorded-trace replay",
+            run: defs::traces,
+        },
     ]
 }
 
@@ -501,6 +506,7 @@ mod tests {
             "features",
             "perf",
             "timeline",
+            "traces",
         ] {
             assert!(names.contains(&expected), "registry missing {expected}");
         }

@@ -328,6 +328,113 @@ pub fn features_to_json(r: &FeaturesReport) -> String {
     )
 }
 
+/// One configuration cell of the `traces` figure: the comparison
+/// metrics of one prefetcher configuration against the row's
+/// stride-only baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceCell {
+    /// Configuration label (e.g. `"Triangel"`).
+    pub config: String,
+    /// IPC over the stride-only baseline.
+    pub speedup: f64,
+    /// Prefetch accuracy (used / resolved temporal fills).
+    pub accuracy: f64,
+    /// Fraction of baseline L2 demand misses eliminated.
+    pub coverage: f64,
+    /// DRAM line reads relative to baseline.
+    pub dram_traffic: f64,
+}
+
+/// Where one `traces` row's accesses come from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceProvenance {
+    /// A synthetic irregular-family generator.
+    Generator,
+    /// A recorded trace file replayed under the looping end-of-trace
+    /// policy. Carries the header digest and the per-core access count
+    /// the row simulated, so the wrap arithmetic is evident in the
+    /// artefact: a reader can see exactly how much of the measurement
+    /// re-walked the same recording.
+    Recorded {
+        /// Record count from the trace header.
+        records: u64,
+        /// Payload checksum from the trace header.
+        checksum: u64,
+        /// Accesses each core replayed (warm-up + measured).
+        replayed: u64,
+    },
+}
+
+/// One workload row of the `traces` figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracesRow {
+    /// Workload label (family name or trace file name).
+    pub workload: String,
+    /// Generator or recorded trace.
+    pub provenance: TraceProvenance,
+    /// One cell per configuration column.
+    pub cells: Vec<TraceCell>,
+}
+
+/// The `traces` artefact (`BENCH_traces.json`): the irregular workload
+/// families and a recorded-trace replay, each compared against its
+/// stride-only baseline. Carries no wall-clock numbers, so its bytes
+/// are fully deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracesReport {
+    /// Human description of the fixed sweep.
+    pub sweep: String,
+    /// Per-workload rows.
+    pub rows: Vec<TracesRow>,
+}
+
+fn trace_cell_json(c: &TraceCell) -> String {
+    format!(
+        "{{\"config\":{},\"speedup\":{},\"accuracy\":{},\"coverage\":{},\"dram_traffic\":{}}}",
+        json_str(&c.config),
+        json_f64(c.speedup),
+        json_f64(c.accuracy),
+        json_f64(c.coverage),
+        json_f64(c.dram_traffic),
+    )
+}
+
+/// Serializes a traces report as JSON (the `BENCH_traces.json`
+/// schema). Deterministic: equal reports emit equal bytes.
+pub fn traces_to_json(r: &TracesReport) -> String {
+    let rows: Vec<String> = r
+        .rows
+        .iter()
+        .map(|row| {
+            let cells: Vec<String> = row.cells.iter().map(trace_cell_json).collect();
+            let provenance = match &row.provenance {
+                TraceProvenance::Generator => {
+                    "\"source\":\"generator\",\"trace\":null".to_string()
+                }
+                TraceProvenance::Recorded {
+                    records,
+                    checksum,
+                    replayed,
+                } => format!(
+                    "\"source\":\"recorded\",\"trace\":{{\"records\":{records},\"checksum\":{},\"replayed\":{replayed},\"wraps\":{}}}",
+                    json_str(&format!("{checksum:016x}")),
+                    *replayed / (*records).max(1),
+                ),
+            };
+            format!(
+                "{{\"workload\":{},{provenance},\"cells\":[{}]}}",
+                json_str(&row.workload),
+                cells.join(",")
+            )
+        })
+        .collect();
+    format!(
+        "{{\"schema\":1,\"figure\":\"traces\",\"sweep\":{},\"rows\":[{}]}}",
+        json_str(&r.sweep),
+        rows.join(","),
+    )
+}
+
 /// One per-interval point of a timeline series, already differenced
 /// (see [`triangel_obs::IntervalSeries::windows`]) and normalized
 /// against the stride-only baseline where a baseline exists.
@@ -676,6 +783,43 @@ mod tests {
         assert!(j.contains("\"config\":\"Triangel\""));
         assert!(j.contains("\"coverage_so_far\":0.5"));
         assert_eq!(timeline_to_json(&r), timeline_to_json(&r));
+    }
+
+    #[test]
+    fn traces_report_json_shape() {
+        let cell = TraceCell {
+            config: "Triangel".into(),
+            speedup: 1.5,
+            accuracy: 0.75,
+            coverage: 0.5,
+            dram_traffic: 1.125,
+        };
+        let r = TracesReport {
+            sweep: "4 families + 1 trace x 2 configs".into(),
+            rows: vec![
+                TracesRow {
+                    workload: "ZipfKV".into(),
+                    provenance: TraceProvenance::Generator,
+                    cells: vec![cell.clone()],
+                },
+                TracesRow {
+                    workload: "smoke.trc".into(),
+                    provenance: TraceProvenance::Recorded {
+                        records: 1000,
+                        checksum: 0xabcd,
+                        replayed: 2500,
+                    },
+                    cells: vec![cell],
+                },
+            ],
+        };
+        let j = traces_to_json(&r);
+        assert!(j.contains("\"figure\":\"traces\""));
+        assert!(j.contains("\"source\":\"generator\",\"trace\":null"));
+        assert!(j.contains("\"checksum\":\"000000000000abcd\""));
+        assert!(j.contains("\"replayed\":2500,\"wraps\":2"));
+        assert!(j.contains("\"cells\":[{\"config\":\"Triangel\",\"speedup\":1.5,"));
+        assert_eq!(traces_to_json(&r), traces_to_json(&r));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Experiments as data: [`JobSpec`] and its parts.
 
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use triangel_sim::{
@@ -8,8 +9,10 @@ use triangel_sim::{
 };
 use triangel_workloads::graph500::BfsTrace;
 use triangel_workloads::graph500::Csr;
+use triangel_workloads::irregular::IrregularWorkload;
 use triangel_workloads::paging::PageMapper;
 use triangel_workloads::spec::SpecWorkload;
+use triangel_workloads::trace_file::{read_trace_header, EndPolicy, FileTrace};
 use triangel_workloads::TraceSource;
 
 /// Scale and seeding parameters shared by the jobs of one sweep.
@@ -53,6 +56,24 @@ pub enum WorkloadSpec {
         /// The shared CSR graph.
         graph: Arc<Csr>,
     },
+    /// One of the four irregular-workload generators (zipfian KV
+    /// store, GC churn, hash join, web serving).
+    Irregular(IrregularWorkload),
+    /// Replay of a recorded binary trace file
+    /// ([`triangel_workloads::trace_file`]) under the looping
+    /// end-of-trace policy. The key carries the path *and* the header
+    /// digest fields, so editing a trace in place changes every
+    /// dependent job's key instead of silently serving stale cached
+    /// results. Build with [`WorkloadSpec::trace_file`], which reads
+    /// the header once and fails loudly on malformed files.
+    TraceFile {
+        /// Path of the `.trc` file.
+        path: PathBuf,
+        /// Record count from the trace header.
+        records: u64,
+        /// Payload checksum from the trace header.
+        checksum: u64,
+    },
     /// Any other trace source. `name` must uniquely identify the
     /// generator's content — it is the only part of the builder that
     /// enters the job key.
@@ -65,12 +86,38 @@ pub enum WorkloadSpec {
 }
 
 impl WorkloadSpec {
+    /// A trace-file workload over the file at `path`.
+    ///
+    /// Reads and validates the trace header immediately, so a missing
+    /// or malformed file fails at spec-construction time — before any
+    /// sweep is planned around it — and the header's record count and
+    /// checksum are pinned into the job key.
+    ///
+    /// # Errors
+    ///
+    /// Any error from
+    /// [`read_trace_header`](triangel_workloads::trace_file::read_trace_header).
+    pub fn trace_file(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        let header = read_trace_header(&path)?;
+        Ok(WorkloadSpec::TraceFile {
+            path,
+            records: header.records,
+            checksum: header.checksum,
+        })
+    }
+
     /// Human-readable label (row name in figure tables).
     pub fn label(&self) -> String {
         match self {
             WorkloadSpec::Spec(wl) => wl.label().to_string(),
             WorkloadSpec::Pair(a, b) => format!("{} & {}", a.label(), b.label()),
             WorkloadSpec::Graph500 { label, .. } => label.clone(),
+            WorkloadSpec::Irregular(wl) => wl.label().to_string(),
+            WorkloadSpec::TraceFile { path, .. } => path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.display().to_string()),
             WorkloadSpec::Custom { name, .. } => name.clone(),
         }
     }
@@ -81,6 +128,12 @@ impl WorkloadSpec {
             WorkloadSpec::Spec(wl) => format!("spec:{}", wl.label()),
             WorkloadSpec::Pair(a, b) => format!("pair:{}+{}", a.label(), b.label()),
             WorkloadSpec::Graph500 { label, .. } => format!("g500:{label}"),
+            WorkloadSpec::Irregular(wl) => format!("irr:{}", wl.label()),
+            WorkloadSpec::TraceFile {
+                path,
+                records,
+                checksum,
+            } => format!("trace:{}#{records:x}:{checksum:016x}", path.display()),
             WorkloadSpec::Custom { name, .. } => format!("custom:{name}"),
         }
     }
@@ -241,6 +294,42 @@ impl JobSpec {
             WorkloadSpec::Graph500 { label, graph } => SimSession::builder()
                 .workload(BfsTrace::new(label.clone(), Arc::clone(graph), p.seed))
                 .label(label.clone()),
+            WorkloadSpec::Irregular(wl) => SimSession::builder()
+                .workload(wl.generator(p.seed))
+                .label(wl.label()),
+            WorkloadSpec::TraceFile {
+                path,
+                records,
+                checksum,
+            } => {
+                // Re-verify the header at session time: the file may
+                // have changed on disk since the spec was keyed, and a
+                // replay under a stale key would poison every cache
+                // layer downstream.
+                let header = read_trace_header(path).map_err(|e| SimError::Workload {
+                    message: format!("trace `{}`: {e}", path.display()),
+                })?;
+                if header.records != *records || header.checksum != *checksum {
+                    return Err(SimError::Workload {
+                        message: format!(
+                            "trace `{}` changed on disk: spec keyed {} record(s) \
+                             (checksum {:016x}) but the file now has {} (checksum {:016x})",
+                            path.display(),
+                            records,
+                            checksum,
+                            header.records,
+                            header.checksum
+                        ),
+                    });
+                }
+                let trace =
+                    FileTrace::open(path, EndPolicy::Loop).map_err(|e| SimError::Workload {
+                        message: format!("trace `{}`: {e}", path.display()),
+                    })?;
+                SimSession::builder()
+                    .boxed_workload(Box::new(trace))
+                    .label(self.workload.label())
+            }
             WorkloadSpec::Custom { name, build } => SimSession::builder()
                 .boxed_workload(build(p.seed))
                 .label(name.clone()),
@@ -365,6 +454,66 @@ mod tests {
             sampled.key(),
             "sampling is observational; it must not fragment the cache key space"
         );
+    }
+
+    #[test]
+    fn irregular_workloads_get_distinct_keys() {
+        let keys: Vec<String> = IrregularWorkload::ALL
+            .into_iter()
+            .map(|wl| {
+                JobSpec::new(
+                    WorkloadSpec::Irregular(wl),
+                    PrefetcherChoice::Triangel,
+                    params(),
+                )
+                .key()
+            })
+            .collect();
+        for (i, a) in keys.iter().enumerate() {
+            assert!(a.starts_with("irr:"), "{a}");
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_file_spec_pins_the_header() {
+        let dir = std::env::temp_dir().join(format!("triangel-job-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pin.trc");
+        let mut src = IrregularWorkload::ZipfKv.generator(3);
+        triangel_workloads::trace_file::record_trace(&mut src, 64, &path).unwrap();
+
+        let spec = WorkloadSpec::trace_file(&path).unwrap();
+        let WorkloadSpec::TraceFile { records, .. } = &spec else {
+            panic!("wrong variant");
+        };
+        assert_eq!(*records, 64);
+        let job = JobSpec::new(spec.clone(), PrefetcherChoice::Triangel, params());
+        assert!(job.key().starts_with("trace:"), "{}", job.key());
+        assert_eq!(job.workload.label(), "pin.trc");
+        job.run().unwrap();
+
+        // Re-record different content at the same path: the stale spec
+        // must be refused at session time, not replayed under its old
+        // key.
+        let mut src2 = IrregularWorkload::ZipfKv.generator(4);
+        triangel_workloads::trace_file::record_trace(&mut src2, 64, &path).unwrap();
+        match job.session() {
+            Err(SimError::Workload { message }) => {
+                assert!(message.contains("changed on disk"), "{message}");
+            }
+            Err(e) => panic!("wrong error for stale trace: {e}"),
+            Ok(_) => panic!("stale trace spec accepted"),
+        }
+        // A fresh spec over the new content gets a different key.
+        let fresh = WorkloadSpec::trace_file(&path).unwrap();
+        assert_ne!(
+            JobSpec::new(fresh, PrefetcherChoice::Triangel, params()).key(),
+            job.key()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

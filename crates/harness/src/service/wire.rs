@@ -12,11 +12,16 @@
 //! reading the wrong direction fails immediately.
 //!
 //! Job expressibility: the protocol carries exactly the job shapes the
-//! figure ladder sweeps — SPEC-generator (and pair) workloads under
-//! any named prefetcher configuration, mapper, feature override, and
-//! sampling period. Jobs built from boxed custom generators, pre-built
-//! graphs, or custom prefetcher config structs are not expressible
-//! ([`remotable`] returns `false`) and run locally instead. Every
+//! figure ladder sweeps — SPEC-generator (and pair), irregular-family,
+//! and trace-file workloads under any named prefetcher configuration,
+//! mapper, feature override, and sampling period. Trace-file jobs
+//! travel as path + header digest: the daemon shares the client's
+//! filesystem (it listens on a unix socket), and the digest in the
+//! content key means a mismatched file fails loudly at session time
+//! rather than replaying the wrong trace. Jobs built from boxed custom
+//! generators, pre-built graphs, or custom prefetcher config structs
+//! are not expressible ([`remotable`] returns `false`) and run locally
+//! instead. Every
 //! encoded job also carries its content key; the decoder recomputes
 //! the key from the decoded spec and rejects mismatches, so protocol
 //! drift can never silently serve the wrong simulation.
@@ -25,13 +30,17 @@ use std::io::{self, Read, Write};
 
 use triangel_sim::{PrefetcherChoice, TriangelFeatures};
 use triangel_types::snap::{snap_check, SnapError, SnapReader, SnapWriter};
+use triangel_workloads::irregular::IrregularWorkload;
 use triangel_workloads::spec::SpecWorkload;
 
 use crate::job::{JobSpec, MapperSpec, RunParams, WorkloadSpec};
 
 /// Wire-protocol version, exchanged in the hello handshake alongside
 /// the simulator's snapshot version.
-pub const PROTO_VERSION: u32 = 1;
+///
+/// History: 1 = initial protocol; 2 = irregular-workload and
+/// trace-file workload tags.
+pub const PROTO_VERSION: u32 = 2;
 
 /// Upper bound on one frame's payload, to keep a corrupt length prefix
 /// from provoking an absurd allocation.
@@ -79,7 +88,10 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
 pub fn remotable(job: &JobSpec) -> bool {
     let workload_ok = matches!(
         job.workload,
-        WorkloadSpec::Spec(_) | WorkloadSpec::Pair(_, _)
+        WorkloadSpec::Spec(_)
+            | WorkloadSpec::Pair(_, _)
+            | WorkloadSpec::Irregular(_)
+            | WorkloadSpec::TraceFile { .. }
     );
     let prefetcher_ok = matches!(
         job.prefetcher,
@@ -106,6 +118,20 @@ fn encode_job(w: &mut SnapWriter, job: &JobSpec) {
             w.u8(1);
             w.str(a.label());
             w.str(b.label());
+        }
+        WorkloadSpec::Irregular(wl) => {
+            w.u8(2);
+            w.str(wl.label());
+        }
+        WorkloadSpec::TraceFile {
+            path,
+            records,
+            checksum,
+        } => {
+            w.u8(3);
+            w.str(&path.display().to_string());
+            w.u64(*records);
+            w.u64(*checksum);
         }
         _ => unreachable!("non-remotable workload"),
     }
@@ -166,10 +192,21 @@ fn spec_workload(label: &str) -> Result<SpecWorkload, SnapError> {
         .ok_or_else(|| SnapError::corrupt(format!("unknown SPEC workload `{label}`")))
 }
 
+fn irregular_workload(label: &str) -> Result<IrregularWorkload, SnapError> {
+    IrregularWorkload::from_label(label)
+        .ok_or_else(|| SnapError::corrupt(format!("unknown irregular workload `{label}`")))
+}
+
 fn decode_job(r: &mut SnapReader) -> Result<JobSpec, SnapError> {
     let workload = match r.u8()? {
         0 => WorkloadSpec::Spec(spec_workload(&r.str()?)?),
         1 => WorkloadSpec::Pair(spec_workload(&r.str()?)?, spec_workload(&r.str()?)?),
+        2 => WorkloadSpec::Irregular(irregular_workload(&r.str()?)?),
+        3 => WorkloadSpec::TraceFile {
+            path: std::path::PathBuf::from(r.str()?),
+            records: r.u64()?,
+            checksum: r.u64()?,
+        },
         t => return Err(SnapError::corrupt(format!("workload tag {t}"))),
     };
     let prefetcher = match r.u8()? {
@@ -480,6 +517,20 @@ mod tests {
                 train_on_eviction: true,
                 ..TriangelFeatures::all()
             }),
+            JobSpec::new(
+                WorkloadSpec::Irregular(IrregularWorkload::HashJoin),
+                PrefetcherChoice::Triage,
+                params(),
+            ),
+            JobSpec::new(
+                WorkloadSpec::TraceFile {
+                    path: "/tmp/t.trc".into(),
+                    records: 4096,
+                    checksum: 0xdead_beef_cafe_f00d,
+                },
+                PrefetcherChoice::TriangelBloom,
+                params(),
+            ),
         ];
         let frame = Request::RunJobs { jobs: jobs.clone() }.encode();
         let Request::RunJobs { jobs: back } = Request::decode(&frame).unwrap() else {
@@ -509,6 +560,22 @@ mod tests {
             params(),
         );
         assert!(remotable(&spec));
+        for wl in IrregularWorkload::ALL {
+            assert!(remotable(&JobSpec::new(
+                WorkloadSpec::Irregular(wl),
+                PrefetcherChoice::Triage,
+                params(),
+            )));
+        }
+        assert!(remotable(&JobSpec::new(
+            WorkloadSpec::TraceFile {
+                path: "/tmp/t.trc".into(),
+                records: 1,
+                checksum: 2,
+            },
+            PrefetcherChoice::Baseline,
+            params(),
+        )));
     }
 
     #[test]

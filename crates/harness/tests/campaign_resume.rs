@@ -284,6 +284,102 @@ fn golden_sweeps_survive_interrupt_and_resume_at_jobs_1_and_8() {
     }
 }
 
+/// Mid-trace interrupt → resume: a campaign over a recorded trace
+/// file that is *shorter* than the run (so replay wraps) must resume
+/// from a snapshot whose cursor sits mid-file, byte-identically to an
+/// uninterrupted run. This pins the `FileTrace` save/restore pair
+/// (logical record cursor + wrap counter) through the whole campaign
+/// stack, alongside the irregular-family snapshots.
+#[test]
+fn mid_trace_interrupt_resumes_byte_identically() {
+    use triangel_workloads::irregular::IrregularWorkload;
+    use triangel_workloads::trace_file::record_trace;
+
+    let trace_dir = scratch_dir("trace-file");
+    std::fs::create_dir_all(&trace_dir).unwrap();
+    let trace_path = trace_dir.join("short.trc");
+    let mut src = IrregularWorkload::ZipfKv.generator(11);
+    let header = record_trace(&mut src, 1_000, &trace_path).unwrap();
+    assert_eq!(header.records, 1_000);
+
+    // A 1000-record trace under a 2000+2000-access run wraps 4 times,
+    // and the 1500-access segment boundaries land at replay cursor 500
+    // — every checkpoint of a trace job saves a mid-file position and
+    // a non-zero wrap count. Trace jobs first: with one worker they
+    // run in order, so the 4-segment budget below completes the first
+    // (3 segments) and checkpoints the second mid-trace.
+    let mut job_list = Vec::new();
+    for pf in [PrefetcherChoice::Baseline, PrefetcherChoice::Triangel] {
+        job_list.push(JobSpec::new(
+            WorkloadSpec::trace_file(&trace_path).unwrap(),
+            pf,
+            params(),
+        ));
+    }
+    for pf in [PrefetcherChoice::Baseline, PrefetcherChoice::Triangel] {
+        job_list.push(JobSpec::new(
+            WorkloadSpec::Irregular(IrregularWorkload::HashJoin),
+            pf,
+            params(),
+        ));
+    }
+
+    let sweep = job_list
+        .iter()
+        .fold(Sweep::new(), |s, j| s.job(j.clone()))
+        .run(&SweepOptions::serial());
+    let reference: BTreeMap<String, String> = sweep
+        .keys
+        .iter()
+        .zip(&sweep.results)
+        .map(|(k, r)| (k.clone(), format!("{:?}", r.as_ref().unwrap())))
+        .collect();
+
+    let dir = scratch_dir("trace-resume");
+    let interrupted = Campaign::new()
+        .jobs(job_list.clone())
+        .run(
+            &CampaignOptions::new(&dir)
+                .workers(1)
+                .segment_accesses(SEGMENT)
+                .max_segments(4),
+        )
+        .unwrap();
+    assert!(!interrupted.is_complete(), "budget must bite");
+    let partial_trace_rows = std::fs::read_to_string(dir.join("manifest.tsv"))
+        .unwrap()
+        .lines()
+        .filter(|l| l.split('\t').nth(1) == Some("partial"))
+        .filter(|l| {
+            l.split('\t')
+                .nth(6)
+                .is_some_and(|key| key.starts_with("trace:"))
+        })
+        .count();
+    assert!(
+        partial_trace_rows > 0,
+        "a trace-file job must have checkpointed mid-trace"
+    );
+
+    let resumed = Campaign::new()
+        .jobs(job_list)
+        .run(
+            &CampaignOptions::new(&dir)
+                .workers(1)
+                .segment_accesses(SEGMENT),
+        )
+        .unwrap();
+    assert!(resumed.is_complete());
+    assert_eq!(
+        render(&resumed),
+        reference,
+        "mid-trace resume diverged from the uninterrupted run"
+    );
+
+    let _ = std::fs::remove_dir_all(&trace_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The campaign ↔ store bridge, both directions: a campaign publishes
 /// everything it finishes into the shared store (so sweeps and other
 /// campaigns hit), and a campaign over a fresh `--out-dir` is served

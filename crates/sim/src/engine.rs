@@ -273,6 +273,14 @@ impl Engine {
     pub fn system(&self) -> &MemorySystem {
         &self.system
     }
+
+    /// Per-core replay statistics: `Some` for cores driven by a finite
+    /// looping recording (see
+    /// [`TraceSource::replay_stats`](triangel_workloads::TraceSource::replay_stats)),
+    /// `None` for true generators.
+    pub fn replay_stats(&self) -> Vec<Option<triangel_workloads::trace::TraceReplayStats>> {
+        self.sources.iter().map(|s| s.replay_stats()).collect()
+    }
 }
 
 use triangel_types::snap::{snap_check, SnapError, SnapReader, SnapWriter, Snapshot};

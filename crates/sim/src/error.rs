@@ -21,6 +21,13 @@ pub enum SimError {
     },
     /// An experiment was built with no trace sources at all.
     NoSources,
+    /// A workload behind a spec could not be constructed — a trace
+    /// file missing, truncated, or changed on disk since the job was
+    /// keyed.
+    Workload {
+        /// The rendered cause.
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -31,6 +38,9 @@ impl fmt::Display for SimError {
                 "system configured for {cores} core(s) but {sources} trace source(s) supplied"
             ),
             SimError::NoSources => write!(f, "experiment has no trace sources"),
+            SimError::Workload { message } => {
+                write!(f, "workload construction failed: {message}")
+            }
         }
     }
 }

@@ -34,8 +34,11 @@ const SNAP_MAGIC: [u8; 8] = *b"TRGLSNP\0";
 /// interrupt→resume reproduces a sampled series byte for byte; 3 =
 /// metadata tables (Markov, training, issue) move onto packed
 /// set-associative arenas, which serialize per-set valid masks plus
-/// live slots only (plus a policy tag byte ahead of the Markov table).
-pub const SNAPSHOT_VERSION: u32 = 3;
+/// live slots only (plus a policy tag byte ahead of the Markov table);
+/// 4 = finite replay sources (`RecordedTrace`, file traces) carry
+/// their wrap counters, so a resumed run keeps reporting how often a
+/// looped trace repeated.
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 /// A fully-assembled simulation, ready to run.
 ///
@@ -186,6 +189,17 @@ impl SimSession {
     pub fn probes(&self) -> triangel_obs::ProbeSet {
         let mut out = triangel_obs::ProbeSet::new();
         self.engine.system().probe(&mut out);
+        // Finite looped recordings surface their wrap counts, so a
+        // short trace replayed many times can't masquerade as a
+        // full-length measurement.
+        for (core, stats) in self.engine.replay_stats().into_iter().enumerate() {
+            if let Some(s) = stats {
+                out.scoped(&format!("core{core}.trace"), |o| {
+                    o.record("records", s.records);
+                    o.record("wraps", s.wraps);
+                });
+            }
+        }
         out
     }
 

@@ -37,6 +37,6 @@ mod store;
 pub use flock::lock_exclusive;
 pub use framing::{report_from_bytes, report_to_bytes, REPORT_MAGIC, REPORT_VERSION};
 pub use store::{
-    key_stem, write_atomic, Claim, JobLease, ResultStore, StoreStats, ENTRY_MAGIC,
+    key_stem, write_atomic, Claim, JobLease, ResultStore, StoreStats, ENTRY_MAGIC, MAX_STEM_PROBES,
     STORE_FORMAT_VERSION,
 };

@@ -161,11 +161,24 @@ impl JobLease<'_> {
 /// [`SNAPSHOT_VERSION`]: an entry written by a build whose simulation
 /// semantics differ is *stale*, discarded loudly, and re-executed —
 /// the same resume semantics the campaign runner pins.
+///
+/// Distinct keys can hash to the same stem. Colliding keys probe
+/// suffixed slots (`entries/<stem>-1.rpt`, `-2`, … up to
+/// [`MAX_STEM_PROBES`]): a read walks the slots until it finds its own
+/// key or an absent file, and a publish lands in the first slot that
+/// is free or already holds its key. Both colliding keys therefore
+/// stay cached instead of overwriting each other on every publish.
 #[derive(Debug)]
 pub struct ResultStore {
     dir: PathBuf,
     stats: StoreStats,
+    stem_mask: u64,
 }
+
+/// Slots probed per stem before a publish falls back to overwriting
+/// the last slot. Real fnv64 collisions are vanishingly rare; the
+/// bound only caps pathological stores.
+pub const MAX_STEM_PROBES: usize = 8;
 
 impl ResultStore {
     /// Opens (creating if needed) the store under `dir`.
@@ -174,6 +187,26 @@ impl ResultStore {
     ///
     /// Filesystem errors creating the layout.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<ResultStore> {
+        ResultStore::open_with_stem_bits(dir, 64)
+    }
+
+    /// Like [`ResultStore::open`], but truncates stem hashes to the low
+    /// `bits` bits. This is a fault-injection knob: with a tiny width
+    /// (even 0), arbitrary keys collide on the same stem, making the
+    /// suffix-probing collision path testable without hunting for real
+    /// 64-bit fnv collisions. Production callers use [`ResultStore::open`]
+    /// (full width). Stores opened at different widths must not share a
+    /// directory.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors creating the layout.
+    pub fn open_with_stem_bits(dir: impl Into<PathBuf>, bits: u32) -> io::Result<ResultStore> {
+        let stem_mask = if bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         let dir = dir.into();
         std::fs::create_dir_all(dir.join("entries"))?;
         std::fs::create_dir_all(dir.join("locks"))?;
@@ -199,6 +232,7 @@ impl ResultStore {
         Ok(ResultStore {
             dir,
             stats: StoreStats::default(),
+            stem_mask,
         })
     }
 
@@ -212,17 +246,29 @@ impl ResultStore {
         &self.stats
     }
 
-    /// The entry file for `key`.
+    fn stem(&self, key: &str) -> String {
+        format!("{:016x}", fnv1a(key.as_bytes()) & self.stem_mask)
+    }
+
+    /// The entry file for `key`'s first probe slot (colliding keys may
+    /// live in suffixed siblings; see the type docs).
     pub fn entry_path(&self, key: &str) -> PathBuf {
-        self.dir
-            .join("entries")
-            .join(format!("{}.rpt", key_stem(key)))
+        self.slot_path(&self.stem(key), 0)
+    }
+
+    fn slot_path(&self, stem: &str, slot: usize) -> PathBuf {
+        let name = if slot == 0 {
+            format!("{stem}.rpt")
+        } else {
+            format!("{stem}-{slot}.rpt")
+        };
+        self.dir.join("entries").join(name)
     }
 
     fn lock_path(&self, key: &str) -> PathBuf {
         self.dir
             .join("locks")
-            .join(format!("{}.lock", key_stem(key)))
+            .join(format!("{}.lock", self.stem(key)))
     }
 
     /// Looks up `key`, counting a hit or a miss. Corrupt or stale
@@ -238,9 +284,33 @@ impl ResultStore {
         found
     }
 
-    /// Publishes a finished report under `key` (atomic replace).
+    /// Publishes a finished report under `key` (atomic replace), into
+    /// the first probe slot that is absent, corrupt, or already ours —
+    /// never over another key's valid entry (unless every slot is
+    /// taken by colliding keys, where the last slot is sacrificed).
     pub fn put(&self, key: &str, report: &RunReport) {
-        let path = self.entry_path(key);
+        let stem = self.stem(key);
+        let mut slot = MAX_STEM_PROBES - 1;
+        for probe in 0..MAX_STEM_PROBES {
+            match std::fs::read(self.slot_path(&stem, probe)) {
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    slot = probe;
+                    break;
+                }
+                Ok(bytes) => match entry_from_bytes(key, &bytes) {
+                    Ok(None) => continue, // another key's valid entry
+                    Ok(Some(_)) | Err(_) => {
+                        slot = probe;
+                        break;
+                    }
+                },
+                Err(_) => {
+                    slot = probe;
+                    break;
+                }
+            }
+        }
+        let path = self.slot_path(&stem, slot);
         match write_atomic(&path, &entry_to_bytes(key, report)) {
             Ok(()) => {
                 self.stats.inserts.fetch_add(1, Ordering::Relaxed);
@@ -283,37 +353,42 @@ impl ResultStore {
     }
 
     /// Reads and validates the entry for `key`, without counting.
+    /// Probes the stem's suffixed slots past colliding keys' entries
+    /// (which stay untouched) until it finds its own key or an absent
+    /// slot.
     fn read_entry(&self, key: &str) -> Option<Arc<RunReport>> {
-        let path = self.entry_path(key);
-        let bytes = match std::fs::read(&path) {
-            Ok(b) => b,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return None,
-            Err(e) => {
-                eprintln!("[store] unreadable entry for {key}: {e}");
-                return None;
-            }
-        };
-        match entry_from_bytes(key, &bytes) {
-            Ok(Some(report)) => Some(Arc::new(report)),
-            Ok(None) => {
-                // A different key hashed to this stem: someone else's
-                // valid entry. Not corrupt, so leave it alone; the next
-                // publish under our key replaces it (last writer wins,
-                // deterministically correct either way — each read
-                // verifies the stored key).
-                eprintln!(
-                    "[store] key-stem collision on {}: treating as miss",
-                    key_stem(key)
-                );
-                None
-            }
-            Err(e) => {
-                self.stats.discards.fetch_add(1, Ordering::Relaxed);
-                eprintln!("[store] discarding entry for {key}: {e} (will re-execute)");
-                let _ = std::fs::remove_file(&path);
-                None
+        let stem = self.stem(key);
+        for probe in 0..MAX_STEM_PROBES {
+            let path = self.slot_path(&stem, probe);
+            let bytes = match std::fs::read(&path) {
+                Ok(b) => b,
+                // A publish always lands in the first non-foreign slot,
+                // so an absent slot proves the key is not stored.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => return None,
+                Err(e) => {
+                    eprintln!("[store] unreadable entry for {key}: {e}");
+                    return None;
+                }
+            };
+            match entry_from_bytes(key, &bytes) {
+                Ok(Some(report)) => return Some(Arc::new(report)),
+                Ok(None) => {
+                    // A different key hashed to this stem: someone
+                    // else's valid entry. Leave it alone and probe the
+                    // next suffixed slot; both keys stay cached.
+                    eprintln!(
+                        "[store] key-stem collision on {stem} (slot {probe}): probing next slot"
+                    );
+                }
+                Err(e) => {
+                    self.stats.discards.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("[store] discarding entry for {key}: {e} (will re-execute)");
+                    let _ = std::fs::remove_file(&path);
+                    return None;
+                }
             }
         }
+        None
     }
 }
 

@@ -1,0 +1,159 @@
+//! Key-stem collision regression: two live keys hashing to the same
+//! stem must both stay cached.
+//!
+//! Before suffix probing, a valid entry under a different key read as
+//! a plain miss and the next publish overwrote it — two colliding keys
+//! evicted each other on every publish and one re-executed forever.
+//! These tests force collisions with `open_with_stem_bits(_, 0)`
+//! (every key hashes to stem 0) and pin the probing behaviour: reads
+//! walk past foreign entries, publishes land in the first free slot,
+//! and both keys hit on the second pass.
+
+use std::sync::Arc;
+
+use triangel_harness::{JobSpec, RunParams, Sweep, SweepOptions, WorkloadSpec};
+use triangel_sim::{PrefetcherChoice, RunReport};
+use triangel_store::{report_to_bytes, ResultStore};
+use triangel_workloads::spec::SpecWorkload;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "triangel-store-collision-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn params() -> RunParams {
+    RunParams {
+        warmup: 500,
+        accesses: 500,
+        sizing_window: 250,
+        seed: 7,
+    }
+}
+
+fn job(wl: SpecWorkload, pf: PrefetcherChoice) -> JobSpec {
+    JobSpec::new(WorkloadSpec::Spec(wl), pf, params())
+}
+
+fn same_bytes(a: &RunReport, b: &RunReport) -> bool {
+    report_to_bytes(a) == report_to_bytes(b)
+}
+
+#[test]
+fn colliding_keys_both_stay_cached() {
+    let dir = temp_dir("both-cached");
+    // Zero stem bits: every key lands on stem 0 — a forced collision.
+    let store = ResultStore::open_with_stem_bits(&dir, 0).unwrap();
+
+    let job_a = job(SpecWorkload::Mcf, PrefetcherChoice::Baseline);
+    let job_b = job(SpecWorkload::Mcf, PrefetcherChoice::Triangel);
+    assert_ne!(job_a.key(), job_b.key());
+    let report_a = job_a.run().unwrap();
+    let report_b = job_b.run().unwrap();
+
+    // First pass: both miss, both publish — into distinct slots of the
+    // shared stem, not over each other.
+    assert!(store.get(&job_a.key()).is_none());
+    store.put(&job_a.key(), &report_a);
+    assert!(store.get(&job_b.key()).is_none());
+    store.put(&job_b.key(), &report_b);
+
+    // Second pass: both keys served from cache (the regression: B's
+    // publish used to evict A, and A's re-publish would evict B).
+    let back_a = store.get(&job_a.key()).expect("key A evicted by key B");
+    let back_b = store.get(&job_b.key()).expect("key B not cached");
+    assert!(same_bytes(&back_a, &report_a));
+    assert!(same_bytes(&back_b, &report_b));
+    assert_eq!(store.stats().discards(), 0);
+
+    // Republishing one key must reuse its own slot, still not evicting
+    // the other.
+    store.put(&job_a.key(), &report_a);
+    assert!(store.get(&job_b.key()).is_some());
+    assert!(store.get(&job_a.key()).is_some());
+
+    // Layout check: the base slot plus one suffixed sibling, no more.
+    let entries = dir.join("entries");
+    let mut names: Vec<String> = std::fs::read_dir(&entries)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".rpt"))
+        .collect();
+    names.sort();
+    let stem = format!("{:016x}", 0u64);
+    assert_eq!(names, vec![format!("{stem}-1.rpt"), format!("{stem}.rpt")]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn claims_resolve_collisions_exactly_once() {
+    let dir = temp_dir("claims");
+    let store = ResultStore::open_with_stem_bits(&dir, 0).unwrap();
+
+    let jobs = [
+        job(SpecWorkload::Xalan, PrefetcherChoice::Baseline),
+        job(SpecWorkload::Xalan, PrefetcherChoice::Triage),
+        job(SpecWorkload::Xalan, PrefetcherChoice::Triangel),
+    ];
+    // Claim + publish each colliding job, as the sweep scheduler does.
+    for j in &jobs {
+        match store.claim_blocking(&j.key()).unwrap() {
+            triangel_store::Claim::Hit(_) => panic!("nothing published yet"),
+            triangel_store::Claim::Lease(lease) => lease.publish(&j.run().unwrap()),
+        }
+    }
+    // Every claim now resolves to a hit without re-executing.
+    for j in &jobs {
+        match store.claim_blocking(&j.key()).unwrap() {
+            triangel_store::Claim::Hit(report) => {
+                assert!(same_bytes(&report, &j.run().unwrap()));
+            }
+            triangel_store::Claim::Lease(_) => panic!("{} re-executed after publish", j.key()),
+        }
+    }
+    assert_eq!(store.stats().discards(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_results_survive_forced_collisions() {
+    // End to end: a sweep against a fully-colliding store must produce
+    // the same bytes as a plain in-process sweep, and a second pass
+    // must execute nothing.
+    let dir = temp_dir("sweep");
+    let store = Arc::new(ResultStore::open_with_stem_bits(&dir, 0).unwrap());
+
+    let build = || {
+        let mut sweep = Sweep::new();
+        for wl in [SpecWorkload::Mcf, SpecWorkload::Omnetpp] {
+            for pf in [PrefetcherChoice::Baseline, PrefetcherChoice::Triangel] {
+                sweep.push(job(wl, pf));
+            }
+        }
+        sweep
+    };
+    let plain = build().run(&SweepOptions::default());
+    let opts = SweepOptions::default().with_store(Arc::clone(&store));
+    let first = build().run(&opts);
+    let second = build().run(&opts);
+
+    for ((p, f), s) in plain
+        .results
+        .iter()
+        .zip(&first.results)
+        .zip(&second.results)
+    {
+        let (p, f, s) = (
+            p.as_ref().unwrap(),
+            f.as_ref().unwrap(),
+            s.as_ref().unwrap(),
+        );
+        assert!(same_bytes(p, f), "store pass diverged from plain pass");
+        assert!(same_bytes(p, s), "warm pass diverged from plain pass");
+    }
+    assert_eq!(second.stats.executed, 0, "warm pass must execute nothing");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,672 @@
+//! Irregular workload families from the temporal-prefetching
+//! literature: key-value stores, allocator churn, database joins, and
+//! web serving.
+//!
+//! The SPEC-like generators in [`crate::spec`] reproduce the paper's
+//! figure rows; these four families cover the server-side irregular
+//! access patterns the wider temporal-prefetching literature measures
+//! against. Each is a deterministic [`TraceSource`] building block
+//! with snapshot support, enum-dispatched through
+//! [`StreamImpl`](crate::mix::StreamImpl) like the temporal building
+//! blocks, and each family's [`IrregularWorkload::generator`] wraps
+//! its streams in a [`WorkloadMix`].
+//!
+//! Every family keeps the property that makes temporal prefetching
+//! interesting: addresses look random to a stride prefetcher, but
+//! revisits replay the *same* per-object access sequence (a key's
+//! bucket chain, a survivor-graph walk, a session's state walk), so a
+//! Markov-style correlator can learn them.
+//!
+//! Address layout: family `i` owns the `(9 + i) << 40` region —
+//! disjoint from the seven SPEC-like workloads (tops 1–7 of the
+//! 40-bit space) and far below the engine's per-core tag bit (46).
+
+use triangel_types::rng::SplitMix64;
+use triangel_types::snap::{snap_check, SnapError, SnapReader, SnapWriter, Snapshot};
+use triangel_types::{Addr, Pc};
+
+use crate::mix::WorkloadMix;
+use crate::temporal::RandomStream;
+use crate::trace::{MemoryAccess, TraceSource};
+
+const LINE: u64 = 64;
+
+/// Multiplier for cheap bijective scrambles of power-of-two index
+/// spaces (odd, so `i * SCRAMBLE & (n - 1)` is a permutation).
+const SCRAMBLE: u64 = 0x9e37_79b9_7f4a_7c15;
+
+fn at(base: u64, line: u64) -> Addr {
+    Addr::new(base + line * LINE)
+}
+
+/// A zipfian key-value store: hash-bucket lookups followed by a
+/// dependent walk of the key's entry chain.
+///
+/// Keys are drawn from an integer zipf (s = 1) distribution over a
+/// power-of-two key space, then scrambled so hot keys scatter across
+/// the table. Each lookup touches the key's bucket line, then `1 +
+/// (key & 3)` dependent entry lines that are the same on every visit
+/// — hot keys hand a temporal prefetcher exactly the re-walked chains
+/// real caches exhibit.
+#[derive(Debug)]
+pub struct ZipfKvStream {
+    name: String,
+    pc_bucket: Pc,
+    pc_entry: Pc,
+    bucket_base: u64,
+    entry_base: u64,
+    n_keys: u64,
+    cdf: Vec<u64>,
+    total: u64,
+    rng: SplitMix64,
+    cur_key: u64,
+    hop: u8,
+    hops_left: u8,
+}
+
+impl ZipfKvStream {
+    /// A store of `n_keys` keys (rounded up to a power of two, min 4)
+    /// with buckets at `base` and entries in the next 4 GiB sub-region.
+    pub fn new(name: impl Into<String>, pc: Pc, base: Addr, n_keys: u64, seed: u64) -> Self {
+        let n_keys = n_keys.max(4).next_power_of_two();
+        // Integer zipf (s = 1): weight of rank r is ~1/(r+1), scaled so
+        // even the coldest rank keeps weight 1. Pure integer math —
+        // byte-determinism must not hang on a libm rounding mode.
+        let mut cdf = Vec::with_capacity(n_keys as usize);
+        let mut total = 0u64;
+        for rank in 0..n_keys {
+            total += (1_000_000 / (rank + 1)).max(1);
+            cdf.push(total);
+        }
+        ZipfKvStream {
+            name: name.into(),
+            pc_bucket: pc,
+            pc_entry: Pc::new(pc.get() + 4),
+            bucket_base: base.get(),
+            entry_base: base.get() + (1 << 32),
+            n_keys,
+            cdf,
+            total,
+            rng: SplitMix64::new(seed ^ pc.get()),
+            cur_key: 0,
+            hop: 0,
+            hops_left: 0,
+        }
+    }
+}
+
+impl TraceSource for ZipfKvStream {
+    fn next_access(&mut self) -> MemoryAccess {
+        if self.hops_left == 0 {
+            let z = self.rng.next_below(self.total);
+            let rank = self.cdf.partition_point(|&c| c <= z) as u64;
+            let key = rank.wrapping_mul(SCRAMBLE) & (self.n_keys - 1);
+            self.cur_key = key;
+            self.hop = 0;
+            self.hops_left = 1 + (key & 3) as u8;
+            let bucket = key >> 2; // four keys chain per bucket
+            return MemoryAccess::new(self.pc_bucket, at(self.bucket_base, bucket)).with_work(3);
+        }
+        let line = self.cur_key * 4 + u64::from(self.hop);
+        self.hop += 1;
+        self.hops_left -= 1;
+        MemoryAccess::new(self.pc_entry, at(self.entry_base, line))
+            .dependent()
+            .with_work(2)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl ZipfKvStream {
+    pub(crate) fn save_snap(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        self.rng.save(w)?;
+        w.u64(self.cur_key);
+        w.u8(self.hop);
+        w.u8(self.hops_left);
+        Ok(())
+    }
+
+    pub(crate) fn restore_snap(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.rng.restore(r)?;
+        let key = r.u64()?;
+        snap_check(key < self.n_keys, "kv key out of range")?;
+        self.cur_key = key;
+        self.hop = r.u8()?;
+        self.hops_left = r.u8()?;
+        snap_check(
+            u64::from(self.hop) + u64::from(self.hops_left) <= 4,
+            "kv chain cursor out of range",
+        )?;
+        Ok(())
+    }
+}
+
+/// GC/allocator churn: bump allocation through a nursery with young-
+/// object re-touches, punctuated by collections that re-walk the
+/// survivor graph in a fixed order.
+///
+/// The mutator phase is mostly-sequential (nursery bump pointer) with
+/// short-reach temporal reuse; each collection replays the identical
+/// scrambled survivor walk, the classic repeating miss-chain that
+/// temporal prefetchers memoize and stride prefetchers cannot.
+#[derive(Debug)]
+pub struct GcChurnStream {
+    name: String,
+    pc_alloc: Pc,
+    pc_young: Pc,
+    pc_scan: Pc,
+    nursery_base: u64,
+    nursery_lines: u64,
+    survivor_base: u64,
+    survivor_lines: u64,
+    recent_window: u64,
+    rng: SplitMix64,
+    alloc_pos: u64,
+    scan_left: u64,
+}
+
+impl GcChurnStream {
+    /// A nursery of `nursery_lines` and a survivor set of
+    /// `survivor_lines` (both rounded up to powers of two).
+    pub fn new(
+        name: impl Into<String>,
+        pc: Pc,
+        base: Addr,
+        nursery_lines: u64,
+        survivor_lines: u64,
+        seed: u64,
+    ) -> Self {
+        GcChurnStream {
+            name: name.into(),
+            pc_alloc: pc,
+            pc_young: Pc::new(pc.get() + 4),
+            pc_scan: Pc::new(pc.get() + 8),
+            nursery_base: base.get(),
+            nursery_lines: nursery_lines.max(4).next_power_of_two(),
+            survivor_base: base.get() + (1 << 32),
+            survivor_lines: survivor_lines.max(4).next_power_of_two(),
+            recent_window: 64,
+            rng: SplitMix64::new(seed ^ pc.get()),
+            alloc_pos: 0,
+            scan_left: 0,
+        }
+    }
+}
+
+impl TraceSource for GcChurnStream {
+    fn next_access(&mut self) -> MemoryAccess {
+        if self.scan_left > 0 {
+            // Collection: walk the survivor graph in a fixed scrambled
+            // order, identical every cycle.
+            let i = self.survivor_lines - self.scan_left;
+            self.scan_left -= 1;
+            let line = i.wrapping_mul(SCRAMBLE) & (self.survivor_lines - 1);
+            return MemoryAccess::new(self.pc_scan, at(self.survivor_base, line))
+                .dependent()
+                .with_work(1);
+        }
+        if self.alloc_pos > 0 && self.rng.next_below(4) == 0 {
+            // Re-touch a recently allocated young object.
+            let reach = self.recent_window.min(self.alloc_pos);
+            let back = 1 + self.rng.next_below(reach);
+            let line = self.alloc_pos - back;
+            return MemoryAccess::new(self.pc_young, at(self.nursery_base, line)).with_work(2);
+        }
+        let line = self.alloc_pos;
+        self.alloc_pos += 1;
+        if self.alloc_pos == self.nursery_lines {
+            // Nursery full: reset the bump pointer and collect.
+            self.alloc_pos = 0;
+            self.scan_left = self.survivor_lines;
+        }
+        MemoryAccess::new(self.pc_alloc, at(self.nursery_base, line)).with_work(4)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl GcChurnStream {
+    pub(crate) fn save_snap(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        self.rng.save(w)?;
+        w.u64(self.alloc_pos);
+        w.u64(self.scan_left);
+        Ok(())
+    }
+
+    pub(crate) fn restore_snap(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.rng.restore(r)?;
+        let alloc_pos = r.u64()?;
+        snap_check(
+            alloc_pos < self.nursery_lines,
+            "nursery cursor out of range",
+        )?;
+        self.alloc_pos = alloc_pos;
+        let scan_left = r.u64()?;
+        snap_check(
+            scan_left <= self.survivor_lines,
+            "gc scan cursor out of range",
+        )?;
+        self.scan_left = scan_left;
+        Ok(())
+    }
+}
+
+/// A hash-join / index-probe kernel: a sequential scan of the outer
+/// relation, a hash probe into the bucket array per tuple, and a
+/// dependent bucket-chain walk on collisions.
+///
+/// The probe target is a fixed bijective scramble of the outer
+/// cursor, so one pass over the outer relation produces a
+/// random-looking probe sequence that repeats exactly on the next
+/// pass — unlearnable by rank position, fully learnable by
+/// correlation. The stream is purely counter-driven (no RNG).
+#[derive(Debug)]
+pub struct HashJoinStream {
+    name: String,
+    pc_scan: Pc,
+    pc_probe: Pc,
+    pc_chain: Pc,
+    outer_base: u64,
+    outer_lines: u64,
+    bucket_base: u64,
+    n_buckets: u64,
+    chain_base: u64,
+    outer_pos: u64,
+    phase: u8,
+    bucket: u64,
+    chain_left: u8,
+    chain_hop: u8,
+}
+
+impl HashJoinStream {
+    /// A join of `outer_lines` outer tuples against `n_buckets` hash
+    /// buckets (both rounded up to powers of two).
+    pub fn new(
+        name: impl Into<String>,
+        pc: Pc,
+        base: Addr,
+        outer_lines: u64,
+        n_buckets: u64,
+    ) -> Self {
+        HashJoinStream {
+            name: name.into(),
+            pc_scan: pc,
+            pc_probe: Pc::new(pc.get() + 4),
+            pc_chain: Pc::new(pc.get() + 8),
+            outer_base: base.get(),
+            outer_lines: outer_lines.max(4).next_power_of_two(),
+            bucket_base: base.get() + (1 << 32),
+            n_buckets: n_buckets.max(4).next_power_of_two(),
+            chain_base: base.get() + (2 << 32),
+            outer_pos: 0,
+            phase: 0,
+            bucket: 0,
+            chain_left: 0,
+            chain_hop: 0,
+        }
+    }
+}
+
+impl TraceSource for HashJoinStream {
+    fn next_access(&mut self) -> MemoryAccess {
+        match self.phase {
+            0 => {
+                // Scan the next outer tuple; its join key decides the
+                // probe target.
+                let line = self.outer_pos;
+                self.bucket = self.outer_pos.wrapping_mul(SCRAMBLE) & (self.n_buckets - 1);
+                self.outer_pos = (self.outer_pos + 1) & (self.outer_lines - 1);
+                self.phase = 1;
+                MemoryAccess::new(self.pc_scan, at(self.outer_base, line)).with_work(3)
+            }
+            1 => {
+                // Probe the bucket header; every third bucket chains.
+                self.chain_left = (self.bucket % 3) as u8;
+                self.chain_hop = 0;
+                self.phase = if self.chain_left > 0 { 2 } else { 0 };
+                MemoryAccess::new(self.pc_probe, at(self.bucket_base, self.bucket)).with_work(2)
+            }
+            _ => {
+                let line = self.bucket * 2 + u64::from(self.chain_hop);
+                self.chain_hop += 1;
+                self.chain_left -= 1;
+                if self.chain_left == 0 {
+                    self.phase = 0;
+                }
+                MemoryAccess::new(self.pc_chain, at(self.chain_base, line))
+                    .dependent()
+                    .with_work(1)
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl HashJoinStream {
+    pub(crate) fn save_snap(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.u64(self.outer_pos);
+        w.u8(self.phase);
+        w.u64(self.bucket);
+        w.u8(self.chain_left);
+        w.u8(self.chain_hop);
+        Ok(())
+    }
+
+    pub(crate) fn restore_snap(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let outer_pos = r.u64()?;
+        snap_check(outer_pos < self.outer_lines, "outer cursor out of range")?;
+        self.outer_pos = outer_pos;
+        let phase = r.u8()?;
+        snap_check(phase <= 2, "join phase out of range")?;
+        self.phase = phase;
+        let bucket = r.u64()?;
+        snap_check(bucket < self.n_buckets, "bucket out of range")?;
+        self.bucket = bucket;
+        self.chain_left = r.u8()?;
+        self.chain_hop = r.u8()?;
+        snap_check(
+            u64::from(self.chain_left) + u64::from(self.chain_hop) <= 2,
+            "chain cursor out of range",
+        )?;
+        Ok(())
+    }
+}
+
+/// A web-serving session mix: skewed session selection, a dependent
+/// per-session state walk, a hot fragment cache, and occasional cold
+/// misses.
+///
+/// Session popularity is skewed (minimum of two uniform draws), and a
+/// session's state walk touches the same lines in the same order on
+/// every request it serves — re-walked chains again, interleaved with
+/// an easily-strided fragment scan and unlearnable cold traffic.
+#[derive(Debug)]
+pub struct WebSessionStream {
+    name: String,
+    pc_sess: Pc,
+    pc_frag: Pc,
+    pc_cold: Pc,
+    session_base: u64,
+    n_sessions: u64,
+    sess_lines: u64,
+    frag_base: u64,
+    frag_lines: u64,
+    cold_base: u64,
+    cold_lines: u64,
+    rng: SplitMix64,
+    cur_session: u64,
+    step: u64,
+    walk_left: u64,
+    frag_pos: u64,
+}
+
+impl WebSessionStream {
+    /// A pool of `n_sessions` sessions (rounded up to a power of two),
+    /// each with a 4-line state object.
+    pub fn new(name: impl Into<String>, pc: Pc, base: Addr, n_sessions: u64, seed: u64) -> Self {
+        WebSessionStream {
+            name: name.into(),
+            pc_sess: pc,
+            pc_frag: Pc::new(pc.get() + 4),
+            pc_cold: Pc::new(pc.get() + 8),
+            session_base: base.get(),
+            n_sessions: n_sessions.max(4).next_power_of_two(),
+            sess_lines: 4,
+            frag_base: base.get() + (1 << 32),
+            frag_lines: 512,
+            cold_base: base.get() + (2 << 32),
+            cold_lines: 1 << 20,
+            rng: SplitMix64::new(seed ^ pc.get()),
+            cur_session: 0,
+            step: 0,
+            walk_left: 0,
+            frag_pos: 0,
+        }
+    }
+}
+
+impl TraceSource for WebSessionStream {
+    fn next_access(&mut self) -> MemoryAccess {
+        if self.walk_left > 0 {
+            // Walk the current session's state object, same order on
+            // every request.
+            let line = self.cur_session * self.sess_lines + self.step;
+            self.step += 1;
+            self.walk_left -= 1;
+            return MemoryAccess::new(self.pc_sess, at(self.session_base, line))
+                .dependent()
+                .with_work(2);
+        }
+        if self.rng.next_below(8) == 0 {
+            // Cold miss: logging, a cache fill, an evicted object.
+            let line = self.rng.next_below(self.cold_lines);
+            return MemoryAccess::new(self.pc_cold, at(self.cold_base, line)).with_work(1);
+        }
+        // New request: serve a template fragment, then walk the
+        // session picked with popularity skew (min of two draws).
+        let a = self.rng.next_below(self.n_sessions);
+        let b = self.rng.next_below(self.n_sessions);
+        self.cur_session = a.min(b);
+        self.step = 0;
+        self.walk_left = self.sess_lines;
+        let line = self.frag_pos;
+        self.frag_pos = (self.frag_pos + 1) & (self.frag_lines - 1);
+        MemoryAccess::new(self.pc_frag, at(self.frag_base, line)).with_work(3)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl WebSessionStream {
+    pub(crate) fn save_snap(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        self.rng.save(w)?;
+        w.u64(self.cur_session);
+        w.u64(self.step);
+        w.u64(self.walk_left);
+        w.u64(self.frag_pos);
+        Ok(())
+    }
+
+    pub(crate) fn restore_snap(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.rng.restore(r)?;
+        let cur = r.u64()?;
+        snap_check(cur < self.n_sessions, "session out of range")?;
+        self.cur_session = cur;
+        self.step = r.u64()?;
+        self.walk_left = r.u64()?;
+        snap_check(
+            self.step + self.walk_left <= self.sess_lines,
+            "session walk cursor out of range",
+        )?;
+        let frag = r.u64()?;
+        snap_check(frag < self.frag_lines, "fragment cursor out of range")?;
+        self.frag_pos = frag;
+        Ok(())
+    }
+}
+
+/// The four irregular workload families, mirroring
+/// [`SpecWorkload`](crate::spec::SpecWorkload)'s shape so harness
+/// rows, figures, and devtools can enumerate them the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IrregularWorkload {
+    /// Zipfian key-value store lookups.
+    ZipfKv,
+    /// GC/allocator churn with survivor-graph re-walks.
+    GcChurn,
+    /// Hash-join / index-probe database kernel.
+    HashJoin,
+    /// Web-serving session mix.
+    WebServe,
+}
+
+impl IrregularWorkload {
+    /// Every family, in figure-row order.
+    pub const ALL: [IrregularWorkload; 4] = [
+        IrregularWorkload::ZipfKv,
+        IrregularWorkload::GcChurn,
+        IrregularWorkload::HashJoin,
+        IrregularWorkload::WebServe,
+    ];
+
+    /// The family's display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IrregularWorkload::ZipfKv => "ZipfKV",
+            IrregularWorkload::GcChurn => "GCChurn",
+            IrregularWorkload::HashJoin => "HashJoin",
+            IrregularWorkload::WebServe => "WebServe",
+        }
+    }
+
+    /// Looks a family up by its [`IrregularWorkload::label`].
+    pub fn from_label(label: &str) -> Option<Self> {
+        IrregularWorkload::ALL
+            .into_iter()
+            .find(|wl| wl.label() == label)
+    }
+
+    fn index(&self) -> u64 {
+        IrregularWorkload::ALL
+            .iter()
+            .position(|w| w == self)
+            .expect("listed in ALL") as u64
+    }
+
+    /// The family's deterministic generator at `seed`: its main stream
+    /// mixed with a sliver of unlearnable background noise.
+    pub fn generator(&self, seed: u64) -> WorkloadMix {
+        let index = self.index();
+        let base = Addr::new((9 + index) << 40);
+        let noise_base = Addr::new(base.get() + (3 << 32));
+        let pc = Pc::new((9 + index) << 12);
+        let pc_noise = Pc::new(pc.get() + 0x100);
+        let seed = seed ^ (index << 8);
+        let mut mix = WorkloadMix::new(self.label(), seed);
+        match self {
+            IrregularWorkload::ZipfKv => {
+                mix.add_stream(ZipfKvStream::new("kv_lookup", pc, base, 4096, seed), 7);
+            }
+            IrregularWorkload::GcChurn => {
+                mix.add_stream(
+                    GcChurnStream::new("gc_mutate", pc, base, 2048, 512, seed),
+                    7,
+                );
+            }
+            IrregularWorkload::HashJoin => {
+                mix.add_stream(HashJoinStream::new("join_probe", pc, base, 4096, 1024), 7);
+            }
+            IrregularWorkload::WebServe => {
+                mix.add_stream(
+                    WebSessionStream::new("web_request", pc, base, 1024, seed),
+                    7,
+                );
+            }
+        }
+        mix.add_stream(
+            RandomStream::new("noise", pc_noise, noise_base, 1 << 18, false, seed ^ 0x5e55),
+            1,
+        );
+        mix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_families_generate_in_their_regions() {
+        for (i, wl) in IrregularWorkload::ALL.iter().enumerate() {
+            let mut g = wl.generator(42);
+            for _ in 0..2000 {
+                let a = g.next_access();
+                assert_eq!(
+                    a.vaddr.get() >> 40,
+                    9 + i as u64,
+                    "{} strayed out of its region",
+                    wl.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        for wl in IrregularWorkload::ALL {
+            let mut a = wl.generator(7);
+            let mut b = wl.generator(7);
+            for _ in 0..500 {
+                assert_eq!(a.next_access(), b.next_access());
+            }
+        }
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for wl in IrregularWorkload::ALL {
+            assert_eq!(IrregularWorkload::from_label(wl.label()), Some(wl));
+        }
+        assert_eq!(IrregularWorkload::from_label("Mcf"), None);
+    }
+
+    #[test]
+    fn revisits_replay_identical_chains() {
+        // The property temporal prefetchers need: the dependent
+        // accesses that follow a given lead access repeat exactly.
+        // A chain's first entry line identifies its key (line = key*4),
+        // so revisits of the same key must replay the same lines.
+        let mut g = ZipfKvStream::new("kv", Pc::new(1 << 12), Addr::new(9 << 40), 256, 3);
+        let mut chains: std::collections::HashMap<u64, Vec<u64>> = std::collections::HashMap::new();
+        let mut chain = Vec::new();
+        for _ in 0..20_000 {
+            let a = g.next_access();
+            if a.dependent {
+                chain.push(a.vaddr.get());
+            } else if let Some(&first) = chain.first() {
+                match chains.entry(first) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        assert_eq!(e.get(), &chain, "chain diverged for key at {first:#x}");
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(std::mem::take(&mut chain));
+                    }
+                }
+                chain.clear();
+            }
+        }
+        assert!(chains.len() > 16, "too few distinct keys visited");
+    }
+
+    #[test]
+    fn gc_collections_rewalk_survivors_identically() {
+        let mut g = GcChurnStream::new("gc", Pc::new(2 << 12), Addr::new(10 << 40), 256, 64, 5);
+        let mut walks: Vec<Vec<u64>> = Vec::new();
+        let mut cur: Option<Vec<u64>> = None;
+        for _ in 0..10_000 {
+            let a = g.next_access();
+            let is_scan = a.pc.get() == (2 << 12) + 8;
+            match (&mut cur, is_scan) {
+                (Some(w), true) => w.push(a.vaddr.get()),
+                (Some(_), false) => walks.push(cur.take().unwrap()),
+                (None, true) => cur = Some(vec![a.vaddr.get()]),
+                (None, false) => {}
+            }
+        }
+        assert!(walks.len() >= 2, "expected at least two collections");
+        for w in &walks[1..] {
+            assert_eq!(w, &walks[0], "survivor walk order changed between GCs");
+        }
+        assert_eq!(walks[0].len(), 64);
+    }
+}

@@ -10,11 +10,15 @@
 //! is traced directly.
 //!
 //! * [`trace`] — the access-record format and the [`TraceSource`] trait.
+//! * [`trace_file`] — ChampSim-style binary trace files: recording any
+//!   source to disk and replaying with an explicit end-of-trace policy.
 //! * [`paging`] — virtual-to-physical translation with controllable
 //!   fragmentation (drives the paper's Fig. 18/19 lookup-table study).
 //! * [`temporal`] — composable building blocks: repeating temporal
 //!   streams, strided scans, uniform-random noise.
 //! * [`spec`] — the seven SPEC-like workload definitions.
+//! * [`irregular`] — the server-side irregular families: zipfian KV
+//!   store, GC/allocator churn, hash join, web-serving sessions.
 //! * [`graph500`] — Kronecker graph generation, CSR construction, and a
 //!   traced BFS.
 //! * [`mix`] — weighted interleaving of streams into one core's trace.
@@ -34,10 +38,12 @@
 #![warn(missing_debug_implementations)]
 
 pub mod graph500;
+pub mod irregular;
 pub mod mix;
 pub mod paging;
 pub mod spec;
 pub mod temporal;
 pub mod trace;
+pub mod trace_file;
 
 pub use trace::{AccessRing, MemoryAccess, TraceSource};

@@ -1,5 +1,6 @@
 //! Weighted interleaving of streams into a single core's access trace.
 
+use crate::irregular::{GcChurnStream, HashJoinStream, WebSessionStream, ZipfKvStream};
 use crate::temporal::{RandomStream, StridedStream, TemporalStream};
 use crate::trace::{AccessRing, MemoryAccess, TraceSource};
 use triangel_types::rng::SplitMix64;
@@ -19,6 +20,14 @@ pub enum StreamImpl {
     Strided(StridedStream),
     /// Unlearnable uniform noise.
     Random(RandomStream),
+    /// Zipfian key-value store lookups.
+    ZipfKv(ZipfKvStream),
+    /// GC/allocator churn.
+    GcChurn(GcChurnStream),
+    /// Hash-join / index-probe kernel.
+    HashJoin(HashJoinStream),
+    /// Web-serving session mix.
+    WebSession(WebSessionStream),
     /// Any other source, behind the trait object (pays the virtual
     /// call the concrete arms avoid).
     Dyn(Box<dyn TraceSource>),
@@ -31,6 +40,10 @@ impl StreamImpl {
             StreamImpl::Temporal(s) => s.next_access(),
             StreamImpl::Strided(s) => s.next_access(),
             StreamImpl::Random(s) => s.next_access(),
+            StreamImpl::ZipfKv(s) => s.next_access(),
+            StreamImpl::GcChurn(s) => s.next_access(),
+            StreamImpl::HashJoin(s) => s.next_access(),
+            StreamImpl::WebSession(s) => s.next_access(),
             StreamImpl::Dyn(s) => s.next_access(),
         }
     }
@@ -51,6 +64,30 @@ impl From<StridedStream> for StreamImpl {
 impl From<RandomStream> for StreamImpl {
     fn from(s: RandomStream) -> Self {
         StreamImpl::Random(s)
+    }
+}
+
+impl From<ZipfKvStream> for StreamImpl {
+    fn from(s: ZipfKvStream) -> Self {
+        StreamImpl::ZipfKv(s)
+    }
+}
+
+impl From<GcChurnStream> for StreamImpl {
+    fn from(s: GcChurnStream) -> Self {
+        StreamImpl::GcChurn(s)
+    }
+}
+
+impl From<HashJoinStream> for StreamImpl {
+    fn from(s: HashJoinStream) -> Self {
+        StreamImpl::HashJoin(s)
+    }
+}
+
+impl From<WebSessionStream> for StreamImpl {
+    fn from(s: WebSessionStream) -> Self {
+        StreamImpl::WebSession(s)
     }
 }
 
@@ -177,7 +214,8 @@ impl TraceSource for WorkloadMix {
                 }
                 unreachable!("weights sum correctly")
             };
-            ring.push(access);
+            let pushed = ring.push(access);
+            debug_assert!(pushed, "remaining() slots must accept pushes");
         }
         want
     }
@@ -206,6 +244,10 @@ impl StreamImpl {
                 Ok(())
             }
             StreamImpl::Random(s) => s.save_snap(w),
+            StreamImpl::ZipfKv(s) => s.save_snap(w),
+            StreamImpl::GcChurn(s) => s.save_snap(w),
+            StreamImpl::HashJoin(s) => s.save_snap(w),
+            StreamImpl::WebSession(s) => s.save_snap(w),
             StreamImpl::Dyn(s) => s.save_state(w),
         }
     }
@@ -215,6 +257,10 @@ impl StreamImpl {
             StreamImpl::Temporal(s) => s.restore_snap(r),
             StreamImpl::Strided(s) => s.restore_snap(r),
             StreamImpl::Random(s) => s.restore_snap(r),
+            StreamImpl::ZipfKv(s) => s.restore_snap(r),
+            StreamImpl::GcChurn(s) => s.restore_snap(r),
+            StreamImpl::HashJoin(s) => s.restore_snap(r),
+            StreamImpl::WebSession(s) => s.restore_snap(r),
             StreamImpl::Dyn(s) => s.restore_state(r),
         }
     }

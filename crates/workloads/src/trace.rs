@@ -198,6 +198,22 @@ impl Default for AccessRing {
     }
 }
 
+/// Replay statistics of a finite recording served as an infinite
+/// stream (see [`TraceSource::replay_stats`]).
+///
+/// A looped short trace measures the recording, not the program: after
+/// the first wrap every "miss" is a re-visit the prefetcher may have
+/// already memoized. Surfacing the wrap count through the probe
+/// registry keeps that visible in campaign output instead of letting a
+/// looping replay masquerade as a full-length measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceReplayStats {
+    /// Accesses in the underlying recording (one full pass).
+    pub records: u64,
+    /// Times the replay cursor wrapped back to the start.
+    pub wraps: u64,
+}
+
 /// An unbounded, deterministic stream of memory accesses.
 ///
 /// Generators are infinite: the experiment harness decides how many
@@ -261,6 +277,15 @@ pub trait TraceSource: std::fmt::Debug {
             self.name()
         )))
     }
+
+    /// Replay statistics for sources that loop a finite recording:
+    /// `None` for true generators (the default), `Some` for replayers
+    /// such as [`RecordedTrace`] and
+    /// [`crate::trace_file::FileTrace`]. The engine exports these
+    /// through the probe registry per core.
+    fn replay_stats(&self) -> Option<TraceReplayStats> {
+        None
+    }
 }
 
 /// A replayable, pre-recorded trace (useful in tests and for capturing
@@ -270,10 +295,12 @@ pub struct RecordedTrace {
     name: String,
     accesses: Vec<MemoryAccess>,
     pos: usize,
+    wraps: u64,
 }
 
 impl RecordedTrace {
-    /// Wraps a recorded access sequence. The trace replays in a loop.
+    /// Wraps a recorded access sequence. The trace replays in a loop;
+    /// [`RecordedTrace::wraps`] counts how often it has done so.
     ///
     /// # Panics
     ///
@@ -287,6 +314,7 @@ impl RecordedTrace {
             name: name.into(),
             accesses,
             pos: 0,
+            wraps: 0,
         }
     }
 
@@ -299,12 +327,21 @@ impl RecordedTrace {
     pub fn is_empty(&self) -> bool {
         self.accesses.is_empty()
     }
+
+    /// How many times the replay cursor has wrapped back to the start.
+    pub fn wraps(&self) -> u64 {
+        self.wraps
+    }
 }
 
 impl TraceSource for RecordedTrace {
     fn next_access(&mut self) -> MemoryAccess {
         let a = self.accesses[self.pos];
-        self.pos = (self.pos + 1) % self.accesses.len();
+        self.pos += 1;
+        if self.pos == self.accesses.len() {
+            self.pos = 0;
+            self.wraps += 1;
+        }
         a
     }
 
@@ -312,19 +349,27 @@ impl TraceSource for RecordedTrace {
         // Replay is contiguous slices of the recording (with wrap), so
         // batching is chunked copies instead of per-access modulo.
         let want = ring.remaining();
-        let mut left = want;
-        while left > 0 {
-            let run = left.min(self.accesses.len() - self.pos);
+        let mut delivered = 0;
+        while delivered < want {
+            let run = (want - delivered).min(self.accesses.len() - self.pos);
             for a in &self.accesses[self.pos..self.pos + run] {
-                ring.push(*a);
+                let pushed = ring.push(*a);
+                debug_assert!(pushed, "remaining() slots must accept pushes");
+                if !pushed {
+                    // Cursor only advances past accesses actually
+                    // delivered, keeping fill in sync with next_access
+                    // even on a contract break.
+                    return delivered;
+                }
+                self.pos += 1;
+                delivered += 1;
             }
-            self.pos += run;
             if self.pos == self.accesses.len() {
                 self.pos = 0;
+                self.wraps += 1;
             }
-            left -= run;
         }
-        want
+        delivered
     }
 
     fn name(&self) -> &str {
@@ -333,6 +378,7 @@ impl TraceSource for RecordedTrace {
 
     fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
         w.usize(self.pos);
+        w.u64(self.wraps);
         Ok(())
     }
 
@@ -340,7 +386,15 @@ impl TraceSource for RecordedTrace {
         let pos = r.usize()?;
         triangel_types::snap::snap_check(pos < self.accesses.len(), "trace cursor out of range")?;
         self.pos = pos;
+        self.wraps = r.u64()?;
         Ok(())
+    }
+
+    fn replay_stats(&self) -> Option<TraceReplayStats> {
+        Some(TraceReplayStats {
+            records: self.accesses.len() as u64,
+            wraps: self.wraps,
+        })
     }
 }
 
@@ -435,5 +489,36 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_ring_rejected() {
         let _ = AccessRing::with_capacity(0);
+    }
+
+    #[test]
+    fn recorded_trace_counts_wraps_and_snapshots_them() {
+        let accs: Vec<MemoryAccess> = (0..3u64)
+            .map(|i| MemoryAccess::new(Pc::new(1), Addr::new(i * 64)))
+            .collect();
+        let mut t = RecordedTrace::new("t", accs.clone());
+        let mut ring = AccessRing::with_capacity(4);
+        t.fill(&mut ring); // 4 accesses: one wrap
+        ring.clear();
+        for _ in 0..3 {
+            t.next_access(); // through access 7: second wrap
+        }
+        assert_eq!(
+            t.replay_stats(),
+            Some(TraceReplayStats {
+                records: 3,
+                wraps: 2
+            })
+        );
+
+        let mut w = SnapWriter::new();
+        t.save_state(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut fresh = RecordedTrace::new("t", accs);
+        let mut r = SnapReader::new(&bytes);
+        fresh.restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(fresh.wraps(), 2);
+        assert_eq!(fresh.next_access(), t.next_access());
     }
 }

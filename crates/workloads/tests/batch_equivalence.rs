@@ -5,19 +5,22 @@
 //! concatenated batched stream must equal the stream repeated
 //! `next_access` calls produce. These properties pin that for the
 //! seven SPEC-like workloads (`WorkloadMix` overrides `fill`), the
-//! temporal/strided/random building blocks and `RecordedTrace` (which
-//! override or inherit the default), and the Graph500 BFS trace.
+//! four irregular families, the temporal/strided/random building
+//! blocks and `RecordedTrace` (which override or inherit the
+//! default), the file-trace replayer, and the Graph500 BFS trace.
 
 use proptest::prelude::*;
 use std::sync::Arc;
 
 use triangel_types::{Addr, Pc};
 use triangel_workloads::graph500::{BfsTrace, Graph500Config};
+use triangel_workloads::irregular::IrregularWorkload;
 use triangel_workloads::spec::SpecWorkload;
 use triangel_workloads::temporal::{
     RandomStream, StridedStream, TemporalStream, TemporalStreamConfig,
 };
 use triangel_workloads::trace::{AccessRing, MemoryAccess, RecordedTrace, TraceSource};
+use triangel_workloads::trace_file::EndPolicy;
 
 /// Drains `reference` and `batched` in lockstep for `total` accesses,
 /// popping and refilling the ring in a deterministic but irregular
@@ -61,6 +64,40 @@ proptest! {
         let mut reference = wl.generator(seed);
         let mut batched = wl.generator(seed);
         assert_equivalent(&mut reference, &mut batched, cap, 800)?;
+    }
+
+    #[test]
+    fn irregular_workloads_fill_equals_next(
+        cap in 1usize..130,
+        seed in proptest::arbitrary::any::<u64>(),
+        wl_idx in 0usize..4,
+    ) {
+        let wl = IrregularWorkload::ALL[wl_idx];
+        let mut reference = wl.generator(seed);
+        let mut batched = wl.generator(seed);
+        assert_equivalent(&mut reference, &mut batched, cap, 800)?;
+    }
+
+    #[test]
+    fn file_trace_fill_equals_next(
+        cap in 1usize..130,
+        seed in proptest::arbitrary::any::<u64>(),
+        records in 1u64..200,
+    ) {
+        // Record a short trace, then drain two replayers (looping
+        // well past the end) through different ring shapes.
+        let dir = std::env::temp_dir()
+            .join(format!("triangel-batch-eq-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("t{records}-{seed:x}.trc"));
+        let mut src = IrregularWorkload::ZipfKv.generator(seed);
+        triangel_workloads::trace_file::record_trace(&mut src, records, &path).unwrap();
+        let mut reference =
+            triangel_workloads::trace_file::FileTrace::open(&path, EndPolicy::Loop).unwrap();
+        let mut batched =
+            triangel_workloads::trace_file::FileTrace::open(&path, EndPolicy::Loop).unwrap();
+        assert_equivalent(&mut reference, &mut batched, cap, 700)?;
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
