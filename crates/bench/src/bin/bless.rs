@@ -46,6 +46,12 @@ fn fixtures() -> Vec<Fixture> {
             path: goldens::evict_train_fixture_path(),
             generate: || goldens::render(&goldens::evict_train_sweep()),
         },
+        Fixture {
+            name: "golden_multicore",
+            what: "four-core contended timing model",
+            path: goldens::multicore_fixture_path(),
+            generate: || goldens::render(&goldens::multicore_sweep()),
+        },
     ]
 }
 

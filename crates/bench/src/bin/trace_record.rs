@@ -32,7 +32,7 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-fn generator(label: &str, seed: u64) -> Option<Box<dyn TraceSource>> {
+fn generator(label: &str, seed: u64) -> Option<Box<dyn TraceSource + Send>> {
     if let Some(wl) = SpecWorkload::ALL.into_iter().find(|w| w.label() == label) {
         return Some(Box::new(wl.generator(seed)));
     }

@@ -5,16 +5,17 @@ use std::sync::Arc;
 
 use triangel_core::{structure_sizes, TriangelConfig, TriangelFeatures};
 use triangel_harness::emit::{
-    features_to_json, perf_to_json, timeline_to_json, traces_to_json, FeatureCell, FeatureRow,
-    FeatureStep, FeaturesReport, PerfCellCost, PerfRecord, PerfReport, PerfScalingPoint,
-    TimelineReport, TimelineRow, TimelineSeries, TraceCell, TraceProvenance, TracesReport,
-    TracesRow,
+    features_to_json, multicore_to_json, perf_to_json, timeline_to_json, traces_to_json,
+    FeatureCell, FeatureRow, FeatureStep, FeaturesReport, MulticoreReport, MulticoreRow,
+    PerfCellCost, PerfRecord, PerfReport, PerfScalingPoint, TimelineReport, TimelineRow,
+    TimelineSeries, TraceCell, TraceProvenance, TracesReport, TracesRow,
 };
 use triangel_harness::goldens::gated_features;
 use triangel_harness::{
     GridSpec, JobSpec, MapperSpec, RunParams, Sweep, SweepOptions, WorkloadSpec,
 };
 use triangel_markov::TargetFormat;
+use triangel_sim::report::FigureTable;
 use triangel_sim::{PrefetcherChoice, SystemConfig};
 use triangel_triage::TriageConfig;
 use triangel_workloads::graph500::Graph500Config;
@@ -720,6 +721,117 @@ pub(super) fn timeline(ctx: &mut FigureContext) -> Vec<FigureOutput> {
                 "BENCH_timeline".to_string()
             },
             body: timeline_to_json(&report),
+        },
+    ]
+}
+
+/// Configurations of the `multicore` figure. Ladder step 0 is the
+/// column that actually loads the shared Markov partition at
+/// [`FEATURES_PARAMS`] scale (same reasoning as the `timeline`
+/// figure: full Triangel's confidence gates barely open within 25k
+/// measured accesses); full Triangel still rides along to pin the
+/// gated configuration's N-core behaviour.
+const MULTICORE_CONFIGS: [(&str, PrefetcherChoice); 3] = [
+    ("Baseline", PrefetcherChoice::Baseline),
+    ("Triangel-L0", PrefetcherChoice::TriangelLadder(0)),
+    ("Triangel", PrefetcherChoice::Triangel),
+];
+
+/// The `multicore` scaling figure: MCF replicated across the core-count
+/// ladder on the contended N-core timing model
+/// ([`SystemConfig::paper_n_core`] — banked shared LLC, per-channel
+/// DRAM bandwidth, MSHR back-pressure, cycle-ordered stepping), under
+/// the stride-only baseline and full Triangel. Emits per-core IPC and
+/// end-of-run Markov-partition occupancy per core count as
+/// `BENCH_multicore.json` (`BENCH_multicore_smoke.json` with a shorter
+/// ladder under `TRIANGEL_MULTICORE_SMOKE=1`, so CI never clobbers the
+/// recorded artefact). Honors `TRIANGEL_EXEC_THREADS` for intra-sim
+/// trace generation — the artefact must be byte-identical at any
+/// width, and CI diffs the 1-thread and N-thread runs to prove it.
+pub(super) fn multicore(ctx: &mut FigureContext) -> Vec<FigureOutput> {
+    let params = FEATURES_PARAMS;
+    let smoke = std::env::var("TRIANGEL_MULTICORE_SMOKE").is_ok_and(|v| v == "1");
+    let core_counts: &[usize] = if smoke { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    let exec_threads: usize = std::env::var("TRIANGEL_EXEC_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+
+    let mut sweep = Sweep::new();
+    for &n in core_counts {
+        for (_, pf) in MULTICORE_CONFIGS {
+            sweep.push(
+                JobSpec::new(WorkloadSpec::Spec(SpecWorkload::Mcf), pf, params)
+                    .with_cores(n)
+                    // One sample, exactly at the end of the measured
+                    // run: the final Markov-partition occupancy.
+                    .sample_every(params.accesses)
+                    .exec_threads(exec_threads),
+            );
+        }
+    }
+    // A *private* cache, like `timeline`: sampling never enters content
+    // keys, so the shared figure cache may hold unsampled twins of
+    // these jobs — useless for a figure that reads the recorded series.
+    let mut opts = SweepOptions::parallel(ctx.opts.workers);
+    if let Some(trace) = &ctx.opts.trace {
+        opts = opts.with_trace(Arc::clone(trace));
+    }
+    let result = sweep.run(&opts);
+    ctx.absorb(result.stats);
+
+    let mut rows = Vec::new();
+    let mut table = FigureTable::new(
+        "Multi-core scaling: aggregate IPC",
+        "total instructions over the slowest core's cycles (contended N-core model)",
+        MULTICORE_CONFIGS
+            .iter()
+            .map(|(l, _)| l.to_string())
+            .collect(),
+    )
+    .without_geomean();
+    for (i, &n) in core_counts.iter().enumerate() {
+        let mut ipcs = Vec::new();
+        for (j, (label, _)) in MULTICORE_CONFIGS.iter().enumerate() {
+            let report = result.results[i * MULTICORE_CONFIGS.len() + j]
+                .as_ref()
+                .unwrap_or_else(|e| panic!("multicore job failed: {e:?}"));
+            let last = report
+                .intervals
+                .as_ref()
+                .and_then(|s| s.samples.last().cloned())
+                .expect("multicore jobs sample");
+            rows.push(MulticoreRow {
+                n_cores: n,
+                config: label.to_string(),
+                core_ipc: report.cores.iter().map(|c| c.ipc()).collect(),
+                aggregate_ipc: report.aggregate_ipc(),
+                dram_reads: report.dram_reads(),
+                dram_queue_delay: report.dram.total_queue_delay,
+                markov_occupancy: last.markov_occupancy,
+                markov_ways: report.markov_ways as u64,
+            });
+            ipcs.push(report.aggregate_ipc());
+        }
+        table.push_row(format!("{n} core{}", if n == 1 { "" } else { "s" }), ipcs);
+    }
+    let report = MulticoreReport {
+        sweep: format!(
+            "MCF x {core_counts:?} cores x {{Baseline, Triangel-L0, Triangel}}, warmup {} + {} accesses per core",
+            params.warmup, params.accesses
+        ),
+        workload: SpecWorkload::Mcf.label().to_string(),
+        rows,
+    };
+    vec![
+        FigureOutput::Table(table),
+        FigureOutput::Json {
+            name: if smoke {
+                "BENCH_multicore_smoke".to_string()
+            } else {
+                "BENCH_multicore".to_string()
+            },
+            body: multicore_to_json(&report),
         },
     ]
 }

@@ -256,6 +256,11 @@ pub fn registry() -> Vec<FigureDef> {
             title: "Irregular families + recorded-trace replay",
             run: defs::traces,
         },
+        FigureDef {
+            name: "multicore",
+            title: "N-core scaling on the contended timing model",
+            run: defs::multicore,
+        },
     ]
 }
 
@@ -507,6 +512,7 @@ mod tests {
             "perf",
             "timeline",
             "traces",
+            "multicore",
         ] {
             assert!(names.contains(&expected), "registry missing {expected}");
         }

@@ -597,6 +597,75 @@ pub fn timeline_to_json(r: &TimelineReport) -> String {
     )
 }
 
+/// One `(core count, configuration)` cell of the multi-core scaling
+/// figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MulticoreRow {
+    /// Cores the system was configured with
+    /// ([`triangel_sim::SystemConfig::paper_n_core`]).
+    pub n_cores: usize,
+    /// Configuration label (e.g. `"Triangel"`).
+    pub config: String,
+    /// Per-core IPC, indexed by core. Computed from each core's own
+    /// retire clock — *not* from the aggregate max-over-cores cycle
+    /// count, which would understate every core but the slowest.
+    pub core_ipc: Vec<f64>,
+    /// Whole-system IPC (total instructions over the slowest core's
+    /// cycles).
+    pub aggregate_ipc: f64,
+    /// Total DRAM line reads across all channels.
+    pub dram_reads: u64,
+    /// Total cycles requests spent queued behind DRAM bandwidth (the
+    /// congestion indicator the channel scaling is meant to relieve).
+    pub dram_queue_delay: u64,
+    /// Markov-partition occupancy (entries) at the end of the run, 0
+    /// for prefetcher-less configurations.
+    pub markov_occupancy: u64,
+    /// L3 ways granted to the Markov partition at the end of the run.
+    pub markov_ways: u64,
+}
+
+/// The multi-core scaling artefact (`BENCH_multicore.json`): the same
+/// workload replicated across 1..N cores on the contended N-core
+/// timing model, under the stride-only baseline and Triangel. Carries
+/// no wall-clock numbers, so its bytes are fully deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MulticoreReport {
+    /// Human description of the fixed sweep.
+    pub sweep: String,
+    /// Workload label each core runs.
+    pub workload: String,
+    /// One row per `(core count, configuration)`, core counts ascending.
+    pub rows: Vec<MulticoreRow>,
+}
+
+fn multicore_row_json(r: &MulticoreRow) -> String {
+    format!(
+        "{{\"n_cores\":{},\"config\":{},\"core_ipc\":{},\"aggregate_ipc\":{},\"dram_reads\":{},\"dram_queue_delay\":{},\"markov_occupancy\":{},\"markov_ways\":{}}}",
+        r.n_cores,
+        json_str(&r.config),
+        json_f64_list(&r.core_ipc),
+        json_f64(r.aggregate_ipc),
+        r.dram_reads,
+        r.dram_queue_delay,
+        r.markov_occupancy,
+        r.markov_ways,
+    )
+}
+
+/// Serializes a multi-core scaling report as JSON (the
+/// `BENCH_multicore.json` schema). Deterministic: equal reports emit
+/// equal bytes.
+pub fn multicore_to_json(r: &MulticoreReport) -> String {
+    let rows: Vec<String> = r.rows.iter().map(multicore_row_json).collect();
+    format!(
+        "{{\"schema\":1,\"figure\":\"multicore\",\"sweep\":{},\"workload\":{},\"rows\":[{}]}}",
+        json_str(&r.sweep),
+        json_str(&r.workload),
+        rows.join(","),
+    )
+}
+
 /// The per-run scalars worth publishing in machine-readable reports.
 fn run_summary_json(r: &RunReport) -> String {
     format!(
@@ -820,6 +889,43 @@ mod tests {
         assert!(j.contains("\"replayed\":2500,\"wraps\":2"));
         assert!(j.contains("\"cells\":[{\"config\":\"Triangel\",\"speedup\":1.5,"));
         assert_eq!(traces_to_json(&r), traces_to_json(&r));
+    }
+
+    #[test]
+    fn multicore_report_json_shape() {
+        let r = MulticoreReport {
+            sweep: "MCF x {1,2,4} cores x 2 configs".into(),
+            workload: "MCF".into(),
+            rows: vec![
+                MulticoreRow {
+                    n_cores: 1,
+                    config: "Baseline".into(),
+                    core_ipc: vec![1.5],
+                    aggregate_ipc: 1.5,
+                    dram_reads: 1000,
+                    dram_queue_delay: 40,
+                    markov_occupancy: 0,
+                    markov_ways: 0,
+                },
+                MulticoreRow {
+                    n_cores: 4,
+                    config: "Triangel".into(),
+                    core_ipc: vec![1.25, 1.0, 0.75, 0.5],
+                    aggregate_ipc: 0.875,
+                    dram_reads: 5000,
+                    dram_queue_delay: 900,
+                    markov_occupancy: 4096,
+                    markov_ways: 4,
+                },
+            ],
+        };
+        let j = multicore_to_json(&r);
+        assert!(j.contains("\"figure\":\"multicore\""));
+        assert!(j.contains("\"n_cores\":4"));
+        assert!(j.contains("\"core_ipc\":[1.25,1.0,0.75,0.5]"));
+        assert!(j.contains("\"dram_queue_delay\":900"));
+        assert!(j.contains("\"markov_occupancy\":4096"));
+        assert_eq!(multicore_to_json(&r), multicore_to_json(&r));
     }
 
     #[test]

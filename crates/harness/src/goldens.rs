@@ -10,7 +10,7 @@
 //! landed deliberately. Defining the sweeps here, once, keeps the two
 //! sides incapable of drifting apart.
 //!
-//! Two sweeps are pinned:
+//! Three sweeps are pinned:
 //!
 //! * [`golden_sweep`] — the original pre-refactor pin: every prefetcher
 //!   family with its **default** (gate-off) configuration. Any diff
@@ -20,6 +20,10 @@
 //!   Triangel-family job, at a scale where temporal fills actually die
 //!   and train. Any diff here means the eviction-training mechanism
 //!   changed.
+//! * [`multicore_sweep`] — four-core jobs on the contended N-core
+//!   timing model (banked shared LLC, per-channel DRAM, MSHR
+//!   back-pressure, cycle-ordered stepping). Any diff here means the
+//!   contention machinery changed.
 
 use std::path::PathBuf;
 
@@ -43,6 +47,11 @@ pub fn golden_fixture_path() -> PathBuf {
 /// Path of the gate-on (eviction-training) fixture.
 pub fn evict_train_fixture_path() -> PathBuf {
     fixtures_dir().join("golden_evict_train.json")
+}
+
+/// Path of the N-core contention-model fixture.
+pub fn multicore_fixture_path() -> PathBuf {
+    fixtures_dir().join("golden_multicore.json")
 }
 
 /// Scale of [`golden_sweep`]: small enough to run in seconds, long
@@ -155,6 +164,46 @@ pub fn evict_train_sweep() -> Sweep {
         JobSpec::new(WorkloadSpec::Spec(SpecWorkload::Gcc166), ladder0, params)
             .mapper(MapperSpec::Realistic(7))
             .features(gated_features(ladder0)),
+    );
+    sweep
+}
+
+/// Scale of [`multicore_sweep`]: long enough for the shared-LLC and
+/// DRAM arbitration to actually queue requests behind each other,
+/// short enough for test suites.
+pub fn multicore_params() -> RunParams {
+    RunParams {
+        warmup: 4_000,
+        accesses: 4_000,
+        sizing_window: 2_000,
+        seed: 11,
+    }
+}
+
+/// The N-core pinned sweep: the contention timing model
+/// ([`triangel_sim::ContentionConfig::scaled`]) at four cores, under
+/// Baseline and Triangel, for a replicated single workload and a
+/// heterogeneous four-way mix. Any diff here means the shared-LLC bank
+/// arbiter, the DRAM channel scheduler, the MSHR back-pressure, or the
+/// cycle-ordered core stepping changed.
+pub fn multicore_sweep() -> Sweep {
+    let params = multicore_params();
+    let mut sweep = Sweep::new();
+    for pf in [PrefetcherChoice::Baseline, PrefetcherChoice::Triangel] {
+        sweep.push(JobSpec::new(WorkloadSpec::Spec(SpecWorkload::Mcf), pf, params).with_cores(4));
+    }
+    sweep.push(
+        JobSpec::new(
+            WorkloadSpec::Multi(vec![
+                WorkloadSpec::Spec(SpecWorkload::Xalan),
+                WorkloadSpec::Spec(SpecWorkload::Mcf),
+                WorkloadSpec::Spec(SpecWorkload::Omnetpp),
+                WorkloadSpec::Spec(SpecWorkload::Sphinx),
+            ]),
+            PrefetcherChoice::Triangel,
+            params,
+        )
+        .with_cores(4),
     );
     sweep
 }

@@ -81,8 +81,14 @@ pub enum WorkloadSpec {
         /// Cache-key name for the generator.
         name: String,
         /// Builds a fresh generator from a seed.
-        build: Arc<dyn Fn(u64) -> Box<dyn TraceSource> + Send + Sync>,
+        build: Arc<dyn Fn(u64) -> Box<dyn TraceSource + Send> + Send + Sync>,
     },
+    /// Heterogeneous multiprogrammed run: one workload per core, each a
+    /// *single-core* spec (`Spec`, `Graph500`, `Irregular`, `TraceFile`
+    /// or `Custom` — nesting `Pair`/`Multi` is a session-time error).
+    /// Core `i`'s generator is seeded with `seed ^ (0x9999 * i)`, the
+    /// same ladder [`WorkloadSpec::Pair`] established for core 1.
+    Multi(Vec<WorkloadSpec>),
 }
 
 impl WorkloadSpec {
@@ -119,6 +125,11 @@ impl WorkloadSpec {
                 .map(|n| n.to_string_lossy().into_owned())
                 .unwrap_or_else(|| path.display().to_string()),
             WorkloadSpec::Custom { name, .. } => name.clone(),
+            WorkloadSpec::Multi(list) => list
+                .iter()
+                .map(WorkloadSpec::label)
+                .collect::<Vec<_>>()
+                .join(" & "),
         }
     }
 
@@ -135,6 +146,70 @@ impl WorkloadSpec {
                 checksum,
             } => format!("trace:{}#{records:x}:{checksum:016x}", path.display()),
             WorkloadSpec::Custom { name, .. } => format!("custom:{name}"),
+            WorkloadSpec::Multi(list) => format!(
+                "multi:[{}]",
+                list.iter()
+                    .map(WorkloadSpec::key)
+                    .collect::<Vec<_>>()
+                    .join(";")
+            ),
+        }
+    }
+
+    /// Builds one core's trace source from this (single-core) spec.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Workload`] for multi-core specs (`Pair`, `Multi`),
+    /// which cannot describe a single core, and for trace files that
+    /// are missing or changed on disk since the spec was keyed.
+    fn core_source(&self, seed: u64) -> Result<Box<dyn TraceSource + Send>, SimError> {
+        match self {
+            WorkloadSpec::Spec(wl) => Ok(Box::new(wl.generator(seed))),
+            WorkloadSpec::Graph500 { label, graph } => Ok(Box::new(BfsTrace::new(
+                label.clone(),
+                Arc::clone(graph),
+                seed,
+            ))),
+            WorkloadSpec::Irregular(wl) => Ok(Box::new(wl.generator(seed))),
+            WorkloadSpec::TraceFile {
+                path,
+                records,
+                checksum,
+            } => {
+                // Re-verify the header at session time: the file may
+                // have changed on disk since the spec was keyed, and a
+                // replay under a stale key would poison every cache
+                // layer downstream.
+                let header = read_trace_header(path).map_err(|e| SimError::Workload {
+                    message: format!("trace `{}`: {e}", path.display()),
+                })?;
+                if header.records != *records || header.checksum != *checksum {
+                    return Err(SimError::Workload {
+                        message: format!(
+                            "trace `{}` changed on disk: spec keyed {} record(s) \
+                             (checksum {:016x}) but the file now has {} (checksum {:016x})",
+                            path.display(),
+                            records,
+                            checksum,
+                            header.records,
+                            header.checksum
+                        ),
+                    });
+                }
+                let trace =
+                    FileTrace::open(path, EndPolicy::Loop).map_err(|e| SimError::Workload {
+                        message: format!("trace `{}`: {e}", path.display()),
+                    })?;
+                Ok(Box::new(trace))
+            }
+            WorkloadSpec::Custom { build, .. } => Ok(build(seed)),
+            WorkloadSpec::Pair(_, _) | WorkloadSpec::Multi(_) => Err(SimError::Workload {
+                message: format!(
+                    "workload `{}` is itself multi-core and cannot describe a single core",
+                    self.key()
+                ),
+            }),
         }
     }
 }
@@ -175,6 +250,24 @@ pub struct JobSpec {
     /// series (the `timeline` figure) use a private cache instead of
     /// the shared one.
     pub sample_every: u64,
+    /// Core count for the simulated system. `None` — the default —
+    /// derives the count from the workload itself (1 for single
+    /// workloads, 2 for [`WorkloadSpec::Pair`], the list length for
+    /// [`WorkloadSpec::Multi`]), keeping every historical job key
+    /// unchanged. `Some(n)` replicates a single workload across `n`
+    /// cores (core `i` seeded `seed ^ (0x9999 * i)`) and enters the key
+    /// as `|nc=n`; for the inherently multi-core specs it must agree
+    /// with the workload's own count.
+    pub n_cores: Option<usize>,
+    /// Worker threads for intra-simulation trace generation
+    /// (see [`SimSessionBuilder::exec_threads`]; `1` = serial).
+    ///
+    /// Like [`JobSpec::sample_every`], **excluded from the content
+    /// key**: the thread count is observational — the engine refills
+    /// each core's ring from a source that worker alone owns, so the
+    /// simulation is byte-identical at any width — and CI diffs the
+    /// 1-thread and N-thread artefacts to keep that claim honest.
+    pub exec_threads: usize,
 }
 
 impl JobSpec {
@@ -188,7 +281,16 @@ impl JobSpec {
             mapper: MapperSpec::Default,
             features: None,
             sample_every: 0,
+            n_cores: None,
+            exec_threads: 1,
         }
+    }
+
+    /// Sets an explicit core count (see [`JobSpec::n_cores`]).
+    #[must_use]
+    pub fn with_cores(mut self, n: usize) -> Self {
+        self.n_cores = Some(n);
+        self
     }
 
     /// Replaces the page-mapper choice.
@@ -212,6 +314,15 @@ impl JobSpec {
     #[must_use]
     pub fn sample_every(mut self, every: u64) -> Self {
         self.sample_every = every;
+        self
+    }
+
+    /// Sets the intra-simulation trace-generation thread count (see
+    /// [`JobSpec::exec_threads`] for why this never enters the content
+    /// key).
+    #[must_use]
+    pub fn exec_threads(mut self, threads: usize) -> Self {
+        self.exec_threads = threads.max(1);
         self
     }
 
@@ -242,8 +353,15 @@ impl JobSpec {
             Some(f) if self.prefetcher.accepts_feature_override() => format!("|f={f:?}"),
             _ => String::new(),
         };
+        // Like the feature override, the core count enters only when
+        // explicitly set, so every historical key — including the
+        // golden-pinned sweeps — is unchanged.
+        let cores = match self.n_cores {
+            Some(n) => format!("|nc={n}"),
+            None => String::new(),
+        };
         format!(
-            "{}|pf={:?}|w={}|a={}|sw={}|s={}|m={:?}{}",
+            "{}|pf={:?}|w={}|a={}|sw={}|s={}|m={:?}{}{}",
             self.workload.key(),
             self.prefetcher,
             self.params.warmup,
@@ -252,6 +370,7 @@ impl JobSpec {
             self.params.seed,
             self.mapper,
             features,
+            cores,
         )
     }
 
@@ -283,62 +402,61 @@ impl JobSpec {
     /// Propagates [`SimError`] from the session builder.
     pub fn session(&self) -> Result<SimSession, SimError> {
         let p = self.params;
-        let mut b: SimSessionBuilder = match &self.workload {
-            WorkloadSpec::Spec(wl) => SimSession::builder()
-                .workload(wl.generator(p.seed))
-                .label(wl.label()),
-            WorkloadSpec::Pair(a, b) => SimSession::builder()
-                .workload(a.generator(p.seed))
-                .workload(b.generator(p.seed ^ 0x9999))
-                .label(format!("{} & {}", a.label(), b.label())),
-            WorkloadSpec::Graph500 { label, graph } => SimSession::builder()
-                .workload(BfsTrace::new(label.clone(), Arc::clone(graph), p.seed))
-                .label(label.clone()),
-            WorkloadSpec::Irregular(wl) => SimSession::builder()
-                .workload(wl.generator(p.seed))
-                .label(wl.label()),
-            WorkloadSpec::TraceFile {
-                path,
-                records,
-                checksum,
-            } => {
-                // Re-verify the header at session time: the file may
-                // have changed on disk since the spec was keyed, and a
-                // replay under a stale key would poison every cache
-                // layer downstream.
-                let header = read_trace_header(path).map_err(|e| SimError::Workload {
-                    message: format!("trace `{}`: {e}", path.display()),
-                })?;
-                if header.records != *records || header.checksum != *checksum {
-                    return Err(SimError::Workload {
-                        message: format!(
-                            "trace `{}` changed on disk: spec keyed {} record(s) \
-                             (checksum {:016x}) but the file now has {} (checksum {:016x})",
-                            path.display(),
-                            records,
-                            checksum,
-                            header.records,
-                            header.checksum
-                        ),
-                    });
+        // Expand the workload into one single-core spec per core. The
+        // inherently multi-core specs fix their own count (and must
+        // agree with an explicit `n_cores`); everything else replicates
+        // across `n_cores` cores (default 1).
+        let per_core: Vec<WorkloadSpec> = match &self.workload {
+            WorkloadSpec::Pair(a, b) => {
+                if let Some(n) = self.n_cores {
+                    if n != 2 {
+                        return Err(SimError::Workload {
+                            message: format!("a Pair workload runs on 2 cores, not {n}"),
+                        });
+                    }
                 }
-                let trace =
-                    FileTrace::open(path, EndPolicy::Loop).map_err(|e| SimError::Workload {
-                        message: format!("trace `{}`: {e}", path.display()),
-                    })?;
-                SimSession::builder()
-                    .boxed_workload(Box::new(trace))
-                    .label(self.workload.label())
+                vec![WorkloadSpec::Spec(*a), WorkloadSpec::Spec(*b)]
             }
-            WorkloadSpec::Custom { name, build } => SimSession::builder()
-                .boxed_workload(build(p.seed))
-                .label(name.clone()),
+            WorkloadSpec::Multi(list) => {
+                if list.is_empty() {
+                    return Err(SimError::NoSources);
+                }
+                if let Some(n) = self.n_cores {
+                    if n != list.len() {
+                        return Err(SimError::Workload {
+                            message: format!(
+                                "a Multi workload of {} core(s) conflicts with n_cores = {n}",
+                                list.len()
+                            ),
+                        });
+                    }
+                }
+                list.clone()
+            }
+            single => vec![single.clone(); self.n_cores.unwrap_or(1)],
         };
+        let mut b: SimSessionBuilder = SimSession::builder();
+        for (i, w) in per_core.iter().enumerate() {
+            // The seed ladder Pair established: core 0 runs the job's
+            // own seed, core i runs `seed ^ (0x9999 * i)`.
+            let seed = p.seed ^ 0x9999u64.wrapping_mul(i as u64);
+            b = b.boxed_workload(w.core_source(seed)?);
+        }
+        // An explicit `n_cores` opts into the contended N-core timing
+        // model at *every* count (including 1 and 2, so a core-count
+        // scaling sweep is apples-to-apples). `None` keeps the
+        // historical defaults: paper_single_core / paper_dual_core on
+        // the legacy uncontended model.
+        if let Some(n) = self.n_cores {
+            b = b.system(triangel_sim::SystemConfig::paper_n_core(n));
+        }
         b = b
+            .label(self.workload.label())
             .warmup(p.warmup)
             .accesses(p.accesses)
             .sizing_window(p.sizing_window)
             .sample_every(self.sample_every)
+            .exec_threads(self.exec_threads)
             .prefetcher(self.prefetcher);
         if let MapperSpec::Realistic(seed) = self.mapper {
             b = b.page_mapper(PageMapper::realistic(seed));
@@ -454,6 +572,12 @@ mod tests {
             sampled.key(),
             "sampling is observational; it must not fragment the cache key space"
         );
+        let threaded = job.clone().exec_threads(8);
+        assert_eq!(
+            job.key(),
+            threaded.key(),
+            "intra-sim threading is observational; it must not fragment the cache key space"
+        );
     }
 
     #[test]
@@ -514,6 +638,98 @@ mod tests {
             job.key()
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn n_cores_enters_the_key_only_when_set() {
+        let job = JobSpec::new(
+            WorkloadSpec::Spec(SpecWorkload::Mcf),
+            PrefetcherChoice::Triangel,
+            params(),
+        );
+        assert!(
+            !job.key().contains("|nc="),
+            "default jobs must keep their historical keys: {}",
+            job.key()
+        );
+        let quad = job.clone().with_cores(4);
+        assert_ne!(job.key(), quad.key());
+        assert!(quad.key().ends_with("|nc=4"), "{}", quad.key());
+        assert_ne!(quad.key(), job.clone().with_cores(8).key());
+    }
+
+    #[test]
+    fn with_cores_replicates_a_single_workload() {
+        let job = JobSpec::new(
+            WorkloadSpec::Spec(SpecWorkload::Mcf),
+            PrefetcherChoice::Baseline,
+            params(),
+        )
+        .with_cores(4);
+        let session = job.session().unwrap();
+        assert_eq!(session.engine().system().core_count(), 4);
+        // Beyond two cores the builder defaults to the contended
+        // N-core configuration.
+        assert!(session.engine().system().config().contention.cycle_ordered);
+    }
+
+    #[test]
+    fn multi_workload_builds_heterogeneous_cores() {
+        let job = JobSpec::new(
+            WorkloadSpec::Multi(vec![
+                WorkloadSpec::Spec(SpecWorkload::Mcf),
+                WorkloadSpec::Irregular(IrregularWorkload::ZipfKv),
+            ]),
+            PrefetcherChoice::Triangel,
+            params(),
+        );
+        assert!(job.key().starts_with("multi:[spec:"), "{}", job.key());
+        let report = job.run().unwrap();
+        assert_eq!(report.cores.len(), 2);
+        assert_ne!(report.cores[0].workload, report.cores[1].workload);
+    }
+
+    #[test]
+    fn conflicting_core_counts_are_typed_errors() {
+        let pair = JobSpec::new(
+            WorkloadSpec::Pair(SpecWorkload::Mcf, SpecWorkload::Xalan),
+            PrefetcherChoice::Baseline,
+            params(),
+        )
+        .with_cores(4);
+        assert!(matches!(pair.session(), Err(SimError::Workload { .. })));
+        let nested = JobSpec::new(
+            WorkloadSpec::Multi(vec![WorkloadSpec::Pair(
+                SpecWorkload::Mcf,
+                SpecWorkload::Xalan,
+            )]),
+            PrefetcherChoice::Baseline,
+            params(),
+        );
+        assert!(matches!(nested.session(), Err(SimError::Workload { .. })));
+    }
+
+    #[test]
+    fn pair_matches_the_equivalent_multi_session() {
+        // Pair(a, b) and Multi([a, b]) build identical simulations (the
+        // seed ladder is shared), though their keys differ.
+        let p = params();
+        let pair = JobSpec::new(
+            WorkloadSpec::Pair(SpecWorkload::Mcf, SpecWorkload::Xalan),
+            PrefetcherChoice::Triangel,
+            p,
+        );
+        let multi = JobSpec::new(
+            WorkloadSpec::Multi(vec![
+                WorkloadSpec::Spec(SpecWorkload::Mcf),
+                WorkloadSpec::Spec(SpecWorkload::Xalan),
+            ]),
+            PrefetcherChoice::Triangel,
+            p,
+        );
+        let a = pair.run().unwrap();
+        let b = multi.run().unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 
     #[test]

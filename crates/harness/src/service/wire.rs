@@ -85,7 +85,15 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
 }
 
 /// Whether the wire protocol can express `job` (see the module docs).
+///
+/// Jobs with an explicit core count are *not* remotable: the wire
+/// format has no `n_cores` field, so shipping such a job would silently
+/// drop the count and run the wrong simulation. They fall back to local
+/// execution instead.
 pub fn remotable(job: &JobSpec) -> bool {
+    if job.n_cores.is_some() {
+        return false;
+    }
     let workload_ok = matches!(
         job.workload,
         WorkloadSpec::Spec(_)

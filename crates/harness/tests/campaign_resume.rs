@@ -444,3 +444,72 @@ fn campaign_bridges_the_shared_store_both_ways() {
         let _ = std::fs::remove_dir_all(dir);
     }
 }
+
+#[test]
+fn heterogeneous_multicore_job_resumes_byte_identically() {
+    // A three-core job with a *different* workload per core — the MCF
+    // generator, the zipfian KV store, and a recorded-trace replay —
+    // interrupted and resumed through the campaign runner. Exercises
+    // the contended N-core timing model's snapshot path end to end
+    // with per-core sources of three different kinds.
+    use triangel_workloads::irregular::IrregularWorkload;
+    use triangel_workloads::trace_file::record_trace;
+
+    let trace_dir = scratch_dir("hetero-trace");
+    std::fs::create_dir_all(&trace_dir).unwrap();
+    let trace_path = trace_dir.join("hetero.trc");
+    // Deliberately shorter than the run, so the looping end-of-trace
+    // policy wraps mid-campaign.
+    let mut src = IrregularWorkload::WebServe.generator(9);
+    record_trace(&mut src, (WARMUP + ACCESSES) / 2, &trace_path).unwrap();
+
+    let workload = WorkloadSpec::Multi(vec![
+        WorkloadSpec::Spec(SpecWorkload::Mcf),
+        WorkloadSpec::Irregular(IrregularWorkload::ZipfKv),
+        WorkloadSpec::trace_file(&trace_path).unwrap(),
+    ]);
+    let job_list = vec![JobSpec::new(workload, PrefetcherChoice::Triangel, params()).with_cores(3)];
+
+    // Reference: the ordinary sweep scheduler.
+    let sweep = job_list
+        .iter()
+        .fold(Sweep::new(), |s, j| s.job(j.clone()))
+        .run(&SweepOptions::serial());
+    let reference: BTreeMap<String, String> = sweep
+        .keys
+        .iter()
+        .zip(&sweep.results)
+        .map(|(k, r)| (k.clone(), format!("{:?}", r.as_ref().unwrap())))
+        .collect();
+
+    // Interrupt after 1 segment, then resume with the same out-dir.
+    let dir = scratch_dir("hetero");
+    let interrupted = Campaign::new()
+        .jobs(job_list.clone())
+        .run(
+            &CampaignOptions::new(&dir)
+                .workers(1)
+                .segment_accesses(SEGMENT)
+                .max_segments(1),
+        )
+        .unwrap();
+    assert!(!interrupted.is_complete(), "budget must bite");
+    let resumed = Campaign::new()
+        .jobs(job_list)
+        .run(
+            &CampaignOptions::new(&dir)
+                .workers(1)
+                .segment_accesses(SEGMENT),
+        )
+        .unwrap();
+    assert!(resumed.is_complete());
+    assert_eq!(resumed.stats.resumed, 1, "the job must resume, not restart");
+    assert_eq!(
+        render(&resumed),
+        reference,
+        "resumed heterogeneous 3-core job diverged from the straight run"
+    );
+
+    let _ = std::fs::remove_dir_all(&trace_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,7 +1,7 @@
 //! Golden-equivalence pins for the simulator's `RunReport`s.
 //!
 //! The sweeps live in [`triangel_harness::goldens`], shared with the
-//! `bless` devtool. Two fixtures are pinned:
+//! `bless` devtool. Three fixtures are pinned:
 //!
 //! * `golden_sweep.json` — generated *before* the in-line
 //!   cache-metadata refactor (PR 2) from the side-table implementation
@@ -10,6 +10,8 @@
 //! * `golden_evict_train.json` — the same workload shapes with the
 //!   `train_on_eviction` gate on for every Triangel-family job,
 //!   blessed deliberately when the eviction-training mechanism landed.
+//! * `golden_multicore.json` — four-core jobs on the contended N-core
+//!   timing model, blessed when the shared-LLC/DRAM arbitration landed.
 //!
 //! A third test pins that the gate is *provably inert when off*: an
 //! explicit gate-off feature override produces byte-identical reports
@@ -25,6 +27,7 @@
 
 use triangel_harness::goldens::{
     evict_train_fixture_path, evict_train_sweep, gated_features, golden_fixture_path, golden_sweep,
+    multicore_fixture_path, multicore_sweep,
 };
 use triangel_harness::{emit, SweepOptions, TriangelFeatures};
 
@@ -81,6 +84,32 @@ fn evict_train_reports_match_blessed_fixture_serial_and_parallel() {
     assert_eq!(
         parallel, fixture,
         "--jobs 8 gate-on sweep diverged from the blessed eviction-training fixture"
+    );
+}
+
+#[test]
+fn multicore_reports_match_blessed_fixture_serial_and_parallel() {
+    let path = multicore_fixture_path();
+    let serial = emit::sweep_to_json(&multicore_sweep().run(&SweepOptions::serial()));
+
+    if bless_requested() {
+        std::fs::write(&path, &serial).expect("write fixture");
+        eprintln!("blessed {}", path.display());
+    }
+
+    let fixture = std::fs::read_to_string(&path).expect(
+        "missing fixture; generate with `cargo run -p triangel-bench --bin bless` \
+         or TRIANGEL_BLESS=1 cargo test -p triangel-harness --test golden",
+    );
+    assert_eq!(
+        serial, fixture,
+        "serial four-core sweep diverged from the blessed contention-model fixture"
+    );
+
+    let parallel = emit::sweep_to_json(&multicore_sweep().run(&SweepOptions::parallel(8)));
+    assert_eq!(
+        parallel, fixture,
+        "--jobs 8 four-core sweep diverged from the blessed contention-model fixture"
     );
 }
 

@@ -21,6 +21,11 @@ pub struct DramConfig {
     /// reports heavy congestion (used for stats only; arrivals are never
     /// rejected).
     pub queue_depth: usize,
+    /// Number of independent channels. Lines are striped across channels
+    /// by line index (`line % channels`), so a request only queues behind
+    /// earlier transfers on *its* channel. `1` reproduces the original
+    /// single-queue model exactly.
+    pub channels: usize,
 }
 
 impl DramConfig {
@@ -35,6 +40,17 @@ impl DramConfig {
             access_latency: 110,
             service_interval: 36,
             queue_depth: 32,
+            channels: 1,
+        }
+    }
+
+    /// An LPDDR5 package with `n` independent channels, used by the
+    /// N-core configurations: aggregate bandwidth scales with the channel
+    /// count while per-request latency is unchanged.
+    pub fn lpddr5_channels(n: usize) -> Self {
+        DramConfig {
+            channels: n.max(1),
+            ..DramConfig::lpddr5()
         }
     }
 
@@ -44,6 +60,7 @@ impl DramConfig {
             access_latency: 110,
             service_interval: 0,
             queue_depth: 1024,
+            channels: 1,
         }
     }
 }
@@ -102,30 +119,30 @@ impl triangel_obs::Probe for DramStats {
     }
 }
 
-/// The DRAM channel.
+/// The DRAM package: one or more independently queued channels.
 ///
 /// # Examples
 ///
 /// ```
 /// use triangel_mem::{Dram, DramConfig};
 ///
-/// let mut dram = Dram::new(DramConfig { access_latency: 100, service_interval: 10, queue_depth: 4 });
+/// let mut dram = Dram::new(DramConfig { access_latency: 100, service_interval: 10, queue_depth: 4, channels: 1 });
 /// let out = dram.request(0, false);
 /// assert_eq!(out.completes_at, 110); // service + latency
 /// ```
 #[derive(Debug, Clone)]
 pub struct Dram {
     cfg: DramConfig,
-    channel_free_at: Cycle,
+    channel_free_at: Vec<Cycle>,
     stats: DramStats,
 }
 
 impl Dram {
-    /// Creates a DRAM channel.
+    /// Creates a DRAM package.
     pub fn new(cfg: DramConfig) -> Self {
         Dram {
+            channel_free_at: vec![0; cfg.channels.max(1)],
             cfg,
-            channel_free_at: 0,
             stats: DramStats::default(),
         }
     }
@@ -135,11 +152,22 @@ impl Dram {
         &self.cfg
     }
 
-    /// Issues a line read at cycle `now`; returns when it completes.
+    /// Issues a line read at cycle `now` on channel 0; returns when it
+    /// completes. Convenience for single-channel configurations and
+    /// tests; multi-channel callers use [`Dram::request_line`].
     pub fn request(&mut self, now: Cycle, is_prefetch: bool) -> DramRequestOutcome {
-        let start = now.max(self.channel_free_at);
+        self.request_line(now, 0, is_prefetch)
+    }
+
+    /// Issues a read of line index `line` at cycle `now`; the channel is
+    /// chosen by striping (`line % channels`) so the mapping is a pure
+    /// function of the address and the outcome is independent of request
+    /// order across channels.
+    pub fn request_line(&mut self, now: Cycle, line: u64, is_prefetch: bool) -> DramRequestOutcome {
+        let ch = (line % self.channel_free_at.len() as u64) as usize;
+        let start = now.max(self.channel_free_at[ch]);
         let queue_delay = start - now;
-        self.channel_free_at = start + self.cfg.service_interval;
+        self.channel_free_at[ch] = start + self.cfg.service_interval;
         let completes_at = start + self.cfg.service_interval + self.cfg.access_latency;
 
         if is_prefetch {
@@ -192,12 +220,24 @@ impl Snapshot for DramStats {
 
 impl Snapshot for Dram {
     fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
-        w.u64(self.channel_free_at);
+        w.usize(self.channel_free_at.len());
+        for &free_at in &self.channel_free_at {
+            w.u64(free_at);
+        }
         self.stats.save(w)
     }
 
     fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
-        self.channel_free_at = r.u64()?;
+        let n = r.usize()?;
+        if n != self.channel_free_at.len() {
+            return Err(SnapError::corrupt(format!(
+                "DRAM channel count mismatch: snapshot has {n}, config has {}",
+                self.channel_free_at.len()
+            )));
+        }
+        for free_at in &mut self.channel_free_at {
+            *free_at = r.u64()?;
+        }
         self.stats.restore(r)
     }
 }
@@ -212,6 +252,7 @@ mod tests {
             access_latency: 100,
             service_interval: 10,
             queue_depth: 4,
+            channels: 1,
         });
         let out = d.request(500, false);
         assert_eq!(out.completes_at, 610);
@@ -224,6 +265,7 @@ mod tests {
             access_latency: 100,
             service_interval: 10,
             queue_depth: 4,
+            channels: 1,
         });
         let a = d.request(0, false);
         let b = d.request(0, false);
@@ -240,6 +282,7 @@ mod tests {
             access_latency: 100,
             service_interval: 10,
             queue_depth: 4,
+            channels: 1,
         });
         d.request(0, false);
         // Long gap: no queueing for the next request.
@@ -264,6 +307,7 @@ mod tests {
             access_latency: 100,
             service_interval: 10,
             queue_depth: 4,
+            channels: 1,
         };
         let mut d = Dram::new(cfg);
         for _ in 0..100 {
@@ -271,6 +315,67 @@ mod tests {
         }
         assert!(d.stats().congested_requests > 0);
         assert!(d.stats().mean_queue_delay() > 0.0);
+    }
+
+    #[test]
+    fn channels_queue_independently() {
+        let mut d = Dram::new(DramConfig {
+            access_latency: 100,
+            service_interval: 10,
+            queue_depth: 4,
+            channels: 2,
+        });
+        // Lines 0 and 2 share channel 0; line 1 rides channel 1 untouched.
+        let a = d.request_line(0, 0, false);
+        let b = d.request_line(0, 2, false);
+        let c = d.request_line(0, 1, false);
+        assert_eq!(a.completes_at, 110);
+        assert_eq!(b.completes_at, 120);
+        assert_eq!(c.completes_at, 110);
+        assert_eq!(c.queue_delay, 0);
+    }
+
+    #[test]
+    fn single_channel_striping_matches_request() {
+        let mut striped = Dram::new(DramConfig::lpddr5());
+        let mut plain = Dram::new(DramConfig::lpddr5());
+        for line in [7u64, 9, 11, 7, 1024] {
+            assert_eq!(
+                striped.request_line(3, line, false),
+                plain.request(3, false)
+            );
+        }
+        assert_eq!(striped.stats(), plain.stats());
+    }
+
+    #[test]
+    fn more_channels_reduce_queueing() {
+        let cfg = DramConfig {
+            access_latency: 100,
+            service_interval: 10,
+            queue_depth: 4,
+            channels: 1,
+        };
+        let mut one = Dram::new(cfg);
+        let mut four = Dram::new(DramConfig { channels: 4, ..cfg });
+        for line in 0..64u64 {
+            one.request_line(0, line, true);
+            four.request_line(0, line, true);
+        }
+        assert!(four.stats().total_queue_delay < one.stats().total_queue_delay);
+    }
+
+    #[test]
+    fn snapshot_rejects_channel_count_mismatch() {
+        use triangel_types::snap::{SnapReader, SnapWriter, Snapshot};
+        let mut d = Dram::new(DramConfig::lpddr5_channels(2));
+        d.request_line(0, 0, false);
+        let mut w = SnapWriter::new();
+        d.save(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut other = Dram::new(DramConfig::lpddr5());
+        let mut r = SnapReader::new(&bytes);
+        assert!(other.restore(&mut r).is_err());
     }
 
     #[test]

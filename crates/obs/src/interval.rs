@@ -22,14 +22,22 @@ pub const DUELLER_COUNTERS: usize = 9;
 ///
 /// All fields count from measurement start (warmup excluded). Sums are
 /// over cores except where noted.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IntervalSample {
     /// Measured accesses completed when the sample was taken.
     pub end_access: u64,
-    /// Instructions retired.
+    /// Instructions retired (sum over cores).
     pub instructions: u64,
-    /// Cycles elapsed (max over cores).
+    /// Cycles elapsed — **max over cores** (the wall-clock of the
+    /// slowest core). Dividing `instructions` (a sum) by this max
+    /// understates per-core IPC in multiprogrammed runs; per-core IPC
+    /// must be derived from [`IntervalSample::core_instructions`] /
+    /// [`IntervalSample::core_cycles`] instead.
     pub cycles: u64,
+    /// Per-core cycles elapsed, indexed by core.
+    pub core_cycles: Vec<u64>,
+    /// Per-core instructions retired, indexed by core.
+    pub core_instructions: Vec<u64>,
     /// L2 demand hits.
     pub l2_demand_hits: u64,
     /// L2 demand misses.
@@ -55,15 +63,28 @@ pub struct IntervalSample {
     /// Ways the prefetcher currently wants (max over cores,
     /// point-in-time).
     pub desired_ways: u64,
-    /// Set-Dueller per-partitioning sample counters (core 0), index =
-    /// candidate way count.
+    /// Set-Dueller per-partitioning sample counters (element-wise sum
+    /// over cores), index = candidate way count.
     pub dueller: [u64; DUELLER_COUNTERS],
 }
 
 impl IntervalSample {
     /// Cumulative IPC at this sample.
+    ///
+    /// For multi-core samples this is aggregate instructions over the
+    /// slowest core's cycles — a throughput summary, not any single
+    /// core's IPC; see [`IntervalSample::core_ipc_so_far`].
     pub fn ipc_so_far(&self) -> f64 {
         self.instructions as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Cumulative per-core IPC at this sample, indexed by core.
+    pub fn core_ipc_so_far(&self) -> Vec<f64> {
+        self.core_instructions
+            .iter()
+            .zip(&self.core_cycles)
+            .map(|(&i, &c)| i as f64 / c.max(1) as f64)
+            .collect()
     }
 
     /// Cumulative L2 demand miss rate at this sample.
@@ -92,6 +113,14 @@ impl Snapshot for IntervalSample {
         w.u64(self.end_access);
         w.u64(self.instructions);
         w.u64(self.cycles);
+        w.usize(self.core_cycles.len());
+        for &c in &self.core_cycles {
+            w.u64(c);
+        }
+        w.usize(self.core_instructions.len());
+        for &i in &self.core_instructions {
+            w.u64(i);
+        }
         w.u64(self.l2_demand_hits);
         w.u64(self.l2_demand_misses);
         w.u64(self.prefetches_issued);
@@ -113,6 +142,10 @@ impl Snapshot for IntervalSample {
         self.end_access = r.u64()?;
         self.instructions = r.u64()?;
         self.cycles = r.u64()?;
+        let n = r.usize()?;
+        self.core_cycles = (0..n).map(|_| r.u64()).collect::<Result<_, _>>()?;
+        let n = r.usize()?;
+        self.core_instructions = (0..n).map(|_| r.u64()).collect::<Result<_, _>>()?;
         self.l2_demand_hits = r.u64()?;
         self.l2_demand_misses = r.u64()?;
         self.prefetches_issued = r.u64()?;
@@ -168,8 +201,23 @@ impl IntervalSeries {
             .map(|s| {
                 let w = IntervalWindow {
                     end_access: s.end_access,
+                    // Aggregate IPC: instructions are summed over cores
+                    // while cycles are the slowest core's clock, so this
+                    // is a throughput summary; per-core IPC lives in
+                    // `core_ipc`.
                     ipc: (s.instructions - prev.instructions) as f64
                         / (s.cycles.saturating_sub(prev.cycles)).max(1) as f64,
+                    core_ipc: s
+                        .core_instructions
+                        .iter()
+                        .zip(&s.core_cycles)
+                        .enumerate()
+                        .map(|(i, (&instr, &cyc))| {
+                            let pi = prev.core_instructions.get(i).copied().unwrap_or(0);
+                            let pc = prev.core_cycles.get(i).copied().unwrap_or(0);
+                            (instr - pi) as f64 / cyc.saturating_sub(pc).max(1) as f64
+                        })
+                        .collect(),
                     l2_miss_rate: {
                         let misses = s.l2_demand_misses - prev.l2_demand_misses;
                         let total = misses + (s.l2_demand_hits - prev.l2_demand_hits);
@@ -187,7 +235,7 @@ impl IntervalSeries {
                     markov_ways: s.markov_ways,
                     desired_ways: s.desired_ways,
                 };
-                prev = *s;
+                prev = s.clone();
                 w
             })
             .collect()
@@ -225,12 +273,15 @@ impl Snapshot for IntervalSeries {
 }
 
 /// One differenced interval of an [`IntervalSeries`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IntervalWindow {
     /// Measured accesses completed at the end of this interval.
     pub end_access: u64,
-    /// IPC within the interval.
+    /// Aggregate IPC within the interval (instruction sum over the
+    /// slowest core's cycles; see `core_ipc` for per-core values).
     pub ipc: f64,
+    /// Per-core IPC within the interval, indexed by core.
+    pub core_ipc: Vec<f64>,
     /// L2 demand miss rate within the interval.
     pub l2_miss_rate: f64,
     /// Temporal prefetches issued within the interval.
@@ -285,6 +336,53 @@ mod tests {
         assert!((w[1].l2_miss_rate - 0.3).abs() < 1e-12);
         assert_eq!(w[1].issued, 50);
         assert_eq!(w[1].useful, 25);
+    }
+
+    #[test]
+    fn per_core_ipc_ignores_the_cycles_max() {
+        // Two cores: a fast one (2.0 IPC) and a slow one (0.25 IPC).
+        // The aggregate `instructions / cycles-max` (1.25 here) matches
+        // neither; the per-core columns must recover both.
+        let s = IntervalSample {
+            end_access: 100,
+            instructions: 2500,
+            cycles: 2000,
+            core_instructions: vec![2000, 500],
+            core_cycles: vec![1000, 2000], /* skewed on purpose */
+            ..Default::default()
+        };
+        let per_core = s.core_ipc_so_far();
+        assert!((per_core[0] - 2.0).abs() < 1e-12);
+        assert!((per_core[1] - 0.25).abs() < 1e-12);
+        assert!((s.ipc_so_far() - 1.25).abs() < 1e-12);
+
+        let series = IntervalSeries {
+            every: 100,
+            samples: vec![s],
+        };
+        let w = series.windows();
+        assert_eq!(w[0].core_ipc.len(), 2);
+        assert!((w[0].core_ipc[0] - 2.0).abs() < 1e-12);
+        assert!((w[0].core_ipc[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_core_columns_snapshot_round_trip() {
+        let mut s = sample(100, 1000, 500, 80, 20);
+        s.core_cycles = vec![500, 400, 300];
+        s.core_instructions = vec![600, 300, 100];
+        let series = IntervalSeries {
+            every: 100,
+            samples: vec![s],
+        };
+        let mut w = SnapWriter::new();
+        series.save(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut restored = IntervalSeries::new(100);
+        let mut r = SnapReader::new(&bytes);
+        restored.restore(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored, series);
     }
 
     #[test]

@@ -3,6 +3,64 @@
 use triangel_cache::replacement::PolicyKind;
 use triangel_cache::CacheConfig;
 use triangel_mem::DramConfig;
+use triangel_types::Cycle;
+
+/// Shared-resource contention knobs for multi-core runs.
+///
+/// Every field defaults to the *legacy* (no contention) behaviour so the
+/// pinned single- and dual-core goldens are byte-identical; the N-core
+/// configurations built by [`SystemConfig::paper_n_core`] turn the
+/// contention machinery on via [`ContentionConfig::scaled`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContentionConfig {
+    /// Number of L3 banks contended by cores. `0` disables bank
+    /// arbitration entirely (legacy eager uncontended service).
+    pub l3_banks: usize,
+    /// Bank occupancy per L3 access, in cycles. Only meaningful when
+    /// `l3_banks > 0`.
+    pub l3_bank_service: Cycle,
+    /// When set, demand L2 misses occupy an MSHR entry for the duration
+    /// of the miss, so a full MSHR file genuinely delays later demands
+    /// and prefetches (back-pressure) instead of only dropping
+    /// prefetches.
+    pub mshr_demand_occupancy: bool,
+    /// When set, the engine steps cores in cycle order (the core whose
+    /// retire clock is furthest behind goes first; ties break on core
+    /// index) instead of fixed round-robin, so faster cores genuinely
+    /// race ahead.
+    pub cycle_ordered: bool,
+}
+
+impl ContentionConfig {
+    /// The pre-N-core behaviour: no bank arbitration, no MSHR demand
+    /// occupancy, fixed round-robin core stepping.
+    pub fn legacy() -> Self {
+        ContentionConfig {
+            l3_banks: 0,
+            l3_bank_service: 0,
+            mshr_demand_occupancy: false,
+            cycle_ordered: false,
+        }
+    }
+
+    /// Contention scaled for an `n`-core system: 4 L3 banks per core
+    /// pair (min 4), a 4-cycle bank service interval, MSHR demand
+    /// occupancy, and cycle-ordered stepping.
+    pub fn scaled(n_cores: usize) -> Self {
+        ContentionConfig {
+            l3_banks: (n_cores * 2).max(4),
+            l3_bank_service: 4,
+            mshr_demand_occupancy: true,
+            cycle_ordered: true,
+        }
+    }
+}
+
+impl Default for ContentionConfig {
+    fn default() -> Self {
+        ContentionConfig::legacy()
+    }
+}
 
 /// Core and memory-system parameters, defaulting to the paper's setup
 /// (Table 2: a Cortex-X2-like 5-wide core at 2 GHz).
@@ -28,6 +86,12 @@ pub struct SystemConfig {
     pub dram: DramConfig,
     /// Degree of the baseline L1 stride prefetcher (8).
     pub stride_degree: usize,
+    /// Number of cores this configuration was sized for. The engine
+    /// derives the actual core count from the workload sources; this
+    /// field records the sizing intent and drives builder defaults.
+    pub n_cores: usize,
+    /// Shared-resource contention model (see [`ContentionConfig`]).
+    pub contention: ContentionConfig,
 }
 
 impl SystemConfig {
@@ -43,15 +107,48 @@ impl SystemConfig {
             max_markov_ways: 8,
             dram: DramConfig::lpddr5(),
             stride_degree: 8,
+            n_cores: 1,
+            contention: ContentionConfig::legacy(),
         }
     }
 
     /// The two-core multiprogrammed configuration (Section 6.3):
     /// private L1/L2 per core, shared 4 MiB L3 (2 MiB/core) and DRAM.
+    ///
+    /// Kept on the legacy (uncontended) timing model so the pinned
+    /// dual-core goldens from earlier PRs stay byte-identical; new
+    /// multi-core studies should prefer [`SystemConfig::paper_n_core`],
+    /// which turns on shared-LLC and DRAM-bandwidth arbitration.
     pub fn paper_dual_core() -> Self {
         let mut cfg = SystemConfig::paper_single_core();
         cfg.l3 =
             CacheConfig::new("L3", 4 * 1024 * 1024, 16, PolicyKind::Srrip).with_hit_latency(20);
+        cfg.n_cores = 2;
+        cfg
+    }
+
+    /// An `n`-core configuration with the paper's per-core resources and
+    /// contention turned on: private L1/L2/MSHRs/prefetchers per core, a
+    /// shared L3 scaled at 2 MiB per core (16-way SRRIP), DRAM bandwidth
+    /// scaled at one LPDDR5 channel per two cores (min 1), banked L3
+    /// arbitration, MSHR demand back-pressure, and cycle-ordered core
+    /// stepping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cores` is zero.
+    pub fn paper_n_core(n_cores: usize) -> Self {
+        assert!(n_cores > 0, "paper_n_core requires at least one core");
+        let mut cfg = SystemConfig::paper_single_core();
+        // 2 MiB per core, rounded *up* to the next power-of-two set
+        // count (the cache model indexes by bit masking), so
+        // non-power-of-two core counts get at least their share.
+        let ideal_sets = n_cores as u64 * 2 * 1024 * 1024 / (16 * 64);
+        let sets = ideal_sets.next_power_of_two();
+        cfg.l3 = CacheConfig::new("L3", sets * 16 * 64, 16, PolicyKind::Srrip).with_hit_latency(20);
+        cfg.dram = DramConfig::lpddr5_channels(n_cores.div_ceil(2));
+        cfg.n_cores = n_cores;
+        cfg.contention = ContentionConfig::scaled(n_cores);
         cfg
     }
 
@@ -67,6 +164,8 @@ impl SystemConfig {
             max_markov_ways: 8,
             dram: DramConfig::lpddr5(),
             stride_degree: 4,
+            n_cores: 1,
+            contention: ContentionConfig::legacy(),
         }
     }
 }
@@ -94,5 +193,37 @@ mod tests {
     fn dual_core_doubles_l3() {
         let cfg = SystemConfig::paper_dual_core();
         assert_eq!(cfg.l3.size_bytes(), 4 * 1024 * 1024);
+        // Dual-core stays on the legacy timing model (pinned goldens).
+        assert_eq!(cfg.contention, ContentionConfig::legacy());
+    }
+
+    #[test]
+    fn n_core_scales_llc_and_bandwidth() {
+        for n in [1usize, 2, 4, 8] {
+            let cfg = SystemConfig::paper_n_core(n);
+            assert_eq!(cfg.n_cores, n);
+            assert_eq!(cfg.l3.size_bytes(), n as u64 * 2 * 1024 * 1024);
+            assert_eq!(cfg.dram.channels, n.div_ceil(2));
+            assert!(cfg.contention.l3_banks >= 4);
+            assert!(cfg.contention.mshr_demand_occupancy);
+            assert!(cfg.contention.cycle_ordered);
+        }
+    }
+
+    #[test]
+    fn n_core_rounds_odd_counts_up_to_a_power_of_two_llc() {
+        // 3 cores would want 6 MiB; the model indexes sets by bit
+        // masking, so the share rounds up to 8 MiB rather than down.
+        let cfg = SystemConfig::paper_n_core(3);
+        assert_eq!(cfg.l3.size_bytes(), 8 * 1024 * 1024);
+        assert_eq!(cfg.dram.channels, 2);
+    }
+
+    #[test]
+    fn n_core_one_matches_single_core_geometry() {
+        let one = SystemConfig::paper_n_core(1);
+        let single = SystemConfig::paper_single_core();
+        assert_eq!(one.l3.size_bytes(), single.l3.size_bytes());
+        assert_eq!(one.dram.channels, 1);
     }
 }

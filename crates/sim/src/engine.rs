@@ -7,6 +7,27 @@ use triangel_types::{Addr, Cycle, Pc};
 use triangel_workloads::paging::PageMapper;
 use triangel_workloads::{AccessRing, TraceSource};
 
+/// Core-index tag position in per-core PCs: generator PC bits at or
+/// above this shift are masked off so cores can never alias (a PC with
+/// bit 41 set on core 1 must not collide with core 3's tag).
+const PC_TAG_SHIFT: u32 = 40;
+/// Core-index tag position in per-core virtual addresses.
+const VADDR_TAG_SHIFT: u32 = 46;
+
+/// Tags a generator PC with its core index, masking the generator's
+/// bits to the tag boundary first.
+#[inline]
+fn tag_pc(core: usize, pc: u64) -> u64 {
+    (pc & ((1u64 << PC_TAG_SHIFT) - 1)) | ((core as u64) << PC_TAG_SHIFT)
+}
+
+/// Tags a generator virtual address with its core index (per-core
+/// address spaces, multiprogrammed mode), masking to the tag boundary.
+#[inline]
+fn tag_vaddr(core: usize, vaddr: u64) -> u64 {
+    (vaddr & ((1u64 << VADDR_TAG_SHIFT) - 1)) | ((core as u64) << VADDR_TAG_SHIFT)
+}
+
 /// Fixed power-of-two ring of in-flight accesses, bounded by the ROB.
 ///
 /// Every element carries at least one instruction and the engine pops
@@ -96,13 +117,23 @@ impl CoreTimeline {
 #[derive(Debug)]
 pub struct Engine {
     system: MemorySystem,
-    sources: Vec<Box<dyn TraceSource>>,
+    sources: Vec<Box<dyn TraceSource + Send>>,
     /// Per-core access batches: the trace-source virtual call is paid
     /// once per [`AccessRing::DEFAULT_CAPACITY`] accesses, not per
     /// access.
     rings: Vec<AccessRing>,
     timelines: Vec<CoreTimeline>,
     mapper: PageMapper,
+    /// Worker threads for trace *generation* (ring refills). Execution
+    /// of accesses through the shared memory system stays serial — that
+    /// is what makes contention deterministic — but generation is
+    /// per-core independent, so refilling rings in parallel is
+    /// byte-identical to serial by construction. Purely an execution
+    /// detail: never snapshotted, never part of a content key.
+    exec_threads: usize,
+    /// Scratch for the cycle-ordered stepping order (avoids a per-round
+    /// allocation).
+    step_order: Vec<usize>,
 }
 
 impl Engine {
@@ -116,7 +147,7 @@ impl Engine {
     /// match the system's core count.
     pub fn try_new(
         system: MemorySystem,
-        sources: Vec<Box<dyn TraceSource>>,
+        sources: Vec<Box<dyn TraceSource + Send>>,
         mapper: PageMapper,
     ) -> Result<Self, SimError> {
         if sources.is_empty() {
@@ -136,7 +167,15 @@ impl Engine {
             rings: (0..n).map(|_| AccessRing::new()).collect(),
             timelines: (0..n).map(|_| CoreTimeline::new(rob)).collect(),
             mapper,
+            exec_threads: 1,
+            step_order: (0..n).collect(),
         })
+    }
+
+    /// Sets the trace-generation worker-thread count (1 = serial).
+    /// Observational: results are byte-identical for every value.
+    pub fn set_exec_threads(&mut self, threads: usize) {
+        self.exec_threads = threads.max(1);
     }
 
     /// Advances one access on one core.
@@ -175,9 +214,9 @@ impl Engine {
 
         // Virtual address spaces are per-core (multiprogrammed mode);
         // tag before translation so cores never alias.
-        let tagged = Addr::new(acc.vaddr.get() | ((core as u64) << 46));
+        let tagged = Addr::new(tag_vaddr(core, acc.vaddr.get()));
         let paddr = self.mapper.translate(tagged);
-        let pc = Pc::new(acc.pc.get() | ((core as u64) << 40));
+        let pc = Pc::new(tag_pc(core, acc.pc.get()));
 
         let ready = self.system.demand_access(core, pc, paddr.line(), issue);
         let tl = &mut self.timelines[core];
@@ -188,11 +227,63 @@ impl Engine {
         tl.inflight_instrs += k;
     }
 
-    /// Runs `n` accesses on every core (round-robin interleaved).
+    /// Refills every empty ring up front, in parallel when
+    /// `exec_threads > 1`. Each worker owns exactly one `(source, ring)`
+    /// pair, and `fill` on an empty ring is contractually equivalent to
+    /// repeated `next_access`, so the result is byte-identical to the
+    /// lazy serial refill in [`Engine::step`] — thread scheduling can
+    /// only reorder *which generator runs first*, never what any
+    /// generator produces.
+    fn refill_rings_parallel(&mut self) {
+        let jobs: Vec<(&mut Box<dyn TraceSource + Send>, &mut AccessRing)> = self
+            .sources
+            .iter_mut()
+            .zip(self.rings.iter_mut())
+            .filter(|(_, ring)| ring.is_empty())
+            .collect();
+        if jobs.len() <= 1 {
+            for (source, ring) in jobs {
+                source.fill(ring);
+            }
+            return;
+        }
+        std::thread::scope(|scope| {
+            for (source, ring) in jobs {
+                scope.spawn(move || source.fill(ring));
+            }
+        });
+    }
+
+    /// Runs `n` rounds, each stepping every core exactly once.
+    ///
+    /// In legacy mode the per-round order is fixed (core 0, 1, …). With
+    /// `contention.cycle_ordered` set, the round order is sorted by the
+    /// cores' retire clocks at the start of the round — the core
+    /// furthest behind issues into the shared L3/DRAM first, so faster
+    /// cores genuinely race ahead — with ties broken by core index,
+    /// then by age (within a round, a core's earlier access was already
+    /// issued in the previous round). Because the order is a pure
+    /// function of persisted timeline state at a round boundary,
+    /// chunking `run_accesses` calls and snapshot/resume are both
+    /// behaviour-invisible.
     pub fn run_accesses(&mut self, n: u64) {
+        let cycle_ordered = self.system.config().contention.cycle_ordered;
+        let cores = self.sources.len();
         for _ in 0..n {
-            for core in 0..self.sources.len() {
-                self.step(core);
+            if self.exec_threads > 1 {
+                self.refill_rings_parallel();
+            }
+            if cycle_ordered {
+                let mut order = std::mem::take(&mut self.step_order);
+                order.sort_by_key(|&c| (self.timelines[c].last_retire, c));
+                for &core in &order {
+                    self.step(core);
+                }
+                self.step_order = order;
+            } else {
+                for core in 0..cores {
+                    self.step(core);
+                }
             }
         }
     }
@@ -242,10 +333,15 @@ impl Engine {
             ..Default::default()
         };
         for (i, tl) in self.timelines.iter().enumerate() {
-            s.instructions += tl.instr_count - tl.meas_start_instr;
-            s.cycles = s
-                .cycles
-                .max(tl.last_retire.saturating_sub(tl.meas_start_cycle));
+            let instructions = tl.instr_count - tl.meas_start_instr;
+            let cycles = tl.last_retire.saturating_sub(tl.meas_start_cycle);
+            s.instructions += instructions;
+            // `cycles` is the max over cores (wall-clock of the slowest
+            // core); per-core IPC must come from the per-core columns
+            // below, never from `instructions / cycles`.
+            s.cycles = s.cycles.max(cycles);
+            s.core_instructions.push(instructions);
+            s.core_cycles.push(cycles);
             let l2 = self.system.l2_stats(i);
             s.l2_demand_hits += l2.demand_hits;
             s.l2_demand_misses += l2.demand_misses;
@@ -261,9 +357,14 @@ impl Engine {
             s.desired_ways = s
                 .desired_ways
                 .max(self.system.desired_markov_ways(i) as u64);
-        }
-        if let Some(duel) = self.system.dueller_counters(0) {
-            s.dueller = duel;
+            // All nine dueller counters are per-candidate-way sample
+            // hits, so cores aggregate by element-wise sum (reading
+            // only core 0 silently dropped every other core).
+            if let Some(duel) = self.system.dueller_counters(i) {
+                for (total, v) in s.dueller.iter_mut().zip(duel) {
+                    *total += v;
+                }
+            }
         }
         s.markov_ways = self.system.markov_ways() as u64;
         s
@@ -364,5 +465,36 @@ impl Snapshot for Engine {
             tl.restore(r)?;
         }
         self.mapper.restore(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_tagging_masks_high_generator_bits() {
+        let pc = 0x1234u64;
+        // Pre-fix, a PC with bit 41 set on core 1 aliased core 3's tag:
+        // (pc | 1 << 41) | (1 << 40) == pc | (3 << 40).
+        let high = pc | (1u64 << 41);
+        assert_ne!(tag_pc(1, high), tag_pc(3, pc));
+        assert_eq!(tag_pc(1, high), tag_pc(1, pc));
+        assert_eq!(tag_pc(3, pc) >> PC_TAG_SHIFT, 3);
+    }
+
+    #[test]
+    fn vaddr_tagging_masks_high_generator_bits() {
+        let v = 0x9_0000_1000u64;
+        let high = v | (1u64 << 47);
+        assert_ne!(tag_vaddr(1, high), tag_vaddr(3, v));
+        assert_eq!(tag_vaddr(1, high), tag_vaddr(1, v));
+        assert_eq!(tag_vaddr(3, v) >> VADDR_TAG_SHIFT, 3);
+    }
+
+    #[test]
+    fn tagging_is_identity_on_core_zero_below_the_boundary() {
+        assert_eq!(tag_pc(0, 0xABC), 0xABC);
+        assert_eq!(tag_vaddr(0, 0xABC), 0xABC);
     }
 }

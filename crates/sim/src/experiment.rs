@@ -164,7 +164,7 @@ impl PrefetcherChoice {
 /// window per workload).
 #[derive(Debug)]
 pub struct Experiment {
-    sources: Vec<Box<dyn TraceSource>>,
+    sources: Vec<Box<dyn TraceSource + Send>>,
     system: SystemConfig,
     choice: PrefetcherChoice,
     warmup: u64,
@@ -176,7 +176,7 @@ pub struct Experiment {
 
 impl Experiment {
     /// Single-core experiment over one trace source.
-    pub fn new(source: impl TraceSource + 'static) -> Self {
+    pub fn new(source: impl TraceSource + Send + 'static) -> Self {
         Experiment {
             sources: vec![Box::new(source)],
             system: SystemConfig::paper_single_core(),
@@ -191,7 +191,7 @@ impl Experiment {
 
     /// Single-core experiment over an already-boxed trace source (the
     /// form batch drivers that store sources as data need).
-    pub fn new_boxed(source: Box<dyn TraceSource>) -> Self {
+    pub fn new_boxed(source: Box<dyn TraceSource + Send>) -> Self {
         Experiment {
             sources: vec![source],
             system: SystemConfig::paper_single_core(),
@@ -206,7 +206,7 @@ impl Experiment {
 
     /// Multiprogrammed experiment: one source per core, shared L3/DRAM
     /// (Section 6.3).
-    pub fn multiprogrammed(sources: Vec<Box<dyn TraceSource>>) -> Self {
+    pub fn multiprogrammed(sources: Vec<Box<dyn TraceSource + Send>>) -> Self {
         assert!(!sources.is_empty());
         Experiment {
             system: SystemConfig::paper_dual_core(),

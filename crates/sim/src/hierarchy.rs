@@ -115,6 +115,12 @@ pub struct MemorySystem {
     /// wishes; the partition is shared in multiprogrammed mode,
     /// Section 6.3).
     markov_ways: usize,
+    /// Per-bank busy-until clocks for L3 arbitration; empty when
+    /// `cfg.contention.l3_banks == 0` (legacy uncontended service).
+    /// Banks are selected by line index; ties between cores are broken
+    /// by arrival order, which the engine's cycle-ordered stepping makes
+    /// deterministic (lowest retire clock first, then core index).
+    l3_bank_free: Vec<Cycle>,
 }
 
 impl MemorySystem {
@@ -167,8 +173,22 @@ impl MemorySystem {
             l1_lat: cfg.l1.hit_latency(),
             l2_lat: cfg.l2.hit_latency(),
             l3_lat: cfg.l3.hit_latency(),
+            l3_bank_free: vec![0; cfg.contention.l3_banks],
             cfg,
         }
+    }
+
+    /// Claims an L3 bank slot for an access to `line` arriving at `t`;
+    /// returns the cycle the bank actually services it. A no-op (returns
+    /// `t`) when bank arbitration is disabled.
+    fn arbitrate_l3(&mut self, t: Cycle, line: LineAddr) -> Cycle {
+        if self.l3_bank_free.is_empty() {
+            return t;
+        }
+        let bank = (line.index() % self.l3_bank_free.len() as u64) as usize;
+        let start = t.max(self.l3_bank_free[bank]);
+        self.l3_bank_free[bank] = start + self.cfg.contention.l3_bank_service;
+        start
     }
 
     /// Number of cores.
@@ -218,14 +238,25 @@ impl MemorySystem {
 
         // --- L3 ---
         let l3_lat = self.l3_lat;
+        let t3 = self.arbitrate_l3(t3, line);
         let l3_hit = self.l3.access(line, Some(pc), false).hit;
         let ready = if l3_hit {
             t3 + l3_lat
         } else {
-            let fetched = self.dram.request(t3 + l3_lat, false).completes_at;
+            let fetched = self
+                .dram
+                .request_line(t3 + l3_lat, line.index(), false)
+                .completes_at;
             self.fill_l3(line, pc, FillSource::Demand);
             fetched
         };
+
+        // With demand occupancy on, the miss holds an MSHR entry until
+        // its data lands, so a full file genuinely back-pressures later
+        // demands and prefetches instead of only dropping prefetches.
+        if self.cfg.contention.mshr_demand_occupancy {
+            self.cores[core_idx].mshr.allocate(line, ready, false);
+        }
 
         self.fill_l2(core_idx, pc, line, FillSource::Demand, ready);
         self.fill_l1(core_idx, pc, line);
@@ -377,11 +408,15 @@ impl MemorySystem {
             return;
         }
         let l3_lat = self.l3_lat;
+        let t = self.arbitrate_l3(t, req.line);
         let l3_hit = self.l3.access(req.line, Some(req.pc), true).hit;
         let ready = if l3_hit {
             t + l3_lat
         } else {
-            let fetched = self.dram.request(t + l3_lat, true).completes_at;
+            let fetched = self
+                .dram
+                .request_line(t + l3_lat, req.line.index(), true)
+                .completes_at;
             self.fill_l3(req.line, req.pc, source);
             fetched
         };
@@ -572,6 +607,10 @@ impl Snapshot for MemorySystem {
         self.l3.save(w)?;
         self.dram.save(w)?;
         w.usize(self.markov_ways);
+        w.usize(self.l3_bank_free.len());
+        for &free_at in &self.l3_bank_free {
+            w.u64(free_at);
+        }
         Ok(())
     }
 
@@ -583,6 +622,10 @@ impl Snapshot for MemorySystem {
         self.l3.restore(r)?;
         self.dram.restore(r)?;
         self.markov_ways = r.usize()?;
+        r.expect_len(self.l3_bank_free.len(), "l3 banks")?;
+        for free_at in &mut self.l3_bank_free {
+            *free_at = r.u64()?;
+        }
         Ok(())
     }
 }

@@ -57,7 +57,7 @@ mod metrics;
 pub mod report;
 mod session;
 
-pub use config::SystemConfig;
+pub use config::{ContentionConfig, SystemConfig};
 pub use dispatch::PrefetcherImpl;
 pub use engine::Engine;
 pub use error::SimError;

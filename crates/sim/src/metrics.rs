@@ -64,6 +64,17 @@ impl RunReport {
         self.cores[0].ipc()
     }
 
+    /// Aggregate multiprogrammed IPC: total instructions retired
+    /// across all cores over the *slowest* core's cycles — a system
+    /// throughput summary, matching the convention of
+    /// [`IntervalSample::ipc_so_far`](triangel_obs::IntervalSample::ipc_so_far).
+    /// Equals [`RunReport::ipc`] on a single core.
+    pub fn aggregate_ipc(&self) -> f64 {
+        let instructions: u64 = self.cores.iter().map(|c| c.instructions).sum();
+        let cycles = self.cores.iter().map(|c| c.cycles).max().unwrap_or(0);
+        instructions as f64 / cycles.max(1) as f64
+    }
+
     /// Total DRAM line reads — the paper's DRAM-traffic metric
     /// (Fig. 11).
     pub fn dram_reads(&self) -> u64 {
@@ -214,5 +225,17 @@ mod tests {
     fn energy_uses_paper_units() {
         let r = report(1_000_000, 100, 0);
         assert_eq!(r.energy().dram, 2500.0);
+    }
+
+    #[test]
+    fn aggregate_ipc_sums_instructions_over_the_slowest_core() {
+        let mut r = report(2_000_000, 0, 0);
+        assert_eq!(r.aggregate_ipc(), r.ipc());
+        let mut fast = r.cores[0].clone();
+        fast.cycles = 1_000_000;
+        r.cores.push(fast);
+        // 2M instructions over the slowest core's 2M cycles — NOT
+        // core 0's IPC, and NOT a mean of per-core IPCs.
+        assert!((r.aggregate_ipc() - 1.0).abs() < 1e-12);
     }
 }

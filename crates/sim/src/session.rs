@@ -37,8 +37,11 @@ const SNAP_MAGIC: [u8; 8] = *b"TRGLSNP\0";
 /// live slots only (plus a policy tag byte ahead of the Markov table);
 /// 4 = finite replay sources (`RecordedTrace`, file traces) carry
 /// their wrap counters, so a resumed run keeps reporting how often a
-/// looped trace repeated.
-pub const SNAPSHOT_VERSION: u32 = 4;
+/// looped trace repeated; 5 = the N-core timing model: interval samples
+/// carry per-core cycle/instruction columns, the DRAM serializes one
+/// busy-until clock per channel, and the memory system serializes the
+/// L3 bank-arbiter clocks.
+pub const SNAPSHOT_VERSION: u32 = 5;
 
 /// A fully-assembled simulation, ready to run.
 ///
@@ -120,10 +123,11 @@ impl SimSession {
             self.measuring = true;
         }
         // Measured phase, chunked to interval boundaries when sampling.
-        // Chunking `run_accesses` is behaviour-invisible (the engine's
-        // loop carries no per-call state), so with sampling off this
-        // degenerates to the original single call — the determinism bar
-        // golden tests pin.
+        // Chunking `run_accesses` is behaviour-invisible: the engine's
+        // loop carries no per-call state, and the cycle-ordered round
+        // order is a pure function of persisted timeline state at round
+        // boundaries. So with sampling off this degenerates to the
+        // original single call — the determinism bar golden tests pin.
         while budget > 0 {
             let n = if self.sample_every == 0 {
                 budget
@@ -294,7 +298,7 @@ impl SimSession {
 /// setup (Section 6.3) otherwise.
 #[derive(Debug)]
 pub struct SimSessionBuilder {
-    sources: Vec<Box<dyn TraceSource>>,
+    sources: Vec<Box<dyn TraceSource + Send>>,
     system: Option<SystemConfig>,
     choice: PrefetcherChoice,
     warmup: u64,
@@ -304,6 +308,7 @@ pub struct SimSessionBuilder {
     label: Option<String>,
     features: Option<TriangelFeatures>,
     sample_every: u64,
+    exec_threads: usize,
 }
 
 impl Default for SimSessionBuilder {
@@ -319,6 +324,7 @@ impl Default for SimSessionBuilder {
             label: None,
             features: None,
             sample_every: 0,
+            exec_threads: 1,
         }
     }
 }
@@ -326,7 +332,7 @@ impl Default for SimSessionBuilder {
 impl SimSessionBuilder {
     /// Adds one core's trace source (call once per core).
     #[must_use]
-    pub fn workload(mut self, source: impl TraceSource + 'static) -> Self {
+    pub fn workload(mut self, source: impl TraceSource + Send + 'static) -> Self {
         self.sources.push(Box::new(source));
         self
     }
@@ -334,8 +340,21 @@ impl SimSessionBuilder {
     /// Adds one core's trace source, already boxed (the form batch
     /// drivers that store sources as data need).
     #[must_use]
-    pub fn boxed_workload(mut self, source: Box<dyn TraceSource>) -> Self {
+    pub fn boxed_workload(mut self, source: Box<dyn TraceSource + Send>) -> Self {
         self.sources.push(source);
+        self
+    }
+
+    /// Sets the worker-thread count for intra-simulation trace
+    /// generation (default 1 = fully serial). Execution through the
+    /// shared memory system always stays serial; only the per-core
+    /// generators run concurrently, so any thread count is byte-
+    /// identical to serial (pinned by the multi-core determinism
+    /// suite). Observational: never snapshotted, never part of a
+    /// content key.
+    #[must_use]
+    pub fn exec_threads(mut self, threads: usize) -> Self {
+        self.exec_threads = threads.max(1);
         self
     }
 
@@ -462,10 +481,13 @@ impl SimSessionBuilder {
             return Err(SimError::NoSources);
         }
         let system_cfg = self.system.unwrap_or_else(|| {
-            if n_cores == 1 {
-                SystemConfig::paper_single_core()
-            } else {
-                SystemConfig::paper_dual_core()
+            // One and two cores keep the legacy paper configurations
+            // (their goldens pin the uncontended timing model); beyond
+            // two cores the contended N-core model is the default.
+            match n_cores {
+                1 => SystemConfig::paper_single_core(),
+                2 => SystemConfig::paper_dual_core(),
+                n => SystemConfig::paper_n_core(n),
             }
         });
         let temporal: Vec<PrefetcherImpl> = (0..n_cores)
@@ -483,7 +505,8 @@ impl SimSessionBuilder {
                 .collect::<Vec<_>>()
                 .join(" & ")
         });
-        let engine = Engine::try_new(system, self.sources, mapper)?;
+        let mut engine = Engine::try_new(system, self.sources, mapper)?;
+        engine.set_exec_threads(self.exec_threads);
         Ok(SimSession {
             engine,
             warmup: self.warmup,

@@ -110,12 +110,12 @@ fn run_dyn(
         .map(|_| build_boxed(choice, SIZING))
         .collect();
     let system = MemorySystem::new(cfg, temporal);
-    let sources: Vec<Box<dyn TraceSource>> = workloads
+    let sources: Vec<Box<dyn TraceSource + Send>> = workloads
         .iter()
         .enumerate()
         .map(|(i, wl)| {
             let seed = if i == 0 { SEED } else { SEED ^ 0x9999 };
-            Box::new(wl.generator(seed)) as Box<dyn TraceSource>
+            Box::new(wl.generator(seed)) as Box<dyn TraceSource + Send>
         })
         .collect();
     let mapper = PageMapper::realistic(mapper_seed.unwrap_or(0xA11C));

@@ -90,7 +90,7 @@ impl Prefetcher for Recorder {
 
 /// Runs one generator through a gate-on Triangel system, returning the
 /// observation log.
-fn observe(source: Box<dyn TraceSource>, accesses: u64) -> Vec<Obs> {
+fn observe(source: Box<dyn TraceSource + Send>, accesses: u64) -> Vec<Obs> {
     let log = Arc::new(Mutex::new(Vec::new()));
     let mut cfg = TriangelConfig::paper_default();
     // Ladder step 0 (Triage-Deg4 behaviour) with the eviction gate on:
@@ -205,12 +205,12 @@ fn check(log: &[Obs], label: &str) -> HashMap<&'static str, usize> {
 
 #[test]
 fn evict_notices_correspond_to_fills_across_all_shipped_generators() {
-    let mut sources: Vec<(String, Box<dyn TraceSource>)> = SpecWorkload::ALL
+    let mut sources: Vec<(String, Box<dyn TraceSource + Send>)> = SpecWorkload::ALL
         .iter()
         .map(|wl| {
             (
                 wl.label().to_string(),
-                Box::new(wl.generator(11)) as Box<dyn TraceSource>,
+                Box::new(wl.generator(11)) as Box<dyn TraceSource + Send>,
             )
         })
         .collect();

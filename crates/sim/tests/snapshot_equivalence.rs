@@ -55,7 +55,7 @@ fn configs() -> Vec<Config> {
     ]
 }
 
-fn build(source: impl TraceSource + 'static, cfg: &Config) -> SimSession {
+fn build(source: impl TraceSource + Send + 'static, cfg: &Config) -> SimSession {
     let mut b = SimSession::builder()
         .workload(source)
         .prefetcher(cfg.choice)

@@ -30,7 +30,7 @@ pub enum StreamImpl {
     WebSession(WebSessionStream),
     /// Any other source, behind the trait object (pays the virtual
     /// call the concrete arms avoid).
-    Dyn(Box<dyn TraceSource>),
+    Dyn(Box<dyn TraceSource + Send>),
 }
 
 impl StreamImpl {
@@ -91,8 +91,8 @@ impl From<WebSessionStream> for StreamImpl {
     }
 }
 
-impl From<Box<dyn TraceSource>> for StreamImpl {
-    fn from(s: Box<dyn TraceSource>) -> Self {
+impl From<Box<dyn TraceSource + Send>> for StreamImpl {
+    fn from(s: Box<dyn TraceSource + Send>) -> Self {
         StreamImpl::Dyn(s)
     }
 }
@@ -155,7 +155,7 @@ impl WorkloadMix {
     /// # Panics
     ///
     /// Panics if `weight` is zero.
-    pub fn add(&mut self, stream: Box<dyn TraceSource>, weight: u32) {
+    pub fn add(&mut self, stream: Box<dyn TraceSource + Send>, weight: u32) {
         self.add_stream(stream, weight);
     }
 
@@ -304,7 +304,7 @@ mod tests {
     use crate::temporal::{TemporalStream, TemporalStreamConfig};
     use triangel_types::{Addr, Pc};
 
-    fn chase(pc: u64, base: u64, len: usize) -> Box<dyn TraceSource> {
+    fn chase(pc: u64, base: u64, len: usize) -> Box<dyn TraceSource + Send> {
         Box::new(TemporalStream::new(
             TemporalStreamConfig::pointer_chase(
                 format!("s{pc}"),

@@ -106,7 +106,7 @@ proptest! {
         seed in proptest::arbitrary::any::<u64>(),
         kind in 0usize..4,
     ) {
-        let build = |seed: u64| -> Box<dyn TraceSource> {
+        let build = |seed: u64| -> Box<dyn TraceSource + Send> {
             match kind {
                 0 => Box::new(TemporalStream::new(
                     TemporalStreamConfig {

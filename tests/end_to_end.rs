@@ -14,7 +14,10 @@ fn chase(len: usize, seed: u64) -> TemporalStream {
     )
 }
 
-fn run(src: impl triangel::workloads::TraceSource + 'static, c: PrefetcherChoice) -> RunReport {
+fn run(
+    src: impl triangel::workloads::TraceSource + Send + 'static,
+    c: PrefetcherChoice,
+) -> RunReport {
     SimSession::builder()
         .workload(src)
         .warmup(350_000)
@@ -87,7 +90,7 @@ fn reports_are_deterministic() {
 
 #[test]
 fn multiprogrammed_runs_share_memory_system() {
-    let sources: Vec<Box<dyn triangel::workloads::TraceSource>> = vec![
+    let sources: Vec<Box<dyn triangel::workloads::TraceSource + Send>> = vec![
         Box::new(chase(30_000, 1)),
         Box::new(RandomStream::new(
             "r",
